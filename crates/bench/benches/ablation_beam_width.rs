@@ -1,0 +1,29 @@
+//! Ablation: beam-width sweep for QEP2Seq decoding (the paper fixes
+//! beam 4). Reports test BLEU and decode latency per width.
+
+use lantern_bench::{quick_config, BenchContext, TableReport};
+use lantern_neural::Qep2Seq;
+use std::time::Instant;
+
+fn main() {
+    let ctx = BenchContext::new();
+    let ts = ctx.paper_training_set(15, true);
+    let mut model = Qep2Seq::new(&ts, quick_config(12, 21));
+    model.train(&ts);
+    let acts = ctx.imdb_test_acts(15);
+
+    let mut t = TableReport::new(
+        "Ablation: beam width vs test BLEU and latency",
+        &["Beam", "BLEU", "Avg decode (ms)"],
+    );
+    let mut bleus = Vec::new();
+    for beam in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let bleu = model.test_bleu(&acts, beam);
+        let avg_ms = start.elapsed().as_secs_f64() * 1000.0 / acts.len() as f64;
+        bleus.push(bleu);
+        t.row(&[beam.to_string(), format!("{bleu:.2}"), format!("{avg_ms:.2}")]);
+    }
+    t.print();
+    println!("expected: BLEU saturates around the paper's beam 4; latency grows with width");
+}

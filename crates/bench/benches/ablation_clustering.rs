@@ -1,0 +1,58 @@
+//! Ablation: auxiliary/critical clustering (paper §5.4) on vs off.
+//! Without clustering, every auxiliary node (Hash, Sort) becomes its
+//! own narration step, inflating step counts and verbosity — the
+//! redundancy §5.2 warns about.
+
+use lantern_bench::{tpch_workload, BenchContext, TableReport};
+use lantern_core::RuleLantern;
+use lantern_engine::Planner;
+use lantern_pool::default_pg_store;
+use lantern_sql::parse_sql;
+use lantern_text::word_tokenize;
+
+fn main() {
+    let ctx = BenchContext::new();
+    // "No clustering" = a store whose auxiliary target edges are
+    // removed via POOL updates.
+    let flat_store = default_pg_store();
+    for op in ["hash", "sort"] {
+        lantern_pool::execute(
+            &format!("UPDATE pg SET target = null WHERE name = '{op}'"),
+            &flat_store,
+        )
+        .expect("POOL update");
+    }
+
+    let planner = Planner::new(&ctx.tpch);
+    let clustered = RuleLantern::new(&ctx.store);
+    let flat = RuleLantern::new(&flat_store);
+    let mut t = TableReport::new(
+        "Ablation: clustering on vs off (steps / tokens per narration)",
+        &["Workload", "Steps (clustered)", "Steps (flat)", "Tokens (clustered)", "Tokens (flat)"],
+    );
+    let mut steps_c = 0usize;
+    let mut steps_f = 0usize;
+    for (i, sql) in tpch_workload().iter().enumerate() {
+        let plan = planner.plan(&parse_sql(sql).unwrap()).unwrap();
+        let tree = plan.tree();
+        let n_c = clustered.narrate(&tree).unwrap();
+        let n_f = flat.narrate(&tree).unwrap();
+        steps_c += n_c.steps().len();
+        steps_f += n_f.steps().len();
+        t.row(&[
+            format!("Q{}", i + 1),
+            n_c.steps().len().to_string(),
+            n_f.steps().len().to_string(),
+            word_tokenize(&n_c.text()).len().to_string(),
+            word_tokenize(&n_f.text()).len().to_string(),
+        ]);
+    }
+    t.print();
+    assert!(steps_f >= steps_c, "flat narration cannot have fewer steps");
+    println!(
+        "clustering saves {} steps over the workload ({} -> {}) — the concision §5.4 buys",
+        steps_f - steps_c,
+        steps_f,
+        steps_c
+    );
+}

@@ -1,0 +1,47 @@
+//! Exp 5: correctness of 100 sampled NEURAL-LANTERN outputs, checked
+//! token-by-token against the rule ground truth. Paper: 83 exactly
+//! correct, 13 with one wrong token, 4 with 6–9 wrong tokens.
+
+use lantern_bench::{quick_config, BenchContext, TableReport};
+use lantern_neural::Qep2Seq;
+use lantern_text::token_edit_distance;
+
+fn main() {
+    let ctx = BenchContext::new();
+    let ts = ctx.paper_training_set(30, true);
+    let mut model = Qep2Seq::new(&ts, quick_config(16, 88));
+    model.train(&ts);
+
+    let acts = ctx.imdb_test_acts(40);
+    let sample: Vec<_> = acts.iter().take(100).collect();
+    let mut exact = 0usize;
+    let mut one_wrong = 0usize;
+    let mut few_wrong = 0usize; // 2..=9
+    let mut many_wrong = 0usize;
+    for act in &sample {
+        let hyp = model.translate_act_tagged(act, 4);
+        let d = token_edit_distance(&hyp, &act.output_tokens());
+        match d {
+            0 => exact += 1,
+            1 => one_wrong += 1,
+            2..=9 => few_wrong += 1,
+            _ => many_wrong += 1,
+        }
+    }
+    let n = sample.len();
+    let mut t = TableReport::new(
+        "Exp 5: errors in NEURAL-LANTERN output (tagged-level, vs rule ground truth)",
+        &["Category", "Ours", "Paper (of 100)"],
+    );
+    t.row(&["sampled outputs", &n.to_string(), "100"]);
+    t.row(&["exactly correct", &exact.to_string(), "83"]);
+    t.row(&["one wrong token", &one_wrong.to_string(), "13"]);
+    t.row(&["2-9 wrong tokens", &few_wrong.to_string(), "4"]);
+    t.row(&["10+ wrong tokens", &many_wrong.to_string(), "0"]);
+    t.print();
+    assert!(
+        exact + one_wrong > n / 2,
+        "most outputs must be correct or near-correct: {exact}+{one_wrong} of {n}"
+    );
+    println!("shape check: the bulk of outputs are exact or one-token-off  ✓");
+}

@@ -1,0 +1,39 @@
+//! Figure 6(b): training/validation loss with vs without pre-trained
+//! Word2Vec decoder embeddings. Paper shape: pre-trained vectors speed
+//! up convergence and lower the validation loss.
+
+use lantern_bench::{quick_config, BenchContext, TableReport};
+use lantern_embed::{builtin_english_corpus, Embedder, Word2VecTrainer};
+use lantern_neural::Qep2Seq;
+
+fn main() {
+    let ctx = BenchContext::new();
+    let ts = ctx.paper_training_set(20, true);
+    let epochs = 10;
+
+    let mut random = Qep2Seq::new(&ts, quick_config(epochs, 2));
+    let r_random = random.train(&ts);
+
+    let emb = Word2VecTrainer { dim: 16, epochs: 4, ..Default::default() }
+        .train(&builtin_english_corpus(), 5);
+    let mut w2v = Qep2Seq::with_embedding(&ts, quick_config(epochs, 2), &emb);
+    let r_w2v = w2v.train(&ts);
+
+    let mut t = TableReport::new(
+        "Figure 6(b): loss curves, QEP2Seq vs QEP2Seq+Word2Vec",
+        &["Epoch", "Train (QEP2Seq)", "Val (QEP2Seq)", "Train (+W2V)", "Val (+W2V)"],
+    );
+    for (a, b) in r_random.epochs.iter().zip(&r_w2v.epochs) {
+        t.row(&[
+            a.epoch.to_string(),
+            format!("{:.4}", a.train_loss),
+            format!("{:.4}", a.val_loss),
+            format!("{:.4}", b.train_loss),
+            format!("{:.4}", b.val_loss),
+        ]);
+    }
+    t.print();
+    println!(
+        "paper shape: pre-trained word vectors speed up training and reduce validation loss"
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 7(a): validation accuracy across the embedding variants —
+//! random init vs GloVe/Word2Vec (pre-trained and self-trained) vs
+//! BERT/ELMo-style contextual. Paper shape: pre-trained > self-trained
+//! > random; contextual embeddings best.
+
+use lantern_bench::{quick_config, BenchContext, TableReport};
+use lantern_neural::registry::TABLE5_VARIANTS;
+
+fn main() {
+    let ctx = BenchContext::new();
+    let ts = ctx.paper_training_set(20, true);
+    let epochs = 8;
+
+    let mut rows: Vec<(String, Vec<f64>, f64)> = Vec::new();
+    for variant in TABLE5_VARIANTS {
+        let mut model = variant.build(&ts, quick_config(epochs, 3));
+        let report = model.train(&ts);
+        let curve: Vec<f64> = report.epochs.iter().map(|e| e.val_accuracy).collect();
+        let best = curve.iter().cloned().fold(0.0, f64::max);
+        rows.push((variant.name.to_string(), curve, best));
+    }
+
+    let mut t = TableReport::new(
+        "Figure 7(a): validation accuracy per epoch (pre-trained vs self-trained)",
+        &["Method", "Epoch curve (val accuracy)", "Best"],
+    );
+    for (name, curve, best) in &rows {
+        let series = curve.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>().join(" ");
+        t.row(&[name.clone(), series, format!("{best:.3}")]);
+    }
+    t.print();
+    let best_of = |needle: &str| {
+        rows.iter().find(|(n, _, _)| n.contains(needle)).map(|(_, _, b)| *b).unwrap_or(0.0)
+    };
+    println!(
+        "shape: random {:.3} | W2V self {:.3} pre {:.3} | GloVe self {:.3} pre {:.3} | \
+         BERT {:.3} | ELMo {:.3}",
+        best_of("QEP2Seq"),
+        best_of("Word2Vec (self"),
+        best_of("Word2Vec (pre"),
+        best_of("GloVe (self"),
+        best_of("GloVe (pre"),
+        best_of("BERT"),
+        best_of("ELMo"),
+    );
+    println!("paper shape: pre-trained beats self-trained; contextual embeddings strongest");
+}

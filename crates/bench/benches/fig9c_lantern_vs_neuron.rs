@@ -1,0 +1,95 @@
+//! Figure 9(c) / US 5: LANTERN vs NEURON. NEURON's hard-coded
+//! PostgreSQL rules cannot translate SQL Server plans, so none of the
+//! SDSS workloads succeed; 41 of 43 volunteers scored it below 3.
+
+use lantern_bench::{sdss_workload, tpch_workload, BenchContext, TableReport};
+use lantern_core::RuleLantern;
+use lantern_engine::{ExplainFormat, Planner};
+use lantern_neuron::Neuron;
+use lantern_plan::parse_sqlserver_xml_plan;
+use lantern_sql::parse_sql;
+use lantern_study::{q2_quality_survey, Population};
+
+fn main() {
+    let ctx = BenchContext::new();
+    let planner_tpch = Planner::new(&ctx.tpch);
+    let planner_sdss = Planner::new(&ctx.sdss);
+    let rule = RuleLantern::new(&ctx.store);
+    let neuron = Neuron::new();
+
+    // TPC-H (PostgreSQL source): both systems translate.
+    let mut lantern_ok = 0;
+    let mut neuron_ok = 0;
+    let mut lantern_texts = Vec::new();
+    let mut neuron_texts = Vec::new();
+    for sql in tpch_workload() {
+        let plan = planner_tpch.plan(&parse_sql(&sql).unwrap()).unwrap();
+        let tree = plan.tree();
+        if let Ok(n) = rule.narrate(&tree) {
+            lantern_ok += 1;
+            lantern_texts.push(n.text());
+        }
+        if let Ok(s) = neuron.describe_text(&tree) {
+            neuron_ok += 1;
+            neuron_texts.push(s);
+        }
+    }
+    // SDSS via SQL Server showplans: NEURON fails on every plan.
+    let mut lantern_sdss_ok = 0;
+    let mut neuron_sdss_ok = 0;
+    for sql in sdss_workload() {
+        let plan = planner_sdss.plan(&parse_sql(&sql).unwrap()).unwrap();
+        let xml = lantern_engine::explain::explain(&plan, ExplainFormat::SqlServerXml);
+        let mssql_tree = parse_sqlserver_xml_plan(&xml).unwrap();
+        if rule.narrate(&mssql_tree).is_ok() {
+            lantern_sdss_ok += 1;
+        }
+        if neuron.describe(&mssql_tree).is_ok() {
+            neuron_sdss_ok += 1;
+        }
+    }
+
+    let mut t = TableReport::new(
+        "US 5: workload translation success (LANTERN vs NEURON)",
+        &["Workload", "LANTERN", "NEURON", "Paper"],
+    );
+    t.row(&["TPC-H (PostgreSQL)", &format!("{lantern_ok}/22"), &format!("{neuron_ok}/22"), "both translate"]);
+    t.row(&[
+        "SDSS (SQL Server)",
+        &format!("{lantern_sdss_ok}/71"),
+        &format!("{neuron_sdss_ok}/71"),
+        "NEURON: none",
+    ]);
+    t.print();
+    assert_eq!(neuron_sdss_ok, 0, "NEURON must fail on all SQL Server plans");
+    assert_eq!(lantern_sdss_ok, 71, "LANTERN must translate all SQL Server plans");
+
+    // Perceived quality: NEURON's SDSS failure collapses its rating.
+    let neuron_accuracy = (neuron_ok + neuron_sdss_ok) as f64 / 93.0;
+    let lantern_accuracy = (lantern_ok + lantern_sdss_ok) as f64 / 93.0;
+    let mut pop = Population::sample(43, 29);
+    let conditions = vec![
+        ("LANTERN".to_string(), lantern_texts, lantern_accuracy),
+        ("NEURON".to_string(), neuron_texts, neuron_accuracy),
+    ];
+    let report = q2_quality_survey(&mut pop, &conditions);
+    let mut t2 = TableReport::new(
+        "Figure 9(c): perceived quality across both workloads",
+        &["System", "1", "2", "3", "4", "5", "<3 count", "Paper"],
+    );
+    for ((label, hist), paper) in report.rows.iter().zip(["high", "41/43 below 3"]) {
+        let r = hist.row();
+        t2.row(&[
+            label.clone(),
+            r[0].to_string(),
+            r[1].to_string(),
+            r[2].to_string(),
+            r[3].to_string(),
+            r[4].to_string(),
+            (r[0] + r[1]).to_string(),
+            paper.to_string(),
+        ]);
+    }
+    t2.print();
+    println!("shape check: NEURON cannot serve SQL Server learners; LANTERN can  ✓");
+}

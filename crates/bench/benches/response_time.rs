@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks: per-description response time of
+//! RULE-LANTERN, NEURAL-LANTERN and NEURON (Table 6 / US 5 timing
+//! claims), plus the supporting pipeline stages (planning, POOL
+//! execution, plan parsing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lantern_bench::{quick_config, BenchContext};
+use lantern_core::RuleLantern;
+use lantern_engine::{ExplainFormat, Planner};
+use lantern_neural::NeuralLantern;
+use lantern_neuron::Neuron;
+use lantern_plan::parse_pg_json_plan;
+use lantern_sql::parse_sql;
+
+fn benches(c: &mut Criterion) {
+    let ctx = BenchContext::new();
+    let planner = Planner::new(&ctx.tpch);
+    let sql = "SELECT c.c_mktsegment, COUNT(*) FROM customer c, orders o, lineitem l \
+               WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey \
+               GROUP BY c.c_mktsegment ORDER BY c.c_mktsegment";
+    let query = parse_sql(sql).unwrap();
+    let plan = planner.plan(&query).unwrap();
+    let tree = plan.tree();
+    let json = lantern_engine::explain::explain(&plan, ExplainFormat::PgJson);
+    let rule = RuleLantern::new(&ctx.store);
+    let mut config = quick_config(6, 3);
+    config.train.epochs = 6;
+    let (neural, _) = NeuralLantern::train_on(&ctx.tpch, &ctx.store, 20, config, 3);
+    let neuron = Neuron::new();
+
+    c.bench_function("rule_lantern_narrate", |b| {
+        b.iter(|| rule.narrate(std::hint::black_box(&tree)).unwrap())
+    });
+    c.bench_function("neural_lantern_describe", |b| {
+        b.iter(|| neural.describe(std::hint::black_box(&tree)).unwrap())
+    });
+    c.bench_function("neuron_describe", |b| {
+        b.iter(|| neuron.describe(std::hint::black_box(&tree)).unwrap())
+    });
+    c.bench_function("planner_plan_3way_join", |b| {
+        b.iter(|| planner.plan(std::hint::black_box(&query)).unwrap())
+    });
+    c.bench_function("parse_pg_json_plan", |b| {
+        b.iter(|| parse_pg_json_plan(std::hint::black_box(&json)).unwrap())
+    });
+    c.bench_function("pool_compose_statement", |b| {
+        b.iter(|| {
+            lantern_pool::execute(
+                std::hint::black_box("COMPOSE hash, hashjoin FROM pg"),
+                &ctx.store,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = response;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(response);

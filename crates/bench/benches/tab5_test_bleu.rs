@@ -1,0 +1,48 @@
+//! Table 5: test-set BLEU of the seven QEP2Seq variants with beam 4
+//! (trained on TPC-H+SDSS, tested on IMDB). Paper: 51.46 (random) …
+//! 73.73 (BERT); pre-trained beats self-trained for both static
+//! families.
+
+use lantern_bench::{quick_config, BenchContext, TableReport};
+use lantern_neural::registry::TABLE5_VARIANTS;
+
+fn main() {
+    let ctx = BenchContext::new();
+    let ts = ctx.paper_training_set(20, true);
+    let test_acts = ctx.imdb_test_acts(25);
+    println!(
+        "training: {} examples from {} acts; test: {} IMDB acts",
+        ts.examples.len(),
+        ts.act_count,
+        test_acts.len()
+    );
+
+    let paper = [51.46, 68.15, 57.01, 64.01, 54.85, 73.73, 71.67];
+    let mut t = TableReport::new(
+        "Table 5: QEP2Seq test BLEU (beam size 4)",
+        &["Method", "BLEU (ours)", "BLEU (paper)"],
+    );
+    let mut scores = Vec::new();
+    for (variant, paper_bleu) in TABLE5_VARIANTS.iter().zip(paper) {
+        let mut model = variant.build(&ts, quick_config(10, 44));
+        model.train(&ts);
+        let bleu = model.test_bleu(&test_acts, 4);
+        scores.push((variant.name, bleu));
+        t.row(&[variant.name.to_string(), format!("{bleu:.2}"), format!("{paper_bleu:.2}")]);
+    }
+    t.print();
+    let get = |n: &str| scores.iter().find(|(name, _)| name.contains(n)).unwrap().1;
+    println!(
+        "shape: random {:.1}; W2V pre {:.1} vs self {:.1}; GloVe pre {:.1} vs self {:.1}; \
+         BERT {:.1}; ELMo {:.1}",
+        get("QEP2Seq"),
+        get("Word2Vec (pre"),
+        get("Word2Vec (self"),
+        get("GloVe (pre"),
+        get("GloVe (self"),
+        get("BERT"),
+        get("ELMo")
+    );
+    println!("paper shape: every embedding variant should be competitive with random init;");
+    println!("pre-trained generally >= self-trained (narrow self corpus).");
+}

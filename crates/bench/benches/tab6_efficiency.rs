@@ -1,0 +1,64 @@
+//! Table 6: efficiency — total training time, per-epoch time, SQL
+//! generation for 1000 IMDB queries, and average per-plan response
+//! times of NEURAL-LANTERN vs RULE-LANTERN. Absolute numbers differ
+//! from the paper's GPU server; the *ordering* (rule ≪ neural ≪ 1s)
+//! must hold.
+
+use lantern_bench::{quick_config, BenchContext, TableReport};
+use lantern_core::RuleLantern;
+use lantern_engine::{Planner, QueryGenConfig, RandomQueryGen};
+use lantern_neural::{NeuralLantern, Qep2Seq};
+use std::time::Instant;
+
+fn main() {
+    let ctx = BenchContext::new();
+    let ts = ctx.paper_training_set(20, true);
+
+    // Training timings.
+    let start = Instant::now();
+    let mut model = Qep2Seq::new(&ts, quick_config(8, 55));
+    let report = model.train(&ts);
+    let train_total = start.elapsed().as_secs_f64();
+    let per_epoch = train_total / report.epochs.len().max(1) as f64;
+
+    // SQL generation: 1000 IMDB queries (paper: 0.77 s).
+    let start = Instant::now();
+    let mut gen = RandomQueryGen::new(&ctx.imdb, 5, QueryGenConfig::default());
+    let queries = gen.generate(1000);
+    let sqlgen = start.elapsed().as_secs_f64();
+    assert_eq!(queries.len(), 1000);
+
+    // Response times over 30 plans.
+    let planner = Planner::new(&ctx.imdb);
+    let rule = RuleLantern::new(&ctx.store);
+    let neural = NeuralLantern::from_model(model, ctx.store.clone());
+    let trees: Vec<_> = queries
+        .iter()
+        .take(30)
+        .filter_map(|q| planner.plan(q).ok().map(|p| p.tree()))
+        .collect();
+    let start = Instant::now();
+    for tree in &trees {
+        let _ = rule.narrate(tree).expect("rule narrates");
+    }
+    let rule_avg = start.elapsed().as_secs_f64() / trees.len() as f64;
+    let start = Instant::now();
+    for tree in &trees {
+        let _ = neural.describe(tree).expect("neural translates");
+    }
+    let neural_avg = start.elapsed().as_secs_f64() / trees.len() as f64;
+
+    let mut t = TableReport::new(
+        "Table 6: efficiency (seconds)",
+        &["Step", "Ours", "Paper"],
+    );
+    t.row(&["Training (total)", &format!("{train_total:.2}"), "825.60"]);
+    t.row(&["Training per epoch", &format!("{per_epoch:.2}"), "16.51 [18.22]"]);
+    t.row(&["SQL generation (1000 IMDB queries)", &format!("{sqlgen:.3}"), "0.77"]);
+    t.row(&["NEURAL-LANTERN avg response", &format!("{neural_avg:.4}"), "0.216"]);
+    t.row(&["RULE-LANTERN avg response", &format!("{rule_avg:.5}"), "0.015"]);
+    t.print();
+    assert!(rule_avg < neural_avg, "rule must be faster than neural");
+    assert!(neural_avg < 1.0, "neural response must stay under a second");
+    println!("shape check: rule << neural << 1 s per description  ✓");
+}

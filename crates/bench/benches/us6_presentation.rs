@@ -1,0 +1,20 @@
+//! US 6: document-style text vs visual-tree-annotated NL presentation.
+//! Paper: 38 of 43 first-time learners chose the document style (linear
+//! textbook-like reading beats per-node click-through integration).
+
+use lantern_bench::TableReport;
+use lantern_study::{us6_presentation_survey, Population};
+
+fn main() {
+    let mut pop = Population::sample(43, 101);
+    let (doc, tree) = us6_presentation_survey(&mut pop);
+    let mut t = TableReport::new(
+        "US 6: preferred NL presentation (43 learners)",
+        &["Presentation", "Votes", "Paper"],
+    );
+    t.row(&["Document-style text", &doc.to_string(), "38"]);
+    t.row(&["Visual tree + per-node NL", &tree.to_string(), "5"]);
+    t.print();
+    assert!(doc > tree * 2, "document style must dominate: {doc} vs {tree}");
+    println!("shape check: document-style narration strongly preferred  ✓");
+}

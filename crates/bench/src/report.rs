@@ -1,0 +1,104 @@
+//! Fixed-width table printing for the benchmark harnesses — every
+//! figure/table bench prints the same rows/series the paper reports
+//! through this type.
+
+/// A printable table.
+#[derive(Debug, Clone)]
+pub struct TableReport {
+    /// Title, e.g. `Table 4: Diversity among the training samples`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableReport {
+    /// New empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        TableReport {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row<S: ToString>(&mut self, cells: &[S]) {
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str("\n== ");
+        out.push_str(&self.title);
+        out.push_str(" ==\n");
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(c);
+                for _ in c.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        for _ in 0..total {
+            out.push('-');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TableReport::new("Demo", &["Method", "Score"]);
+        t.row(&["QEP2Seq+BERT", "73.73"]);
+        t.row(&["QEP2Seq", "51.46"]);
+        let r = t.render();
+        assert!(r.contains("== Demo =="));
+        assert!(r.contains("QEP2Seq+BERT  73.73"));
+        let lines: Vec<&str> = r.lines().collect();
+        // Header and separator present.
+        assert!(lines.iter().any(|l| l.starts_with("Method")));
+        assert!(lines.iter().any(|l| l.starts_with("---")));
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = TableReport::new("R", &["A"]);
+        t.row(&["1", "2", "3"]);
+        assert!(t.render().contains("1  2  3"));
+    }
+}

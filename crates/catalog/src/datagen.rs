@@ -1,0 +1,254 @@
+//! Deterministic synthetic data generation.
+//!
+//! Given a [`Catalog`] and a scale factor, produce in-memory tables
+//! whose value distributions (uniform, Zipf-skewed FKs, categorical
+//! dictionaries, dates, short text) give the cost-based planner real
+//! selectivity differences to react to — the property the paper's plan
+//! diversity depends on.
+
+use crate::schema::{Catalog, ColumnType, Distribution, Table};
+use crate::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fixed wordlist for pseudo-text columns; includes 'July' so the
+/// paper's Example 3.1 predicate (`title LIKE '%July%'`) selects rows.
+const WORDS: &[&str] = &[
+    "analysis", "april", "blue", "careful", "data", "deep", "eastern", "final", "furious",
+    "golden", "green", "July", "june", "large", "learning", "march", "model", "northern",
+    "october", "pale", "query", "quick", "red", "silent", "silver", "sleepy", "small",
+    "southern", "special", "spring", "storage", "summer", "system", "theory", "winter",
+];
+
+/// Column-major data for one generated table.
+#[derive(Debug, Clone)]
+pub struct TableData {
+    /// Table name this data belongs to.
+    pub name: String,
+    /// `columns[i][row]` is the value of column `i` at `row`.
+    pub columns: Vec<Vec<Value>>,
+    /// Number of rows.
+    pub rows: usize,
+}
+
+impl TableData {
+    /// Row-wise accessor.
+    pub fn value(&self, column: usize, row: usize) -> &Value {
+        &self.columns[column][row]
+    }
+
+    /// Materialize one row as a vector of values.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c[row].clone()).collect()
+    }
+}
+
+/// Generate data for every table in `catalog` at `scale` (fraction of
+/// base cardinality, min 1 row), deterministically from `seed`.
+///
+/// Foreign-key columns are filled with Zipf-skewed references into the
+/// parent's serial domain, so joins have realistic skewed fan-out.
+pub fn generate(catalog: &Catalog, scale: f64, seed: u64) -> Vec<TableData> {
+    catalog
+        .tables()
+        .iter()
+        .map(|t| generate_table(catalog, t, scale, seed))
+        .collect()
+}
+
+/// Generate a single table's data.
+pub fn generate_table(catalog: &Catalog, table: &Table, scale: f64, seed: u64) -> TableData {
+    let rows = ((table.base_rows as f64 * scale).round() as usize).max(1);
+    let mut rng = StdRng::seed_from_u64(seed ^ stable_hash(&table.name));
+    let mut columns = Vec::with_capacity(table.columns.len());
+    for (ci, col) in table.columns.iter().enumerate() {
+        let mut data = Vec::with_capacity(rows);
+        // FK columns need the parent's row count at the same scale.
+        let fk_parent_rows = if matches!(col.distribution, Distribution::ForeignKey) {
+            catalog
+                .foreign_keys()
+                .iter()
+                .find(|fk| fk.table == table.name && fk.column == col.name)
+                .and_then(|fk| catalog.table(&fk.parent_table))
+                .map(|p| ((p.base_rows as f64 * scale).round() as usize).max(1))
+                .unwrap_or(rows)
+        } else {
+            0
+        };
+        for row in 0..rows {
+            if col.null_fraction > 0.0 && rng.gen::<f64>() < col.null_fraction {
+                data.push(Value::Null);
+                continue;
+            }
+            let v = match &col.distribution {
+                Distribution::Serial => Value::Int(row as i64),
+                Distribution::UniformInt(lo, hi) => Value::Int(rng.gen_range(*lo..=*hi)),
+                Distribution::ZipfInt(n, s) => Value::Int(zipf(&mut rng, *n, *s) as i64),
+                Distribution::UniformFloat(lo, hi) => {
+                    Value::Float((rng.gen_range(*lo..*hi) * 100.0).round() / 100.0)
+                }
+                Distribution::DateRange(lo, hi) => Value::Date(rng.gen_range(*lo..=*hi)),
+                Distribution::Categorical(dict) => {
+                    Value::Str(dict[rng.gen_range(0..dict.len())].to_string())
+                }
+                Distribution::Words(n) => {
+                    let mut s = String::new();
+                    for w in 0..*n {
+                        if w > 0 {
+                            s.push(' ');
+                        }
+                        s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+                    }
+                    Value::Str(s)
+                }
+                Distribution::ForeignKey => {
+                    Value::Int(zipf(&mut rng, fk_parent_rows as u64, 1.1) as i64)
+                }
+            };
+            debug_assert!(type_matches(&v, col.ty), "column {} type mismatch", ci);
+            data.push(v);
+        }
+        columns.push(data);
+    }
+    TableData { name: table.name.clone(), columns, rows }
+}
+
+fn type_matches(v: &Value, ty: ColumnType) -> bool {
+    matches!(
+        (v, ty),
+        (Value::Null, _)
+            | (Value::Int(_), ColumnType::Int)
+            | (Value::Float(_), ColumnType::Float)
+            | (Value::Str(_), ColumnType::Text)
+            | (Value::Date(_), ColumnType::Date)
+            | (Value::Bool(_), ColumnType::Bool)
+    )
+}
+
+/// Approximate Zipf sampler over `[0, n)` with exponent `s` using
+/// inverse-CDF on the continuous approximation (fast, adequate for
+/// workload generation).
+fn zipf(rng: &mut StdRng, n: u64, s: f64) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    if (s - 1.0).abs() < 1e-9 {
+        // H(x) ~ ln(x); invert.
+        let h = (n as f64).ln();
+        return ((u * h).exp() - 1.0).min(n as f64 - 1.0) as u64;
+    }
+    let exp = 1.0 - s;
+    let h = ((n as f64).powf(exp) - 1.0) / exp;
+    let x = (1.0 + u * h * exp).powf(1.0 / exp);
+    (x - 1.0).clamp(0.0, n as f64 - 1.0) as u64
+}
+
+fn stable_hash(s: &str) -> u64 {
+    // FNV-1a, stable across runs/platforms.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemas::{dblp_catalog, tpch_catalog};
+
+    #[test]
+    fn deterministic_across_calls() {
+        let cat = dblp_catalog();
+        let a = generate(&cat, 0.0005, 7);
+        let b = generate(&cat, 0.0005, 7);
+        assert_eq!(a.len(), b.len());
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta.rows, tb.rows);
+            assert_eq!(ta.columns, tb.columns);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cat = dblp_catalog();
+        let a = generate(&cat, 0.0005, 1);
+        let b = generate(&cat, 0.0005, 2);
+        // Serial PKs are equal but at least one non-serial column differs.
+        let any_diff = a
+            .iter()
+            .zip(&b)
+            .any(|(ta, tb)| ta.columns.iter().zip(&tb.columns).any(|(ca, cb)| ca != cb));
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn scale_controls_row_count() {
+        let cat = tpch_catalog();
+        let data = generate(&cat, 0.0001, 3);
+        let orders = data.iter().find(|t| t.name == "orders").unwrap();
+        assert_eq!(orders.rows, 150); // 1.5M * 0.0001
+    }
+
+    #[test]
+    fn serial_columns_are_sequential() {
+        let cat = dblp_catalog();
+        let data = generate(&cat, 0.0005, 3);
+        let publication = data.iter().find(|t| t.name == "publication").unwrap();
+        for (i, v) in publication.columns[0].iter().enumerate() {
+            assert_eq!(*v, Value::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn fk_values_stay_in_parent_domain() {
+        let cat = dblp_catalog();
+        let data = generate(&cat, 0.0005, 3);
+        let publication_rows = data.iter().find(|t| t.name == "publication").unwrap().rows;
+        let inproc = data.iter().find(|t| t.name == "inproceedings").unwrap();
+        let fk_col = 1; // proceeding_key
+        for v in &inproc.columns[fk_col] {
+            if let Value::Int(k) = v {
+                assert!(*k >= 0 && (*k as usize) < publication_rows, "fk {k} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn null_fraction_respected_roughly() {
+        let cat = crate::schemas::imdb_catalog();
+        let data = generate(&cat, 0.001, 5);
+        let movies = data.iter().find(|t| t.name == "movies").unwrap();
+        let rank_col = 3; // rank_score, null_fraction 0.2
+        let nulls = movies.columns[rank_col].iter().filter(|v| v.is_null()).count();
+        let frac = nulls as f64 / movies.rows as f64;
+        assert!((0.1..0.3).contains(&frac), "null fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_keys() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            let k = zipf(&mut rng, 10, 1.2) as usize;
+            counts[k] += 1;
+        }
+        assert!(counts[0] > counts[9] * 2, "{counts:?}");
+    }
+
+    #[test]
+    fn wordlist_contains_july_for_example_3_1() {
+        assert!(WORDS.contains(&"July"));
+    }
+
+    #[test]
+    fn min_one_row_even_at_tiny_scale() {
+        let cat = tpch_catalog();
+        let data = generate(&cat, 1e-9, 1);
+        for t in &data {
+            assert!(t.rows >= 1);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # lantern-catalog
+//!
+//! Schema and data substrate for the LANTERN reproduction.
+//!
+//! The paper evaluates on TPC-H, SDSS, IMDB, and DBLP. We cannot ship
+//! those datasets, so this crate provides:
+//!
+//! * a relational schema model with foreign-key relationships
+//!   ([`Catalog`], [`Table`], [`Column`]),
+//! * faithful schema definitions for the four benchmark domains
+//!   ([`tpch_catalog`], [`sdss_catalog`], [`imdb_catalog`],
+//!   [`dblp_catalog`]),
+//! * a deterministic synthetic data generator ([`datagen`]) producing
+//!   value distributions (skew, correlated FK fan-out, low-cardinality
+//!   categorical columns) that drive realistic plan choices, and
+//! * per-column statistics ([`stats`]) consumed by the cost-based
+//!   planner in `lantern-engine`.
+
+pub mod datagen;
+pub mod schema;
+pub mod schemas;
+pub mod stats;
+pub mod value;
+
+pub use datagen::TableData;
+pub use schema::{Catalog, Column, ColumnType, ForeignKey, Table};
+pub use schemas::{dblp_catalog, imdb_catalog, sdss_catalog, tpch_catalog};
+pub use stats::{ColumnStats, TableStats};
+pub use value::Value;

@@ -1,0 +1,411 @@
+//! The four benchmark schemas the paper evaluates on.
+//!
+//! Column names, key relationships, and cardinality ratios follow the
+//! published benchmark definitions (TPC-H v2.17; SDSS SkyServer's
+//! PhotoObj/SpecObj core; the relational IMDB dump; the DBLP schema of
+//! the paper's running Example 3.1). Row counts are the benchmark base
+//! cardinalities, scaled down by the data generator's scale factor.
+
+use crate::schema::{Catalog, Column, ColumnType, Distribution, Table};
+
+use ColumnType as T;
+use Distribution as D;
+
+const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const ORDER_STATUS: &[&str] = &["F", "O", "P"];
+const ORDER_PRIO: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIP_MODES: &[&str] = &["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+const LINE_STATUS: &[&str] = &["F", "O"];
+const RETURN_FLAGS: &[&str] = &["A", "N", "R"];
+const NATIONS: &[&str] = &[
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "CHINA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO",
+    "MOZAMBIQUE", "PERU", "ROMANIA", "RUSSIA", "SAUDI ARABIA", "UNITED KINGDOM",
+    "UNITED STATES", "VIETNAM",
+];
+const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const BRANDS: &[&str] = &["Brand#11", "Brand#12", "Brand#23", "Brand#34", "Brand#45", "Brand#55"];
+const CONTAINERS: &[&str] = &["JUMBO PKG", "LG CASE", "MED BOX", "SM BOX", "SM PACK", "WRAP BAG"];
+const PART_TYPES: &[&str] = &[
+    "ECONOMY ANODIZED STEEL", "LARGE BRUSHED BRASS", "MEDIUM POLISHED COPPER",
+    "PROMO BURNISHED NICKEL", "SMALL PLATED TIN", "STANDARD POLISHED BRASS",
+];
+
+/// The TPC-H schema (8 tables) with base cardinalities at SF 1.
+pub fn tpch_catalog() -> Catalog {
+    let mut c = Catalog::new("tpch");
+    c.add_table(Table {
+        name: "region".into(),
+        columns: vec![
+            Column::new("r_regionkey", T::Int, D::Serial).indexed(),
+            Column::new("r_name", T::Text, D::Categorical(REGIONS)),
+            Column::new("r_comment", T::Text, D::Words(6)),
+        ],
+        base_rows: 5,
+        primary_key: Some(0),
+    });
+    c.add_table(Table {
+        name: "nation".into(),
+        columns: vec![
+            Column::new("n_nationkey", T::Int, D::Serial).indexed(),
+            Column::new("n_name", T::Text, D::Categorical(NATIONS)),
+            Column::new("n_regionkey", T::Int, D::ForeignKey),
+            Column::new("n_comment", T::Text, D::Words(6)),
+        ],
+        base_rows: 25,
+        primary_key: Some(0),
+    });
+    c.add_table(Table {
+        name: "supplier".into(),
+        columns: vec![
+            Column::new("s_suppkey", T::Int, D::Serial).indexed(),
+            Column::new("s_name", T::Text, D::Words(2)),
+            Column::new("s_address", T::Text, D::Words(3)),
+            Column::new("s_nationkey", T::Int, D::ForeignKey),
+            Column::new("s_phone", T::Text, D::Words(1)),
+            Column::new("s_acctbal", T::Float, D::UniformFloat(-999.99, 9999.99)),
+            Column::new("s_comment", T::Text, D::Words(8)),
+        ],
+        base_rows: 10_000,
+        primary_key: Some(0),
+    });
+    c.add_table(Table {
+        name: "part".into(),
+        columns: vec![
+            Column::new("p_partkey", T::Int, D::Serial).indexed(),
+            Column::new("p_name", T::Text, D::Words(4)),
+            Column::new("p_mfgr", T::Text, D::Categorical(BRANDS)),
+            Column::new("p_brand", T::Text, D::Categorical(BRANDS)).indexed(),
+            Column::new("p_type", T::Text, D::Categorical(PART_TYPES)),
+            Column::new("p_size", T::Int, D::UniformInt(1, 50)),
+            Column::new("p_container", T::Text, D::Categorical(CONTAINERS)),
+            Column::new("p_retailprice", T::Float, D::UniformFloat(900.0, 2100.0)),
+            Column::new("p_comment", T::Text, D::Words(5)),
+        ],
+        base_rows: 200_000,
+        primary_key: Some(0),
+    });
+    c.add_table(Table {
+        name: "partsupp".into(),
+        columns: vec![
+            Column::new("ps_partkey", T::Int, D::ForeignKey).indexed(),
+            Column::new("ps_suppkey", T::Int, D::ForeignKey),
+            Column::new("ps_availqty", T::Int, D::UniformInt(1, 9999)),
+            Column::new("ps_supplycost", T::Float, D::UniformFloat(1.0, 1000.0)),
+            Column::new("ps_comment", T::Text, D::Words(10)),
+        ],
+        base_rows: 800_000,
+        primary_key: None,
+    });
+    c.add_table(Table {
+        name: "customer".into(),
+        columns: vec![
+            Column::new("c_custkey", T::Int, D::Serial).indexed(),
+            Column::new("c_name", T::Text, D::Words(2)),
+            Column::new("c_address", T::Text, D::Words(3)),
+            Column::new("c_nationkey", T::Int, D::ForeignKey),
+            Column::new("c_phone", T::Text, D::Words(1)),
+            Column::new("c_acctbal", T::Float, D::UniformFloat(-999.99, 9999.99)),
+            Column::new("c_mktsegment", T::Text, D::Categorical(SEGMENTS)).indexed(),
+            Column::new("c_comment", T::Text, D::Words(8)),
+        ],
+        base_rows: 150_000,
+        primary_key: Some(0),
+    });
+    c.add_table(Table {
+        name: "orders".into(),
+        columns: vec![
+            Column::new("o_orderkey", T::Int, D::Serial).indexed(),
+            Column::new("o_custkey", T::Int, D::ForeignKey).indexed(),
+            Column::new("o_orderstatus", T::Text, D::Categorical(ORDER_STATUS)),
+            Column::new("o_totalprice", T::Float, D::UniformFloat(850.0, 560000.0)),
+            Column::new("o_orderdate", T::Date, D::DateRange(0, 2400)).indexed(),
+            Column::new("o_orderpriority", T::Text, D::Categorical(ORDER_PRIO)),
+            Column::new("o_clerk", T::Text, D::Words(1)),
+            Column::new("o_shippriority", T::Int, D::UniformInt(0, 0)),
+            Column::new("o_comment", T::Text, D::Words(8)),
+        ],
+        base_rows: 1_500_000,
+        primary_key: Some(0),
+    });
+    c.add_table(Table {
+        name: "lineitem".into(),
+        columns: vec![
+            Column::new("l_orderkey", T::Int, D::ForeignKey).indexed(),
+            Column::new("l_partkey", T::Int, D::ForeignKey),
+            Column::new("l_suppkey", T::Int, D::ForeignKey),
+            Column::new("l_linenumber", T::Int, D::UniformInt(1, 7)),
+            Column::new("l_quantity", T::Int, D::UniformInt(1, 50)),
+            Column::new("l_extendedprice", T::Float, D::UniformFloat(900.0, 105000.0)),
+            Column::new("l_discount", T::Float, D::UniformFloat(0.0, 0.1)),
+            Column::new("l_tax", T::Float, D::UniformFloat(0.0, 0.08)),
+            Column::new("l_returnflag", T::Text, D::Categorical(RETURN_FLAGS)),
+            Column::new("l_linestatus", T::Text, D::Categorical(LINE_STATUS)),
+            Column::new("l_shipdate", T::Date, D::DateRange(0, 2500)).indexed(),
+            Column::new("l_commitdate", T::Date, D::DateRange(0, 2500)),
+            Column::new("l_receiptdate", T::Date, D::DateRange(0, 2550)),
+            Column::new("l_shipinstruct", T::Text, D::Words(2)),
+            Column::new("l_shipmode", T::Text, D::Categorical(SHIP_MODES)),
+            Column::new("l_comment", T::Text, D::Words(4)),
+        ],
+        base_rows: 6_000_000,
+        primary_key: None,
+    });
+    c.add_foreign_key("nation", "n_regionkey", "region", "r_regionkey");
+    c.add_foreign_key("supplier", "s_nationkey", "nation", "n_nationkey");
+    c.add_foreign_key("customer", "c_nationkey", "nation", "n_nationkey");
+    c.add_foreign_key("partsupp", "ps_partkey", "part", "p_partkey");
+    c.add_foreign_key("partsupp", "ps_suppkey", "supplier", "s_suppkey");
+    c.add_foreign_key("orders", "o_custkey", "customer", "c_custkey");
+    c.add_foreign_key("lineitem", "l_orderkey", "orders", "o_orderkey");
+    c.add_foreign_key("lineitem", "l_partkey", "part", "p_partkey");
+    c.add_foreign_key("lineitem", "l_suppkey", "supplier", "s_suppkey");
+    c
+}
+
+const SDSS_CLASS: &[&str] = &["GALAXY", "QSO", "STAR"];
+const SDSS_SURVEY: &[&str] = &["boss", "eboss", "segue1", "segue2", "sdss"];
+
+/// The SDSS SkyServer core schema (photometric + spectroscopic
+/// objects), mirroring the DR16 tables the paper's 71 predefined
+/// workload queries touch.
+pub fn sdss_catalog() -> Catalog {
+    let mut c = Catalog::new("sdss");
+    c.add_table(Table {
+        name: "photoobj".into(),
+        columns: vec![
+            Column::new("objid", T::Int, D::Serial).indexed(),
+            Column::new("ra", T::Float, D::UniformFloat(0.0, 360.0)).indexed(),
+            Column::new("dec", T::Float, D::UniformFloat(-90.0, 90.0)),
+            Column::new("u", T::Float, D::UniformFloat(12.0, 26.0)),
+            Column::new("g", T::Float, D::UniformFloat(12.0, 26.0)),
+            Column::new("r", T::Float, D::UniformFloat(12.0, 26.0)).indexed(),
+            Column::new("i", T::Float, D::UniformFloat(12.0, 26.0)),
+            Column::new("z", T::Float, D::UniformFloat(12.0, 26.0)),
+            Column::new("run", T::Int, D::UniformInt(94, 8162)),
+            Column::new("camcol", T::Int, D::UniformInt(1, 6)),
+            Column::new("field", T::Int, D::UniformInt(11, 988)),
+            Column::new("type", T::Int, D::UniformInt(0, 9)),
+            Column::new("clean", T::Int, D::UniformInt(0, 1)),
+        ],
+        base_rows: 2_000_000,
+        primary_key: Some(0),
+    });
+    c.add_table(Table {
+        name: "specobj".into(),
+        columns: vec![
+            Column::new("specobjid", T::Int, D::Serial).indexed(),
+            Column::new("bestobjid", T::Int, D::ForeignKey).indexed(),
+            Column::new("class", T::Text, D::Categorical(SDSS_CLASS)).indexed(),
+            Column::new("subclass", T::Text, D::Words(1)).with_nulls(0.3),
+            Column::new("survey", T::Text, D::Categorical(SDSS_SURVEY)),
+            Column::new("z_redshift", T::Float, D::UniformFloat(-0.01, 7.0)),
+            Column::new("zerr", T::Float, D::UniformFloat(0.0, 0.01)),
+            Column::new("plate", T::Int, D::UniformInt(266, 12547)),
+            Column::new("mjd", T::Int, D::UniformInt(51578, 58543)),
+            Column::new("fiberid", T::Int, D::UniformInt(1, 1000)),
+        ],
+        base_rows: 500_000,
+        primary_key: Some(0),
+    });
+    c.add_table(Table {
+        name: "galaxy".into(),
+        columns: vec![
+            Column::new("gal_objid", T::Int, D::ForeignKey).indexed(),
+            Column::new("petror90_r", T::Float, D::UniformFloat(0.0, 60.0)),
+            Column::new("petromag_r", T::Float, D::UniformFloat(10.0, 25.0)),
+            Column::new("expab_r", T::Float, D::UniformFloat(0.05, 1.0)),
+        ],
+        base_rows: 900_000,
+        primary_key: None,
+    });
+    c.add_table(Table {
+        name: "photoz".into(),
+        columns: vec![
+            Column::new("pz_objid", T::Int, D::ForeignKey).indexed(),
+            Column::new("photoz", T::Float, D::UniformFloat(0.0, 1.5)),
+            Column::new("photozerr", T::Float, D::UniformFloat(0.0, 0.3)),
+        ],
+        base_rows: 1_500_000,
+        primary_key: None,
+    });
+    c.add_foreign_key("specobj", "bestobjid", "photoobj", "objid");
+    c.add_foreign_key("galaxy", "gal_objid", "photoobj", "objid");
+    c.add_foreign_key("photoz", "pz_objid", "photoobj", "objid");
+    c
+}
+
+const GENRES: &[&str] = &[
+    "Action", "Adventure", "Animation", "Comedy", "Crime", "Documentary", "Drama",
+    "Family", "Fantasy", "Horror", "Mystery", "Romance", "Sci-Fi", "Thriller", "War",
+];
+const ROLES: &[&str] = &["actor", "actress", "cinematographer", "composer", "director", "editor", "producer", "writer"];
+
+/// The relational IMDB schema (the paper's cross-domain test set:
+/// 1000 generated queries -> 5232 acts).
+pub fn imdb_catalog() -> Catalog {
+    let mut c = Catalog::new("imdb");
+    c.add_table(Table {
+        name: "movies".into(),
+        columns: vec![
+            Column::new("movie_id", T::Int, D::Serial).indexed(),
+            Column::new("title", T::Text, D::Words(3)),
+            Column::new("year", T::Int, D::UniformInt(1930, 2021)).indexed(),
+            Column::new("rank_score", T::Float, D::UniformFloat(1.0, 10.0)).with_nulls(0.2),
+        ],
+        base_rows: 390_000,
+        primary_key: Some(0),
+    });
+    c.add_table(Table {
+        name: "actors".into(),
+        columns: vec![
+            Column::new("actor_id", T::Int, D::Serial).indexed(),
+            Column::new("first_name", T::Text, D::Words(1)),
+            Column::new("last_name", T::Text, D::Words(1)),
+            Column::new("gender", T::Text, D::Categorical(&["F", "M"])),
+        ],
+        base_rows: 820_000,
+        primary_key: Some(0),
+    });
+    c.add_table(Table {
+        name: "roles".into(),
+        columns: vec![
+            Column::new("role_actor_id", T::Int, D::ForeignKey).indexed(),
+            Column::new("role_movie_id", T::Int, D::ForeignKey).indexed(),
+            Column::new("role_name", T::Text, D::Categorical(ROLES)),
+        ],
+        base_rows: 3_400_000,
+        primary_key: None,
+    });
+    c.add_table(Table {
+        name: "movies_genres".into(),
+        columns: vec![
+            Column::new("mg_movie_id", T::Int, D::ForeignKey).indexed(),
+            Column::new("genre", T::Text, D::Categorical(GENRES)).indexed(),
+        ],
+        base_rows: 400_000,
+        primary_key: None,
+    });
+    c.add_table(Table {
+        name: "directors".into(),
+        columns: vec![
+            Column::new("director_id", T::Int, D::Serial).indexed(),
+            Column::new("d_first_name", T::Text, D::Words(1)),
+            Column::new("d_last_name", T::Text, D::Words(1)),
+        ],
+        base_rows: 87_000,
+        primary_key: Some(0),
+    });
+    c.add_table(Table {
+        name: "movies_directors".into(),
+        columns: vec![
+            Column::new("md_director_id", T::Int, D::ForeignKey).indexed(),
+            Column::new("md_movie_id", T::Int, D::ForeignKey).indexed(),
+        ],
+        base_rows: 370_000,
+        primary_key: None,
+    });
+    c.add_foreign_key("roles", "role_actor_id", "actors", "actor_id");
+    c.add_foreign_key("roles", "role_movie_id", "movies", "movie_id");
+    c.add_foreign_key("movies_genres", "mg_movie_id", "movies", "movie_id");
+    c.add_foreign_key("movies_directors", "md_director_id", "directors", "director_id");
+    c.add_foreign_key("movies_directors", "md_movie_id", "movies", "movie_id");
+    c
+}
+
+/// The DBLP schema of the paper's running Example 3.1 / Example 5.1
+/// (`inproceedings` joined with `publication`).
+pub fn dblp_catalog() -> Catalog {
+    let mut c = Catalog::new("dblp");
+    c.add_table(Table {
+        name: "publication".into(),
+        columns: vec![
+            Column::new("pub_key", T::Int, D::Serial).indexed(),
+            Column::new("title", T::Text, D::Words(5)),
+            Column::new("pub_year", T::Int, D::UniformInt(1970, 2021)),
+            Column::new("pages", T::Text, D::Words(1)).with_nulls(0.15),
+        ],
+        base_rows: 5_000_000,
+        primary_key: Some(0),
+    });
+    c.add_table(Table {
+        name: "inproceedings".into(),
+        columns: vec![
+            Column::new("inproc_id", T::Int, D::Serial).indexed(),
+            Column::new("proceeding_key", T::Int, D::ForeignKey).indexed(),
+            Column::new("booktitle", T::Text, D::Words(2)),
+            Column::new("inproc_year", T::Int, D::UniformInt(1970, 2021)),
+        ],
+        base_rows: 3_000_000,
+        primary_key: Some(0),
+    });
+    c.add_foreign_key("inproceedings", "proceeding_key", "publication", "pub_key");
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpch_has_eight_tables_and_nine_fks() {
+        let c = tpch_catalog();
+        assert_eq!(c.tables().len(), 8);
+        assert_eq!(c.foreign_keys().len(), 9);
+    }
+
+    #[test]
+    fn tpch_lineitem_is_largest() {
+        let c = tpch_catalog();
+        let max = c.tables().iter().max_by_key(|t| t.base_rows).unwrap();
+        assert_eq!(max.name, "lineitem");
+    }
+
+    #[test]
+    fn all_catalogs_have_valid_fk_endpoints() {
+        for cat in [tpch_catalog(), sdss_catalog(), imdb_catalog(), dblp_catalog()] {
+            for fk in cat.foreign_keys() {
+                let t = cat.table(&fk.table).expect("fk child table");
+                assert!(t.column(&fk.column).is_some(), "{}.{}", fk.table, fk.column);
+                let p = cat.table(&fk.parent_table).expect("fk parent table");
+                assert!(p.column(&fk.parent_column).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn dblp_matches_paper_example() {
+        let c = dblp_catalog();
+        assert!(c.table("inproceedings").unwrap().column("proceeding_key").is_some());
+        assert!(c.table("publication").unwrap().column("title").is_some());
+    }
+
+    #[test]
+    fn column_names_are_unique_within_each_catalog() {
+        // Unqualified-name resolution requires unambiguous columns.
+        for cat in [tpch_catalog(), sdss_catalog(), imdb_catalog(), dblp_catalog()] {
+            let mut seen = std::collections::HashSet::new();
+            for t in cat.tables() {
+                for col in &t.columns {
+                    assert!(
+                        seen.insert(col.name.clone()),
+                        "duplicate column name {} in catalog {}",
+                        col.name,
+                        cat.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_columns_exist_in_every_catalog() {
+        for cat in [tpch_catalog(), sdss_catalog(), imdb_catalog(), dblp_catalog()] {
+            let any_indexed = cat
+                .tables()
+                .iter()
+                .any(|t| t.columns.iter().any(|c| c.indexed));
+            assert!(any_indexed, "catalog {} has no indexes", cat.name);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Table and column statistics for cost-based planning: row counts,
+//! distinct-value counts, min/max, most-common values, and equi-depth
+//! histograms — the same inputs a PostgreSQL-style optimizer consumes.
+
+use crate::datagen::TableData;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub n_distinct: usize,
+    /// Fraction of NULL values.
+    pub null_fraction: f64,
+    /// Minimum non-null value.
+    pub min: Option<Value>,
+    /// Maximum non-null value.
+    pub max: Option<Value>,
+    /// Up to `k` most common values with their frequencies (fractions).
+    pub most_common: Vec<(Value, f64)>,
+    /// Equi-depth histogram bounds (ascending) over non-null values.
+    pub histogram: Vec<Value>,
+}
+
+impl ColumnStats {
+    /// Estimate selectivity of `column = value`.
+    pub fn eq_selectivity(&self, value: &Value) -> f64 {
+        if value.is_null() {
+            return 0.0;
+        }
+        for (mcv, freq) in &self.most_common {
+            if mcv.sql_eq(value) {
+                return *freq;
+            }
+        }
+        if self.n_distinct == 0 {
+            return 0.0;
+        }
+        // Residual uniformity assumption over the non-MCV values.
+        let mcv_mass: f64 = self.most_common.iter().map(|(_, f)| f).sum();
+        let residual_distinct = self.n_distinct.saturating_sub(self.most_common.len()).max(1);
+        ((1.0 - self.null_fraction - mcv_mass) / residual_distinct as f64).max(1e-9)
+    }
+
+    /// Estimate selectivity of `column < value` (or `<=`, close
+    /// enough for costing) from the histogram.
+    pub fn lt_selectivity(&self, value: &Value) -> f64 {
+        let (Some(min), Some(max)) = (&self.min, &self.max) else {
+            return 0.3;
+        };
+        if value.total_cmp(min).is_le() {
+            return 0.0;
+        }
+        if value.total_cmp(max).is_gt() {
+            return 1.0 - self.null_fraction;
+        }
+        if self.histogram.len() >= 2 {
+            // `histogram` holds bucket *bounds*; the fraction below a
+            // value is (bounds strictly below - 1) / (bucket count).
+            let below = self
+                .histogram
+                .iter()
+                .filter(|b| b.total_cmp(value).is_lt())
+                .count();
+            let buckets = (self.histogram.len() - 1) as f64;
+            return ((below.saturating_sub(1)) as f64 / buckets).clamp(0.0, 1.0);
+        }
+        // Linear interpolation for numerics without a histogram.
+        match (min.as_f64(), max.as_f64(), value.as_f64()) {
+            (Some(lo), Some(hi), Some(v)) if hi > lo => ((v - lo) / (hi - lo)).clamp(0.0, 1.0),
+            _ => 0.3,
+        }
+    }
+
+    /// Estimate selectivity of `column > value`.
+    pub fn gt_selectivity(&self, value: &Value) -> f64 {
+        (1.0 - self.null_fraction - self.lt_selectivity(value)).max(0.0)
+    }
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Table name.
+    pub name: String,
+    /// Row count.
+    pub rows: usize,
+    /// Per-column statistics, in schema column order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Compute statistics by a full scan of generated data. `mcv_k` and
+    /// `histogram_buckets` mirror PostgreSQL's `default_statistics_target`
+    /// knobs.
+    pub fn analyze(data: &TableData, mcv_k: usize, histogram_buckets: usize) -> TableStats {
+        let columns = data
+            .columns
+            .iter()
+            .map(|col| analyze_column(col, mcv_k, histogram_buckets))
+            .collect();
+        TableStats { name: data.name.clone(), rows: data.rows, columns }
+    }
+}
+
+fn analyze_column(values: &[Value], mcv_k: usize, histogram_buckets: usize) -> ColumnStats {
+    let total = values.len().max(1);
+    let mut non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+    let null_fraction = (total - non_null.len()) as f64 / total as f64;
+    let mut freq: HashMap<&Value, usize> = HashMap::new();
+    for v in &non_null {
+        *freq.entry(*v).or_insert(0) += 1;
+    }
+    let n_distinct = freq.len();
+    let mut common: Vec<(&Value, usize)> = freq.into_iter().collect();
+    common.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    let most_common: Vec<(Value, f64)> = common
+        .iter()
+        .take(mcv_k)
+        .filter(|(_, c)| *c > 1)
+        .map(|(v, c)| ((*v).clone(), *c as f64 / total as f64))
+        .collect();
+    non_null.sort();
+    let min = non_null.first().map(|v| (*v).clone());
+    let max = non_null.last().map(|v| (*v).clone());
+    let mut histogram = Vec::new();
+    if non_null.len() >= histogram_buckets && histogram_buckets >= 2 {
+        for b in 0..=histogram_buckets {
+            let idx = (b * (non_null.len() - 1)) / histogram_buckets;
+            histogram.push(non_null[idx].clone());
+        }
+    }
+    ColumnStats { n_distinct, null_fraction, min, max, most_common, histogram }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(values: Vec<Value>) -> ColumnStats {
+        analyze_column(&values, 4, 10)
+    }
+
+    #[test]
+    fn distinct_and_bounds() {
+        let s = col((0..100).map(Value::Int).collect());
+        assert_eq!(s.n_distinct, 100);
+        assert_eq!(s.min, Some(Value::Int(0)));
+        assert_eq!(s.max, Some(Value::Int(99)));
+        assert_eq!(s.null_fraction, 0.0);
+    }
+
+    #[test]
+    fn null_fraction_counted() {
+        let mut v: Vec<Value> = (0..50).map(Value::Int).collect();
+        v.extend(std::iter::repeat(Value::Null).take(50));
+        let s = col(v);
+        assert!((s.null_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mcv_catches_heavy_hitter() {
+        let mut v: Vec<Value> = std::iter::repeat(Value::Str("F".into())).take(90).collect();
+        v.extend((0..10).map(Value::Int));
+        let s = col(v);
+        let sel = s.eq_selectivity(&Value::Str("F".into()));
+        assert!((sel - 0.9).abs() < 1e-9, "{sel}");
+    }
+
+    #[test]
+    fn eq_selectivity_residual_uniform() {
+        let v: Vec<Value> = (0..100).map(|i| Value::Int(i % 10)).collect();
+        let s = col(v);
+        let sel = s.eq_selectivity(&Value::Int(3));
+        assert!(sel > 0.05 && sel < 0.2, "{sel}");
+    }
+
+    #[test]
+    fn lt_selectivity_monotone() {
+        let s = col((0..1000).map(Value::Int).collect());
+        let lo = s.lt_selectivity(&Value::Int(100));
+        let hi = s.lt_selectivity(&Value::Int(900));
+        assert!(lo < hi);
+        assert!((lo - 0.1).abs() < 0.05, "{lo}");
+        assert!((hi - 0.9).abs() < 0.05, "{hi}");
+    }
+
+    #[test]
+    fn lt_out_of_range() {
+        let s = col((10..20).map(Value::Int).collect());
+        assert_eq!(s.lt_selectivity(&Value::Int(5)), 0.0);
+        assert_eq!(s.lt_selectivity(&Value::Int(100)), 1.0);
+    }
+
+    #[test]
+    fn gt_complements_lt() {
+        let s = col((0..1000).map(Value::Int).collect());
+        let lt = s.lt_selectivity(&Value::Int(250));
+        let gt = s.gt_selectivity(&Value::Int(250));
+        assert!((lt + gt - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn analyze_whole_table() {
+        use crate::datagen::generate;
+        use crate::schemas::tpch_catalog;
+        let cat = tpch_catalog();
+        let data = generate(&cat, 0.0001, 1);
+        let orders = data.iter().find(|t| t.name == "orders").unwrap();
+        let stats = TableStats::analyze(orders, 8, 20);
+        assert_eq!(stats.rows, orders.rows);
+        // o_orderkey is serial: fully distinct.
+        assert_eq!(stats.columns[0].n_distinct, orders.rows);
+        // o_orderstatus has 3 categories.
+        assert!(stats.columns[2].n_distinct <= 3);
+    }
+
+    #[test]
+    fn empty_column_is_safe() {
+        let s = col(vec![]);
+        assert_eq!(s.n_distinct, 0);
+        assert_eq!(s.eq_selectivity(&Value::Int(1)), 0.0);
+    }
+}

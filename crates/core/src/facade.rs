@@ -1,0 +1,106 @@
+//! The end-to-end LANTERN facade: plan artifact in (JSON/XML/tree),
+//! natural-language narration out.
+
+use crate::lot::CoreError;
+use crate::narrate::{Narration, RuleLantern};
+use lantern_plan::{parse_pg_json_plan, parse_sqlserver_xml_plan, PlanTree};
+use lantern_pool::PoemStore;
+
+/// End-to-end rule-based LANTERN: owns a POEM store and translates
+/// plan artifacts from any supported source.
+///
+/// ```
+/// use lantern_core::Lantern;
+/// use lantern_pool::default_pg_store;
+///
+/// let lantern = Lantern::new(default_pg_store());
+/// let doc = r#"{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}"#;
+/// let narration = lantern.narrate_pg_json(doc).unwrap();
+/// assert_eq!(
+///     narration.text(),
+///     "1. perform sequential scan on orders to get the final results."
+/// );
+/// ```
+pub struct Lantern {
+    store: PoemStore,
+}
+
+impl Lantern {
+    /// Create a facade over a POEM store.
+    pub fn new(store: PoemStore) -> Self {
+        Lantern { store }
+    }
+
+    /// Access the underlying store (e.g. to run POOL statements).
+    pub fn store(&self) -> &PoemStore {
+        &self.store
+    }
+
+    /// Narrate an already-parsed plan tree.
+    pub fn narrate(&self, tree: &PlanTree) -> Result<Narration, CoreError> {
+        RuleLantern::new(&self.store).narrate(tree)
+    }
+
+    /// Narrate a PostgreSQL `EXPLAIN (FORMAT JSON)` document.
+    pub fn narrate_pg_json(&self, doc: &str) -> Result<Narration, CoreError> {
+        let tree = parse_pg_json_plan(doc)
+            .map_err(|e| CoreError::PlanError(e.to_string()))?;
+        self.narrate(&tree)
+    }
+
+    /// Narrate a SQL Server XML showplan.
+    pub fn narrate_sqlserver_xml(&self, doc: &str) -> Result<Narration, CoreError> {
+        let tree = parse_sqlserver_xml_plan(doc)
+            .map_err(|e| CoreError::PlanError(e.to_string()))?;
+        self.narrate(&tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lantern_pool::{default_mssql_store, default_pg_store};
+
+    #[test]
+    fn json_to_narration() {
+        let lantern = Lantern::new(default_pg_store());
+        let doc = r#"[{"Plan": {"Node Type": "Hash Join",
+            "Hash Cond": "((a.x) = (b.y))",
+            "Plans": [
+              {"Node Type": "Seq Scan", "Relation Name": "a"},
+              {"Node Type": "Hash",
+               "Plans": [{"Node Type": "Seq Scan", "Relation Name": "b"}]}
+            ]}}]"#;
+        let n = lantern.narrate_pg_json(doc).unwrap();
+        assert!(n.text().contains("hash b and perform hash join on a and b"), "{}", n.text());
+    }
+
+    #[test]
+    fn xml_to_narration_requires_mssql_store() {
+        let doc = r#"<ShowPlanXML><BatchSequence><Batch><Statements><StmtSimple><QueryPlan>
+            <RelOp PhysicalOp="Table Scan" EstimateRows="10" EstimatedTotalSubtreeCost="1">
+              <Object Table="photoobj"/>
+            </RelOp>
+        </QueryPlan></StmtSimple></Statements></Batch></BatchSequence></ShowPlanXML>"#;
+        // pg-only store: fails (operator names differ across sources).
+        let pg_only = Lantern::new(default_pg_store());
+        assert!(pg_only.narrate_sqlserver_xml(doc).is_err());
+        // Store with the mssql catalog: succeeds.
+        let both = Lantern::new(default_mssql_store());
+        let n = both.narrate_sqlserver_xml(doc).unwrap();
+        assert!(n.text().contains("perform table scan on photoobj"));
+    }
+
+    #[test]
+    fn malformed_documents_report_plan_errors() {
+        let lantern = Lantern::new(default_pg_store());
+        assert!(matches!(
+            lantern.narrate_pg_json("not json"),
+            Err(CoreError::PlanError(_))
+        ));
+        assert!(matches!(
+            lantern.narrate_sqlserver_xml("<no-plan/>"),
+            Err(CoreError::PlanError(_))
+        ));
+    }
+}

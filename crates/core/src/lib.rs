@@ -1,0 +1,34 @@
+//! # lantern-core
+//!
+//! RULE-LANTERN (paper §5): the rule-based translator from a query
+//! execution plan to a step-by-step natural-language narration, plus
+//! the shared machinery NEURAL-LANTERN builds on.
+//!
+//! * [`lot`] — the *language-annotated operator tree* (§5.3): plan
+//!   nodes annotated with POOL-derived description templates.
+//! * [`cluster`] — auxiliary/critical node clustering and the
+//!   composition operator `∘` (§5.4).
+//! * [`narrate`] — Algorithm 1: post-order narration with intermediate
+//!   result identifiers (T1, T2, …) and the four-layer narration model
+//!   (§5.1).
+//! * [`acts`] — decomposition of a plan into *acts* (§6.2), the
+//!   operator-level training units of NEURAL-LANTERN.
+//! * [`tags`] — the special-tag abstraction of Table 1 (`<T>`, `<F>`,
+//!   `<C>`, …) used to strip schema-dependent values from training
+//!   labels and re-substitute them after decoding.
+//! * [`Lantern`] — the end-to-end facade gluing plan parsing, the POEM
+//!   store, and the translators together.
+
+pub mod acts;
+pub mod cluster;
+pub mod facade;
+pub mod lot;
+pub mod narrate;
+pub mod tags;
+
+pub use acts::{decompose_acts, Act};
+pub use cluster::{cluster_pairs, Cluster};
+pub use facade::Lantern;
+pub use lot::{build_lot, CoreError, LotNode, LotTree};
+pub use narrate::{Narration, NarrationStep, RuleLantern};
+pub use tags::{abstract_tags, substitute_tags, TagBinding};

@@ -1,0 +1,434 @@
+//! Contextual embedders standing in for ELMo and BERT (see DESIGN.md
+//! substitution table).
+//!
+//! * [`ElmoStyleBiLm`] — a bidirectional LSTM language model (ELMo's
+//!   architecture [45], scaled down): a forward LSTM predicts the next
+//!   token, a backward LSTM the previous one; a token's contextual
+//!   representation is the concatenation of the two hidden states.
+//! * [`BertStyleEncoder`] — a masked-token self-attention encoder
+//!   (BERT's objective [23], one attention layer): a masked position
+//!   attends over its context to reconstruct the missing token.
+//!
+//! QEP2Seq's decoder consumes *static per-token* tables, so both models
+//! are distilled after training: each vocabulary type's vector is the
+//! mean of its contextual vectors over the training corpus (for ELMo
+//! this mirrors the paper's "linear combination of the biLM layers").
+
+use crate::corpus::Corpus;
+use crate::embedder::{Embedder, EmbedderKind, Embedding};
+use lantern_nn::attention::{AdditiveAttention, AttnGrads};
+use lantern_nn::lstm::{LstmCell, LstmGrads, LstmState};
+use lantern_nn::matrix::{seeded_rng, softmax, Matrix};
+use lantern_text::Vocab;
+use rand::Rng;
+
+/// ELMo-style bidirectional LSTM language model.
+#[derive(Debug, Clone)]
+pub struct ElmoStyleBiLm {
+    /// Output dimensionality (= 2x LSTM hidden size; must be even).
+    pub dim: usize,
+    /// Input embedding size.
+    pub input_dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+}
+
+impl Default for ElmoStyleBiLm {
+    fn default() -> Self {
+        ElmoStyleBiLm { dim: 32, input_dim: 16, epochs: 3, learning_rate: 0.1 }
+    }
+}
+
+impl Embedder for ElmoStyleBiLm {
+    fn name(&self) -> &'static str {
+        "ELMo"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn train(&self, corpus: &Corpus, seed: u64) -> Embedding {
+        assert!(self.dim % 2 == 0, "ELMo dim must be even (fwd + bwd halves)");
+        let h = self.dim / 2;
+        let vocab = Vocab::from_corpus(&corpus.sentences, 1);
+        let v = vocab.len();
+        let mut rng = seeded_rng(seed);
+        let mut embed = Matrix::uniform(v, self.input_dim, 0.1, &mut rng);
+        let mut fwd = LstmCell::new(self.input_dim, h, 0.1, &mut rng);
+        let mut bwd = LstmCell::new(self.input_dim, h, 0.1, &mut rng);
+        let mut w_fwd = Matrix::uniform(v, h, 0.1, &mut rng);
+        let mut w_bwd = Matrix::uniform(v, h, 0.1, &mut rng);
+
+        let ids: Vec<Vec<usize>> = corpus
+            .sentences
+            .iter()
+            .map(|s| s.iter().map(|t| vocab.id(t)).collect())
+            .collect();
+
+        for _ in 0..self.epochs {
+            for sent in &ids {
+                if sent.len() < 2 {
+                    continue;
+                }
+                train_direction(sent, &mut embed, &mut fwd, &mut w_fwd, self.learning_rate, false);
+                train_direction(sent, &mut embed, &mut bwd, &mut w_bwd, self.learning_rate, true);
+            }
+        }
+
+        // Distillation: per-type mean of [h_fwd; h_bwd].
+        let mut table = Matrix::zeros(v, self.dim);
+        let mut counts = vec![0usize; v];
+        for sent in &ids {
+            let fwd_states = run_states(sent, &embed, &fwd, false);
+            let bwd_states = run_states(sent, &embed, &bwd, true);
+            for (i, &tok) in sent.iter().enumerate() {
+                let row = table.row_mut(tok);
+                for (k, val) in fwd_states[i].iter().enumerate() {
+                    row[k] += val;
+                }
+                for (k, val) in bwd_states[sent.len() - 1 - i].iter().enumerate() {
+                    row[h + k] += val;
+                }
+                counts[tok] += 1;
+            }
+        }
+        for (tok, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                for val in table.row_mut(tok) {
+                    *val /= c as f32;
+                }
+            }
+        }
+        Embedding { vocab, dim: self.dim, table, kind: EmbedderKind::Elmo }
+    }
+}
+
+/// Run one LSTM direction and collect hidden states (sentence reversed
+/// for the backward model).
+fn run_states(sent: &[usize], embed: &Matrix, cell: &LstmCell, reverse: bool) -> Vec<Vec<f32>> {
+    let seq: Vec<usize> =
+        if reverse { sent.iter().rev().cloned().collect() } else { sent.to_vec() };
+    let mut state = LstmState::zeros(cell.hidden);
+    let mut out = Vec::with_capacity(seq.len());
+    for &tok in &seq {
+        let (s, _) = cell.forward_step(&state, embed.row(tok));
+        state = s;
+        out.push(state.h.clone());
+    }
+    out
+}
+
+/// One SGD pass of next-token prediction over a sentence (optionally
+/// reversed), with truncated-through-sentence BPTT.
+fn train_direction(
+    sent: &[usize],
+    embed: &mut Matrix,
+    cell: &mut LstmCell,
+    w_out: &mut Matrix,
+    lr: f32,
+    reverse: bool,
+) {
+    let seq: Vec<usize> =
+        if reverse { sent.iter().rev().cloned().collect() } else { sent.to_vec() };
+    let mut state = LstmState::zeros(cell.hidden);
+    let mut caches = Vec::with_capacity(seq.len() - 1);
+    let mut hs = Vec::with_capacity(seq.len() - 1);
+    for &tok in &seq[..seq.len() - 1] {
+        let (s, cache) = cell.forward_step(&state, embed.row(tok));
+        state = s;
+        caches.push(cache);
+        hs.push(state.h.clone());
+    }
+    // Output losses and gradients.
+    let mut grads = LstmGrads::zeros(cell);
+    let mut dhs: Vec<Vec<f32>> = vec![vec![0.0; cell.hidden]; hs.len()];
+    let inv = 1.0 / hs.len() as f32;
+    for (t, h) in hs.iter().enumerate() {
+        let target = seq[t + 1];
+        let logits = w_out.matvec(h);
+        let p = softmax(&logits);
+        let mut dlogits = p;
+        dlogits[target] -= 1.0;
+        for d in dlogits.iter_mut() {
+            *d *= inv;
+        }
+        let dh = w_out.matvec_t(&dlogits);
+        for (a, b) in dhs[t].iter_mut().zip(&dh) {
+            *a += b;
+        }
+        w_out.add_outer_scaled(&dlogits, h, -lr);
+    }
+    // BPTT.
+    let mut dh_carry = vec![0.0f32; cell.hidden];
+    let mut dc_carry = vec![0.0f32; cell.hidden];
+    let mut dembs: Vec<(usize, Vec<f32>)> = Vec::with_capacity(caches.len());
+    for t in (0..caches.len()).rev() {
+        let mut dh = dhs[t].clone();
+        for (a, b) in dh.iter_mut().zip(&dh_carry) {
+            *a += b;
+        }
+        let (dx, dh_prev, dc_prev) = cell.backward_step(&caches[t], &dh, &dc_carry, &mut grads);
+        dembs.push((seq[t], dx));
+        dh_carry = dh_prev;
+        dc_carry = dc_prev;
+    }
+    cell.apply_gradients(&grads, lr);
+    for (tok, dx) in dembs {
+        let row = embed.row_mut(tok);
+        for (p, g) in row.iter_mut().zip(&dx) {
+            *p -= lr * g;
+        }
+    }
+}
+
+/// Small helper: `A += dy ⊗ x * scale` (used for the LM head update).
+trait OuterScaled {
+    fn add_outer_scaled(&mut self, dy: &[f32], x: &[f32], scale: f32);
+}
+
+impl OuterScaled for Matrix {
+    fn add_outer_scaled(&mut self, dy: &[f32], x: &[f32], scale: f32) {
+        for r in 0..self.rows {
+            let dyr = dy[r] * scale;
+            if dyr != 0.0 {
+                let row = self.row_mut(r);
+                for (c, xv) in x.iter().enumerate() {
+                    row[c] += dyr * xv;
+                }
+            }
+        }
+    }
+}
+
+/// BERT-style masked-token encoder (one self-attention layer).
+#[derive(Debug, Clone)]
+pub struct BertStyleEncoder {
+    /// Output dimensionality.
+    pub dim: usize,
+    /// Fraction of positions masked per pass.
+    pub mask_fraction: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Maximum positions with learned position vectors.
+    pub max_len: usize,
+}
+
+impl Default for BertStyleEncoder {
+    fn default() -> Self {
+        BertStyleEncoder {
+            dim: 32,
+            mask_fraction: 0.15,
+            epochs: 4,
+            learning_rate: 0.08,
+            max_len: 40,
+        }
+    }
+}
+
+impl Embedder for BertStyleEncoder {
+    fn name(&self) -> &'static str {
+        "BERT"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn train(&self, corpus: &Corpus, seed: u64) -> Embedding {
+        let vocab = Vocab::from_corpus(&corpus.sentences, 1);
+        let v = vocab.len();
+        let d = self.dim;
+        let mut rng = seeded_rng(seed);
+        let mut embed = Matrix::uniform(v, d, 0.1, &mut rng);
+        let mut pos = Matrix::uniform(self.max_len, d, 0.1, &mut rng);
+        let mut mask_vec: Vec<f32> = (0..d).map(|_| rng.gen_range(-0.1..=0.1)).collect();
+        let mut attention = AdditiveAttention::new(d, d, 0.1, &mut rng);
+        let mut w_out = Matrix::uniform(v, d, 0.1, &mut rng);
+
+        let ids: Vec<Vec<usize>> = corpus
+            .sentences
+            .iter()
+            .map(|s| s.iter().map(|t| vocab.id(t)).take(self.max_len).collect())
+            .collect();
+
+        for _ in 0..self.epochs {
+            for sent in &ids {
+                if sent.len() < 3 {
+                    continue;
+                }
+                // Mask one or more positions.
+                let n_masks =
+                    ((sent.len() as f64 * self.mask_fraction).ceil() as usize).max(1);
+                for _ in 0..n_masks {
+                    let mi = rng.gen_range(0..sent.len());
+                    let target = sent[mi];
+                    // Context states: token+position vectors of the
+                    // unmasked positions.
+                    let mut keys: Vec<Vec<f32>> = Vec::with_capacity(sent.len() - 1);
+                    let mut key_pos: Vec<(usize, usize)> = Vec::new(); // (token, pos)
+                    for (j, &tok) in sent.iter().enumerate() {
+                        if j == mi {
+                            continue;
+                        }
+                        let mut k = embed.row(tok).to_vec();
+                        for (a, b) in k.iter_mut().zip(pos.row(j)) {
+                            *a += b;
+                        }
+                        keys.push(k);
+                        key_pos.push((tok, j));
+                    }
+                    // Query: mask vector + position.
+                    let mut query = mask_vec.clone();
+                    for (a, b) in query.iter_mut().zip(pos.row(mi)) {
+                        *a += b;
+                    }
+                    let (context, cache) = attention.forward(&query, &keys);
+                    // Prediction head over (context + query).
+                    let mut feat = context.clone();
+                    for (a, b) in feat.iter_mut().zip(&query) {
+                        *a += b;
+                    }
+                    let logits = w_out.matvec(&feat);
+                    let p = softmax(&logits);
+                    let mut dlogits = p;
+                    dlogits[target] -= 1.0;
+                    let dfeat = w_out.matvec_t(&dlogits);
+                    w_out.add_outer_scaled(&dlogits, &feat, -self.learning_rate);
+                    // dfeat flows to both context and query.
+                    let mut attn_grads = AttnGrads::zeros(&attention);
+                    let (dq_attn, dkeys) =
+                        attention.backward(&cache, &keys, &dfeat, &mut attn_grads);
+                    attention.apply_gradients(&attn_grads, self.learning_rate);
+                    let lr = self.learning_rate;
+                    // Query gradient: from attention and directly from feat.
+                    for k in 0..d {
+                        let g = dq_attn[k] + dfeat[k];
+                        mask_vec[k] -= lr * g;
+                        let pr = pos.row_mut(mi);
+                        pr[k] -= lr * g;
+                    }
+                    for ((tok, j), dk) in key_pos.iter().zip(&dkeys) {
+                        let er = embed.row_mut(*tok);
+                        for (k, g) in dk.iter().enumerate() {
+                            er[k] -= lr * g;
+                        }
+                        let pr = pos.row_mut(*j);
+                        for (k, g) in dk.iter().enumerate() {
+                            pr[k] -= lr * g;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Distill: per-type mean contextual vector (context + token
+        // embedding at each occurrence).
+        let mut table = Matrix::zeros(v, d);
+        let mut counts = vec![0usize; v];
+        for sent in &ids {
+            if sent.len() < 2 {
+                continue;
+            }
+            for (i, &tok) in sent.iter().enumerate() {
+                let mut keys: Vec<Vec<f32>> = Vec::new();
+                for (j, &other) in sent.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    let mut k = embed.row(other).to_vec();
+                    for (a, b) in k.iter_mut().zip(pos.row(j)) {
+                        *a += b;
+                    }
+                    keys.push(k);
+                }
+                let mut query = embed.row(tok).to_vec();
+                for (a, b) in query.iter_mut().zip(pos.row(i)) {
+                    *a += b;
+                }
+                let (context, _) = attention.forward(&query, &keys);
+                let row = table.row_mut(tok);
+                for k in 0..d {
+                    row[k] += context[k] + embed.get(tok, k);
+                }
+                counts[tok] += 1;
+            }
+        }
+        for (tok, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                for val in table.row_mut(tok) {
+                    *val /= c as f32;
+                }
+            }
+        }
+        Embedding { vocab, dim: d, table, kind: EmbedderKind::Bert }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn structured_corpus() -> Corpus {
+        let mut sentences = Vec::new();
+        for _ in 0..12 {
+            for color in ["red", "blue"] {
+                sentences.push(format!("the {color} car drives along the quiet road"));
+                sentences.push(format!("a {color} ball bounces in the garden today"));
+            }
+            sentences.push("seven plus three equals ten exactly right".to_string());
+        }
+        Corpus::from_sentences(&sentences)
+    }
+
+    #[test]
+    fn elmo_produces_full_table() {
+        let e = ElmoStyleBiLm { epochs: 1, ..Default::default() }.train(&structured_corpus(), 1);
+        assert_eq!(e.dim, 32);
+        assert_eq!(e.table.rows, e.vocab.len());
+        // Seen tokens have nonzero vectors.
+        assert!(e.vector("red").iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn elmo_contexts_cluster() {
+        let e = ElmoStyleBiLm { epochs: 3, ..Default::default() }.train(&structured_corpus(), 3);
+        assert!(e.cosine("red", "blue") > e.cosine("red", "seven"));
+    }
+
+    #[test]
+    fn bert_produces_full_table() {
+        let e =
+            BertStyleEncoder { epochs: 1, ..Default::default() }.train(&structured_corpus(), 1);
+        assert_eq!(e.table.rows, e.vocab.len());
+        assert!(e.vector("car").iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn bert_contexts_cluster() {
+        let e =
+            BertStyleEncoder { epochs: 4, ..Default::default() }.train(&structured_corpus(), 5);
+        assert!(e.cosine("red", "blue") > e.cosine("red", "seven"));
+    }
+
+    #[test]
+    fn both_are_deterministic() {
+        let c = structured_corpus();
+        let e1 = ElmoStyleBiLm { epochs: 1, ..Default::default() }.train(&c, 2);
+        let e2 = ElmoStyleBiLm { epochs: 1, ..Default::default() }.train(&c, 2);
+        assert_eq!(e1.table.data, e2.table.data);
+        let b1 = BertStyleEncoder { epochs: 1, ..Default::default() }.train(&c, 2);
+        let b2 = BertStyleEncoder { epochs: 1, ..Default::default() }.train(&c, 2);
+        assert_eq!(b1.table.data, b2.table.data);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn elmo_rejects_odd_dim() {
+        ElmoStyleBiLm { dim: 33, ..Default::default() }.train(&structured_corpus(), 1);
+    }
+}

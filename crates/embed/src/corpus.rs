@@ -1,0 +1,169 @@
+//! Corpora for embedding training.
+//!
+//! The paper contrasts vectors *pre-trained on a large general corpus*
+//! (Wikipedia-scale, for Word2Vec/GloVe/BERT/ELMo) against vectors
+//! *self-trained* on the narrow RULE-LANTERN output. Offline we cannot
+//! ship Wikipedia, so the "pre-trained" condition uses a built-in
+//! generic-English corpus that (a) is an order of magnitude larger than
+//! the task corpus, (b) covers the content words LANTERN emits in
+//! ordinary, non-database contexts, and (c) contains plenty of
+//! unrelated vocabulary — reproducing the breadth-vs-narrowness
+//! contrast the experiment actually manipulates.
+
+use lantern_text::tokenize;
+
+/// A tokenized training corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Tokenized sentences (lowercased).
+    pub sentences: Vec<Vec<String>>,
+}
+
+impl Corpus {
+    /// Build from raw sentences (tokenizes and lowercases).
+    pub fn from_sentences<S: AsRef<str>>(sentences: &[S]) -> Self {
+        Corpus {
+            sentences: sentences
+                .iter()
+                .map(|s| {
+                    tokenize(&s.as_ref().to_lowercase())
+                        .into_iter()
+                        .filter(|t| t.chars().any(|c| c.is_alphanumeric()) || t.starts_with('<'))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Total token count.
+    pub fn token_count(&self) -> usize {
+        self.sentences.iter().map(Vec::len).sum()
+    }
+
+    /// Merge two corpora.
+    pub fn extend(&mut self, other: &Corpus) {
+        self.sentences.extend(other.sentences.iter().cloned());
+    }
+}
+
+/// Sentence templates expanded into the built-in general-English
+/// corpus. Each `{N}`/`{V}`/`{A}`/`{P}` slot is filled with every
+/// member of the corresponding word class, giving several thousand
+/// grammatical sentences covering LANTERN's content words in ordinary
+/// usage plus broad unrelated vocabulary.
+const TEMPLATES: &[&str] = &[
+    "the {A} {N} will {V} the {N} before the {N} arrives",
+    "we {V} a {A} {N} and then {V} another {N}",
+    "to {V} the {N} you must first {V} the {A} {N}",
+    "a {N} can {V} any {N} that contains a {A} {N}",
+    "they {V} the {N} on the {N} and get the {A} results",
+    "each {N} should {V} its {N} to produce a {A} {N}",
+    "please {V} the {N} using the {A} {N} from the {N}",
+    "after you {V} the {N} the {A} {N} appears",
+    "students {V} the {A} {N} to understand the {N}",
+    "the {N} and the {N} {V} a {A} {N} together",
+];
+
+const NOUNS: &[&str] = &[
+    "table", "index", "row", "record", "result", "condition", "relation", "attribute", "value",
+    "order", "group", "filter", "scan", "join", "hash", "sort", "list", "plan", "step", "query",
+    "book", "river", "garden", "window", "teacher", "student", "engine", "lantern", "machine",
+    "city", "market", "bridge", "letter", "number", "output", "input", "removal", "duplicate",
+    "worker", "partition",
+];
+
+const VERBS: &[&str] = &[
+    "perform", "execute", "scan", "join", "sort", "hash", "filter", "group", "select", "remove",
+    "keep", "read", "write", "build", "compute", "combine", "merge", "produce", "obtain", "get",
+    "find", "carry", "apply", "gather", "materialize", "separate", "arrange", "check",
+];
+
+const ADJECTIVES: &[&str] = &[
+    "final", "intermediate", "sequential", "parallel", "large", "small", "sorted", "hashed",
+    "matching", "duplicate", "unique", "conclusive", "quick", "careful", "ordered", "grouped",
+    "relevant", "temporary", "nested", "outer", "inner",
+];
+
+/// The built-in general-English corpus (the "pre-trained" condition).
+pub fn builtin_english_corpus() -> Corpus {
+    let mut sentences = Vec::new();
+    // Deterministic template expansion: rotate word lists at coprime
+    // strides so slots vary independently.
+    let mut n_i = 0usize;
+    let mut v_i = 0usize;
+    let mut a_i = 0usize;
+    for round in 0..40 {
+        for template in TEMPLATES {
+            let mut s = String::new();
+            for part in template.split(' ') {
+                if !s.is_empty() {
+                    s.push(' ');
+                }
+                match part {
+                    "{N}" => {
+                        s.push_str(NOUNS[n_i % NOUNS.len()]);
+                        n_i += 7;
+                    }
+                    "{V}" => {
+                        s.push_str(VERBS[v_i % VERBS.len()]);
+                        v_i += 5;
+                    }
+                    "{A}" => {
+                        s.push_str(ADJECTIVES[a_i % ADJECTIVES.len()]);
+                        a_i += 2; // coprime with the 21 adjectives
+                    }
+                    w => s.push_str(w),
+                }
+            }
+            sentences.push(s);
+            n_i += round; // vary phase between rounds
+        }
+    }
+    Corpus::from_sentences(&sentences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_corpus_is_substantial() {
+        let c = builtin_english_corpus();
+        assert!(c.sentences.len() >= 400, "{}", c.sentences.len());
+        assert!(c.token_count() >= 4000, "{}", c.token_count());
+    }
+
+    #[test]
+    fn builtin_corpus_covers_lantern_content_words() {
+        let c = builtin_english_corpus();
+        let all: std::collections::HashSet<&str> = c
+            .sentences
+            .iter()
+            .flat_map(|s| s.iter().map(String::as_str))
+            .collect();
+        for w in ["perform", "hash", "join", "scan", "sort", "filter", "intermediate", "final"] {
+            assert!(all.contains(w), "missing {w}");
+        }
+    }
+
+    #[test]
+    fn from_sentences_lowercases_and_tokenizes() {
+        let c = Corpus::from_sentences(&["Perform Hash JOIN on T1."]);
+        assert_eq!(c.sentences[0], vec!["perform", "hash", "join", "on", "t1"]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = builtin_english_corpus();
+        let b = builtin_english_corpus();
+        assert_eq!(a.sentences, b.sentences);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = Corpus::from_sentences(&["one two"]);
+        let b = Corpus::from_sentences(&["three four"]);
+        a.extend(&b);
+        assert_eq!(a.sentences.len(), 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! The shared embedding interface consumed by QEP2Seq's decoder.
+
+use crate::corpus::Corpus;
+use lantern_nn::Matrix;
+use lantern_text::Vocab;
+
+/// Which embedding family produced a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmbedderKind {
+    /// Skip-gram with negative sampling.
+    Word2Vec,
+    /// Global co-occurrence least squares.
+    Glove,
+    /// ELMo-style bidirectional LSTM language model (distilled to
+    /// per-type vectors).
+    Elmo,
+    /// BERT-style masked-token self-attention encoder (distilled to
+    /// per-type vectors).
+    Bert,
+}
+
+/// A trained embedding: vocabulary plus one vector per token.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// The vocabulary the table is indexed by.
+    pub vocab: Vocab,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// `vocab.len() x dim` table.
+    pub table: Matrix,
+    /// Producing family.
+    pub kind: EmbedderKind,
+}
+
+impl Embedding {
+    /// Vector for `token` (the `<UNK>` row when absent).
+    pub fn vector(&self, token: &str) -> &[f32] {
+        self.table.row(self.vocab.id(token))
+    }
+
+    /// Cosine similarity between two tokens' vectors.
+    pub fn cosine(&self, a: &str, b: &str) -> f32 {
+        let va = self.vector(a);
+        let vb = self.vector(b);
+        let dot: f32 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+        let na: f32 = va.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = vb.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// `k` nearest neighbours of `token` by cosine similarity.
+    pub fn nearest(&self, token: &str, k: usize) -> Vec<(String, f32)> {
+        let mut sims: Vec<(String, f32)> = self
+            .vocab
+            .iter()
+            .filter(|(id, t)| *id > 3 && *t != token)
+            .map(|(_, t)| (t.to_string(), self.cosine(token, t)))
+            .collect();
+        sims.sort_by(|a, b| b.1.total_cmp(&a.1));
+        sims.truncate(k);
+        sims
+    }
+
+    /// Re-index the table onto `target` vocabulary (rows for tokens the
+    /// embedding never saw get a small deterministic pseudo-random
+    /// vector, so no two unknown tokens collide exactly). This is what
+    /// QEP2Seq installs as its frozen decoder embedding.
+    pub fn aligned_table(&self, target: &Vocab) -> Matrix {
+        let mut out = Matrix::zeros(target.len(), self.dim);
+        for (id, token) in target.iter() {
+            let row = out.row_mut(id);
+            if self.vocab.contains(token) {
+                row.copy_from_slice(self.table.row(self.vocab.id(token)));
+            } else {
+                // Deterministic tiny values from a token hash.
+                let mut h: u64 = 0xcbf29ce484222325;
+                for b in token.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+                for (j, v) in row.iter_mut().enumerate() {
+                    let x = h.wrapping_mul(j as u64 + 1).wrapping_add(j as u64 * 0x9e3779b9);
+                    *v = ((x % 2000) as f32 / 1000.0 - 1.0) * 0.01;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A trainable embedder.
+pub trait Embedder {
+    /// Family name (report labels).
+    fn name(&self) -> &'static str;
+
+    /// Output dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Train on `corpus` deterministically from `seed`.
+    fn train(&self, corpus: &Corpus, seed: u64) -> Embedding;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lantern_nn::matrix::seeded_rng;
+
+    fn toy_embedding() -> Embedding {
+        let mut vocab = Vocab::new();
+        for t in ["cat", "dog", "car"] {
+            vocab.add(t);
+        }
+        let mut table = Matrix::uniform(vocab.len(), 4, 0.5, &mut seeded_rng(1));
+        // cat == dog direction, car orthogonal-ish.
+        table.row_mut(4).copy_from_slice(&[1.0, 0.0, 0.0, 0.0]);
+        table.row_mut(5).copy_from_slice(&[0.9, 0.1, 0.0, 0.0]);
+        table.row_mut(6).copy_from_slice(&[0.0, 0.0, 1.0, 0.0]);
+        Embedding { vocab, dim: 4, table, kind: EmbedderKind::Word2Vec }
+    }
+
+    #[test]
+    fn cosine_reflects_geometry() {
+        let e = toy_embedding();
+        assert!(e.cosine("cat", "dog") > 0.95);
+        assert!(e.cosine("cat", "car") < 0.1);
+        assert!((e.cosine("cat", "cat") - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nearest_neighbour_order() {
+        let e = toy_embedding();
+        let nn = e.nearest("cat", 2);
+        assert_eq!(nn[0].0, "dog");
+    }
+
+    #[test]
+    fn aligned_table_copies_known_rows() {
+        let e = toy_embedding();
+        let mut target = Vocab::new();
+        target.add("dog");
+        target.add("zebra");
+        let t = e.aligned_table(&target);
+        assert_eq!(t.rows, target.len());
+        assert_eq!(t.row(4), e.vector("dog"));
+        // Unknown token gets small nonzero deterministic values.
+        let zebra = t.row(5);
+        assert!(zebra.iter().any(|v| *v != 0.0));
+        assert!(zebra.iter().all(|v| v.abs() <= 0.011));
+        let t2 = e.aligned_table(&target);
+        assert_eq!(t.data, t2.data);
+    }
+
+    #[test]
+    fn unknown_token_maps_to_unk_row() {
+        let e = toy_embedding();
+        assert_eq!(e.vector("never-seen"), e.table.row(3));
+    }
+}

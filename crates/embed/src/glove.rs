@@ -1,0 +1,174 @@
+//! GloVe (Pennington et al. [44]): weighted least squares on the log
+//! co-occurrence matrix, optimized with AdaGrad — from scratch.
+
+use crate::corpus::Corpus;
+use crate::embedder::{Embedder, EmbedderKind, Embedding};
+use lantern_nn::matrix::{seeded_rng, Matrix};
+use lantern_text::Vocab;
+use rand::seq::SliceRandom;
+use std::collections::HashMap;
+
+/// GloVe trainer.
+#[derive(Debug, Clone)]
+pub struct GloveTrainer {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Co-occurrence window radius (distance-weighted `1/d`).
+    pub window: usize,
+    /// Epochs over the co-occurrence pairs.
+    pub epochs: usize,
+    /// AdaGrad initial learning rate.
+    pub learning_rate: f32,
+    /// Weighting cap `x_max`.
+    pub x_max: f32,
+    /// Weighting exponent `α`.
+    pub alpha: f32,
+}
+
+impl Default for GloveTrainer {
+    fn default() -> Self {
+        GloveTrainer {
+            dim: 32,
+            window: 3,
+            epochs: 20,
+            learning_rate: 0.05,
+            x_max: 50.0,
+            alpha: 0.75,
+        }
+    }
+}
+
+impl Embedder for GloveTrainer {
+    fn name(&self) -> &'static str {
+        "GloVe"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn train(&self, corpus: &Corpus, seed: u64) -> Embedding {
+        let vocab = Vocab::from_corpus(&corpus.sentences, 1);
+        let v = vocab.len();
+        // Distance-weighted co-occurrence counts.
+        let mut cooc: HashMap<(usize, usize), f32> = HashMap::new();
+        for sent in &corpus.sentences {
+            let ids: Vec<usize> = sent.iter().map(|t| vocab.id(t)).collect();
+            for (i, &wi) in ids.iter().enumerate() {
+                if wi <= 3 {
+                    continue;
+                }
+                for d in 1..=self.window {
+                    if i + d >= ids.len() {
+                        break;
+                    }
+                    let wj = ids[i + d];
+                    if wj <= 3 {
+                        continue;
+                    }
+                    let inc = 1.0 / d as f32;
+                    *cooc.entry((wi, wj)).or_insert(0.0) += inc;
+                    *cooc.entry((wj, wi)).or_insert(0.0) += inc;
+                }
+            }
+        }
+        let mut pairs: Vec<((usize, usize), f32)> = cooc.into_iter().collect();
+        pairs.sort_by_key(|((a, b), _)| (*a, *b)); // determinism
+
+        let mut rng = seeded_rng(seed);
+        let mut w = Matrix::uniform(v, self.dim, 0.5 / self.dim as f32, &mut rng);
+        let mut w_tilde = Matrix::uniform(v, self.dim, 0.5 / self.dim as f32, &mut rng);
+        let mut b = vec![0.0f32; v];
+        let mut b_tilde = vec![0.0f32; v];
+        // AdaGrad accumulators.
+        let mut gw = Matrix::zeros(v, self.dim);
+        let mut gw_tilde = Matrix::zeros(v, self.dim);
+        let mut gb = vec![1e-8f32; v];
+        let mut gb_tilde = vec![1e-8f32; v];
+        gw.data.iter_mut().for_each(|x| *x = 1e-8);
+        gw_tilde.data.iter_mut().for_each(|x| *x = 1e-8);
+
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &pi in &order {
+                let ((i, j), x) = pairs[pi];
+                let weight = if x < self.x_max { (x / self.x_max).powf(self.alpha) } else { 1.0 };
+                let dot: f32 = w.row(i).iter().zip(w_tilde.row(j)).map(|(a, c)| a * c).sum();
+                let diff = dot + b[i] + b_tilde[j] - x.ln();
+                let fdiff = weight * diff;
+                // AdaGrad updates.
+                for d in 0..self.dim {
+                    let gi = fdiff * w_tilde.get(j, d);
+                    let gj = fdiff * w.get(i, d);
+                    let acc_i = gw.get(i, d) + gi * gi;
+                    gw.set(i, d, acc_i);
+                    let acc_j = gw_tilde.get(j, d) + gj * gj;
+                    gw_tilde.set(j, d, acc_j);
+                    let wi_new = w.get(i, d) - self.learning_rate * gi / acc_i.sqrt();
+                    let wj_new = w_tilde.get(j, d) - self.learning_rate * gj / acc_j.sqrt();
+                    w.set(i, d, wi_new);
+                    w_tilde.set(j, d, wj_new);
+                }
+                gb[i] += fdiff * fdiff;
+                gb_tilde[j] += fdiff * fdiff;
+                b[i] -= self.learning_rate * fdiff / gb[i].sqrt();
+                b_tilde[j] -= self.learning_rate * fdiff / gb_tilde[j].sqrt();
+            }
+        }
+        // Final embedding: w + w̃ (standard GloVe practice).
+        let mut table = w;
+        table.add_scaled(&w_tilde, 1.0);
+        Embedding { vocab, dim: self.dim, table, kind: EmbedderKind::Glove }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn structured_corpus() -> Corpus {
+        let mut sentences = Vec::new();
+        for _ in 0..20 {
+            for color in ["red", "blue", "green"] {
+                sentences.push(format!("the {color} car drives on the road"));
+                sentences.push(format!("a {color} ball bounces in the garden"));
+            }
+            sentences.push("seven plus three equals ten exactly".to_string());
+        }
+        Corpus::from_sentences(&sentences)
+    }
+
+    #[test]
+    fn shared_context_words_are_closer() {
+        let e = GloveTrainer::default().train(&structured_corpus(), 11);
+        assert!(e.cosine("red", "blue") > e.cosine("red", "seven"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = structured_corpus();
+        let t = GloveTrainer { epochs: 3, ..Default::default() };
+        assert_eq!(t.train(&c, 2).table.data, t.train(&c, 2).table.data);
+    }
+
+    #[test]
+    fn loss_actually_fits_cooccurrence() {
+        // After training, frequently co-occurring pairs should have a
+        // larger dot product than never-co-occurring pairs.
+        let e = GloveTrainer::default().train(&structured_corpus(), 4);
+        let dot = |a: &str, b: &str| -> f32 {
+            e.vector(a).iter().zip(e.vector(b)).map(|(x, y)| x * y).sum()
+        };
+        // "car"/"drives" co-occur heavily; "car"/"equals" never.
+        assert!(dot("car", "drives") > dot("car", "equals"));
+    }
+
+    #[test]
+    fn table_shape() {
+        let t = GloveTrainer { dim: 12, epochs: 1, ..Default::default() };
+        let e = t.train(&structured_corpus(), 1);
+        assert_eq!(e.table.cols, 12);
+        assert_eq!(e.table.rows, e.vocab.len());
+    }
+}

@@ -1,0 +1,32 @@
+//! # lantern-embed
+//!
+//! Word-embedding trainers standing in for the paper's pre-trained
+//! vectors (Word2Vec, GloVe, ELMo, BERT — refs [1,2,3,13]).
+//!
+//! Offline reproduction cannot download the published model files, so
+//! this crate implements each family from scratch and trains them on
+//! either (a) a built-in generic-English corpus (the "pre-trained"
+//! condition) or (b) the RULE-LANTERN output corpus (the paper's
+//! "self-trained" condition):
+//!
+//! * [`word2vec`] — skip-gram with negative sampling,
+//! * [`glove`] — weighted least squares on the co-occurrence matrix
+//!   with AdaGrad,
+//! * [`contextual`] — an ELMo-style bidirectional LSTM language model
+//!   and a BERT-style self-attention masked-token encoder; both emit
+//!   per-token *contextual* vectors.
+//!
+//! All trainers implement the [`Embedder`] trait consumed by
+//! `lantern-neural`'s QEP2Seq decoder.
+
+pub mod contextual;
+pub mod corpus;
+pub mod embedder;
+pub mod glove;
+pub mod word2vec;
+
+pub use contextual::{BertStyleEncoder, ElmoStyleBiLm};
+pub use corpus::{builtin_english_corpus, Corpus};
+pub use embedder::{EmbedderKind, Embedding, Embedder};
+pub use glove::GloveTrainer;
+pub use word2vec::Word2VecTrainer;

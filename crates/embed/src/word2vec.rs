@@ -1,0 +1,197 @@
+//! Word2Vec: skip-gram with negative sampling (Mikolov et al. [38]),
+//! implemented from scratch.
+
+use crate::corpus::Corpus;
+use crate::embedder::{Embedder, EmbedderKind, Embedding};
+use lantern_nn::matrix::{seeded_rng, sigmoid, Matrix};
+use lantern_text::Vocab;
+use rand::Rng;
+
+/// Skip-gram/negative-sampling trainer.
+#[derive(Debug, Clone)]
+pub struct Word2VecTrainer {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed).
+    pub learning_rate: f32,
+    /// Minimum token frequency.
+    pub min_count: usize,
+}
+
+impl Default for Word2VecTrainer {
+    fn default() -> Self {
+        Word2VecTrainer {
+            dim: 32,
+            window: 2,
+            negatives: 5,
+            epochs: 8,
+            learning_rate: 0.05,
+            min_count: 1,
+        }
+    }
+}
+
+impl Embedder for Word2VecTrainer {
+    fn name(&self) -> &'static str {
+        "Word2Vec"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn train(&self, corpus: &Corpus, seed: u64) -> Embedding {
+        let vocab = Vocab::from_corpus(&corpus.sentences, self.min_count);
+        let v = vocab.len();
+        let mut rng = seeded_rng(seed);
+        let mut w_in = Matrix::uniform(v, self.dim, 0.5 / self.dim as f32, &mut rng);
+        let mut w_out = Matrix::zeros(v, self.dim);
+
+        // Unigram^0.75 negative-sampling table.
+        let mut freq = vec![0usize; v];
+        for s in &corpus.sentences {
+            for t in s {
+                freq[vocab.id(t)] += 1;
+            }
+        }
+        let mut neg_table = Vec::with_capacity(4096);
+        let total: f64 = freq.iter().skip(4).map(|&f| (f as f64).powf(0.75)).sum();
+        if total > 0.0 {
+            for (id, &f) in freq.iter().enumerate().skip(4) {
+                let slots =
+                    (((f as f64).powf(0.75) / total) * 4096.0).ceil() as usize;
+                for _ in 0..slots.max(if f > 0 { 1 } else { 0 }) {
+                    neg_table.push(id);
+                }
+            }
+        }
+        if neg_table.is_empty() {
+            neg_table.push(4.min(v - 1));
+        }
+
+        let ids: Vec<Vec<usize>> = corpus
+            .sentences
+            .iter()
+            .map(|s| s.iter().map(|t| vocab.id(t)).collect())
+            .collect();
+        let total_steps = (self.epochs * corpus.token_count()).max(1);
+        let mut step = 0usize;
+        for _epoch in 0..self.epochs {
+            for sent in &ids {
+                for (center_pos, &center) in sent.iter().enumerate() {
+                    if center <= 3 {
+                        continue;
+                    }
+                    let lr = self.learning_rate
+                        * (1.0 - step as f32 / total_steps as f32).max(0.1);
+                    step += 1;
+                    let lo = center_pos.saturating_sub(self.window);
+                    let hi = (center_pos + self.window).min(sent.len() - 1);
+                    for ctx_pos in lo..=hi {
+                        if ctx_pos == center_pos || sent[ctx_pos] <= 3 {
+                            continue;
+                        }
+                        let context = sent[ctx_pos];
+                        // One positive + `negatives` negative updates.
+                        let mut grad_in = vec![0.0f32; self.dim];
+                        for k in 0..=self.negatives {
+                            let (target, label) = if k == 0 {
+                                (context, 1.0f32)
+                            } else {
+                                (neg_table[rng.gen_range(0..neg_table.len())], 0.0)
+                            };
+                            if k > 0 && target == context {
+                                continue;
+                            }
+                            let dot: f32 = w_in
+                                .row(center)
+                                .iter()
+                                .zip(w_out.row(target))
+                                .map(|(a, b)| a * b)
+                                .sum();
+                            let g = (sigmoid(dot) - label) * lr;
+                            for d in 0..self.dim {
+                                grad_in[d] += g * w_out.get(target, d);
+                            }
+                            for d in 0..self.dim {
+                                let upd = g * w_in.get(center, d);
+                                let cur = w_out.get(target, d);
+                                w_out.set(target, d, cur - upd);
+                            }
+                        }
+                        for d in 0..self.dim {
+                            let cur = w_in.get(center, d);
+                            w_in.set(center, d, cur - grad_in[d]);
+                        }
+                    }
+                }
+            }
+        }
+        Embedding { vocab, dim: self.dim, table: w_in, kind: EmbedderKind::Word2Vec }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A corpus where `red`/`blue` share contexts and `seven` does not.
+    fn structured_corpus() -> Corpus {
+        let mut sentences = Vec::new();
+        for _ in 0..30 {
+            for color in ["red", "blue", "green"] {
+                sentences.push(format!("the {color} car drives on the road"));
+                sentences.push(format!("a {color} ball bounces in the garden"));
+                sentences.push(format!("she painted the wall {color} yesterday"));
+            }
+            sentences.push("seven plus three equals ten exactly".to_string());
+            sentences.push("numbers like seven and three are odd".to_string());
+        }
+        Corpus::from_sentences(&sentences)
+    }
+
+    #[test]
+    fn colors_cluster_together() {
+        let trainer = Word2VecTrainer { epochs: 6, ..Default::default() };
+        let e = trainer.train(&structured_corpus(), 7);
+        let red_blue = e.cosine("red", "blue");
+        let red_seven = e.cosine("red", "seven");
+        assert!(
+            red_blue > red_seven,
+            "red-blue {red_blue} should beat red-seven {red_seven}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let trainer = Word2VecTrainer { epochs: 2, ..Default::default() };
+        let c = structured_corpus();
+        let a = trainer.train(&c, 3);
+        let b = trainer.train(&c, 3);
+        assert_eq!(a.table.data, b.table.data);
+    }
+
+    #[test]
+    fn table_shape() {
+        let trainer = Word2VecTrainer { dim: 16, epochs: 1, ..Default::default() };
+        let e = trainer.train(&structured_corpus(), 1);
+        assert_eq!(e.dim, 16);
+        assert_eq!(e.table.rows, e.vocab.len());
+        assert_eq!(e.table.cols, 16);
+    }
+
+    #[test]
+    fn vectors_move_from_init() {
+        let trainer = Word2VecTrainer { epochs: 3, ..Default::default() };
+        let c = structured_corpus();
+        let e = trainer.train(&c, 5);
+        let norm: f32 = e.vector("red").iter().map(|v| v * v).sum();
+        assert!(norm > 1e-4, "vector barely trained: {norm}");
+    }
+}

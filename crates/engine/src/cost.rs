@@ -1,0 +1,290 @@
+//! Selectivity estimation and cost formulas — a compact PostgreSQL-style
+//! cost model over `lantern-catalog` statistics.
+
+use crate::database::Database;
+use lantern_catalog::{ColumnStats, Value};
+use lantern_sql::{BinaryOp, Expr, UnaryOp};
+
+/// Cost-model constants (relative units, shaped like PostgreSQL's
+/// `seq_page_cost`/`cpu_tuple_cost` family).
+pub mod consts {
+    /// Per-tuple cost of a sequential scan.
+    pub const SEQ_TUPLE: f64 = 1.0;
+    /// Per-tuple cost of an index lookup (includes traversal
+    /// amortization).
+    pub const INDEX_TUPLE: f64 = 2.0;
+    /// Index scan fixed startup.
+    pub const INDEX_STARTUP: f64 = 10.0;
+    /// Per-tuple cost of building a hash table.
+    pub const HASH_BUILD: f64 = 1.5;
+    /// Per-tuple cost of probing a hash table.
+    pub const HASH_PROBE: f64 = 0.5;
+    /// Per-comparison cost during sorting.
+    pub const SORT_CMP: f64 = 0.3;
+    /// Per-tuple cost of a merge pass.
+    pub const MERGE_TUPLE: f64 = 0.4;
+    /// Per output-candidate cost for nested loops.
+    pub const NL_TUPLE: f64 = 0.25;
+    /// Per-tuple aggregation cost.
+    pub const AGG_TUPLE: f64 = 0.6;
+}
+
+/// Estimate the selectivity of a single-table predicate against the
+/// column statistics of `table` in `db`. Falls back to conservative
+/// defaults when the expression shape is unsupported.
+pub fn predicate_selectivity(db: &Database, table: &str, expr: &Expr) -> f64 {
+    let Some(stats) = db.table_stats(table) else { return 0.33 };
+    let Some(schema) = db.catalog().table(table) else { return 0.33 };
+    let col_stats = |name: &str| -> Option<&ColumnStats> {
+        schema.column_index(name).map(|i| &stats.columns[i])
+    };
+    selectivity_inner(expr, &col_stats)
+}
+
+fn selectivity_inner<'a>(
+    expr: &Expr,
+    col_stats: &impl Fn(&str) -> Option<&'a ColumnStats>,
+) -> f64 {
+    match expr {
+        Expr::Binary { op, left, right } => match op {
+            BinaryOp::And => {
+                selectivity_inner(left, col_stats) * selectivity_inner(right, col_stats)
+            }
+            BinaryOp::Or => {
+                let a = selectivity_inner(left, col_stats);
+                let b = selectivity_inner(right, col_stats);
+                (a + b - a * b).clamp(0.0, 1.0)
+            }
+            BinaryOp::Like => 0.1,
+            op if op.is_comparison() => {
+                // Normalize to col <op> literal.
+                let (col, lit, op) = match (left.as_ref(), right.as_ref()) {
+                    (Expr::Column { name, .. }, lit) if literal_value(lit).is_some() => {
+                        (name.as_str(), literal_value(lit).unwrap(), *op)
+                    }
+                    (lit, Expr::Column { name, .. }) if literal_value(lit).is_some() => {
+                        (name.as_str(), literal_value(lit).unwrap(), flip(*op))
+                    }
+                    _ => return 0.33,
+                };
+                let Some(cs) = col_stats(col) else { return 0.33 };
+                match op {
+                    BinaryOp::Eq => cs.eq_selectivity(&lit),
+                    BinaryOp::NotEq => (1.0 - cs.eq_selectivity(&lit)).max(0.0),
+                    BinaryOp::Lt | BinaryOp::LtEq => cs.lt_selectivity(&lit),
+                    BinaryOp::Gt | BinaryOp::GtEq => cs.gt_selectivity(&lit),
+                    _ => 0.33,
+                }
+            }
+            _ => 0.33,
+        },
+        Expr::Unary { op: UnaryOp::Not, expr } => {
+            (1.0 - selectivity_inner(expr, col_stats)).clamp(0.0, 1.0)
+        }
+        Expr::Unary { op: UnaryOp::IsNull, expr } => match expr.as_ref() {
+            Expr::Column { name, .. } => col_stats(name).map(|c| c.null_fraction).unwrap_or(0.05),
+            _ => 0.05,
+        },
+        Expr::Unary { op: UnaryOp::IsNotNull, expr } => match expr.as_ref() {
+            Expr::Column { name, .. } => {
+                col_stats(name).map(|c| 1.0 - c.null_fraction).unwrap_or(0.95)
+            }
+            _ => 0.95,
+        },
+        Expr::InList { expr, list, negated } => {
+            let base = match expr.as_ref() {
+                Expr::Column { name, .. } => {
+                    let Some(cs) = col_stats(name) else { return 0.33 };
+                    list.iter()
+                        .filter_map(literal_value)
+                        .map(|v| cs.eq_selectivity(&v))
+                        .sum::<f64>()
+                        .clamp(0.0, 1.0)
+                }
+                _ => 0.33,
+            };
+            if *negated {
+                (1.0 - base).clamp(0.0, 1.0)
+            } else {
+                base
+            }
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let base = match expr.as_ref() {
+                Expr::Column { name, .. } => {
+                    let Some(cs) = col_stats(name) else { return 0.25 };
+                    match (literal_value(low), literal_value(high)) {
+                        (Some(lo), Some(hi)) => {
+                            (cs.lt_selectivity(&hi) - cs.lt_selectivity(&lo)).max(0.0)
+                        }
+                        _ => 0.25,
+                    }
+                }
+                _ => 0.25,
+            };
+            if *negated {
+                (1.0 - base).clamp(0.0, 1.0)
+            } else {
+                base
+            }
+        }
+        Expr::BoolLit(true) => 1.0,
+        Expr::BoolLit(false) => 0.0,
+        _ => 0.33,
+    }
+}
+
+fn flip(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+/// Literal AST node -> runtime value.
+pub fn literal_value(expr: &Expr) -> Option<Value> {
+    match expr {
+        Expr::IntLit(i) => Some(Value::Int(*i)),
+        Expr::FloatLit(x) => Some(Value::Float(*x)),
+        Expr::StrLit(s) => Some(Value::Str(s.clone())),
+        Expr::BoolLit(b) => Some(Value::Bool(*b)),
+        Expr::Null => Some(Value::Null),
+        Expr::Unary { op: UnaryOp::Neg, expr } => match literal_value(expr)? {
+            Value::Int(i) => Some(Value::Int(-i)),
+            Value::Float(f) => Some(Value::Float(-f)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Join output cardinality estimate: `|L| * |R| / max(ndv_l, ndv_r)`
+/// (the classic System-R formula).
+pub fn join_cardinality(left_rows: f64, right_rows: f64, ndv_left: f64, ndv_right: f64) -> f64 {
+    let d = ndv_left.max(ndv_right).max(1.0);
+    (left_rows * right_rows / d).max(1.0)
+}
+
+/// Cost of sorting `rows` tuples.
+pub fn sort_cost(rows: f64) -> f64 {
+    let r = rows.max(2.0);
+    consts::SORT_CMP * r * r.log2()
+}
+
+/// Cost of a hash join given input cardinalities (build on the right).
+pub fn hash_join_cost(left_rows: f64, right_rows: f64) -> f64 {
+    consts::HASH_BUILD * right_rows + consts::HASH_PROBE * left_rows
+}
+
+/// Cost of a merge join given input cardinalities and whether each
+/// side still needs sorting.
+pub fn merge_join_cost(left_rows: f64, right_rows: f64, sort_left: bool, sort_right: bool) -> f64 {
+    let mut c = consts::MERGE_TUPLE * (left_rows + right_rows);
+    if sort_left {
+        c += sort_cost(left_rows);
+    }
+    if sort_right {
+        c += sort_cost(right_rows);
+    }
+    c
+}
+
+/// Cost of a nested-loop join; `inner_indexed` models an index lookup
+/// per outer tuple instead of a full inner rescan.
+pub fn nested_loop_cost(outer_rows: f64, inner_rows: f64, inner_indexed: bool) -> f64 {
+    if inner_indexed {
+        outer_rows * (consts::INDEX_TUPLE + inner_rows.max(2.0).log2() * 0.1)
+    } else {
+        consts::NL_TUPLE * outer_rows * inner_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lantern_catalog::tpch_catalog;
+    use lantern_sql::parse_sql;
+
+    fn db() -> Database {
+        Database::generate(&tpch_catalog(), 0.0005, 42)
+    }
+
+    fn where_expr(sql: &str) -> Expr {
+        parse_sql(sql).unwrap().where_clause.unwrap()
+    }
+
+    #[test]
+    fn eq_on_categorical_is_about_one_over_k() {
+        let db = db();
+        let e = where_expr("SELECT 1 FROM orders WHERE o_orderstatus = 'F'");
+        let s = predicate_selectivity(&db, "orders", &e);
+        assert!((0.15..0.6).contains(&s), "{s}"); // 3 statuses
+    }
+
+    #[test]
+    fn range_on_serial_key() {
+        let db = db();
+        let rows = db.row_count("orders") as i64;
+        let e = where_expr(&format!("SELECT 1 FROM orders WHERE o_orderkey < {}", rows / 10));
+        let s = predicate_selectivity(&db, "orders", &e);
+        assert!((0.02..0.25).contains(&s), "{s}");
+    }
+
+    #[test]
+    fn and_multiplies_or_adds() {
+        let db = db();
+        let a = where_expr("SELECT 1 FROM orders WHERE o_orderstatus = 'F'");
+        let both = where_expr(
+            "SELECT 1 FROM orders WHERE o_orderstatus = 'F' AND o_orderstatus = 'O'",
+        );
+        let either = where_expr(
+            "SELECT 1 FROM orders WHERE o_orderstatus = 'F' OR o_orderstatus = 'O'",
+        );
+        let sa = predicate_selectivity(&db, "orders", &a);
+        let sand = predicate_selectivity(&db, "orders", &both);
+        let sor = predicate_selectivity(&db, "orders", &either);
+        assert!(sand < sa);
+        assert!(sor > sa);
+    }
+
+    #[test]
+    fn flipped_literal_comparison() {
+        let db = db();
+        let e = where_expr("SELECT 1 FROM part WHERE 10 > p_size");
+        // Equivalent to p_size < 10 out of 1..50.
+        let s = predicate_selectivity(&db, "part", &e);
+        assert!((0.05..0.4).contains(&s), "{s}");
+    }
+
+    #[test]
+    fn join_cardinality_formula() {
+        assert_eq!(join_cardinality(1000.0, 100.0, 100.0, 50.0), 1000.0);
+        assert!(join_cardinality(0.0, 0.0, 0.0, 0.0) >= 1.0);
+    }
+
+    #[test]
+    fn cost_functions_monotone_in_rows() {
+        assert!(sort_cost(1000.0) > sort_cost(100.0));
+        assert!(hash_join_cost(1000.0, 100.0) > hash_join_cost(100.0, 100.0));
+        assert!(nested_loop_cost(100.0, 100.0, false) > nested_loop_cost(100.0, 100.0, true));
+        assert!(
+            merge_join_cost(500.0, 500.0, true, true) > merge_join_cost(500.0, 500.0, false, false)
+        );
+    }
+
+    #[test]
+    fn literal_values() {
+        assert_eq!(literal_value(&Expr::IntLit(3)), Some(Value::Int(3)));
+        assert_eq!(
+            literal_value(&Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(Expr::IntLit(3))
+            }),
+            Some(Value::Int(-3))
+        );
+        assert_eq!(literal_value(&Expr::col(None, "x")), None);
+    }
+}

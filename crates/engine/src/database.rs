@@ -1,0 +1,67 @@
+//! An in-memory database instance: a catalog plus generated data and
+//! the statistics the cost-based planner consumes.
+
+use lantern_catalog::{datagen, Catalog, TableData, TableStats};
+
+/// A generated database instance.
+#[derive(Debug, Clone)]
+pub struct Database {
+    catalog: Catalog,
+    data: Vec<TableData>,
+    stats: Vec<TableStats>,
+}
+
+impl Database {
+    /// Generate a database from `catalog` at `scale` (fraction of the
+    /// benchmark base cardinality), deterministically from `seed`, and
+    /// analyze statistics (8 MCVs, 20 histogram buckets).
+    pub fn generate(catalog: &Catalog, scale: f64, seed: u64) -> Self {
+        let data = datagen::generate(catalog, scale, seed);
+        let stats = data.iter().map(|t| TableStats::analyze(t, 8, 20)).collect();
+        Database { catalog: catalog.clone(), data, stats }
+    }
+
+    /// The schema.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Generated data for `table`.
+    pub fn table_data(&self, table: &str) -> Option<&TableData> {
+        self.data.iter().find(|t| t.name == table)
+    }
+
+    /// Statistics for `table`.
+    pub fn table_stats(&self, table: &str) -> Option<&TableStats> {
+        self.stats.iter().find(|t| t.name == table)
+    }
+
+    /// Row count of `table` (0 when unknown).
+    pub fn row_count(&self, table: &str) -> usize {
+        self.table_stats(table).map(|s| s.rows).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lantern_catalog::dblp_catalog;
+
+    #[test]
+    fn generate_builds_stats_for_all_tables() {
+        let db = Database::generate(&dblp_catalog(), 0.0003, 7);
+        assert!(db.table_data("publication").is_some());
+        assert!(db.table_stats("inproceedings").is_some());
+        assert_eq!(
+            db.row_count("publication"),
+            db.table_data("publication").unwrap().rows
+        );
+    }
+
+    #[test]
+    fn unknown_table_is_none() {
+        let db = Database::generate(&dblp_catalog(), 0.0003, 7);
+        assert!(db.table_data("nope").is_none());
+        assert_eq!(db.row_count("nope"), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # lantern-engine
+//!
+//! A from-scratch mini relational engine standing in for PostgreSQL /
+//! SQL Server as the QEP-producing substrate (see DESIGN.md
+//! substitution table).
+//!
+//! Pipeline: SQL text → `lantern-sql` AST → resolved logical plan →
+//! cost-based physical planning (selectivity estimation from
+//! `lantern-catalog` statistics, dynamic-programming join ordering,
+//! access-path and join-algorithm selection) → a physical
+//! [`lantern_plan::PlanTree`] — optionally executed by a volcano-style
+//! interpreter over generated data, and exportable as PostgreSQL-style
+//! JSON or SQL Server-style XML `EXPLAIN` artifacts.
+//!
+//! The crate also hosts the Kipf-style random query generator
+//! (paper ref [31]) used to mass-produce training workloads.
+
+pub mod cost;
+pub mod database;
+pub mod exec;
+pub mod explain;
+pub mod logical;
+pub mod physical;
+pub mod querygen;
+
+pub use database::Database;
+pub use explain::ExplainFormat;
+pub use physical::Planner;
+pub use querygen::{QueryGenConfig, RandomQueryGen};

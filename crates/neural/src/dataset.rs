@@ -1,0 +1,241 @@
+//! Training-data generation (paper §6.2): queries → QEPs → acts →
+//! RULE-LANTERN tagged labels → paraphrase expansion (~3x).
+
+use lantern_core::{decompose_acts, Act};
+use lantern_engine::{Database, Planner, QueryGenConfig, RandomQueryGen};
+use lantern_paraphrase::expand::expand_corpus;
+use lantern_pool::PoemStore;
+use lantern_sql::Query;
+use lantern_text::{tokenize, Vocab};
+
+/// One training example: an act's input token sequence paired with one
+/// (possibly paraphrased) tagged output sentence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Example {
+    /// Input tokens (operator names + tag slots).
+    pub input_tokens: Vec<String>,
+    /// Output tokens (tagged natural-language label).
+    pub output_tokens: Vec<String>,
+    /// Whether this example came from a paraphrase engine (false =
+    /// original rule output).
+    pub paraphrased: bool,
+}
+
+/// A complete training set with its vocabularies.
+#[derive(Debug, Clone)]
+pub struct TrainingSet {
+    /// All examples.
+    pub examples: Vec<Example>,
+    /// Input-side vocabulary (paper: 36 tokens).
+    pub input_vocab: Vocab,
+    /// Output-side vocabulary (paper: 62 tokens).
+    pub output_vocab: Vocab,
+    /// Number of acts the source plans decomposed into (pre-expansion).
+    pub act_count: usize,
+}
+
+impl TrainingSet {
+    /// Encode all examples into id pairs for the trainer.
+    pub fn encoded(&self) -> Vec<(Vec<usize>, Vec<usize>)> {
+        self.examples
+            .iter()
+            .map(|e| {
+                (
+                    self.input_vocab.encode(&e.input_tokens, false),
+                    self.output_vocab.encode(&e.output_tokens, false),
+                )
+            })
+            .collect()
+    }
+
+    /// Deterministic train/validation split (paper: 80/20 random).
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Vec<(Vec<usize>, Vec<usize>)>, Vec<(Vec<usize>, Vec<usize>)>) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut all = self.encoded();
+        all.shuffle(&mut rng);
+        let n_train = ((all.len() as f64) * train_fraction).round() as usize;
+        let val = all.split_off(n_train.min(all.len()));
+        (all, val)
+    }
+
+    /// The original (non-paraphrased) rule sentences — the
+    /// "self-trained" embedding corpus.
+    pub fn rule_sentences(&self) -> Vec<Vec<String>> {
+        self.examples
+            .iter()
+            .filter(|e| !e.paraphrased)
+            .map(|e| e.output_tokens.clone())
+            .collect()
+    }
+}
+
+/// Builds training sets from workloads (paper §6.2 + §7.1).
+pub struct DatasetBuilder<'a> {
+    db: &'a Database,
+    store: &'a PoemStore,
+    queries: Vec<Query>,
+    paraphrase: bool,
+}
+
+impl<'a> DatasetBuilder<'a> {
+    /// Start a builder over a database and POEM store.
+    pub fn new(db: &'a Database, store: &'a PoemStore) -> Self {
+        DatasetBuilder { db, store, queries: Vec::new(), paraphrase: true }
+    }
+
+    /// Add workload queries.
+    pub fn with_queries(mut self, queries: &[Query]) -> Self {
+        self.queries.extend(queries.iter().cloned());
+        self
+    }
+
+    /// Add `n` random queries (Kipf-style generator).
+    pub fn with_random_queries(mut self, n: usize, seed: u64) -> Self {
+        let mut gen = RandomQueryGen::new(self.db, seed, QueryGenConfig::default());
+        self.queries.extend(gen.generate(n));
+        self
+    }
+
+    /// Enable/disable paraphrase expansion (Fig 6(a) ablation).
+    pub fn paraphrase(mut self, on: bool) -> Self {
+        self.paraphrase = on;
+        self
+    }
+
+    /// Decompose every query's plan into acts (planning parallelized
+    /// across worker threads with crossbeam).
+    pub fn acts(&self) -> Vec<Act> {
+        let n_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let chunk = (self.queries.len() / n_workers).max(1);
+        let results: Vec<Vec<Act>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .queries
+                .chunks(chunk)
+                .map(|qs| {
+                    scope.spawn(move |_| {
+                        let planner = Planner::new(self.db);
+                        let mut acts = Vec::new();
+                        for q in qs {
+                            let Ok(plan) = planner.plan(q) else { continue };
+                            let tree = plan.tree();
+                            if let Ok(a) = decompose_acts(&tree, self.store) {
+                                acts.extend(a);
+                            }
+                        }
+                        acts
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        })
+        .expect("scope");
+        results.into_iter().flatten().collect()
+    }
+
+    /// Build the training set.
+    pub fn build(self) -> TrainingSet {
+        let acts = self.acts();
+        let act_count = acts.len();
+        let mut examples = Vec::new();
+        if self.paraphrase {
+            let labels: Vec<String> = acts.iter().map(|a| a.tagged_label.clone()).collect();
+            let (groups, _) = expand_corpus(&labels, 1);
+            for (act, group) in acts.iter().zip(groups) {
+                for (gi, sentence) in group.iter().enumerate() {
+                    examples.push(Example {
+                        input_tokens: act.input_tokens(),
+                        output_tokens: tokenize(sentence),
+                        paraphrased: gi > 0,
+                    });
+                }
+            }
+        } else {
+            for act in &acts {
+                examples.push(Example {
+                    input_tokens: act.input_tokens(),
+                    output_tokens: act.output_tokens(),
+                    paraphrased: false,
+                });
+            }
+        }
+        let input_vocab =
+            Vocab::from_corpus(&examples.iter().map(|e| e.input_tokens.clone()).collect::<Vec<_>>(), 1);
+        let output_vocab = Vocab::from_corpus(
+            &examples.iter().map(|e| e.output_tokens.clone()).collect::<Vec<_>>(),
+            1,
+        );
+        TrainingSet { examples, input_vocab, output_vocab, act_count }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lantern_catalog::tpch_catalog;
+    use lantern_pool::default_pg_store;
+
+    fn small_set(paraphrase: bool) -> TrainingSet {
+        let db = Database::generate(&tpch_catalog(), 0.0002, 7);
+        let store = default_pg_store();
+        DatasetBuilder::new(&db, &store)
+            .with_random_queries(30, 11)
+            .paraphrase(paraphrase)
+            .build()
+    }
+
+    #[test]
+    fn builds_examples_from_random_queries() {
+        let ts = small_set(false);
+        assert!(ts.act_count >= 30, "{}", ts.act_count);
+        assert_eq!(ts.examples.len(), ts.act_count);
+        for e in &ts.examples {
+            assert!(!e.input_tokens.is_empty());
+            assert!(!e.output_tokens.is_empty());
+        }
+    }
+
+    #[test]
+    fn paraphrasing_expands_about_3x() {
+        let plain = small_set(false);
+        let expanded = small_set(true);
+        let ratio = expanded.examples.len() as f64 / plain.examples.len() as f64;
+        assert!(ratio > 2.0 && ratio <= 4.0, "expansion ratio {ratio}");
+        assert!(expanded.examples.iter().any(|e| e.paraphrased));
+    }
+
+    #[test]
+    fn vocabularies_are_compact_like_the_paper() {
+        // Paper: input vocabulary 36, output vocabulary 62. Ours must
+        // be the same order of magnitude (schema-independent tokens).
+        let ts = small_set(true);
+        assert!(ts.input_vocab.len() <= 40, "input vocab {}", ts.input_vocab.len());
+        assert!(ts.output_vocab.len() <= 120, "output vocab {}", ts.output_vocab.len());
+    }
+
+    #[test]
+    fn encoded_pairs_align_with_examples() {
+        let ts = small_set(false);
+        let enc = ts.encoded();
+        assert_eq!(enc.len(), ts.examples.len());
+        assert_eq!(enc[0].0.len(), ts.examples[0].input_tokens.len());
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions() {
+        let ts = small_set(false);
+        let (tr1, va1) = ts.split(0.8, 5);
+        let (tr2, va2) = ts.split(0.8, 5);
+        assert_eq!(tr1, tr2);
+        assert_eq!(va1, va2);
+        assert_eq!(tr1.len() + va1.len(), ts.examples.len());
+    }
+
+    #[test]
+    fn rule_sentences_exclude_paraphrases() {
+        let ts = small_set(true);
+        let rules = ts.rule_sentences();
+        assert_eq!(rules.len(), ts.act_count);
+    }
+}

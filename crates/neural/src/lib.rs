@@ -1,0 +1,25 @@
+//! # lantern-neural
+//!
+//! NEURAL-LANTERN (paper §6): the deep-learning translation pipeline
+//! that injects language variability into QEP narrations.
+//!
+//! * [`dataset`] — training-data generation (§6.2): random queries →
+//!   QEPs → act decomposition → RULE-LANTERN labels → special-tag
+//!   abstraction (Table 1) → paraphrase expansion (~3x).
+//! * [`model`] — QEP2Seq (§6.4): act linearization into input token
+//!   sequences, the Seq2Seq wiring with pluggable decoder embeddings
+//!   (random / Word2Vec / GloVe / BERT-style / ELMo-style, shared or
+//!   separate weights), training with teacher forcing and early
+//!   stopping, beam-search inference, tag re-substitution.
+//! * [`registry`] — the seven Table-5 model variants by name.
+//! * [`NeuralLantern`] — the user-facing translator.
+
+pub mod dataset;
+pub mod model;
+pub mod registry;
+pub mod translator;
+
+pub use dataset::{DatasetBuilder, Example, TrainingSet};
+pub use model::{Qep2Seq, Qep2SeqConfig};
+pub use registry::{ModelVariant, VariantKind};
+pub use translator::NeuralLantern;

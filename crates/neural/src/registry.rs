@@ -1,0 +1,132 @@
+//! The model-variant registry: the seven QEP2Seq configurations of
+//! paper Table 5 / Figure 7(a), each pairing the base model with a
+//! decoder-embedding source.
+
+use crate::dataset::TrainingSet;
+use crate::model::{Qep2Seq, Qep2SeqConfig};
+use lantern_embed::{
+    builtin_english_corpus, BertStyleEncoder, Corpus, ElmoStyleBiLm, Embedder, GloveTrainer,
+    Word2VecTrainer,
+};
+
+/// Embedding condition of a variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariantKind {
+    /// Randomly initialized, learned embeddings.
+    Random,
+    /// Word2Vec on the general corpus.
+    Word2VecPretrained,
+    /// Word2Vec on the RULE-LANTERN output corpus.
+    Word2VecSelfTrained,
+    /// GloVe on the general corpus.
+    GlovePretrained,
+    /// GloVe on the RULE-LANTERN output corpus.
+    GloveSelfTrained,
+    /// BERT-style contextual encoder on the general corpus.
+    BertPretrained,
+    /// ELMo-style biLM on the general corpus.
+    ElmoPretrained,
+}
+
+/// A named Table-5 row.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelVariant {
+    /// Row label exactly as the paper prints it.
+    pub name: &'static str,
+    /// Embedding condition.
+    pub kind: VariantKind,
+}
+
+/// All seven Table-5 variants in paper order.
+pub const TABLE5_VARIANTS: &[ModelVariant] = &[
+    ModelVariant { name: "QEP2Seq", kind: VariantKind::Random },
+    ModelVariant { name: "QEP2Seq+GloVe (pre-trained)", kind: VariantKind::GlovePretrained },
+    ModelVariant { name: "QEP2Seq+GloVe (self-trained)", kind: VariantKind::GloveSelfTrained },
+    ModelVariant { name: "QEP2Seq+Word2Vec (pre-trained)", kind: VariantKind::Word2VecPretrained },
+    ModelVariant { name: "QEP2Seq+Word2Vec (self-trained)", kind: VariantKind::Word2VecSelfTrained },
+    ModelVariant { name: "QEP2Seq+BERT (pre-trained)", kind: VariantKind::BertPretrained },
+    ModelVariant { name: "QEP2Seq+ELMo (pre-trained)", kind: VariantKind::ElmoPretrained },
+];
+
+impl ModelVariant {
+    /// Build the (untrained) model for this variant. Pre-trained
+    /// conditions train their embedder on the built-in general corpus;
+    /// self-trained conditions on the rule sentences of `ts`.
+    pub fn build(&self, ts: &TrainingSet, config: Qep2SeqConfig) -> Qep2Seq {
+        let general = builtin_english_corpus;
+        let self_corpus = || {
+            let sentences: Vec<String> = ts
+                .rule_sentences()
+                .iter()
+                .map(|toks| toks.join(" "))
+                .collect();
+            Corpus::from_sentences(&sentences)
+        };
+        let seed = config.seed.wrapping_add(1000);
+        match self.kind {
+            VariantKind::Random => Qep2Seq::new(ts, config),
+            VariantKind::Word2VecPretrained => {
+                let e = Word2VecTrainer { dim: 16, epochs: 4, ..Default::default() }
+                    .train(&general(), seed);
+                Qep2Seq::with_embedding(ts, config, &e)
+            }
+            VariantKind::Word2VecSelfTrained => {
+                let e = Word2VecTrainer { dim: 16, epochs: 4, ..Default::default() }
+                    .train(&self_corpus(), seed);
+                Qep2Seq::with_embedding(ts, config, &e)
+            }
+            VariantKind::GlovePretrained => {
+                let e = GloveTrainer { dim: 16, epochs: 10, ..Default::default() }
+                    .train(&general(), seed);
+                Qep2Seq::with_embedding(ts, config, &e)
+            }
+            VariantKind::GloveSelfTrained => {
+                let e = GloveTrainer { dim: 16, epochs: 10, ..Default::default() }
+                    .train(&self_corpus(), seed);
+                Qep2Seq::with_embedding(ts, config, &e)
+            }
+            VariantKind::BertPretrained => {
+                let e = BertStyleEncoder { dim: 24, epochs: 2, ..Default::default() }
+                    .train(&general(), seed);
+                Qep2Seq::with_embedding(ts, config, &e)
+            }
+            VariantKind::ElmoPretrained => {
+                let e = ElmoStyleBiLm { dim: 24, epochs: 2, ..Default::default() }
+                    .train(&general(), seed);
+                Qep2Seq::with_embedding(ts, config, &e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use lantern_catalog::tpch_catalog;
+    use lantern_engine::Database;
+    use lantern_pool::default_pg_store;
+
+    #[test]
+    fn all_seven_variants_build() {
+        let db = Database::generate(&tpch_catalog(), 0.0002, 7);
+        let store = default_pg_store();
+        let ts = DatasetBuilder::new(&db, &store)
+            .with_random_queries(10, 3)
+            .paraphrase(false)
+            .build();
+        assert_eq!(TABLE5_VARIANTS.len(), 7);
+        for v in TABLE5_VARIANTS {
+            let m = v.build(&ts, Qep2SeqConfig::default());
+            assert!(m.parameter_count() > 0, "{}", v.name);
+        }
+    }
+
+    #[test]
+    fn paper_row_names_present() {
+        let names: Vec<&str> = TABLE5_VARIANTS.iter().map(|v| v.name).collect();
+        assert!(names.contains(&"QEP2Seq"));
+        assert!(names.contains(&"QEP2Seq+BERT (pre-trained)"));
+        assert!(names.contains(&"QEP2Seq+Word2Vec (self-trained)"));
+    }
+}

@@ -1,0 +1,176 @@
+//! The NEURON baseline [36]: rule-based QEP narration with translation
+//! rules **hard-coded against PostgreSQL operator names** — no POOL, no
+//! declarative store, no alias layer. Narration quality on PostgreSQL
+//! plans is comparable to RULE-LANTERN (it was the same research
+//! group's precursor), but any plan whose operators are not in the
+//! hard-coded table fails to translate, which is exactly what the
+//! paper's US 5 observes on SQL Server/SDSS workloads.
+
+use lantern_plan::{PlanNode, PlanTree};
+use std::fmt;
+
+/// NEURON translation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeuronError {
+    /// The operator no hard-coded rule matches.
+    pub operator: String,
+}
+
+impl fmt::Display for NeuronError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NEURON has no hard-coded rule for operator '{}'", self.operator)
+    }
+}
+
+impl std::error::Error for NeuronError {}
+
+/// The hard-coded PostgreSQL rule table: `(operator, phrase)`.
+/// Adding a system means editing source code — the maintainability gap
+/// POOL exists to close.
+const RULES: &[(&str, &str)] = &[
+    ("Seq Scan", "perform sequential scan on"),
+    ("Index Scan", "perform index scan on"),
+    ("Bitmap Heap Scan", "perform bitmap heap scan on"),
+    ("Hash Join", "perform hash join between"),
+    ("Merge Join", "perform merge join between"),
+    ("Nested Loop", "perform nested loop join between"),
+    ("Hash", "hash"),
+    ("Sort", "sort"),
+    ("Aggregate", "perform aggregate on"),
+    ("HashAggregate", "perform hash aggregate on"),
+    ("Unique", "perform duplicate removal on"),
+    ("Limit", "limit the rows of"),
+    ("Materialize", "materialize"),
+    ("Gather", "gather parallel results of"),
+];
+
+/// The NEURON translator.
+#[derive(Debug, Clone, Default)]
+pub struct Neuron;
+
+impl Neuron {
+    /// Create the baseline translator.
+    pub fn new() -> Self {
+        Neuron
+    }
+
+    /// Narrate a plan. Fails on the first operator without a
+    /// hard-coded rule (e.g. every SQL Server operator).
+    pub fn describe(&self, tree: &PlanTree) -> Result<Vec<String>, NeuronError> {
+        let mut steps = Vec::new();
+        let mut counter = 0usize;
+        self.visit(&tree.root, true, &mut steps, &mut counter)?;
+        Ok(steps)
+    }
+
+    /// Document-style numbered text.
+    pub fn describe_text(&self, tree: &PlanTree) -> Result<String, NeuronError> {
+        Ok(self
+            .describe(tree)?
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{}. {}", i + 1, s))
+            .collect::<Vec<_>>()
+            .join("\n"))
+    }
+
+    fn visit(
+        &self,
+        node: &PlanNode,
+        is_root: bool,
+        steps: &mut Vec<String>,
+        counter: &mut usize,
+    ) -> Result<String, NeuronError> {
+        let phrase = RULES
+            .iter()
+            .find(|(op, _)| node.op_is(op))
+            .map(|(_, p)| *p)
+            .ok_or_else(|| NeuronError { operator: node.op.clone() })?;
+        let mut child_names = Vec::new();
+        for c in &node.children {
+            child_names.push(self.visit(c, false, steps, counter)?);
+        }
+        let mut text = match child_names.len() {
+            0 => format!(
+                "{phrase} {}",
+                node.relation.as_deref().unwrap_or("its input")
+            ),
+            1 => format!("{phrase} {}", child_names[0]),
+            _ => format!("{phrase} {} and {}", child_names[0], child_names[1]),
+        };
+        if let Some(c) = &node.join_cond {
+            text.push_str(&format!(" on condition {c}"));
+        }
+        if let Some(f) = &node.filter {
+            text.push_str(&format!(" with filter {f}"));
+        }
+        let name = if is_root {
+            text.push_str(" to produce the final result.");
+            String::new()
+        } else {
+            *counter += 1;
+            let t = format!("R{counter}");
+            text.push_str(&format!(" producing {t}."));
+            t
+        };
+        steps.push(text);
+        Ok(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lantern_plan::parse_sqlserver_xml_plan;
+
+    fn pg_tree() -> PlanTree {
+        PlanTree::new(
+            "pg",
+            PlanNode::new("Hash Join")
+                .with_join_cond("((a.x) = (b.y))")
+                .with_child(PlanNode::new("Seq Scan").on_relation("a"))
+                .with_child(PlanNode::new("Hash").with_child(
+                    PlanNode::new("Seq Scan").on_relation("b"),
+                )),
+        )
+    }
+
+    #[test]
+    fn translates_postgresql_plans() {
+        let steps = Neuron::new().describe(&pg_tree()).unwrap();
+        assert_eq!(steps.len(), 4); // no clustering: Hash is its own step
+        let text = steps.join(" ");
+        assert!(text.contains("perform hash join between"), "{text}");
+        assert!(text.contains("final result"), "{text}");
+    }
+
+    #[test]
+    fn no_clustering_makes_neuron_more_verbose_than_lantern() {
+        use lantern_core::RuleLantern;
+        use lantern_pool::default_pg_store;
+        let store = default_pg_store();
+        let lantern_steps = RuleLantern::new(&store).narrate(&pg_tree()).unwrap();
+        let neuron_steps = Neuron::new().describe(&pg_tree()).unwrap();
+        assert!(neuron_steps.len() > lantern_steps.steps().len());
+    }
+
+    #[test]
+    fn fails_on_sql_server_operators() {
+        // The US 5 scenario: a SQL Server showplan.
+        let doc = r#"<ShowPlanXML><BatchSequence><Batch><Statements><StmtSimple><QueryPlan>
+            <RelOp PhysicalOp="Table Scan" EstimateRows="10" EstimatedTotalSubtreeCost="1">
+              <Object Table="photoobj"/>
+            </RelOp>
+        </QueryPlan></StmtSimple></Statements></Batch></BatchSequence></ShowPlanXML>"#;
+        let tree = parse_sqlserver_xml_plan(doc).unwrap();
+        let err = Neuron::new().describe(&tree).unwrap_err();
+        assert_eq!(err.operator, "Table Scan");
+    }
+
+    #[test]
+    fn numbered_text() {
+        let text = Neuron::new().describe_text(&pg_tree()).unwrap();
+        assert!(text.starts_with("1. "));
+        assert!(text.contains("\n4. "));
+    }
+}

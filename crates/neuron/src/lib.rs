@@ -1,0 +1,16 @@
+//! # lantern-neuron
+//!
+//! A reimplementation of NEURON [Liu et al., SIGMOD 2019] — the
+//! paper's baseline (ref [36], compared in US 5).
+//!
+//! NEURON generates rule-based natural-language descriptions of
+//! PostgreSQL QEPs, but unlike LANTERN it has **no declarative operator
+//! store**: its translation rules are hard-coded against PostgreSQL
+//! operator names. Consequently it cannot translate SQL Server plans —
+//! operators like `Table Scan`/`Hash Match` simply miss every rule —
+//! which is exactly the failure mode the paper's user study observes
+//! (41 of 43 volunteers scored it below 3 on SDSS/SQL Server).
+
+pub mod baseline;
+
+pub use baseline::{Neuron, NeuronError};

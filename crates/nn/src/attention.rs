@@ -1,0 +1,259 @@
+//! Additive (Bahdanau) attention, paper §6.4.1 equations (8)–(10):
+//!
+//! ```text
+//! g(s_t, h_i) = v_a^T tanh(W_s s_t + W_h h_i)
+//! α_i = softmax_i(g(s_t, h_i))
+//! a_t = Σ_i α_i h_i
+//! ```
+
+use crate::matrix::{dot, softmax, softmax_backward, Matrix};
+use rand::rngs::StdRng;
+
+/// Attention parameters.
+#[derive(Debug, Clone)]
+pub struct AdditiveAttention {
+    /// `W_s`, `d_a x hidden`.
+    pub w_s: Matrix,
+    /// `W_h`, `d_a x hidden`.
+    pub w_h: Matrix,
+    /// `v_a`, `d_a`.
+    pub v_a: Vec<f32>,
+    /// Attention dimensionality.
+    pub dim: usize,
+}
+
+/// Forward cache for one attention application.
+#[derive(Debug, Clone)]
+pub struct AttnCache {
+    s: Vec<f32>,
+    /// tanh pre-activations per encoder position.
+    t: Vec<Vec<f32>>,
+    /// attention weights.
+    pub alpha: Vec<f32>,
+}
+
+/// Gradients for [`AdditiveAttention`].
+#[derive(Debug, Clone)]
+pub struct AttnGrads {
+    /// d/dW_s.
+    pub w_s: Matrix,
+    /// d/dW_h.
+    pub w_h: Matrix,
+    /// d/dv_a.
+    pub v_a: Vec<f32>,
+}
+
+impl AttnGrads {
+    /// Zeroed gradients for `attn`.
+    pub fn zeros(attn: &AdditiveAttention) -> Self {
+        AttnGrads {
+            w_s: Matrix::zeros(attn.w_s.rows, attn.w_s.cols),
+            w_h: Matrix::zeros(attn.w_h.rows, attn.w_h.cols),
+            v_a: vec![0.0; attn.v_a.len()],
+        }
+    }
+
+    /// Reset to zero.
+    pub fn clear(&mut self) {
+        self.w_s.fill_zero();
+        self.w_h.fill_zero();
+        self.v_a.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+impl AdditiveAttention {
+    /// New attention module with uniform initialization.
+    pub fn new(hidden: usize, dim: usize, scale: f32, rng: &mut StdRng) -> Self {
+        AdditiveAttention {
+            w_s: Matrix::uniform(dim, hidden, scale, rng),
+            w_h: Matrix::uniform(dim, hidden, scale, rng),
+            v_a: (0..dim).map(|_| rng.gen_range(-scale..=scale)).collect(),
+            dim,
+        }
+    }
+
+    /// Parameter count.
+    pub fn parameter_count(&self) -> usize {
+        self.w_s.len() + self.w_h.len() + self.v_a.len()
+    }
+
+    /// Compute the context vector for decoder state `s` over
+    /// `encoder_states`; returns `(context, cache)`.
+    pub fn forward(&self, s: &[f32], encoder_states: &[Vec<f32>]) -> (Vec<f32>, AttnCache) {
+        let ws_s = self.w_s.matvec(s);
+        let mut scores = Vec::with_capacity(encoder_states.len());
+        let mut t_cache = Vec::with_capacity(encoder_states.len());
+        for h in encoder_states {
+            let mut pre = self.w_h.matvec(h);
+            for (a, b) in pre.iter_mut().zip(&ws_s) {
+                *a += b;
+            }
+            let t: Vec<f32> = pre.iter().map(|v| v.tanh()).collect();
+            scores.push(dot(&self.v_a, &t));
+            t_cache.push(t);
+        }
+        let alpha = softmax(&scores);
+        let hidden = encoder_states[0].len();
+        let mut context = vec![0.0f32; hidden];
+        for (a, h) in alpha.iter().zip(encoder_states) {
+            for (c, hv) in context.iter_mut().zip(h) {
+                *c += a * hv;
+            }
+        }
+        (context, AttnCache { s: s.to_vec(), t: t_cache, alpha })
+    }
+
+    /// Backward pass: given `d_context`, accumulate parameter
+    /// gradients and return `(ds, d_encoder_states)`.
+    pub fn backward(
+        &self,
+        cache: &AttnCache,
+        encoder_states: &[Vec<f32>],
+        d_context: &[f32],
+        grads: &mut AttnGrads,
+    ) -> (Vec<f32>, Vec<Vec<f32>>) {
+        let n = encoder_states.len();
+        let hidden = encoder_states[0].len();
+        // dα_i = d_context · h_i ; dh_i += α_i d_context.
+        let mut d_alpha = vec![0.0f32; n];
+        let mut d_enc: Vec<Vec<f32>> = vec![vec![0.0; hidden]; n];
+        for i in 0..n {
+            d_alpha[i] = dot(d_context, &encoder_states[i]);
+            for k in 0..hidden {
+                d_enc[i][k] += cache.alpha[i] * d_context[k];
+            }
+        }
+        let d_scores = softmax_backward(&cache.alpha, &d_alpha);
+        let mut ds = vec![0.0f32; cache.s.len()];
+        for i in 0..n {
+            let dsc = d_scores[i];
+            if dsc == 0.0 {
+                continue;
+            }
+            // dv_a += dsc * t_i ; dt = dsc * v_a.
+            let t = &cache.t[i];
+            let mut dpre = vec![0.0f32; self.dim];
+            for k in 0..self.dim {
+                grads.v_a[k] += dsc * t[k];
+                dpre[k] = dsc * self.v_a[k] * (1.0 - t[k] * t[k]);
+            }
+            grads.w_s.add_outer(&dpre, &cache.s);
+            grads.w_h.add_outer(&dpre, &encoder_states[i]);
+            let ds_part = self.w_s.matvec_t(&dpre);
+            for (a, b) in ds.iter_mut().zip(&ds_part) {
+                *a += b;
+            }
+            let dh_part = self.w_h.matvec_t(&dpre);
+            for (a, b) in d_enc[i].iter_mut().zip(&dh_part) {
+                *a += b;
+            }
+        }
+        (ds, d_enc)
+    }
+
+    /// SGD update.
+    pub fn apply_gradients(&mut self, grads: &AttnGrads, lr: f32) {
+        self.w_s.add_scaled(&grads.w_s, -lr);
+        self.w_h.add_scaled(&grads.w_h, -lr);
+        for (p, g) in self.v_a.iter_mut().zip(&grads.v_a) {
+            *p -= lr * g;
+        }
+    }
+}
+
+use rand::Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::seeded_rng;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let mut rng = seeded_rng(1);
+        let attn = AdditiveAttention::new(4, 3, 0.2, &mut rng);
+        let enc = vec![vec![0.1; 4], vec![0.5; 4], vec![-0.3; 4]];
+        let (ctx, cache) = attn.forward(&[0.2, -0.1, 0.4, 0.0], &enc);
+        assert_eq!(ctx.len(), 4);
+        let sum: f32 = cache.alpha.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn context_is_convex_combination() {
+        let mut rng = seeded_rng(2);
+        let attn = AdditiveAttention::new(2, 3, 0.2, &mut rng);
+        let enc = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let (ctx, _) = attn.forward(&[0.3, 0.7], &enc);
+        // Both components in [0, 1] and summing to 1.
+        assert!((ctx[0] + ctx[1] - 1.0).abs() < 1e-5);
+        assert!(ctx[0] >= 0.0 && ctx[1] >= 0.0);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = seeded_rng(3);
+        let mut attn = AdditiveAttention::new(3, 2, 0.5, &mut rng);
+        let enc = vec![vec![0.2, -0.1, 0.4], vec![-0.3, 0.5, 0.1], vec![0.0, 0.2, -0.2]];
+        let s = vec![0.1f32, -0.4, 0.3];
+        // Loss = sum(context).
+        let loss_of = |attn: &AdditiveAttention| {
+            let (ctx, _) = attn.forward(&s, &enc);
+            ctx.iter().sum::<f32>()
+        };
+        let (ctx, cache) = attn.forward(&s, &enc);
+        let mut grads = AttnGrads::zeros(&attn);
+        let d_ctx = vec![1.0f32; ctx.len()];
+        let (ds, d_enc) = attn.backward(&cache, &enc, &d_ctx, &mut grads);
+
+        let eps = 1e-2f32;
+        // Parameter gradients.
+        for idx in 0..attn.w_s.len() {
+            let orig = attn.w_s.data[idx];
+            attn.w_s.data[idx] = orig + eps;
+            let fp = loss_of(&attn);
+            attn.w_s.data[idx] = orig - eps;
+            let fm = loss_of(&attn);
+            attn.w_s.data[idx] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - grads.w_s.data[idx]).abs() < 5e-3, "w_s[{idx}]");
+        }
+        for idx in 0..attn.v_a.len() {
+            let orig = attn.v_a[idx];
+            attn.v_a[idx] = orig + eps;
+            let fp = loss_of(&attn);
+            attn.v_a[idx] = orig - eps;
+            let fm = loss_of(&attn);
+            attn.v_a[idx] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - grads.v_a[idx]).abs() < 5e-3, "v_a[{idx}]");
+        }
+        // Input gradients (s).
+        for i in 0..s.len() {
+            let mut sp = s.clone();
+            sp[i] += eps;
+            let mut sm = s.clone();
+            sm[i] -= eps;
+            let fp: f32 = attn.forward(&sp, &enc).0.iter().sum();
+            let fm: f32 = attn.forward(&sm, &enc).0.iter().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - ds[i]).abs() < 5e-3, "ds[{i}]: {numeric} vs {}", ds[i]);
+        }
+        // Encoder-state gradients.
+        for (i, h) in enc.iter().enumerate() {
+            for k in 0..h.len() {
+                let mut e2 = enc.clone();
+                e2[i][k] += eps;
+                let fp: f32 = attn.forward(&s, &e2).0.iter().sum();
+                e2[i][k] -= 2.0 * eps;
+                let fm: f32 = attn.forward(&s, &e2).0.iter().sum();
+                let numeric = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (numeric - d_enc[i][k]).abs() < 5e-3,
+                    "d_enc[{i}][{k}]: {numeric} vs {}",
+                    d_enc[i][k]
+                );
+            }
+        }
+    }
+}

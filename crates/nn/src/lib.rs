@@ -1,0 +1,29 @@
+//! # lantern-nn
+//!
+//! A from-scratch neural-network stack implementing exactly the model
+//! of paper §6.4: an LSTM encoder (eqs. 2–6), an LSTM decoder with
+//! additive (Bahdanau) attention (eqs. 7–10), a softmax generation
+//! layer over the concatenated state and context (eq. 11), teacher
+//! forcing + cross-entropy training (eq. 12), SGD, early stopping, and
+//! beam-search decoding (§6.4.3).
+//!
+//! Everything is plain `f32` Rust — no BLAS — with deterministic
+//! initialization from a seed, so experiments are reproducible.
+
+pub mod attention;
+pub mod beam;
+pub mod lstm;
+pub mod matrix;
+pub mod metrics;
+pub mod params;
+pub mod seq2seq;
+pub mod trainer;
+
+pub use attention::AdditiveAttention;
+pub use beam::{beam_search, BeamHypothesis};
+pub use lstm::{LstmCell, LstmState};
+pub use matrix::Matrix;
+pub use metrics::sparse_categorical_accuracy;
+pub use params::{count_parameters, ParamReport};
+pub use seq2seq::{Seq2Seq, Seq2SeqConfig};
+pub use trainer::{EarlyStopping, TrainOptions, TrainReport, Trainer};

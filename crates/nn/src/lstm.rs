@@ -1,0 +1,355 @@
+//! The LSTM cell of paper §6.4.1, equations (2)–(6):
+//!
+//! ```text
+//! i_t = sigmoid(U_i h_{t-1} + V_i x_t)        [input gate]
+//! f_t = sigmoid(U_f h_{t-1} + V_f x_t)        [forget gate]
+//! o_t = sigmoid(U_o h_{t-1} + V_o x_t)        [output gate]
+//! c_t = i_t ⊙ tanh(U_c h_{t-1} + V_c x_t) + f_t ⊙ c_{t-1}
+//! h_t = o_t ⊙ tanh(c_t)
+//! ```
+//!
+//! with a bias term per gate (the PyTorch/Keras convention the paper's
+//! Table-3 parameter counts follow: `4h(in + h) + 4h` parameters).
+//! Full backpropagation through time is implemented by hand and
+//! verified against finite differences.
+
+use crate::matrix::{sigmoid, Matrix};
+use rand::rngs::StdRng;
+
+/// Gate slab order inside the fused `4h` dimension.
+const GATE_I: usize = 0;
+const GATE_F: usize = 1;
+const GATE_O: usize = 2;
+const GATE_G: usize = 3;
+
+/// LSTM parameters: fused gate matrices `V` (input, `4h x in`), `U`
+/// (recurrent, `4h x h`), and bias `b` (`4h`).
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    /// Input weights, `4h x input_dim`.
+    pub v: Matrix,
+    /// Recurrent weights, `4h x hidden_dim`.
+    pub u: Matrix,
+    /// Bias, `4h`.
+    pub b: Vec<f32>,
+    /// Hidden size.
+    pub hidden: usize,
+    /// Input size.
+    pub input: usize,
+}
+
+/// Running state `(h, c)`.
+#[derive(Debug, Clone)]
+pub struct LstmState {
+    /// Hidden vector.
+    pub h: Vec<f32>,
+    /// Cell vector.
+    pub c: Vec<f32>,
+}
+
+impl LstmState {
+    /// Zero state.
+    pub fn zeros(hidden: usize) -> Self {
+        LstmState { h: vec![0.0; hidden], c: vec![0.0; hidden] }
+    }
+}
+
+/// Per-step cache for backprop.
+#[derive(Debug, Clone)]
+pub struct LstmStepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    gates: Vec<f32>, // post-activation [i, f, o, g] fused
+    tanh_c: Vec<f32>,
+}
+
+/// Gradient accumulators matching [`LstmCell`].
+#[derive(Debug, Clone)]
+pub struct LstmGrads {
+    /// d/dV.
+    pub v: Matrix,
+    /// d/dU.
+    pub u: Matrix,
+    /// d/db.
+    pub b: Vec<f32>,
+}
+
+impl LstmGrads {
+    /// Zeroed gradients for `cell`.
+    pub fn zeros(cell: &LstmCell) -> Self {
+        LstmGrads {
+            v: Matrix::zeros(cell.v.rows, cell.v.cols),
+            u: Matrix::zeros(cell.u.rows, cell.u.cols),
+            b: vec![0.0; cell.b.len()],
+        }
+    }
+
+    /// Reset to zero.
+    pub fn clear(&mut self) {
+        self.v.fill_zero();
+        self.u.fill_zero();
+        self.b.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+impl LstmCell {
+    /// New cell with uniform `[-scale, scale]` initialization.
+    pub fn new(input: usize, hidden: usize, scale: f32, rng: &mut StdRng) -> Self {
+        LstmCell {
+            v: Matrix::uniform(4 * hidden, input, scale, rng),
+            u: Matrix::uniform(4 * hidden, hidden, scale, rng),
+            b: vec![0.0; 4 * hidden],
+            hidden,
+            input,
+        }
+    }
+
+    /// Parameter count: `4h(in + h) + 4h`.
+    pub fn parameter_count(&self) -> usize {
+        self.v.len() + self.u.len() + self.b.len()
+    }
+
+    /// One forward step; returns the new state and the cache needed by
+    /// [`LstmCell::backward_step`].
+    pub fn forward_step(&self, state: &LstmState, x: &[f32]) -> (LstmState, LstmStepCache) {
+        let h = self.hidden;
+        let mut z = self.v.matvec(x);
+        let uz = self.u.matvec(&state.h);
+        for (a, b) in z.iter_mut().zip(&uz) {
+            *a += b;
+        }
+        for (a, b) in z.iter_mut().zip(&self.b) {
+            *a += b;
+        }
+        let mut gates = vec![0.0f32; 4 * h];
+        for k in 0..h {
+            gates[GATE_I * h + k] = sigmoid(z[GATE_I * h + k]);
+            gates[GATE_F * h + k] = sigmoid(z[GATE_F * h + k]);
+            gates[GATE_O * h + k] = sigmoid(z[GATE_O * h + k]);
+            gates[GATE_G * h + k] = z[GATE_G * h + k].tanh();
+        }
+        let mut c = vec![0.0f32; h];
+        let mut hh = vec![0.0f32; h];
+        let mut tanh_c = vec![0.0f32; h];
+        for k in 0..h {
+            c[k] = gates[GATE_I * h + k] * gates[GATE_G * h + k]
+                + gates[GATE_F * h + k] * state.c[k];
+            tanh_c[k] = c[k].tanh();
+            hh[k] = gates[GATE_O * h + k] * tanh_c[k];
+        }
+        let cache = LstmStepCache {
+            x: x.to_vec(),
+            h_prev: state.h.clone(),
+            c_prev: state.c.clone(),
+            gates,
+            tanh_c: tanh_c.clone(),
+        };
+        (LstmState { h: hh, c }, cache)
+    }
+
+    /// One backward step. `dh`/`dc` are the gradients flowing into
+    /// `h_t`/`c_t`; returns `(dx, dh_prev, dc_prev)` and accumulates
+    /// parameter gradients into `grads`.
+    pub fn backward_step(
+        &self,
+        cache: &LstmStepCache,
+        dh: &[f32],
+        dc_in: &[f32],
+        grads: &mut LstmGrads,
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let h = self.hidden;
+        let g = &cache.gates;
+        let mut dz = vec![0.0f32; 4 * h];
+        let mut dc_prev = vec![0.0f32; h];
+        for k in 0..h {
+            let o = g[GATE_O * h + k];
+            let i = g[GATE_I * h + k];
+            let f = g[GATE_F * h + k];
+            let gg = g[GATE_G * h + k];
+            let tc = cache.tanh_c[k];
+            let dc = dc_in[k] + dh[k] * o * (1.0 - tc * tc);
+            let do_ = dh[k] * tc;
+            let di = dc * gg;
+            let dg = dc * i;
+            let df = dc * cache.c_prev[k];
+            dc_prev[k] = dc * f;
+            dz[GATE_I * h + k] = di * i * (1.0 - i);
+            dz[GATE_F * h + k] = df * f * (1.0 - f);
+            dz[GATE_O * h + k] = do_ * o * (1.0 - o);
+            dz[GATE_G * h + k] = dg * (1.0 - gg * gg);
+        }
+        grads.v.add_outer(&dz, &cache.x);
+        grads.u.add_outer(&dz, &cache.h_prev);
+        for (a, b) in grads.b.iter_mut().zip(&dz) {
+            *a += b;
+        }
+        let dx = self.v.matvec_t(&dz);
+        let dh_prev = self.u.matvec_t(&dz);
+        (dx, dh_prev, dc_prev)
+    }
+
+    /// SGD update: `θ -= lr * dθ`.
+    pub fn apply_gradients(&mut self, grads: &LstmGrads, lr: f32) {
+        self.v.add_scaled(&grads.v, -lr);
+        self.u.add_scaled(&grads.u, -lr);
+        for (p, g) in self.b.iter_mut().zip(&grads.b) {
+            *p -= lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::seeded_rng;
+
+    /// Scalar loss for gradient checking: sum of final h.
+    fn run_loss(cell: &LstmCell, xs: &[Vec<f32>]) -> f32 {
+        let mut state = LstmState::zeros(cell.hidden);
+        for x in xs {
+            let (s, _) = cell.forward_step(&state, x);
+            state = s;
+        }
+        state.h.iter().sum()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = seeded_rng(1);
+        let cell = LstmCell::new(3, 5, 0.1, &mut rng);
+        let (s, _) = cell.forward_step(&LstmState::zeros(5), &[0.1, 0.2, 0.3]);
+        assert_eq!(s.h.len(), 5);
+        assert_eq!(s.c.len(), 5);
+    }
+
+    #[test]
+    fn parameter_count_formula() {
+        let mut rng = seeded_rng(1);
+        // The paper's encoder: input 16, hidden 256 -> 279,552.
+        let cell = LstmCell::new(16, 256, 0.1, &mut rng);
+        assert_eq!(cell.parameter_count(), 279_552);
+    }
+
+    #[test]
+    fn gates_bounded() {
+        let mut rng = seeded_rng(2);
+        let cell = LstmCell::new(2, 4, 0.1, &mut rng);
+        let (s, cache) = cell.forward_step(&LstmState::zeros(4), &[10.0, -10.0]);
+        for k in 0..12 {
+            assert!((0.0..=1.0).contains(&cache.gates[k]), "sigmoid gate out of range");
+        }
+        for v in &s.h {
+            assert!(v.abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn gradient_check_parameters() {
+        let mut rng = seeded_rng(3);
+        let mut cell = LstmCell::new(2, 3, 0.5, &mut rng);
+        let xs = vec![vec![0.3, -0.2], vec![0.1, 0.4], vec![-0.5, 0.2]];
+
+        // Analytic gradients via BPTT (loss = sum of final h).
+        let mut state = LstmState::zeros(3);
+        let mut caches = Vec::new();
+        for x in &xs {
+            let (s, cache) = cell.forward_step(&state, x);
+            caches.push(cache);
+            state = s;
+        }
+        let mut grads = LstmGrads::zeros(&cell);
+        let mut dh = vec![1.0f32; 3];
+        let mut dc = vec![0.0f32; 3];
+        for cache in caches.iter().rev() {
+            let (_, dh_prev, dc_prev) = cell.backward_step(cache, &dh, &dc, &mut grads);
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+
+        // Finite differences on a sample of parameters.
+        let eps = 1e-2f32;
+        let check = |cell: &mut LstmCell, grads_val: f32, which: usize, idx: usize| {
+            let read = |c: &LstmCell| match which {
+                0 => c.v.data[idx],
+                1 => c.u.data[idx],
+                _ => c.b[idx],
+            };
+            let write = |c: &mut LstmCell, v: f32| match which {
+                0 => c.v.data[idx] = v,
+                1 => c.u.data[idx] = v,
+                _ => c.b[idx] = v,
+            };
+            let orig = read(cell);
+            write(cell, orig + eps);
+            let fp = run_loss(cell, &xs);
+            write(cell, orig - eps);
+            let fm = run_loss(cell, &xs);
+            write(cell, orig);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - grads_val).abs() < 2e-2,
+                "which={which} idx={idx}: numeric {numeric} vs analytic {grads_val}"
+            );
+        };
+        for idx in [0, 3, 7, 11, 17, 23] {
+            let g = grads.v.data[idx];
+            check(&mut cell, g, 0, idx);
+        }
+        for idx in [0, 5, 10, 20, 35] {
+            let g = grads.u.data[idx];
+            check(&mut cell, g, 1, idx);
+        }
+        for idx in [0, 4, 8, 11] {
+            let g = grads.b[idx];
+            check(&mut cell, g, 2, idx);
+        }
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let mut rng = seeded_rng(4);
+        let cell = LstmCell::new(2, 3, 0.5, &mut rng);
+        let x = vec![0.3f32, -0.4];
+        let state = LstmState::zeros(3);
+        let (_, cache) = cell.forward_step(&state, &x);
+        let mut grads = LstmGrads::zeros(&cell);
+        let (dx, _, _) =
+            cell.backward_step(&cache, &[1.0, 1.0, 1.0], &[0.0, 0.0, 0.0], &mut grads);
+        let eps = 1e-2f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let fp: f32 = cell.forward_step(&state, &xp).0.h.iter().sum();
+            let fm: f32 = cell.forward_step(&state, &xm).0.h.iter().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - dx[i]).abs() < 1e-2, "{numeric} vs {}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn sgd_step_reduces_simple_loss() {
+        // One-step regression: drive sum(h) toward 1.0.
+        let mut rng = seeded_rng(5);
+        let mut cell = LstmCell::new(2, 4, 0.1, &mut rng);
+        let x = vec![0.5f32, -0.3];
+        let loss_of = |c: &LstmCell| {
+            let (s, _) = c.forward_step(&LstmState::zeros(4), &x);
+            let sum: f32 = s.h.iter().sum();
+            (sum - 1.0) * (sum - 1.0)
+        };
+        let initial = loss_of(&cell);
+        for _ in 0..200 {
+            let (s, cache) = cell.forward_step(&LstmState::zeros(4), &x);
+            let sum: f32 = s.h.iter().sum();
+            let dsum = 2.0 * (sum - 1.0);
+            let dh = vec![dsum; 4];
+            let mut grads = LstmGrads::zeros(&cell);
+            cell.backward_step(&cache, &dh, &[0.0; 4], &mut grads);
+            cell.apply_gradients(&grads, 0.05);
+        }
+        assert!(loss_of(&cell) < initial * 0.05, "{} -> {}", initial, loss_of(&cell));
+    }
+}

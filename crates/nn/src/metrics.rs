@@ -1,0 +1,78 @@
+//! Evaluation metrics. `sparse_categorical_accuracy` is the Keras
+//! metric the paper reports in Figure 7: per-token argmax accuracy
+//! under teacher forcing, averaged over output sequences.
+
+/// Fraction of positions where `predicted[i] == target[i]`, computed
+/// over `min(len)` positions; empty targets score 0.
+pub fn sparse_categorical_accuracy(predicted: &[usize], target: &[usize]) -> f64 {
+    if target.is_empty() {
+        return 0.0;
+    }
+    let n = predicted.len().min(target.len());
+    let correct = predicted[..n].iter().zip(&target[..n]).filter(|(a, b)| a == b).count();
+    correct as f64 / target.len() as f64
+}
+
+/// Running mean helper for epoch-level metric aggregation.
+#[derive(Debug, Clone, Default)]
+pub struct RunningMean {
+    sum: f64,
+    count: usize,
+}
+
+impl RunningMean {
+    /// Add one observation.
+    pub fn push(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Current mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match() {
+        assert_eq!(sparse_categorical_accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+    }
+
+    #[test]
+    fn partial_match() {
+        assert_eq!(sparse_categorical_accuracy(&[1, 9, 3], &[1, 2, 3]), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn length_mismatch_counts_missing_as_wrong() {
+        assert_eq!(sparse_categorical_accuracy(&[1], &[1, 2, 3]), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn empty_target_is_zero() {
+        assert_eq!(sparse_categorical_accuracy(&[1], &[]), 0.0);
+    }
+
+    #[test]
+    fn running_mean() {
+        let mut m = RunningMean::default();
+        assert_eq!(m.mean(), 0.0);
+        m.push(1.0);
+        m.push(3.0);
+        assert_eq!(m.mean(), 2.0);
+        assert_eq!(m.count(), 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Parameter accounting for the paper's Table 3 ("Statistics about our
+//! LSTM layer").
+//!
+//! The paper's encoder uses 16-dimensional learned embeddings and 256
+//! LSTM cells, giving `4·256·(16+256) + 4·256 = 279,552` recurrent
+//! parameters in every row. The decoder LSTM input is `[embedding;
+//! context]` (input feeding), so its recurrent count is
+//! `4·256·(d+256+256) + 4·256` where `d` is the decoder embedding
+//! dimension — this reproduces the paper's decoder counts exactly for
+//! GloVe (100 → 627,712), BERT (768 → 1,311,744) and ELMo (1024 →
+//! 1,573,888). For the Word2Vec row the published count (558,080)
+//! implies `d = 32`, i.e. the 128-d vectors were projected to the
+//! 32-d decoder embedding size; we adopt that reading and note it in
+//! EXPERIMENTS.md.
+
+use crate::seq2seq::Seq2SeqConfig;
+
+/// Parameter breakdown for one model configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamReport {
+    /// Row label (e.g. `QEP2Seq+GloVe`).
+    pub name: String,
+    /// Embedding dimension reported in the table.
+    pub embedding_dim: usize,
+    /// Encoder recurrent parameters.
+    pub encoder_recurrent: usize,
+    /// Decoder recurrent parameters.
+    pub decoder_recurrent: usize,
+    /// Total parameters (embeddings + recurrent + attention + output).
+    pub total: usize,
+}
+
+impl ParamReport {
+    /// Recurrent-connection total (the paper's third column).
+    pub fn recurrent_total(&self) -> usize {
+        self.encoder_recurrent + self.decoder_recurrent
+    }
+}
+
+/// LSTM parameter count: `4h(in + h) + 4h`.
+pub fn lstm_params(input: usize, hidden: usize) -> usize {
+    4 * hidden * (input + hidden) + 4 * hidden
+}
+
+/// Compute the parameter report for a configuration.
+pub fn count_parameters(name: &str, config: &Seq2SeqConfig, reported_dim: usize) -> ParamReport {
+    let h = config.hidden;
+    let encoder_recurrent = lstm_params(config.encoder_embed_dim, h);
+    let decoder_recurrent = lstm_params(config.decoder_embed_dim + h, h);
+    let embeddings = config.input_vocab * config.encoder_embed_dim
+        + config.output_vocab * config.decoder_embed_dim;
+    let attention = 2 * config.attention_dim * h + config.attention_dim;
+    let output = config.output_vocab * 2 * h + config.output_vocab;
+    ParamReport {
+        name: name.to_string(),
+        embedding_dim: reported_dim,
+        encoder_recurrent,
+        decoder_recurrent,
+        total: embeddings + encoder_recurrent + decoder_recurrent + attention + output,
+    }
+}
+
+/// The four Table-3 configurations at paper scale (hidden 256, input
+/// vocab 36, output vocab 62).
+pub fn table3_configs() -> Vec<(String, Seq2SeqConfig, usize)> {
+    let base = Seq2SeqConfig {
+        input_vocab: 36,
+        output_vocab: 62,
+        hidden: 256,
+        encoder_embed_dim: 16,
+        decoder_embed_dim: 32,
+        attention_dim: 64,
+        share_recurrent_weights: false,
+        init_scale: 0.1,
+        seed: 0,
+    };
+    let mut rows = Vec::new();
+    // Word2Vec: 128-d vectors projected to the 32-d decoder embedding.
+    rows.push(("QEP2Seq+Word2Vec".to_string(), base.clone(), 128));
+    let mut glove = base.clone();
+    glove.decoder_embed_dim = 100;
+    rows.push(("QEP2Seq+GloVe".to_string(), glove, 100));
+    let mut bert = base.clone();
+    bert.decoder_embed_dim = 768;
+    rows.push(("QEP2Seq+BERT".to_string(), bert, 768));
+    let mut elmo = base;
+    elmo.decoder_embed_dim = 1024;
+    rows.push(("QEP2Seq+ELMo".to_string(), elmo, 1024));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoder_recurrent_matches_paper_in_all_rows() {
+        // Paper Table 3: encoder recurrent = 279,552 for every row.
+        for (name, config, dim) in table3_configs() {
+            let r = count_parameters(&name, &config, dim);
+            assert_eq!(r.encoder_recurrent, 279_552, "{name}");
+        }
+    }
+
+    #[test]
+    fn decoder_recurrent_matches_paper_rows() {
+        let rows = table3_configs();
+        let by_name = |n: &str| {
+            rows.iter()
+                .find(|(name, _, _)| name == n)
+                .map(|(name, c, d)| count_parameters(name, c, *d))
+                .unwrap()
+        };
+        assert_eq!(by_name("QEP2Seq+Word2Vec").decoder_recurrent, 558_080);
+        assert_eq!(by_name("QEP2Seq+GloVe").decoder_recurrent, 627_712);
+        assert_eq!(by_name("QEP2Seq+BERT").decoder_recurrent, 1_311_744);
+        assert_eq!(by_name("QEP2Seq+ELMo").decoder_recurrent, 1_573_888);
+    }
+
+    #[test]
+    fn recurrent_totals_match_paper() {
+        let rows = table3_configs();
+        let expect = [
+            ("QEP2Seq+Word2Vec", 837_632usize),
+            ("QEP2Seq+GloVe", 907_264),
+            ("QEP2Seq+BERT", 1_591_296),
+            ("QEP2Seq+ELMo", 1_853_440),
+        ];
+        for (name, want) in expect {
+            let (n, c, d) = rows.iter().find(|(n, _, _)| n == name).unwrap();
+            let r = count_parameters(n, c, *d);
+            assert_eq!(r.recurrent_total(), want, "{name}");
+        }
+    }
+
+    #[test]
+    fn totals_in_paper_ballpark() {
+        // The paper's totals include its (unspecified) attention and
+        // output heads; ours must land within 10% of the published
+        // numbers.
+        let expect = [
+            ("QEP2Seq+Word2Vec", 920_393usize),
+            ("QEP2Seq+GloVe", 993_901),
+            ("QEP2Seq+BERT", 1_716_009),
+            ("QEP2Seq+ELMo", 1_992_745),
+        ];
+        for ((name, config, dim), (ename, want)) in table3_configs().iter().zip(expect) {
+            assert_eq!(name, ename);
+            let r = count_parameters(name, config, *dim);
+            let rel = (r.total as f64 - want as f64).abs() / want as f64;
+            assert!(rel < 0.10, "{name}: ours {} vs paper {want} ({rel:.3})", r.total);
+        }
+    }
+
+    #[test]
+    fn count_matches_live_model() {
+        // The analytic count agrees with an instantiated model.
+        use crate::seq2seq::Seq2Seq;
+        let (name, config, dim) = &table3_configs()[1]; // GloVe
+        let report = count_parameters(name, config, *dim);
+        let model = Seq2Seq::new(config.clone());
+        assert_eq!(model.parameter_count(), report.total);
+    }
+}

@@ -1,0 +1,672 @@
+//! The QEP2Seq encoder/decoder model (paper §6.4): LSTM encoder over
+//! the input act tokens, LSTM decoder with additive attention and input
+//! feeding (the decoder input is `[embedding; previous context]`, which
+//! is what the paper's Table-3 parameter counts imply), and a softmax
+//! generation layer over `[s_t; a_t]` (eq. 11).
+//!
+//! Decoder embeddings are pluggable: randomly initialized and learned,
+//! or pre-trained (Word2Vec/GloVe/BERT-style/ELMo-style vectors from
+//! `lantern-embed`) and frozen. Encoder/decoder recurrent weights can
+//! optionally be shared (Figure 7(b)).
+
+use crate::attention::{AdditiveAttention, AttnGrads};
+use crate::lstm::{LstmCell, LstmGrads, LstmState};
+use crate::matrix::{seeded_rng, softmax, Matrix};
+use lantern_text::vocab::{BOS, EOS};
+
+/// Model hyperparameters.
+#[derive(Debug, Clone)]
+pub struct Seq2SeqConfig {
+    /// Input (act-token) vocabulary size.
+    pub input_vocab: usize,
+    /// Output (word) vocabulary size.
+    pub output_vocab: usize,
+    /// LSTM hidden size (paper: 256).
+    pub hidden: usize,
+    /// Encoder embedding dimension (paper: 16, random init).
+    pub encoder_embed_dim: usize,
+    /// Decoder embedding dimension (paper: 32 random init, or the
+    /// pre-trained vector dimension).
+    pub decoder_embed_dim: usize,
+    /// Attention dimensionality `d_a`.
+    pub attention_dim: usize,
+    /// Tie the encoder and decoder recurrent matrices `U` (Fig 7(b)).
+    pub share_recurrent_weights: bool,
+    /// Uniform init scale (paper: 0.1).
+    pub init_scale: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Seq2SeqConfig {
+    fn default() -> Self {
+        Seq2SeqConfig {
+            input_vocab: 36,
+            output_vocab: 62,
+            hidden: 256,
+            encoder_embed_dim: 16,
+            decoder_embed_dim: 32,
+            attention_dim: 64,
+            share_recurrent_weights: false,
+            init_scale: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+/// The model.
+#[derive(Debug, Clone)]
+pub struct Seq2Seq {
+    /// Configuration this model was built with.
+    pub config: Seq2SeqConfig,
+    /// Encoder token embeddings (`input_vocab x enc_dim`), learned.
+    pub enc_embed: Matrix,
+    /// Encoder LSTM.
+    pub encoder: LstmCell,
+    /// Decoder token embeddings (`output_vocab x dec_dim`).
+    pub dec_embed: Matrix,
+    /// Whether decoder embeddings receive gradient updates (false for
+    /// frozen pre-trained vectors).
+    pub dec_embed_trainable: bool,
+    /// Decoder LSTM (input = `dec_dim + hidden` via input feeding).
+    pub decoder: LstmCell,
+    /// Additive attention.
+    pub attention: AdditiveAttention,
+    /// Output projection over `[s_t; a_t]` (`output_vocab x 2*hidden`).
+    pub w_out: Matrix,
+    /// Output bias.
+    pub b_out: Vec<f32>,
+}
+
+/// Gradient accumulators for one batch.
+#[derive(Debug, Clone)]
+pub struct Seq2SeqGrads {
+    enc_embed: Matrix,
+    encoder: LstmGrads,
+    dec_embed: Matrix,
+    decoder: LstmGrads,
+    attention: AttnGrads,
+    w_out: Matrix,
+    b_out: Vec<f32>,
+}
+
+impl Seq2SeqGrads {
+    /// Zeroed accumulators for `model`.
+    pub fn zeros(model: &Seq2Seq) -> Self {
+        Seq2SeqGrads {
+            enc_embed: Matrix::zeros(model.enc_embed.rows, model.enc_embed.cols),
+            encoder: LstmGrads::zeros(&model.encoder),
+            dec_embed: Matrix::zeros(model.dec_embed.rows, model.dec_embed.cols),
+            decoder: LstmGrads::zeros(&model.decoder),
+            attention: AttnGrads::zeros(&model.attention),
+            w_out: Matrix::zeros(model.w_out.rows, model.w_out.cols),
+            b_out: vec![0.0; model.b_out.len()],
+        }
+    }
+
+    /// Reset all accumulators to zero.
+    pub fn clear(&mut self) {
+        self.enc_embed.fill_zero();
+        self.encoder.clear();
+        self.dec_embed.fill_zero();
+        self.decoder.clear();
+        self.attention.clear();
+        self.w_out.fill_zero();
+        self.b_out.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Global L2 norm of all gradients (for clipping).
+    pub fn global_norm(&self) -> f32 {
+        let mut sq = 0.0f32;
+        for m in [&self.enc_embed, &self.dec_embed, &self.w_out, &self.encoder.v,
+                  &self.encoder.u, &self.decoder.v, &self.decoder.u,
+                  &self.attention.w_s, &self.attention.w_h] {
+            sq += m.data.iter().map(|v| v * v).sum::<f32>();
+        }
+        for v in [&self.encoder.b, &self.decoder.b, &self.attention.v_a, &self.b_out] {
+            sq += v.iter().map(|x| x * x).sum::<f32>();
+        }
+        sq.sqrt()
+    }
+}
+
+/// Immutable decoding context (encoder outputs).
+#[derive(Debug, Clone)]
+pub struct EncoderOutput {
+    /// Hidden state at each input position.
+    pub states: Vec<Vec<f32>>,
+    /// Final encoder state (decoder initialization).
+    pub final_state: LstmState,
+}
+
+/// Cloneable incremental decoder state, used by beam search.
+#[derive(Debug, Clone)]
+pub struct DecoderState {
+    /// LSTM state.
+    pub state: LstmState,
+    /// Previous context vector (input feeding).
+    pub context: Vec<f32>,
+}
+
+impl Seq2Seq {
+    /// Build a model; decoder embeddings are randomly initialized and
+    /// trainable (use [`Seq2Seq::with_pretrained_decoder_embeddings`]
+    /// to install frozen vectors).
+    pub fn new(config: Seq2SeqConfig) -> Self {
+        let mut rng = seeded_rng(config.seed);
+        let s = config.init_scale;
+        let enc_embed = Matrix::uniform(config.input_vocab, config.encoder_embed_dim, s, &mut rng);
+        let encoder = LstmCell::new(config.encoder_embed_dim, config.hidden, s, &mut rng);
+        let dec_embed = Matrix::uniform(config.output_vocab, config.decoder_embed_dim, s, &mut rng);
+        let mut decoder = LstmCell::new(
+            config.decoder_embed_dim + config.hidden,
+            config.hidden,
+            s,
+            &mut rng,
+        );
+        if config.share_recurrent_weights {
+            decoder.u = encoder.u.clone();
+        }
+        let attention = AdditiveAttention::new(config.hidden, config.attention_dim, s, &mut rng);
+        let w_out = Matrix::uniform(config.output_vocab, 2 * config.hidden, s, &mut rng);
+        let b_out = vec![0.0; config.output_vocab];
+        Seq2Seq {
+            config,
+            enc_embed,
+            encoder,
+            dec_embed,
+            dec_embed_trainable: true,
+            decoder,
+            attention,
+            w_out,
+            b_out,
+        }
+    }
+
+    /// Install pre-trained decoder embeddings (rows = output vocab,
+    /// cols must equal `decoder_embed_dim`); they are frozen.
+    pub fn with_pretrained_decoder_embeddings(mut self, table: Matrix) -> Self {
+        assert_eq!(table.rows, self.config.output_vocab, "vocab mismatch");
+        assert_eq!(table.cols, self.config.decoder_embed_dim, "dimension mismatch");
+        self.dec_embed = table;
+        self.dec_embed_trainable = false;
+        self
+    }
+
+    /// Total trainable + frozen parameter count.
+    pub fn parameter_count(&self) -> usize {
+        self.enc_embed.len()
+            + self.encoder.parameter_count()
+            + self.dec_embed.len()
+            + self.decoder.parameter_count()
+            + self.attention.parameter_count()
+            + self.w_out.len()
+            + self.b_out.len()
+    }
+
+    /// Run the encoder over an input token-id sequence.
+    pub fn encode(&self, input_ids: &[usize]) -> EncoderOutput {
+        let mut state = LstmState::zeros(self.config.hidden);
+        let mut states = Vec::with_capacity(input_ids.len().max(1));
+        for &id in input_ids {
+            let x = self.enc_embed.row(id.min(self.enc_embed.rows - 1)).to_vec();
+            let (s, _) = self.encoder.forward_step(&state, &x);
+            state = s;
+            states.push(state.h.clone());
+        }
+        if states.is_empty() {
+            states.push(vec![0.0; self.config.hidden]);
+        }
+        EncoderOutput { states, final_state: state }
+    }
+
+    /// Initial decoder state from an encoder output.
+    pub fn decoder_init(&self, enc: &EncoderOutput) -> DecoderState {
+        DecoderState { state: enc.final_state.clone(), context: vec![0.0; self.config.hidden] }
+    }
+
+    /// One inference decoding step: feed `prev_token`, return the
+    /// log-probability vector over the output vocabulary and the next
+    /// state.
+    pub fn decode_step(
+        &self,
+        enc: &EncoderOutput,
+        st: &DecoderState,
+        prev_token: usize,
+    ) -> (Vec<f32>, DecoderState) {
+        let emb = self.dec_embed.row(prev_token.min(self.dec_embed.rows - 1));
+        let mut x = Vec::with_capacity(emb.len() + st.context.len());
+        x.extend_from_slice(emb);
+        x.extend_from_slice(&st.context);
+        let (state, _) = self.decoder.forward_step(&st.state, &x);
+        let (context, _) = self.attention.forward(&state.h, &enc.states);
+        let mut feat = state.h.clone();
+        feat.extend_from_slice(&context);
+        let mut logits = self.w_out.matvec(&feat);
+        for (l, b) in logits.iter_mut().zip(&self.b_out) {
+            *l += b;
+        }
+        let p = softmax(&logits);
+        let logp = p.iter().map(|v| (v + 1e-12).ln()).collect();
+        (logp, DecoderState { state, context })
+    }
+
+    /// Teacher-forced forward + full backward for one `(input,
+    /// target)` pair; accumulates gradients and returns `(mean token
+    /// cross-entropy, correct tokens, total tokens)`. `target_ids`
+    /// excludes the `<BOS>`/`<END>` specials.
+    pub fn forward_backward(
+        &self,
+        input_ids: &[usize],
+        target_ids: &[usize],
+        grads: &mut Seq2SeqGrads,
+    ) -> (f32, usize, usize) {
+        let hidden = self.config.hidden;
+        let dec_dim = self.config.decoder_embed_dim;
+
+        // ---------------- encoder forward (with caches) ----------------
+        let mut enc_state = LstmState::zeros(hidden);
+        let mut enc_caches = Vec::with_capacity(input_ids.len());
+        let mut enc_states = Vec::with_capacity(input_ids.len().max(1));
+        let mut enc_inputs = Vec::with_capacity(input_ids.len());
+        for &id in input_ids {
+            let id = id.min(self.enc_embed.rows - 1);
+            let x = self.enc_embed.row(id).to_vec();
+            let (s, cache) = self.encoder.forward_step(&enc_state, &x);
+            enc_caches.push(cache);
+            enc_state = s;
+            enc_states.push(enc_state.h.clone());
+            enc_inputs.push(id);
+        }
+        let empty_input = enc_states.is_empty();
+        if empty_input {
+            enc_states.push(vec![0.0; hidden]);
+        }
+        let enc_out =
+            EncoderOutput { states: enc_states.clone(), final_state: enc_state.clone() };
+
+        // ---------------- decoder forward (teacher forcing) -------------
+        // Input tokens: BOS, y_1 .. y_m ; targets: y_1 .. y_m, EOS.
+        let mut dec_inputs = Vec::with_capacity(target_ids.len() + 1);
+        dec_inputs.push(BOS);
+        dec_inputs.extend_from_slice(target_ids);
+        let mut dec_targets = Vec::with_capacity(target_ids.len() + 1);
+        dec_targets.extend_from_slice(target_ids);
+        dec_targets.push(EOS);
+        let steps = dec_inputs.len();
+
+        let mut st = self.decoder_init(&enc_out);
+        struct StepRecord {
+            dec_cache: crate::lstm::LstmStepCache,
+            attn_cache: crate::attention::AttnCache,
+            feat: Vec<f32>,
+            p: Vec<f32>,
+            target: usize,
+            prev_token: usize,
+        }
+        let mut records: Vec<StepRecord> = Vec::with_capacity(steps);
+        let mut loss = 0.0f32;
+        let mut correct = 0usize;
+        for t in 0..steps {
+            let prev_token = dec_inputs[t].min(self.dec_embed.rows - 1);
+            let emb = self.dec_embed.row(prev_token);
+            let mut x = Vec::with_capacity(dec_dim + hidden);
+            x.extend_from_slice(emb);
+            x.extend_from_slice(&st.context);
+            let (state, dec_cache) = self.decoder.forward_step(&st.state, &x);
+            let (context, attn_cache) = self.attention.forward(&state.h, &enc_out.states);
+            let mut feat = state.h.clone();
+            feat.extend_from_slice(&context);
+            let mut logits = self.w_out.matvec(&feat);
+            for (l, b) in logits.iter_mut().zip(&self.b_out) {
+                *l += b;
+            }
+            let p = softmax(&logits);
+            let target = dec_targets[t].min(self.config.output_vocab - 1);
+            loss -= (p[target] + 1e-12).ln();
+            let argmax = p
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            if argmax == target {
+                correct += 1;
+            }
+            records.push(StepRecord { dec_cache, attn_cache, feat, p, target, prev_token });
+            st = DecoderState { state, context };
+        }
+        let inv = 1.0 / steps as f32;
+
+        // ---------------- decoder backward ----------------
+        let mut d_enc_states = vec![vec![0.0f32; hidden]; enc_out.states.len()];
+        let mut dh_next = vec![0.0f32; hidden];
+        let mut dc_next = vec![0.0f32; hidden];
+        let mut da_feed = vec![0.0f32; hidden]; // from step t+1's input slice
+        for t in (0..steps).rev() {
+            let rec = &records[t];
+            // Output layer.
+            let mut dlogits = rec.p.clone();
+            dlogits[rec.target] -= 1.0;
+            for d in dlogits.iter_mut() {
+                *d *= inv;
+            }
+            grads.w_out.add_outer(&dlogits, &rec.feat);
+            for (g, d) in grads.b_out.iter_mut().zip(&dlogits) {
+                *g += d;
+            }
+            let dfeat = self.w_out.matvec_t(&dlogits);
+            let ds_out = &dfeat[..hidden];
+            let da_out = &dfeat[hidden..];
+            // Total context gradient: from the output layer and from
+            // the next step's input feeding.
+            let mut da_total = da_out.to_vec();
+            for (a, b) in da_total.iter_mut().zip(&da_feed) {
+                *a += b;
+            }
+            let (ds_attn, d_enc_part) = self.attention.backward(
+                &rec.attn_cache,
+                &enc_out.states,
+                &da_total,
+                &mut grads.attention,
+            );
+            for (acc, part) in d_enc_states.iter_mut().zip(&d_enc_part) {
+                for (a, b) in acc.iter_mut().zip(part) {
+                    *a += b;
+                }
+            }
+            let mut dh = ds_out.to_vec();
+            for ((a, b), c) in dh.iter_mut().zip(&ds_attn).zip(&dh_next) {
+                *a += b + c;
+            }
+            let (dx, dh_prev, dc_prev) =
+                self.decoder.backward_step(&rec.dec_cache, &dh, &dc_next, &mut grads.decoder);
+            if self.dec_embed_trainable {
+                let row = grads.dec_embed.row_mut(rec.prev_token);
+                for (g, d) in row.iter_mut().zip(&dx[..dec_dim]) {
+                    *g += d;
+                }
+            }
+            da_feed = dx[dec_dim..].to_vec();
+            dh_next = dh_prev;
+            dc_next = dc_prev;
+        }
+        // The first step's context is zeros — da_feed is dropped; the
+        // decoder-init gradient flows into the encoder's final state.
+        for (a, b) in d_enc_states.last_mut().expect("nonempty").iter_mut().zip(&dh_next) {
+            *a += b;
+        }
+
+        // ---------------- encoder backward ----------------
+        if !empty_input {
+            let mut dh_carry = vec![0.0f32; hidden];
+            let mut dc_carry = dc_next;
+            for t in (0..enc_caches.len()).rev() {
+                let mut dh = d_enc_states[t].clone();
+                for (a, b) in dh.iter_mut().zip(&dh_carry) {
+                    *a += b;
+                }
+                let (dx, dh_prev, dc_prev) =
+                    self.encoder.backward_step(&enc_caches[t], &dh, &dc_carry, &mut grads.encoder);
+                let row = grads.enc_embed.row_mut(enc_inputs[t]);
+                for (g, d) in row.iter_mut().zip(&dx) {
+                    *g += d;
+                }
+                dh_carry = dh_prev;
+                dc_carry = dc_prev;
+            }
+        }
+
+        (loss * inv, correct, steps)
+    }
+
+    /// Forward-only evaluation: `(mean token cross-entropy, correct
+    /// tokens, total tokens)` under teacher forcing — the paper's
+    /// validation loss and `sparse_categorical_accuracy`.
+    pub fn evaluate(&self, input_ids: &[usize], target_ids: &[usize]) -> (f32, usize, usize) {
+        let enc = self.encode(input_ids);
+        let mut st = self.decoder_init(&enc);
+        let mut dec_inputs = vec![BOS];
+        dec_inputs.extend_from_slice(target_ids);
+        let mut dec_targets = target_ids.to_vec();
+        dec_targets.push(EOS);
+        let mut loss = 0.0f32;
+        let mut correct = 0usize;
+        for (t, &prev) in dec_inputs.iter().enumerate() {
+            let (logp, next) = self.decode_step(&enc, &st, prev);
+            let target = dec_targets[t].min(self.config.output_vocab - 1);
+            loss -= logp[target];
+            let argmax = logp
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            if argmax == target {
+                correct += 1;
+            }
+            st = next;
+        }
+        (loss / dec_inputs.len() as f32, correct, dec_inputs.len())
+    }
+
+    /// Apply accumulated gradients with SGD (no momentum, fixed lr —
+    /// the paper's §6.4.2 training recipe), with global-norm clipping.
+    pub fn apply_gradients(&mut self, grads: &mut Seq2SeqGrads, lr: f32, clip: f32) {
+        let norm = grads.global_norm();
+        let scale = if norm > clip && norm > 0.0 { clip / norm } else { 1.0 };
+        let lr = lr * scale;
+        self.enc_embed.add_scaled(&grads.enc_embed, -lr);
+        self.encoder.apply_gradients(&grads.encoder, lr);
+        if self.dec_embed_trainable {
+            self.dec_embed.add_scaled(&grads.dec_embed, -lr);
+        }
+        self.decoder.apply_gradients(&grads.decoder, lr);
+        if self.config.share_recurrent_weights {
+            // Tied recurrent matrices: apply both gradient parts to the
+            // shared tensor and mirror it.
+            self.encoder.u.add_scaled(&grads.decoder.u, -lr);
+            self.decoder.u.add_scaled(&grads.encoder.u, -lr);
+            let tied = self.encoder.u.clone();
+            self.decoder.u = tied;
+        }
+        self.attention.apply_gradients(&grads.attention, lr);
+        self.w_out.add_scaled(&grads.w_out, -lr);
+        for (p, g) in self.b_out.iter_mut().zip(&grads.b_out) {
+            *p -= lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Seq2SeqConfig {
+        Seq2SeqConfig {
+            input_vocab: 12,
+            output_vocab: 12,
+            hidden: 24,
+            encoder_embed_dim: 8,
+            decoder_embed_dim: 8,
+            attention_dim: 12,
+            share_recurrent_weights: false,
+            init_scale: 0.1,
+            seed: 42,
+        }
+    }
+
+    /// Copy-task data: output = input (tokens 4..10 to avoid specials).
+    fn copy_data() -> Vec<(Vec<usize>, Vec<usize>)> {
+        let mut data = Vec::new();
+        for a in 4..10 {
+            for b in 4..10 {
+                data.push((vec![a, b], vec![a, b]));
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn loss_decreases_on_copy_task() {
+        let mut model = Seq2Seq::new(tiny_config());
+        let data = copy_data();
+        let mut grads = Seq2SeqGrads::zeros(&model);
+        let initial: f32 = data
+            .iter()
+            .map(|(i, t)| model.evaluate(i, t).0)
+            .sum::<f32>()
+            / data.len() as f32;
+        for _ in 0..60 {
+            for chunk in data.chunks(4) {
+                grads.clear();
+                for (i, t) in chunk {
+                    model.forward_backward(i, t, &mut grads);
+                }
+                model.apply_gradients(&mut grads, 0.5 / chunk.len() as f32, 5.0);
+            }
+        }
+        let trained: f32 = data
+            .iter()
+            .map(|(i, t)| model.evaluate(i, t).0)
+            .sum::<f32>()
+            / data.len() as f32;
+        assert!(
+            trained < initial * 0.5,
+            "loss did not drop: {initial} -> {trained}"
+        );
+    }
+
+    #[test]
+    fn greedy_decode_recovers_copy_after_training() {
+        let mut model = Seq2Seq::new(tiny_config());
+        let data = copy_data();
+        let mut grads = Seq2SeqGrads::zeros(&model);
+        for _ in 0..150 {
+            for chunk in data.chunks(4) {
+                grads.clear();
+                for (i, t) in chunk {
+                    model.forward_backward(i, t, &mut grads);
+                }
+                model.apply_gradients(&mut grads, 0.5 / chunk.len() as f32, 5.0);
+            }
+        }
+        // Greedy decode a training pair.
+        let input = vec![5usize, 8];
+        let enc = model.encode(&input);
+        let mut st = model.decoder_init(&enc);
+        let mut prev = BOS;
+        let mut out = Vec::new();
+        for _ in 0..6 {
+            let (logp, next) = model.decode_step(&enc, &st, prev);
+            let tok = logp
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap();
+            if tok == EOS {
+                break;
+            }
+            out.push(tok);
+            prev = tok;
+            st = next;
+        }
+        assert_eq!(out, vec![5, 8], "greedy decode failed");
+    }
+
+    #[test]
+    fn gradient_check_end_to_end() {
+        // Check a few parameters of every component through the full
+        // forward/backward.
+        let mut config = tiny_config();
+        config.hidden = 6;
+        config.attention_dim = 4;
+        config.encoder_embed_dim = 3;
+        config.decoder_embed_dim = 3;
+        let mut model = Seq2Seq::new(config);
+        let input = vec![4usize, 5, 6];
+        let target = vec![7usize, 8];
+        let mut grads = Seq2SeqGrads::zeros(&model);
+        model.forward_backward(&input, &target, &mut grads);
+
+        let eps = 1e-2f32;
+        let loss_of = |m: &Seq2Seq| m.evaluate(&input, &target).0;
+        // (accessor, gradient) pairs to probe.
+        let probes: Vec<(Box<dyn Fn(&mut Seq2Seq) -> &mut f32>, f32)> = vec![
+            (Box::new(|m: &mut Seq2Seq| &mut m.w_out.data[3]), grads.w_out.data[3]),
+            (Box::new(|m: &mut Seq2Seq| &mut m.b_out[2]), grads.b_out[2]),
+            (Box::new(|m: &mut Seq2Seq| &mut m.encoder.v.data[5]), grads.encoder.v.data[5]),
+            (Box::new(|m: &mut Seq2Seq| &mut m.encoder.u.data[7]), grads.encoder.u.data[7]),
+            (Box::new(|m: &mut Seq2Seq| &mut m.decoder.v.data[11]), grads.decoder.v.data[11]),
+            (Box::new(|m: &mut Seq2Seq| &mut m.decoder.u.data[13]), grads.decoder.u.data[13]),
+            (Box::new(|m: &mut Seq2Seq| &mut m.attention.w_s.data[2]), grads.attention.w_s.data[2]),
+            (Box::new(|m: &mut Seq2Seq| &mut m.attention.w_h.data[4]), grads.attention.w_h.data[4]),
+            (Box::new(|m: &mut Seq2Seq| &mut m.attention.v_a[1]), grads.attention.v_a[1]),
+            (Box::new(|m: &mut Seq2Seq| &mut m.enc_embed.data[14]), grads.enc_embed.data[14]),
+            (Box::new(|m: &mut Seq2Seq| &mut m.dec_embed.data[22]), grads.dec_embed.data[22]),
+        ];
+        for (i, (access, analytic)) in probes.into_iter().enumerate() {
+            let orig = *access(&mut model);
+            *access(&mut model) = orig + eps;
+            let fp = loss_of(&model);
+            *access(&mut model) = orig - eps;
+            let fm = loss_of(&model);
+            *access(&mut model) = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 6e-3,
+                "probe {i}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn pretrained_embeddings_are_frozen() {
+        let config = tiny_config();
+        let table = Matrix::uniform(
+            config.output_vocab,
+            config.decoder_embed_dim,
+            0.5,
+            &mut seeded_rng(9),
+        );
+        let mut model = Seq2Seq::new(config).with_pretrained_decoder_embeddings(table.clone());
+        let mut grads = Seq2SeqGrads::zeros(&model);
+        model.forward_backward(&[4, 5], &[6, 7], &mut grads);
+        model.apply_gradients(&mut grads, 0.1, 5.0);
+        assert_eq!(model.dec_embed, table, "frozen embeddings must not move");
+    }
+
+    #[test]
+    fn shared_recurrent_weights_stay_tied() {
+        let mut config = tiny_config();
+        config.share_recurrent_weights = true;
+        let mut model = Seq2Seq::new(config);
+        assert_eq!(model.encoder.u, model.decoder.u);
+        let mut grads = Seq2SeqGrads::zeros(&model);
+        model.forward_backward(&[4, 5, 6], &[7, 8], &mut grads);
+        model.apply_gradients(&mut grads, 0.1, 5.0);
+        assert_eq!(model.encoder.u, model.decoder.u, "tied weights diverged");
+    }
+
+    #[test]
+    fn empty_input_still_decodes() {
+        let model = Seq2Seq::new(tiny_config());
+        let (loss, _, total) = model.evaluate(&[], &[4]);
+        assert!(loss.is_finite());
+        assert_eq!(total, 2); // token + EOS
+    }
+
+    #[test]
+    fn parameter_count_components() {
+        let model = Seq2Seq::new(tiny_config());
+        let c = &model.config;
+        let expected = c.input_vocab * c.encoder_embed_dim
+            + 4 * c.hidden * (c.encoder_embed_dim + c.hidden) + 4 * c.hidden
+            + c.output_vocab * c.decoder_embed_dim
+            + 4 * c.hidden * (c.decoder_embed_dim + c.hidden + c.hidden) + 4 * c.hidden
+            + 2 * c.attention_dim * c.hidden + c.attention_dim
+            + c.output_vocab * 2 * c.hidden + c.output_vocab;
+        assert_eq!(model.parameter_count(), expected);
+    }
+}

@@ -1,0 +1,184 @@
+//! The three paraphrase engines standing in for the paper's web tools
+//! [8,9,10]. Each has a distinct character so a group of outputs is
+//! genuinely diverse (Table 4), and each is deterministic given the
+//! input and variant index.
+
+use crate::lexicon::{substitute_all, substitute_one, IMPERFECT, SYNONYMS};
+
+/// A paraphrasing tool: text in, variant text out (`None` when the
+/// engine cannot produce a changed, valid output).
+pub trait Paraphraser {
+    /// Tool name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Produce variant number `variant` of `text`.
+    fn paraphrase(&self, text: &str, variant: usize) -> Option<String>;
+}
+
+/// Engine 1: conservative synonym substitution (one phrase changed).
+#[derive(Debug, Clone, Default)]
+pub struct SynonymParaphraser;
+
+impl Paraphraser for SynonymParaphraser {
+    fn name(&self) -> &'static str {
+        "synonym"
+    }
+
+    fn paraphrase(&self, text: &str, variant: usize) -> Option<String> {
+        let out = substitute_one(text, SYNONYMS, variant)?;
+        (out != text).then_some(out)
+    }
+}
+
+/// Engine 2: clause restructuring — rewrites connectives and reorders
+/// trailing purpose clauses ("X to get Y." -> "To get Y, X.").
+#[derive(Debug, Clone, Default)]
+pub struct RestructureParaphraser;
+
+impl Paraphraser for RestructureParaphraser {
+    fn name(&self) -> &'static str {
+        "restructure"
+    }
+
+    fn paraphrase(&self, text: &str, variant: usize) -> Option<String> {
+        let text = text.trim_end_matches('.');
+        let out = match variant % 3 {
+            0 => {
+                // Front the purpose clause.
+                let marker = " to get ";
+                let pos = text.rfind(marker)?;
+                let (head, tail) = text.split_at(pos);
+                let tail = &tail[marker.len()..];
+                format!("To get {tail}, {head}.")
+            }
+            1 => {
+                // "X and Y" -> "X; then Y".
+                let pos = text.find(" and ")?;
+                let (a, b) = text.split_at(pos);
+                format!("{a}; then {}.", &b[" and ".len()..])
+            }
+            _ => {
+                // Passive-ish reframe of the leading verb.
+                let rest = text.strip_prefix("perform ")?;
+                format!("a {rest} is performed.")
+            }
+        };
+        (out != text).then_some(out)
+    }
+}
+
+/// Engine 3: aggressive combined rewriting — applies every synonym it
+/// can *and* draws from the imperfect lexicon, reproducing the paper's
+/// noisy-token behaviour (Table 2, sentences 1–3).
+#[derive(Debug, Clone, Default)]
+pub struct AggressiveParaphraser;
+
+impl Paraphraser for AggressiveParaphraser {
+    fn name(&self) -> &'static str {
+        "aggressive"
+    }
+
+    fn paraphrase(&self, text: &str, variant: usize) -> Option<String> {
+        // Even variants rewrite through the imperfect lexicon (Table 2
+        // sentences 1–3); odd variants rewrite every synonym at once.
+        let out = if variant % 2 == 0 {
+            substitute_all(text, IMPERFECT, variant / 2)
+        } else {
+            substitute_all(text, SYNONYMS, variant)
+        };
+        (out != text).then_some(out)
+    }
+}
+
+/// Validity filter (the paper manually eliminated invalid tool
+/// outputs): a paraphrase is kept only if it preserves every special
+/// tag and placeholder token and stays non-empty.
+pub fn is_valid_paraphrase(original: &str, candidate: &str) -> bool {
+    if candidate.trim().is_empty() {
+        return false;
+    }
+    // Every tag-like token of the original must survive with equal
+    // multiplicity. "Tag-like" = Table-1 tags, template placeholders,
+    // and intermediate-relation identifiers (T1, T2, ...) — but not
+    // ordinary words that happen to start with 'T'.
+    let is_t_identifier = |tok: &str| {
+        tok.len() >= 2 && tok.starts_with('T') && tok[1..].chars().all(|c| c.is_ascii_digit())
+    };
+    let count_tags = |s: &str| {
+        let mut counts = std::collections::HashMap::new();
+        for tok in lantern_text::tokenize(s) {
+            if tok.starts_with('<') || tok.starts_with('$') || is_t_identifier(&tok) {
+                *counts.entry(tok).or_insert(0usize) += 1;
+            }
+        }
+        counts
+    };
+    count_tags(original) == count_tags(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULE_SENTENCE: &str =
+        "perform sequential scan on user and filtering on (age > 10) to get the final results.";
+
+    #[test]
+    fn synonym_engine_changes_one_phrase() {
+        let p = SynonymParaphraser.paraphrase(RULE_SENTENCE, 0).unwrap();
+        assert_ne!(p, RULE_SENTENCE);
+        assert!(p.contains("sequential scan"), "only one phrase changes: {p}");
+    }
+
+    #[test]
+    fn restructure_fronts_purpose_clause() {
+        let s = "hash T1 and perform hash join on a and T1 to get the intermediate relation T2.";
+        let p = RestructureParaphraser.paraphrase(s, 0).unwrap();
+        assert!(p.starts_with("To get the intermediate relation T2,"), "{p}");
+    }
+
+    #[test]
+    fn restructure_then_variant() {
+        let s = "hash T1 and perform hash join on a and T1.";
+        let p = RestructureParaphraser.paraphrase(s, 1).unwrap();
+        assert!(p.contains("; then "), "{p}");
+    }
+
+    #[test]
+    fn aggressive_reproduces_paper_table_2() {
+        let p = AggressiveParaphraser.paraphrase(RULE_SENTENCE, 0).unwrap();
+        // Paper Table 2 synonymous sentence 2: "execute sequential scan
+        // on user and separating on age > 10 to get the conclusive
+        // outcome."
+        assert!(p.contains("separating on"), "{p}");
+        assert!(p.contains("conclusive outcome"), "{p}");
+        assert!(p.starts_with("execute"), "{p}");
+    }
+
+    #[test]
+    fn engines_disagree_with_each_other() {
+        let a = SynonymParaphraser.paraphrase(RULE_SENTENCE, 0).unwrap();
+        let b = RestructureParaphraser.paraphrase(RULE_SENTENCE, 0).unwrap();
+        let c = AggressiveParaphraser.paraphrase(RULE_SENTENCE, 0).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn validity_filter_checks_tags() {
+        assert!(is_valid_paraphrase(
+            "scan <T> to get <TN>.",
+            "execute a scan over <T> yielding <TN>."
+        ));
+        assert!(!is_valid_paraphrase("scan <T> to get <TN>.", "execute a scan yielding <TN>."));
+        assert!(!is_valid_paraphrase("scan T1.", "scan it."));
+        assert!(!is_valid_paraphrase("scan <T>.", "   "));
+    }
+
+    #[test]
+    fn unchanged_output_is_rejected() {
+        assert!(SynonymParaphraser.paraphrase("no matching words here", 0).is_none());
+        assert!(RestructureParaphraser.paraphrase("nothing restructurable", 0).is_none());
+    }
+}

@@ -1,0 +1,129 @@
+//! Group expansion (paper §6.3): apply all three tools to each
+//! RULE-LANTERN sentence, collect the synonymous set, remove
+//! duplicates, and filter invalid outputs — enlarging the training set
+//! ~3x. The original + its variants form a *group*, the unit whose
+//! Self-BLEU Table 4 measures.
+
+use crate::engines::{
+    is_valid_paraphrase, AggressiveParaphraser, Paraphraser, RestructureParaphraser,
+    SynonymParaphraser,
+};
+
+/// Expansion statistics (Table 4 bookkeeping).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExpansionStats {
+    /// Groups processed.
+    pub groups: usize,
+    /// Candidates produced by the engines before filtering.
+    pub candidates: usize,
+    /// Candidates dropped as duplicates.
+    pub duplicates_removed: usize,
+    /// Candidates dropped by the validity filter.
+    pub invalid_removed: usize,
+}
+
+/// Expand one sentence into its group: `[original, variants...]`.
+/// `per_engine` controls how many variant indices each engine is asked
+/// for (the paper uses one output per tool → groups of ≤ 4).
+pub fn expand_group(sentence: &str, per_engine: usize) -> (Vec<String>, ExpansionStats) {
+    let engines: [&dyn Paraphraser; 3] =
+        [&SynonymParaphraser, &RestructureParaphraser, &AggressiveParaphraser];
+    let mut group = vec![sentence.to_string()];
+    let mut stats = ExpansionStats { groups: 1, ..Default::default() };
+    for engine in engines {
+        for variant in 0..per_engine {
+            let Some(candidate) = engine.paraphrase(sentence, variant) else {
+                continue;
+            };
+            stats.candidates += 1;
+            if group.contains(&candidate) {
+                stats.duplicates_removed += 1;
+                continue;
+            }
+            if !is_valid_paraphrase(sentence, &candidate) {
+                stats.invalid_removed += 1;
+                continue;
+            }
+            group.push(candidate);
+        }
+    }
+    (group, stats)
+}
+
+/// Expand a whole corpus of rule sentences; returns `(groups, stats)`.
+pub fn expand_corpus(sentences: &[String], per_engine: usize) -> (Vec<Vec<String>>, ExpansionStats) {
+    let mut groups = Vec::with_capacity(sentences.len());
+    let mut stats = ExpansionStats::default();
+    for s in sentences {
+        let (g, st) = expand_group(s, per_engine);
+        stats.groups += 1;
+        stats.candidates += st.candidates;
+        stats.duplicates_removed += st.duplicates_removed;
+        stats.invalid_removed += st.invalid_removed;
+        groups.push(g);
+    }
+    (groups, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lantern_text::{self_bleu, tokenize, BleuConfig};
+
+    const RULE: &str = "perform sequential scan on <T> and filtering on <F> \
+                        to get the intermediate relation <TN>.";
+
+    #[test]
+    fn group_is_expanded_roughly_3x() {
+        let (group, _) = expand_group(RULE, 1);
+        // Paper: "we enlarge the number of training samples ... by
+        // approximately 3 times" — original + up to 3 variants.
+        assert!(group.len() >= 3, "{group:?}");
+        assert!(group.len() <= 4);
+        assert_eq!(group[0], RULE);
+    }
+
+    #[test]
+    fn variants_preserve_tags() {
+        let (group, _) = expand_group(RULE, 2);
+        for g in &group {
+            for tag in ["<T>", "<F>", "<TN>"] {
+                assert!(g.contains(tag), "{g}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates_in_group() {
+        let (group, _) = expand_group(RULE, 3);
+        let set: std::collections::HashSet<&String> = group.iter().collect();
+        assert_eq!(set.len(), group.len());
+    }
+
+    #[test]
+    fn expansion_lowers_self_bleu() {
+        // Table 4's headline: paraphrasing makes groups diverse
+        // (Self-BLEU well below the 1.0 of an unexpanded sample).
+        let (group, _) = expand_group(RULE, 1);
+        let tokenized: Vec<Vec<String>> = group.iter().map(|s| tokenize(s)).collect();
+        let sb = self_bleu(&tokenized, BleuConfig::default());
+        assert!(sb < 0.8, "self-bleu {sb}");
+        assert!(sb > 0.0);
+    }
+
+    #[test]
+    fn corpus_expansion_accumulates_stats() {
+        let sentences = vec![RULE.to_string(); 5];
+        let (groups, stats) = expand_corpus(&sentences, 1);
+        assert_eq!(groups.len(), 5);
+        assert_eq!(stats.groups, 5);
+        assert!(stats.candidates >= 10);
+    }
+
+    #[test]
+    fn unparaphrasable_input_stays_singleton() {
+        let (group, stats) = expand_group("xyzzy plugh", 1);
+        assert_eq!(group.len(), 1);
+        assert_eq!(stats.candidates, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Synonym lexicon shared by the paraphrase engines. Pairs are
+//! phrase-level (longest-match first) and tuned to the RULE-LANTERN
+//! output vocabulary; the `IMPERFECT` set reproduces the paper's
+//! observation (Table 2) that web paraphrasers occasionally pick
+//! slightly-wrong words ("separating" for "filtering") — which the
+//! user study found did not hinder and sometimes *aroused* interest.
+
+/// Conservative, meaning-preserving substitutions: `(phrase,
+/// alternatives...)`.
+pub const SYNONYMS: &[(&str, &[&str])] = &[
+    ("perform", &["execute", "carry out", "run"]),
+    ("sequential scan", &["full table scan", "sequential read"]),
+    ("to get the final results", &["to obtain the final results", "to get the conclusive outcome", "to produce the final answer"]),
+    ("to get the intermediate relation", &["to obtain the intermediate relation", "to produce the intermediate relation", "yielding the intermediate relation"]),
+    ("filtering on", &["keeping only rows satisfying", "selecting on"]),
+    ("hash", &["build a hash table over", "hash the rows of"]),
+    ("sort", &["order", "arrange"]),
+    ("duplicate removal", &["removal of duplicates", "elimination of duplicate rows"]),
+    ("on condition", &["under the condition", "with the join condition"]),
+    ("with grouping on attribute", &["grouping by attribute", "with groups formed on attribute"]),
+    ("perform aggregate", &["compute the aggregate", "evaluate the aggregate"]),
+    ("join", &["combine"]),
+];
+
+/// Noisier substitutions used only by the aggressive engine —
+/// plausible but imperfect word choices, per the paper's Table 2.
+pub const IMPERFECT: &[(&str, &[&str])] = &[
+    ("filtering on", &["separating on"]),
+    ("perform", &["execute"]),
+    ("scan", &["scan output"]),
+    ("to get the final results", &["and to get the conclusive outcome"]),
+    ("intermediate relation", &["temporary relation"]),
+];
+
+/// Apply the first matching substitution of `lexicon` whose phrase
+/// occurs in `text`, choosing alternative `pick % len`. Returns `None`
+/// when nothing matches.
+pub fn substitute_one(text: &str, lexicon: &[(&str, &[&str])], pick: usize) -> Option<String> {
+    for (phrase, alts) in lexicon {
+        if let Some(pos) = text.find(phrase) {
+            let alt = alts[pick % alts.len()];
+            let mut out = String::with_capacity(text.len() + alt.len());
+            out.push_str(&text[..pos]);
+            out.push_str(alt);
+            out.push_str(&text[pos + phrase.len()..]);
+            return Some(out);
+        }
+    }
+    None
+}
+
+/// Apply every matching substitution (each phrase at most once),
+/// choosing alternatives by `pick`.
+pub fn substitute_all(text: &str, lexicon: &[(&str, &[&str])], pick: usize) -> String {
+    let mut out = text.to_string();
+    for (i, (phrase, alts)) in lexicon.iter().enumerate() {
+        if let Some(pos) = out.find(phrase) {
+            let alt = alts[(pick + i) % alts.len()];
+            out.replace_range(pos..pos + phrase.len(), alt);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitute_one_replaces_first_match() {
+        let s = substitute_one("perform hash join now", SYNONYMS, 0).unwrap();
+        assert_eq!(s, "execute hash join now");
+    }
+
+    #[test]
+    fn substitute_one_none_when_no_match() {
+        assert!(substitute_one("zzz qqq", SYNONYMS, 0).is_none());
+    }
+
+    #[test]
+    fn pick_selects_alternative() {
+        let a = substitute_one("perform it", SYNONYMS, 0).unwrap();
+        let b = substitute_one("perform it", SYNONYMS, 1).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn substitute_all_hits_multiple_phrases() {
+        let s = substitute_all(
+            "perform sequential scan on t and filtering on (x > 1) to get the final results.",
+            SYNONYMS,
+            0,
+        );
+        assert!(!s.contains("perform sequential scan"), "{s}");
+        assert!(!s.contains("to get the final results"), "{s}");
+    }
+
+    #[test]
+    fn imperfect_lexicon_produces_paper_example() {
+        // Table 2: "filtering" becomes "separating".
+        let s = substitute_one("... and filtering on age > 10 ...", IMPERFECT, 0).unwrap();
+        assert!(s.contains("separating on"), "{s}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # lantern-paraphrase
+//!
+//! Synonymous-sentence generation (paper §6.3, refs [8,9,10]).
+//!
+//! The paper expands each RULE-LANTERN training sentence ~3x using
+//! three web paraphrasing tools; we implement three independent
+//! rule-driven engines with distinct behaviours:
+//!
+//! * [`SynonymParaphraser`] — conservative synonym-lexicon
+//!   substitution ("perform" → "execute", "final results" →
+//!   "conclusive outcome"),
+//! * [`RestructureParaphraser`] — clause reordering and connective
+//!   rewriting,
+//! * [`AggressiveParaphraser`] — combined rewriting that occasionally
+//!   picks *imperfect* words (the paper's observed "separating" for
+//!   "filtering", Table 2) — deliberately, to reproduce the noisy-token
+//!   phenomenon studied in Exp 5 / US 4.
+//!
+//! [`expand_group`] applies all three, removes duplicates, and filters
+//! invalid outputs, forming the *groups* whose Self-BLEU Table 4
+//! reports.
+
+pub mod engines;
+pub mod expand;
+pub mod lexicon;
+
+pub use engines::{
+    AggressiveParaphraser, Paraphraser, RestructureParaphraser, SynonymParaphraser,
+};
+pub use expand::{expand_group, ExpansionStats};
+pub use lexicon::SYNONYMS;

@@ -1,0 +1,207 @@
+//! PostgreSQL-style `EXPLAIN (FORMAT JSON)` reader and writer.
+//!
+//! The document shape follows PostgreSQL: a one-element array whose
+//! element has a `"Plan"` key holding the root node; nodes carry
+//! `"Node Type"`, `"Relation Name"`, `"Alias"`, `"Filter"`,
+//! `"Hash Cond"` / `"Merge Cond"` / `"Join Filter"` / `"Index Cond"`,
+//! `"Sort Key"`, `"Group Key"`, `"Strategy"`, `"Plan Rows"`,
+//! `"Total Cost"`, and `"Plans"` (children).
+
+use crate::node::{PlanNode, PlanTree};
+use lantern_text::json::{JsonError, JsonValue};
+use std::collections::BTreeMap;
+
+/// Keys recognised as join conditions, in the order PostgreSQL uses
+/// them for the respective join operators.
+const JOIN_COND_KEYS: &[&str] = &["Hash Cond", "Merge Cond", "Join Filter", "Index Cond"];
+
+/// Parse a PostgreSQL-style JSON plan document into a [`PlanTree`]
+/// tagged with source `pg`.
+pub fn parse_pg_json_plan(doc: &str) -> Result<PlanTree, JsonError> {
+    let value = JsonValue::parse(doc)?;
+    // PostgreSQL wraps the plan in a single-element array; also accept
+    // the bare object.
+    let obj = match &value {
+        JsonValue::Array(items) if !items.is_empty() => &items[0],
+        other => other,
+    };
+    let plan = obj.get("Plan").ok_or(JsonError {
+        offset: 0,
+        message: "missing 'Plan' key".to_string(),
+    })?;
+    Ok(PlanTree::new("pg", parse_node(plan)?))
+}
+
+fn parse_node(v: &JsonValue) -> Result<PlanNode, JsonError> {
+    let op = v
+        .get("Node Type")
+        .and_then(JsonValue::as_str)
+        .ok_or(JsonError { offset: 0, message: "missing 'Node Type'".to_string() })?
+        .to_string();
+    let mut node = PlanNode::new(op);
+    node.relation = v.get("Relation Name").and_then(JsonValue::as_str).map(str::to_string);
+    node.alias = v.get("Alias").and_then(JsonValue::as_str).map(str::to_string);
+    node.index_name = v.get("Index Name").and_then(JsonValue::as_str).map(str::to_string);
+    node.filter = v.get("Filter").and_then(JsonValue::as_str).map(str::to_string);
+    for key in JOIN_COND_KEYS {
+        if let Some(c) = v.get(key).and_then(JsonValue::as_str) {
+            node.join_cond = Some(c.to_string());
+            break;
+        }
+    }
+    if let Some(keys) = v.get("Sort Key").and_then(JsonValue::as_array) {
+        node.sort_keys = keys.iter().filter_map(|k| k.as_str().map(str::to_string)).collect();
+    }
+    if let Some(keys) = v.get("Group Key").and_then(JsonValue::as_array) {
+        node.group_keys = keys.iter().filter_map(|k| k.as_str().map(str::to_string)).collect();
+    }
+    node.strategy = v.get("Strategy").and_then(JsonValue::as_str).map(str::to_string);
+    node.estimated_rows = v.get("Plan Rows").and_then(JsonValue::as_f64).unwrap_or(0.0);
+    node.estimated_cost = v.get("Total Cost").and_then(JsonValue::as_f64).unwrap_or(0.0);
+    if let Some(children) = v.get("Plans").and_then(JsonValue::as_array) {
+        for c in children {
+            node.children.push(parse_node(c)?);
+        }
+    }
+    Ok(node)
+}
+
+/// Serialize a plan back into the PostgreSQL JSON document shape.
+pub fn plan_to_pg_json(tree: &PlanTree) -> String {
+    let mut top = BTreeMap::new();
+    top.insert("Plan".to_string(), node_to_json(&tree.root));
+    JsonValue::Array(vec![JsonValue::Object(top)]).to_string_pretty()
+}
+
+fn node_to_json(node: &PlanNode) -> JsonValue {
+    let mut m = BTreeMap::new();
+    m.insert("Node Type".into(), JsonValue::String(node.op.clone()));
+    if let Some(r) = &node.relation {
+        m.insert("Relation Name".into(), JsonValue::String(r.clone()));
+    }
+    if let Some(a) = &node.alias {
+        m.insert("Alias".into(), JsonValue::String(a.clone()));
+    }
+    if let Some(i) = &node.index_name {
+        m.insert("Index Name".into(), JsonValue::String(i.clone()));
+    }
+    if let Some(f) = &node.filter {
+        m.insert("Filter".into(), JsonValue::String(f.clone()));
+    }
+    if let Some(c) = &node.join_cond {
+        let key = match node.op.as_str() {
+            "Hash Join" => "Hash Cond",
+            "Merge Join" => "Merge Cond",
+            "Index Scan" => "Index Cond",
+            _ => "Join Filter",
+        };
+        m.insert(key.into(), JsonValue::String(c.clone()));
+    }
+    if !node.sort_keys.is_empty() {
+        m.insert(
+            "Sort Key".into(),
+            JsonValue::Array(node.sort_keys.iter().cloned().map(JsonValue::String).collect()),
+        );
+    }
+    if !node.group_keys.is_empty() {
+        m.insert(
+            "Group Key".into(),
+            JsonValue::Array(node.group_keys.iter().cloned().map(JsonValue::String).collect()),
+        );
+    }
+    if let Some(s) = &node.strategy {
+        m.insert("Strategy".into(), JsonValue::String(s.clone()));
+    }
+    m.insert("Plan Rows".into(), JsonValue::Number(node.estimated_rows));
+    m.insert("Total Cost".into(), JsonValue::Number(node.estimated_cost));
+    if !node.children.is_empty() {
+        m.insert(
+            "Plans".into(),
+            JsonValue::Array(node.children.iter().map(node_to_json).collect()),
+        );
+    }
+    for (k, v) in &node.extra {
+        m.entry(k.clone()).or_insert_with(|| JsonValue::String(v.clone()));
+    }
+    JsonValue::Object(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE_1_DOC: &str = r#"[{"Plan": {
+        "Node Type": "Unique",
+        "Plan Rows": 50, "Total Cost": 910.0,
+        "Plans": [{
+            "Node Type": "Aggregate", "Strategy": "Sorted",
+            "Group Key": ["i.proceeding_key"],
+            "Filter": "count(*) > 200",
+            "Plan Rows": 50, "Total Cost": 900.0,
+            "Plans": [{
+                "Node Type": "Sort", "Sort Key": ["i.proceeding_key"],
+                "Plan Rows": 1200, "Total Cost": 850.0,
+                "Plans": [{
+                    "Node Type": "Hash Join",
+                    "Hash Cond": "(i.proceeding_key) = (p.pub_key)",
+                    "Plan Rows": 1200, "Total Cost": 700.0,
+                    "Plans": [
+                        {"Node Type": "Seq Scan", "Relation Name": "inproceedings",
+                         "Alias": "i", "Plan Rows": 3000, "Total Cost": 100.0},
+                        {"Node Type": "Hash", "Plan Rows": 400, "Total Cost": 220.0,
+                         "Plans": [{"Node Type": "Seq Scan", "Relation Name": "publication",
+                                    "Alias": "p", "Filter": "title ~~ '%July%'",
+                                    "Plan Rows": 400, "Total Cost": 200.0}]}
+                    ]
+                }]
+            }]
+        }]
+    }}]"#;
+
+    #[test]
+    fn parses_figure_1_style_document() {
+        let tree = parse_pg_json_plan(FIGURE_1_DOC).unwrap();
+        assert_eq!(tree.source, "pg");
+        assert_eq!(tree.size(), 7);
+        assert_eq!(tree.root.op, "Unique");
+        let agg = &tree.root.children[0];
+        assert_eq!(agg.group_keys, vec!["i.proceeding_key"]);
+        let join = &agg.children[0].children[0];
+        assert_eq!(join.join_cond.as_deref(), Some("(i.proceeding_key) = (p.pub_key)"));
+        assert_eq!(tree.root.relations(), vec!["inproceedings", "publication"]);
+    }
+
+    #[test]
+    fn accepts_bare_object() {
+        let doc = r#"{"Plan": {"Node Type": "Seq Scan", "Relation Name": "t"}}"#;
+        let tree = parse_pg_json_plan(doc).unwrap();
+        assert_eq!(tree.root.op, "Seq Scan");
+    }
+
+    #[test]
+    fn missing_plan_key_is_error() {
+        assert!(parse_pg_json_plan(r#"{"NotPlan": 1}"#).is_err());
+    }
+
+    #[test]
+    fn missing_node_type_is_error() {
+        assert!(parse_pg_json_plan(r#"{"Plan": {"Relation Name": "t"}}"#).is_err());
+    }
+
+    #[test]
+    fn round_trip_preserves_tree() {
+        let tree = parse_pg_json_plan(FIGURE_1_DOC).unwrap();
+        let text = plan_to_pg_json(&tree);
+        let tree2 = parse_pg_json_plan(&text).unwrap();
+        assert_eq!(tree, tree2);
+    }
+
+    #[test]
+    fn join_cond_key_depends_on_operator() {
+        let mut tree = parse_pg_json_plan(FIGURE_1_DOC).unwrap();
+        // Rename join to Merge Join; the writer must emit "Merge Cond".
+        tree.root.children[0].children[0].children[0].op = "Merge Join".to_string();
+        let text = plan_to_pg_json(&tree);
+        assert!(text.contains("Merge Cond"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Default operator catalogs: the POEM store contents two subject-
+//! matter experts would author with POOL for PostgreSQL (`pg`) and SQL
+//! Server (`mssql`) — the two systems the paper deploys LANTERN on.
+//!
+//! Every operator the `lantern-engine` planner can emit has an entry;
+//! several carry multiple descriptions (the paper's multi-`DESC`
+//! feature) and learner-friendly aliases. Auxiliary operators (`Hash`,
+//! `Sort`, `Hash Build`) carry `target` edges to their critical
+//! operators; `Sort` uses the comma-separated multi-target extension
+//! documented in [`crate::object::PoemObject`].
+
+use crate::lang::execute;
+use crate::store::PoemStore;
+
+/// Statements a PostgreSQL SME would run to label the `pg` source.
+pub const PG_POOL_STATEMENTS: &[&str] = &[
+    "CREATE POPERATOR seqscan FOR pg (ALIAS = 'sequential scan', TYPE = 'unary', \
+     DEFN = 'reads the entire relation from beginning to end, checking every row', \
+     DESC = 'perform sequential scan', COND = 'false', TARGET = null)",
+    "CREATE POPERATOR indexscan FOR pg (ALIAS = 'index scan', TYPE = 'unary', \
+     DEFN = 'uses a secondary index to fetch only the rows satisfying an indexed predicate', \
+     DESC = 'perform index scan', COND = 'false', TARGET = null)",
+    "CREATE POPERATOR bitmapheapscan FOR pg (ALIAS = 'bitmap heap scan', TYPE = 'unary', \
+     DEFN = 'fetches rows identified by a bitmap of matching tuple locations', \
+     DESC = 'perform bitmap heap scan', COND = 'false', TARGET = null)",
+    "CREATE POPERATOR hashjoin FOR pg (ALIAS = 'hash join', TYPE = 'binary', \
+     DEFN = 'a type of join algorithm that uses hashing to create subsets of tuples', \
+     DESC = 'perform hash join', COND = 'true', TARGET = null)",
+    "CREATE POPERATOR hash FOR pg (TYPE = 'unary', \
+     DEFN = 'builds an in-memory hash table over its input relation', \
+     DESC = 'hash', COND = 'false', TARGET = 'hashjoin')",
+    "CREATE POPERATOR mergejoin FOR pg (ALIAS = 'merge join', TYPE = 'binary', \
+     DEFN = 'joins two relations sorted on the join key by scanning them in lockstep', \
+     DESC = 'perform merge join', COND = 'true', TARGET = null)",
+    "CREATE POPERATOR nestedloop FOR pg (ALIAS = 'nested loop join', TYPE = 'binary', \
+     DEFN = 'for every row of the outer relation, scans the inner relation for matches', \
+     DESC = 'perform nested loop join', COND = 'true', TARGET = null)",
+    "CREATE POPERATOR sort FOR pg (TYPE = 'unary', \
+     DEFN = 'orders its input rows on one or more sort keys', \
+     DESC = 'sort', COND = 'false', TARGET = 'mergejoin,aggregate,unique')",
+    "CREATE POPERATOR aggregate FOR pg (ALIAS = 'aggregate', TYPE = 'unary', \
+     DEFN = 'computes aggregate functions, optionally grouping rows on the grouping keys', \
+     DESC = 'perform aggregate', COND = 'false', TARGET = null)",
+    "CREATE POPERATOR hashaggregate FOR pg (ALIAS = 'hash aggregate', TYPE = 'unary', \
+     DEFN = 'computes grouped aggregates using an in-memory hash table of groups', \
+     DESC = 'perform hash aggregate', COND = 'false', TARGET = null)",
+    "CREATE POPERATOR unique FOR pg (ALIAS = 'duplicate removal', TYPE = 'unary', \
+     DEFN = 'removes duplicate rows from its sorted input', \
+     DESC = 'perform duplicate removal', COND = 'false', TARGET = null)",
+    "CREATE POPERATOR limit FOR pg (TYPE = 'unary', \
+     DEFN = 'returns only the first rows of its input', \
+     DESC = 'keep only the requested number of rows of $R1$', COND = 'false', TARGET = null)",
+    "CREATE POPERATOR materialize FOR pg (TYPE = 'unary', \
+     DEFN = 'stores its input rows in memory for repeated rescans', \
+     DESC = 'materialize', COND = 'false', TARGET = null)",
+    "CREATE POPERATOR gather FOR pg (ALIAS = 'gather parallel results', TYPE = 'unary', \
+     DEFN = 'collects rows produced by parallel worker processes', \
+     DESC = 'gather the results of the parallel workers', COND = 'false', TARGET = null)",
+];
+
+/// Statements an SQL Server SME would run to label the `mssql` source.
+/// Several reuse the pg wording via the paper's cross-source `UPDATE
+/// ... SET desc = (SELECT ...)` transfer idiom.
+pub const MSSQL_POOL_STATEMENTS: &[&str] = &[
+    "CREATE POPERATOR tablescan FOR mssql (ALIAS = 'table scan', TYPE = 'unary', \
+     DEFN = 'reads every row of the table', \
+     DESC = 'perform table scan', COND = 'false', TARGET = null)",
+    "CREATE POPERATOR indexseek FOR mssql (ALIAS = 'index seek', TYPE = 'unary', \
+     DEFN = 'navigates a B-tree index directly to the qualifying rows', \
+     DESC = 'perform index seek', COND = 'false', TARGET = null)",
+    "CREATE POPERATOR hashmatch FOR mssql (ALIAS = 'hash match join', TYPE = 'binary', \
+     DEFN = 'a type of join algorithm that uses hashing to create subsets of tuples', \
+     DESC = 'perform hash match join', COND = 'true', TARGET = null)",
+    "CREATE POPERATOR hashbuild FOR mssql (TYPE = 'unary', \
+     DEFN = 'builds the hash table for a hash match', \
+     DESC = 'hash', COND = 'false', TARGET = 'hashmatch')",
+    "CREATE POPERATOR mergejoin FOR mssql (ALIAS = 'merge join', TYPE = 'binary', \
+     DEFN = 'joins two sorted inputs by scanning them in lockstep', \
+     DESC = 'perform merge join', COND = 'true', TARGET = null)",
+    "CREATE POPERATOR nestedloops FOR mssql (ALIAS = 'nested loops join', TYPE = 'binary', \
+     DEFN = 'for each outer row, searches the inner input for matches', \
+     DESC = 'perform nested loops join', COND = 'true', TARGET = null)",
+    "CREATE POPERATOR sort FOR mssql (TYPE = 'unary', \
+     DEFN = 'orders its input rows on the sort keys', \
+     DESC = 'sort', COND = 'false', TARGET = 'mergejoin,streamaggregate,distinctsort')",
+    "CREATE POPERATOR streamaggregate FOR mssql (ALIAS = 'stream aggregate', TYPE = 'unary', \
+     DEFN = 'computes grouped aggregates over input sorted on the grouping keys', \
+     DESC = 'perform stream aggregate', COND = 'false', TARGET = null)",
+    "CREATE POPERATOR hashmatchaggregate FOR mssql (ALIAS = 'hash aggregate', TYPE = 'unary', \
+     DEFN = 'computes grouped aggregates using a hash table of groups', \
+     DESC = 'perform hash aggregate', COND = 'false', TARGET = null)",
+    "CREATE POPERATOR distinctsort FOR mssql (ALIAS = 'distinct sort', TYPE = 'unary', \
+     DEFN = 'sorts its input and removes duplicate rows', \
+     DESC = 'perform duplicate removal', COND = 'false', TARGET = null)",
+    "CREATE POPERATOR top FOR mssql (ALIAS = 'top', TYPE = 'unary', \
+     DEFN = 'returns only the first rows of its input', \
+     DESC = 'keep only the requested number of rows of $R1$', COND = 'false', TARGET = null)",
+    "CREATE POPERATOR tablespool FOR mssql (ALIAS = 'table spool', TYPE = 'unary', \
+     DEFN = 'caches its input rows for repeated rescans', \
+     DESC = 'materialize', COND = 'false', TARGET = null)",
+    "CREATE POPERATOR parallelism FOR mssql (ALIAS = 'parallelism exchange', TYPE = 'unary', \
+     DEFN = 'coordinates rows across parallel threads', \
+     DESC = 'gather the results of the parallel workers', COND = 'false', TARGET = null)",
+];
+
+/// Extra descriptions SMEs added to showcase the multi-`DESC` feature
+/// (paper §4.2: "pool does not prevent one from describing several
+/// descriptions for a single operator").
+const PG_EXTRA_DESCS: &[(&str, &str)] = &[
+    ("hashjoin", "execute hash join"),
+    ("seqscan", "scan sequentially"),
+    ("aggregate", "compute the aggregate"),
+];
+
+/// A POEM store with the PostgreSQL catalog loaded.
+pub fn default_pg_store() -> PoemStore {
+    let store = PoemStore::new();
+    for stmt in PG_POOL_STATEMENTS {
+        execute(stmt, &store).expect("default pg statement must execute");
+    }
+    for (name, desc) in PG_EXTRA_DESCS {
+        store.add_desc("pg", name, desc);
+    }
+    store
+}
+
+/// A POEM store with both the PostgreSQL and SQL Server catalogs
+/// loaded (the cross-RDBMS configuration of the paper's §7.1).
+pub fn default_mssql_store() -> PoemStore {
+    let store = default_pg_store();
+    for stmt in MSSQL_POOL_STATEMENTS {
+        execute(stmt, &store).expect("default mssql statement must execute");
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{execute, PoolValue};
+
+    #[test]
+    fn pg_store_loads_all_operators() {
+        let s = default_pg_store();
+        assert_eq!(s.operators_of("pg").len(), PG_POOL_STATEMENTS.len());
+        for op in ["Seq Scan", "Hash Join", "Hash", "Merge Join", "Nested Loop", "Sort",
+                   "Aggregate", "HashAggregate", "Unique", "Limit", "Materialize", "Gather"] {
+            assert!(s.find("pg", op).is_some(), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn mssql_store_has_both_sources() {
+        let s = default_mssql_store();
+        assert_eq!(s.sources(), vec!["mssql", "pg"]);
+        for op in ["Table Scan", "Index Seek", "Hash Match", "Hash Build", "Stream Aggregate",
+                   "Distinct Sort", "Top"] {
+            assert!(s.find("mssql", op).is_some(), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn hash_targets_hashjoin_in_both_sources() {
+        let s = default_mssql_store();
+        assert!(s.find("pg", "Hash").unwrap().targets_op("Hash Join"));
+        assert!(s.find("mssql", "Hash Build").unwrap().targets_op("Hash Match"));
+    }
+
+    #[test]
+    fn sort_multi_targets() {
+        let s = default_pg_store();
+        let sort = s.find("pg", "Sort").unwrap();
+        assert!(sort.targets_op("Merge Join"));
+        assert!(sort.targets_op("Aggregate"));
+        assert!(sort.targets_op("Unique"));
+        assert!(!sort.targets_op("Seq Scan"));
+    }
+
+    #[test]
+    fn compose_hashjoin_template_matches_paper() {
+        let s = default_pg_store();
+        let r = execute(
+            "COMPOSE hash, hashjoin FROM pg USING hashjoin.desc = 'perform hash join'",
+            &s,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            PoolValue::Template(
+                "hash $R1$ and perform hash join on $R2$ and $R1$ on condition $cond$".into()
+            )
+        );
+    }
+
+    #[test]
+    fn multiple_descriptions_present() {
+        let s = default_pg_store();
+        assert!(s.find("pg", "hashjoin").unwrap().descs.len() >= 2);
+    }
+
+    #[test]
+    fn aliases_are_learner_friendly() {
+        let s = default_pg_store();
+        assert_eq!(s.find("pg", "seqscan").unwrap().display_name(), "sequential scan");
+        assert_eq!(s.find("pg", "unique").unwrap().display_name(), "duplicate removal");
+    }
+}

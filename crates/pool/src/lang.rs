@@ -1,0 +1,875 @@
+//! The POOL language (paper §4.2): lexer, parser, and interpreter for
+//! `CREATE POPERATOR`, `SELECT-FROM-WHERE`, `COMPOSE ... FROM ...
+//! USING`, and `UPDATE ... SET ...` (with `REPLACE` and scalar
+//! subqueries). Every example statement in the paper parses and
+//! executes against a [`PoemStore`].
+
+use crate::object::{normalize_op_name, OperatorArity, PoemObject};
+use crate::store::PoemStore;
+use std::fmt;
+
+/// POOL error (parse or execution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "POOL error: {}", self.message)
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+fn err(m: impl Into<String>) -> PoolError {
+    PoolError { message: m.into() }
+}
+
+/// A `WHERE` conjunct: `attr = 'v'` or `attr LIKE 'pattern'`
+/// (qualifiers such as `pg.name` are accepted and checked against the
+/// statement's source/alias).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolCond {
+    pub attr: String,
+    pub like: bool,
+    pub value: String,
+}
+
+/// A value expression on the right-hand side of `SET attr = ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolValueExpr {
+    /// `'literal'` or `NULL`.
+    Literal(Option<String>),
+    /// `(SELECT attr FROM source [AS alias] WHERE ...)` — scalar.
+    Subquery { attr: String, source: String, conds: Vec<PoolCond> },
+    /// `REPLACE(<expr>, 'old', 'new')`.
+    Replace { inner: Box<PoolValueExpr>, from: String, to: String },
+}
+
+/// A parsed POOL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolStatement {
+    /// `CREATE POPERATOR <name> FOR <source> (ATTR = value, ...)`.
+    Create { name: String, source: String, attrs: Vec<(String, Option<String>)> },
+    /// `SELECT <attrs|*> FROM <source> [WHERE ...]`.
+    Select { attrs: Vec<String>, source: String, conds: Vec<PoolCond> },
+    /// `COMPOSE <op>[, <op2>] FROM <source> [USING <op>.desc = '...']`.
+    Compose { ops: Vec<String>, source: String, using: Option<(String, String)> },
+    /// `UPDATE <source> SET attr = <expr>[, ...] [WHERE ...]`.
+    Update { source: String, sets: Vec<(String, PoolValueExpr)>, conds: Vec<PoolCond> },
+}
+
+/// Result of executing a POOL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolValue {
+    /// `CREATE`: the new object's oid.
+    Created(u64),
+    /// `SELECT *`: full objects.
+    Objects(Vec<PoemObject>),
+    /// Projected `SELECT`: header + string rows (NULLs as `None`).
+    Rows { attrs: Vec<String>, rows: Vec<Vec<Option<String>>> },
+    /// `COMPOSE`: a natural-language description template.
+    Template(String),
+    /// `UPDATE`: number of objects changed.
+    Updated(usize),
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Eq,
+    Dot,
+    Star,
+    Eof,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, PoolError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            '.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            ';' => i += 1,
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= chars.len() {
+                        return Err(err("unterminated string"));
+                    }
+                    if chars[i] == '\'' {
+                        if chars.get(i + 1) == Some(&'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok::Word(chars[start..i].iter().collect()));
+            }
+            other => return Err(err(format!("unexpected character '{other}'"))),
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), PoolError> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(err(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_tok(&mut self, t: Tok, what: &str) -> Result<(), PoolError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn word(&mut self) -> Result<String, PoolError> {
+        match self.bump() {
+            Tok::Word(w) => Ok(w),
+            other => Err(err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Operator names may contain spaces (`nested loop join`): take
+    /// consecutive words.
+    fn multi_word(&mut self, stop_keywords: &[&str]) -> Result<String, PoolError> {
+        let mut parts = vec![self.word()?];
+        while let Tok::Word(w) = self.peek() {
+            if stop_keywords.iter().any(|k| w.eq_ignore_ascii_case(k)) {
+                break;
+            }
+            parts.push(self.word()?);
+        }
+        Ok(parts.join(" "))
+    }
+
+    fn string(&mut self) -> Result<String, PoolError> {
+        match self.bump() {
+            Tok::Str(s) => Ok(s),
+            other => Err(err(format!("expected string literal, found {other:?}"))),
+        }
+    }
+
+    fn conds(&mut self) -> Result<Vec<PoolCond>, PoolError> {
+        let mut conds = Vec::new();
+        loop {
+            // attr or qualifier.attr
+            let first = self.word()?;
+            let attr = if *self.peek() == Tok::Dot {
+                self.bump();
+                self.word()? // qualifier dropped (single-source queries)
+            } else {
+                first
+            };
+            let like = if self.accept_kw("LIKE") {
+                true
+            } else {
+                self.expect_tok(Tok::Eq, "'='")?;
+                false
+            };
+            let value = match self.bump() {
+                Tok::Str(s) => s,
+                Tok::Word(w) => w,
+                other => return Err(err(format!("expected value, found {other:?}"))),
+            };
+            conds.push(PoolCond { attr: attr.to_ascii_lowercase(), like, value });
+            if !self.accept_kw("AND") {
+                return Ok(conds);
+            }
+        }
+    }
+
+    fn value_expr(&mut self) -> Result<PoolValueExpr, PoolError> {
+        if self.accept_kw("REPLACE") {
+            self.expect_tok(Tok::LParen, "'('")?;
+            let inner = self.value_expr()?;
+            self.expect_tok(Tok::Comma, "','")?;
+            let from = self.string()?;
+            self.expect_tok(Tok::Comma, "','")?;
+            let to = self.string()?;
+            self.expect_tok(Tok::RParen, "')'")?;
+            return Ok(PoolValueExpr::Replace { inner: Box::new(inner), from, to });
+        }
+        if *self.peek() == Tok::LParen {
+            self.bump();
+            self.expect_kw("SELECT")?;
+            let attr = self.word()?.to_ascii_lowercase();
+            self.expect_kw("FROM")?;
+            let source = self.word()?;
+            if self.accept_kw("AS") {
+                self.word()?; // alias ignored
+            }
+            let conds = if self.accept_kw("WHERE") { self.conds()? } else { Vec::new() };
+            self.expect_tok(Tok::RParen, "')'")?;
+            return Ok(PoolValueExpr::Subquery { attr, source, conds });
+        }
+        match self.bump() {
+            Tok::Str(s) => Ok(PoolValueExpr::Literal(Some(s))),
+            Tok::Word(w) if w.eq_ignore_ascii_case("null") => Ok(PoolValueExpr::Literal(None)),
+            other => Err(err(format!("expected value expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parse one POOL statement.
+pub fn parse_pool(input: &str) -> Result<PoolStatement, PoolError> {
+    let mut p = P { toks: lex(input)?, pos: 0 };
+    let stmt = if p.accept_kw("CREATE") {
+        p.expect_kw("POPERATOR")?;
+        let name = p.multi_word(&["FOR"])?;
+        p.expect_kw("FOR")?;
+        let source = p.word()?;
+        p.expect_tok(Tok::LParen, "'('")?;
+        let mut attrs = Vec::new();
+        loop {
+            let attr = p.word()?.to_ascii_lowercase();
+            p.expect_tok(Tok::Eq, "'='")?;
+            let value = match p.bump() {
+                Tok::Str(s) => Some(s),
+                Tok::Word(w) if w.eq_ignore_ascii_case("null") => None,
+                other => return Err(err(format!("bad attribute value {other:?}"))),
+            };
+            attrs.push((attr, value));
+            match p.bump() {
+                Tok::Comma => continue,
+                Tok::RParen => break,
+                other => return Err(err(format!("expected ',' or ')', found {other:?}"))),
+            }
+        }
+        PoolStatement::Create { name, source, attrs }
+    } else if p.accept_kw("SELECT") {
+        let mut attrs = Vec::new();
+        if *p.peek() == Tok::Star {
+            p.bump();
+            attrs.push("*".to_string());
+        } else {
+            loop {
+                attrs.push(p.word()?.to_ascii_lowercase());
+                if *p.peek() == Tok::Comma {
+                    p.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        p.expect_kw("FROM")?;
+        let source = p.word()?;
+        if p.accept_kw("AS") {
+            p.word()?;
+        }
+        let conds = if p.accept_kw("WHERE") { p.conds()? } else { Vec::new() };
+        PoolStatement::Select { attrs, source, conds }
+    } else if p.accept_kw("COMPOSE") {
+        let mut ops = vec![p.multi_word(&["FROM"])?];
+        while *p.peek() == Tok::Comma {
+            p.bump();
+            ops.push(p.multi_word(&["FROM"])?);
+        }
+        p.expect_kw("FROM")?;
+        let source = p.word()?;
+        let using = if p.accept_kw("USING") {
+            let op = p.word()?;
+            p.expect_tok(Tok::Dot, "'.'")?;
+            p.expect_kw("desc")?;
+            p.expect_tok(Tok::Eq, "'='")?;
+            let desc = p.string()?;
+            Some((normalize_op_name(&op), desc))
+        } else {
+            None
+        };
+        PoolStatement::Compose { ops, source, using }
+    } else if p.accept_kw("UPDATE") {
+        let source = p.word()?;
+        p.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let attr = p.word()?.to_ascii_lowercase();
+            p.expect_tok(Tok::Eq, "'='")?;
+            let value = p.value_expr()?;
+            sets.push((attr, value));
+            if *p.peek() == Tok::Comma {
+                p.bump();
+            } else {
+                break;
+            }
+        }
+        let conds = if p.accept_kw("WHERE") { p.conds()? } else { Vec::new() };
+        PoolStatement::Update { source, sets, conds }
+    } else {
+        return Err(err(format!("unknown statement start {:?}", p.peek())));
+    };
+    if *p.peek() != Tok::Eof {
+        return Err(err(format!("trailing tokens: {:?}", p.peek())));
+    }
+    Ok(stmt)
+}
+
+// ------------------------------------------------------------ execution
+
+/// Parse and execute one POOL statement against `store`.
+pub fn execute(input: &str, store: &PoemStore) -> Result<PoolValue, PoolError> {
+    execute_stmt(&parse_pool(input)?, store)
+}
+
+/// Execute a parsed statement.
+pub fn execute_stmt(stmt: &PoolStatement, store: &PoemStore) -> Result<PoolValue, PoolError> {
+    match stmt {
+        PoolStatement::Create { name, source, attrs } => {
+            let mut alias = None;
+            let mut arity = None;
+            let mut defn = None;
+            let mut descs: Vec<String> = Vec::new();
+            let mut cond = false;
+            let mut target = None;
+            for (attr, value) in attrs {
+                match attr.as_str() {
+                    "alias" => alias = value.clone(),
+                    "type" => {
+                        arity = match value.as_deref() {
+                            Some(v) if v.eq_ignore_ascii_case("unary") => {
+                                Some(OperatorArity::Unary)
+                            }
+                            Some(v) if v.eq_ignore_ascii_case("binary") => {
+                                Some(OperatorArity::Binary)
+                            }
+                            other => {
+                                return Err(err(format!(
+                                    "TYPE must be 'unary' or 'binary', got {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                    "defn" => defn = value.clone(),
+                    "desc" => {
+                        if let Some(v) = value {
+                            descs.push(v.clone());
+                        }
+                    }
+                    "cond" => {
+                        cond = matches!(value.as_deref(), Some(v) if v.eq_ignore_ascii_case("true"))
+                    }
+                    "target" => target = value.clone(),
+                    other => return Err(err(format!("unknown attribute {other}"))),
+                }
+            }
+            let arity = arity.ok_or_else(|| err("TYPE is a mandatory attribute"))?;
+            if descs.is_empty() {
+                return Err(err("DESC is a mandatory attribute"));
+            }
+            let oid = store.create(
+                source,
+                name,
+                alias.as_deref(),
+                arity,
+                defn.as_deref(),
+                &descs.iter().map(String::as_str).collect::<Vec<_>>(),
+                cond,
+                target.as_deref(),
+            );
+            Ok(PoolValue::Created(oid))
+        }
+        PoolStatement::Select { attrs, source, conds } => {
+            let objects: Vec<PoemObject> = store
+                .operators_of(source)
+                .into_iter()
+                .filter(|o| conds.iter().all(|c| cond_matches(o, c)))
+                .collect();
+            if attrs.len() == 1 && attrs[0] == "*" {
+                return Ok(PoolValue::Objects(objects));
+            }
+            let rows = objects
+                .iter()
+                .map(|o| attrs.iter().map(|a| attr_value(o, a)).collect())
+                .collect();
+            Ok(PoolValue::Rows { attrs: attrs.clone(), rows })
+        }
+        PoolStatement::Compose { ops, source, using } => {
+            let lookup = |name: &str| -> Result<PoemObject, PoolError> {
+                store
+                    .find(source, name)
+                    .ok_or_else(|| err(format!("operator '{name}' not found in source {source}")))
+            };
+            match ops.len() {
+                1 => {
+                    let o = lookup(&ops[0])?;
+                    let pick = using
+                        .as_ref()
+                        .filter(|(n, _)| *n == o.name)
+                        .map(|(_, d)| d.as_str());
+                    Ok(PoolValue::Template(o.template(pick)))
+                }
+                2 => {
+                    let aux = lookup(&ops[0])?;
+                    let critical = lookup(&ops[1])?;
+                    if !aux.targets_op(&critical.name) {
+                        return Err(err(format!(
+                            "COMPOSE pair must be (auxiliary, critical): '{}' does not target '{}'",
+                            aux.name, critical.name
+                        )));
+                    }
+                    let pick = using
+                        .as_ref()
+                        .filter(|(n, _)| *n == critical.name)
+                        .map(|(_, d)| d.as_str());
+                    Ok(PoolValue::Template(aux.compose_with(&critical, pick)))
+                }
+                n => Err(err(format!("COMPOSE takes one or two operators, got {n}"))),
+            }
+        }
+        PoolStatement::Update { source, sets, conds } => {
+            // Find matching names first.
+            let matching: Vec<String> = store
+                .operators_of(source)
+                .into_iter()
+                .filter(|o| conds.iter().all(|c| cond_matches(o, c)))
+                .map(|o| o.name)
+                .collect();
+            let mut updated = 0;
+            for name in &matching {
+                let mut alias = None;
+                let mut defn = None;
+                let mut descs = None;
+                let mut cond = None;
+                let mut target = None;
+                for (attr, vexpr) in sets {
+                    let value = eval_value(vexpr, store)?;
+                    match attr.as_str() {
+                        "alias" => alias = Some(value),
+                        "defn" => defn = Some(value),
+                        "desc" => descs = Some(value.into_iter().collect::<Vec<_>>()),
+                        "cond" => {
+                            cond = Some(matches!(value.as_deref(), Some("true")))
+                        }
+                        "target" => target = Some(value),
+                        other => return Err(err(format!("cannot SET attribute {other}"))),
+                    }
+                }
+                updated += store.update(source, name, alias, defn, descs, cond, target);
+            }
+            Ok(PoolValue::Updated(updated))
+        }
+    }
+}
+
+fn eval_value(expr: &PoolValueExpr, store: &PoemStore) -> Result<Option<String>, PoolError> {
+    match expr {
+        PoolValueExpr::Literal(v) => Ok(v.clone()),
+        PoolValueExpr::Subquery { attr, source, conds } => {
+            let objects: Vec<PoemObject> = store
+                .operators_of(source)
+                .into_iter()
+                .filter(|o| conds.iter().all(|c| cond_matches(o, c)))
+                .collect();
+            let first = objects
+                .first()
+                .ok_or_else(|| err("scalar subquery returned no objects"))?;
+            Ok(attr_value(first, attr))
+        }
+        PoolValueExpr::Replace { inner, from, to } => {
+            let v = eval_value(inner, store)?;
+            Ok(v.map(|s| s.replace(from.as_str(), to.as_str())))
+        }
+    }
+}
+
+fn attr_value(o: &PoemObject, attr: &str) -> Option<String> {
+    match attr {
+        "oid" => Some(o.oid.to_string()),
+        "source" => Some(o.source.clone()),
+        "name" => Some(o.name.clone()),
+        "alias" => o.alias.clone(),
+        "type" => Some(
+            match o.arity {
+                OperatorArity::Unary => "unary",
+                OperatorArity::Binary => "binary",
+            }
+            .to_string(),
+        ),
+        "defn" => o.defn.clone(),
+        "desc" => o.descs.first().cloned(),
+        "cond" => Some(o.cond.to_string()),
+        "target" => {
+            if o.targets.is_empty() {
+                None
+            } else {
+                Some(o.targets.join(","))
+            }
+        }
+        _ => None,
+    }
+}
+
+fn cond_matches(o: &PoemObject, c: &PoolCond) -> bool {
+    let lhs = match c.attr.as_str() {
+        // `name` comparisons are normalized so `'nested loop join'`
+        // matches the stored `nestedloopjoin`.
+        "name" => Some(normalize_op_name(&o.name)),
+        "desc" => {
+            // Any of the descriptions may match.
+            return o.descs.iter().any(|d| {
+                if c.like {
+                    like_match(d, &c.value)
+                } else {
+                    d.trim() == c.value.trim()
+                }
+            });
+        }
+        other => attr_value(o, other),
+    };
+    let rhs = if c.attr == "name" {
+        if c.like {
+            // Normalize the pattern but keep the wildcards.
+            c.value
+                .chars()
+                .filter(|ch| ch.is_alphanumeric() || *ch == '%' || *ch == '_')
+                .flat_map(char::to_lowercase)
+                .collect()
+        } else {
+            normalize_op_name(&c.value)
+        }
+    } else {
+        c.value.clone()
+    };
+    match lhs {
+        Some(v) => {
+            if c.like {
+                like_match(&v, &rhs)
+            } else {
+                v == rhs
+            }
+        }
+        None => false,
+    }
+}
+
+/// SQL-style `LIKE` with `%` and `_`.
+fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star, mut star_si) = (None::<usize>, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            star_si = si;
+            pi += 1;
+        } else if let Some(sp) = star {
+            pi = sp + 1;
+            star_si += 1;
+            si = star_si;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed_store() -> PoemStore {
+        let s = PoemStore::new();
+        execute(
+            "CREATE POPERATOR hashjoin FOR pg (ALIAS = null, TYPE = 'binary', DEFN = null, \
+             DESC = 'perform hash join', COND = 'true', TARGET = null)",
+            &s,
+        )
+        .unwrap();
+        execute(
+            "CREATE POPERATOR hash FOR pg (TYPE = 'unary', DESC = 'hash', COND = 'false', \
+             TARGET = 'hashjoin')",
+            &s,
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn create_statement_from_paper() {
+        let s = seed_store();
+        let o = s.find("pg", "hashjoin").unwrap();
+        assert_eq!(o.descs, vec!["perform hash join"]);
+        assert!(o.cond);
+        assert_eq!(o.arity, OperatorArity::Binary);
+    }
+
+    #[test]
+    fn create_requires_type_and_desc() {
+        let s = PoemStore::new();
+        assert!(execute("CREATE POPERATOR x FOR pg (DESC = 'd')", &s).is_err());
+        assert!(execute("CREATE POPERATOR x FOR pg (TYPE = 'unary')", &s).is_err());
+    }
+
+    #[test]
+    fn select_single_attribute() {
+        let s = seed_store();
+        let r = execute("SELECT defn FROM pg WHERE name = 'hashjoin'", &s).unwrap();
+        match r {
+            PoolValue::Rows { attrs, rows } => {
+                assert_eq!(attrs, vec!["defn"]);
+                assert_eq!(rows, vec![vec![None]]); // defn is null
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_star_with_like() {
+        // Paper: SELECT * FROM pg WHERE name LIKE '%join'.
+        let s = seed_store();
+        let r = execute("SELECT * FROM pg WHERE name LIKE '%join'", &s).unwrap();
+        match r {
+            PoolValue::Objects(objs) => {
+                assert_eq!(objs.len(), 1);
+                assert_eq!(objs[0].name, "hashjoin");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn compose_single_operator() {
+        // Paper: COMPOSE hash FROM pg -> "hash $R1$".
+        let s = seed_store();
+        let r = execute("COMPOSE hash FROM pg", &s).unwrap();
+        assert_eq!(r, PoolValue::Template("hash $R1$".into()));
+    }
+
+    #[test]
+    fn compose_pair_with_using() {
+        let s = seed_store();
+        let r = execute(
+            "COMPOSE hash, hashjoin FROM pg USING hashjoin.desc = 'perform hash join'",
+            &s,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            PoolValue::Template(
+                "hash $R1$ and perform hash join on $R2$ and $R1$ on condition $cond$".into()
+            )
+        );
+    }
+
+    #[test]
+    fn compose_pair_requires_aux_critical_order() {
+        let s = seed_store();
+        // Wrong order: hashjoin is not auxiliary to hash.
+        assert!(execute("COMPOSE hashjoin, hash FROM pg", &s).is_err());
+    }
+
+    #[test]
+    fn compose_unknown_operator_fails() {
+        let s = seed_store();
+        assert!(execute("COMPOSE zzjoin FROM pg", &s).is_err());
+    }
+
+    #[test]
+    fn update_defn_from_paper() {
+        let s = seed_store();
+        let r = execute(
+            "UPDATE pg SET defn = 'a type of join algorithm...' WHERE name = 'hashjoin'",
+            &s,
+        )
+        .unwrap();
+        assert_eq!(r, PoolValue::Updated(1));
+        assert_eq!(
+            s.find("pg", "hashjoin").unwrap().defn.as_deref(),
+            Some("a type of join algorithm...")
+        );
+    }
+
+    #[test]
+    fn cross_source_transfer_from_paper() {
+        // Paper: transfer hash join description from pg to db2's hsjoin.
+        let s = seed_store();
+        execute(
+            "CREATE POPERATOR hsjoin FOR db2 (TYPE = 'binary', DESC = 'join', COND = 'true')",
+            &s,
+        )
+        .unwrap();
+        let r = execute(
+            "UPDATE db2 SET desc = (SELECT desc FROM pg WHERE pg.name = 'hashjoin') \
+             WHERE db2.name = 'hsjoin'",
+            &s,
+        )
+        .unwrap();
+        assert_eq!(r, PoolValue::Updated(1));
+        assert_eq!(s.find("db2", "hsjoin").unwrap().descs, vec!["perform hash join"]);
+    }
+
+    #[test]
+    fn replace_transfer_from_paper() {
+        // Paper: derive nested-loop join description from hash join.
+        let s = seed_store();
+        execute(
+            "CREATE POPERATOR nestedloopjoin FOR pg (TYPE = 'binary', DESC = 'x', COND = 'true')",
+            &s,
+        )
+        .unwrap();
+        let r = execute(
+            "UPDATE pg SET desc = REPLACE((SELECT desc FROM pg AS pg2 \
+             WHERE pg2.name = 'hashjoin'), 'hash', 'nested loop') \
+             WHERE pg.name = 'nested loop join'",
+            &s,
+        )
+        .unwrap();
+        assert_eq!(r, PoolValue::Updated(1));
+        assert_eq!(
+            s.find("pg", "nestedloopjoin").unwrap().descs,
+            vec!["perform nested loop join"]
+        );
+    }
+
+    #[test]
+    fn update_alias_gives_zzjoin_a_friendly_name() {
+        let s = seed_store();
+        execute(
+            "CREATE POPERATOR zzjoin FOR db2 (TYPE = 'binary', DESC = 'perform zigzag join', \
+             COND = 'true')",
+            &s,
+        )
+        .unwrap();
+        execute("UPDATE db2 SET alias = 'zigzag join' WHERE name = 'zzjoin'", &s).unwrap();
+        assert_eq!(s.find("db2", "zzjoin").unwrap().display_name(), "zigzag join");
+    }
+
+    #[test]
+    fn scalar_subquery_empty_errors() {
+        let s = seed_store();
+        let r = execute(
+            "UPDATE pg SET desc = (SELECT desc FROM pg WHERE name = 'missing') \
+             WHERE name = 'hashjoin'",
+            &s,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn multiple_desc_values_allowed() {
+        let s = seed_store();
+        s.add_desc("pg", "hashjoin", "execute hash join");
+        let r = execute(
+            "COMPOSE hash, hashjoin FROM pg USING hashjoin.desc = 'execute hash join'",
+            &s,
+        )
+        .unwrap();
+        match r {
+            PoolValue::Template(t) => assert!(t.contains("execute hash join"), "{t}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_pool("CREATE SOMETHING x").is_err());
+        assert!(parse_pool("SELECT FROM pg").is_err());
+        assert!(parse_pool("UPDATE pg SET").is_err());
+        assert!(parse_pool("SELECT * FROM pg WHERE name = 'x' trailing").is_err());
+    }
+
+    #[test]
+    fn desc_condition_matches_any_description() {
+        let s = seed_store();
+        s.add_desc("pg", "hashjoin", "execute hash join");
+        let r = execute("SELECT name FROM pg WHERE desc = 'execute hash join'", &s).unwrap();
+        match r {
+            PoolValue::Rows { rows, .. } => assert_eq!(rows.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

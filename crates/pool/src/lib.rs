@@ -1,0 +1,29 @@
+//! # lantern-pool
+//!
+//! POOL (Physical Operator Object Language) and POEM (Physical Operator
+//! ObjEct Model) — the paper's declarative framework (§4) with which
+//! subject-matter experts create and maintain natural-language labels
+//! of physical operators.
+//!
+//! * [`PoemObject`] — an operator object with `source`, `name`,
+//!   `alias`, `type`, `defn`, `desc` (multi-valued), `cond`, `target`.
+//! * [`PoemStore`] — the object store, backed by two relations
+//!   (`POperators`, `PDesc`) exactly as the paper's implementation
+//!   section describes.
+//! * [`PoolStatement`] / [`execute`] — the POOL language: `CREATE
+//!   POPERATOR`, `SELECT-FROM-WHERE` (with `LIKE` and cross-source
+//!   subqueries), `COMPOSE ... FROM ... USING`, and `UPDATE ... SET`
+//!   with `REPLACE(...)` and scalar subqueries.
+//!
+//! Ships default operator catalogs for the `pg` (PostgreSQL-style) and
+//! `mssql` (SQL Server-style) sources.
+
+pub mod defaults;
+pub mod lang;
+pub mod object;
+pub mod store;
+
+pub use defaults::{default_mssql_store, default_pg_store};
+pub use lang::{execute, parse_pool, PoolError, PoolStatement, PoolValue};
+pub use object::{OperatorArity, PoemObject};
+pub use store::PoemStore;

@@ -1,0 +1,260 @@
+//! POEM (Physical Operator ObjEct Model), paper §4.2: every physical
+//! operator of a relational engine is an object with a fixed attribute
+//! set; auxiliary operators carry a `target` edge to their critical
+//! operator.
+
+/// Whether an operator consumes one or two input streams (`TYPE`
+/// attribute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperatorArity {
+    Unary,
+    Binary,
+}
+
+/// A POEM object.
+///
+/// Attributes follow the paper: `source` (engine the operator belongs
+/// to), `name`, optional `alias`, `type`, optional `defn`, one or more
+/// `desc` values, `cond` (whether a condition is appended to the
+/// description), and optional `target` (the critical operator this
+/// auxiliary operator composes into).
+///
+/// **Extension over the paper:** `target` may name several critical
+/// operators separated by commas (`"mergejoin,aggregate,unique"`),
+/// because `Sort` is auxiliary to all three in PostgreSQL. The paper's
+/// single-target examples remain valid syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoemObject {
+    /// Object identifier (unique within a store).
+    pub oid: u64,
+    /// Source engine (`pg`, `mssql`, `db2`, ...).
+    pub source: String,
+    /// Normalized operator name (see [`normalize_op_name`]).
+    pub name: String,
+    /// Learner-friendly alternative name.
+    pub alias: Option<String>,
+    /// Unary or binary.
+    pub arity: OperatorArity,
+    /// Natural-language definition of the operator.
+    pub defn: Option<String>,
+    /// Natural-language descriptions of the operation (multi-valued;
+    /// the paper stores these in the `PDesc` relation).
+    pub descs: Vec<String>,
+    /// Whether a condition placeholder is appended to the template.
+    pub cond: bool,
+    /// Normalized name(s) of the critical operator(s) this auxiliary
+    /// operator targets; empty for critical operators.
+    pub targets: Vec<String>,
+}
+
+impl PoemObject {
+    /// True when this object is an auxiliary operator (has a target).
+    pub fn is_auxiliary(&self) -> bool {
+        !self.targets.is_empty()
+    }
+
+    /// Whether this auxiliary operator targets `critical` (normalized
+    /// comparison).
+    pub fn targets_op(&self, critical: &str) -> bool {
+        let c = normalize_op_name(critical);
+        self.targets.iter().any(|t| *t == c)
+    }
+
+    /// The learner-visible name: alias when set, else the operator
+    /// name (paper §5.3: `n.name` is set to the alias value, falling
+    /// back to the object's name).
+    pub fn display_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+
+    /// Generate the natural-language description template for this
+    /// operator (the `COMPOSE <op> FROM <source>` semantics).
+    ///
+    /// Placeholders are added automatically from `TYPE` and `COND`
+    /// (paper §4.2):
+    /// * binary: `{desc} on $R2$ and $R1$`
+    /// * unary auxiliary: `{desc} $R1$` (e.g. `hash $R1$`)
+    /// * unary critical: `{desc} on $R1$` (e.g. `perform sequential
+    ///   scan on $R1$`)
+    /// * `cond = true` appends ` on condition $cond$`
+    ///
+    /// A desc that already contains `$R1$` is used verbatim. `desc_pick`
+    /// selects among multiple descriptions (`USING` clause); `None`
+    /// uses the first.
+    pub fn template(&self, desc_pick: Option<&str>) -> String {
+        let desc = match desc_pick {
+            Some(want) => self
+                .descs
+                .iter()
+                .find(|d| d.trim() == want.trim())
+                .map(String::as_str)
+                .unwrap_or_else(|| self.descs.first().map(String::as_str).unwrap_or("")),
+            None => self.descs.first().map(String::as_str).unwrap_or(""),
+        };
+        let mut t = if desc.contains("$R1$") {
+            desc.trim().to_string()
+        } else {
+            match self.arity {
+                OperatorArity::Binary => format!("{} on $R2$ and $R1$", desc.trim()),
+                OperatorArity::Unary if self.is_auxiliary() => format!("{} $R1$", desc.trim()),
+                OperatorArity::Unary => format!("{} on $R1$", desc.trim()),
+            }
+        };
+        if self.cond {
+            t.push_str(" on condition $cond$");
+        }
+        t
+    }
+
+    /// Compose this auxiliary operator with its critical operator
+    /// (paper §5.4, the `∘` operator): `aux.label ∧ critical.label`.
+    /// The left operand must be the auxiliary node; the composition is
+    /// neither associative nor commutative.
+    pub fn compose_with(&self, critical: &PoemObject, desc_pick: Option<&str>) -> String {
+        debug_assert!(self.is_auxiliary(), "left operand of ∘ must be auxiliary");
+        format!("{} and {}", self.template(None), critical.template(desc_pick))
+    }
+}
+
+/// Normalize a vendor operator name for POEM lookup: lowercase with
+/// all non-alphanumeric characters removed, so `Hash Join`,
+/// `hash join`, and `hashjoin` coincide.
+pub fn normalize_op_name(name: &str) -> String {
+    name.chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hashjoin() -> PoemObject {
+        PoemObject {
+            oid: 1,
+            source: "pg".into(),
+            name: "hashjoin".into(),
+            alias: None,
+            arity: OperatorArity::Binary,
+            defn: Some("a type of join algorithm that uses hashing".into()),
+            descs: vec!["perform hash join".into()],
+            cond: true,
+            targets: vec![],
+        }
+    }
+
+    fn hash() -> PoemObject {
+        PoemObject {
+            oid: 2,
+            source: "pg".into(),
+            name: "hash".into(),
+            alias: None,
+            arity: OperatorArity::Unary,
+            defn: None,
+            descs: vec!["hash".into()],
+            cond: false,
+            targets: vec!["hashjoin".into()],
+        }
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalize_op_name("Hash Join"), "hashjoin");
+        assert_eq!(normalize_op_name("SEQ SCAN"), "seqscan");
+        assert_eq!(normalize_op_name("Nested-Loop"), "nestedloop");
+    }
+
+    #[test]
+    fn binary_template_matches_paper() {
+        // Paper §4.2: COMPOSE hashjoin FROM pg.
+        assert_eq!(
+            hashjoin().template(None),
+            "perform hash join on $R2$ and $R1$ on condition $cond$"
+        );
+    }
+
+    #[test]
+    fn auxiliary_unary_template_matches_paper() {
+        // Paper §4.2: COMPOSE hash FROM pg -> "hash $R1$".
+        assert_eq!(hash().template(None), "hash $R1$");
+    }
+
+    #[test]
+    fn critical_unary_template_uses_on() {
+        let seqscan = PoemObject {
+            oid: 3,
+            source: "pg".into(),
+            name: "seqscan".into(),
+            alias: None,
+            arity: OperatorArity::Unary,
+            defn: None,
+            descs: vec!["perform sequential scan".into()],
+            cond: false,
+            targets: vec![],
+        };
+        assert_eq!(seqscan.template(None), "perform sequential scan on $R1$");
+    }
+
+    #[test]
+    fn composition_matches_paper_example() {
+        // Paper §4.2: COMPOSE hash, hashjoin FROM pg USING
+        // hashjoin.desc = 'perform hash join'.
+        let composed = hash().compose_with(&hashjoin(), Some("perform hash join"));
+        assert_eq!(
+            composed,
+            "hash $R1$ and perform hash join on $R2$ and $R1$ on condition $cond$"
+        );
+    }
+
+    #[test]
+    fn using_clause_selects_description() {
+        let mut hj = hashjoin();
+        hj.descs.push("execute hash join".into());
+        assert!(hj.template(Some("execute hash join")).starts_with("execute hash join"));
+        // Unknown pick falls back to the first description.
+        assert!(hj.template(Some("missing")).starts_with("perform hash join"));
+    }
+
+    #[test]
+    fn multi_target_extension() {
+        let sort = PoemObject {
+            oid: 4,
+            source: "pg".into(),
+            name: "sort".into(),
+            alias: None,
+            arity: OperatorArity::Unary,
+            defn: None,
+            descs: vec!["sort".into()],
+            cond: false,
+            targets: vec!["mergejoin".into(), "aggregate".into(), "unique".into()],
+        };
+        assert!(sort.targets_op("Merge Join"));
+        assert!(sort.targets_op("Aggregate"));
+        assert!(!sort.targets_op("Hash Join"));
+    }
+
+    #[test]
+    fn display_name_prefers_alias() {
+        let mut o = hashjoin();
+        assert_eq!(o.display_name(), "hashjoin");
+        o.alias = Some("hash join".into());
+        assert_eq!(o.display_name(), "hash join");
+    }
+
+    #[test]
+    fn verbatim_template_with_embedded_placeholder() {
+        let o = PoemObject {
+            oid: 9,
+            source: "pg".into(),
+            name: "limit".into(),
+            alias: None,
+            arity: OperatorArity::Unary,
+            defn: None,
+            descs: vec!["keep only the first rows of $R1$".into()],
+            cond: false,
+            targets: vec![],
+        };
+        assert_eq!(o.template(None), "keep only the first rows of $R1$");
+    }
+}

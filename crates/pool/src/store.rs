@@ -1,0 +1,347 @@
+//! The POEM store, backed by two relations exactly as the paper's
+//! implementation section describes: `POperators(oid, source, name,
+//! alias, type, defn, cond, targetid)` and `PDesc(oid, desc)` (an
+//! object may have multiple descriptions). The object view is
+//! reconstructed by joining the two relations on `oid`.
+
+use crate::object::{normalize_op_name, OperatorArity, PoemObject};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// One row of the `POperators` relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct POperatorRow {
+    pub oid: u64,
+    pub source: String,
+    pub name: String,
+    pub alias: Option<String>,
+    pub arity: OperatorArity,
+    pub defn: Option<String>,
+    pub cond: bool,
+    /// Comma-separated normalized target names (see
+    /// [`PoemObject::targets`]).
+    pub target: Option<String>,
+}
+
+/// One row of the `PDesc` relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PDescRow {
+    pub oid: u64,
+    pub desc: String,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    poperators: Vec<POperatorRow>,
+    pdesc: Vec<PDescRow>,
+    next_oid: u64,
+}
+
+/// The shared, thread-safe POEM store. Cloning is cheap (the relations
+/// are shared) so the facade, the rule translator, and benchmark
+/// pipelines can all hold handles.
+#[derive(Debug, Clone, Default)]
+pub struct PoemStore {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl PoemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A store preloaded with the PostgreSQL operator catalog (see
+    /// `defaults`).
+    pub fn with_default_pg_operators() -> Self {
+        crate::defaults::default_pg_store()
+    }
+
+    /// Insert a new operator object; returns its oid. `name` and
+    /// `target` are normalized.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        &self,
+        source: &str,
+        name: &str,
+        alias: Option<&str>,
+        arity: OperatorArity,
+        defn: Option<&str>,
+        descs: &[&str],
+        cond: bool,
+        target: Option<&str>,
+    ) -> u64 {
+        let mut inner = self.inner.write();
+        inner.next_oid += 1;
+        let oid = inner.next_oid;
+        inner.poperators.push(POperatorRow {
+            oid,
+            source: source.to_string(),
+            name: normalize_op_name(name),
+            alias: alias.map(str::to_string),
+            arity,
+            defn: defn.map(str::to_string),
+            cond,
+            target: target.map(|t| {
+                t.split(',')
+                    .map(normalize_op_name)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            }),
+        });
+        for d in descs {
+            inner.pdesc.push(PDescRow { oid, desc: (*d).to_string() });
+        }
+        oid
+    }
+
+    fn assemble(inner: &Inner, row: &POperatorRow) -> PoemObject {
+        PoemObject {
+            oid: row.oid,
+            source: row.source.clone(),
+            name: row.name.clone(),
+            alias: row.alias.clone(),
+            arity: row.arity,
+            defn: row.defn.clone(),
+            descs: inner
+                .pdesc
+                .iter()
+                .filter(|d| d.oid == row.oid)
+                .map(|d| d.desc.clone())
+                .collect(),
+            cond: row.cond,
+            targets: row
+                .target
+                .as_deref()
+                .map(|t| t.split(',').map(str::to_string).collect())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Fetch one operator by source and (vendor) name.
+    pub fn find(&self, source: &str, name: &str) -> Option<PoemObject> {
+        let key = normalize_op_name(name);
+        let inner = self.inner.read();
+        inner
+            .poperators
+            .iter()
+            .find(|r| r.source == source && r.name == key)
+            .map(|r| Self::assemble(&inner, r))
+    }
+
+    /// All operators of a source.
+    pub fn operators_of(&self, source: &str) -> Vec<PoemObject> {
+        let inner = self.inner.read();
+        inner
+            .poperators
+            .iter()
+            .filter(|r| r.source == source)
+            .map(|r| Self::assemble(&inner, r))
+            .collect()
+    }
+
+    /// All sources present in the store.
+    pub fn sources(&self) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut s: Vec<String> = inner.poperators.iter().map(|r| r.source.clone()).collect();
+        s.sort();
+        s.dedup();
+        s
+    }
+
+    /// Update attributes of operators matching `(source, name)`;
+    /// returns the number of objects changed. `None` arguments leave
+    /// the attribute untouched; descriptions, when given, replace the
+    /// existing `PDesc` rows.
+    pub fn update(
+        &self,
+        source: &str,
+        name: &str,
+        alias: Option<Option<String>>,
+        defn: Option<Option<String>>,
+        descs: Option<Vec<String>>,
+        cond: Option<bool>,
+        target: Option<Option<String>>,
+    ) -> usize {
+        let key = normalize_op_name(name);
+        let mut inner = self.inner.write();
+        let oids: Vec<u64> = inner
+            .poperators
+            .iter()
+            .filter(|r| r.source == source && r.name == key)
+            .map(|r| r.oid)
+            .collect();
+        for row in inner
+            .poperators
+            .iter_mut()
+            .filter(|r| r.source == source && r.name == key)
+        {
+            if let Some(a) = &alias {
+                row.alias = a.clone();
+            }
+            if let Some(d) = &defn {
+                row.defn = d.clone();
+            }
+            if let Some(c) = cond {
+                row.cond = c;
+            }
+            if let Some(t) = &target {
+                row.target = t
+                    .as_deref()
+                    .map(|t| t.split(',').map(normalize_op_name).collect::<Vec<_>>().join(","));
+            }
+        }
+        if let Some(new_descs) = descs {
+            for &oid in &oids {
+                inner.pdesc.retain(|d| d.oid != oid);
+                for d in &new_descs {
+                    inner.pdesc.push(PDescRow { oid, desc: d.clone() });
+                }
+            }
+        }
+        oids.len()
+    }
+
+    /// Append an additional description to an operator (the paper
+    /// allows several `DESC` values per object).
+    pub fn add_desc(&self, source: &str, name: &str, desc: &str) -> bool {
+        let key = normalize_op_name(name);
+        let mut inner = self.inner.write();
+        let oid = inner
+            .poperators
+            .iter()
+            .find(|r| r.source == source && r.name == key)
+            .map(|r| r.oid);
+        match oid {
+            Some(oid) => {
+                inner.pdesc.push(PDescRow { oid, desc: desc.to_string() });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Delete operators matching `(source, name)`; returns count.
+    pub fn delete(&self, source: &str, name: &str) -> usize {
+        let key = normalize_op_name(name);
+        let mut inner = self.inner.write();
+        let oids: Vec<u64> = inner
+            .poperators
+            .iter()
+            .filter(|r| r.source == source && r.name == key)
+            .map(|r| r.oid)
+            .collect();
+        inner.poperators.retain(|r| !(r.source == source && r.name == key));
+        inner.pdesc.retain(|d| !oids.contains(&d.oid));
+        oids.len()
+    }
+
+    /// Number of operator objects in the store.
+    pub fn len(&self) -> usize {
+        self.inner.read().poperators.len()
+    }
+
+    /// True when the store holds no operators.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_hashjoin() -> PoemStore {
+        let s = PoemStore::new();
+        s.create(
+            "pg",
+            "hashjoin",
+            None,
+            OperatorArity::Binary,
+            Some("a join using hashing"),
+            &["perform hash join"],
+            true,
+            None,
+        );
+        s.create("pg", "hash", None, OperatorArity::Unary, None, &["hash"], false, Some("hashjoin"));
+        s
+    }
+
+    #[test]
+    fn create_and_find() {
+        let s = store_with_hashjoin();
+        let o = s.find("pg", "Hash Join").expect("normalized lookup");
+        assert_eq!(o.name, "hashjoin");
+        assert_eq!(o.descs, vec!["perform hash join"]);
+        assert!(s.find("pg", "zzjoin").is_none());
+        assert!(s.find("db2", "hashjoin").is_none());
+    }
+
+    #[test]
+    fn multiple_descriptions_join_from_pdesc() {
+        let s = store_with_hashjoin();
+        assert!(s.add_desc("pg", "hashjoin", "execute hash join"));
+        let o = s.find("pg", "hashjoin").unwrap();
+        assert_eq!(o.descs.len(), 2);
+        assert!(!s.add_desc("pg", "nope", "x"));
+    }
+
+    #[test]
+    fn update_alias_and_defn() {
+        let s = store_with_hashjoin();
+        let n = s.update(
+            "pg",
+            "hashjoin",
+            Some(Some("hash-based join".into())),
+            Some(Some("new defn".into())),
+            None,
+            None,
+            None,
+        );
+        assert_eq!(n, 1);
+        let o = s.find("pg", "hashjoin").unwrap();
+        assert_eq!(o.alias.as_deref(), Some("hash-based join"));
+        assert_eq!(o.defn.as_deref(), Some("new defn"));
+        // Descriptions untouched.
+        assert_eq!(o.descs, vec!["perform hash join"]);
+    }
+
+    #[test]
+    fn update_replaces_descs() {
+        let s = store_with_hashjoin();
+        s.update("pg", "hashjoin", None, None, Some(vec!["do the join".into()]), None, None);
+        let o = s.find("pg", "hashjoin").unwrap();
+        assert_eq!(o.descs, vec!["do the join"]);
+    }
+
+    #[test]
+    fn delete_removes_descriptions_too() {
+        let s = store_with_hashjoin();
+        assert_eq!(s.delete("pg", "hashjoin"), 1);
+        assert!(s.find("pg", "hashjoin").is_none());
+        assert_eq!(s.len(), 1); // hash remains
+    }
+
+    #[test]
+    fn target_edge_assembles() {
+        let s = store_with_hashjoin();
+        let hash = s.find("pg", "hash").unwrap();
+        assert!(hash.is_auxiliary());
+        assert!(hash.targets_op("Hash Join"));
+    }
+
+    #[test]
+    fn sources_listing() {
+        let s = store_with_hashjoin();
+        s.create("mssql", "tablescan", None, OperatorArity::Unary, None, &["scan"], false, None);
+        assert_eq!(s.sources(), vec!["mssql", "pg"]);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let s = store_with_hashjoin();
+        let s2 = s.clone();
+        s2.add_desc("pg", "hashjoin", "another");
+        assert_eq!(s.find("pg", "hashjoin").unwrap().descs.len(), 2);
+    }
+}

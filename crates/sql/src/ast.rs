@@ -1,0 +1,429 @@
+//! SQL AST and pretty-printer.
+
+use std::fmt;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Binary operators (comparisons, boolean connectives, arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Like,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinaryOp {
+    /// True for comparison operators usable in join/filter conditions.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+        )
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Like => "LIKE",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+    IsNull,
+    IsNotNull,
+}
+
+/// Scalar / boolean expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, optionally qualified: `o.orderkey`, `title`.
+    Column { qualifier: Option<String>, name: String },
+    IntLit(i64),
+    FloatLit(f64),
+    StrLit(String),
+    BoolLit(bool),
+    Null,
+    Binary { op: BinaryOp, left: Box<Expr>, right: Box<Expr> },
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    /// Aggregate call; `distinct` covers `COUNT(DISTINCT x)`; `arg`
+    /// `None` means `COUNT(*)` (also printed as `count(all)` by the
+    /// narration layer, matching the paper).
+    Agg { func: AggFunc, distinct: bool, arg: Option<Box<Expr>> },
+    /// `expr IN (v1, v2, ...)`.
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    /// `expr BETWEEN lo AND hi`.
+    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+}
+
+impl Expr {
+    /// Convenience column constructor.
+    pub fn col(qualifier: Option<&str>, name: &str) -> Expr {
+        Expr::Column { qualifier: qualifier.map(str::to_string), name: name.to_string() }
+    }
+
+    /// Does this expression (transitively) contain an aggregate?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            _ => false,
+        }
+    }
+
+    /// Collect all column references in this expression.
+    pub fn columns(&self) -> Vec<(&Option<String>, &str)> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<(&'a Option<String>, &'a str)>) {
+        match self {
+            Expr::Column { qualifier, name } => out.push((qualifier, name)),
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Unary { expr, .. } => expr.collect_columns(out),
+            Expr::Agg { arg: Some(a), .. } => a.collect_columns(out),
+            Expr::InList { expr, list, .. } => {
+                expr.collect_columns(out);
+                for e in list {
+                    e.collect_columns(out);
+                }
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.collect_columns(out);
+                low.collect_columns(out);
+                high.collect_columns(out);
+            }
+            _ => {}
+        }
+    }
+
+    /// Split a conjunctive expression into its AND-ed conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        self.collect_conjuncts(&mut out);
+        out
+    }
+
+    fn collect_conjuncts<'a>(&'a self, out: &mut Vec<&'a Expr>) {
+        if let Expr::Binary { op: BinaryOp::And, left, right } = self {
+            left.collect_conjuncts(out);
+            right.collect_conjuncts(out);
+        } else {
+            out.push(self);
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
+            Expr::Column { qualifier: None, name } => write!(f, "{name}"),
+            Expr::IntLit(i) => write!(f, "{i}"),
+            Expr::FloatLit(x) => write!(f, "{x}"),
+            Expr::StrLit(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Expr::BoolLit(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Expr::Null => write!(f, "NULL"),
+            Expr::Binary { op, left, right } => match op {
+                BinaryOp::And | BinaryOp::Or => write!(f, "({left} {op} {right})"),
+                _ => write!(f, "{left} {op} {right}"),
+            },
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "NOT ({expr})"),
+                UnaryOp::Neg => write!(f, "-{expr}"),
+                UnaryOp::IsNull => write!(f, "{expr} IS NULL"),
+                UnaryOp::IsNotNull => write!(f, "{expr} IS NOT NULL"),
+            },
+            Expr::Agg { func, distinct, arg } => match arg {
+                None => write!(f, "{func}(*)"),
+                Some(a) if *distinct => write!(f, "{func}(DISTINCT {a})"),
+                Some(a) => write!(f, "{func}({a})"),
+            },
+            Expr::InList { expr, list, negated } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Between { expr, low, high, negated } => {
+                write!(
+                    f,
+                    "{expr} {}BETWEEN {low} AND {high}",
+                    if *negated { "NOT " } else { "" }
+                )
+            }
+        }
+    }
+}
+
+/// A select-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// expression with optional alias
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A base table reference with optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is visible as (alias if present).
+    pub fn visible_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// An explicit `JOIN ... ON` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub table: TableRef,
+    pub on: Expr,
+}
+
+/// `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub descending: bool,
+}
+
+/// A parsed `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub distinct: bool,
+    pub select: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub joins: Vec<JoinClause>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// All table references including explicit joins.
+    pub fn all_tables(&self) -> impl Iterator<Item = &TableRef> {
+        self.from.iter().chain(self.joins.iter().map(|j| &j.table))
+    }
+
+    /// True if the select list or HAVING uses aggregation, or a GROUP
+    /// BY is present.
+    pub fn is_aggregating(&self) -> bool {
+        !self.group_by.is_empty()
+            || self.having.is_some()
+            || self.select.iter().any(|s| match s {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                SelectItem::Wildcard => false,
+            })
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match item {
+                SelectItem::Wildcard => write!(f, "*")?,
+                SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}")?,
+                SelectItem::Expr { expr, alias: None } => write!(f, "{expr}")?,
+            }
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match &t.alias {
+                Some(a) => write!(f, "{} {a}", t.table)?,
+                None => write!(f, "{}", t.table)?,
+            }
+        }
+        for j in &self.joins {
+            write!(f, " JOIN {}", j.table.table)?;
+            if let Some(a) = &j.table.alias {
+                write!(f, " {a}")?;
+            }
+            write!(f, " ON {}", j.on)?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                if o.descending {
+                    write!(f, " DESC")?;
+                }
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_splitting() {
+        let e = Expr::Binary {
+            op: BinaryOp::And,
+            left: Box::new(Expr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(Expr::col(None, "a")),
+                right: Box::new(Expr::col(None, "b")),
+            }),
+            right: Box::new(Expr::col(None, "c")),
+        };
+        assert_eq!(e.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Agg { func: AggFunc::Count, distinct: false, arg: None };
+        assert!(agg.contains_aggregate());
+        let wrapped = Expr::Binary {
+            op: BinaryOp::Gt,
+            left: Box::new(agg),
+            right: Box::new(Expr::IntLit(200)),
+        };
+        assert!(wrapped.contains_aggregate());
+        assert!(!Expr::col(None, "x").contains_aggregate());
+    }
+
+    #[test]
+    fn column_collection() {
+        let e = Expr::Binary {
+            op: BinaryOp::Eq,
+            left: Box::new(Expr::col(Some("i"), "proceeding_key")),
+            right: Box::new(Expr::col(Some("p"), "pub_key")),
+        };
+        let cols = e.columns();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].1, "proceeding_key");
+    }
+
+    #[test]
+    fn display_between_and_in() {
+        let b = Expr::Between {
+            expr: Box::new(Expr::col(None, "x")),
+            low: Box::new(Expr::IntLit(1)),
+            high: Box::new(Expr::IntLit(9)),
+            negated: false,
+        };
+        assert_eq!(b.to_string(), "x BETWEEN 1 AND 9");
+        let i = Expr::InList {
+            expr: Box::new(Expr::col(None, "m")),
+            list: vec![Expr::StrLit("AIR".into()), Expr::StrLit("FOB".into())],
+            negated: true,
+        };
+        assert_eq!(i.to_string(), "m NOT IN ('AIR', 'FOB')");
+    }
+
+    #[test]
+    fn visible_name_prefers_alias() {
+        let t = TableRef { table: "orders".into(), alias: Some("o".into()) };
+        assert_eq!(t.visible_name(), "o");
+        let t2 = TableRef { table: "orders".into(), alias: None };
+        assert_eq!(t2.visible_name(), "orders");
+    }
+}

@@ -1,0 +1,337 @@
+//! SQL lexer: keywords, identifiers, literals, operators, punctuation.
+
+use std::fmt;
+
+/// Lexing/parsing error with character position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Character offset in the input.
+    pub position: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL error at position {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Token kinds. Keywords are case-insensitive and carried as
+/// `Keyword(UPPERCASE)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Keyword(String),
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// `= <> != < <= > >=`
+    Op(String),
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Semicolon,
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub position: usize,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AS",
+    "AND", "OR", "NOT", "IN", "LIKE", "BETWEEN", "IS", "NULL", "JOIN", "INNER", "LEFT",
+    "RIGHT", "ON", "ASC", "DESC", "COUNT", "SUM", "AVG", "MIN", "MAX", "ALL", "TRUE", "FALSE",
+];
+
+/// The SQL lexer.
+pub struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `source`.
+    pub fn new(source: &'a str) -> Self {
+        Lexer { chars: source.chars().collect(), pos: 0, source }
+    }
+
+    /// Original source text.
+    pub fn source(&self) -> &str {
+        self.source
+    }
+
+    /// Lex the entire input into tokens (terminated by `Eof`).
+    pub fn tokenize(mut self) -> Result<Vec<Token>, SqlError> {
+        let mut tokens = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let done = t.kind == TokenKind::Eof;
+            tokens.push(t);
+            if done {
+                return Ok(tokens);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn next_token(&mut self) -> Result<Token, SqlError> {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+        // Line comments.
+        if self.peek() == Some('-') && self.peek2() == Some('-') {
+            while self.peek().is_some() && self.peek() != Some('\n') {
+                self.pos += 1;
+            }
+            return self.next_token();
+        }
+        let position = self.pos;
+        let Some(c) = self.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, position });
+        };
+        let kind = match c {
+            ',' => {
+                self.pos += 1;
+                TokenKind::Comma
+            }
+            '.' => {
+                self.pos += 1;
+                TokenKind::Dot
+            }
+            '(' => {
+                self.pos += 1;
+                TokenKind::LParen
+            }
+            ')' => {
+                self.pos += 1;
+                TokenKind::RParen
+            }
+            '*' => {
+                self.pos += 1;
+                TokenKind::Star
+            }
+            '+' => {
+                self.pos += 1;
+                TokenKind::Plus
+            }
+            '-' => {
+                self.pos += 1;
+                TokenKind::Minus
+            }
+            '/' => {
+                self.pos += 1;
+                TokenKind::Slash
+            }
+            ';' => {
+                self.pos += 1;
+                TokenKind::Semicolon
+            }
+            '=' => {
+                self.pos += 1;
+                TokenKind::Op("=".into())
+            }
+            '<' => {
+                self.pos += 1;
+                match self.peek() {
+                    Some('=') => {
+                        self.pos += 1;
+                        TokenKind::Op("<=".into())
+                    }
+                    Some('>') => {
+                        self.pos += 1;
+                        TokenKind::Op("<>".into())
+                    }
+                    _ => TokenKind::Op("<".into()),
+                }
+            }
+            '>' => {
+                self.pos += 1;
+                if self.peek() == Some('=') {
+                    self.pos += 1;
+                    TokenKind::Op(">=".into())
+                } else {
+                    TokenKind::Op(">".into())
+                }
+            }
+            '!' => {
+                self.pos += 1;
+                if self.peek() == Some('=') {
+                    self.pos += 1;
+                    TokenKind::Op("<>".into())
+                } else {
+                    return Err(SqlError { position, message: "expected '=' after '!'".into() });
+                }
+            }
+            '\'' => {
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    match self.peek() {
+                        Some('\'') if self.peek2() == Some('\'') => {
+                            s.push('\'');
+                            self.pos += 2;
+                        }
+                        Some('\'') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(ch) => {
+                            s.push(ch);
+                            self.pos += 1;
+                        }
+                        None => {
+                            return Err(SqlError {
+                                position,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            c if c.is_ascii_digit() => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                let mut is_float = false;
+                if self.peek() == Some('.')
+                    && matches!(self.peek2(), Some(d) if d.is_ascii_digit())
+                {
+                    is_float = true;
+                    self.pos += 1;
+                    while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                        self.pos += 1;
+                    }
+                }
+                let text: String = self.chars[start..self.pos].iter().collect();
+                if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| SqlError {
+                        position,
+                        message: format!("invalid float literal {text}"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| SqlError {
+                        position,
+                        message: format!("invalid int literal {text}"),
+                    })?)
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(d) if d.is_alphanumeric() || d == '_') {
+                    self.pos += 1;
+                }
+                let text: String = self.chars[start..self.pos].iter().collect();
+                let upper = text.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    TokenKind::Keyword(upper)
+                } else {
+                    TokenKind::Ident(text)
+                }
+            }
+            other => {
+                return Err(SqlError {
+                    position,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        };
+        Ok(Token { kind, position })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        Lexer::new(sql).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let ks = kinds("select FROM Where");
+        assert_eq!(
+            ks[..3],
+            [
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("FROM".into()),
+                TokenKind::Keyword("WHERE".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_preserve_case() {
+        let ks = kinds("Orders o_orderkey");
+        assert_eq!(ks[0], TokenKind::Ident("Orders".into()));
+        assert_eq!(ks[1], TokenKind::Ident("o_orderkey".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("3.25")[0], TokenKind::Float(3.25));
+    }
+
+    #[test]
+    fn string_with_escaped_quote() {
+        assert_eq!(kinds("'O''Brien'")[0], TokenKind::Str("O'Brien".into()));
+    }
+
+    #[test]
+    fn operators() {
+        let ks = kinds("= <> != <= >= < >");
+        let ops: Vec<&str> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Op(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, ["=", "<>", "<>", "<=", ">=", "<", ">"]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("SELECT -- comment here\n 1");
+        assert_eq!(ks[1], TokenKind::Int(1));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(Lexer::new("'abc").tokenize().is_err());
+    }
+
+    #[test]
+    fn bang_without_equals_errors() {
+        assert!(Lexer::new("a ! b").tokenize().is_err());
+    }
+
+    #[test]
+    fn eof_is_last() {
+        let ks = kinds("a");
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+}

@@ -1,0 +1,23 @@
+//! # lantern-sql
+//!
+//! A SQL subset front-end for the mini relational engine: lexer,
+//! recursive-descent parser, AST, pretty-printer, and a semantic
+//! resolver that binds names against a `lantern-catalog` schema.
+//!
+//! The subset covers what the paper's workloads need: `SELECT
+//! [DISTINCT]` with aggregates, multi-table `FROM` (comma or explicit
+//! `JOIN ... ON`), `WHERE` with comparison/`LIKE`/`IN`/`BETWEEN`/`IS
+//! NULL` predicates and `AND`/`OR`/`NOT`, `GROUP BY`, `HAVING`,
+//! `ORDER BY`, `LIMIT`, and arithmetic expressions.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod resolve;
+
+pub use ast::{
+    AggFunc, BinaryOp, Expr, JoinClause, OrderItem, Query, SelectItem, TableRef, UnaryOp,
+};
+pub use lexer::{Lexer, SqlError, Token, TokenKind};
+pub use parser::parse_sql;
+pub use resolve::{resolve, ResolvedQuery};

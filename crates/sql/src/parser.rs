@@ -1,0 +1,557 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::{
+    AggFunc, BinaryOp, Expr, JoinClause, OrderItem, Query, SelectItem, TableRef, UnaryOp,
+};
+use crate::lexer::{Lexer, SqlError, Token, TokenKind};
+
+/// Parse a single `SELECT` statement (an optional trailing `;` is
+/// accepted).
+///
+/// ```
+/// use lantern_sql::parse_sql;
+/// let q = parse_sql("SELECT COUNT(*) FROM orders WHERE o_totalprice > 100").unwrap();
+/// assert!(q.is_aggregating());
+/// ```
+pub fn parse_sql(sql: &str) -> Result<Query, SqlError> {
+    let tokens = Lexer::new(sql).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.accept_kind(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn position(&self) -> usize {
+        self.tokens[self.pos].position
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SqlError {
+        SqlError { position: self.position(), message: msg.into() }
+    }
+
+    fn accept_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Keyword(k) if k == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.accept_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}")))
+        }
+    }
+
+    fn accept_kind(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind, what: &str) -> Result<(), SqlError> {
+        if self.accept_kind(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), SqlError> {
+        if *self.peek() == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.err("unexpected trailing tokens"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(SqlError {
+                position: self.tokens[self.pos.saturating_sub(1)].position,
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.accept_keyword("DISTINCT");
+        let select = self.select_list()?;
+        self.expect_keyword("FROM")?;
+        let mut from = vec![self.table_ref()?];
+        while self.accept_kind(&TokenKind::Comma) {
+            from.push(self.table_ref()?);
+        }
+        let mut joins = Vec::new();
+        loop {
+            let inner = self.accept_keyword("INNER");
+            if self.accept_keyword("JOIN") {
+                let table = self.table_ref()?;
+                self.expect_keyword("ON")?;
+                let on = self.expr()?;
+                joins.push(JoinClause { table, on });
+            } else if inner {
+                return Err(self.err("expected JOIN after INNER"));
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.accept_keyword("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.accept_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.expr()?);
+            while self.accept_kind(&TokenKind::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.accept_keyword("HAVING") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.accept_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let descending = if self.accept_keyword("DESC") {
+                    true
+                } else {
+                    self.accept_keyword("ASC");
+                    false
+                };
+                order_by.push(OrderItem { expr, descending });
+                if !self.accept_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.accept_keyword("LIMIT") {
+            match self.bump() {
+                TokenKind::Int(n) if n >= 0 => Some(n as u64),
+                _ => return Err(self.err("expected non-negative integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+        Ok(Query { distinct, select, from, joins, where_clause, group_by, having, order_by, limit })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        let mut items = Vec::new();
+        loop {
+            if self.accept_kind(&TokenKind::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.accept_keyword("AS") {
+                    Some(self.ident()?)
+                } else if let TokenKind::Ident(_) = self.peek() {
+                    // Bare alias: `SELECT o_totalprice price`.
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.accept_kind(&TokenKind::Comma) {
+                return Ok(items);
+            }
+        }
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let table = self.ident()?;
+        let alias = if self.accept_keyword("AS") {
+            Some(self.ident()?)
+        } else if let TokenKind::Ident(_) = self.peek() {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    /// expr := or_expr
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.and_expr()?;
+        while self.accept_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.not_expr()?;
+        while self.accept_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary { op: BinaryOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.accept_keyword("NOT") {
+            let inner = self.not_expr()?;
+            Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) })
+        } else {
+            self.predicate()
+        }
+    }
+
+    /// predicate := additive [ (cmp additive | LIKE str | IN (...) |
+    /// BETWEEN a AND b | IS [NOT] NULL) ]
+    fn predicate(&mut self) -> Result<Expr, SqlError> {
+        let left = self.additive()?;
+        if let TokenKind::Op(op) = self.peek() {
+            let op = match op.as_str() {
+                "=" => BinaryOp::Eq,
+                "<>" => BinaryOp::NotEq,
+                "<" => BinaryOp::Lt,
+                "<=" => BinaryOp::LtEq,
+                ">" => BinaryOp::Gt,
+                ">=" => BinaryOp::GtEq,
+                other => return Err(self.err(format!("unknown operator {other}"))),
+            };
+            self.bump();
+            let right = self.additive()?;
+            return Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) });
+        }
+        let negated = {
+            // Look ahead for NOT LIKE / NOT IN / NOT BETWEEN.
+            if matches!(self.peek(), TokenKind::Keyword(k) if k == "NOT") {
+                let next = self.tokens.get(self.pos + 1).map(|t| &t.kind);
+                if matches!(next, Some(TokenKind::Keyword(k)) if k == "LIKE" || k == "IN" || k == "BETWEEN")
+                {
+                    self.bump();
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if self.accept_keyword("LIKE") {
+            let right = self.additive()?;
+            let like =
+                Expr::Binary { op: BinaryOp::Like, left: Box::new(left), right: Box::new(right) };
+            return Ok(if negated {
+                Expr::Unary { op: UnaryOp::Not, expr: Box::new(like) }
+            } else {
+                like
+            });
+        }
+        if self.accept_keyword("IN") {
+            self.expect_kind(&TokenKind::LParen, "'('")?;
+            let mut list = vec![self.additive()?];
+            while self.accept_kind(&TokenKind::Comma) {
+                list.push(self.additive()?);
+            }
+            self.expect_kind(&TokenKind::RParen, "')'")?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.accept_keyword("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.accept_keyword("IS") {
+            let not = self.accept_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::Unary {
+                op: if not { UnaryOp::IsNotNull } else { UnaryOp::IsNull },
+                expr: Box::new(left),
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.multiplicative()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, SqlError> {
+        if self.accept_kind(&TokenKind::Minus) {
+            let inner = self.unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlError> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::IntLit(i))
+            }
+            TokenKind::Float(x) => {
+                self.bump();
+                Ok(Expr::FloatLit(x))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::StrLit(s))
+            }
+            TokenKind::Keyword(k) if k == "NULL" => {
+                self.bump();
+                Ok(Expr::Null)
+            }
+            TokenKind::Keyword(k) if k == "TRUE" => {
+                self.bump();
+                Ok(Expr::BoolLit(true))
+            }
+            TokenKind::Keyword(k) if k == "FALSE" => {
+                self.bump();
+                Ok(Expr::BoolLit(false))
+            }
+            TokenKind::Keyword(k)
+                if matches!(k.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX") =>
+            {
+                self.bump();
+                let func = match k.as_str() {
+                    "COUNT" => AggFunc::Count,
+                    "SUM" => AggFunc::Sum,
+                    "AVG" => AggFunc::Avg,
+                    "MIN" => AggFunc::Min,
+                    _ => AggFunc::Max,
+                };
+                self.expect_kind(&TokenKind::LParen, "'('")?;
+                if self.accept_kind(&TokenKind::Star) {
+                    self.expect_kind(&TokenKind::RParen, "')'")?;
+                    if func != AggFunc::Count {
+                        return Err(self.err("only COUNT accepts *"));
+                    }
+                    return Ok(Expr::Agg { func, distinct: false, arg: None });
+                }
+                if self.accept_keyword("ALL") {
+                    self.expect_kind(&TokenKind::RParen, "')'")?;
+                    if func != AggFunc::Count {
+                        return Err(self.err("only COUNT accepts ALL"));
+                    }
+                    return Ok(Expr::Agg { func, distinct: false, arg: None });
+                }
+                let distinct = self.accept_keyword("DISTINCT");
+                let arg = self.expr()?;
+                self.expect_kind(&TokenKind::RParen, "')'")?;
+                Ok(Expr::Agg { func, distinct, arg: Some(Box::new(arg)) })
+            }
+            TokenKind::Keyword(k) if k == "DISTINCT" => {
+                // `SELECT DISTINCT(col)` style (paper's Example 3.1) —
+                // treated as a plain column reference inside a DISTINCT
+                // query.
+                self.bump();
+                self.expect_kind(&TokenKind::LParen, "'('")?;
+                let inner = self.expr()?;
+                self.expect_kind(&TokenKind::RParen, "')'")?;
+                Ok(inner)
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect_kind(&TokenKind::RParen, "')'")?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.accept_kind(&TokenKind::Dot) {
+                    let col = self.ident()?;
+                    Ok(Expr::Column { qualifier: Some(name), name: col })
+                } else {
+                    Ok(Expr::Column { qualifier: None, name })
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example_3_1() {
+        let sql = "SELECT DISTINCT(I.proceeding_key) \
+                   FROM inproceedings I, publication P \
+                   WHERE (I.proceeding_key = P.pub_key AND P.title like '%July%') \
+                   GROUP BY I.proceeding_key \
+                   HAVING COUNT (*) > 200;";
+        let q = parse_sql(sql).unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[0].alias.as_deref(), Some("I"));
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        let conjuncts = q.where_clause.as_ref().unwrap().conjuncts();
+        assert_eq!(conjuncts.len(), 2);
+    }
+
+    #[test]
+    fn parses_explicit_join() {
+        let q = parse_sql(
+            "SELECT c.c_name FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].table.visible_name(), "o");
+    }
+
+    #[test]
+    fn parses_order_and_limit() {
+        let q = parse_sql("SELECT a FROM t ORDER BY a DESC, b LIMIT 10").unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].descending);
+        assert!(!q.order_by[1].descending);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_aggregates() {
+        let q = parse_sql(
+            "SELECT COUNT(*), SUM(l_extendedprice * (1 - l_discount)) AS revenue FROM lineitem",
+        )
+        .unwrap();
+        assert!(q.is_aggregating());
+        assert_eq!(q.select.len(), 2);
+    }
+
+    #[test]
+    fn parses_count_distinct() {
+        let q = parse_sql("SELECT COUNT(DISTINCT o_custkey) FROM orders").unwrap();
+        match &q.select[0] {
+            SelectItem::Expr { expr: Expr::Agg { distinct, .. }, .. } => assert!(*distinct),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_in_between_isnull() {
+        let q = parse_sql(
+            "SELECT * FROM lineitem WHERE l_shipmode IN ('AIR','FOB') \
+             AND l_quantity BETWEEN 5 AND 15 AND l_comment IS NOT NULL",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn parses_not_variants() {
+        let q = parse_sql(
+            "SELECT * FROM t WHERE a NOT IN (1,2) AND b NOT LIKE '%x%' AND NOT c = 3",
+        )
+        .unwrap();
+        assert_eq!(q.where_clause.unwrap().conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn operator_precedence_and_over_or() {
+        let q = parse_sql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Binary { op: BinaryOp::Or, .. } => {}
+            other => panic!("expected OR at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse_sql("SELECT a + b * c FROM t").unwrap();
+        match &q.select[0] {
+            SelectItem::Expr { expr: Expr::Binary { op: BinaryOp::Add, right, .. }, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_sql("SELECT a FROM t WHERE").is_err());
+        assert!(parse_sql("SELECT a FROM t xyzzy plugh").is_err());
+    }
+
+    #[test]
+    fn rejects_sum_star() {
+        assert!(parse_sql("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let sql = "SELECT DISTINCT c.c_name AS name FROM customer c \
+                   JOIN orders o ON c.c_custkey = o.o_custkey \
+                   WHERE o.o_totalprice > 1000 GROUP BY c.c_name \
+                   HAVING COUNT(*) > 2 ORDER BY c.c_name DESC LIMIT 5";
+        let q1 = parse_sql(sql).unwrap();
+        let q2 = parse_sql(&q1.to_string()).unwrap();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn count_all_is_count_star() {
+        let q = parse_sql("SELECT COUNT(ALL) FROM t").unwrap();
+        match &q.select[0] {
+            SelectItem::Expr { expr: Expr::Agg { arg: None, .. }, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Semantic analysis: bind table and column references against a
+//! catalog, producing the binding maps the logical planner consumes.
+
+use crate::ast::{Expr, Query, SelectItem};
+use crate::lexer::SqlError;
+use lantern_catalog::Catalog;
+use std::collections::HashMap;
+
+/// A fully resolved column reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedColumn {
+    /// The *visible* (aliased) table name in the query.
+    pub table_visible: String,
+    /// The underlying catalog table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// Column ordinal within the catalog table.
+    pub index: usize,
+}
+
+/// A query together with its name bindings.
+#[derive(Debug, Clone)]
+pub struct ResolvedQuery {
+    /// The original AST.
+    pub query: Query,
+    /// visible name -> catalog table name.
+    pub tables: HashMap<String, String>,
+    /// Deterministic visible-name order (FROM order, then JOINs).
+    pub table_order: Vec<String>,
+}
+
+impl ResolvedQuery {
+    /// Resolve a column expression to its owning table. Unqualified
+    /// names are matched against all bound tables and must be unique.
+    pub fn resolve_column(
+        &self,
+        catalog: &Catalog,
+        qualifier: &Option<String>,
+        name: &str,
+    ) -> Result<ResolvedColumn, SqlError> {
+        if let Some(q) = qualifier {
+            let visible = self
+                .tables
+                .keys()
+                .find(|v| v.eq_ignore_ascii_case(q))
+                .ok_or_else(|| err(format!("unknown table qualifier '{q}'")))?;
+            let table_name = &self.tables[visible];
+            let table = catalog
+                .table(table_name)
+                .ok_or_else(|| err(format!("table '{table_name}' not in catalog")))?;
+            let index = table
+                .column_index(name)
+                .ok_or_else(|| err(format!("column '{name}' not in table '{table_name}'")))?;
+            return Ok(ResolvedColumn {
+                table_visible: visible.clone(),
+                table: table_name.clone(),
+                column: name.to_string(),
+                index,
+            });
+        }
+        let mut hit: Option<ResolvedColumn> = None;
+        for visible in &self.table_order {
+            let table_name = &self.tables[visible];
+            let Some(table) = catalog.table(table_name) else { continue };
+            if let Some(index) = table.column_index(name) {
+                if hit.is_some() {
+                    return Err(err(format!("ambiguous column '{name}'")));
+                }
+                hit = Some(ResolvedColumn {
+                    table_visible: visible.clone(),
+                    table: table_name.clone(),
+                    column: name.to_string(),
+                    index,
+                });
+            }
+        }
+        hit.ok_or_else(|| err(format!("unknown column '{name}'")))
+    }
+}
+
+fn err(message: String) -> SqlError {
+    SqlError { position: 0, message }
+}
+
+/// Resolve `query` against `catalog`: check every table exists, every
+/// column reference binds, and aliases are unambiguous.
+pub fn resolve(query: &Query, catalog: &Catalog) -> Result<ResolvedQuery, SqlError> {
+    let mut tables = HashMap::new();
+    let mut table_order = Vec::new();
+    for tref in query.all_tables() {
+        if catalog.table(&tref.table).is_none() {
+            return Err(err(format!("unknown table '{}'", tref.table)));
+        }
+        let visible = tref.visible_name().to_string();
+        if tables.contains_key(&visible) {
+            return Err(err(format!("duplicate table name/alias '{visible}'")));
+        }
+        tables.insert(visible.clone(), tref.table.clone());
+        table_order.push(visible);
+    }
+    let resolved = ResolvedQuery { query: query.clone(), tables, table_order };
+    // Validate every column reference in every clause.
+    let mut exprs: Vec<&Expr> = Vec::new();
+    for item in &query.select {
+        if let SelectItem::Expr { expr, .. } = item {
+            exprs.push(expr);
+        }
+    }
+    for j in &query.joins {
+        exprs.push(&j.on);
+    }
+    if let Some(w) = &query.where_clause {
+        exprs.push(w);
+    }
+    exprs.extend(query.group_by.iter());
+    if let Some(h) = &query.having {
+        exprs.push(h);
+    }
+    for e in exprs {
+        for (qual, name) in e.columns() {
+            resolved.resolve_column(catalog, qual, name)?;
+        }
+    }
+    // ORDER BY may additionally reference select-list aliases.
+    let aliases: Vec<&str> = query
+        .select
+        .iter()
+        .filter_map(|s| match s {
+            SelectItem::Expr { alias: Some(a), .. } => Some(a.as_str()),
+            _ => None,
+        })
+        .collect();
+    for o in &query.order_by {
+        for (qual, name) in o.expr.columns() {
+            if qual.is_none() && aliases.contains(&name) {
+                continue;
+            }
+            resolved.resolve_column(catalog, qual, name)?;
+        }
+    }
+    Ok(resolved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_sql;
+    use lantern_catalog::{dblp_catalog, tpch_catalog};
+
+    #[test]
+    fn resolves_paper_example() {
+        let cat = dblp_catalog();
+        let q = parse_sql(
+            "SELECT DISTINCT(I.proceeding_key) FROM inproceedings I, publication P \
+             WHERE I.proceeding_key = P.pub_key AND P.title LIKE '%July%' \
+             GROUP BY I.proceeding_key HAVING COUNT(*) > 200",
+        )
+        .unwrap();
+        let r = resolve(&q, &cat).unwrap();
+        assert_eq!(r.tables["I"], "inproceedings");
+        let c = r
+            .resolve_column(&cat, &Some("P".into()), "title")
+            .unwrap();
+        assert_eq!(c.table, "publication");
+        assert_eq!(c.index, 1);
+    }
+
+    #[test]
+    fn unqualified_unique_column_resolves() {
+        let cat = tpch_catalog();
+        let q = parse_sql("SELECT o_totalprice FROM orders").unwrap();
+        let r = resolve(&q, &cat).unwrap();
+        let c = r.resolve_column(&cat, &None, "o_totalprice").unwrap();
+        assert_eq!(c.table, "orders");
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let cat = tpch_catalog();
+        let q = parse_sql("SELECT x FROM nonexistent").unwrap();
+        assert!(resolve(&q, &cat).is_err());
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let cat = tpch_catalog();
+        let q = parse_sql("SELECT nope FROM orders").unwrap();
+        assert!(resolve(&q, &cat).is_err());
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let cat = tpch_catalog();
+        let q = parse_sql("SELECT 1 FROM orders o, customer o").unwrap();
+        assert!(resolve(&q, &cat).is_err());
+    }
+
+    #[test]
+    fn wrong_qualifier_rejected() {
+        let cat = tpch_catalog();
+        let q = parse_sql("SELECT z.o_totalprice FROM orders o").unwrap();
+        assert!(resolve(&q, &cat).is_err());
+    }
+
+    #[test]
+    fn qualifier_case_insensitive() {
+        let cat = dblp_catalog();
+        let q = parse_sql(
+            "SELECT I.proceeding_key FROM inproceedings I WHERE i.proceeding_key > 0",
+        )
+        .unwrap();
+        assert!(resolve(&q, &cat).is_ok());
+    }
+}

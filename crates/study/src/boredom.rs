@@ -1,0 +1,172 @@
+//! The boredom studies: Table 7 (boredom index per system) and US 3's
+//! mixed-stream experiment (rule/neural narrations interleaved, paper
+//! §7.3).
+
+use crate::learner::Population;
+use crate::likert::LikertHistogram;
+
+/// Result of a boredom study.
+#[derive(Debug, Clone)]
+pub struct BoredomReport {
+    /// `(system label, Likert-histogram of boredom indices)`.
+    pub rows: Vec<(String, LikertHistogram)>,
+}
+
+impl BoredomReport {
+    /// Histogram for a labelled row.
+    pub fn row(&self, label: &str) -> Option<&LikertHistogram> {
+        self.rows.iter().find(|(l, _)| l == label).map(|(_, h)| h)
+    }
+
+    /// Learners who scored a condition above 3 ("felt bored").
+    pub fn bored_count(&self, label: &str) -> usize {
+        self.row(label).map(|h| h.count(4) + h.count(5)).unwrap_or(0)
+    }
+}
+
+/// Table 7: every learner reads each system's narration stream (in
+/// fresh state) and reports a boredom index afterwards.
+pub fn boredom_study(
+    population: &mut Population,
+    conditions: &[(String, Vec<String>)],
+) -> BoredomReport {
+    let mut rows = Vec::new();
+    for (label, narrations) in conditions {
+        let mut hist = LikertHistogram::new();
+        for learner in &mut population.learners {
+            learner.reset();
+            for text in narrations {
+                learner.read(text);
+            }
+            hist.push(learner.boredom_index());
+        }
+        rows.push((label.clone(), hist));
+    }
+    BoredomReport { rows }
+}
+
+/// US 3's second experiment: a mixed stream (mostly rule narrations
+/// with neural ones interleaved). Learners mark outputs that bore them
+/// and outputs that arouse interest. Returns, per system:
+/// `(marked_boring, aroused_interest)`.
+pub fn mixed_stream_study(
+    population: &mut Population,
+    stream: &[(String, bool)], // (text, is_neural)
+) -> ((usize, usize), (usize, usize)) {
+    let mut rule_boring = 0usize;
+    let mut rule_interest = 0usize;
+    let mut neural_boring = 0usize;
+    let mut neural_interest = 0usize;
+    for learner in &mut population.learners {
+        learner.reset();
+        for (text, is_neural) in stream {
+            let similarity = learner.read(text);
+            // A reader marks an item boring when it reads like the
+            // recent window *and* they are already disengaging;
+            // interesting when it is novel while they were disengaging.
+            let boring = similarity > 0.45 && learner.arousal < 0.6;
+            let interesting = similarity < 0.3 && learner.arousal < 0.9;
+            if *is_neural {
+                if boring {
+                    neural_boring += 1;
+                }
+                if interesting {
+                    neural_interest += 1;
+                }
+            } else {
+                if boring {
+                    rule_boring += 1;
+                }
+                if interesting {
+                    rule_interest += 1;
+                }
+            }
+        }
+    }
+    ((rule_boring, rule_interest), (neural_boring, neural_interest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repetitive_stream(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "hash T{i} and perform hash join on orders and T{i} on condition \
+                     ((a.x) = (b.y)) to get the intermediate relation T{}.",
+                    i + 1
+                )
+            })
+            .collect()
+    }
+
+    fn diverse_stream(n: usize) -> Vec<String> {
+        let variants = [
+            "hash {t} and execute hash join on orders and {t} under the stated condition yielding {u}.",
+            "build a hash table over {t}; then combine orders with {t} to produce {u}.",
+            "a hash join of orders and {t} is performed on the given condition to obtain {u}.",
+            "combine {t} with orders by hashing on the join keys, producing the relation {u}.",
+            "probe the hashed rows of {t} with orders and keep the matches as {u}.",
+        ];
+        (0..n)
+            .map(|i| {
+                variants[i % variants.len()]
+                    .replace("{t}", &format!("T{i}"))
+                    .replace("{u}", &format!("T{}", i + 1))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn table_7_shape_rule_more_boring_than_neural() {
+        let mut pop = Population::sample(43, 21);
+        let conditions = vec![
+            ("rule-lantern".to_string(), repetitive_stream(20)),
+            ("neural-lantern".to_string(), diverse_stream(20)),
+        ];
+        let report = boredom_study(&mut pop, &conditions);
+        let rule_bored = report.bored_count("rule-lantern");
+        let neural_bored = report.bored_count("neural-lantern");
+        // Paper Table 7: 15/43 bored by rule, 4/43 by neural.
+        assert!(
+            rule_bored > neural_bored * 2,
+            "rule {rule_bored} vs neural {neural_bored}"
+        );
+        assert_eq!(report.row("rule-lantern").unwrap().total(), 43);
+    }
+
+    #[test]
+    fn mixed_stream_neural_arouses_interest() {
+        let mut pop = Population::sample(43, 23);
+        // 36 rule + 14 neural interleaved (paper's 4+f() schedule).
+        let rule = repetitive_stream(36);
+        let neural = diverse_stream(14);
+        let mut stream = Vec::new();
+        let mut ni = 0;
+        for (i, r) in rule.iter().enumerate() {
+            stream.push((r.clone(), false));
+            if i % 3 == 2 && ni < neural.len() {
+                stream.push((neural[ni].clone(), true));
+                ni += 1;
+            }
+        }
+        let ((rule_boring, rule_interest), (neural_boring, neural_interest)) =
+            mixed_stream_study(&mut pop, &stream);
+        // Shape: rule narrations bore more; neural ones arouse more
+        // interest relative to their count.
+        assert!(rule_boring > neural_boring, "{rule_boring} vs {neural_boring}");
+        let rule_rate = rule_interest as f64 / 36.0;
+        let neural_rate = neural_interest as f64 / 14.0;
+        assert!(neural_rate > rule_rate, "{neural_rate} vs {rule_rate}");
+    }
+
+    #[test]
+    fn boredom_study_is_deterministic() {
+        let conditions = vec![("x".to_string(), repetitive_stream(10))];
+        let r1 = boredom_study(&mut Population::sample(20, 5), &conditions);
+        let r2 = boredom_study(&mut Population::sample(20, 5), &conditions);
+        assert_eq!(r1.rows[0].1, r2.rows[0].1);
+    }
+}

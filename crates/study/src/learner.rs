@@ -1,0 +1,279 @@
+//! The simulated learner model.
+//!
+//! Grounded in the psychology the paper builds on:
+//!
+//! * **Habituation** (O'Hanlon [41]; Cacioppo & Petty [20]): arousal
+//!   decrements with repeated exposure to *similar* stimuli. We measure
+//!   stimulus similarity as the BLEU of a new narration against the
+//!   learner's recent reading history, and decrement arousal
+//!   proportionally.
+//! * **Dishabituation through variation** (Harrison & Crandall [26];
+//!   Schumann et al. [47]): novel stimuli partially restore arousal.
+//! * **Format affinity**: learners prefer textbook-style narrative
+//!   (natural language) over visual trees over vendor JSON/XML — the
+//!   regularity behind Figure 3 — with individual variation.
+//!
+//! All behaviour is sampled deterministically per learner seed; nothing
+//! in the harnesses hard-codes the paper's percentages.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use lantern_text::{bleu, tokenize, BleuConfig};
+
+/// How strongly one repetition of a near-identical stimulus decrements
+/// arousal.
+const HABITUATION_RATE: f64 = 0.5;
+/// Spontaneous recovery per exposure.
+const RECOVERY_RATE: f64 = 0.05;
+/// How much novelty (1 - similarity) restores arousal.
+const DISHABITUATION_RATE: f64 = 0.4;
+/// Reading-history window used for similarity.
+const HISTORY_WINDOW: usize = 8;
+
+/// The presentation format a stimulus arrives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Vendor JSON/XML text.
+    Json,
+    /// Visual operator tree.
+    VisualTree,
+    /// Natural-language narration.
+    NaturalLanguage,
+}
+
+/// One simulated learner.
+#[derive(Debug, Clone)]
+pub struct Learner {
+    /// Database expertise in `[0, 1]` (affects JSON comprehension).
+    pub expertise: f64,
+    /// Per-format comprehension affinity in `[0, 1]`.
+    affinity_json: f64,
+    affinity_tree: f64,
+    affinity_nl: f64,
+    /// Current arousal in `[0, 1]` (1 = fully engaged).
+    pub arousal: f64,
+    history: Vec<Vec<String>>,
+    rng: StdRng,
+}
+
+impl Learner {
+    /// Sample a learner. Affinity means reflect the cognitive-load
+    /// argument of the paper's introduction: NL ≈ 0.75, tree ≈ 0.55,
+    /// JSON ≈ 0.3 (+ expertise), each with individual spread.
+    pub fn sample(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let expertise = rng.gen_range(0.0..0.6); // undergraduates
+        Learner {
+            expertise,
+            affinity_json: (0.30 + 0.5 * expertise + rng.gen_range(-0.1..0.1_f64)).clamp(0.0, 1.0),
+            affinity_tree: (0.55 + rng.gen_range(-0.15..0.15_f64)).clamp(0.0, 1.0),
+            affinity_nl: (0.75 + rng.gen_range(-0.15..0.15_f64)).clamp(0.0, 1.0),
+            arousal: 1.0,
+            history: Vec::new(),
+            rng,
+        }
+    }
+
+    /// Affinity for a format.
+    pub fn affinity(&self, format: Format) -> f64 {
+        match format {
+            Format::Json => self.affinity_json,
+            Format::VisualTree => self.affinity_tree,
+            Format::NaturalLanguage => self.affinity_nl,
+        }
+    }
+
+    /// Read one narration; updates the habituation state and returns
+    /// the *similarity* this stimulus had to recent reading.
+    ///
+    /// Similarity is the mean BLEU against the reading window — a
+    /// stream that repeats one phrasing saturates it, while a stream
+    /// that rotates phrasings stays in the mid range even when an
+    /// individual variant recurs occasionally.
+    pub fn read(&mut self, narration: &str) -> f64 {
+        let tokens = tokenize(narration);
+        let similarity = if self.history.is_empty() {
+            0.0
+        } else {
+            self.history
+                .iter()
+                .map(|h| bleu(&tokens, &[h.as_slice()], BleuConfig::default()))
+                .sum::<f64>()
+                / self.history.len() as f64
+        };
+        // Habituation: similar stimuli decrement arousal; novel ones
+        // partially restore it; plus small spontaneous recovery.
+        self.arousal -= HABITUATION_RATE * similarity * self.arousal;
+        self.arousal += DISHABITUATION_RATE * (1.0 - similarity) * (1.0 - self.arousal);
+        self.arousal += RECOVERY_RATE * (1.0 - self.arousal);
+        self.arousal = self.arousal.clamp(0.0, 1.0);
+        self.history.push(tokens);
+        if self.history.len() > HISTORY_WINDOW {
+            self.history.remove(0);
+        }
+        similarity
+    }
+
+    /// Uniform learner noise in `[-scale, scale]` (individual
+    /// idiosyncrasy in judgements).
+    pub fn noise(&mut self, scale: f64) -> f64 {
+        self.rng.gen_range(-scale..scale)
+    }
+
+    /// Sample a Likert rating (1–5) centred on `quality` in `[0, 1]`
+    /// with learner noise.
+    pub fn likert(&mut self, quality: f64) -> u8 {
+        let noisy = quality + self.rng.gen_range(-0.15..0.15);
+        (1.0 + (noisy.clamp(0.0, 1.0) * 4.0).round()) as u8
+    }
+
+    /// Boredom index (1 = not boring, 5 = extremely boring), driven by
+    /// the inverse of current arousal.
+    pub fn boredom_index(&mut self) -> u8 {
+        let boredom = 1.0 - self.arousal;
+        let noisy = boredom + self.rng.gen_range(-0.12..0.12);
+        (1.0 + (noisy.clamp(0.0, 1.0) * 4.0).round()) as u8
+    }
+
+    /// Reset the habituation state (between study conditions).
+    pub fn reset(&mut self) {
+        self.arousal = 1.0;
+        self.history.clear();
+    }
+}
+
+/// A deterministic population of learners.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// The learners.
+    pub learners: Vec<Learner>,
+}
+
+impl Population {
+    /// Sample `n` learners from `seed`.
+    pub fn sample(n: usize, seed: u64) -> Self {
+        Population {
+            learners: (0..n).map(|i| Learner::sample(seed.wrapping_add(i as u64 * 7919))).collect(),
+        }
+    }
+
+    /// Number of learners.
+    pub fn len(&self) -> usize {
+        self.learners.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.learners.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affinities_order_nl_over_tree_over_json_on_average() {
+        let pop = Population::sample(200, 1);
+        let mean = |f: Format| {
+            pop.learners.iter().map(|l| l.affinity(f)).sum::<f64>() / pop.len() as f64
+        };
+        assert!(mean(Format::NaturalLanguage) > mean(Format::VisualTree));
+        assert!(mean(Format::VisualTree) > mean(Format::Json));
+    }
+
+    #[test]
+    fn repeated_identical_text_habituates() {
+        let mut l = Learner::sample(3);
+        let text = "perform hash join on a and b to get the final results.";
+        for _ in 0..10 {
+            l.read(text);
+        }
+        assert!(l.arousal < 0.5, "arousal {} should have decayed", l.arousal);
+    }
+
+    #[test]
+    fn diverse_texts_keep_arousal_high() {
+        let mut same = Learner::sample(4);
+        let mut varied = Learner::sample(4);
+        let base = "perform hash join on a and b to get the final results.";
+        let variants = [
+            "perform hash join on a and b to get the final results.",
+            "execute a combine of a with b producing the conclusive outcome.",
+            "the rows of b are matched against a by hashing to give the answer.",
+            "a hash table over b is probed with a yielding the final answer.",
+            "join a and b through hashing and return the outcome.",
+        ];
+        for i in 0..10 {
+            same.read(base);
+            varied.read(variants[i % variants.len()]);
+        }
+        assert!(
+            varied.arousal > same.arousal + 0.15,
+            "varied {} vs same {}",
+            varied.arousal,
+            same.arousal
+        );
+    }
+
+    #[test]
+    fn similarity_returned_is_monotone() {
+        let mut l = Learner::sample(5);
+        let first = l.read("perform sequential scan on orders.");
+        let repeat = l.read("perform sequential scan on orders.");
+        let novel = l.read("completely different words appear here now.");
+        assert_eq!(first, 0.0);
+        assert!(repeat > 0.9);
+        assert!(novel < 0.2);
+    }
+
+    #[test]
+    fn likert_in_range_and_tracks_quality() {
+        let mut l = Learner::sample(6);
+        for _ in 0..50 {
+            let low = l.likert(0.1);
+            let high = l.likert(0.95);
+            assert!((1..=5).contains(&low));
+            assert!((1..=5).contains(&high));
+        }
+        let mean_low: f64 =
+            (0..40).map(|_| l.likert(0.15) as f64).sum::<f64>() / 40.0;
+        let mean_high: f64 =
+            (0..40).map(|_| l.likert(0.9) as f64).sum::<f64>() / 40.0;
+        assert!(mean_high > mean_low + 1.0);
+    }
+
+    #[test]
+    fn boredom_rises_with_habituation() {
+        let mut l = Learner::sample(7);
+        let fresh: f64 = (0..30).map(|_| {
+            let mut l2 = Learner::sample(100);
+            l2.boredom_index() as f64
+        }).sum::<f64>() / 30.0;
+        for _ in 0..12 {
+            l.read("perform hash join on x and y to get the final results.");
+        }
+        let bored: f64 = (0..30).map(|_| l.boredom_index() as f64).sum::<f64>() / 30.0;
+        assert!(bored > fresh, "bored {bored} vs fresh {fresh}");
+    }
+
+    #[test]
+    fn population_deterministic() {
+        let a = Population::sample(10, 9);
+        let b = Population::sample(10, 9);
+        assert_eq!(a.learners.len(), b.learners.len());
+        for (x, y) in a.learners.iter().zip(&b.learners) {
+            assert_eq!(x.expertise, y.expertise);
+        }
+    }
+
+    #[test]
+    fn reset_restores_engagement() {
+        let mut l = Learner::sample(11);
+        for _ in 0..10 {
+            l.read("same text again and again and again.");
+        }
+        l.reset();
+        assert_eq!(l.arousal, 1.0);
+    }
+}

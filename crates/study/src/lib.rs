@@ -1,0 +1,31 @@
+//! # lantern-study
+//!
+//! A psychology-grounded simulated user study, standing in for the
+//! paper's 43/62 human volunteers (see DESIGN.md substitution table).
+//!
+//! The simulation is built on the habituation literature the paper
+//! cites: repeated exposure to near-identical stimuli decrements
+//! arousal (O'Hanlon [41]; Cacioppo & Petty [20]), which manifests as
+//! boredom, skipping, and lower ratings; message *variation* slows the
+//! decrement (Schumann et al. [47]). [`Learner`]s carry a habituation
+//! state keyed on the similarity of successive narrations (measured
+//! with Self-BLEU against their recent reading history), plus a
+//! format-affinity profile; Likert answers are sampled from those
+//! latent states.
+//!
+//! Harnesses reproduce Figure 3, Figures 8(b)–(d), Figures 9(a)–(c),
+//! Table 7, and user studies US 2–US 6.
+
+pub mod boredom;
+pub mod learner;
+pub mod likert;
+pub mod surveys;
+
+pub use boredom::{boredom_study, mixed_stream_study, BoredomReport};
+pub use learner::{Learner, Population};
+pub use likert::LikertHistogram;
+pub use learner::Format;
+pub use surveys::{
+    format_preference_survey, q1_ease_survey, q2_quality_survey, q3_preference_survey,
+    us6_presentation_survey, FormatKind, SurveyReport,
+};

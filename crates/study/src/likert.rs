@@ -1,0 +1,115 @@
+//! Likert-scale (1–5) histograms, the unit every survey figure reports.
+
+use std::fmt;
+
+/// Counts of responses 1..=5.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LikertHistogram {
+    counts: [usize; 5],
+}
+
+impl LikertHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a rating (clamped to 1..=5).
+    pub fn push(&mut self, rating: u8) {
+        let r = rating.clamp(1, 5) as usize;
+        self.counts[r - 1] += 1;
+    }
+
+    /// Count of a specific rating.
+    pub fn count(&self, rating: u8) -> usize {
+        self.counts[(rating.clamp(1, 5) - 1) as usize]
+    }
+
+    /// Total responses.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of ratings strictly above 3 (the paper's "ratings
+    /// above 3" statistic).
+    pub fn fraction_above_3(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.counts[3] + self.counts[4]) as f64 / self.total() as f64
+    }
+
+    /// Mean rating.
+    pub fn mean(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        let sum: usize = self.counts.iter().enumerate().map(|(i, c)| (i + 1) * c).sum();
+        sum as f64 / self.total() as f64
+    }
+
+    /// The raw `[1, 2, 3, 4, 5]` counts row (Table 7 format).
+    pub fn row(&self) -> [usize; 5] {
+        self.counts
+    }
+}
+
+impl fmt::Display for LikertHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "1:{} 2:{} 3:{} 4:{} 5:{}",
+            self.counts[0], self.counts[1], self.counts[2], self.counts[3], self.counts[4]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut h = LikertHistogram::new();
+        for r in [1, 3, 3, 5, 4] {
+            h.push(r);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.row(), [1, 0, 2, 1, 1]);
+    }
+
+    #[test]
+    fn fraction_above_3() {
+        let mut h = LikertHistogram::new();
+        for r in [4, 5, 2, 3] {
+            h.push(r);
+        }
+        assert!((h.fraction_above_3() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean() {
+        let mut h = LikertHistogram::new();
+        for r in [1, 5] {
+            h.push(r);
+        }
+        assert_eq!(h.mean(), 3.0);
+    }
+
+    #[test]
+    fn out_of_range_clamped() {
+        let mut h = LikertHistogram::new();
+        h.push(0);
+        h.push(9);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(5), 1);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let h = LikertHistogram::new();
+        assert_eq!(h.fraction_above_3(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

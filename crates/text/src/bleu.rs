@@ -1,0 +1,206 @@
+//! BLEU [Papineni et al., ACL 2002] and Self-BLEU [Shu et al., ACL 2019]
+//! as used by the paper's Table 4 (diversity of paraphrase-expanded
+//! training samples) and Table 5 (test-set translation quality).
+
+use crate::ngram::NgramCounts;
+
+/// Configuration for BLEU scoring.
+#[derive(Debug, Clone, Copy)]
+pub struct BleuConfig {
+    /// Maximum n-gram order (the paper, like most MT work, uses 4).
+    pub max_order: usize,
+    /// Add-one smoothing for zero higher-order matches (method 1 of
+    /// Chen & Cherry). Keeps short-sentence scores finite.
+    pub smooth: bool,
+}
+
+impl Default for BleuConfig {
+    fn default() -> Self {
+        BleuConfig { max_order: 4, smooth: true }
+    }
+}
+
+/// Sentence-level BLEU of `hypothesis` against one or more `references`
+/// (token sequences). Returns a value in `[0, 1]`.
+pub fn bleu<S: AsRef<str>>(hypothesis: &[S], references: &[&[S]], cfg: BleuConfig) -> f64 {
+    if hypothesis.is_empty() || references.is_empty() {
+        return 0.0;
+    }
+    let mut log_precision_sum = 0.0;
+    for order in 1..=cfg.max_order {
+        let hyp_counts = NgramCounts::new(hypothesis, order);
+        let ref_counts: Vec<NgramCounts> =
+            references.iter().map(|r| NgramCounts::new(r, order)).collect();
+        let overlap = hyp_counts.clipped_overlap_multi(&ref_counts);
+        let total = hyp_counts.total();
+        let (num, den) = if cfg.smooth && order > 1 {
+            (overlap as f64 + 1.0, total as f64 + 1.0)
+        } else {
+            (overlap as f64, total as f64)
+        };
+        if num == 0.0 || den == 0.0 {
+            return 0.0;
+        }
+        log_precision_sum += (num / den).ln();
+    }
+    let precision_geo_mean = (log_precision_sum / cfg.max_order as f64).exp();
+    let hyp_len = hypothesis.len() as f64;
+    // Closest reference length (ties -> shorter), per the original paper.
+    let ref_len = references
+        .iter()
+        .map(|r| r.len())
+        .min_by_key(|&l| {
+            let d = (l as i64 - hypothesis.len() as i64).abs();
+            (d, l)
+        })
+        .unwrap_or(0) as f64;
+    let brevity_penalty = if hyp_len >= ref_len || ref_len == 0.0 {
+        1.0
+    } else {
+        (1.0 - ref_len / hyp_len).exp()
+    };
+    brevity_penalty * precision_geo_mean
+}
+
+/// Corpus-level BLEU: aggregate clipped counts and lengths over all
+/// sentence pairs, then combine (the standard corpus formulation, which
+/// Table 5 averages are computed with).
+pub fn corpus_bleu<S: AsRef<str>>(pairs: &[(Vec<S>, Vec<S>)], cfg: BleuConfig) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let mut log_precision_sum = 0.0;
+    for order in 1..=cfg.max_order {
+        let mut overlap = 0usize;
+        let mut total = 0usize;
+        for (hyp, refr) in pairs {
+            let h = NgramCounts::new(hyp, order);
+            let r = NgramCounts::new(refr, order);
+            overlap += h.clipped_overlap(&r);
+            total += h.total();
+        }
+        let (num, den) = if cfg.smooth && order > 1 {
+            (overlap as f64 + 1.0, total as f64 + 1.0)
+        } else {
+            (overlap as f64, total as f64)
+        };
+        if num == 0.0 || den == 0.0 {
+            return 0.0;
+        }
+        log_precision_sum += (num / den).ln();
+    }
+    let precision_geo_mean = (log_precision_sum / cfg.max_order as f64).exp();
+    let hyp_len: usize = pairs.iter().map(|(h, _)| h.len()).sum();
+    let ref_len: usize = pairs.iter().map(|(_, r)| r.len()).sum();
+    let bp = if hyp_len >= ref_len || hyp_len == 0 {
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / hyp_len as f64).exp()
+    };
+    bp * precision_geo_mean
+}
+
+/// Self-BLEU of a group of sentences: for each sentence, compute BLEU
+/// using all *other* sentences of the group as references; return the
+/// mean. Lower means more diverse (Table 4). A singleton group scores
+/// `1.0` by convention (a sentence is identical to itself; the paper's
+/// "Without paraphrasing" row).
+pub fn self_bleu<S: AsRef<str> + Clone>(group: &[Vec<S>], cfg: BleuConfig) -> f64 {
+    if group.len() <= 1 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    for (i, hyp) in group.iter().enumerate() {
+        let refs: Vec<&[S]> = group
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, r)| r.as_slice())
+            .collect();
+        sum += bleu(hyp, &refs, cfg);
+    }
+    sum / group.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    fn t(s: &str) -> Vec<String> {
+        tokenize(s)
+    }
+
+    #[test]
+    fn identical_sentences_score_one() {
+        let s = t("perform hash join on T1 and T2 to get the final results.");
+        let score = bleu(&s, &[&s[..]], BleuConfig { max_order: 4, smooth: false });
+        assert!((score - 1.0).abs() < 1e-12, "got {score}");
+    }
+
+    #[test]
+    fn disjoint_sentences_score_zero() {
+        let a = t("alpha beta gamma delta epsilon");
+        let b = t("one two three four five");
+        assert_eq!(bleu(&a, &[&b[..]], BleuConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_between_zero_and_one() {
+        let hyp = t("perform sequential scan on user table now");
+        let refr = t("perform sequential scan on the user table");
+        let s = bleu(&hyp, &[&refr[..]], BleuConfig::default());
+        assert!(s > 0.0 && s < 1.0, "got {s}");
+    }
+
+    #[test]
+    fn brevity_penalty_punishes_short_hypotheses() {
+        let refr = t("perform sequential scan on the user table and filter rows");
+        let long = t("perform sequential scan on the user table and filter rows");
+        let short = t("perform sequential scan");
+        let s_long = bleu(&long, &[&refr[..]], BleuConfig::default());
+        let s_short = bleu(&short, &[&refr[..]], BleuConfig::default());
+        assert!(s_long > s_short);
+    }
+
+    #[test]
+    fn self_bleu_of_identical_group_is_one() {
+        let g = vec![t("a b c d e"), t("a b c d e")];
+        let s = self_bleu(&g, BleuConfig { max_order: 4, smooth: false });
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_bleu_lower_for_diverse_group() {
+        let same = vec![t("perform scan on users now today"); 3];
+        let diverse = vec![
+            t("perform scan on users now today"),
+            t("execute a table read over users"),
+            t("users is sequentially inspected row by row"),
+        ];
+        let s_same = self_bleu(&same, BleuConfig::default());
+        let s_div = self_bleu(&diverse, BleuConfig::default());
+        assert!(s_div < s_same, "{s_div} !< {s_same}");
+    }
+
+    #[test]
+    fn singleton_group_scores_one() {
+        let g = vec![t("only one sentence")];
+        assert_eq!(self_bleu(&g, BleuConfig::default()), 1.0);
+    }
+
+    #[test]
+    fn corpus_bleu_perfect_match() {
+        let pairs = vec![
+            (t("a b c d e"), t("a b c d e")),
+            (t("f g h i j"), t("f g h i j")),
+        ];
+        let s = corpus_bleu(&pairs, BleuConfig { max_order: 4, smooth: false });
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corpus_bleu_empty_is_zero() {
+        assert_eq!(corpus_bleu::<String>(&[], BleuConfig::default()), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Edit distances, used for the paper's Exp 5 error analysis (counting
+//! wrong tokens between a neural translation and the rule-based ground
+//! truth).
+
+/// Character-level Levenshtein distance.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    generic_edit_distance(&a, &b)
+}
+
+/// Token-level edit distance: minimum number of token insertions,
+/// deletions, and substitutions to turn `a` into `b`.
+pub fn token_edit_distance<S: AsRef<str>, T: AsRef<str>>(a: &[S], b: &[T]) -> usize {
+    let a: Vec<&str> = a.iter().map(|s| s.as_ref()).collect();
+    let b: Vec<&str> = b.iter().map(|s| s.as_ref()).collect();
+    generic_edit_distance(&a, &b)
+}
+
+fn generic_edit_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Single-row DP to keep memory at O(min(n, m)).
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, lc) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let cost = if lc == sc { 0 } else { 1 };
+            let val = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = val;
+        }
+    }
+    row[short.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_distance_zero() {
+        assert_eq!(levenshtein("hash join", "hash join"), 0);
+    }
+
+    #[test]
+    fn classic_kitten_sitting() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+    }
+
+    #[test]
+    fn token_level_substitution() {
+        let a = ["perform", "sequential", "scan"];
+        let b = ["perform", "index", "scan"];
+        assert_eq!(token_edit_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn token_level_insert_delete() {
+        let a = ["perform", "scan"];
+        let b = ["perform", "sequential", "scan", "now"];
+        assert_eq!(token_edit_distance(&a, &b), 2);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = ["x", "y", "z"];
+        let b = ["x", "z"];
+        assert_eq!(token_edit_distance(&a, &b), token_edit_distance(&b, &a));
+    }
+}

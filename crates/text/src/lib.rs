@@ -1,0 +1,28 @@
+//! # lantern-text
+//!
+//! Text foundation layer for the LANTERN reproduction: tokenization,
+//! vocabularies, n-gram statistics, machine-translation metrics
+//! (BLEU / Self-BLEU), edit distance, and small self-contained JSON and
+//! XML readers/writers.
+//!
+//! The JSON and XML support exists because query-plan artifacts are
+//! exchanged in PostgreSQL-style JSON `EXPLAIN` output and SQL
+//! Server-style XML showplans; the sanctioned offline dependency set has
+//! no `serde_json`/XML crate, so this crate ships minimal, fully tested
+//! implementations.
+
+pub mod bleu;
+pub mod edit;
+pub mod json;
+pub mod ngram;
+pub mod tokenize;
+pub mod vocab;
+pub mod xml;
+
+pub use bleu::{bleu, corpus_bleu, self_bleu, BleuConfig};
+pub use edit::{levenshtein, token_edit_distance};
+pub use json::{JsonError, JsonValue};
+pub use ngram::NgramCounts;
+pub use tokenize::{detokenize, tokenize, word_tokenize};
+pub use vocab::Vocab;
+pub use xml::{XmlError, XmlNode};

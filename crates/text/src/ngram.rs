@@ -1,0 +1,138 @@
+//! N-gram counting shared by BLEU and the embedding corpora.
+
+use std::collections::HashMap;
+
+/// Multiset of n-grams over a token sequence.
+///
+/// N-grams are stored as joined strings with `\u{1}` separators, which is
+/// cheap and collision-free for natural-language tokens.
+#[derive(Debug, Clone, Default)]
+pub struct NgramCounts {
+    counts: HashMap<String, usize>,
+    order: usize,
+    total: usize,
+}
+
+impl NgramCounts {
+    /// Count all n-grams of length `order` in `tokens`.
+    pub fn new<S: AsRef<str>>(tokens: &[S], order: usize) -> Self {
+        assert!(order >= 1, "n-gram order must be >= 1");
+        let mut counts = HashMap::new();
+        let mut total = 0;
+        if tokens.len() >= order {
+            for window in tokens.windows(order) {
+                let key = join_key(window);
+                *counts.entry(key).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        NgramCounts { counts, order, total }
+    }
+
+    /// Number of distinct n-grams.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of n-gram occurrences (`len - order + 1` for
+    /// non-empty input).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The n-gram order this table was built with.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Count for one n-gram (joined key form).
+    pub fn get(&self, key: &str) -> usize {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Clipped-overlap count against a reference table: for each n-gram,
+    /// `min(count_here, count_in_reference)` summed. This is the BLEU
+    /// modified-precision numerator.
+    pub fn clipped_overlap(&self, reference: &NgramCounts) -> usize {
+        self.counts
+            .iter()
+            .map(|(k, &c)| c.min(reference.get(k)))
+            .sum()
+    }
+
+    /// Clipped overlap against the *maximum* reference count over several
+    /// references (multi-reference BLEU).
+    pub fn clipped_overlap_multi(&self, references: &[NgramCounts]) -> usize {
+        self.counts
+            .iter()
+            .map(|(k, &c)| {
+                let max_ref = references.iter().map(|r| r.get(k)).max().unwrap_or(0);
+                c.min(max_ref)
+            })
+            .sum()
+    }
+
+    /// Iterate `(ngram_key, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &usize)> {
+        self.counts.iter()
+    }
+}
+
+fn join_key<S: AsRef<str>>(window: &[S]) -> String {
+    let mut key = String::new();
+    for (i, t) in window.iter().enumerate() {
+        if i > 0 {
+            key.push('\u{1}');
+        }
+        key.push_str(t.as_ref());
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn unigram_counts() {
+        let c = NgramCounts::new(&toks("a b a"), 1);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.distinct(), 2);
+        assert_eq!(c.get("a"), 2);
+    }
+
+    #[test]
+    fn bigram_counts() {
+        let c = NgramCounts::new(&toks("a b a b"), 2);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.get(&format!("a\u{1}b")), 2);
+        assert_eq!(c.get(&format!("b\u{1}a")), 1);
+    }
+
+    #[test]
+    fn order_longer_than_sequence() {
+        let c = NgramCounts::new(&toks("a b"), 4);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.distinct(), 0);
+    }
+
+    #[test]
+    fn clipping_caps_at_reference_count() {
+        let hyp = NgramCounts::new(&toks("the the the the"), 1);
+        let refr = NgramCounts::new(&toks("the cat sat on the mat"), 1);
+        // hypothesis has 4 "the", reference only 2 -> clipped to 2.
+        assert_eq!(hyp.clipped_overlap(&refr), 2);
+    }
+
+    #[test]
+    fn multi_reference_takes_max() {
+        let hyp = NgramCounts::new(&toks("a a a"), 1);
+        let r1 = NgramCounts::new(&toks("a"), 1);
+        let r2 = NgramCounts::new(&toks("a a"), 1);
+        assert_eq!(hyp.clipped_overlap_multi(&[r1, r2]), 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! Tokenization utilities shared by the rule-based translator, the
+//! paraphrase engines, the neural pipeline, and the text metrics.
+//!
+//! Two granularities are provided:
+//!
+//! * [`tokenize`] — a lossless-ish "MT style" tokenizer that splits
+//!   punctuation off words (used for BLEU and for seq2seq token streams).
+//! * [`word_tokenize`] — words only, punctuation dropped (used for
+//!   length statistics such as the paper's Figure 8(a)).
+
+/// Split `text` into tokens, separating punctuation from words.
+///
+/// Placeholders such as `$R1$`, `<T>`, `<BOS>` and SQL-ish composites
+/// such as `c_custkey`, `o.orderkey`, `'BUILDING'`, and numbers with
+/// decimal points are each kept as single tokens.
+///
+/// ```
+/// use lantern_text::tokenize;
+/// assert_eq!(
+///     tokenize("perform hash join on $R1$ and T1, then stop."),
+///     vec!["perform", "hash", "join", "on", "$R1$", "and", "T1", ",", "then", "stop", "."]
+/// );
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let n = chars.len();
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Angle-bracket tags: <T>, <BOS>, <END>, <TN> ...
+        if c == '<' {
+            if let Some(end) = scan_tag(&chars, i) {
+                tokens.push(chars[i..=end].iter().collect());
+                i = end + 1;
+                continue;
+            }
+        }
+        // Dollar placeholders: $R1$, $cond$ ...
+        if c == '$' {
+            if let Some(end) = scan_dollar(&chars, i) {
+                tokens.push(chars[i..=end].iter().collect());
+                i = end + 1;
+                continue;
+            }
+        }
+        // Quoted literal: kept verbatim including the quotes.
+        if c == '\'' {
+            let mut j = i + 1;
+            while j < n && chars[j] != '\'' {
+                j += 1;
+            }
+            if j < n {
+                tokens.push(chars[i..=j].iter().collect());
+                i = j + 1;
+                continue;
+            }
+        }
+        if is_word_char(c) {
+            let mut j = i;
+            while j < n && is_word_char(chars[j]) {
+                j += 1;
+            }
+            // Allow `a.b` qualified names and decimal numbers to stay glued.
+            while j < n
+                && chars[j] == '.'
+                && j + 1 < n
+                && is_word_char(chars[j + 1])
+            {
+                j += 1;
+                while j < n && is_word_char(chars[j]) {
+                    j += 1;
+                }
+            }
+            tokens.push(chars[i..j].iter().collect());
+            i = j;
+            continue;
+        }
+        // Multi-char comparison operators.
+        if matches!(c, '<' | '>' | '!' | '=') && i + 1 < n && chars[i + 1] == '=' {
+            tokens.push(chars[i..i + 2].iter().collect());
+            i += 2;
+            continue;
+        }
+        tokens.push(c.to_string());
+        i += 1;
+    }
+    tokens
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// If `chars[start] == '<'` begins a short alphanumeric tag (`<T>`,
+/// `<BOS>`), return the index of the closing `>`.
+fn scan_tag(chars: &[char], start: usize) -> Option<usize> {
+    let n = chars.len();
+    let mut j = start + 1;
+    let mut len = 0;
+    while j < n && chars[j].is_alphanumeric() && len <= 8 {
+        j += 1;
+        len += 1;
+    }
+    if len > 0 && j < n && chars[j] == '>' {
+        Some(j)
+    } else {
+        None
+    }
+}
+
+/// If `chars[start] == '$'` begins a `$name$` placeholder, return the
+/// index of the closing `$`.
+fn scan_dollar(chars: &[char], start: usize) -> Option<usize> {
+    let n = chars.len();
+    let mut j = start + 1;
+    let mut len = 0;
+    while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') && len <= 24 {
+        j += 1;
+        len += 1;
+    }
+    if len > 0 && j < n && chars[j] == '$' {
+        Some(j)
+    } else {
+        None
+    }
+}
+
+/// Tokenize keeping only word-like tokens (drops pure punctuation).
+pub fn word_tokenize(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| t.chars().any(|c| c.is_alphanumeric()))
+        .collect()
+}
+
+/// Reassemble tokens into a readable sentence: spaces between words, no
+/// space before closing punctuation.
+///
+/// ```
+/// use lantern_text::{detokenize, tokenize};
+/// let s = "perform hash join on T1, then stop.";
+/// assert_eq!(detokenize(&tokenize(s)), s);
+/// ```
+pub fn detokenize<S: AsRef<str>>(tokens: &[S]) -> String {
+    let mut out = String::new();
+    for (idx, tok) in tokens.iter().enumerate() {
+        let t = tok.as_ref();
+        let no_space_before = matches!(t, "," | "." | ";" | ":" | "!" | "?" | ")" | "]");
+        let prev_open = idx > 0 && matches!(tokens[idx - 1].as_ref(), "(" | "[");
+        if idx > 0 && !no_space_before && !prev_open {
+            out.push(' ');
+        }
+        out.push_str(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_basic_sentence() {
+        assert_eq!(tokenize("hash T1 and join."), vec!["hash", "T1", "and", "join", "."]);
+    }
+
+    #[test]
+    fn keeps_placeholders_whole() {
+        let toks = tokenize("on $R1$ with <TN> end");
+        assert_eq!(toks, vec!["on", "$R1$", "with", "<TN>", "end"]);
+    }
+
+    #[test]
+    fn keeps_qualified_names() {
+        let toks = tokenize("i.proceeding_key = p.pub_key");
+        assert_eq!(toks, vec!["i.proceeding_key", "=", "p.pub_key"]);
+    }
+
+    #[test]
+    fn keeps_quoted_literals() {
+        let toks = tokenize("c_mktsegment = 'BUILDING'");
+        assert_eq!(toks, vec!["c_mktsegment", "=", "'BUILDING'"]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(tokenize("a >= 10"), vec!["a", ">=", "10"]);
+        assert_eq!(tokenize("a <> b"), vec!["a", "<", ">", "b"]);
+        assert_eq!(tokenize("count(all) > 200"), vec!["count", "(", "all", ")", ">", "200"]);
+    }
+
+    #[test]
+    fn word_tokenize_drops_punct() {
+        assert_eq!(word_tokenize("a, b."), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn detokenize_round_trips_simple_prose() {
+        for s in [
+            "perform sequential scan on publication.",
+            "hash T1 and perform hash join on inproceedings and T1.",
+            "sort T2, then aggregate.",
+        ] {
+            assert_eq!(detokenize(&tokenize(s)), s);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert_eq!(detokenize(&Vec::<String>::new()), "");
+    }
+
+    #[test]
+    fn lone_angle_bracket_is_not_a_tag() {
+        assert_eq!(tokenize("a < b"), vec!["a", "<", "b"]);
+    }
+
+    #[test]
+    fn decimal_numbers_stay_whole() {
+        assert_eq!(tokenize("x = 3.14"), vec!["x", "=", "3.14"]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Token vocabularies with special symbols, used by the neural pipeline
+//! (QEP2Seq input/output vocabularies — the paper reports an input
+//! vocabulary of 36 and an output vocabulary of 62) and by the embedding
+//! trainers.
+
+use std::collections::HashMap;
+
+/// Index of the padding symbol (always 0).
+pub const PAD: usize = 0;
+/// Index of the beginning-of-sequence symbol (always 1).
+pub const BOS: usize = 1;
+/// Index of the end-of-sequence symbol (always 2).
+pub const EOS: usize = 2;
+/// Index of the unknown-token symbol (always 3).
+pub const UNK: usize = 3;
+
+/// A bidirectional token <-> id mapping with the four standard special
+/// symbols pre-installed at fixed indices.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    token_to_id: HashMap<String, usize>,
+    id_to_token: Vec<String>,
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vocab {
+    /// Create a vocabulary containing only `<PAD>`, `<BOS>`, `<END>`,
+    /// `<UNK>`.
+    pub fn new() -> Self {
+        let mut v = Vocab { token_to_id: HashMap::new(), id_to_token: Vec::new() };
+        for special in ["<PAD>", "<BOS>", "<END>", "<UNK>"] {
+            v.push(special);
+        }
+        v
+    }
+
+    /// Build a vocabulary from a corpus of token sequences, keeping
+    /// tokens with frequency >= `min_count`, in frequency-then-lexical
+    /// order (deterministic).
+    pub fn from_corpus<S: AsRef<str>>(corpus: &[Vec<S>], min_count: usize) -> Self {
+        let mut freq: HashMap<&str, usize> = HashMap::new();
+        for sent in corpus {
+            for tok in sent {
+                *freq.entry(tok.as_ref()).or_insert(0) += 1;
+            }
+        }
+        let mut items: Vec<(&str, usize)> =
+            freq.into_iter().filter(|&(_, c)| c >= min_count).collect();
+        items.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let mut v = Vocab::new();
+        for (tok, _) in items {
+            v.add(tok);
+        }
+        v
+    }
+
+    fn push(&mut self, token: &str) -> usize {
+        let id = self.id_to_token.len();
+        self.id_to_token.push(token.to_string());
+        self.token_to_id.insert(token.to_string(), id);
+        id
+    }
+
+    /// Insert `token` if absent; return its id either way.
+    pub fn add(&mut self, token: &str) -> usize {
+        if let Some(&id) = self.token_to_id.get(token) {
+            id
+        } else {
+            self.push(token)
+        }
+    }
+
+    /// Id of `token`, or the `<UNK>` id if absent.
+    pub fn id(&self, token: &str) -> usize {
+        self.token_to_id.get(token).copied().unwrap_or(UNK)
+    }
+
+    /// Whether the exact token is known.
+    pub fn contains(&self, token: &str) -> bool {
+        self.token_to_id.contains_key(token)
+    }
+
+    /// Token text for `id` (panics on out-of-range ids).
+    pub fn token(&self, id: usize) -> &str {
+        &self.id_to_token[id]
+    }
+
+    /// Vocabulary size including the four specials.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True when only the specials are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 4
+    }
+
+    /// Encode a token sequence (unknowns -> `<UNK>`), optionally wrapped
+    /// in `<BOS>`/`<END>`.
+    pub fn encode<S: AsRef<str>>(&self, tokens: &[S], wrap: bool) -> Vec<usize> {
+        let mut ids = Vec::with_capacity(tokens.len() + 2);
+        if wrap {
+            ids.push(BOS);
+        }
+        ids.extend(tokens.iter().map(|t| self.id(t.as_ref())));
+        if wrap {
+            ids.push(EOS);
+        }
+        ids
+    }
+
+    /// Decode ids back to tokens, dropping specials.
+    pub fn decode(&self, ids: &[usize]) -> Vec<String> {
+        ids.iter()
+            .filter(|&&id| id > UNK && id < self.len())
+            .map(|&id| self.id_to_token[id].clone())
+            .collect()
+    }
+
+    /// Iterate `(id, token)` pairs, specials included.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.id_to_token.iter().enumerate().map(|(i, t)| (i, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_at_fixed_indices() {
+        let v = Vocab::new();
+        assert_eq!(v.token(PAD), "<PAD>");
+        assert_eq!(v.token(BOS), "<BOS>");
+        assert_eq!(v.token(EOS), "<END>");
+        assert_eq!(v.token(UNK), "<UNK>");
+        assert_eq!(v.len(), 4);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.add("scan");
+        let b = v.add("scan");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn unknown_maps_to_unk() {
+        let v = Vocab::new();
+        assert_eq!(v.id("never-seen"), UNK);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut v = Vocab::new();
+        for t in ["perform", "hash", "join"] {
+            v.add(t);
+        }
+        let ids = v.encode(&["perform", "hash", "join"], true);
+        assert_eq!(ids[0], BOS);
+        assert_eq!(*ids.last().unwrap(), EOS);
+        assert_eq!(v.decode(&ids), vec!["perform", "hash", "join"]);
+    }
+
+    #[test]
+    fn from_corpus_orders_by_frequency() {
+        let corpus = vec![
+            vec!["b", "a", "a"],
+            vec!["a", "c"],
+        ];
+        let v = Vocab::from_corpus(&corpus, 1);
+        // "a" appears 3x -> first non-special slot.
+        assert_eq!(v.id("a"), 4);
+        assert!(v.contains("b") && v.contains("c"));
+    }
+
+    #[test]
+    fn from_corpus_respects_min_count() {
+        let corpus = vec![vec!["x", "x", "y"]];
+        let v = Vocab::from_corpus(&corpus, 2);
+        assert!(v.contains("x"));
+        assert!(!v.contains("y"));
+        assert_eq!(v.id("y"), UNK);
+    }
+}

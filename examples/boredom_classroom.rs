@@ -1,0 +1,48 @@
+//! The habituation story (paper §6.1 and US 3): simulate a class
+//! reading twenty narrations, once phrased identically (RULE-LANTERN)
+//! and once with variation (NEURAL-LANTERN-style), and watch boredom
+//! emerge from the psychology model.
+//!
+//! Run with: `cargo run --release --example boredom_classroom`
+
+use lantern::study::{boredom_study, Population};
+
+fn main() {
+    // Twenty near-identical rule narrations vs twenty varied ones.
+    let rule_stream: Vec<String> = (0..20)
+        .map(|i| {
+            format!(
+                "1. perform sequential scan on movies to get the intermediate relation T{i}.\n\
+                 2. hash T{i} and perform hash join on roles and T{i} on condition \
+                 ((r.movie_id) = (m.movie_id)) to get the final results."
+            )
+        })
+        .collect();
+    let variants = [
+        "1. execute sequential scan on movies yielding T{i}.\n2. build a hash table over T{i}; then combine roles with T{i} to produce the final answer.",
+        "1. a full table scan reads movies into T{i}.\n2. perform hash join on roles and T{i} under the join condition to get the conclusive outcome.",
+        "1. scan movies sequentially to obtain T{i}.\n2. hash T{i} and match it against roles on the join keys for the final results.",
+        "1. read every row of movies, keeping them as T{i}.\n2. the rows of roles are probed against hashed T{i} to produce the result.",
+    ];
+    let neural_stream: Vec<String> = (0..20)
+        .map(|i| variants[i % variants.len()].replace("{i}", &i.to_string()))
+        .collect();
+
+    let mut population = Population::sample(43, 7);
+    let report = boredom_study(
+        &mut population,
+        &[
+            ("rule-lantern".to_string(), rule_stream),
+            ("neural-lantern".to_string(), neural_stream),
+        ],
+    );
+
+    println!("Boredom index after 20 narrations (1 = engaged, 5 = extremely bored):\n");
+    for (label, hist) in &report.rows {
+        println!("  {label:15} {hist}   bored(>3): {}", hist.count(4) + hist.count(5));
+    }
+    println!(
+        "\nPaper Table 7: rule-lantern bores 15/43 learners; neural-lantern only 4/43 —\n\
+         message variation slows habituation (Schumann et al. 1990)."
+    );
+}

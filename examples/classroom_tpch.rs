@@ -1,0 +1,50 @@
+//! Classroom session on TPC-H: the full substrate at work. Generates a
+//! TPC-H database, plans and *executes* real workload queries, shows
+//! the plan in all three formats of the paper's Figure 3 survey, and
+//! narrates it with RULE-LANTERN.
+//!
+//! Run with: `cargo run --release --example classroom_tpch`
+
+use lantern::catalog::tpch_catalog;
+use lantern::core::RuleLantern;
+use lantern::engine::{exec, explain::explain, Database, ExplainFormat, Planner};
+use lantern::pool::default_pg_store;
+use lantern::sql::parse_sql;
+
+fn main() {
+    let db = Database::generate(&tpch_catalog(), 0.0005, 2024);
+    let planner = Planner::new(&db);
+    let store = default_pg_store();
+    let rule = RuleLantern::new(&store);
+
+    let sql = "SELECT c.c_mktsegment, COUNT(*) AS orders_cnt, AVG(o.o_totalprice) \
+               FROM customer c, orders o WHERE c.c_custkey = o.o_custkey \
+               AND o.o_orderstatus = 'F' GROUP BY c.c_mktsegment \
+               ORDER BY orders_cnt DESC LIMIT 3";
+    println!("SQL:\n  {sql}\n");
+
+    let query = parse_sql(sql).expect("parses");
+    let plan = planner.plan(&query).expect("plans");
+
+    println!("--- EXPLAIN (text) ---------------------------------------");
+    println!("{}\n", explain(&plan, ExplainFormat::Text));
+
+    println!("--- EXPLAIN (PostgreSQL JSON, first lines) ----------------");
+    let json = explain(&plan, ExplainFormat::PgJson);
+    for line in json.lines().take(12) {
+        println!("{line}");
+    }
+    println!("  ...\n");
+
+    println!("--- LANTERN narration -------------------------------------");
+    let narration = rule.narrate(&plan.tree()).expect("narrates");
+    println!("{}\n", narration.text());
+
+    println!("--- Query result (the engine actually runs it) ------------");
+    let result = exec::execute(&plan, &db).expect("executes");
+    println!("{}", result.columns.join(" | "));
+    for row in &result.rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join(" | "));
+    }
+}

@@ -1,0 +1,54 @@
+//! Cross-RDBMS portability (the paper's §7.1 extension story and US 5):
+//! label SQL Server operators with POOL — partly by *transferring*
+//! descriptions from the PostgreSQL source — then narrate an XML
+//! showplan. NEURON, whose rules are hard-coded for PostgreSQL, fails
+//! on the same plan.
+//!
+//! Run with: `cargo run --release --example cross_dbms`
+
+use lantern::core::Lantern;
+use lantern::neuron::Neuron;
+use lantern::plan::parse_sqlserver_xml_plan;
+use lantern::pool::{default_mssql_store, execute};
+
+fn main() {
+    // An SDSS-style SQL Server showplan.
+    let showplan = r#"<ShowPlanXML Version="1.5"><BatchSequence><Batch><Statements>
+      <StmtSimple><QueryPlan>
+        <RelOp PhysicalOp="Hash Match" LogicalOp="Inner Join" EstimateRows="120"
+               EstimatedTotalSubtreeCost="3.5">
+          <JoinPredicate>((s.bestobjid) = (p.objid))</JoinPredicate>
+          <RelOp PhysicalOp="Table Scan" EstimateRows="5000" EstimatedTotalSubtreeCost="1.0">
+            <Object Table="photoobj" Alias="p"/>
+          </RelOp>
+          <RelOp PhysicalOp="Hash Build" EstimateRows="800" EstimatedTotalSubtreeCost="0.9">
+            <RelOp PhysicalOp="Table Scan" EstimateRows="800" EstimatedTotalSubtreeCost="0.8">
+              <Object Table="specobj" Alias="s"/>
+              <Predicate>class = 'QSO'</Predicate>
+            </RelOp>
+          </RelOp>
+        </RelOp>
+      </QueryPlan></StmtSimple>
+    </Statements></Batch></BatchSequence></ShowPlanXML>"#;
+
+    // The mssql catalog was authored with POOL; the paper's idiom of
+    // transferring wording across engines works live:
+    let store = default_mssql_store();
+    execute(
+        "UPDATE mssql SET defn = (SELECT defn FROM pg WHERE pg.name = 'hashjoin') \
+         WHERE mssql.name = 'hashmatch'",
+        &store,
+    )
+    .expect("cross-source transfer");
+
+    let lantern = Lantern::new(store);
+    println!("LANTERN on a SQL Server plan:\n");
+    println!("{}\n", lantern.narrate_sqlserver_xml(showplan).expect("narrates").text());
+
+    // NEURON cannot serve this plan at all (US 5).
+    let tree = parse_sqlserver_xml_plan(showplan).expect("parses");
+    match Neuron::new().describe(&tree) {
+        Ok(_) => unreachable!("NEURON has no SQL Server rules"),
+        Err(e) => println!("NEURON on the same plan: {e}"),
+    }
+}

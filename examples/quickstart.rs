@@ -1,0 +1,50 @@
+//! Quickstart: turn a PostgreSQL `EXPLAIN (FORMAT JSON)` document into
+//! a learner-friendly narration — the paper's core use case.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lantern::core::Lantern;
+use lantern::pool::default_pg_store;
+
+fn main() {
+    // A plan artifact as PostgreSQL would emit it (the paper's
+    // Figure 1 / Figure 4 example on the DBLP schema).
+    let explain_json = r#"[{"Plan": {
+        "Node Type": "Unique",
+        "Plans": [{
+            "Node Type": "Aggregate", "Strategy": "Sorted",
+            "Group Key": ["i.proceeding_key"],
+            "Filter": "count(*) > 200",
+            "Plans": [{
+                "Node Type": "Sort", "Sort Key": ["i.proceeding_key"],
+                "Plans": [{
+                    "Node Type": "Hash Join",
+                    "Hash Cond": "((i.proceeding_key) = (p.pub_key))",
+                    "Plans": [
+                        {"Node Type": "Seq Scan", "Relation Name": "inproceedings", "Alias": "i"},
+                        {"Node Type": "Hash",
+                         "Plans": [{"Node Type": "Seq Scan", "Relation Name": "publication",
+                                    "Alias": "p", "Filter": "title LIKE '%July%'"}]}
+                    ]
+                }]
+            }]
+        }]
+    }}]"#;
+
+    // The POEM store holds the operator labels two SMEs authored with
+    // POOL; `default_pg_store()` ships the PostgreSQL catalog.
+    let lantern = Lantern::new(default_pg_store());
+    let narration = lantern.narrate_pg_json(explain_json).expect("valid plan");
+
+    println!("How PostgreSQL executes the query:\n");
+    println!("{}", narration.text());
+
+    // POOL is live: ask for an operator definition the way a learner's
+    // tool would.
+    let defn = lantern_pool::execute(
+        "SELECT defn FROM pg WHERE name = 'hashjoin'",
+        lantern.store(),
+    )
+    .expect("POOL query");
+    println!("\nWhat is a hash join? {defn:?}");
+}

@@ -1,0 +1,44 @@
+//! # lantern
+//!
+//! Top-level facade crate for the LANTERN reproduction: natural language
+//! generation for query execution plans (SIGMOD 2021).
+//!
+//! This crate re-exports every subsystem so downstream users can depend
+//! on a single crate:
+//!
+//! ```
+//! use lantern::prelude::*;
+//!
+//! let catalog = tpch_catalog();
+//! let db = Database::generate(&catalog, 0.01, 42);
+//! let query = parse_sql("SELECT COUNT(*) FROM orders WHERE o_orderstatus = 'F'").unwrap();
+//! let qep = Planner::new(&db).plan(&query).unwrap();
+//! let store = PoemStore::with_default_pg_operators();
+//! let narration = RuleLantern::new(&store).narrate(&qep.tree()).unwrap();
+//! assert!(narration.text().contains("sequential scan"));
+//! ```
+
+pub use lantern_catalog as catalog;
+pub use lantern_core as core;
+pub use lantern_embed as embed;
+pub use lantern_engine as engine;
+pub use lantern_neural as neural;
+pub use lantern_neuron as neuron;
+pub use lantern_nn as nn;
+pub use lantern_paraphrase as paraphrase;
+pub use lantern_plan as plan;
+pub use lantern_pool as pool;
+pub use lantern_sql as sql;
+pub use lantern_study as study;
+pub use lantern_text as text;
+
+/// Convenience re-exports of the most common entry points.
+pub mod prelude {
+    pub use lantern_catalog::{dblp_catalog, imdb_catalog, sdss_catalog, tpch_catalog, Catalog};
+    pub use lantern_core::{Lantern, RuleLantern};
+    pub use lantern_engine::{Database, ExplainFormat, Planner};
+    pub use lantern_neural::NeuralLantern;
+    pub use lantern_plan::{parse_pg_json_plan, parse_sqlserver_xml_plan, PlanTree};
+    pub use lantern_pool::PoemStore;
+    pub use lantern_sql::parse_sql;
+}

@@ -1,0 +1,85 @@
+//! Integration test reproducing the paper's Example 5.1 word for word:
+//! the five-step narration of the Figure 4 QEP.
+
+use lantern::core::RuleLantern;
+use lantern::plan::{PlanNode, PlanTree};
+use lantern::pool::default_pg_store;
+
+fn figure_4_tree() -> PlanTree {
+    let mut agg = PlanNode::new("Aggregate");
+    agg.group_keys = vec!["i.proceeding_key".to_string()];
+    agg.filter = Some("count(*) > 200".to_string());
+    let mut sort = PlanNode::new("Sort");
+    sort.sort_keys = vec!["i.proceeding_key".to_string()];
+    PlanTree::new(
+        "pg",
+        PlanNode::new("Unique").with_child(
+            agg.with_child(
+                sort.with_child(
+                    PlanNode::new("Hash Join")
+                        .with_join_cond("((i.proceeding_key) = (p.pub_key))")
+                        .with_child(PlanNode::new("Seq Scan").on_relation("inproceedings"))
+                        .with_child(PlanNode::new("Hash").with_child(
+                            PlanNode::new("Seq Scan")
+                                .on_relation("publication")
+                                .with_filter("title LIKE '%July%'"),
+                        )),
+                ),
+            ),
+        ),
+    )
+}
+
+#[test]
+fn example_5_1_five_steps() {
+    let store = default_pg_store();
+    let narration = RuleLantern::new(&store).narrate(&figure_4_tree()).unwrap();
+    let steps: Vec<&str> = narration.sentences();
+    assert_eq!(steps.len(), 5);
+    // Step (1): unfiltered scan, identifier stays null.
+    assert_eq!(steps[0], "perform sequential scan on inproceedings.");
+    // Step (2): filtered scan -> T1, LIKE humanized to "containing".
+    assert_eq!(
+        steps[1],
+        "perform sequential scan on publication and filtering on (title containing 'July') \
+         to get the intermediate relation T1."
+    );
+    // Step (3): (HASH, HASH JOIN) cluster composed through ∘.
+    assert_eq!(
+        steps[2],
+        "hash T1 and perform hash join on inproceedings and T1 on condition \
+         ((i.proceeding_key) = (p.pub_key)) to get the intermediate relation T2."
+    );
+    // Step (4): (SORT, AGGREGATE) cluster with grouping and having.
+    assert_eq!(
+        steps[3],
+        "sort T2 and perform aggregate on T2 with grouping on attribute i.proceeding_key \
+         and filtering on (count(all) > 200) to get the intermediate relation T3."
+    );
+    // Step (5): root gets the final-results ending.
+    assert_eq!(steps[4], "perform duplicate removal on T3 to get the final results.");
+}
+
+#[test]
+fn example_3_1_query_plans_and_narrates_through_the_engine() {
+    // The same scenario end-to-end: SQL text -> optimizer -> QEP ->
+    // narration, over generated DBLP data.
+    use lantern::catalog::dblp_catalog;
+    use lantern::engine::{Database, Planner};
+    use lantern::sql::parse_sql;
+
+    let db = Database::generate(&dblp_catalog(), 0.0005, 31);
+    let query = parse_sql(
+        "SELECT DISTINCT(I.proceeding_key) FROM inproceedings I, publication P \
+         WHERE I.proceeding_key = P.pub_key AND P.title LIKE '%July%' \
+         GROUP BY I.proceeding_key HAVING COUNT(*) > 200",
+    )
+    .unwrap();
+    let plan = Planner::new(&db).plan(&query).unwrap();
+    let store = default_pg_store();
+    let narration = RuleLantern::new(&store).narrate(&plan.tree()).unwrap();
+    let text = narration.text();
+    assert!(text.contains("sequential scan") || text.contains("index scan"), "{text}");
+    assert!(text.contains("to get the final results."), "{text}");
+    assert!(text.contains("containing 'July'"), "{text}");
+}

@@ -1,0 +1,141 @@
+//! Property-based tests (proptest) on the core invariants: narration
+//! totality over random plans, tag round-trips, tokenizer behaviour,
+//! BLEU bounds, JSON/XML artifact round-trips, and executor/planner
+//! agreement.
+
+use lantern::core::{decompose_acts, substitute_tags, RuleLantern};
+use lantern::plan::{parse_pg_json_plan, plan_to_pg_json, PlanNode, PlanTree};
+use lantern::pool::default_pg_store;
+use lantern::text::{bleu, detokenize, tokenize, BleuConfig, JsonValue};
+use proptest::prelude::*;
+
+/// Strategy: random well-formed PostgreSQL-vocabulary plan trees.
+fn arb_plan(depth: u32) -> BoxedStrategy<PlanNode> {
+    let leaf = (any::<u8>(), any::<bool>()).prop_map(|(rel, filtered)| {
+        let mut n = PlanNode::new("Seq Scan").on_relation(format!("table_{}", rel % 7));
+        if filtered {
+            n.filter = Some(format!("col_{} > {}", rel % 5, rel));
+        }
+        n
+    });
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = arb_plan(depth - 1);
+    let inner2 = arb_plan(depth - 1);
+    prop_oneof![
+        leaf,
+        // Hash join with auxiliary Hash on the build side.
+        (inner.clone(), inner2.clone(), any::<u8>()).prop_map(|(l, r, k)| {
+            PlanNode::new("Hash Join")
+                .with_join_cond(format!("((a.k{0}) = (b.k{0}))", k % 4))
+                .with_child(l)
+                .with_child(PlanNode::new("Hash").with_child(r))
+        }),
+        // Sorted aggregate.
+        (inner.clone(), any::<u8>()).prop_map(|(c, g)| {
+            let mut agg = PlanNode::new("Aggregate");
+            agg.group_keys = vec![format!("g{}", g % 3)];
+            let mut sort = PlanNode::new("Sort");
+            sort.sort_keys = agg.group_keys.clone();
+            agg.with_child(sort.with_child(c))
+        }),
+        // Unique / Limit wrappers.
+        inner.clone().prop_map(|c| PlanNode::new("Unique").with_child(c)),
+        inner.prop_map(|c| PlanNode::new("Limit").with_child(c)),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn narration_is_total_over_engine_vocabulary(root in arb_plan(3)) {
+        let store = default_pg_store();
+        let tree = PlanTree::new("pg", root);
+        let narration = RuleLantern::new(&store).narrate(&tree).unwrap();
+        // Non-empty, numbered, ends with the final-results sentence.
+        prop_assert!(!narration.steps().is_empty());
+        prop_assert!(narration.text().ends_with("to get the final results."));
+        // No unresolved template placeholders leak into learner text.
+        prop_assert!(!narration.text().contains("$R1$"));
+        prop_assert!(!narration.text().contains("$cond$"));
+    }
+
+    #[test]
+    fn act_tag_bindings_reconstruct_concrete_text(root in arb_plan(3)) {
+        let store = default_pg_store();
+        let tree = PlanTree::new("pg", root);
+        for act in decompose_acts(&tree, &store).unwrap() {
+            prop_assert_eq!(
+                substitute_tags(&act.tagged_label, &act.bindings),
+                act.concrete_label
+            );
+        }
+    }
+
+    #[test]
+    fn acts_cover_all_nodes(root in arb_plan(3)) {
+        let store = default_pg_store();
+        let tree = PlanTree::new("pg", root);
+        let acts = decompose_acts(&tree, &store).unwrap();
+        let total_ops: usize = acts.iter().map(|a| a.ops.len()).sum();
+        prop_assert_eq!(total_ops, tree.size());
+    }
+
+    #[test]
+    fn pg_json_round_trip(root in arb_plan(3)) {
+        let tree = PlanTree::new("pg", root);
+        let json = plan_to_pg_json(&tree);
+        let back = parse_pg_json_plan(&json).unwrap();
+        prop_assert_eq!(back, tree);
+    }
+
+    #[test]
+    fn tokenize_detokenize_stable(words in proptest::collection::vec("[a-z]{1,8}", 1..12)) {
+        let sentence = format!("{}.", words.join(" "));
+        let once = detokenize(&tokenize(&sentence));
+        let twice = detokenize(&tokenize(&once));
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn bleu_bounded_and_reflexive(words in proptest::collection::vec("[a-z]{1,6}", 4..20)) {
+        let toks: Vec<String> = words;
+        let score = bleu(&toks, &[&toks[..]], BleuConfig { max_order: 4, smooth: false });
+        prop_assert!((score - 1.0).abs() < 1e-9);
+        let other: Vec<String> = toks.iter().rev().cloned().collect();
+        let cross = bleu(&toks, &[&other[..]], BleuConfig::default());
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&cross));
+    }
+
+    #[test]
+    fn json_string_escaping_round_trips(s in "\\PC{0,40}") {
+        let v = JsonValue::String(s.clone());
+        let parsed = JsonValue::parse(&v.to_string_compact()).unwrap();
+        prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+    }
+
+    #[test]
+    fn sql_display_reparses(cols in proptest::collection::vec("[a-z]{2,8}", 1..4)) {
+        // SELECT <cols> FROM orders-like identifier round trip.
+        let sql = format!("SELECT {} FROM some_table WHERE {} > 3", cols.join(", "), cols[0]);
+        let q1 = lantern::sql::parse_sql(&sql).unwrap();
+        let q2 = lantern::sql::parse_sql(&q1.to_string()).unwrap();
+        prop_assert_eq!(q1, q2);
+    }
+}
+
+#[test]
+fn random_generated_queries_plan_and_execute_without_panic() {
+    use lantern::catalog::imdb_catalog;
+    use lantern::engine::{exec, Database, Planner, QueryGenConfig, RandomQueryGen};
+    let db = Database::generate(&imdb_catalog(), 0.0001, 99);
+    let planner = Planner::new(&db);
+    let mut generator = RandomQueryGen::new(&db, 1234, QueryGenConfig::default());
+    for q in generator.generate(60) {
+        let plan = planner.plan(&q).expect("plans");
+        exec::execute(&plan, &db).expect("executes");
+    }
+}
