@@ -31,11 +31,17 @@ fn main() {
     }
     let whole = TrainingSet {
         input_vocab: Vocab::from_corpus(
-            &whole_examples.iter().map(|e| e.input_tokens.clone()).collect::<Vec<_>>(),
+            &whole_examples
+                .iter()
+                .map(|e| e.input_tokens.clone())
+                .collect::<Vec<_>>(),
             1,
         ),
         output_vocab: Vocab::from_corpus(
-            &whole_examples.iter().map(|e| e.output_tokens.clone()).collect::<Vec<_>>(),
+            &whole_examples
+                .iter()
+                .map(|e| e.output_tokens.clone())
+                .collect::<Vec<_>>(),
             1,
         ),
         act_count: whole_examples.len(),
@@ -44,14 +50,27 @@ fn main() {
 
     let mut t = TableReport::new(
         "Ablation: act-level vs whole-plan training granularity",
-        &["Granularity", "#Pairs", "Avg output len", "Best val accuracy"],
+        &[
+            "Granularity",
+            "#Pairs",
+            "Avg output len",
+            "Best val accuracy",
+        ],
     );
     for (label, ts) in [("act-level", &act_level), ("whole-plan", &whole)] {
-        let avg_len: f64 = ts.examples.iter().map(|e| e.output_tokens.len() as f64).sum::<f64>()
+        let avg_len: f64 = ts
+            .examples
+            .iter()
+            .map(|e| e.output_tokens.len() as f64)
+            .sum::<f64>()
             / ts.examples.len().max(1) as f64;
         let mut model = Qep2Seq::new(ts, quick_config(8, 33));
         let report = model.train(ts);
-        let best = report.epochs.iter().map(|e| e.val_accuracy).fold(0.0, f64::max);
+        let best = report
+            .epochs
+            .iter()
+            .map(|e| e.val_accuracy)
+            .fold(0.0, f64::max);
         t.row(&[
             label.to_string(),
             ts.examples.len().to_string(),

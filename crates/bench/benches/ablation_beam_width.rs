@@ -22,7 +22,11 @@ fn main() {
         let bleu = model.test_bleu(&acts, beam);
         let avg_ms = start.elapsed().as_secs_f64() * 1000.0 / acts.len() as f64;
         bleus.push(bleu);
-        t.row(&[beam.to_string(), format!("{bleu:.2}"), format!("{avg_ms:.2}")]);
+        t.row(&[
+            beam.to_string(),
+            format!("{bleu:.2}"),
+            format!("{avg_ms:.2}"),
+        ]);
     }
     t.print();
     println!("expected: BLEU saturates around the paper's beam 4; latency grows with width");

@@ -28,7 +28,13 @@ fn main() {
     let flat = RuleLantern::new(&flat_store);
     let mut t = TableReport::new(
         "Ablation: clustering on vs off (steps / tokens per narration)",
-        &["Workload", "Steps (clustered)", "Steps (flat)", "Tokens (clustered)", "Tokens (flat)"],
+        &[
+            "Workload",
+            "Steps (clustered)",
+            "Steps (flat)",
+            "Tokens (clustered)",
+            "Tokens (flat)",
+        ],
     );
     let mut steps_c = 0usize;
     let mut steps_f = 0usize;

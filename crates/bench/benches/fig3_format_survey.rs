@@ -14,8 +14,18 @@ fn main() {
         &["Format", "Votes", "Share", "Paper shape"],
     );
     let pct = |v: usize| format!("{:.1}%", 100.0 * v as f64 / 62.0);
-    t.row(&["NL description", &nl.to_string(), &pct(nl), "most preferred"]);
-    t.row(&["Visual tree", &tree.to_string(), &pct(tree), "healthy support"]);
+    t.row(&[
+        "NL description",
+        &nl.to_string(),
+        &pct(nl),
+        "most preferred",
+    ]);
+    t.row(&[
+        "Visual tree",
+        &tree.to_string(),
+        &pct(tree),
+        "healthy support",
+    ]);
     t.row(&["JSON text", &json.to_string(), &pct(json), "very few"]);
     t.print();
     assert!(nl > tree && tree > json, "shape must match the paper");

@@ -18,7 +18,11 @@ fn main() {
 
     let mut t = TableReport::new(
         "Figure 6(a): validation loss, diversified vs plain training data",
-        &["Epoch", "Val loss (plain)", "Val loss (diversifying translation)"],
+        &[
+            "Epoch",
+            "Val loss (plain)",
+            "Val loss (diversifying translation)",
+        ],
     );
     for (a, b) in r_plain.epochs.iter().zip(&r_div.epochs) {
         t.row(&[
@@ -28,8 +32,16 @@ fn main() {
         ]);
     }
     t.print();
-    let best_plain = r_plain.epochs.iter().map(|e| e.val_loss).fold(f32::INFINITY, f32::min);
-    let best_div = r_div.epochs.iter().map(|e| e.val_loss).fold(f32::INFINITY, f32::min);
+    let best_plain = r_plain
+        .epochs
+        .iter()
+        .map(|e| e.val_loss)
+        .fold(f32::INFINITY, f32::min);
+    let best_div = r_div
+        .epochs
+        .iter()
+        .map(|e| e.val_loss)
+        .fold(f32::INFINITY, f32::min);
     println!(
         "best val loss: plain {best_plain:.4} vs diversified {best_div:.4}  \
          (paper shape: paraphrasing reduces the loss; samples {} -> {})",

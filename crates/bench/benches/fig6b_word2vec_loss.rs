@@ -14,14 +14,24 @@ fn main() {
     let mut random = Qep2Seq::new(&ts, quick_config(epochs, 2));
     let r_random = random.train(&ts);
 
-    let emb = Word2VecTrainer { dim: 16, epochs: 4, ..Default::default() }
-        .train(&builtin_english_corpus(), 5);
+    let emb = Word2VecTrainer {
+        dim: 16,
+        epochs: 4,
+        ..Default::default()
+    }
+    .train(&builtin_english_corpus(), 5);
     let mut w2v = Qep2Seq::with_embedding(&ts, quick_config(epochs, 2), &emb);
     let r_w2v = w2v.train(&ts);
 
     let mut t = TableReport::new(
         "Figure 6(b): loss curves, QEP2Seq vs QEP2Seq+Word2Vec",
-        &["Epoch", "Train (QEP2Seq)", "Val (QEP2Seq)", "Train (+W2V)", "Val (+W2V)"],
+        &[
+            "Epoch",
+            "Train (QEP2Seq)",
+            "Val (QEP2Seq)",
+            "Train (+W2V)",
+            "Val (+W2V)",
+        ],
     );
     for (a, b) in r_random.epochs.iter().zip(&r_w2v.epochs) {
         t.row(&[
@@ -33,7 +43,5 @@ fn main() {
         ]);
     }
     t.print();
-    println!(
-        "paper shape: pre-trained word vectors speed up training and reduce validation loss"
-    );
+    println!("paper shape: pre-trained word vectors speed up training and reduce validation loss");
 }

@@ -25,12 +25,19 @@ fn main() {
         &["Method", "Epoch curve (val accuracy)", "Best"],
     );
     for (name, curve, best) in &rows {
-        let series = curve.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>().join(" ");
+        let series = curve
+            .iter()
+            .map(|v| format!("{v:.2}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         t.row(&[name.clone(), series, format!("{best:.3}")]);
     }
     t.print();
     let best_of = |needle: &str| {
-        rows.iter().find(|(n, _, _)| n.contains(needle)).map(|(_, _, b)| *b).unwrap_or(0.0)
+        rows.iter()
+            .find(|(n, _, _)| n.contains(needle))
+            .map(|(_, _, b)| *b)
+            .unwrap_or(0.0)
     };
     println!(
         "shape: random {:.3} | W2V self {:.3} pre {:.3} | GloVe self {:.3} pre {:.3} | \

@@ -11,14 +11,26 @@ fn main() {
     let ts = ctx.paper_training_set(15, true);
     let epochs = 8;
 
-    let glove = GloveTrainer { dim: 16, epochs: 8, ..Default::default() }
-        .train(&builtin_english_corpus(), 4);
-    let w2v = Word2VecTrainer { dim: 16, epochs: 4, ..Default::default() }
-        .train(&builtin_english_corpus(), 4);
+    let glove = GloveTrainer {
+        dim: 16,
+        epochs: 8,
+        ..Default::default()
+    }
+    .train(&builtin_english_corpus(), 4);
+    let w2v = Word2VecTrainer {
+        dim: 16,
+        epochs: 4,
+        ..Default::default()
+    }
+    .train(&builtin_english_corpus(), 4);
 
     let mut t = TableReport::new(
         "Figure 7(b): weight sharing between encoder and decoder",
-        &["Method", "Best val accuracy (not shared)", "Best val accuracy (shared)"],
+        &[
+            "Method",
+            "Best val accuracy (not shared)",
+            "Best val accuracy (shared)",
+        ],
     );
     let mut run = |name: &str, emb: Option<&lantern_embed::Embedding>| {
         let mut best = [0.0f64; 2];
@@ -32,7 +44,11 @@ fn main() {
             let r = model.train(&ts);
             best[i] = r.epochs.iter().map(|e| e.val_accuracy).fold(0.0, f64::max);
         }
-        t.row(&[name.to_string(), format!("{:.3}", best[0]), format!("{:.3}", best[1])]);
+        t.row(&[
+            name.to_string(),
+            format!("{:.3}", best[0]),
+            format!("{:.3}", best[1]),
+        ]);
         best
     };
     run("QEP2Seq", None);

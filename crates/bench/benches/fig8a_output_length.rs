@@ -18,7 +18,12 @@ fn main() {
 
     let mut t = TableReport::new(
         "Figure 8(a): token counts over the 22 TPC-H workloads",
-        &["Workload", "SQL tokens", "RULE-LANTERN tokens", "NEURAL-LANTERN tokens"],
+        &[
+            "Workload",
+            "SQL tokens",
+            "RULE-LANTERN tokens",
+            "NEURAL-LANTERN tokens",
+        ],
     );
     let mut rule_total = 0usize;
     let mut neural_total = 0usize;
@@ -33,7 +38,12 @@ fn main() {
         let n = word_tokenize(&neural_text).len();
         rule_total += r;
         neural_total += n;
-        t.row(&[format!("Q{}", i + 1), s.to_string(), r.to_string(), n.to_string()]);
+        t.row(&[
+            format!("Q{}", i + 1),
+            s.to_string(),
+            r.to_string(),
+            n.to_string(),
+        ]);
     }
     t.print();
     println!(

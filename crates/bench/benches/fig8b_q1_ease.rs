@@ -2,8 +2,8 @@
 //! plan presented using each approach?" Paper shape: both LANTERN
 //! variants have ~58% of ratings above 3, visual tree ~49%, JSON ~28%.
 
-use lantern_bench::{quick_config, tpch_workload, BenchContext, TableReport};
 use lantern_bench::pipelines::studies::narration_streams;
+use lantern_bench::{quick_config, tpch_workload, BenchContext, TableReport};
 use lantern_neural::NeuralLantern;
 use lantern_study::{q1_ease_survey, Population};
 
@@ -19,7 +19,12 @@ fn main() {
         "Figure 8(b): Q1 ease of understanding (Likert 1-5, 43 learners)",
         &["Format", "1", "2", "3", "4", "5", ">3", "Paper >3"],
     );
-    let paper = [("JSON", "27.9%"), ("Visual tree", "48.8%"), ("RULE-LANTERN", "58.1%"), ("NEURAL-LANTERN", "58.1%")];
+    let paper = [
+        ("JSON", "27.9%"),
+        ("Visual tree", "48.8%"),
+        ("RULE-LANTERN", "58.1%"),
+        ("NEURAL-LANTERN", "58.1%"),
+    ];
     for ((label, hist), (_, paper_pct)) in report.rows.iter().zip(paper) {
         let r = hist.row();
         t.row(&[

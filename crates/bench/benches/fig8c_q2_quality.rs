@@ -3,8 +3,8 @@
 //! NEURAL-LANTERN (rule slightly ahead — hand-written rules are more
 //! accurate than the neural decoder).
 
-use lantern_bench::{quick_config, tpch_workload, BenchContext, TableReport};
 use lantern_bench::pipelines::studies::narration_streams;
+use lantern_bench::{quick_config, tpch_workload, BenchContext, TableReport};
 use lantern_neural::NeuralLantern;
 use lantern_study::{q2_quality_survey, Population};
 use lantern_text::token_edit_distance;
@@ -24,8 +24,7 @@ fn main() {
         wrong_tokens += token_edit_distance(&hyp, &truth);
         total_tokens += truth.len();
     }
-    let neural_accuracy =
-        (1.0 - wrong_tokens as f64 / total_tokens.max(1) as f64).clamp(0.0, 1.0);
+    let neural_accuracy = (1.0 - wrong_tokens as f64 / total_tokens.max(1) as f64).clamp(0.0, 1.0);
 
     let rule_texts = ctx.rule_narrations(&ctx.tpch, &tpch_workload());
     let (_, neural_texts) = narration_streams(&ctx, &neural, 22);

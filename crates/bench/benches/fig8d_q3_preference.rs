@@ -2,8 +2,8 @@
 //! LANTERN 30.23%, NEURAL-LANTERN 30.23%, visual tree 27.91%, JSON
 //! 11.63%.
 
-use lantern_bench::{quick_config, tpch_workload, BenchContext, TableReport};
 use lantern_bench::pipelines::studies::narration_streams;
+use lantern_bench::{quick_config, tpch_workload, BenchContext, TableReport};
 use lantern_neural::NeuralLantern;
 use lantern_study::{q3_preference_survey, Population};
 
@@ -30,6 +30,9 @@ fn main() {
         ]);
     }
     t.print();
-    assert!(counts[2] + counts[3] > counts[0], "NL formats must beat JSON");
+    assert!(
+        counts[2] + counts[3] > counts[0],
+        "NL formats must beat JSON"
+    );
     println!("shape check: LANTERN variants lead, JSON last  ✓");
 }

@@ -15,7 +15,10 @@ fn main() {
     let test_acts = ctx.imdb_test_acts(20);
 
     let mut conditions = Vec::new();
-    for (label, ts) in [("with paraphrasing", &with_para), ("w/o paraphrasing", &without_para)] {
+    for (label, ts) in [
+        ("with paraphrasing", &with_para),
+        ("w/o paraphrasing", &without_para),
+    ] {
         let mut model = Qep2Seq::new(ts, quick_config(10, 14));
         model.train(ts);
         let mut wrong = 0usize;
@@ -28,7 +31,10 @@ fn main() {
             texts.push(model.translate_act(act, 4));
         }
         let acc = (1.0 - wrong as f64 / total.max(1) as f64).clamp(0.0, 1.0);
-        println!("{label}: training samples {}, token accuracy {acc:.3}", ts.examples.len());
+        println!(
+            "{label}: training samples {}, token accuracy {acc:.3}",
+            ts.examples.len()
+        );
         conditions.push((label.to_string(), texts, acc));
     }
 

@@ -53,7 +53,12 @@ fn main() {
         "US 5: workload translation success (LANTERN vs NEURON)",
         &["Workload", "LANTERN", "NEURON", "Paper"],
     );
-    t.row(&["TPC-H (PostgreSQL)", &format!("{lantern_ok}/22"), &format!("{neuron_ok}/22"), "both translate"]);
+    t.row(&[
+        "TPC-H (PostgreSQL)",
+        &format!("{lantern_ok}/22"),
+        &format!("{neuron_ok}/22"),
+        "both translate",
+    ]);
     t.row(&[
         "SDSS (SQL Server)",
         &format!("{lantern_sdss_ok}/71"),
@@ -61,8 +66,14 @@ fn main() {
         "NEURON: none",
     ]);
     t.print();
-    assert_eq!(neuron_sdss_ok, 0, "NEURON must fail on all SQL Server plans");
-    assert_eq!(lantern_sdss_ok, 71, "LANTERN must translate all SQL Server plans");
+    assert_eq!(
+        neuron_sdss_ok, 0,
+        "NEURON must fail on all SQL Server plans"
+    );
+    assert_eq!(
+        lantern_sdss_ok, 71,
+        "LANTERN must translate all SQL Server plans"
+    );
 
     // Perceived quality: NEURON's SDSS failure collapses its rating.
     let neuron_accuracy = (neuron_ok + neuron_sdss_ok) as f64 / 93.0;

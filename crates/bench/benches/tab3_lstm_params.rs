@@ -27,9 +27,7 @@ fn main() {
             "Dec recurrent",
         ],
     );
-    for ((name, config, dim), (pname, ptotal, precurrent)) in
-        table3_configs().iter().zip(paper)
-    {
+    for ((name, config, dim), (pname, ptotal, precurrent)) in table3_configs().iter().zip(paper) {
         assert_eq!(name, pname);
         let r = count_parameters(name, config, *dim);
         assert_eq!(r.encoder_recurrent, 279_552, "paper encoder count");

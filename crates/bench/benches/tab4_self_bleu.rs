@@ -4,10 +4,10 @@
 //! three combined 0.482.
 
 use lantern_bench::{BenchContext, TableReport};
+use lantern_paraphrase::engines::is_valid_paraphrase;
 use lantern_paraphrase::{
     AggressiveParaphraser, Paraphraser, RestructureParaphraser, SynonymParaphraser,
 };
-use lantern_paraphrase::engines::is_valid_paraphrase;
 use lantern_text::{self_bleu, tokenize, BleuConfig};
 
 fn main() {
@@ -40,21 +40,49 @@ fn main() {
             let toks: Vec<Vec<String>> = group.iter().map(|x| tokenize(x)).collect();
             total += self_bleu(&toks, BleuConfig::default());
         }
-        (total / samples.len() as f64, group_sizes as f64 / samples.len() as f64)
+        (
+            total / samples.len() as f64,
+            group_sizes as f64 / samples.len() as f64,
+        )
     };
 
     let mut t = TableReport::new(
         "Table 4: diversity among training samples (Self-BLEU; lower = more diverse)",
-        &["Approach", "Self-BLEU (ours)", "Self-BLEU (paper)", "#Samples/group (ours)", "(paper)"],
+        &[
+            "Approach",
+            "Self-BLEU (ours)",
+            "Self-BLEU (paper)",
+            "#Samples/group (ours)",
+            "(paper)",
+        ],
     );
     t.row(&["Without paraphrasing", "1.000", "1.0", "1.0", "1"]);
     let rows: Vec<(&str, &[&dyn Paraphraser], &str, &str)> = vec![
-        ("paraphrasing with [10]", &[&AggressiveParaphraser], "0.309", "2"),
-        ("paraphrasing with [9]", &[&SynonymParaphraser], "0.603", "2"),
-        ("paraphrasing with [8]", &[&RestructureParaphraser], "0.502", "2"),
+        (
+            "paraphrasing with [10]",
+            &[&AggressiveParaphraser],
+            "0.309",
+            "2",
+        ),
+        (
+            "paraphrasing with [9]",
+            &[&SynonymParaphraser],
+            "0.603",
+            "2",
+        ),
+        (
+            "paraphrasing with [8]",
+            &[&RestructureParaphraser],
+            "0.502",
+            "2",
+        ),
         (
             "paraphrasing with [8-10]",
-            &[&SynonymParaphraser, &RestructureParaphraser, &AggressiveParaphraser],
+            &[
+                &SynonymParaphraser,
+                &RestructureParaphraser,
+                &AggressiveParaphraser,
+            ],
             "0.482",
             "4",
         ),

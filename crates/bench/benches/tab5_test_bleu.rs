@@ -28,7 +28,11 @@ fn main() {
         model.train(&ts);
         let bleu = model.test_bleu(&test_acts, 4);
         scores.push((variant.name, bleu));
-        t.row(&[variant.name.to_string(), format!("{bleu:.2}"), format!("{paper_bleu:.2}")]);
+        t.row(&[
+            variant.name.to_string(),
+            format!("{bleu:.2}"),
+            format!("{paper_bleu:.2}"),
+        ]);
     }
     t.print();
     let get = |n: &str| scores.iter().find(|(name, _)| name.contains(n)).unwrap().1;

@@ -48,15 +48,28 @@ fn main() {
     }
     let neural_avg = start.elapsed().as_secs_f64() / trees.len() as f64;
 
-    let mut t = TableReport::new(
-        "Table 6: efficiency (seconds)",
-        &["Step", "Ours", "Paper"],
-    );
+    let mut t = TableReport::new("Table 6: efficiency (seconds)", &["Step", "Ours", "Paper"]);
     t.row(&["Training (total)", &format!("{train_total:.2}"), "825.60"]);
-    t.row(&["Training per epoch", &format!("{per_epoch:.2}"), "16.51 [18.22]"]);
-    t.row(&["SQL generation (1000 IMDB queries)", &format!("{sqlgen:.3}"), "0.77"]);
-    t.row(&["NEURAL-LANTERN avg response", &format!("{neural_avg:.4}"), "0.216"]);
-    t.row(&["RULE-LANTERN avg response", &format!("{rule_avg:.5}"), "0.015"]);
+    t.row(&[
+        "Training per epoch",
+        &format!("{per_epoch:.2}"),
+        "16.51 [18.22]",
+    ]);
+    t.row(&[
+        "SQL generation (1000 IMDB queries)",
+        &format!("{sqlgen:.3}"),
+        "0.77",
+    ]);
+    t.row(&[
+        "NEURAL-LANTERN avg response",
+        &format!("{neural_avg:.4}"),
+        "0.216",
+    ]);
+    t.row(&[
+        "RULE-LANTERN avg response",
+        &format!("{rule_avg:.5}"),
+        "0.015",
+    ]);
     t.print();
     assert!(rule_avg < neural_avg, "rule must be faster than neural");
     assert!(neural_avg < 1.0, "neural response must stay under a second");

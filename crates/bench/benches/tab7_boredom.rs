@@ -5,9 +5,9 @@
 
 use lantern_bench::pipelines::studies::narration_streams;
 use lantern_bench::{quick_config, BenchContext, TableReport};
+use lantern_engine::Planner;
 use lantern_neural::NeuralLantern;
 use lantern_neuron::Neuron;
-use lantern_engine::Planner;
 use lantern_study::{boredom_study, mixed_stream_study, Population};
 
 fn main() {

@@ -15,6 +15,9 @@ fn main() {
     t.row(&["Document-style text", &doc.to_string(), "38"]);
     t.row(&["Visual tree + per-node NL", &tree.to_string(), "5"]);
     t.print();
-    assert!(doc > tree * 2, "document style must dominate: {doc} vs {tree}");
+    assert!(
+        doc > tree * 2,
+        "document style must dominate: {doc} vs {tree}"
+    );
     println!("shape check: document-style narration strongly preferred  ✓");
 }

@@ -80,10 +80,14 @@ impl BenchContext {
     /// The paper's training configuration: TPC-H + SDSS workloads plus
     /// random queries, paraphrase-expanded.
     pub fn paper_training_set(&self, extra_random: usize, paraphrase: bool) -> TrainingSet {
-        let tpch_q: Vec<_> =
-            tpch_workload().iter().filter_map(|s| parse_sql(s).ok()).collect();
-        let sdss_q: Vec<_> =
-            sdss_workload().iter().filter_map(|s| parse_sql(s).ok()).collect();
+        let tpch_q: Vec<_> = tpch_workload()
+            .iter()
+            .filter_map(|s| parse_sql(s).ok())
+            .collect();
+        let sdss_q: Vec<_> = sdss_workload()
+            .iter()
+            .filter_map(|s| parse_sql(s).ok())
+            .collect();
         let mut builder = DatasetBuilder::new(&self.tpch, &self.store)
             .with_queries(&tpch_q)
             .paraphrase(paraphrase);
@@ -100,11 +104,17 @@ impl BenchContext {
         ts.examples.extend(sdss_ts.examples);
         ts.act_count += sdss_ts.act_count;
         let input_vocab = lantern_text::Vocab::from_corpus(
-            &ts.examples.iter().map(|e| e.input_tokens.clone()).collect::<Vec<_>>(),
+            &ts.examples
+                .iter()
+                .map(|e| e.input_tokens.clone())
+                .collect::<Vec<_>>(),
             1,
         );
         let output_vocab = lantern_text::Vocab::from_corpus(
-            &ts.examples.iter().map(|e| e.output_tokens.clone()).collect::<Vec<_>>(),
+            &ts.examples
+                .iter()
+                .map(|e| e.output_tokens.clone())
+                .collect::<Vec<_>>(),
             1,
         );
         ts.input_vocab = input_vocab;

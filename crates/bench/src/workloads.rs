@@ -168,11 +168,13 @@ pub fn sdss_workload() -> Vec<String> {
     // 69-71: three-way joins with distinct.
     queries.push(
         "SELECT DISTINCT p.run FROM photoobj p, specobj s WHERE s.bestobjid = p.objid \
-         AND s.class = 'QSO' ORDER BY p.run LIMIT 25".to_string(),
+         AND s.class = 'QSO' ORDER BY p.run LIMIT 25"
+            .to_string(),
     );
     queries.push(
         "SELECT p.camcol, COUNT(*) FROM photoobj p, photoz z WHERE z.pz_objid = p.objid \
-         AND z.photoz BETWEEN 0.2 AND 0.4 GROUP BY p.camcol ORDER BY p.camcol".to_string(),
+         AND z.photoz BETWEEN 0.2 AND 0.4 GROUP BY p.camcol ORDER BY p.camcol"
+            .to_string(),
     );
     queries.push(
         "SELECT s.plate, s.mjd, s.fiberid FROM specobj s, photoobj p, galaxy g WHERE \
@@ -198,7 +200,9 @@ mod tests {
         for (i, sql) in qs.iter().enumerate() {
             let q = parse_sql(sql).unwrap_or_else(|e| panic!("Q{}: {e}", i + 1));
             resolve(&q, db.catalog()).unwrap_or_else(|e| panic!("Q{}: {e}", i + 1));
-            planner.plan(&q).unwrap_or_else(|e| panic!("Q{}: {e}", i + 1));
+            planner
+                .plan(&q)
+                .unwrap_or_else(|e| panic!("Q{}: {e}", i + 1));
         }
     }
 
@@ -210,7 +214,9 @@ mod tests {
         let planner = Planner::new(&db);
         for (i, sql) in qs.iter().enumerate() {
             let q = parse_sql(sql).unwrap_or_else(|e| panic!("S{}: {e}", i + 1));
-            planner.plan(&q).unwrap_or_else(|e| panic!("S{}: {e}", i + 1));
+            planner
+                .plan(&q)
+                .unwrap_or_else(|e| panic!("S{}: {e}", i + 1));
         }
     }
 
@@ -237,7 +243,10 @@ mod tests {
             }
         }
         for needed in ["Seq Scan", "Hash Join", "Aggregate", "Sort", "Limit"] {
-            assert!(ops.contains(needed), "workload never produces {needed}: {ops:?}");
+            assert!(
+                ops.contains(needed),
+                "workload never produces {needed}: {ops:?}"
+            );
         }
     }
 }

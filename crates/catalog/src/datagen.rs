@@ -16,8 +16,8 @@ use rand::{Rng, SeedableRng};
 const WORDS: &[&str] = &[
     "analysis", "april", "blue", "careful", "data", "deep", "eastern", "final", "furious",
     "golden", "green", "July", "june", "large", "learning", "march", "model", "northern",
-    "october", "pale", "query", "quick", "red", "silent", "silver", "sleepy", "small",
-    "southern", "special", "spring", "storage", "summer", "system", "theory", "winter",
+    "october", "pale", "query", "quick", "red", "silent", "silver", "sleepy", "small", "southern",
+    "special", "spring", "storage", "summer", "system", "theory", "winter",
 ];
 
 /// Column-major data for one generated table.
@@ -110,7 +110,11 @@ pub fn generate_table(catalog: &Catalog, table: &Table, scale: f64, seed: u64) -
         }
         columns.push(data);
     }
-    TableData { name: table.name.clone(), columns, rows }
+    TableData {
+        name: table.name.clone(),
+        columns,
+        rows,
+    }
 }
 
 fn type_matches(v: &Value, ty: ColumnType) -> bool {
@@ -211,7 +215,10 @@ mod tests {
         let fk_col = 1; // proceeding_key
         for v in &inproc.columns[fk_col] {
             if let Value::Int(k) = v {
-                assert!(*k >= 0 && (*k as usize) < publication_rows, "fk {k} out of range");
+                assert!(
+                    *k >= 0 && (*k as usize) < publication_rows,
+                    "fk {k} out of range"
+                );
             }
         }
     }
@@ -222,7 +229,10 @@ mod tests {
         let data = generate(&cat, 0.001, 5);
         let movies = data.iter().find(|t| t.name == "movies").unwrap();
         let rank_col = 3; // rank_score, null_fraction 0.2
-        let nulls = movies.columns[rank_col].iter().filter(|v| v.is_null()).count();
+        let nulls = movies.columns[rank_col]
+            .iter()
+            .filter(|v| v.is_null())
+            .count();
         let frac = nulls as f64 / movies.rows as f64;
         assert!((0.1..0.3).contains(&frac), "null fraction {frac}");
     }

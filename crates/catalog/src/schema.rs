@@ -54,7 +54,13 @@ pub struct Column {
 impl Column {
     /// Plain column with no nulls and no index.
     pub fn new(name: &str, ty: ColumnType, distribution: Distribution) -> Self {
-        Column { name: name.to_string(), ty, distribution, null_fraction: 0.0, indexed: false }
+        Column {
+            name: name.to_string(),
+            ty,
+            distribution,
+            null_fraction: 0.0,
+            indexed: false,
+        }
     }
 
     /// Builder: mark indexed.
@@ -134,10 +140,21 @@ impl Catalog {
     }
 
     /// Register a foreign key (both endpoints must exist).
-    pub fn add_foreign_key(&mut self, table: &str, column: &str, parent: &str, parent_column: &str) {
-        assert!(self.table(table).and_then(|t| t.column(column)).is_some(), "{table}.{column}");
+    pub fn add_foreign_key(
+        &mut self,
+        table: &str,
+        column: &str,
+        parent: &str,
+        parent_column: &str,
+    ) {
         assert!(
-            self.table(parent).and_then(|t| t.column(parent_column)).is_some(),
+            self.table(table).and_then(|t| t.column(column)).is_some(),
+            "{table}.{column}"
+        );
+        assert!(
+            self.table(parent)
+                .and_then(|t| t.column(parent_column))
+                .is_some(),
             "{parent}.{parent_column}"
         );
         self.foreign_keys.push(ForeignKey {
@@ -228,7 +245,12 @@ mod tests {
     #[should_panic(expected = "duplicate table")]
     fn duplicate_table_panics() {
         let mut c = tiny();
-        c.add_table(Table { name: "a".into(), columns: vec![], base_rows: 0, primary_key: None });
+        c.add_table(Table {
+            name: "a".into(),
+            columns: vec![],
+            base_rows: 0,
+            primary_key: None,
+        });
     }
 
     #[test]

@@ -11,24 +11,64 @@ use crate::schema::{Catalog, Column, ColumnType, Distribution, Table};
 use ColumnType as T;
 use Distribution as D;
 
-const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const ORDER_STATUS: &[&str] = &["F", "O", "P"];
 const ORDER_PRIO: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIP_MODES: &[&str] = &["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
 const LINE_STATUS: &[&str] = &["F", "O"];
 const RETURN_FLAGS: &[&str] = &["A", "N", "R"];
 const NATIONS: &[&str] = &[
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "CHINA", "EGYPT", "ETHIOPIA", "FRANCE",
-    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO",
-    "MOZAMBIQUE", "PERU", "ROMANIA", "RUSSIA", "SAUDI ARABIA", "UNITED KINGDOM",
-    "UNITED STATES", "VIETNAM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "CHINA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "ROMANIA",
+    "RUSSIA",
+    "SAUDI ARABIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
+    "VIETNAM",
 ];
 const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
-const BRANDS: &[&str] = &["Brand#11", "Brand#12", "Brand#23", "Brand#34", "Brand#45", "Brand#55"];
-const CONTAINERS: &[&str] = &["JUMBO PKG", "LG CASE", "MED BOX", "SM BOX", "SM PACK", "WRAP BAG"];
+const BRANDS: &[&str] = &[
+    "Brand#11", "Brand#12", "Brand#23", "Brand#34", "Brand#45", "Brand#55",
+];
+const CONTAINERS: &[&str] = &[
+    "JUMBO PKG",
+    "LG CASE",
+    "MED BOX",
+    "SM BOX",
+    "SM PACK",
+    "WRAP BAG",
+];
 const PART_TYPES: &[&str] = &[
-    "ECONOMY ANODIZED STEEL", "LARGE BRUSHED BRASS", "MEDIUM POLISHED COPPER",
-    "PROMO BURNISHED NICKEL", "SMALL PLATED TIN", "STANDARD POLISHED BRASS",
+    "ECONOMY ANODIZED STEEL",
+    "LARGE BRUSHED BRASS",
+    "MEDIUM POLISHED COPPER",
+    "PROMO BURNISHED NICKEL",
+    "SMALL PLATED TIN",
+    "STANDARD POLISHED BRASS",
 ];
 
 /// The TPC-H schema (8 tables) with base cardinalities at SF 1.
@@ -136,7 +176,11 @@ pub fn tpch_catalog() -> Catalog {
             Column::new("l_suppkey", T::Int, D::ForeignKey),
             Column::new("l_linenumber", T::Int, D::UniformInt(1, 7)),
             Column::new("l_quantity", T::Int, D::UniformInt(1, 50)),
-            Column::new("l_extendedprice", T::Float, D::UniformFloat(900.0, 105000.0)),
+            Column::new(
+                "l_extendedprice",
+                T::Float,
+                D::UniformFloat(900.0, 105000.0),
+            ),
             Column::new("l_discount", T::Float, D::UniformFloat(0.0, 0.1)),
             Column::new("l_tax", T::Float, D::UniformFloat(0.0, 0.08)),
             Column::new("l_returnflag", T::Text, D::Categorical(RETURN_FLAGS)),
@@ -236,10 +280,32 @@ pub fn sdss_catalog() -> Catalog {
 }
 
 const GENRES: &[&str] = &[
-    "Action", "Adventure", "Animation", "Comedy", "Crime", "Documentary", "Drama",
-    "Family", "Fantasy", "Horror", "Mystery", "Romance", "Sci-Fi", "Thriller", "War",
+    "Action",
+    "Adventure",
+    "Animation",
+    "Comedy",
+    "Crime",
+    "Documentary",
+    "Drama",
+    "Family",
+    "Fantasy",
+    "Horror",
+    "Mystery",
+    "Romance",
+    "Sci-Fi",
+    "Thriller",
+    "War",
 ];
-const ROLES: &[&str] = &["actor", "actress", "cinematographer", "composer", "director", "editor", "producer", "writer"];
+const ROLES: &[&str] = &[
+    "actor",
+    "actress",
+    "cinematographer",
+    "composer",
+    "director",
+    "editor",
+    "producer",
+    "writer",
+];
 
 /// The relational IMDB schema (the paper's cross-domain test set:
 /// 1000 generated queries -> 5232 acts).
@@ -308,7 +374,12 @@ pub fn imdb_catalog() -> Catalog {
     c.add_foreign_key("roles", "role_actor_id", "actors", "actor_id");
     c.add_foreign_key("roles", "role_movie_id", "movies", "movie_id");
     c.add_foreign_key("movies_genres", "mg_movie_id", "movies", "movie_id");
-    c.add_foreign_key("movies_directors", "md_director_id", "directors", "director_id");
+    c.add_foreign_key(
+        "movies_directors",
+        "md_director_id",
+        "directors",
+        "director_id",
+    );
     c.add_foreign_key("movies_directors", "md_movie_id", "movies", "movie_id");
     c
 }
@@ -363,7 +434,12 @@ mod tests {
 
     #[test]
     fn all_catalogs_have_valid_fk_endpoints() {
-        for cat in [tpch_catalog(), sdss_catalog(), imdb_catalog(), dblp_catalog()] {
+        for cat in [
+            tpch_catalog(),
+            sdss_catalog(),
+            imdb_catalog(),
+            dblp_catalog(),
+        ] {
             for fk in cat.foreign_keys() {
                 let t = cat.table(&fk.table).expect("fk child table");
                 assert!(t.column(&fk.column).is_some(), "{}.{}", fk.table, fk.column);
@@ -376,14 +452,23 @@ mod tests {
     #[test]
     fn dblp_matches_paper_example() {
         let c = dblp_catalog();
-        assert!(c.table("inproceedings").unwrap().column("proceeding_key").is_some());
+        assert!(c
+            .table("inproceedings")
+            .unwrap()
+            .column("proceeding_key")
+            .is_some());
         assert!(c.table("publication").unwrap().column("title").is_some());
     }
 
     #[test]
     fn column_names_are_unique_within_each_catalog() {
         // Unqualified-name resolution requires unambiguous columns.
-        for cat in [tpch_catalog(), sdss_catalog(), imdb_catalog(), dblp_catalog()] {
+        for cat in [
+            tpch_catalog(),
+            sdss_catalog(),
+            imdb_catalog(),
+            dblp_catalog(),
+        ] {
             let mut seen = std::collections::HashSet::new();
             for t in cat.tables() {
                 for col in &t.columns {
@@ -400,7 +485,12 @@ mod tests {
 
     #[test]
     fn indexed_columns_exist_in_every_catalog() {
-        for cat in [tpch_catalog(), sdss_catalog(), imdb_catalog(), dblp_catalog()] {
+        for cat in [
+            tpch_catalog(),
+            sdss_catalog(),
+            imdb_catalog(),
+            dblp_catalog(),
+        ] {
             let any_indexed = cat
                 .tables()
                 .iter()

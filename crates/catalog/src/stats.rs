@@ -39,7 +39,10 @@ impl ColumnStats {
         }
         // Residual uniformity assumption over the non-MCV values.
         let mcv_mass: f64 = self.most_common.iter().map(|(_, f)| f).sum();
-        let residual_distinct = self.n_distinct.saturating_sub(self.most_common.len()).max(1);
+        let residual_distinct = self
+            .n_distinct
+            .saturating_sub(self.most_common.len())
+            .max(1);
         ((1.0 - self.null_fraction - mcv_mass) / residual_distinct as f64).max(1e-9)
     }
 
@@ -100,7 +103,11 @@ impl TableStats {
             .iter()
             .map(|col| analyze_column(col, mcv_k, histogram_buckets))
             .collect();
-        TableStats { name: data.name.clone(), rows: data.rows, columns }
+        TableStats {
+            name: data.name.clone(),
+            rows: data.rows,
+            columns,
+        }
     }
 }
 
@@ -131,7 +138,14 @@ fn analyze_column(values: &[Value], mcv_k: usize, histogram_buckets: usize) -> C
             histogram.push(non_null[idx].clone());
         }
     }
-    ColumnStats { n_distinct, null_fraction, min, max, most_common, histogram }
+    ColumnStats {
+        n_distinct,
+        null_fraction,
+        min,
+        max,
+        most_common,
+        histogram,
+    }
 }
 
 #[cfg(test)]
@@ -154,14 +168,14 @@ mod tests {
     #[test]
     fn null_fraction_counted() {
         let mut v: Vec<Value> = (0..50).map(Value::Int).collect();
-        v.extend(std::iter::repeat(Value::Null).take(50));
+        v.extend(std::iter::repeat_n(Value::Null, 50));
         let s = col(v);
         assert!((s.null_fraction - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn mcv_catches_heavy_hitter() {
-        let mut v: Vec<Value> = std::iter::repeat(Value::Str("F".into())).take(90).collect();
+        let mut v: Vec<Value> = std::iter::repeat_n(Value::Str("F".into()), 90).collect();
         v.extend((0..10).map(Value::Int));
         let s = col(v);
         let sel = s.eq_selectivity(&Value::Str("F".into()));

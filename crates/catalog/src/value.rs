@@ -103,7 +103,7 @@ impl Ord for Value {
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -169,13 +169,11 @@ pub fn date_from_days(days: i32) -> (i32, u32, u32) {
         }
     }
     let month_lengths = month_lengths(year);
-    let mut month = 1;
-    for &len in &month_lengths {
+    for (i, &len) in month_lengths.iter().enumerate() {
         if remaining < len {
-            return (year, month, (remaining + 1) as u32);
+            return (year, i as u32 + 1, (remaining + 1) as u32);
         }
         remaining -= len;
-        month += 1;
     }
     (year, 12, 31)
 }
@@ -204,7 +202,20 @@ fn is_leap(y: i32) -> bool {
 }
 
 fn month_lengths(y: i32) -> [i32; 12] {
-    [31, if is_leap(y) { 29 } else { 28 }, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31]
+    [
+        31,
+        if is_leap(y) { 29 } else { 28 },
+        31,
+        30,
+        31,
+        30,
+        31,
+        31,
+        30,
+        31,
+        30,
+        31,
+    ]
 }
 
 #[cfg(test)]
@@ -225,7 +236,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut v = vec![Value::Int(1), Value::Null, Value::Int(0)];
+        let mut v = [Value::Int(1), Value::Null, Value::Int(0)];
         v.sort();
         assert_eq!(v[0], Value::Null);
     }
@@ -240,7 +251,11 @@ mod tests {
     fn date_round_trip_many() {
         for d in [0, 1, 31, 59, 60, 365, 366, 1000, 2500, -1, -365] {
             let (y, m, day) = date_from_days(d);
-            assert_eq!(days_from_date(y, m, day), d, "day offset {d} -> {y}-{m}-{day}");
+            assert_eq!(
+                days_from_date(y, m, day),
+                d,
+                "day offset {d} -> {y}-{m}-{day}"
+            );
         }
     }
 

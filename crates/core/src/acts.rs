@@ -83,11 +83,13 @@ mod tests {
                         PlanNode::new("Hash Join")
                             .with_join_cond("((i.proceeding_key) = (p.pub_key))")
                             .with_child(PlanNode::new("Seq Scan").on_relation("inproceedings"))
-                            .with_child(PlanNode::new("Hash").with_child(
-                                PlanNode::new("Seq Scan")
-                                    .on_relation("publication")
-                                    .with_filter("title LIKE '%July%'"),
-                            )),
+                            .with_child(
+                                PlanNode::new("Hash").with_child(
+                                    PlanNode::new("Seq Scan")
+                                        .on_relation("publication")
+                                        .with_filter("title LIKE '%July%'"),
+                                ),
+                            ),
                     ),
                 ),
             ),

@@ -30,7 +30,10 @@ pub fn cluster_pairs(root: &LotNode) -> Vec<Cluster> {
 fn walk(node: &LotNode, path: &mut Vec<usize>, out: &mut Vec<Cluster>) {
     for (i, child) in node.children.iter().enumerate() {
         if child.poem.is_auxiliary() && child.poem.targets_op(&node.plan.op) {
-            out.push(Cluster { critical_path: path.clone(), aux_child: i });
+            out.push(Cluster {
+                critical_path: path.clone(),
+                aux_child: i,
+            });
             break; // one aux per critical
         }
     }
@@ -44,7 +47,10 @@ fn walk(node: &LotNode, path: &mut Vec<usize>, out: &mut Vec<Cluster>) {
 /// Look up whether `path`'s node has a clustered auxiliary child, and
 /// which one.
 pub fn clustered_aux(clusters: &[Cluster], path: &[usize]) -> Option<usize> {
-    clusters.iter().find(|c| c.critical_path == path).map(|c| c.aux_child)
+    clusters
+        .iter()
+        .find(|c| c.critical_path == path)
+        .map(|c| c.aux_child)
 }
 
 #[cfg(test)]
@@ -60,15 +66,19 @@ mod tests {
 
     #[test]
     fn hash_under_hash_join_clusters() {
-        let t = lot(
-            PlanNode::new("Hash Join")
-                .with_child(PlanNode::new("Seq Scan").on_relation("a"))
-                .with_child(PlanNode::new("Hash").with_child(
-                    PlanNode::new("Seq Scan").on_relation("b"),
-                )),
-        );
+        let t = lot(PlanNode::new("Hash Join")
+            .with_child(PlanNode::new("Seq Scan").on_relation("a"))
+            .with_child(
+                PlanNode::new("Hash").with_child(PlanNode::new("Seq Scan").on_relation("b")),
+            ));
         let c = cluster_pairs(&t.root);
-        assert_eq!(c, vec![Cluster { critical_path: vec![], aux_child: 1 }]);
+        assert_eq!(
+            c,
+            vec![Cluster {
+                critical_path: vec![],
+                aux_child: 1
+            }]
+        );
         assert_eq!(clustered_aux(&c, &[]), Some(1));
         assert_eq!(clustered_aux(&c, &[0]), None);
     }
@@ -86,27 +96,23 @@ mod tests {
     #[test]
     fn sort_under_hash_join_does_not_cluster() {
         // Sort targets mergejoin/aggregate/unique, not hash join.
-        let t = lot(
-            PlanNode::new("Hash Join")
-                .with_child(PlanNode::new("Sort").with_child(
-                    PlanNode::new("Seq Scan").on_relation("a"),
-                ))
-                .with_child(PlanNode::new("Seq Scan").on_relation("b")),
-        );
+        let t = lot(PlanNode::new("Hash Join")
+            .with_child(
+                PlanNode::new("Sort").with_child(PlanNode::new("Seq Scan").on_relation("a")),
+            )
+            .with_child(PlanNode::new("Seq Scan").on_relation("b")));
         assert!(cluster_pairs(&t.root).is_empty());
     }
 
     #[test]
     fn merge_join_clusters_only_first_sort() {
-        let t = lot(
-            PlanNode::new("Merge Join")
-                .with_child(PlanNode::new("Sort").with_child(
-                    PlanNode::new("Seq Scan").on_relation("a"),
-                ))
-                .with_child(PlanNode::new("Sort").with_child(
-                    PlanNode::new("Seq Scan").on_relation("b"),
-                )),
-        );
+        let t = lot(PlanNode::new("Merge Join")
+            .with_child(
+                PlanNode::new("Sort").with_child(PlanNode::new("Seq Scan").on_relation("a")),
+            )
+            .with_child(
+                PlanNode::new("Sort").with_child(PlanNode::new("Seq Scan").on_relation("b")),
+            ));
         let c = cluster_pairs(&t.root);
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].aux_child, 0);
@@ -115,18 +121,27 @@ mod tests {
     #[test]
     fn nested_clusters_found_at_depth() {
         let t = lot(PlanNode::new("Unique").with_child(
-            PlanNode::new("Aggregate").with_child(PlanNode::new("Sort").with_child(
-                PlanNode::new("Hash Join")
-                    .with_child(PlanNode::new("Seq Scan").on_relation("a"))
-                    .with_child(PlanNode::new("Hash").with_child(
-                        PlanNode::new("Seq Scan").on_relation("b"),
-                    )),
-            )),
+            PlanNode::new("Aggregate").with_child(
+                PlanNode::new("Sort").with_child(
+                    PlanNode::new("Hash Join")
+                        .with_child(PlanNode::new("Seq Scan").on_relation("a"))
+                        .with_child(
+                            PlanNode::new("Hash")
+                                .with_child(PlanNode::new("Seq Scan").on_relation("b")),
+                        ),
+                ),
+            ),
         ));
         let c = cluster_pairs(&t.root);
         // Aggregate+Sort at path [0]; Hash Join+Hash at path [0,0,0].
         assert_eq!(c.len(), 2);
-        assert!(c.contains(&Cluster { critical_path: vec![0], aux_child: 0 }));
-        assert!(c.contains(&Cluster { critical_path: vec![0, 0, 0], aux_child: 1 }));
+        assert!(c.contains(&Cluster {
+            critical_path: vec![0],
+            aux_child: 0
+        }));
+        assert!(c.contains(&Cluster {
+            critical_path: vec![0, 0, 0],
+            aux_child: 1
+        }));
     }
 }

@@ -43,15 +43,14 @@ impl Lantern {
 
     /// Narrate a PostgreSQL `EXPLAIN (FORMAT JSON)` document.
     pub fn narrate_pg_json(&self, doc: &str) -> Result<Narration, CoreError> {
-        let tree = parse_pg_json_plan(doc)
-            .map_err(|e| CoreError::PlanError(e.to_string()))?;
+        let tree = parse_pg_json_plan(doc).map_err(|e| CoreError::PlanError(e.to_string()))?;
         self.narrate(&tree)
     }
 
     /// Narrate a SQL Server XML showplan.
     pub fn narrate_sqlserver_xml(&self, doc: &str) -> Result<Narration, CoreError> {
-        let tree = parse_sqlserver_xml_plan(doc)
-            .map_err(|e| CoreError::PlanError(e.to_string()))?;
+        let tree =
+            parse_sqlserver_xml_plan(doc).map_err(|e| CoreError::PlanError(e.to_string()))?;
         self.narrate(&tree)
     }
 }
@@ -72,7 +71,11 @@ mod tests {
                "Plans": [{"Node Type": "Seq Scan", "Relation Name": "b"}]}
             ]}}]"#;
         let n = lantern.narrate_pg_json(doc).unwrap();
-        assert!(n.text().contains("hash b and perform hash join on a and b"), "{}", n.text());
+        assert!(
+            n.text().contains("hash b and perform hash join on a and b"),
+            "{}",
+            n.text()
+        );
     }
 
     #[test]

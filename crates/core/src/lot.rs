@@ -72,14 +72,19 @@ pub struct LotTree {
 /// Build the LOT for `tree` using the operator annotations in `store`
 /// (paper Algorithm 1, line 1).
 pub fn build_lot(tree: &PlanTree, store: &PoemStore) -> Result<LotTree, CoreError> {
-    Ok(LotTree { source: tree.source.clone(), root: annotate(&tree.root, &tree.source, store)? })
+    Ok(LotTree {
+        source: tree.source.clone(),
+        root: annotate(&tree.root, &tree.source, store)?,
+    })
 }
 
 fn annotate(node: &PlanNode, source: &str, store: &PoemStore) -> Result<LotNode, CoreError> {
-    let poem = store.find(source, &node.op).ok_or_else(|| CoreError::UnknownOperator {
-        source: source.to_string(),
-        op: node.op.clone(),
-    })?;
+    let poem = store
+        .find(source, &node.op)
+        .ok_or_else(|| CoreError::UnknownOperator {
+            source: source.to_string(),
+            op: node.op.clone(),
+        })?;
     let mut shallow = node.clone();
     shallow.children = Vec::new();
     let mut lot = LotNode {
@@ -109,11 +114,13 @@ mod tests {
                         PlanNode::new("Hash Join")
                             .with_join_cond("((i.proceeding_key) = (p.pub_key))")
                             .with_child(PlanNode::new("Seq Scan").on_relation("inproceedings"))
-                            .with_child(PlanNode::new("Hash").with_child(
-                                PlanNode::new("Seq Scan")
-                                    .on_relation("publication")
-                                    .with_filter("title LIKE '%July%'"),
-                            )),
+                            .with_child(
+                                PlanNode::new("Hash").with_child(
+                                    PlanNode::new("Seq Scan")
+                                        .on_relation("publication")
+                                        .with_filter("title LIKE '%July%'"),
+                                ),
+                            ),
                     ),
                 ),
             ),
@@ -135,7 +142,10 @@ mod tests {
         let lot = build_lot(&figure_4_tree(), &store).unwrap();
         let hj = &lot.root.children[0].children[0].children[0];
         assert_eq!(hj.plan.op, "Hash Join");
-        assert_eq!(hj.label, "perform hash join on $R2$ and $R1$ on condition $cond$");
+        assert_eq!(
+            hj.label,
+            "perform hash join on $R2$ and $R1$ on condition $cond$"
+        );
     }
 
     #[test]
@@ -160,7 +170,10 @@ mod tests {
     #[test]
     fn name_falls_back_to_poem_name_without_alias() {
         let store = default_pg_store();
-        let tree = PlanTree::new("pg", PlanNode::new("Hash").with_child(PlanNode::new("Seq Scan")));
+        let tree = PlanTree::new(
+            "pg",
+            PlanNode::new("Hash").with_child(PlanNode::new("Seq Scan")),
+        );
         let lot = build_lot(&tree, &store).unwrap();
         assert_eq!(lot.root.name, "hash"); // hash has no alias
     }

@@ -77,8 +77,12 @@ impl<'a> RuleLantern<'a> {
     pub fn narrate(&self, tree: &PlanTree) -> Result<Narration, CoreError> {
         let lot = build_lot(tree, self.store)?;
         let clusters = cluster_pairs(&lot.root);
-        let mut ctx = Ctx { steps: Vec::new(), t_counter: 0, clusters };
-        visit(&lot.root, &mut Vec::new(), true, &mut ctx)?;
+        let mut ctx = Ctx {
+            steps: Vec::new(),
+            t_counter: 0,
+            clusters,
+        };
+        visit(&lot.root, &[], true, &mut ctx)?;
         Ok(Narration { steps: ctx.steps })
     }
 }
@@ -115,7 +119,7 @@ impl Emit {
 /// unfiltered leaf scan.
 fn visit(
     node: &LotNode,
-    path: &mut Vec<usize>,
+    path: &[usize],
     is_root: bool,
     ctx: &mut Ctx,
 ) -> Result<String, CoreError> {
@@ -128,17 +132,14 @@ fn visit(
         if Some(i) == aux_idx {
             aux_node = Some(child);
             let inner = child.children.first().ok_or_else(|| {
-                CoreError::PlanError(format!(
-                    "auxiliary operator {} has no child",
-                    child.plan.op
-                ))
+                CoreError::PlanError(format!("auxiliary operator {} has no child", child.plan.op))
             })?;
-            let mut p = path.clone();
+            let mut p = path.to_vec();
             p.push(i);
             p.push(0);
             effective.push((inner, p));
         } else {
-            let mut p = path.clone();
+            let mut p = path.to_vec();
             p.push(i);
             effective.push((child, p));
         }
@@ -147,8 +148,7 @@ fn visit(
     // Recurse into effective children first (post-order).
     let mut child_names = Vec::with_capacity(effective.len());
     for (child, child_path) in &effective {
-        let mut p = child_path.clone();
-        child_names.push(visit(child, &mut p, false, ctx)?);
+        child_names.push(visit(child, child_path, false, ctx)?);
     }
 
     // Template for this step: composed when an auxiliary was clustered.
@@ -188,7 +188,10 @@ fn visit(
         String::new()
     } else if leaf_passthrough {
         e.lit(".");
-        node.plan.relation.clone().unwrap_or_else(|| node.name.clone())
+        node.plan
+            .relation
+            .clone()
+            .unwrap_or_else(|| node.name.clone())
     } else {
         ctx.t_counter += 1;
         let t = format!("T{}", ctx.t_counter);
@@ -291,7 +294,9 @@ pub fn humanize_predicate(pred: &str) -> String {
     // LIKE patterns.
     while let Some(pos) = find_ci(&s, " LIKE '") {
         let pat_start = pos + " LIKE '".len();
-        let Some(rel_end) = s[pat_start..].find('\'') else { break };
+        let Some(rel_end) = s[pat_start..].find('\'') else {
+            break;
+        };
         let pat_end = pat_start + rel_end;
         let pattern = s[pat_start..pat_end].to_string();
         let replacement = match (pattern.starts_with('%'), pattern.ends_with('%')) {
@@ -302,7 +307,9 @@ pub fn humanize_predicate(pred: &str) -> String {
         };
         s.replace_range(pos..pat_end + 1, &replacement);
     }
-    s = s.replace("COUNT(*)", "count(all)").replace("count(*)", "count(all)");
+    s = s
+        .replace("COUNT(*)", "count(all)")
+        .replace("count(*)", "count(all)");
     // The paper parenthesizes filter conditions.
     if s.starts_with('(') && s.ends_with(')') {
         s
@@ -327,31 +334,27 @@ mod tests {
     fn figure_4() -> PlanTree {
         PlanTree::new(
             "pg",
-            PlanNode::new("Unique").with_child(
-                {
-                    let mut agg = PlanNode::new("Aggregate");
-                    agg.group_keys = vec!["i.proceeding_key".to_string()];
-                    agg.filter = Some("count(*) > 200".to_string());
-                    agg.with_child(
-                        {
-                            let mut sort = PlanNode::new("Sort");
-                            sort.sort_keys = vec!["i.proceeding_key".to_string()];
-                            sort.with_child(
-                                PlanNode::new("Hash Join")
-                                    .with_join_cond("((i.proceeding_key) = (p.pub_key))")
-                                    .with_child(
-                                        PlanNode::new("Seq Scan").on_relation("inproceedings"),
-                                    )
-                                    .with_child(PlanNode::new("Hash").with_child(
-                                        PlanNode::new("Seq Scan")
-                                            .on_relation("publication")
-                                            .with_filter("title LIKE '%July%'"),
-                                    )),
-                            )
-                        },
+            PlanNode::new("Unique").with_child({
+                let mut agg = PlanNode::new("Aggregate");
+                agg.group_keys = vec!["i.proceeding_key".to_string()];
+                agg.filter = Some("count(*) > 200".to_string());
+                agg.with_child({
+                    let mut sort = PlanNode::new("Sort");
+                    sort.sort_keys = vec!["i.proceeding_key".to_string()];
+                    sort.with_child(
+                        PlanNode::new("Hash Join")
+                            .with_join_cond("((i.proceeding_key) = (p.pub_key))")
+                            .with_child(PlanNode::new("Seq Scan").on_relation("inproceedings"))
+                            .with_child(
+                                PlanNode::new("Hash").with_child(
+                                    PlanNode::new("Seq Scan")
+                                        .on_relation("publication")
+                                        .with_filter("title LIKE '%July%'"),
+                                ),
+                            ),
                     )
-                },
-            ),
+                })
+            }),
         )
     }
 
@@ -457,7 +460,9 @@ mod tests {
         let narration = RuleLantern::new(&store).narrate(&tree).unwrap();
         let last = narration.steps().last().unwrap();
         assert!(!last.text.contains("on condition"), "{}", last.text);
-        assert!(last.text.contains("perform nested loop join on region and part"));
+        assert!(last
+            .text
+            .contains("perform nested loop join on region and part"));
     }
 
     #[test]
@@ -478,7 +483,10 @@ mod tests {
         let text = narration.text();
         // First sort composed into the merge join step; second sort is
         // its own step producing an intermediate.
-        assert!(text.contains("sort b by b.y to get the intermediate relation T1"), "{text}");
+        assert!(
+            text.contains("sort b by b.y to get the intermediate relation T1"),
+            "{text}"
+        );
         // The clustered sort covers the left input `a`; the template's
         // $R1$ binds to the sorted side, $R2$ to the other input.
         assert!(
@@ -496,7 +504,11 @@ mod tests {
         let tree = PlanTree::new("pg", scan);
         let narration = RuleLantern::new(&store).narrate(&tree).unwrap();
         let step = &narration.steps()[0];
-        assert!(step.text.contains("using index orders_o_orderkey_idx"), "{}", step.text);
+        assert!(
+            step.text.contains("using index orders_o_orderkey_idx"),
+            "{}",
+            step.text
+        );
         assert!(step.tagged.contains("<I>"));
     }
 
@@ -509,13 +521,17 @@ mod tests {
             PlanNode::new("Hash Match")
                 .with_join_cond("((s.bestobjid) = (p.objid))")
                 .with_child(PlanNode::new("Table Scan").on_relation("photoobj"))
-                .with_child(PlanNode::new("Hash Build").with_child(
-                    PlanNode::new("Table Scan").on_relation("specobj"),
-                )),
+                .with_child(
+                    PlanNode::new("Hash Build")
+                        .with_child(PlanNode::new("Table Scan").on_relation("specobj")),
+                ),
         );
         let narration = RuleLantern::new(&store).narrate(&tree).unwrap();
         let text = narration.text();
-        assert!(text.contains("hash specobj and perform hash match join"), "{text}");
+        assert!(
+            text.contains("hash specobj and perform hash match join"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -37,7 +37,12 @@ pub struct ElmoStyleBiLm {
 
 impl Default for ElmoStyleBiLm {
     fn default() -> Self {
-        ElmoStyleBiLm { dim: 32, input_dim: 16, epochs: 3, learning_rate: 0.1 }
+        ElmoStyleBiLm {
+            dim: 32,
+            input_dim: 16,
+            epochs: 3,
+            learning_rate: 0.1,
+        }
     }
 }
 
@@ -51,7 +56,10 @@ impl Embedder for ElmoStyleBiLm {
     }
 
     fn train(&self, corpus: &Corpus, seed: u64) -> Embedding {
-        assert!(self.dim % 2 == 0, "ELMo dim must be even (fwd + bwd halves)");
+        assert!(
+            self.dim.is_multiple_of(2),
+            "ELMo dim must be even (fwd + bwd halves)"
+        );
         let h = self.dim / 2;
         let vocab = Vocab::from_corpus(&corpus.sentences, 1);
         let v = vocab.len();
@@ -73,8 +81,22 @@ impl Embedder for ElmoStyleBiLm {
                 if sent.len() < 2 {
                     continue;
                 }
-                train_direction(sent, &mut embed, &mut fwd, &mut w_fwd, self.learning_rate, false);
-                train_direction(sent, &mut embed, &mut bwd, &mut w_bwd, self.learning_rate, true);
+                train_direction(
+                    sent,
+                    &mut embed,
+                    &mut fwd,
+                    &mut w_fwd,
+                    self.learning_rate,
+                    false,
+                );
+                train_direction(
+                    sent,
+                    &mut embed,
+                    &mut bwd,
+                    &mut w_bwd,
+                    self.learning_rate,
+                    true,
+                );
             }
         }
 
@@ -102,15 +124,23 @@ impl Embedder for ElmoStyleBiLm {
                 }
             }
         }
-        Embedding { vocab, dim: self.dim, table, kind: EmbedderKind::Elmo }
+        Embedding {
+            vocab,
+            dim: self.dim,
+            table,
+            kind: EmbedderKind::Elmo,
+        }
     }
 }
 
 /// Run one LSTM direction and collect hidden states (sentence reversed
 /// for the backward model).
 fn run_states(sent: &[usize], embed: &Matrix, cell: &LstmCell, reverse: bool) -> Vec<Vec<f32>> {
-    let seq: Vec<usize> =
-        if reverse { sent.iter().rev().cloned().collect() } else { sent.to_vec() };
+    let seq: Vec<usize> = if reverse {
+        sent.iter().rev().cloned().collect()
+    } else {
+        sent.to_vec()
+    };
     let mut state = LstmState::zeros(cell.hidden);
     let mut out = Vec::with_capacity(seq.len());
     for &tok in &seq {
@@ -131,8 +161,11 @@ fn train_direction(
     lr: f32,
     reverse: bool,
 ) {
-    let seq: Vec<usize> =
-        if reverse { sent.iter().rev().cloned().collect() } else { sent.to_vec() };
+    let seq: Vec<usize> = if reverse {
+        sent.iter().rev().cloned().collect()
+    } else {
+        sent.to_vec()
+    };
     let mut state = LstmState::zeros(cell.hidden);
     let mut caches = Vec::with_capacity(seq.len() - 1);
     let mut hs = Vec::with_capacity(seq.len() - 1);
@@ -191,8 +224,8 @@ trait OuterScaled {
 
 impl OuterScaled for Matrix {
     fn add_outer_scaled(&mut self, dy: &[f32], x: &[f32], scale: f32) {
-        for r in 0..self.rows {
-            let dyr = dy[r] * scale;
+        for (r, &dyv) in dy.iter().enumerate() {
+            let dyr = dyv * scale;
             if dyr != 0.0 {
                 let row = self.row_mut(r);
                 for (c, xv) in x.iter().enumerate() {
@@ -262,8 +295,7 @@ impl Embedder for BertStyleEncoder {
                     continue;
                 }
                 // Mask one or more positions.
-                let n_masks =
-                    ((sent.len() as f64 * self.mask_fraction).ceil() as usize).max(1);
+                let n_masks = ((sent.len() as f64 * self.mask_fraction).ceil() as usize).max(1);
                 for _ in 0..n_masks {
                     let mi = rng.gen_range(0..sent.len());
                     let target = sent[mi];
@@ -365,7 +397,12 @@ impl Embedder for BertStyleEncoder {
                 }
             }
         }
-        Embedding { vocab, dim: d, table, kind: EmbedderKind::Bert }
+        Embedding {
+            vocab,
+            dim: d,
+            table,
+            kind: EmbedderKind::Bert,
+        }
     }
 }
 
@@ -387,7 +424,11 @@ mod tests {
 
     #[test]
     fn elmo_produces_full_table() {
-        let e = ElmoStyleBiLm { epochs: 1, ..Default::default() }.train(&structured_corpus(), 1);
+        let e = ElmoStyleBiLm {
+            epochs: 1,
+            ..Default::default()
+        }
+        .train(&structured_corpus(), 1);
         assert_eq!(e.dim, 32);
         assert_eq!(e.table.rows, e.vocab.len());
         // Seen tokens have nonzero vectors.
@@ -396,39 +437,69 @@ mod tests {
 
     #[test]
     fn elmo_contexts_cluster() {
-        let e = ElmoStyleBiLm { epochs: 3, ..Default::default() }.train(&structured_corpus(), 3);
+        let e = ElmoStyleBiLm {
+            epochs: 3,
+            ..Default::default()
+        }
+        .train(&structured_corpus(), 3);
         assert!(e.cosine("red", "blue") > e.cosine("red", "seven"));
     }
 
     #[test]
     fn bert_produces_full_table() {
-        let e =
-            BertStyleEncoder { epochs: 1, ..Default::default() }.train(&structured_corpus(), 1);
+        let e = BertStyleEncoder {
+            epochs: 1,
+            ..Default::default()
+        }
+        .train(&structured_corpus(), 1);
         assert_eq!(e.table.rows, e.vocab.len());
         assert!(e.vector("car").iter().any(|v| *v != 0.0));
     }
 
     #[test]
     fn bert_contexts_cluster() {
-        let e =
-            BertStyleEncoder { epochs: 4, ..Default::default() }.train(&structured_corpus(), 5);
+        let e = BertStyleEncoder {
+            epochs: 4,
+            ..Default::default()
+        }
+        .train(&structured_corpus(), 5);
         assert!(e.cosine("red", "blue") > e.cosine("red", "seven"));
     }
 
     #[test]
     fn both_are_deterministic() {
         let c = structured_corpus();
-        let e1 = ElmoStyleBiLm { epochs: 1, ..Default::default() }.train(&c, 2);
-        let e2 = ElmoStyleBiLm { epochs: 1, ..Default::default() }.train(&c, 2);
+        let e1 = ElmoStyleBiLm {
+            epochs: 1,
+            ..Default::default()
+        }
+        .train(&c, 2);
+        let e2 = ElmoStyleBiLm {
+            epochs: 1,
+            ..Default::default()
+        }
+        .train(&c, 2);
         assert_eq!(e1.table.data, e2.table.data);
-        let b1 = BertStyleEncoder { epochs: 1, ..Default::default() }.train(&c, 2);
-        let b2 = BertStyleEncoder { epochs: 1, ..Default::default() }.train(&c, 2);
+        let b1 = BertStyleEncoder {
+            epochs: 1,
+            ..Default::default()
+        }
+        .train(&c, 2);
+        let b2 = BertStyleEncoder {
+            epochs: 1,
+            ..Default::default()
+        }
+        .train(&c, 2);
         assert_eq!(b1.table.data, b2.table.data);
     }
 
     #[test]
     #[should_panic(expected = "even")]
     fn elmo_rejects_odd_dim() {
-        ElmoStyleBiLm { dim: 33, ..Default::default() }.train(&structured_corpus(), 1);
+        ElmoStyleBiLm {
+            dim: 33,
+            ..Default::default()
+        }
+        .train(&structured_corpus(), 1);
     }
 }

@@ -65,23 +65,101 @@ const TEMPLATES: &[&str] = &[
 ];
 
 const NOUNS: &[&str] = &[
-    "table", "index", "row", "record", "result", "condition", "relation", "attribute", "value",
-    "order", "group", "filter", "scan", "join", "hash", "sort", "list", "plan", "step", "query",
-    "book", "river", "garden", "window", "teacher", "student", "engine", "lantern", "machine",
-    "city", "market", "bridge", "letter", "number", "output", "input", "removal", "duplicate",
-    "worker", "partition",
+    "table",
+    "index",
+    "row",
+    "record",
+    "result",
+    "condition",
+    "relation",
+    "attribute",
+    "value",
+    "order",
+    "group",
+    "filter",
+    "scan",
+    "join",
+    "hash",
+    "sort",
+    "list",
+    "plan",
+    "step",
+    "query",
+    "book",
+    "river",
+    "garden",
+    "window",
+    "teacher",
+    "student",
+    "engine",
+    "lantern",
+    "machine",
+    "city",
+    "market",
+    "bridge",
+    "letter",
+    "number",
+    "output",
+    "input",
+    "removal",
+    "duplicate",
+    "worker",
+    "partition",
 ];
 
 const VERBS: &[&str] = &[
-    "perform", "execute", "scan", "join", "sort", "hash", "filter", "group", "select", "remove",
-    "keep", "read", "write", "build", "compute", "combine", "merge", "produce", "obtain", "get",
-    "find", "carry", "apply", "gather", "materialize", "separate", "arrange", "check",
+    "perform",
+    "execute",
+    "scan",
+    "join",
+    "sort",
+    "hash",
+    "filter",
+    "group",
+    "select",
+    "remove",
+    "keep",
+    "read",
+    "write",
+    "build",
+    "compute",
+    "combine",
+    "merge",
+    "produce",
+    "obtain",
+    "get",
+    "find",
+    "carry",
+    "apply",
+    "gather",
+    "materialize",
+    "separate",
+    "arrange",
+    "check",
 ];
 
 const ADJECTIVES: &[&str] = &[
-    "final", "intermediate", "sequential", "parallel", "large", "small", "sorted", "hashed",
-    "matching", "duplicate", "unique", "conclusive", "quick", "careful", "ordered", "grouped",
-    "relevant", "temporary", "nested", "outer", "inner",
+    "final",
+    "intermediate",
+    "sequential",
+    "parallel",
+    "large",
+    "small",
+    "sorted",
+    "hashed",
+    "matching",
+    "duplicate",
+    "unique",
+    "conclusive",
+    "quick",
+    "careful",
+    "ordered",
+    "grouped",
+    "relevant",
+    "temporary",
+    "nested",
+    "outer",
+    "inner",
 ];
 
 /// The built-in general-English corpus (the "pre-trained" condition).
@@ -141,7 +219,16 @@ mod tests {
             .iter()
             .flat_map(|s| s.iter().map(String::as_str))
             .collect();
-        for w in ["perform", "hash", "join", "scan", "sort", "filter", "intermediate", "final"] {
+        for w in [
+            "perform",
+            "hash",
+            "join",
+            "scan",
+            "sort",
+            "filter",
+            "intermediate",
+            "final",
+        ] {
             assert!(all.contains(w), "missing {w}");
         }
     }

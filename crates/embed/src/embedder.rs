@@ -83,7 +83,9 @@ impl Embedding {
                     h = h.wrapping_mul(0x100000001b3);
                 }
                 for (j, v) in row.iter_mut().enumerate() {
-                    let x = h.wrapping_mul(j as u64 + 1).wrapping_add(j as u64 * 0x9e3779b9);
+                    let x = h
+                        .wrapping_mul(j as u64 + 1)
+                        .wrapping_add(j as u64 * 0x9e3779b9);
                     *v = ((x % 2000) as f32 / 1000.0 - 1.0) * 0.01;
                 }
             }
@@ -119,7 +121,12 @@ mod tests {
         table.row_mut(4).copy_from_slice(&[1.0, 0.0, 0.0, 0.0]);
         table.row_mut(5).copy_from_slice(&[0.9, 0.1, 0.0, 0.0]);
         table.row_mut(6).copy_from_slice(&[0.0, 0.0, 1.0, 0.0]);
-        Embedding { vocab, dim: 4, table, kind: EmbedderKind::Word2Vec }
+        Embedding {
+            vocab,
+            dim: 4,
+            table,
+            kind: EmbedderKind::Word2Vec,
+        }
     }
 
     #[test]

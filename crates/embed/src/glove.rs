@@ -93,8 +93,17 @@ impl Embedder for GloveTrainer {
             order.shuffle(&mut rng);
             for &pi in &order {
                 let ((i, j), x) = pairs[pi];
-                let weight = if x < self.x_max { (x / self.x_max).powf(self.alpha) } else { 1.0 };
-                let dot: f32 = w.row(i).iter().zip(w_tilde.row(j)).map(|(a, c)| a * c).sum();
+                let weight = if x < self.x_max {
+                    (x / self.x_max).powf(self.alpha)
+                } else {
+                    1.0
+                };
+                let dot: f32 = w
+                    .row(i)
+                    .iter()
+                    .zip(w_tilde.row(j))
+                    .map(|(a, c)| a * c)
+                    .sum();
                 let diff = dot + b[i] + b_tilde[j] - x.ln();
                 let fdiff = weight * diff;
                 // AdaGrad updates.
@@ -119,7 +128,12 @@ impl Embedder for GloveTrainer {
         // Final embedding: w + w̃ (standard GloVe practice).
         let mut table = w;
         table.add_scaled(&w_tilde, 1.0);
-        Embedding { vocab, dim: self.dim, table, kind: EmbedderKind::Glove }
+        Embedding {
+            vocab,
+            dim: self.dim,
+            table,
+            kind: EmbedderKind::Glove,
+        }
     }
 }
 
@@ -148,7 +162,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let c = structured_corpus();
-        let t = GloveTrainer { epochs: 3, ..Default::default() };
+        let t = GloveTrainer {
+            epochs: 3,
+            ..Default::default()
+        };
         assert_eq!(t.train(&c, 2).table.data, t.train(&c, 2).table.data);
     }
 
@@ -158,7 +175,11 @@ mod tests {
         // larger dot product than never-co-occurring pairs.
         let e = GloveTrainer::default().train(&structured_corpus(), 4);
         let dot = |a: &str, b: &str| -> f32 {
-            e.vector(a).iter().zip(e.vector(b)).map(|(x, y)| x * y).sum()
+            e.vector(a)
+                .iter()
+                .zip(e.vector(b))
+                .map(|(x, y)| x * y)
+                .sum()
         };
         // "car"/"drives" co-occur heavily; "car"/"equals" never.
         assert!(dot("car", "drives") > dot("car", "equals"));
@@ -166,7 +187,11 @@ mod tests {
 
     #[test]
     fn table_shape() {
-        let t = GloveTrainer { dim: 12, epochs: 1, ..Default::default() };
+        let t = GloveTrainer {
+            dim: 12,
+            epochs: 1,
+            ..Default::default()
+        };
         let e = t.train(&structured_corpus(), 1);
         assert_eq!(e.table.cols, 12);
         assert_eq!(e.table.rows, e.vocab.len());

@@ -27,6 +27,6 @@ pub mod word2vec;
 
 pub use contextual::{BertStyleEncoder, ElmoStyleBiLm};
 pub use corpus::{builtin_english_corpus, Corpus};
-pub use embedder::{EmbedderKind, Embedding, Embedder};
+pub use embedder::{Embedder, EmbedderKind, Embedding};
 pub use glove::GloveTrainer;
 pub use word2vec::Word2VecTrainer;

@@ -46,6 +46,10 @@ impl Embedder for Word2VecTrainer {
         self.dim
     }
 
+    // The SGNS inner loops index `sent` / `grad_in` by position on
+    // purpose (hot kernel, parallel arrays); iterator rewrites obscure
+    // the update equations.
+    #[allow(clippy::needless_range_loop)]
     fn train(&self, corpus: &Corpus, seed: u64) -> Embedding {
         let vocab = Vocab::from_corpus(&corpus.sentences, self.min_count);
         let v = vocab.len();
@@ -64,8 +68,7 @@ impl Embedder for Word2VecTrainer {
         let total: f64 = freq.iter().skip(4).map(|&f| (f as f64).powf(0.75)).sum();
         if total > 0.0 {
             for (id, &f) in freq.iter().enumerate().skip(4) {
-                let slots =
-                    (((f as f64).powf(0.75) / total) * 4096.0).ceil() as usize;
+                let slots = (((f as f64).powf(0.75) / total) * 4096.0).ceil() as usize;
                 for _ in 0..slots.max(if f > 0 { 1 } else { 0 }) {
                     neg_table.push(id);
                 }
@@ -88,8 +91,7 @@ impl Embedder for Word2VecTrainer {
                     if center <= 3 {
                         continue;
                     }
-                    let lr = self.learning_rate
-                        * (1.0 - step as f32 / total_steps as f32).max(0.1);
+                    let lr = self.learning_rate * (1.0 - step as f32 / total_steps as f32).max(0.1);
                     step += 1;
                     let lo = center_pos.saturating_sub(self.window);
                     let hi = (center_pos + self.window).min(sent.len() - 1);
@@ -133,7 +135,12 @@ impl Embedder for Word2VecTrainer {
                 }
             }
         }
-        Embedding { vocab, dim: self.dim, table: w_in, kind: EmbedderKind::Word2Vec }
+        Embedding {
+            vocab,
+            dim: self.dim,
+            table: w_in,
+            kind: EmbedderKind::Word2Vec,
+        }
     }
 }
 
@@ -158,7 +165,10 @@ mod tests {
 
     #[test]
     fn colors_cluster_together() {
-        let trainer = Word2VecTrainer { epochs: 6, ..Default::default() };
+        let trainer = Word2VecTrainer {
+            epochs: 6,
+            ..Default::default()
+        };
         let e = trainer.train(&structured_corpus(), 7);
         let red_blue = e.cosine("red", "blue");
         let red_seven = e.cosine("red", "seven");
@@ -170,7 +180,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let trainer = Word2VecTrainer { epochs: 2, ..Default::default() };
+        let trainer = Word2VecTrainer {
+            epochs: 2,
+            ..Default::default()
+        };
         let c = structured_corpus();
         let a = trainer.train(&c, 3);
         let b = trainer.train(&c, 3);
@@ -179,7 +192,11 @@ mod tests {
 
     #[test]
     fn table_shape() {
-        let trainer = Word2VecTrainer { dim: 16, epochs: 1, ..Default::default() };
+        let trainer = Word2VecTrainer {
+            dim: 16,
+            epochs: 1,
+            ..Default::default()
+        };
         let e = trainer.train(&structured_corpus(), 1);
         assert_eq!(e.dim, 16);
         assert_eq!(e.table.rows, e.vocab.len());
@@ -188,7 +205,10 @@ mod tests {
 
     #[test]
     fn vectors_move_from_init() {
-        let trainer = Word2VecTrainer { epochs: 3, ..Default::default() };
+        let trainer = Word2VecTrainer {
+            epochs: 3,
+            ..Default::default()
+        };
         let c = structured_corpus();
         let e = trainer.train(&c, 5);
         let norm: f32 = e.vector("red").iter().map(|v| v * v).sum();

@@ -33,18 +33,19 @@ pub mod consts {
 /// column statistics of `table` in `db`. Falls back to conservative
 /// defaults when the expression shape is unsupported.
 pub fn predicate_selectivity(db: &Database, table: &str, expr: &Expr) -> f64 {
-    let Some(stats) = db.table_stats(table) else { return 0.33 };
-    let Some(schema) = db.catalog().table(table) else { return 0.33 };
+    let Some(stats) = db.table_stats(table) else {
+        return 0.33;
+    };
+    let Some(schema) = db.catalog().table(table) else {
+        return 0.33;
+    };
     let col_stats = |name: &str| -> Option<&ColumnStats> {
         schema.column_index(name).map(|i| &stats.columns[i])
     };
     selectivity_inner(expr, &col_stats)
 }
 
-fn selectivity_inner<'a>(
-    expr: &Expr,
-    col_stats: &impl Fn(&str) -> Option<&'a ColumnStats>,
-) -> f64 {
+fn selectivity_inner<'a>(expr: &Expr, col_stats: &impl Fn(&str) -> Option<&'a ColumnStats>) -> f64 {
     match expr {
         Expr::Binary { op, left, right } => match op {
             BinaryOp::And => {
@@ -67,7 +68,9 @@ fn selectivity_inner<'a>(
                     }
                     _ => return 0.33,
                 };
-                let Some(cs) = col_stats(col) else { return 0.33 };
+                let Some(cs) = col_stats(col) else {
+                    return 0.33;
+                };
                 match op {
                     BinaryOp::Eq => cs.eq_selectivity(&lit),
                     BinaryOp::NotEq => (1.0 - cs.eq_selectivity(&lit)).max(0.0),
@@ -78,23 +81,36 @@ fn selectivity_inner<'a>(
             }
             _ => 0.33,
         },
-        Expr::Unary { op: UnaryOp::Not, expr } => {
-            (1.0 - selectivity_inner(expr, col_stats)).clamp(0.0, 1.0)
-        }
-        Expr::Unary { op: UnaryOp::IsNull, expr } => match expr.as_ref() {
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => (1.0 - selectivity_inner(expr, col_stats)).clamp(0.0, 1.0),
+        Expr::Unary {
+            op: UnaryOp::IsNull,
+            expr,
+        } => match expr.as_ref() {
             Expr::Column { name, .. } => col_stats(name).map(|c| c.null_fraction).unwrap_or(0.05),
             _ => 0.05,
         },
-        Expr::Unary { op: UnaryOp::IsNotNull, expr } => match expr.as_ref() {
-            Expr::Column { name, .. } => {
-                col_stats(name).map(|c| 1.0 - c.null_fraction).unwrap_or(0.95)
-            }
+        Expr::Unary {
+            op: UnaryOp::IsNotNull,
+            expr,
+        } => match expr.as_ref() {
+            Expr::Column { name, .. } => col_stats(name)
+                .map(|c| 1.0 - c.null_fraction)
+                .unwrap_or(0.95),
             _ => 0.95,
         },
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let base = match expr.as_ref() {
                 Expr::Column { name, .. } => {
-                    let Some(cs) = col_stats(name) else { return 0.33 };
+                    let Some(cs) = col_stats(name) else {
+                        return 0.33;
+                    };
                     list.iter()
                         .filter_map(literal_value)
                         .map(|v| cs.eq_selectivity(&v))
@@ -109,10 +125,17 @@ fn selectivity_inner<'a>(
                 base
             }
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let base = match expr.as_ref() {
                 Expr::Column { name, .. } => {
-                    let Some(cs) = col_stats(name) else { return 0.25 };
+                    let Some(cs) = col_stats(name) else {
+                        return 0.25;
+                    };
                     match (literal_value(low), literal_value(high)) {
                         (Some(lo), Some(hi)) => {
                             (cs.lt_selectivity(&hi) - cs.lt_selectivity(&lo)).max(0.0)
@@ -152,7 +175,10 @@ pub fn literal_value(expr: &Expr) -> Option<Value> {
         Expr::StrLit(s) => Some(Value::Str(s.clone())),
         Expr::BoolLit(b) => Some(Value::Bool(*b)),
         Expr::Null => Some(Value::Null),
-        Expr::Unary { op: UnaryOp::Neg, expr } => match literal_value(expr)? {
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => match literal_value(expr)? {
             Value::Int(i) => Some(Value::Int(-i)),
             Value::Float(f) => Some(Value::Float(-f)),
             _ => None,
@@ -228,7 +254,10 @@ mod tests {
     fn range_on_serial_key() {
         let db = db();
         let rows = db.row_count("orders") as i64;
-        let e = where_expr(&format!("SELECT 1 FROM orders WHERE o_orderkey < {}", rows / 10));
+        let e = where_expr(&format!(
+            "SELECT 1 FROM orders WHERE o_orderkey < {}",
+            rows / 10
+        ));
         let s = predicate_selectivity(&db, "orders", &e);
         assert!((0.02..0.25).contains(&s), "{s}");
     }
@@ -237,12 +266,10 @@ mod tests {
     fn and_multiplies_or_adds() {
         let db = db();
         let a = where_expr("SELECT 1 FROM orders WHERE o_orderstatus = 'F'");
-        let both = where_expr(
-            "SELECT 1 FROM orders WHERE o_orderstatus = 'F' AND o_orderstatus = 'O'",
-        );
-        let either = where_expr(
-            "SELECT 1 FROM orders WHERE o_orderstatus = 'F' OR o_orderstatus = 'O'",
-        );
+        let both =
+            where_expr("SELECT 1 FROM orders WHERE o_orderstatus = 'F' AND o_orderstatus = 'O'");
+        let either =
+            where_expr("SELECT 1 FROM orders WHERE o_orderstatus = 'F' OR o_orderstatus = 'O'");
         let sa = predicate_selectivity(&db, "orders", &a);
         let sand = predicate_selectivity(&db, "orders", &both);
         let sor = predicate_selectivity(&db, "orders", &either);

@@ -18,7 +18,11 @@ impl Database {
     pub fn generate(catalog: &Catalog, scale: f64, seed: u64) -> Self {
         let data = datagen::generate(catalog, scale, seed);
         let stats = data.iter().map(|t| TableStats::analyze(t, 8, 20)).collect();
-        Database { catalog: catalog.clone(), data, stats }
+        Database {
+            catalog: catalog.clone(),
+            data,
+            stats,
+        }
     }
 
     /// The schema.

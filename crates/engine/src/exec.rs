@@ -28,7 +28,9 @@ impl fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 fn err(msg: impl Into<String>) -> ExecError {
-    ExecError { message: msg.into() }
+    ExecError {
+        message: msg.into(),
+    }
 }
 
 /// A materialized query result.
@@ -112,15 +114,26 @@ pub fn execute(plan: &PhysicalPlan, db: &Database) -> Result<QueryResult, ExecEr
     if let Some(l) = plan.limit {
         proj.truncate(l as usize);
     }
-    Ok(QueryResult { columns, rows: proj })
+    Ok(QueryResult {
+        columns,
+        rows: proj,
+    })
 }
 
 /// Replace a bare column that names a select alias with the aliased
 /// expression (`ORDER BY revenue`).
 fn substitute_alias(expr: &Expr, select: &[SelectItem]) -> Expr {
-    if let Expr::Column { qualifier: None, name } = expr {
+    if let Expr::Column {
+        qualifier: None,
+        name,
+    } = expr
+    {
         for item in select {
-            if let SelectItem::Expr { expr: e, alias: Some(a) } = item {
+            if let SelectItem::Expr {
+                expr: e,
+                alias: Some(a),
+            } = item
+            {
                 if a == name {
                     return e.clone();
                 }
@@ -153,8 +166,18 @@ fn sort_rows(rows: &mut [Row], schema: &Schema, keys: &[(Expr, bool)]) -> Result
 
 fn exec_rel(op: &RelOp, db: &Database) -> Result<(Vec<Row>, Schema), ExecError> {
     match op {
-        RelOp::SeqScan { visible, table, filters, .. }
-        | RelOp::IndexScan { visible, table, filters, .. } => {
+        RelOp::SeqScan {
+            visible,
+            table,
+            filters,
+            ..
+        }
+        | RelOp::IndexScan {
+            visible,
+            table,
+            filters,
+            ..
+        } => {
             let data = db
                 .table_data(table)
                 .ok_or_else(|| err(format!("no data for table {table}")))?;
@@ -165,7 +188,10 @@ fn exec_rel(op: &RelOp, db: &Database) -> Result<(Vec<Row>, Schema), ExecError> 
             let schema: Schema = cat_table
                 .columns
                 .iter()
-                .map(|c| SchemaCol::Col { visible: visible.clone(), name: c.name.clone() })
+                .map(|c| SchemaCol::Col {
+                    visible: visible.clone(),
+                    name: c.name.clone(),
+                })
                 .collect();
             let mut rows = Vec::new();
             'outer: for i in 0..data.rows {
@@ -179,7 +205,13 @@ fn exec_rel(op: &RelOp, db: &Database) -> Result<(Vec<Row>, Schema), ExecError> 
             }
             Ok((rows, schema))
         }
-        RelOp::HashJoin { probe, build, pred, residual, .. } => {
+        RelOp::HashJoin {
+            probe,
+            build,
+            pred,
+            residual,
+            ..
+        } => {
             let (probe_rows, probe_schema) = exec_rel(probe, db)?;
             let (build_rows, build_schema) = exec_rel(build, db)?;
             let probe_key = col_index(&probe_schema, &pred.left_rel, &pred.left_col)
@@ -192,8 +224,11 @@ fn exec_rel(op: &RelOp, db: &Database) -> Result<(Vec<Row>, Schema), ExecError> 
                     table.entry(r[build_key].clone()).or_default().push(r);
                 }
             }
-            let schema: Schema =
-                probe_schema.iter().chain(build_schema.iter()).cloned().collect();
+            let schema: Schema = probe_schema
+                .iter()
+                .chain(build_schema.iter())
+                .cloned()
+                .collect();
             let mut out = Vec::new();
             for p in &probe_rows {
                 if p[probe_key].is_null() {
@@ -211,7 +246,13 @@ fn exec_rel(op: &RelOp, db: &Database) -> Result<(Vec<Row>, Schema), ExecError> 
             }
             Ok((out, schema))
         }
-        RelOp::MergeJoin { left, right, pred, residual, .. } => {
+        RelOp::MergeJoin {
+            left,
+            right,
+            pred,
+            residual,
+            ..
+        } => {
             let (mut lrows, lschema) = exec_rel(left, db)?;
             let (mut rrows, rschema) = exec_rel(right, db)?;
             let lk = col_index(&lschema, &pred.left_rel, &pred.left_col)
@@ -247,10 +288,10 @@ fn exec_rel(op: &RelOp, db: &Database) -> Result<(Vec<Row>, Schema), ExecError> 
                         while i_end < lrows.len() && lrows[i_end][lk].total_cmp(lv).is_eq() {
                             i_end += 1;
                         }
-                        for li in i..i_end {
-                            for rj in j..j_end {
-                                let mut row = lrows[li].clone();
-                                row.extend(rrows[rj].clone());
+                        for lrow in &lrows[i..i_end] {
+                            for rrow in &rrows[j..j_end] {
+                                let mut row = lrow.clone();
+                                row.extend(rrow.iter().cloned());
                                 if passes_residual(residual, &row, &schema)? {
                                     out.push(row);
                                 }
@@ -263,7 +304,13 @@ fn exec_rel(op: &RelOp, db: &Database) -> Result<(Vec<Row>, Schema), ExecError> 
             }
             Ok((out, schema))
         }
-        RelOp::NestedLoop { outer, inner, pred, residual, .. } => {
+        RelOp::NestedLoop {
+            outer,
+            inner,
+            pred,
+            residual,
+            ..
+        } => {
             let (orows, oschema) = exec_rel(outer, db)?;
             let (irows, ischema) = exec_rel(inner, db)?;
             let schema: Schema = oschema.iter().chain(ischema.iter()).cloned().collect();
@@ -307,9 +354,10 @@ fn passes_residual(residual: &[Expr], row: &Row, schema: &Schema) -> Result<bool
 
 fn col_index(schema: &Schema, visible: &str, name: &str) -> Option<usize> {
     schema.iter().position(|c| match c {
-        SchemaCol::Col { visible: v, name: n } => {
-            v.eq_ignore_ascii_case(visible) && n == name
-        }
+        SchemaCol::Col {
+            visible: v,
+            name: n,
+        } => v.eq_ignore_ascii_case(visible) && n == name,
         _ => false,
     })
 }
@@ -346,8 +394,10 @@ fn aggregate(
     let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
     let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
     for (ri, row) in rows.iter().enumerate() {
-        let key: Vec<Value> =
-            group.iter().map(|g| eval(g, row, schema)).collect::<Result<_, _>>()?;
+        let key: Vec<Value> = group
+            .iter()
+            .map(|g| eval(g, row, schema))
+            .collect::<Result<_, _>>()?;
         match index.get(&key) {
             Some(&gi) => groups[gi].1.push(ri),
             None => {
@@ -369,16 +419,17 @@ fn aggregate(
                 let visible = match qualifier {
                     Some(q) => q.clone(),
                     None => match schema.iter().find_map(|c| match c {
-                        SchemaCol::Col { visible, name: n } if n == name => {
-                            Some(visible.clone())
-                        }
+                        SchemaCol::Col { visible, name: n } if n == name => Some(visible.clone()),
                         _ => None,
                     }) {
                         Some(v) => v,
                         None => return Err(err(format!("group key column {name} not found"))),
                     },
                 };
-                out_schema.push(SchemaCol::Col { visible, name: name.clone() });
+                out_schema.push(SchemaCol::Col {
+                    visible,
+                    name: name.clone(),
+                });
             }
             other => out_schema.push(SchemaCol::Derived(other.to_string())),
         }
@@ -405,10 +456,8 @@ fn aggregate(
 
 fn collect_aggs(expr: &Expr, out: &mut Vec<Expr>) {
     match expr {
-        Expr::Agg { .. } => {
-            if !out.iter().any(|e| e.to_string() == expr.to_string()) {
-                out.push(expr.clone());
-            }
+        Expr::Agg { .. } if !out.iter().any(|e| e.to_string() == expr.to_string()) => {
+            out.push(expr.clone());
         }
         Expr::Binary { left, right, .. } => {
             collect_aggs(left, out);
@@ -421,7 +470,9 @@ fn collect_aggs(expr: &Expr, out: &mut Vec<Expr>) {
                 collect_aggs(e, out);
             }
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             collect_aggs(expr, out);
             collect_aggs(low, out);
             collect_aggs(high, out);
@@ -436,7 +487,12 @@ fn eval_aggregate(
     rows: &[Row],
     schema: &Schema,
 ) -> Result<Value, ExecError> {
-    let Expr::Agg { func, distinct, arg } = agg else {
+    let Expr::Agg {
+        func,
+        distinct,
+        arg,
+    } = agg
+    else {
         return Err(err("not an aggregate"));
     };
     match arg {
@@ -455,8 +511,16 @@ fn eval_aggregate(
             }
             Ok(match func {
                 AggFunc::Count => Value::Int(values.len() as i64),
-                AggFunc::Min => values.iter().min_by(|a, b| a.total_cmp(b)).cloned().unwrap_or(Value::Null),
-                AggFunc::Max => values.iter().max_by(|a, b| a.total_cmp(b)).cloned().unwrap_or(Value::Null),
+                AggFunc::Min => values
+                    .iter()
+                    .min_by(|a, b| a.total_cmp(b))
+                    .cloned()
+                    .unwrap_or(Value::Null),
+                AggFunc::Max => values
+                    .iter()
+                    .max_by(|a, b| a.total_cmp(b))
+                    .cloned()
+                    .unwrap_or(Value::Null),
                 AggFunc::Sum => {
                     if values.is_empty() {
                         Value::Null
@@ -487,7 +551,7 @@ fn eval(expr: &Expr, row: &Row, schema: &Schema) -> Result<Value, ExecError> {
                     SchemaCol::Col { visible, name: n } => {
                         let qual_ok = qualifier
                             .as_deref()
-                            .map_or(true, |q| q.eq_ignore_ascii_case(visible));
+                            .is_none_or(|q| q.eq_ignore_ascii_case(visible));
                         if qual_ok && n == name {
                             return Ok(row[i].clone());
                         }
@@ -601,7 +665,11 @@ fn eval(expr: &Expr, row: &Row, schema: &Schema) -> Result<Value, ExecError> {
                 BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
             })
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(expr, row, schema)?;
             let mut found = false;
             for item in list {
@@ -613,7 +681,12 @@ fn eval(expr: &Expr, row: &Row, schema: &Schema) -> Result<Value, ExecError> {
             }
             Ok(Value::Bool(found != *negated))
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval(expr, row, schema)?;
             let lo = eval(low, row, schema)?;
             let hi = eval(high, row, schema)?;
@@ -696,7 +769,12 @@ mod tests {
         let db = tpch_db();
         let r = run(&db, "SELECT COUNT(*) FROM orders WHERE o_orderstatus = 'F'");
         let data = db.table_data("orders").unwrap();
-        let status_col = db.catalog().table("orders").unwrap().column_index("o_orderstatus").unwrap();
+        let status_col = db
+            .catalog()
+            .table("orders")
+            .unwrap()
+            .column_index("o_orderstatus")
+            .unwrap();
         let expected = data.columns[status_col]
             .iter()
             .filter(|v| matches!(v, Value::Str(s) if s == "F"))
@@ -716,7 +794,12 @@ mod tests {
         // number of orders whose custkey is within range.
         let orders = db.table_data("orders").unwrap();
         let custs = db.table_data("customer").unwrap().rows as i64;
-        let ck = db.catalog().table("orders").unwrap().column_index("o_custkey").unwrap();
+        let ck = db
+            .catalog()
+            .table("orders")
+            .unwrap()
+            .column_index("o_custkey")
+            .unwrap();
         let expected = orders.columns[ck]
             .iter()
             .filter(|v| matches!(v, Value::Int(k) if *k >= 0 && *k < custs))
@@ -734,15 +817,19 @@ mod tests {
         );
         // Brute force.
         let data = db.table_data("orders").unwrap();
-        let sc = db.catalog().table("orders").unwrap().column_index("o_orderstatus").unwrap();
+        let sc = db
+            .catalog()
+            .table("orders")
+            .unwrap()
+            .column_index("o_orderstatus")
+            .unwrap();
         let mut counts: std::collections::BTreeMap<String, i64> = Default::default();
         for v in &data.columns[sc] {
             if let Value::Str(s) = v {
                 *counts.entry(s.clone()).or_default() += 1;
             }
         }
-        let expected: Vec<(String, i64)> =
-            counts.into_iter().filter(|(_, c)| *c > 5).collect();
+        let expected: Vec<(String, i64)> = counts.into_iter().filter(|(_, c)| *c > 5).collect();
         assert_eq!(r.rows.len(), expected.len());
         for (row, (status, count)) in r.rows.iter().zip(&expected) {
             assert_eq!(row[0], Value::Str(status.clone()));
@@ -753,7 +840,10 @@ mod tests {
     #[test]
     fn order_by_desc_and_limit() {
         let db = tpch_db();
-        let r = run(&db, "SELECT o_totalprice FROM orders ORDER BY o_totalprice DESC LIMIT 5");
+        let r = run(
+            &db,
+            "SELECT o_totalprice FROM orders ORDER BY o_totalprice DESC LIMIT 5",
+        );
         assert_eq!(r.rows.len(), 5);
         for w in r.rows.windows(2) {
             assert!(w[0][0].total_cmp(&w[1][0]).is_ge());
@@ -894,7 +984,9 @@ mod tests {
             "SELECT COUNT(*) FROM orders WHERE o_orderstatus IN ('F','O') \
              AND o_orderkey BETWEEN 0 AND 10",
         );
-        let Value::Int(n) = r.rows[0][0] else { panic!() };
+        let Value::Int(n) = r.rows[0][0] else {
+            panic!()
+        };
         assert!(n <= 11);
     }
 }

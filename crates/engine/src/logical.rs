@@ -2,9 +2,9 @@
 //! filters, equi-join predicates, residual predicates, and the
 //! post-join pipeline (aggregation, distinct, ordering, limit).
 
-use lantern_sql::{resolve, BinaryOp, Expr, Query, SelectItem, SqlError};
 use lantern_catalog::Catalog;
 use lantern_sql::resolve::ResolvedQuery;
+use lantern_sql::{resolve, BinaryOp, Expr, Query, SelectItem, SqlError};
 
 /// A base relation participating in the query.
 #[derive(Debug, Clone)]
@@ -100,7 +100,12 @@ impl LogicalPlan {
                 Classified::Residual => residual.push(c),
             }
         }
-        Ok(LogicalPlan { resolved, relations, joins, residual })
+        Ok(LogicalPlan {
+            resolved,
+            relations,
+            joins,
+            residual,
+        })
     }
 
     /// The select-list expressions (wildcards expanded to nothing here;
@@ -126,9 +131,22 @@ enum Classified {
 
 fn classify(expr: &Expr, resolved: &ResolvedQuery, catalog: &Catalog) -> Classified {
     // Binary equi-join: col = col across two distinct relations.
-    if let Expr::Binary { op: BinaryOp::Eq, left, right } = expr {
-        if let (Expr::Column { qualifier: lq, name: ln }, Expr::Column { qualifier: rq, name: rn }) =
-            (left.as_ref(), right.as_ref())
+    if let Expr::Binary {
+        op: BinaryOp::Eq,
+        left,
+        right,
+    } = expr
+    {
+        if let (
+            Expr::Column {
+                qualifier: lq,
+                name: ln,
+            },
+            Expr::Column {
+                qualifier: rq,
+                name: rn,
+            },
+        ) = (left.as_ref(), right.as_ref())
         {
             let lr = resolved.resolve_column(catalog, lq, ln);
             let rr = resolved.resolve_column(catalog, rq, rn);
@@ -181,7 +199,10 @@ mod tests {
         let lp = LogicalPlan::build(&q, &cat).unwrap();
         assert_eq!(lp.relations.len(), 2);
         assert_eq!(lp.joins.len(), 1);
-        assert_eq!(lp.joins[0].condition_text(), "((I.proceeding_key) = (P.pub_key))");
+        assert_eq!(
+            lp.joins[0].condition_text(),
+            "((I.proceeding_key) = (P.pub_key))"
+        );
         let p = lp.relations.iter().find(|r| r.visible == "P").unwrap();
         assert_eq!(p.filters.len(), 1);
         assert!(lp.residual.is_empty());

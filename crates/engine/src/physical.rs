@@ -96,9 +96,15 @@ impl RelOp {
             RelOp::SeqScan { visible, .. } | RelOp::IndexScan { visible, .. } => {
                 vec![visible.clone()]
             }
-            RelOp::HashJoin { probe: a, build: b, .. }
-            | RelOp::MergeJoin { left: a, right: b, .. }
-            | RelOp::NestedLoop { outer: a, inner: b, .. } => {
+            RelOp::HashJoin {
+                probe: a, build: b, ..
+            }
+            | RelOp::MergeJoin {
+                left: a, right: b, ..
+            }
+            | RelOp::NestedLoop {
+                outer: a, inner: b, ..
+            } => {
                 let mut v = a.visibles();
                 v.extend(b.visibles());
                 v
@@ -172,7 +178,11 @@ impl PhysicalPlan {
 
     /// Estimated final row count.
     pub fn output_rows(&self) -> f64 {
-        let mut rows = self.agg.as_ref().map(|a| a.rows).unwrap_or(self.join_root.rows());
+        let mut rows = self
+            .agg
+            .as_ref()
+            .map(|a| a.rows)
+            .unwrap_or(self.join_root.rows());
         if self.distinct.is_some() {
             rows *= 0.9;
         }
@@ -296,7 +306,13 @@ fn filters_text(filters: &[Expr]) -> Option<String> {
 
 fn rel_tree(op: &RelOp) -> PlanNode {
     match op {
-        RelOp::SeqScan { visible, table, filters, rows, cost } => {
+        RelOp::SeqScan {
+            visible,
+            table,
+            filters,
+            rows,
+            cost,
+        } => {
             let mut n = PlanNode::new("Seq Scan").on_relation(table.clone());
             n.alias = Some(visible.clone());
             n.filter = filters_text(filters);
@@ -304,7 +320,14 @@ fn rel_tree(op: &RelOp) -> PlanNode {
             n.estimated_cost = *cost;
             n
         }
-        RelOp::IndexScan { visible, table, index_column, filters, rows, cost } => {
+        RelOp::IndexScan {
+            visible,
+            table,
+            index_column,
+            filters,
+            rows,
+            cost,
+        } => {
             let mut n = PlanNode::new("Index Scan").on_relation(table.clone());
             n.alias = Some(visible.clone());
             n.index_name = Some(format!("{table}_{index_column}_idx"));
@@ -313,7 +336,14 @@ fn rel_tree(op: &RelOp) -> PlanNode {
             n.estimated_cost = *cost;
             n
         }
-        RelOp::HashJoin { probe, build, pred, residual, rows, cost } => {
+        RelOp::HashJoin {
+            probe,
+            build,
+            pred,
+            residual,
+            rows,
+            cost,
+        } => {
             let mut n = PlanNode::new("Hash Join");
             n.join_cond = Some(pred.condition_text());
             n.filter = filters_text(residual);
@@ -327,7 +357,16 @@ fn rel_tree(op: &RelOp) -> PlanNode {
             n.children.push(hash);
             n
         }
-        RelOp::MergeJoin { left, right, pred, sort_left, sort_right, residual, rows, cost } => {
+        RelOp::MergeJoin {
+            left,
+            right,
+            pred,
+            sort_left,
+            sort_right,
+            residual,
+            rows,
+            cost,
+        } => {
             let mut n = PlanNode::new("Merge Join");
             n.join_cond = Some(pred.condition_text());
             n.filter = filters_text(residual);
@@ -358,7 +397,14 @@ fn rel_tree(op: &RelOp) -> PlanNode {
             ));
             n
         }
-        RelOp::NestedLoop { outer, inner, pred, residual, rows, cost } => {
+        RelOp::NestedLoop {
+            outer,
+            inner,
+            pred,
+            residual,
+            rows,
+            cost,
+        } => {
             let mut n = PlanNode::new("Nested Loop");
             n.join_cond = pred.as_ref().map(|p| p.condition_text());
             n.filter = filters_text(residual);
@@ -390,7 +436,10 @@ struct DpEntry {
 impl<'a> Planner<'a> {
     /// Create a planner over a database (its statistics drive costing).
     pub fn new(db: &'a Database) -> Self {
-        Planner { db, greedy_joins: false }
+        Planner {
+            db,
+            greedy_joins: false,
+        }
     }
 
     /// Plan `query` into a physical plan.
@@ -398,11 +447,17 @@ impl<'a> Planner<'a> {
         let logical = LogicalPlan::build(query, self.db.catalog())?;
         let n = logical.relations.len();
         if n == 0 {
-            return Err(SqlError { position: 0, message: "query has no relations".into() });
+            return Err(SqlError {
+                position: 0,
+                message: "query has no relations".into(),
+            });
         }
         // Access paths per relation.
-        let scans: Vec<DpEntry> =
-            logical.relations.iter().map(|r| self.access_path(r)).collect();
+        let scans: Vec<DpEntry> = logical
+            .relations
+            .iter()
+            .map(|r| self.access_path(r))
+            .collect();
 
         let mut best = if n == 1 {
             scans.into_iter().next().expect("one relation")
@@ -422,8 +477,7 @@ impl<'a> Planner<'a> {
                     residual.extend(logical.residual.iter().cloned());
                     *rows = (*rows * sel).max(1.0);
                 }
-                RelOp::SeqScan { filters, rows, .. }
-                | RelOp::IndexScan { filters, rows, .. } => {
+                RelOp::SeqScan { filters, rows, .. } | RelOp::IndexScan { filters, rows, .. } => {
                     // Residuals with no column references (e.g. 1 = 1).
                     filters.extend(logical.residual.iter().cloned());
                     *rows = (*rows * sel).max(1.0);
@@ -432,7 +486,11 @@ impl<'a> Planner<'a> {
         }
 
         let q = &logical.resolved.query;
-        let agg = if q.is_aggregating() { Some(self.plan_aggregate(&logical, &best)) } else { None };
+        let agg = if q.is_aggregating() {
+            Some(self.plan_aggregate(&logical, &best))
+        } else {
+            None
+        };
         let distinct = if q.distinct {
             // Input is pre-sorted when a sorted aggregate just ran.
             let pre_sorted =
@@ -441,8 +499,11 @@ impl<'a> Planner<'a> {
         } else {
             None
         };
-        let order_by: Vec<(Expr, bool)> =
-            q.order_by.iter().map(|o| (o.expr.clone(), o.descending)).collect();
+        let order_by: Vec<(Expr, bool)> = q
+            .order_by
+            .iter()
+            .map(|o| (o.expr.clone(), o.descending))
+            .collect();
         Ok(PhysicalPlan {
             join_root: best.op,
             agg,
@@ -514,8 +575,12 @@ impl<'a> Planner<'a> {
         let Some(rel) = logical.relations.iter().find(|r| r.visible == visible) else {
             return 100.0;
         };
-        let Some(stats) = self.db.table_stats(&rel.table) else { return 100.0 };
-        let Some(table) = self.db.catalog().table(&rel.table) else { return 100.0 };
+        let Some(stats) = self.db.table_stats(&rel.table) else {
+            return 100.0;
+        };
+        let Some(table) = self.db.catalog().table(&rel.table) else {
+            return 100.0;
+        };
         table
             .column_index(column)
             .map(|i| stats.columns[i].n_distinct.max(1) as f64)
@@ -524,7 +589,13 @@ impl<'a> Planner<'a> {
 
     /// Enumerate hash/merge/NL alternatives for joining `a` and `b`
     /// on `pred`; return the cheapest.
-    fn best_join(&self, logical: &LogicalPlan, a: &DpEntry, b: &DpEntry, pred: &JoinPred) -> DpEntry {
+    fn best_join(
+        &self,
+        logical: &LogicalPlan,
+        a: &DpEntry,
+        b: &DpEntry,
+        pred: &JoinPred,
+    ) -> DpEntry {
         // Orient the predicate so `left` matches `a`.
         let a_vis = a.op.visibles();
         let oriented = if a_vis.contains(&pred.left_rel) {
@@ -572,10 +643,10 @@ impl<'a> Planner<'a> {
         };
 
         // Merge join.
-        let a_sorted = a.sorted_on.as_ref()
-            == Some(&(oriented.left_rel.clone(), oriented.left_col.clone()));
-        let b_sorted = b.sorted_on.as_ref()
-            == Some(&(oriented.right_rel.clone(), oriented.right_col.clone()));
+        let a_sorted =
+            a.sorted_on.as_ref() == Some(&(oriented.left_rel.clone(), oriented.left_col.clone()));
+        let b_sorted =
+            b.sorted_on.as_ref() == Some(&(oriented.right_rel.clone(), oriented.right_col.clone()));
         let merge_cost = input_cost + cost::merge_join_cost(ra, rb, !a_sorted, !b_sorted);
         if merge_cost < best.op.cost() {
             best = DpEntry {
@@ -642,7 +713,7 @@ impl<'a> Planner<'a> {
                             let cand = self.best_join(logical, a, b, pred);
                             if best_for_mask
                                 .as_ref()
-                                .map_or(true, |cur| cand.op.cost() < cur.op.cost())
+                                .is_none_or(|cur| cand.op.cost() < cur.op.cost())
                             {
                                 best_for_mask = Some(cand);
                             }
@@ -662,8 +733,7 @@ impl<'a> Planner<'a> {
             Some(e) => e,
             None => {
                 // Fully disconnected graph: fold all singleton scans.
-                let mut entries: Vec<DpEntry> =
-                    (0..n).filter_map(|i| dp[1 << i].take()).collect();
+                let mut entries: Vec<DpEntry> = (0..n).filter_map(|i| dp[1 << i].take()).collect();
                 let mut acc = entries.remove(0);
                 for e in entries {
                     acc = self.cross_product(acc, e);
@@ -680,7 +750,10 @@ impl<'a> Planner<'a> {
             let other = mask & !sub;
             if let (Some(a), Some(b)) = (&dp[sub], &dp[other]) {
                 let cand = self.cross_product(a.clone(), b.clone());
-                if best.as_ref().map_or(true, |cur| cand.op.cost() < cur.op.cost()) {
+                if best
+                    .as_ref()
+                    .is_none_or(|cur| cand.op.cost() < cur.op.cost())
+                {
                     best = Some(cand);
                 }
             }
@@ -691,9 +764,8 @@ impl<'a> Planner<'a> {
 
     fn cross_product(&self, a: DpEntry, b: DpEntry) -> DpEntry {
         let rows = (a.op.rows() * b.op.rows()).max(1.0);
-        let cost = a.op.cost()
-            + b.op.cost()
-            + cost::nested_loop_cost(a.op.rows(), b.op.rows(), false);
+        let cost =
+            a.op.cost() + b.op.cost() + cost::nested_loop_cost(a.op.rows(), b.op.rows(), false);
         DpEntry {
             sorted_on: None,
             op: RelOp::NestedLoop {
@@ -725,7 +797,7 @@ impl<'a> Planner<'a> {
                             let cand = self.best_join(logical, &parts[i], &parts[j], pred);
                             if best
                                 .as_ref()
-                                .map_or(true, |(_, _, cur)| cand.op.cost() < cur.op.cost())
+                                .is_none_or(|(_, _, cur)| cand.op.cost() < cur.op.cost())
                             {
                                 best = Some((i, j, cand));
                             }
@@ -785,14 +857,18 @@ impl<'a> Planner<'a> {
         // from sorted output.
         let input_sorted = match (&input.sorted_on, q.group_by.first()) {
             (Some((vis, col)), Some(Expr::Column { qualifier, name })) => {
-                name == col && qualifier.as_deref().map_or(true, |x| x == vis)
+                name == col && qualifier.as_deref().is_none_or(|x| x == vis)
             }
             _ => false,
         };
         let downstream_wants_sort = q.distinct || !q.order_by.is_empty();
-        let strategy = if q.group_by.is_empty() {
-            AggStrategy::Sorted // scalar aggregate: plain Aggregate node
-        } else if input_sorted || downstream_wants_sort || sorted_cost <= hashed_cost {
+        // Scalar aggregates (empty GROUP BY) always use a plain
+        // Aggregate node, which the Sorted strategy degenerates to.
+        let strategy = if q.group_by.is_empty()
+            || input_sorted
+            || downstream_wants_sort
+            || sorted_cost <= hashed_cost
+        {
             AggStrategy::Sorted
         } else {
             AggStrategy::Hashed
@@ -843,9 +919,14 @@ mod tests {
             .iter()
             .map(|i| i.node.op.as_str())
             .collect();
-        assert!(ops.contains(&"Aggregate") || ops.contains(&"HashAggregate"), "{ops:?}");
         assert!(
-            ops.contains(&"Hash Join") || ops.contains(&"Merge Join") || ops.contains(&"Nested Loop"),
+            ops.contains(&"Aggregate") || ops.contains(&"HashAggregate"),
+            "{ops:?}"
+        );
+        assert!(
+            ops.contains(&"Hash Join")
+                || ops.contains(&"Merge Join")
+                || ops.contains(&"Nested Loop"),
             "{ops:?}"
         );
         assert_eq!(tree.root.relations().len(), 2);
@@ -873,16 +954,20 @@ mod tests {
         let plan = Planner::new(&db).plan(&q).unwrap();
         let tree = plan.tree();
         assert_eq!(tree.root.op, "Index Scan", "{tree}");
-        assert!(tree.root.index_name.as_deref().unwrap().contains("o_orderkey"));
+        assert!(tree
+            .root
+            .index_name
+            .as_deref()
+            .unwrap()
+            .contains("o_orderkey"));
     }
 
     #[test]
     fn hash_join_builds_on_smaller_side() {
         let db = tpch_db();
-        let q = parse_sql(
-            "SELECT c.c_name FROM customer c, orders o WHERE c.c_custkey = o.o_custkey",
-        )
-        .unwrap();
+        let q =
+            parse_sql("SELECT c.c_name FROM customer c, orders o WHERE c.c_custkey = o.o_custkey")
+                .unwrap();
         let plan = Planner::new(&db).plan(&q).unwrap();
         if let RelOp::HashJoin { probe, build, .. } = &plan.join_root {
             assert!(build.rows() <= probe.rows());
@@ -941,16 +1026,17 @@ mod tests {
         let db = tpch_db();
         let q = parse_sql("SELECT 1 FROM region r, part p").unwrap();
         let plan = Planner::new(&db).plan(&q).unwrap();
-        assert!(matches!(plan.join_root, RelOp::NestedLoop { pred: None, .. }));
+        assert!(matches!(
+            plan.join_root,
+            RelOp::NestedLoop { pred: None, .. }
+        ));
     }
 
     #[test]
     fn order_by_and_limit_stack_on_top() {
         let db = tpch_db();
-        let q = parse_sql(
-            "SELECT o_orderkey FROM orders ORDER BY o_totalprice DESC LIMIT 10",
-        )
-        .unwrap();
+        let q =
+            parse_sql("SELECT o_orderkey FROM orders ORDER BY o_totalprice DESC LIMIT 10").unwrap();
         let tree = Planner::new(&db).plan(&q).unwrap().tree();
         assert_eq!(tree.root.op, "Limit");
         assert_eq!(tree.root.children[0].op, "Sort");

@@ -6,9 +6,7 @@
 
 use crate::database::Database;
 use lantern_catalog::{ColumnType, Value};
-use lantern_sql::{
-    AggFunc, BinaryOp, Expr, OrderItem, Query, SelectItem, TableRef,
-};
+use lantern_sql::{AggFunc, BinaryOp, Expr, OrderItem, Query, SelectItem, TableRef};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -52,7 +50,11 @@ pub struct RandomQueryGen<'a> {
 impl<'a> RandomQueryGen<'a> {
     /// Create a generator with the given seed and configuration.
     pub fn new(db: &'a Database, seed: u64, config: QueryGenConfig) -> Self {
-        RandomQueryGen { db, rng: StdRng::seed_from_u64(seed), config }
+        RandomQueryGen {
+            db,
+            rng: StdRng::seed_from_u64(seed),
+            config,
+        }
     }
 
     /// Generate `n` queries. Every query resolves against the catalog
@@ -74,7 +76,11 @@ impl<'a> RandomQueryGen<'a> {
             let mut candidates = Vec::new();
             for t in &chosen {
                 for fk in catalog.join_edges(t) {
-                    let other = if fk.table == *t { &fk.parent_table } else { &fk.table };
+                    let other = if fk.table == *t {
+                        &fk.parent_table
+                    } else {
+                        &fk.table
+                    };
                     if !chosen.contains(other) {
                         candidates.push(fk.clone());
                     }
@@ -84,8 +90,11 @@ impl<'a> RandomQueryGen<'a> {
                 break;
             }
             let fk = candidates[self.rng.gen_range(0..candidates.len())].clone();
-            let other =
-                if chosen.contains(&fk.table) { fk.parent_table.clone() } else { fk.table.clone() };
+            let other = if chosen.contains(&fk.table) {
+                fk.parent_table.clone()
+            } else {
+                fk.table.clone()
+            };
             chosen.push(other);
             join_preds.push(Expr::Binary {
                 op: BinaryOp::Eq,
@@ -123,7 +132,10 @@ impl<'a> RandomQueryGen<'a> {
             let cols = self.random_projection(&chosen, 3);
             (
                 cols.into_iter()
-                    .map(|c| SelectItem::Expr { expr: c, alias: None })
+                    .map(|c| SelectItem::Expr {
+                        expr: c,
+                        alias: None,
+                    })
                     .collect(),
                 Vec::new(),
                 None,
@@ -154,7 +166,10 @@ impl<'a> RandomQueryGen<'a> {
             select,
             from: chosen
                 .iter()
-                .map(|t| TableRef { table: t.clone(), alias: None })
+                .map(|t| TableRef {
+                    table: t.clone(),
+                    alias: None,
+                })
                 .collect(),
             joins: Vec::new(),
             where_clause,
@@ -219,7 +234,11 @@ impl<'a> RandomQueryGen<'a> {
             }
             ColumnType::Bool => BinaryOp::Eq,
         };
-        Some(Expr::Binary { op, left: Box::new(col_ref), right: Box::new(lit) })
+        Some(Expr::Binary {
+            op,
+            left: Box::new(col_ref),
+            right: Box::new(lit),
+        })
     }
 
     fn random_projection(&mut self, tables: &[String], max: usize) -> Vec<Expr> {
@@ -241,30 +260,46 @@ impl<'a> RandomQueryGen<'a> {
         cols
     }
 
-    fn aggregate_shape(
-        &mut self,
-        tables: &[String],
-    ) -> (Vec<SelectItem>, Vec<Expr>, Option<Expr>) {
+    fn aggregate_shape(&mut self, tables: &[String]) -> (Vec<SelectItem>, Vec<Expr>, Option<Expr>) {
         let group_col = self.random_projection(tables, 1).remove(0);
         let agg = match self.rng.gen_range(0..4) {
-            0 => Expr::Agg { func: AggFunc::Count, distinct: false, arg: None },
+            0 => Expr::Agg {
+                func: AggFunc::Count,
+                distinct: false,
+                arg: None,
+            },
             1 => {
                 let numeric = self.random_numeric_column(tables);
-                Expr::Agg { func: AggFunc::Sum, distinct: false, arg: Some(Box::new(numeric)) }
+                Expr::Agg {
+                    func: AggFunc::Sum,
+                    distinct: false,
+                    arg: Some(Box::new(numeric)),
+                }
             }
             2 => {
                 let numeric = self.random_numeric_column(tables);
-                Expr::Agg { func: AggFunc::Avg, distinct: false, arg: Some(Box::new(numeric)) }
+                Expr::Agg {
+                    func: AggFunc::Avg,
+                    distinct: false,
+                    arg: Some(Box::new(numeric)),
+                }
             }
             _ => {
                 let numeric = self.random_numeric_column(tables);
-                Expr::Agg { func: AggFunc::Max, distinct: false, arg: Some(Box::new(numeric)) }
+                Expr::Agg {
+                    func: AggFunc::Max,
+                    distinct: false,
+                    arg: Some(Box::new(numeric)),
+                }
             }
         };
         let scalar = self.rng.gen_bool(0.25);
         if scalar {
             return (
-                vec![SelectItem::Expr { expr: agg, alias: None }],
+                vec![SelectItem::Expr {
+                    expr: agg,
+                    alias: None,
+                }],
                 Vec::new(),
                 None,
             );
@@ -272,7 +307,11 @@ impl<'a> RandomQueryGen<'a> {
         let having = if self.rng.gen_bool(0.3) {
             Some(Expr::Binary {
                 op: BinaryOp::Gt,
-                left: Box::new(Expr::Agg { func: AggFunc::Count, distinct: false, arg: None }),
+                left: Box::new(Expr::Agg {
+                    func: AggFunc::Count,
+                    distinct: false,
+                    arg: None,
+                }),
                 right: Box::new(Expr::IntLit(self.rng.gen_range(1..20))),
             })
         } else {
@@ -280,8 +319,14 @@ impl<'a> RandomQueryGen<'a> {
         };
         (
             vec![
-                SelectItem::Expr { expr: group_col.clone(), alias: None },
-                SelectItem::Expr { expr: agg, alias: None },
+                SelectItem::Expr {
+                    expr: group_col.clone(),
+                    alias: None,
+                },
+                SelectItem::Expr {
+                    expr: agg,
+                    alias: None,
+                },
             ],
             vec![group_col],
             having,
@@ -318,7 +363,7 @@ mod tests {
         let queries = gen.generate(50);
         assert_eq!(queries.len(), 50);
         for q in &queries {
-            resolve(&q, db.catalog()).expect("generated query must resolve");
+            resolve(q, db.catalog()).expect("generated query must resolve");
         }
     }
 
@@ -327,7 +372,9 @@ mod tests {
         let db = Database::generate(&tpch_catalog(), 0.0002, 4);
         let mut gen = RandomQueryGen::new(&db, 7, QueryGenConfig::default());
         for q in gen.generate(50) {
-            Planner::new(&db).plan(&q).expect("generated query must plan");
+            Planner::new(&db)
+                .plan(&q)
+                .expect("generated query must plan");
         }
     }
 
@@ -360,9 +407,11 @@ mod tests {
     #[test]
     fn multi_table_queries_have_join_predicates() {
         let db = Database::generate(&tpch_catalog(), 0.0002, 9);
-        let mut config = QueryGenConfig::default();
-        config.max_tables = 3;
-        config.max_filters = 0;
+        let config = QueryGenConfig {
+            max_tables: 3,
+            max_filters: 0,
+            ..Default::default()
+        };
         let mut gen = RandomQueryGen::new(&db, 1, config);
         let mut saw_join = false;
         for q in gen.generate(40) {

@@ -34,9 +34,12 @@ pub struct TrainingSet {
     pub act_count: usize,
 }
 
+/// Encoded (input-token-id, output-token-id) pairs fed to the trainer.
+pub type EncodedPairs = Vec<(Vec<usize>, Vec<usize>)>;
+
 impl TrainingSet {
     /// Encode all examples into id pairs for the trainer.
-    pub fn encoded(&self) -> Vec<(Vec<usize>, Vec<usize>)> {
+    pub fn encoded(&self) -> EncodedPairs {
         self.examples
             .iter()
             .map(|e| {
@@ -49,7 +52,7 @@ impl TrainingSet {
     }
 
     /// Deterministic train/validation split (paper: 80/20 random).
-    pub fn split(&self, train_fraction: f64, seed: u64) -> (Vec<(Vec<usize>, Vec<usize>)>, Vec<(Vec<usize>, Vec<usize>)>) {
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (EncodedPairs, EncodedPairs) {
         use rand::seq::SliceRandom;
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -82,7 +85,12 @@ pub struct DatasetBuilder<'a> {
 impl<'a> DatasetBuilder<'a> {
     /// Start a builder over a database and POEM store.
     pub fn new(db: &'a Database, store: &'a PoemStore) -> Self {
-        DatasetBuilder { db, store, queries: Vec::new(), paraphrase: true }
+        DatasetBuilder {
+            db,
+            store,
+            queries: Vec::new(),
+            paraphrase: true,
+        }
     }
 
     /// Add workload queries.
@@ -105,16 +113,18 @@ impl<'a> DatasetBuilder<'a> {
     }
 
     /// Decompose every query's plan into acts (planning parallelized
-    /// across worker threads with crossbeam).
+    /// across scoped worker threads).
     pub fn acts(&self) -> Vec<Act> {
-        let n_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let n_workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         let chunk = (self.queries.len() / n_workers).max(1);
-        let results: Vec<Vec<Act>> = crossbeam::thread::scope(|scope| {
+        let results: Vec<Vec<Act>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .queries
                 .chunks(chunk)
                 .map(|qs| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let planner = Planner::new(self.db);
                         let mut acts = Vec::new();
                         for q in qs {
@@ -128,9 +138,11 @@ impl<'a> DatasetBuilder<'a> {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
-        })
-        .expect("scope");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
         results.into_iter().flatten().collect()
     }
 
@@ -160,13 +172,26 @@ impl<'a> DatasetBuilder<'a> {
                 });
             }
         }
-        let input_vocab =
-            Vocab::from_corpus(&examples.iter().map(|e| e.input_tokens.clone()).collect::<Vec<_>>(), 1);
-        let output_vocab = Vocab::from_corpus(
-            &examples.iter().map(|e| e.output_tokens.clone()).collect::<Vec<_>>(),
+        let input_vocab = Vocab::from_corpus(
+            &examples
+                .iter()
+                .map(|e| e.input_tokens.clone())
+                .collect::<Vec<_>>(),
             1,
         );
-        TrainingSet { examples, input_vocab, output_vocab, act_count }
+        let output_vocab = Vocab::from_corpus(
+            &examples
+                .iter()
+                .map(|e| e.output_tokens.clone())
+                .collect::<Vec<_>>(),
+            1,
+        );
+        TrainingSet {
+            examples,
+            input_vocab,
+            output_vocab,
+            act_count,
+        }
     }
 }
 
@@ -210,8 +235,16 @@ mod tests {
         // Paper: input vocabulary 36, output vocabulary 62. Ours must
         // be the same order of magnitude (schema-independent tokens).
         let ts = small_set(true);
-        assert!(ts.input_vocab.len() <= 40, "input vocab {}", ts.input_vocab.len());
-        assert!(ts.output_vocab.len() <= 120, "output vocab {}", ts.output_vocab.len());
+        assert!(
+            ts.input_vocab.len() <= 40,
+            "input vocab {}",
+            ts.input_vocab.len()
+        );
+        assert!(
+            ts.output_vocab.len() <= 120,
+            "output vocab {}",
+            ts.output_vocab.len()
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod model;
 pub mod registry;
 pub mod translator;
 
-pub use dataset::{DatasetBuilder, Example, TrainingSet};
+pub use dataset::{DatasetBuilder, EncodedPairs, Example, TrainingSet};
 pub use model::{Qep2Seq, Qep2SeqConfig};
 pub use registry::{ModelVariant, VariantKind};
 pub use translator::NeuralLantern;

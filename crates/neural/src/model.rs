@@ -5,9 +5,7 @@
 use crate::dataset::TrainingSet;
 use lantern_core::Act;
 use lantern_embed::Embedding;
-use lantern_nn::{
-    beam_search, Seq2Seq, Seq2SeqConfig, TrainOptions, TrainReport, Trainer,
-};
+use lantern_nn::{beam_search, Seq2Seq, Seq2SeqConfig, TrainOptions, TrainReport, Trainer};
 use lantern_text::{corpus_bleu, detokenize, BleuConfig, Vocab};
 
 /// QEP2Seq hyperparameters (scaled-down defaults that train in seconds
@@ -73,7 +71,11 @@ impl Qep2Seq {
     }
 
     /// Build with frozen pre-trained decoder embeddings.
-    pub fn with_embedding(ts: &TrainingSet, mut config: Qep2SeqConfig, embedding: &Embedding) -> Self {
+    pub fn with_embedding(
+        ts: &TrainingSet,
+        mut config: Qep2SeqConfig,
+        embedding: &Embedding,
+    ) -> Self {
         config.decoder_embed_dim = embedding.dim;
         let table = embedding.aligned_table(&ts.output_vocab);
         let model = Seq2Seq::new(Self::nn_config(ts, &config, embedding.dim))
@@ -205,16 +207,22 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "full training run (~1 min); tier-1 covers training via smaller configs — run with --include-ignored"]
     fn training_reduces_validation_loss() {
         let ts = training_set();
         let mut m = Qep2Seq::new(&ts, Qep2SeqConfig::default());
         let report = m.train(&ts);
         let first = report.epochs.first().unwrap().val_loss;
-        let best = report.epochs.iter().map(|e| e.val_loss).fold(f32::INFINITY, f32::min);
+        let best = report
+            .epochs
+            .iter()
+            .map(|e| e.val_loss)
+            .fold(f32::INFINITY, f32::min);
         assert!(best < first * 0.7, "val loss {first} -> {best}");
     }
 
     #[test]
+    #[ignore = "25-epoch training run (~1.5 min) — run with --include-ignored"]
     fn trained_model_translates_an_act_with_concrete_values() {
         let ts = training_set();
         let mut config = Qep2SeqConfig::default();
@@ -235,6 +243,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "25-epoch training + BLEU scoring (~1.5 min) — run with --include-ignored"]
     fn test_bleu_is_high_after_training_on_same_distribution() {
         let ts = training_set();
         let mut config = Qep2SeqConfig::default();
@@ -263,8 +272,12 @@ mod tests {
     fn pretrained_embedding_variant_builds() {
         use lantern_embed::{builtin_english_corpus, Embedder, Word2VecTrainer};
         let ts = training_set();
-        let emb = Word2VecTrainer { dim: 16, epochs: 1, ..Default::default() }
-            .train(&builtin_english_corpus(), 1);
+        let emb = Word2VecTrainer {
+            dim: 16,
+            epochs: 1,
+            ..Default::default()
+        }
+        .train(&builtin_english_corpus(), 1);
         let m = Qep2Seq::with_embedding(&ts, Qep2SeqConfig::default(), &emb);
         assert_eq!(m.config.decoder_embed_dim, 16);
         assert!(m.parameter_count() > 0);

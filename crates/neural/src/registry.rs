@@ -39,13 +39,34 @@ pub struct ModelVariant {
 
 /// All seven Table-5 variants in paper order.
 pub const TABLE5_VARIANTS: &[ModelVariant] = &[
-    ModelVariant { name: "QEP2Seq", kind: VariantKind::Random },
-    ModelVariant { name: "QEP2Seq+GloVe (pre-trained)", kind: VariantKind::GlovePretrained },
-    ModelVariant { name: "QEP2Seq+GloVe (self-trained)", kind: VariantKind::GloveSelfTrained },
-    ModelVariant { name: "QEP2Seq+Word2Vec (pre-trained)", kind: VariantKind::Word2VecPretrained },
-    ModelVariant { name: "QEP2Seq+Word2Vec (self-trained)", kind: VariantKind::Word2VecSelfTrained },
-    ModelVariant { name: "QEP2Seq+BERT (pre-trained)", kind: VariantKind::BertPretrained },
-    ModelVariant { name: "QEP2Seq+ELMo (pre-trained)", kind: VariantKind::ElmoPretrained },
+    ModelVariant {
+        name: "QEP2Seq",
+        kind: VariantKind::Random,
+    },
+    ModelVariant {
+        name: "QEP2Seq+GloVe (pre-trained)",
+        kind: VariantKind::GlovePretrained,
+    },
+    ModelVariant {
+        name: "QEP2Seq+GloVe (self-trained)",
+        kind: VariantKind::GloveSelfTrained,
+    },
+    ModelVariant {
+        name: "QEP2Seq+Word2Vec (pre-trained)",
+        kind: VariantKind::Word2VecPretrained,
+    },
+    ModelVariant {
+        name: "QEP2Seq+Word2Vec (self-trained)",
+        kind: VariantKind::Word2VecSelfTrained,
+    },
+    ModelVariant {
+        name: "QEP2Seq+BERT (pre-trained)",
+        kind: VariantKind::BertPretrained,
+    },
+    ModelVariant {
+        name: "QEP2Seq+ELMo (pre-trained)",
+        kind: VariantKind::ElmoPretrained,
+    },
 ];
 
 impl ModelVariant {
@@ -66,33 +87,57 @@ impl ModelVariant {
         match self.kind {
             VariantKind::Random => Qep2Seq::new(ts, config),
             VariantKind::Word2VecPretrained => {
-                let e = Word2VecTrainer { dim: 16, epochs: 4, ..Default::default() }
-                    .train(&general(), seed);
+                let e = Word2VecTrainer {
+                    dim: 16,
+                    epochs: 4,
+                    ..Default::default()
+                }
+                .train(&general(), seed);
                 Qep2Seq::with_embedding(ts, config, &e)
             }
             VariantKind::Word2VecSelfTrained => {
-                let e = Word2VecTrainer { dim: 16, epochs: 4, ..Default::default() }
-                    .train(&self_corpus(), seed);
+                let e = Word2VecTrainer {
+                    dim: 16,
+                    epochs: 4,
+                    ..Default::default()
+                }
+                .train(&self_corpus(), seed);
                 Qep2Seq::with_embedding(ts, config, &e)
             }
             VariantKind::GlovePretrained => {
-                let e = GloveTrainer { dim: 16, epochs: 10, ..Default::default() }
-                    .train(&general(), seed);
+                let e = GloveTrainer {
+                    dim: 16,
+                    epochs: 10,
+                    ..Default::default()
+                }
+                .train(&general(), seed);
                 Qep2Seq::with_embedding(ts, config, &e)
             }
             VariantKind::GloveSelfTrained => {
-                let e = GloveTrainer { dim: 16, epochs: 10, ..Default::default() }
-                    .train(&self_corpus(), seed);
+                let e = GloveTrainer {
+                    dim: 16,
+                    epochs: 10,
+                    ..Default::default()
+                }
+                .train(&self_corpus(), seed);
                 Qep2Seq::with_embedding(ts, config, &e)
             }
             VariantKind::BertPretrained => {
-                let e = BertStyleEncoder { dim: 24, epochs: 2, ..Default::default() }
-                    .train(&general(), seed);
+                let e = BertStyleEncoder {
+                    dim: 24,
+                    epochs: 2,
+                    ..Default::default()
+                }
+                .train(&general(), seed);
                 Qep2Seq::with_embedding(ts, config, &e)
             }
             VariantKind::ElmoPretrained => {
-                let e = ElmoStyleBiLm { dim: 24, epochs: 2, ..Default::default() }
-                    .train(&general(), seed);
+                let e = ElmoStyleBiLm {
+                    dim: 24,
+                    epochs: 2,
+                    ..Default::default()
+                }
+                .train(&general(), seed);
                 Qep2Seq::with_embedding(ts, config, &e)
             }
         }

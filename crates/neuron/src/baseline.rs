@@ -18,7 +18,11 @@ pub struct NeuronError {
 
 impl fmt::Display for NeuronError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "NEURON has no hard-coded rule for operator '{}'", self.operator)
+        write!(
+            f,
+            "NEURON has no hard-coded rule for operator '{}'",
+            self.operator
+        )
     }
 }
 
@@ -85,7 +89,9 @@ impl Neuron {
             .iter()
             .find(|(op, _)| node.op_is(op))
             .map(|(_, p)| *p)
-            .ok_or_else(|| NeuronError { operator: node.op.clone() })?;
+            .ok_or_else(|| NeuronError {
+                operator: node.op.clone(),
+            })?;
         let mut child_names = Vec::new();
         for c in &node.children {
             child_names.push(self.visit(c, false, steps, counter)?);
@@ -129,9 +135,9 @@ mod tests {
             PlanNode::new("Hash Join")
                 .with_join_cond("((a.x) = (b.y))")
                 .with_child(PlanNode::new("Seq Scan").on_relation("a"))
-                .with_child(PlanNode::new("Hash").with_child(
-                    PlanNode::new("Seq Scan").on_relation("b"),
-                )),
+                .with_child(
+                    PlanNode::new("Hash").with_child(PlanNode::new("Seq Scan").on_relation("b")),
+                ),
         )
     }
 

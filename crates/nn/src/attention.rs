@@ -100,7 +100,14 @@ impl AdditiveAttention {
                 *c += a * hv;
             }
         }
-        (context, AttnCache { s: s.to_vec(), t: t_cache, alpha })
+        (
+            context,
+            AttnCache {
+                s: s.to_vec(),
+                t: t_cache,
+                alpha,
+            },
+        )
     }
 
     /// Backward pass: given `d_context`, accumulate parameter
@@ -194,7 +201,11 @@ mod tests {
     fn gradient_check() {
         let mut rng = seeded_rng(3);
         let mut attn = AdditiveAttention::new(3, 2, 0.5, &mut rng);
-        let enc = vec![vec![0.2, -0.1, 0.4], vec![-0.3, 0.5, 0.1], vec![0.0, 0.2, -0.2]];
+        let enc = vec![
+            vec![0.2, -0.1, 0.4],
+            vec![-0.3, 0.5, 0.1],
+            vec![0.0, 0.2, -0.2],
+        ];
         let s = vec![0.1f32, -0.4, 0.3];
         // Loss = sum(context).
         let loss_of = |attn: &AdditiveAttention| {
@@ -237,7 +248,11 @@ mod tests {
             let fp: f32 = attn.forward(&sp, &enc).0.iter().sum();
             let fm: f32 = attn.forward(&sm, &enc).0.iter().sum();
             let numeric = (fp - fm) / (2.0 * eps);
-            assert!((numeric - ds[i]).abs() < 5e-3, "ds[{i}]: {numeric} vs {}", ds[i]);
+            assert!(
+                (numeric - ds[i]).abs() < 5e-3,
+                "ds[{i}]: {numeric} vs {}",
+                ds[i]
+            );
         }
         // Encoder-state gradients.
         for (i, h) in enc.iter().enumerate() {

@@ -41,8 +41,12 @@ pub fn beam_search(
     let beam = beam.max(1);
     let enc = model.encode(input_ids);
     let init = model.decoder_init(&enc);
-    let mut frontier =
-        vec![Partial { tokens: Vec::new(), log_prob: 0.0, state: init, prev: BOS }];
+    let mut frontier = vec![Partial {
+        tokens: Vec::new(),
+        log_prob: 0.0,
+        state: init,
+        prev: BOS,
+    }];
     let mut done: Vec<BeamHypothesis> = Vec::new();
 
     for _ in 0..max_len {
@@ -56,7 +60,10 @@ pub fn beam_search(
                 let mut tokens = partial.tokens.clone();
                 let lp = partial.log_prob + logp[tok];
                 if tok == EOS {
-                    done.push(BeamHypothesis { tokens, log_prob: lp });
+                    done.push(BeamHypothesis {
+                        tokens,
+                        log_prob: lp,
+                    });
                 } else {
                     tokens.push(tok);
                     candidates.push(Partial {
@@ -77,10 +84,14 @@ pub fn beam_search(
         // Stop only when no running hypothesis can still beat the
         // completed ones (log-probs only decrease as length grows).
         if done.len() >= beam {
-            let worst_done =
-                done.iter().map(|h| h.log_prob).fold(f32::INFINITY, f32::min);
-            let best_running =
-                frontier.iter().map(|p| p.log_prob).fold(f32::NEG_INFINITY, f32::max);
+            let worst_done = done
+                .iter()
+                .map(|h| h.log_prob)
+                .fold(f32::INFINITY, f32::min);
+            let best_running = frontier
+                .iter()
+                .map(|p| p.log_prob)
+                .fold(f32::NEG_INFINITY, f32::max);
             if best_running < worst_done {
                 break;
             }
@@ -88,9 +99,14 @@ pub fn beam_search(
     }
     if done.is_empty() {
         // Fall back to the best running hypothesis.
-        if let Some(best) = frontier.into_iter().max_by(|a, b| a.log_prob.total_cmp(&b.log_prob))
+        if let Some(best) = frontier
+            .into_iter()
+            .max_by(|a, b| a.log_prob.total_cmp(&b.log_prob))
         {
-            done.push(BeamHypothesis { tokens: best.tokens, log_prob: best.log_prob });
+            done.push(BeamHypothesis {
+                tokens: best.tokens,
+                log_prob: best.log_prob,
+            });
         }
     }
     done.sort_by(|a, b| b.score().total_cmp(&a.score()));

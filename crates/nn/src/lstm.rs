@@ -50,7 +50,10 @@ pub struct LstmState {
 impl LstmState {
     /// Zero state.
     pub fn zeros(hidden: usize) -> Self {
-        LstmState { h: vec![0.0; hidden], c: vec![0.0; hidden] }
+        LstmState {
+            h: vec![0.0; hidden],
+            c: vec![0.0; hidden],
+        }
     }
 }
 
@@ -133,8 +136,8 @@ impl LstmCell {
         let mut hh = vec![0.0f32; h];
         let mut tanh_c = vec![0.0f32; h];
         for k in 0..h {
-            c[k] = gates[GATE_I * h + k] * gates[GATE_G * h + k]
-                + gates[GATE_F * h + k] * state.c[k];
+            c[k] =
+                gates[GATE_I * h + k] * gates[GATE_G * h + k] + gates[GATE_F * h + k] * state.c[k];
             tanh_c[k] = c[k].tanh();
             hh[k] = gates[GATE_O * h + k] * tanh_c[k];
         }
@@ -237,7 +240,10 @@ mod tests {
         let cell = LstmCell::new(2, 4, 0.1, &mut rng);
         let (s, cache) = cell.forward_step(&LstmState::zeros(4), &[10.0, -10.0]);
         for k in 0..12 {
-            assert!((0.0..=1.0).contains(&cache.gates[k]), "sigmoid gate out of range");
+            assert!(
+                (0.0..=1.0).contains(&cache.gates[k]),
+                "sigmoid gate out of range"
+            );
         }
         for v in &s.h {
             assert!(v.abs() <= 1.0);
@@ -314,8 +320,7 @@ mod tests {
         let state = LstmState::zeros(3);
         let (_, cache) = cell.forward_step(&state, &x);
         let mut grads = LstmGrads::zeros(&cell);
-        let (dx, _, _) =
-            cell.backward_step(&cache, &[1.0, 1.0, 1.0], &[0.0, 0.0, 0.0], &mut grads);
+        let (dx, _, _) = cell.backward_step(&cache, &[1.0, 1.0, 1.0], &[0.0, 0.0, 0.0], &mut grads);
         let eps = 1e-2f32;
         for i in 0..x.len() {
             let mut xp = x.clone();
@@ -350,6 +355,11 @@ mod tests {
             cell.backward_step(&cache, &dh, &[0.0; 4], &mut grads);
             cell.apply_gradients(&grads, 0.05);
         }
-        assert!(loss_of(&cell) < initial * 0.05, "{} -> {}", initial, loss_of(&cell));
+        assert!(
+            loss_of(&cell) < initial * 0.05,
+            "{} -> {}",
+            initial,
+            loss_of(&cell)
+        );
     }
 }

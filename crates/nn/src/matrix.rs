@@ -18,13 +18,19 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Uniform random matrix in `[-scale, scale]` (the paper
     /// initializes all LSTM parameters uniformly in `[-0.1, 0.1]`).
     pub fn uniform(rows: usize, cols: usize, scale: f32, rng: &mut StdRng) -> Self {
-        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
         Matrix { rows, cols, data }
     }
 
@@ -56,13 +62,13 @@ impl Matrix {
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
         debug_assert_eq!(x.len(), self.cols);
         let mut y = vec![0.0f32; self.rows];
-        for r in 0..self.rows {
+        for (r, yv) in y.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0f32;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            y[r] = acc;
+            *yv = acc;
         }
         y
     }
@@ -71,9 +77,8 @@ impl Matrix {
     pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
         debug_assert_eq!(x.len(), self.rows);
         let mut y = vec![0.0f32; self.cols];
-        for r in 0..self.rows {
+        for (r, &xv) in x.iter().enumerate() {
             let row = self.row(r);
-            let xv = x[r];
             if xv != 0.0 {
                 for (c, a) in row.iter().enumerate() {
                     y[c] += a * xv;
@@ -88,8 +93,7 @@ impl Matrix {
     pub fn add_outer(&mut self, dy: &[f32], x: &[f32]) {
         debug_assert_eq!(dy.len(), self.rows);
         debug_assert_eq!(x.len(), self.cols);
-        for r in 0..self.rows {
-            let dyr = dy[r];
+        for (r, &dyr) in dy.iter().enumerate() {
             if dyr != 0.0 {
                 let row = self.row_mut(r);
                 for (c, xv) in x.iter().enumerate() {
@@ -216,7 +220,11 @@ mod tests {
             let fp: f32 = softmax(&xp).iter().zip(&upstream).map(|(a, b)| a * b).sum();
             let fm: f32 = softmax(&xm).iter().zip(&upstream).map(|(a, b)| a * b).sum();
             let numeric = (fp - fm) / (2.0 * eps);
-            assert!((numeric - analytic[i]).abs() < 1e-3, "i={i} {numeric} vs {}", analytic[i]);
+            assert!(
+                (numeric - analytic[i]).abs() < 1e-3,
+                "i={i} {numeric} vs {}",
+                analytic[i]
+            );
         }
     }
 

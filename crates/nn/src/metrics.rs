@@ -9,7 +9,11 @@ pub fn sparse_categorical_accuracy(predicted: &[usize], target: &[usize]) -> f64
         return 0.0;
     }
     let n = predicted.len().min(target.len());
-    let correct = predicted[..n].iter().zip(&target[..n]).filter(|(a, b)| a == b).count();
+    let correct = predicted[..n]
+        .iter()
+        .zip(&target[..n])
+        .filter(|(a, b)| a == b)
+        .count();
     correct as f64 / target.len() as f64
 }
 
@@ -53,7 +57,10 @@ mod tests {
 
     #[test]
     fn partial_match() {
-        assert_eq!(sparse_categorical_accuracy(&[1, 9, 3], &[1, 2, 3]), 2.0 / 3.0);
+        assert_eq!(
+            sparse_categorical_accuracy(&[1, 9, 3], &[1, 2, 3]),
+            2.0 / 3.0
+        );
     }
 
     #[test]

@@ -148,7 +148,11 @@ mod tests {
             assert_eq!(name, ename);
             let r = count_parameters(name, config, *dim);
             let rel = (r.total as f64 - want as f64).abs() / want as f64;
-            assert!(rel < 0.10, "{name}: ours {} vs paper {want} ({rel:.3})", r.total);
+            assert!(
+                rel < 0.10,
+                "{name}: ours {} vs paper {want} ({rel:.3})",
+                r.total
+            );
         }
     }
 

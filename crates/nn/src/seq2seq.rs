@@ -118,12 +118,25 @@ impl Seq2SeqGrads {
     /// Global L2 norm of all gradients (for clipping).
     pub fn global_norm(&self) -> f32 {
         let mut sq = 0.0f32;
-        for m in [&self.enc_embed, &self.dec_embed, &self.w_out, &self.encoder.v,
-                  &self.encoder.u, &self.decoder.v, &self.decoder.u,
-                  &self.attention.w_s, &self.attention.w_h] {
+        for m in [
+            &self.enc_embed,
+            &self.dec_embed,
+            &self.w_out,
+            &self.encoder.v,
+            &self.encoder.u,
+            &self.decoder.v,
+            &self.decoder.u,
+            &self.attention.w_s,
+            &self.attention.w_h,
+        ] {
             sq += m.data.iter().map(|v| v * v).sum::<f32>();
         }
-        for v in [&self.encoder.b, &self.decoder.b, &self.attention.v_a, &self.b_out] {
+        for v in [
+            &self.encoder.b,
+            &self.decoder.b,
+            &self.attention.v_a,
+            &self.b_out,
+        ] {
             sq += v.iter().map(|x| x * x).sum::<f32>();
         }
         sq.sqrt()
@@ -187,7 +200,10 @@ impl Seq2Seq {
     /// cols must equal `decoder_embed_dim`); they are frozen.
     pub fn with_pretrained_decoder_embeddings(mut self, table: Matrix) -> Self {
         assert_eq!(table.rows, self.config.output_vocab, "vocab mismatch");
-        assert_eq!(table.cols, self.config.decoder_embed_dim, "dimension mismatch");
+        assert_eq!(
+            table.cols, self.config.decoder_embed_dim,
+            "dimension mismatch"
+        );
         self.dec_embed = table;
         self.dec_embed_trainable = false;
         self
@@ -217,12 +233,18 @@ impl Seq2Seq {
         if states.is_empty() {
             states.push(vec![0.0; self.config.hidden]);
         }
-        EncoderOutput { states, final_state: state }
+        EncoderOutput {
+            states,
+            final_state: state,
+        }
     }
 
     /// Initial decoder state from an encoder output.
     pub fn decoder_init(&self, enc: &EncoderOutput) -> DecoderState {
-        DecoderState { state: enc.final_state.clone(), context: vec![0.0; self.config.hidden] }
+        DecoderState {
+            state: enc.final_state.clone(),
+            context: vec![0.0; self.config.hidden],
+        }
     }
 
     /// One inference decoding step: feed `prev_token`, return the
@@ -282,8 +304,10 @@ impl Seq2Seq {
         if empty_input {
             enc_states.push(vec![0.0; hidden]);
         }
-        let enc_out =
-            EncoderOutput { states: enc_states.clone(), final_state: enc_state.clone() };
+        let enc_out = EncoderOutput {
+            states: enc_states.clone(),
+            final_state: enc_state.clone(),
+        };
 
         // ---------------- decoder forward (teacher forcing) -------------
         // Input tokens: BOS, y_1 .. y_m ; targets: y_1 .. y_m, EOS.
@@ -333,7 +357,14 @@ impl Seq2Seq {
             if argmax == target {
                 correct += 1;
             }
-            records.push(StepRecord { dec_cache, attn_cache, feat, p, target, prev_token });
+            records.push(StepRecord {
+                dec_cache,
+                attn_cache,
+                feat,
+                p,
+                target,
+                prev_token,
+            });
             st = DecoderState { state, context };
         }
         let inv = 1.0 / steps as f32;
@@ -380,7 +411,8 @@ impl Seq2Seq {
                 *a += b + c;
             }
             let (dx, dh_prev, dc_prev) =
-                self.decoder.backward_step(&rec.dec_cache, &dh, &dc_next, &mut grads.decoder);
+                self.decoder
+                    .backward_step(&rec.dec_cache, &dh, &dc_next, &mut grads.decoder);
             if self.dec_embed_trainable {
                 let row = grads.dec_embed.row_mut(rec.prev_token);
                 for (g, d) in row.iter_mut().zip(&dx[..dec_dim]) {
@@ -393,7 +425,12 @@ impl Seq2Seq {
         }
         // The first step's context is zeros — da_feed is dropped; the
         // decoder-init gradient flows into the encoder's final state.
-        for (a, b) in d_enc_states.last_mut().expect("nonempty").iter_mut().zip(&dh_next) {
+        for (a, b) in d_enc_states
+            .last_mut()
+            .expect("nonempty")
+            .iter_mut()
+            .zip(&dh_next)
+        {
             *a += b;
         }
 
@@ -407,7 +444,8 @@ impl Seq2Seq {
                     *a += b;
                 }
                 let (dx, dh_prev, dc_prev) =
-                    self.encoder.backward_step(&enc_caches[t], &dh, &dc_carry, &mut grads.encoder);
+                    self.encoder
+                        .backward_step(&enc_caches[t], &dh, &dc_carry, &mut grads.encoder);
                 let row = grads.enc_embed.row_mut(enc_inputs[t]);
                 for (g, d) in row.iter_mut().zip(&dx) {
                     *g += d;
@@ -454,7 +492,11 @@ impl Seq2Seq {
     /// the paper's §6.4.2 training recipe), with global-norm clipping.
     pub fn apply_gradients(&mut self, grads: &mut Seq2SeqGrads, lr: f32, clip: f32) {
         let norm = grads.global_norm();
-        let scale = if norm > clip && norm > 0.0 { clip / norm } else { 1.0 };
+        let scale = if norm > clip && norm > 0.0 {
+            clip / norm
+        } else {
+            1.0
+        };
         let lr = lr * scale;
         self.enc_embed.add_scaled(&grads.enc_embed, -lr);
         self.encoder.apply_gradients(&grads.encoder, lr);
@@ -576,6 +618,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::type_complexity)] // probe table: (accessor, gradient) pairs
     fn gradient_check_end_to_end() {
         // Check a few parameters of every component through the full
         // forward/backward.
@@ -594,17 +637,47 @@ mod tests {
         let loss_of = |m: &Seq2Seq| m.evaluate(&input, &target).0;
         // (accessor, gradient) pairs to probe.
         let probes: Vec<(Box<dyn Fn(&mut Seq2Seq) -> &mut f32>, f32)> = vec![
-            (Box::new(|m: &mut Seq2Seq| &mut m.w_out.data[3]), grads.w_out.data[3]),
+            (
+                Box::new(|m: &mut Seq2Seq| &mut m.w_out.data[3]),
+                grads.w_out.data[3],
+            ),
             (Box::new(|m: &mut Seq2Seq| &mut m.b_out[2]), grads.b_out[2]),
-            (Box::new(|m: &mut Seq2Seq| &mut m.encoder.v.data[5]), grads.encoder.v.data[5]),
-            (Box::new(|m: &mut Seq2Seq| &mut m.encoder.u.data[7]), grads.encoder.u.data[7]),
-            (Box::new(|m: &mut Seq2Seq| &mut m.decoder.v.data[11]), grads.decoder.v.data[11]),
-            (Box::new(|m: &mut Seq2Seq| &mut m.decoder.u.data[13]), grads.decoder.u.data[13]),
-            (Box::new(|m: &mut Seq2Seq| &mut m.attention.w_s.data[2]), grads.attention.w_s.data[2]),
-            (Box::new(|m: &mut Seq2Seq| &mut m.attention.w_h.data[4]), grads.attention.w_h.data[4]),
-            (Box::new(|m: &mut Seq2Seq| &mut m.attention.v_a[1]), grads.attention.v_a[1]),
-            (Box::new(|m: &mut Seq2Seq| &mut m.enc_embed.data[14]), grads.enc_embed.data[14]),
-            (Box::new(|m: &mut Seq2Seq| &mut m.dec_embed.data[22]), grads.dec_embed.data[22]),
+            (
+                Box::new(|m: &mut Seq2Seq| &mut m.encoder.v.data[5]),
+                grads.encoder.v.data[5],
+            ),
+            (
+                Box::new(|m: &mut Seq2Seq| &mut m.encoder.u.data[7]),
+                grads.encoder.u.data[7],
+            ),
+            (
+                Box::new(|m: &mut Seq2Seq| &mut m.decoder.v.data[11]),
+                grads.decoder.v.data[11],
+            ),
+            (
+                Box::new(|m: &mut Seq2Seq| &mut m.decoder.u.data[13]),
+                grads.decoder.u.data[13],
+            ),
+            (
+                Box::new(|m: &mut Seq2Seq| &mut m.attention.w_s.data[2]),
+                grads.attention.w_s.data[2],
+            ),
+            (
+                Box::new(|m: &mut Seq2Seq| &mut m.attention.w_h.data[4]),
+                grads.attention.w_h.data[4],
+            ),
+            (
+                Box::new(|m: &mut Seq2Seq| &mut m.attention.v_a[1]),
+                grads.attention.v_a[1],
+            ),
+            (
+                Box::new(|m: &mut Seq2Seq| &mut m.enc_embed.data[14]),
+                grads.enc_embed.data[14],
+            ),
+            (
+                Box::new(|m: &mut Seq2Seq| &mut m.dec_embed.data[22]),
+                grads.dec_embed.data[22],
+            ),
         ];
         for (i, (access, analytic)) in probes.into_iter().enumerate() {
             let orig = *access(&mut model);
@@ -662,11 +735,15 @@ mod tests {
         let model = Seq2Seq::new(tiny_config());
         let c = &model.config;
         let expected = c.input_vocab * c.encoder_embed_dim
-            + 4 * c.hidden * (c.encoder_embed_dim + c.hidden) + 4 * c.hidden
+            + 4 * c.hidden * (c.encoder_embed_dim + c.hidden)
+            + 4 * c.hidden
             + c.output_vocab * c.decoder_embed_dim
-            + 4 * c.hidden * (c.decoder_embed_dim + c.hidden + c.hidden) + 4 * c.hidden
-            + 2 * c.attention_dim * c.hidden + c.attention_dim
-            + c.output_vocab * 2 * c.hidden + c.output_vocab;
+            + 4 * c.hidden * (c.decoder_embed_dim + c.hidden + c.hidden)
+            + 4 * c.hidden
+            + 2 * c.attention_dim * c.hidden
+            + c.attention_dim
+            + c.output_vocab * 2 * c.hidden
+            + c.output_vocab;
         assert_eq!(model.parameter_count(), expected);
     }
 }

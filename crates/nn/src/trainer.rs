@@ -55,7 +55,10 @@ pub struct EarlyStopping {
 impl EarlyStopping {
     /// New monitor with the given fluctuation threshold.
     pub fn new(threshold: f32) -> Self {
-        EarlyStopping { threshold, last: None }
+        EarlyStopping {
+            threshold,
+            last: None,
+        }
     }
 
     /// Feed this epoch's training loss; returns `true` when training
@@ -124,10 +127,7 @@ impl Trainer {
         let mut order: Vec<usize> = (0..train.len()).collect();
         let mut grads = Seq2SeqGrads::zeros(model);
         let mut best: Option<(f32, Seq2Seq, usize)> = None;
-        let mut stopper = self
-            .options
-            .early_stop_fluctuation
-            .map(EarlyStopping::new);
+        let mut stopper = self.options.early_stop_fluctuation.map(EarlyStopping::new);
         let mut epochs = Vec::new();
         let mut early_stopped = false;
         for epoch in 1..=self.options.epochs {
@@ -152,8 +152,13 @@ impl Trainer {
             }
             train_loss /= batches.max(1) as f32;
             let (val_loss, val_accuracy) = evaluate_set(model, val);
-            epochs.push(EpochStats { epoch, train_loss, val_loss, val_accuracy });
-            if best.as_ref().map_or(true, |(b, _, _)| val_loss < *b) {
+            epochs.push(EpochStats {
+                epoch,
+                train_loss,
+                val_loss,
+                val_accuracy,
+            });
+            if best.as_ref().is_none_or(|(b, _, _)| val_loss < *b) {
                 best = Some((val_loss, model.clone(), epoch));
             }
             if let Some(s) = stopper.as_mut() {
@@ -170,7 +175,11 @@ impl Trainer {
             }
             None => 0,
         };
-        TrainReport { epochs, best_epoch, early_stopped }
+        TrainReport {
+            epochs,
+            best_epoch,
+            early_stopped,
+        }
     }
 }
 
@@ -188,7 +197,10 @@ pub fn evaluate_set(model: &Seq2Seq, data: &[Pair]) -> (f32, f64) {
         correct += c;
         total += t;
     }
-    (loss / data.len() as f32, correct as f64 / total.max(1) as f64)
+    (
+        loss / data.len() as f32,
+        correct as f64 / total.max(1) as f64,
+    )
 }
 
 #[cfg(test)]
@@ -241,8 +253,17 @@ mod tests {
         let report = Trainer::new(options).train(&mut model, &train, &val);
         let first = &report.epochs[0];
         let last = report.epochs.last().unwrap();
-        assert!(last.val_loss < first.val_loss, "{} -> {}", first.val_loss, last.val_loss);
-        assert!(report.best_val_accuracy() > 0.6, "{}", report.best_val_accuracy());
+        assert!(
+            last.val_loss < first.val_loss,
+            "{} -> {}",
+            first.val_loss,
+            last.val_loss
+        );
+        assert!(
+            report.best_val_accuracy() > 0.6,
+            "{}",
+            report.best_val_accuracy()
+        );
     }
 
     #[test]
@@ -291,7 +312,9 @@ mod tests {
                 early_stop_fluctuation: None,
                 seed: 3,
             };
-            Trainer::new(options).train(&mut model, train, val).epochs
+            Trainer::new(options)
+                .train(&mut model, train, val)
+                .epochs
                 .iter()
                 .map(|e| e.train_loss)
                 .collect::<Vec<_>>()

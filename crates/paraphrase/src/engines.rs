@@ -81,7 +81,7 @@ impl Paraphraser for AggressiveParaphraser {
     fn paraphrase(&self, text: &str, variant: usize) -> Option<String> {
         // Even variants rewrite through the imperfect lexicon (Table 2
         // sentences 1–3); odd variants rewrite every synonym at once.
-        let out = if variant % 2 == 0 {
+        let out = if variant.is_multiple_of(2) {
             substitute_all(text, IMPERFECT, variant / 2)
         } else {
             substitute_all(text, SYNONYMS, variant)
@@ -127,7 +127,10 @@ mod tests {
     fn synonym_engine_changes_one_phrase() {
         let p = SynonymParaphraser.paraphrase(RULE_SENTENCE, 0).unwrap();
         assert_ne!(p, RULE_SENTENCE);
-        assert!(p.contains("sequential scan"), "only one phrase changes: {p}");
+        assert!(
+            p.contains("sequential scan"),
+            "only one phrase changes: {p}"
+        );
     }
 
     #[test]
@@ -171,14 +174,21 @@ mod tests {
             "scan <T> to get <TN>.",
             "execute a scan over <T> yielding <TN>."
         ));
-        assert!(!is_valid_paraphrase("scan <T> to get <TN>.", "execute a scan yielding <TN>."));
+        assert!(!is_valid_paraphrase(
+            "scan <T> to get <TN>.",
+            "execute a scan yielding <TN>."
+        ));
         assert!(!is_valid_paraphrase("scan T1.", "scan it."));
         assert!(!is_valid_paraphrase("scan <T>.", "   "));
     }
 
     #[test]
     fn unchanged_output_is_rejected() {
-        assert!(SynonymParaphraser.paraphrase("no matching words here", 0).is_none());
-        assert!(RestructureParaphraser.paraphrase("nothing restructurable", 0).is_none());
+        assert!(SynonymParaphraser
+            .paraphrase("no matching words here", 0)
+            .is_none());
+        assert!(RestructureParaphraser
+            .paraphrase("nothing restructurable", 0)
+            .is_none());
     }
 }

@@ -26,10 +26,16 @@ pub struct ExpansionStats {
 /// `per_engine` controls how many variant indices each engine is asked
 /// for (the paper uses one output per tool → groups of ≤ 4).
 pub fn expand_group(sentence: &str, per_engine: usize) -> (Vec<String>, ExpansionStats) {
-    let engines: [&dyn Paraphraser; 3] =
-        [&SynonymParaphraser, &RestructureParaphraser, &AggressiveParaphraser];
+    let engines: [&dyn Paraphraser; 3] = [
+        &SynonymParaphraser,
+        &RestructureParaphraser,
+        &AggressiveParaphraser,
+    ];
     let mut group = vec![sentence.to_string()];
-    let mut stats = ExpansionStats { groups: 1, ..Default::default() };
+    let mut stats = ExpansionStats {
+        groups: 1,
+        ..Default::default()
+    };
     for engine in engines {
         for variant in 0..per_engine {
             let Some(candidate) = engine.paraphrase(sentence, variant) else {
@@ -51,7 +57,10 @@ pub fn expand_group(sentence: &str, per_engine: usize) -> (Vec<String>, Expansio
 }
 
 /// Expand a whole corpus of rule sentences; returns `(groups, stats)`.
-pub fn expand_corpus(sentences: &[String], per_engine: usize) -> (Vec<Vec<String>>, ExpansionStats) {
+pub fn expand_corpus(
+    sentences: &[String],
+    per_engine: usize,
+) -> (Vec<Vec<String>>, ExpansionStats) {
     let mut groups = Vec::with_capacity(sentences.len());
     let mut stats = ExpansionStats::default();
     for s in sentences {

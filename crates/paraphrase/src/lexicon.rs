@@ -10,15 +10,44 @@
 pub const SYNONYMS: &[(&str, &[&str])] = &[
     ("perform", &["execute", "carry out", "run"]),
     ("sequential scan", &["full table scan", "sequential read"]),
-    ("to get the final results", &["to obtain the final results", "to get the conclusive outcome", "to produce the final answer"]),
-    ("to get the intermediate relation", &["to obtain the intermediate relation", "to produce the intermediate relation", "yielding the intermediate relation"]),
-    ("filtering on", &["keeping only rows satisfying", "selecting on"]),
+    (
+        "to get the final results",
+        &[
+            "to obtain the final results",
+            "to get the conclusive outcome",
+            "to produce the final answer",
+        ],
+    ),
+    (
+        "to get the intermediate relation",
+        &[
+            "to obtain the intermediate relation",
+            "to produce the intermediate relation",
+            "yielding the intermediate relation",
+        ],
+    ),
+    (
+        "filtering on",
+        &["keeping only rows satisfying", "selecting on"],
+    ),
     ("hash", &["build a hash table over", "hash the rows of"]),
     ("sort", &["order", "arrange"]),
-    ("duplicate removal", &["removal of duplicates", "elimination of duplicate rows"]),
-    ("on condition", &["under the condition", "with the join condition"]),
-    ("with grouping on attribute", &["grouping by attribute", "with groups formed on attribute"]),
-    ("perform aggregate", &["compute the aggregate", "evaluate the aggregate"]),
+    (
+        "duplicate removal",
+        &["removal of duplicates", "elimination of duplicate rows"],
+    ),
+    (
+        "on condition",
+        &["under the condition", "with the join condition"],
+    ),
+    (
+        "with grouping on attribute",
+        &["grouping by attribute", "with groups formed on attribute"],
+    ),
+    (
+        "perform aggregate",
+        &["compute the aggregate", "evaluate the aggregate"],
+    ),
     ("join", &["combine"]),
 ];
 
@@ -28,7 +57,10 @@ pub const IMPERFECT: &[(&str, &[&str])] = &[
     ("filtering on", &["separating on"]),
     ("perform", &["execute"]),
     ("scan", &["scan output"]),
-    ("to get the final results", &["and to get the conclusive outcome"]),
+    (
+        "to get the final results",
+        &["and to get the conclusive outcome"],
+    ),
     ("intermediate relation", &["temporary relation"]),
 ];
 

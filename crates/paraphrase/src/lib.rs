@@ -24,8 +24,6 @@ pub mod engines;
 pub mod expand;
 pub mod lexicon;
 
-pub use engines::{
-    AggressiveParaphraser, Paraphraser, RestructureParaphraser, SynonymParaphraser,
-};
+pub use engines::{AggressiveParaphraser, Paraphraser, RestructureParaphraser, SynonymParaphraser};
 pub use expand::{expand_group, ExpansionStats};
 pub use lexicon::SYNONYMS;

@@ -42,7 +42,10 @@ pub struct PlanNode {
 impl PlanNode {
     /// Leaf/internal constructor with just an operator name.
     pub fn new(op: impl Into<String>) -> Self {
-        PlanNode { op: op.into(), ..Default::default() }
+        PlanNode {
+            op: op.into(),
+            ..Default::default()
+        }
     }
 
     /// Builder: attach a child.
@@ -115,7 +118,10 @@ pub struct PlanTree {
 impl PlanTree {
     /// Wrap a root node with its source tag.
     pub fn new(source: impl Into<String>, root: PlanNode) -> Self {
-        PlanTree { source: source.into(), root }
+        PlanTree {
+            source: source.into(),
+            root,
+        }
     }
 
     /// Total node count.
@@ -143,7 +149,11 @@ impl fmt::Display for PlanNode {
                     }
                 }
             }
-            write!(f, "  (rows={:.0} cost={:.2})", node.estimated_rows, node.estimated_cost)?;
+            write!(
+                f,
+                "  (rows={:.0} cost={:.2})",
+                node.estimated_rows, node.estimated_cost
+            )?;
             if let Some(c) = &node.join_cond {
                 writeln!(f)?;
                 for _ in 0..depth + 1 {

@@ -36,13 +36,28 @@ fn parse_node(v: &JsonValue) -> Result<PlanNode, JsonError> {
     let op = v
         .get("Node Type")
         .and_then(JsonValue::as_str)
-        .ok_or(JsonError { offset: 0, message: "missing 'Node Type'".to_string() })?
+        .ok_or(JsonError {
+            offset: 0,
+            message: "missing 'Node Type'".to_string(),
+        })?
         .to_string();
     let mut node = PlanNode::new(op);
-    node.relation = v.get("Relation Name").and_then(JsonValue::as_str).map(str::to_string);
-    node.alias = v.get("Alias").and_then(JsonValue::as_str).map(str::to_string);
-    node.index_name = v.get("Index Name").and_then(JsonValue::as_str).map(str::to_string);
-    node.filter = v.get("Filter").and_then(JsonValue::as_str).map(str::to_string);
+    node.relation = v
+        .get("Relation Name")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
+    node.alias = v
+        .get("Alias")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
+    node.index_name = v
+        .get("Index Name")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
+    node.filter = v
+        .get("Filter")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
     for key in JOIN_COND_KEYS {
         if let Some(c) = v.get(key).and_then(JsonValue::as_str) {
             node.join_cond = Some(c.to_string());
@@ -50,14 +65,29 @@ fn parse_node(v: &JsonValue) -> Result<PlanNode, JsonError> {
         }
     }
     if let Some(keys) = v.get("Sort Key").and_then(JsonValue::as_array) {
-        node.sort_keys = keys.iter().filter_map(|k| k.as_str().map(str::to_string)).collect();
+        node.sort_keys = keys
+            .iter()
+            .filter_map(|k| k.as_str().map(str::to_string))
+            .collect();
     }
     if let Some(keys) = v.get("Group Key").and_then(JsonValue::as_array) {
-        node.group_keys = keys.iter().filter_map(|k| k.as_str().map(str::to_string)).collect();
+        node.group_keys = keys
+            .iter()
+            .filter_map(|k| k.as_str().map(str::to_string))
+            .collect();
     }
-    node.strategy = v.get("Strategy").and_then(JsonValue::as_str).map(str::to_string);
-    node.estimated_rows = v.get("Plan Rows").and_then(JsonValue::as_f64).unwrap_or(0.0);
-    node.estimated_cost = v.get("Total Cost").and_then(JsonValue::as_f64).unwrap_or(0.0);
+    node.strategy = v
+        .get("Strategy")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
+    node.estimated_rows = v
+        .get("Plan Rows")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
+    node.estimated_cost = v
+        .get("Total Cost")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
     if let Some(children) = v.get("Plans").and_then(JsonValue::as_array) {
         for c in children {
             node.children.push(parse_node(c)?);
@@ -100,13 +130,25 @@ fn node_to_json(node: &PlanNode) -> JsonValue {
     if !node.sort_keys.is_empty() {
         m.insert(
             "Sort Key".into(),
-            JsonValue::Array(node.sort_keys.iter().cloned().map(JsonValue::String).collect()),
+            JsonValue::Array(
+                node.sort_keys
+                    .iter()
+                    .cloned()
+                    .map(JsonValue::String)
+                    .collect(),
+            ),
         );
     }
     if !node.group_keys.is_empty() {
         m.insert(
             "Group Key".into(),
-            JsonValue::Array(node.group_keys.iter().cloned().map(JsonValue::String).collect()),
+            JsonValue::Array(
+                node.group_keys
+                    .iter()
+                    .cloned()
+                    .map(JsonValue::String)
+                    .collect(),
+            ),
         );
     }
     if let Some(s) = &node.strategy {
@@ -121,7 +163,8 @@ fn node_to_json(node: &PlanNode) -> JsonValue {
         );
     }
     for (k, v) in &node.extra {
-        m.entry(k.clone()).or_insert_with(|| JsonValue::String(v.clone()));
+        m.entry(k.clone())
+            .or_insert_with(|| JsonValue::String(v.clone()));
     }
     JsonValue::Object(m)
 }
@@ -167,7 +210,10 @@ mod tests {
         let agg = &tree.root.children[0];
         assert_eq!(agg.group_keys, vec!["i.proceeding_key"]);
         let join = &agg.children[0].children[0];
-        assert_eq!(join.join_cond.as_deref(), Some("(i.proceeding_key) = (p.pub_key)"));
+        assert_eq!(
+            join.join_cond.as_deref(),
+            Some("(i.proceeding_key) = (p.pub_key)")
+        );
         assert_eq!(tree.root.relations(), vec!["inproceedings", "publication"]);
     }
 

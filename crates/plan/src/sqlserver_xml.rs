@@ -79,13 +79,17 @@ fn find_first_relop(node: &XmlNode) -> Option<&XmlNode> {
 
 fn parse_relop(el: &XmlNode) -> PlanNode {
     let mut node = PlanNode::new(el.attr("PhysicalOp").unwrap_or("Unknown"));
-    node.estimated_rows = el.attr("EstimateRows").and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    node.estimated_rows = el
+        .attr("EstimateRows")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0);
     node.estimated_cost = el
         .attr("EstimatedTotalSubtreeCost")
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.0);
     if let Some(logical) = el.attr("LogicalOp") {
-        node.extra.insert("LogicalOp".to_string(), logical.to_string());
+        node.extra
+            .insert("LogicalOp".to_string(), logical.to_string());
     }
     if let Some(strategy) = el.attr("Strategy") {
         node.strategy = Some(strategy.to_string());
@@ -102,7 +106,11 @@ fn parse_relop(el: &XmlNode) -> PlanNode {
             "OrderBy" => {
                 for col in child.children_named("ColumnReference") {
                     if let Some(c) = col.attr("Column") {
-                        let dir = if col.attr("Descending") == Some("true") { " DESC" } else { "" };
+                        let dir = if col.attr("Descending") == Some("true") {
+                            " DESC"
+                        } else {
+                            ""
+                        };
                         node.sort_keys.push(format!("{c}{dir}"));
                     }
                 }
@@ -129,20 +137,25 @@ pub fn plan_to_sqlserver_xml(tree: &PlanTree) -> String {
     let stmt = XmlNode::new("StmtSimple").with_child(plan);
     let doc = XmlNode::new("ShowPlanXML")
         .with_attr("Version", "1.5")
-        .with_child(
-            XmlNode::new("BatchSequence").with_child(
-                XmlNode::new("Batch").with_child(XmlNode::new("Statements").with_child(stmt)),
-            ),
-        );
+        .with_child(XmlNode::new("BatchSequence").with_child(
+            XmlNode::new("Batch").with_child(XmlNode::new("Statements").with_child(stmt)),
+        ));
     doc.to_string_pretty()
 }
 
 fn relop_to_xml(node: &PlanNode, translate: bool) -> XmlNode {
-    let op = if translate { pg_op_to_mssql(&node.op).to_string() } else { node.op.clone() };
+    let op = if translate {
+        pg_op_to_mssql(&node.op).to_string()
+    } else {
+        node.op.clone()
+    };
     let mut el = XmlNode::new("RelOp")
         .with_attr("PhysicalOp", op)
         .with_attr("EstimateRows", format!("{}", node.estimated_rows))
-        .with_attr("EstimatedTotalSubtreeCost", format!("{}", node.estimated_cost));
+        .with_attr(
+            "EstimatedTotalSubtreeCost",
+            format!("{}", node.estimated_cost),
+        );
     if let Some(s) = &node.strategy {
         el = el.with_attr("Strategy", s.clone());
     }
@@ -227,9 +240,15 @@ mod tests {
         let tree = parse_sqlserver_xml_plan(SHOWPLAN).unwrap();
         assert_eq!(tree.source, "mssql");
         assert_eq!(tree.root.op, "Hash Match");
-        assert_eq!(tree.root.join_cond.as_deref(), Some("(s.bestobjid) = (p.objid)"));
+        assert_eq!(
+            tree.root.join_cond.as_deref(),
+            Some("(s.bestobjid) = (p.objid)")
+        );
         assert_eq!(tree.root.children.len(), 2);
-        assert_eq!(tree.root.children[1].filter.as_deref(), Some("class = 'QSO'"));
+        assert_eq!(
+            tree.root.children[1].filter.as_deref(),
+            Some("class = 'QSO'")
+        );
         assert_eq!(tree.root.relations(), vec!["photoobj", "specobj"]);
     }
 
@@ -273,11 +292,22 @@ mod tests {
         // mapping table ("Merge Join" and "Sort" happen to share names
         // across the two systems, which is fine — the entry exists).
         for op in [
-            "Seq Scan", "Index Scan", "Hash Join", "Merge Join", "Nested Loop", "Hash",
-            "Sort", "Aggregate", "Unique", "Limit", "Materialize",
+            "Seq Scan",
+            "Index Scan",
+            "Hash Join",
+            "Merge Join",
+            "Nested Loop",
+            "Hash",
+            "Sort",
+            "Aggregate",
+            "Unique",
+            "Limit",
+            "Materialize",
         ] {
             assert!(
-                PG_TO_MSSQL_OPS.iter().any(|(pg, _)| pg.eq_ignore_ascii_case(op)),
+                PG_TO_MSSQL_OPS
+                    .iter()
+                    .any(|(pg, _)| pg.eq_ignore_ascii_case(op)),
                 "{op} missing from PG_TO_MSSQL_OPS"
             );
         }

@@ -33,7 +33,12 @@ fn walk<'a>(
     for (i, c) in node.children.iter().enumerate() {
         walk(c, Some(node), depth + 1, i, out);
     }
-    out.push(PostOrderItem { node, parent, depth, child_index });
+    out.push(PostOrderItem {
+        node,
+        parent,
+        depth,
+        child_index,
+    });
 }
 
 /// Fetch a node by its child-index path from the root (empty path =
@@ -55,8 +60,7 @@ mod tests {
             PlanNode::new("Hash Join")
                 .with_child(PlanNode::new("Seq Scan").on_relation("a"))
                 .with_child(
-                    PlanNode::new("Hash")
-                        .with_child(PlanNode::new("Seq Scan").on_relation("b")),
+                    PlanNode::new("Hash").with_child(PlanNode::new("Seq Scan").on_relation("b")),
                 ),
         )
     }
@@ -65,7 +69,10 @@ mod tests {
     fn post_order_children_before_parents() {
         let t = tree();
         let ops: Vec<&str> = post_order(&t).iter().map(|i| i.node.op.as_str()).collect();
-        assert_eq!(ops, vec!["Seq Scan", "Seq Scan", "Hash", "Hash Join", "Unique"]);
+        assert_eq!(
+            ops,
+            vec!["Seq Scan", "Seq Scan", "Hash", "Hash Join", "Unique"]
+        );
     }
 
     #[test]
@@ -93,7 +100,10 @@ mod tests {
     fn path_addressing() {
         let t = tree();
         assert_eq!(node_at_path(&t, &[]).unwrap().op, "Unique");
-        assert_eq!(node_at_path(&t, &[0, 1, 0]).unwrap().relation.as_deref(), Some("b"));
+        assert_eq!(
+            node_at_path(&t, &[0, 1, 0]).unwrap().relation.as_deref(),
+            Some("b")
+        );
         assert!(node_at_path(&t, &[3]).is_none());
     }
 }

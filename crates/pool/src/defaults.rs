@@ -143,8 +143,20 @@ mod tests {
     fn pg_store_loads_all_operators() {
         let s = default_pg_store();
         assert_eq!(s.operators_of("pg").len(), PG_POOL_STATEMENTS.len());
-        for op in ["Seq Scan", "Hash Join", "Hash", "Merge Join", "Nested Loop", "Sort",
-                   "Aggregate", "HashAggregate", "Unique", "Limit", "Materialize", "Gather"] {
+        for op in [
+            "Seq Scan",
+            "Hash Join",
+            "Hash",
+            "Merge Join",
+            "Nested Loop",
+            "Sort",
+            "Aggregate",
+            "HashAggregate",
+            "Unique",
+            "Limit",
+            "Materialize",
+            "Gather",
+        ] {
             assert!(s.find("pg", op).is_some(), "missing {op}");
         }
     }
@@ -153,8 +165,15 @@ mod tests {
     fn mssql_store_has_both_sources() {
         let s = default_mssql_store();
         assert_eq!(s.sources(), vec!["mssql", "pg"]);
-        for op in ["Table Scan", "Index Seek", "Hash Match", "Hash Build", "Stream Aggregate",
-                   "Distinct Sort", "Top"] {
+        for op in [
+            "Table Scan",
+            "Index Seek",
+            "Hash Match",
+            "Hash Build",
+            "Stream Aggregate",
+            "Distinct Sort",
+            "Top",
+        ] {
             assert!(s.find("mssql", op).is_some(), "missing {op}");
         }
     }
@@ -163,7 +182,10 @@ mod tests {
     fn hash_targets_hashjoin_in_both_sources() {
         let s = default_mssql_store();
         assert!(s.find("pg", "Hash").unwrap().targets_op("Hash Join"));
-        assert!(s.find("mssql", "Hash Build").unwrap().targets_op("Hash Match"));
+        assert!(s
+            .find("mssql", "Hash Build")
+            .unwrap()
+            .targets_op("Hash Match"));
     }
 
     #[test]
@@ -201,7 +223,13 @@ mod tests {
     #[test]
     fn aliases_are_learner_friendly() {
         let s = default_pg_store();
-        assert_eq!(s.find("pg", "seqscan").unwrap().display_name(), "sequential scan");
-        assert_eq!(s.find("pg", "unique").unwrap().display_name(), "duplicate removal");
+        assert_eq!(
+            s.find("pg", "seqscan").unwrap().display_name(),
+            "sequential scan"
+        );
+        assert_eq!(
+            s.find("pg", "unique").unwrap().display_name(),
+            "duplicate removal"
+        );
     }
 }

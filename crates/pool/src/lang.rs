@@ -43,22 +43,46 @@ pub enum PoolValueExpr {
     /// `'literal'` or `NULL`.
     Literal(Option<String>),
     /// `(SELECT attr FROM source [AS alias] WHERE ...)` — scalar.
-    Subquery { attr: String, source: String, conds: Vec<PoolCond> },
+    Subquery {
+        attr: String,
+        source: String,
+        conds: Vec<PoolCond>,
+    },
     /// `REPLACE(<expr>, 'old', 'new')`.
-    Replace { inner: Box<PoolValueExpr>, from: String, to: String },
+    Replace {
+        inner: Box<PoolValueExpr>,
+        from: String,
+        to: String,
+    },
 }
 
 /// A parsed POOL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PoolStatement {
     /// `CREATE POPERATOR <name> FOR <source> (ATTR = value, ...)`.
-    Create { name: String, source: String, attrs: Vec<(String, Option<String>)> },
+    Create {
+        name: String,
+        source: String,
+        attrs: Vec<(String, Option<String>)>,
+    },
     /// `SELECT <attrs|*> FROM <source> [WHERE ...]`.
-    Select { attrs: Vec<String>, source: String, conds: Vec<PoolCond> },
+    Select {
+        attrs: Vec<String>,
+        source: String,
+        conds: Vec<PoolCond>,
+    },
     /// `COMPOSE <op>[, <op2>] FROM <source> [USING <op>.desc = '...']`.
-    Compose { ops: Vec<String>, source: String, using: Option<(String, String)> },
+    Compose {
+        ops: Vec<String>,
+        source: String,
+        using: Option<(String, String)>,
+    },
     /// `UPDATE <source> SET attr = <expr>[, ...] [WHERE ...]`.
-    Update { source: String, sets: Vec<(String, PoolValueExpr)>, conds: Vec<PoolCond> },
+    Update {
+        source: String,
+        sets: Vec<(String, PoolValueExpr)>,
+        conds: Vec<PoolCond>,
+    },
 }
 
 /// Result of executing a POOL statement.
@@ -69,7 +93,10 @@ pub enum PoolValue {
     /// `SELECT *`: full objects.
     Objects(Vec<PoemObject>),
     /// Projected `SELECT`: header + string rows (NULLs as `None`).
-    Rows { attrs: Vec<String>, rows: Vec<Vec<Option<String>>> },
+    Rows {
+        attrs: Vec<String>,
+        rows: Vec<Vec<Option<String>>>,
+    },
     /// `COMPOSE`: a natural-language description template.
     Template(String),
     /// `UPDATE`: number of objects changed.
@@ -259,7 +286,11 @@ impl P {
                 Tok::Word(w) => w,
                 other => return Err(err(format!("expected value, found {other:?}"))),
             };
-            conds.push(PoolCond { attr: attr.to_ascii_lowercase(), like, value });
+            conds.push(PoolCond {
+                attr: attr.to_ascii_lowercase(),
+                like,
+                value,
+            });
             if !self.accept_kw("AND") {
                 return Ok(conds);
             }
@@ -275,7 +306,11 @@ impl P {
             self.expect_tok(Tok::Comma, "','")?;
             let to = self.string()?;
             self.expect_tok(Tok::RParen, "')'")?;
-            return Ok(PoolValueExpr::Replace { inner: Box::new(inner), from, to });
+            return Ok(PoolValueExpr::Replace {
+                inner: Box::new(inner),
+                from,
+                to,
+            });
         }
         if *self.peek() == Tok::LParen {
             self.bump();
@@ -286,9 +321,17 @@ impl P {
             if self.accept_kw("AS") {
                 self.word()?; // alias ignored
             }
-            let conds = if self.accept_kw("WHERE") { self.conds()? } else { Vec::new() };
+            let conds = if self.accept_kw("WHERE") {
+                self.conds()?
+            } else {
+                Vec::new()
+            };
             self.expect_tok(Tok::RParen, "')'")?;
-            return Ok(PoolValueExpr::Subquery { attr, source, conds });
+            return Ok(PoolValueExpr::Subquery {
+                attr,
+                source,
+                conds,
+            });
         }
         match self.bump() {
             Tok::Str(s) => Ok(PoolValueExpr::Literal(Some(s))),
@@ -300,7 +343,10 @@ impl P {
 
 /// Parse one POOL statement.
 pub fn parse_pool(input: &str) -> Result<PoolStatement, PoolError> {
-    let mut p = P { toks: lex(input)?, pos: 0 };
+    let mut p = P {
+        toks: lex(input)?,
+        pos: 0,
+    };
     let stmt = if p.accept_kw("CREATE") {
         p.expect_kw("POPERATOR")?;
         let name = p.multi_word(&["FOR"])?;
@@ -323,7 +369,11 @@ pub fn parse_pool(input: &str) -> Result<PoolStatement, PoolError> {
                 other => return Err(err(format!("expected ',' or ')', found {other:?}"))),
             }
         }
-        PoolStatement::Create { name, source, attrs }
+        PoolStatement::Create {
+            name,
+            source,
+            attrs,
+        }
     } else if p.accept_kw("SELECT") {
         let mut attrs = Vec::new();
         if *p.peek() == Tok::Star {
@@ -344,8 +394,16 @@ pub fn parse_pool(input: &str) -> Result<PoolStatement, PoolError> {
         if p.accept_kw("AS") {
             p.word()?;
         }
-        let conds = if p.accept_kw("WHERE") { p.conds()? } else { Vec::new() };
-        PoolStatement::Select { attrs, source, conds }
+        let conds = if p.accept_kw("WHERE") {
+            p.conds()?
+        } else {
+            Vec::new()
+        };
+        PoolStatement::Select {
+            attrs,
+            source,
+            conds,
+        }
     } else if p.accept_kw("COMPOSE") {
         let mut ops = vec![p.multi_word(&["FROM"])?];
         while *p.peek() == Tok::Comma {
@@ -380,8 +438,16 @@ pub fn parse_pool(input: &str) -> Result<PoolStatement, PoolError> {
                 break;
             }
         }
-        let conds = if p.accept_kw("WHERE") { p.conds()? } else { Vec::new() };
-        PoolStatement::Update { source, sets, conds }
+        let conds = if p.accept_kw("WHERE") {
+            p.conds()?
+        } else {
+            Vec::new()
+        };
+        PoolStatement::Update {
+            source,
+            sets,
+            conds,
+        }
     } else {
         return Err(err(format!("unknown statement start {:?}", p.peek())));
     };
@@ -401,7 +467,11 @@ pub fn execute(input: &str, store: &PoemStore) -> Result<PoolValue, PoolError> {
 /// Execute a parsed statement.
 pub fn execute_stmt(stmt: &PoolStatement, store: &PoemStore) -> Result<PoolValue, PoolError> {
     match stmt {
-        PoolStatement::Create { name, source, attrs } => {
+        PoolStatement::Create {
+            name,
+            source,
+            attrs,
+        } => {
             let mut alias = None;
             let mut arity = None;
             let mut defn = None;
@@ -455,7 +525,11 @@ pub fn execute_stmt(stmt: &PoolStatement, store: &PoemStore) -> Result<PoolValue
             );
             Ok(PoolValue::Created(oid))
         }
-        PoolStatement::Select { attrs, source, conds } => {
+        PoolStatement::Select {
+            attrs,
+            source,
+            conds,
+        } => {
             let objects: Vec<PoemObject> = store
                 .operators_of(source)
                 .into_iter()
@@ -468,7 +542,10 @@ pub fn execute_stmt(stmt: &PoolStatement, store: &PoemStore) -> Result<PoolValue
                 .iter()
                 .map(|o| attrs.iter().map(|a| attr_value(o, a)).collect())
                 .collect();
-            Ok(PoolValue::Rows { attrs: attrs.clone(), rows })
+            Ok(PoolValue::Rows {
+                attrs: attrs.clone(),
+                rows,
+            })
         }
         PoolStatement::Compose { ops, source, using } => {
             let lookup = |name: &str| -> Result<PoemObject, PoolError> {
@@ -503,7 +580,11 @@ pub fn execute_stmt(stmt: &PoolStatement, store: &PoemStore) -> Result<PoolValue
                 n => Err(err(format!("COMPOSE takes one or two operators, got {n}"))),
             }
         }
-        PoolStatement::Update { source, sets, conds } => {
+        PoolStatement::Update {
+            source,
+            sets,
+            conds,
+        } => {
             // Find matching names first.
             let matching: Vec<String> = store
                 .operators_of(source)
@@ -524,9 +605,7 @@ pub fn execute_stmt(stmt: &PoolStatement, store: &PoemStore) -> Result<PoolValue
                         "alias" => alias = Some(value),
                         "defn" => defn = Some(value),
                         "desc" => descs = Some(value.into_iter().collect::<Vec<_>>()),
-                        "cond" => {
-                            cond = Some(matches!(value.as_deref(), Some("true")))
-                        }
+                        "cond" => cond = Some(matches!(value.as_deref(), Some("true"))),
                         "target" => target = Some(value),
                         other => return Err(err(format!("cannot SET attribute {other}"))),
                     }
@@ -541,7 +620,11 @@ pub fn execute_stmt(stmt: &PoolStatement, store: &PoemStore) -> Result<PoolValue
 fn eval_value(expr: &PoolValueExpr, store: &PoemStore) -> Result<Option<String>, PoolError> {
     match expr {
         PoolValueExpr::Literal(v) => Ok(v.clone()),
-        PoolValueExpr::Subquery { attr, source, conds } => {
+        PoolValueExpr::Subquery {
+            attr,
+            source,
+            conds,
+        } => {
             let objects: Vec<PoemObject> = store
                 .operators_of(source)
                 .into_iter()
@@ -789,7 +872,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r, PoolValue::Updated(1));
-        assert_eq!(s.find("db2", "hsjoin").unwrap().descs, vec!["perform hash join"]);
+        assert_eq!(
+            s.find("db2", "hsjoin").unwrap().descs,
+            vec!["perform hash join"]
+        );
     }
 
     #[test]
@@ -824,8 +910,15 @@ mod tests {
             &s,
         )
         .unwrap();
-        execute("UPDATE db2 SET alias = 'zigzag join' WHERE name = 'zzjoin'", &s).unwrap();
-        assert_eq!(s.find("db2", "zzjoin").unwrap().display_name(), "zigzag join");
+        execute(
+            "UPDATE db2 SET alias = 'zigzag join' WHERE name = 'zzjoin'",
+            &s,
+        )
+        .unwrap();
+        assert_eq!(
+            s.find("db2", "zzjoin").unwrap().display_name(),
+            "zigzag join"
+        );
     }
 
     #[test]

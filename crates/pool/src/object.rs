@@ -57,7 +57,7 @@ impl PoemObject {
     /// comparison).
     pub fn targets_op(&self, critical: &str) -> bool {
         let c = normalize_op_name(critical);
-        self.targets.iter().any(|t| *t == c)
+        self.targets.contains(&c)
     }
 
     /// The learner-visible name: alias when set, else the operator
@@ -112,7 +112,11 @@ impl PoemObject {
     /// neither associative nor commutative.
     pub fn compose_with(&self, critical: &PoemObject, desc_pick: Option<&str>) -> String {
         debug_assert!(self.is_auxiliary(), "left operand of ∘ must be auxiliary");
-        format!("{} and {}", self.template(None), critical.template(desc_pick))
+        format!(
+            "{} and {}",
+            self.template(None),
+            critical.template(desc_pick)
+        )
     }
 }
 
@@ -211,9 +215,13 @@ mod tests {
     fn using_clause_selects_description() {
         let mut hj = hashjoin();
         hj.descs.push("execute hash join".into());
-        assert!(hj.template(Some("execute hash join")).starts_with("execute hash join"));
+        assert!(hj
+            .template(Some("execute hash join"))
+            .starts_with("execute hash join"));
         // Unknown pick falls back to the first description.
-        assert!(hj.template(Some("missing")).starts_with("perform hash join"));
+        assert!(hj
+            .template(Some("missing"))
+            .starts_with("perform hash join"));
     }
 
     #[test]

@@ -90,7 +90,10 @@ impl PoemStore {
             }),
         });
         for d in descs {
-            inner.pdesc.push(PDescRow { oid, desc: (*d).to_string() });
+            inner.pdesc.push(PDescRow {
+                oid,
+                desc: (*d).to_string(),
+            });
         }
         oid
     }
@@ -153,6 +156,9 @@ impl PoemStore {
     /// returns the number of objects changed. `None` arguments leave
     /// the attribute untouched; descriptions, when given, replace the
     /// existing `PDesc` rows.
+    // One optional parameter per POEM attribute, mirroring the POOL
+    // UPDATE statement's SET clause.
+    #[allow(clippy::too_many_arguments)]
     pub fn update(
         &self,
         source: &str,
@@ -186,16 +192,22 @@ impl PoemStore {
                 row.cond = c;
             }
             if let Some(t) = &target {
-                row.target = t
-                    .as_deref()
-                    .map(|t| t.split(',').map(normalize_op_name).collect::<Vec<_>>().join(","));
+                row.target = t.as_deref().map(|t| {
+                    t.split(',')
+                        .map(normalize_op_name)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                });
             }
         }
         if let Some(new_descs) = descs {
             for &oid in &oids {
                 inner.pdesc.retain(|d| d.oid != oid);
                 for d in &new_descs {
-                    inner.pdesc.push(PDescRow { oid, desc: d.clone() });
+                    inner.pdesc.push(PDescRow {
+                        oid,
+                        desc: d.clone(),
+                    });
                 }
             }
         }
@@ -214,7 +226,10 @@ impl PoemStore {
             .map(|r| r.oid);
         match oid {
             Some(oid) => {
-                inner.pdesc.push(PDescRow { oid, desc: desc.to_string() });
+                inner.pdesc.push(PDescRow {
+                    oid,
+                    desc: desc.to_string(),
+                });
                 true
             }
             None => false,
@@ -231,7 +246,9 @@ impl PoemStore {
             .filter(|r| r.source == source && r.name == key)
             .map(|r| r.oid)
             .collect();
-        inner.poperators.retain(|r| !(r.source == source && r.name == key));
+        inner
+            .poperators
+            .retain(|r| !(r.source == source && r.name == key));
         inner.pdesc.retain(|d| !oids.contains(&d.oid));
         oids.len()
     }
@@ -263,7 +280,16 @@ mod tests {
             true,
             None,
         );
-        s.create("pg", "hash", None, OperatorArity::Unary, None, &["hash"], false, Some("hashjoin"));
+        s.create(
+            "pg",
+            "hash",
+            None,
+            OperatorArity::Unary,
+            None,
+            &["hash"],
+            false,
+            Some("hashjoin"),
+        );
         s
     }
 
@@ -309,7 +335,15 @@ mod tests {
     #[test]
     fn update_replaces_descs() {
         let s = store_with_hashjoin();
-        s.update("pg", "hashjoin", None, None, Some(vec!["do the join".into()]), None, None);
+        s.update(
+            "pg",
+            "hashjoin",
+            None,
+            None,
+            Some(vec!["do the join".into()]),
+            None,
+            None,
+        );
         let o = s.find("pg", "hashjoin").unwrap();
         assert_eq!(o.descs, vec!["do the join"]);
     }
@@ -333,7 +367,16 @@ mod tests {
     #[test]
     fn sources_listing() {
         let s = store_with_hashjoin();
-        s.create("mssql", "tablescan", None, OperatorArity::Unary, None, &["scan"], false, None);
+        s.create(
+            "mssql",
+            "tablescan",
+            None,
+            OperatorArity::Unary,
+            None,
+            &["scan"],
+            false,
+            None,
+        );
         assert_eq!(s.sources(), vec!["mssql", "pg"]);
     }
 

@@ -48,7 +48,12 @@ impl BinaryOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
         )
     }
 }
@@ -87,28 +92,54 @@ pub enum UnaryOp {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Column reference, optionally qualified: `o.orderkey`, `title`.
-    Column { qualifier: Option<String>, name: String },
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
     IntLit(i64),
     FloatLit(f64),
     StrLit(String),
     BoolLit(bool),
     Null,
-    Binary { op: BinaryOp, left: Box<Expr>, right: Box<Expr> },
-    Unary { op: UnaryOp, expr: Box<Expr> },
+    Binary {
+        op: BinaryOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
     /// Aggregate call; `distinct` covers `COUNT(DISTINCT x)`; `arg`
     /// `None` means `COUNT(*)` (also printed as `count(all)` by the
     /// narration layer, matching the paper).
-    Agg { func: AggFunc, distinct: bool, arg: Option<Box<Expr>> },
+    Agg {
+        func: AggFunc,
+        distinct: bool,
+        arg: Option<Box<Expr>>,
+    },
     /// `expr IN (v1, v2, ...)`.
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
     /// `expr BETWEEN lo AND hi`.
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
 }
 
 impl Expr {
     /// Convenience column constructor.
     pub fn col(qualifier: Option<&str>, name: &str) -> Expr {
-        Expr::Column { qualifier: qualifier.map(str::to_string), name: name.to_string() }
+        Expr::Column {
+            qualifier: qualifier.map(str::to_string),
+            name: name.to_string(),
+        }
     }
 
     /// Does this expression (transitively) contain an aggregate?
@@ -122,9 +153,9 @@ impl Expr {
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
-            Expr::Between { expr, low, high, .. } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             _ => false,
         }
     }
@@ -151,7 +182,9 @@ impl Expr {
                     e.collect_columns(out);
                 }
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.collect_columns(out);
                 low.collect_columns(out);
                 high.collect_columns(out);
@@ -168,7 +201,12 @@ impl Expr {
     }
 
     fn collect_conjuncts<'a>(&'a self, out: &mut Vec<&'a Expr>) {
-        if let Expr::Binary { op: BinaryOp::And, left, right } = self {
+        if let Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } = self
+        {
             left.collect_conjuncts(out);
             right.collect_conjuncts(out);
         } else {
@@ -180,8 +218,14 @@ impl Expr {
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Expr::Column { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
-            Expr::Column { qualifier: None, name } => write!(f, "{name}"),
+            Expr::Column {
+                qualifier: Some(q),
+                name,
+            } => write!(f, "{q}.{name}"),
+            Expr::Column {
+                qualifier: None,
+                name,
+            } => write!(f, "{name}"),
             Expr::IntLit(i) => write!(f, "{i}"),
             Expr::FloatLit(x) => write!(f, "{x}"),
             Expr::StrLit(s) => write!(f, "'{}'", s.replace('\'', "''")),
@@ -197,12 +241,20 @@ impl fmt::Display for Expr {
                 UnaryOp::IsNull => write!(f, "{expr} IS NULL"),
                 UnaryOp::IsNotNull => write!(f, "{expr} IS NOT NULL"),
             },
-            Expr::Agg { func, distinct, arg } => match arg {
+            Expr::Agg {
+                func,
+                distinct,
+                arg,
+            } => match arg {
                 None => write!(f, "{func}(*)"),
                 Some(a) if *distinct => write!(f, "{func}(DISTINCT {a})"),
                 Some(a) => write!(f, "{func}({a})"),
             },
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, e) in list.iter().enumerate() {
                     if i > 0 {
@@ -212,7 +264,12 @@ impl fmt::Display for Expr {
                 }
                 write!(f, ")")
             }
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 write!(
                     f,
                     "{expr} {}BETWEEN {low} AND {high}",
@@ -304,7 +361,10 @@ impl fmt::Display for Query {
             }
             match item {
                 SelectItem::Wildcard => write!(f, "*")?,
-                SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}")?,
+                SelectItem::Expr {
+                    expr,
+                    alias: Some(a),
+                } => write!(f, "{expr} AS {a}")?,
                 SelectItem::Expr { expr, alias: None } => write!(f, "{expr}")?,
             }
         }
@@ -379,7 +439,11 @@ mod tests {
 
     #[test]
     fn aggregate_detection() {
-        let agg = Expr::Agg { func: AggFunc::Count, distinct: false, arg: None };
+        let agg = Expr::Agg {
+            func: AggFunc::Count,
+            distinct: false,
+            arg: None,
+        };
         assert!(agg.contains_aggregate());
         let wrapped = Expr::Binary {
             op: BinaryOp::Gt,
@@ -421,9 +485,15 @@ mod tests {
 
     #[test]
     fn visible_name_prefers_alias() {
-        let t = TableRef { table: "orders".into(), alias: Some("o".into()) };
+        let t = TableRef {
+            table: "orders".into(),
+            alias: Some("o".into()),
+        };
         assert_eq!(t.visible_name(), "o");
-        let t2 = TableRef { table: "orders".into(), alias: None };
+        let t2 = TableRef {
+            table: "orders".into(),
+            alias: None,
+        };
         assert_eq!(t2.visible_name(), "orders");
     }
 }

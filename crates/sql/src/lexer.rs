@@ -13,7 +13,11 @@ pub struct SqlError {
 
 impl fmt::Display for SqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SQL error at position {}: {}", self.position, self.message)
+        write!(
+            f,
+            "SQL error at position {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -50,9 +54,9 @@ pub struct Token {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AS",
-    "AND", "OR", "NOT", "IN", "LIKE", "BETWEEN", "IS", "NULL", "JOIN", "INNER", "LEFT",
-    "RIGHT", "ON", "ASC", "DESC", "COUNT", "SUM", "AVG", "MIN", "MAX", "ALL", "TRUE", "FALSE",
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AS", "AND",
+    "OR", "NOT", "IN", "LIKE", "BETWEEN", "IS", "NULL", "JOIN", "INNER", "LEFT", "RIGHT", "ON",
+    "ASC", "DESC", "COUNT", "SUM", "AVG", "MIN", "MAX", "ALL", "TRUE", "FALSE",
 ];
 
 /// The SQL lexer.
@@ -65,7 +69,11 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Create a lexer over `source`.
     pub fn new(source: &'a str) -> Self {
-        Lexer { chars: source.chars().collect(), pos: 0, source }
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            source,
+        }
     }
 
     /// Original source text.
@@ -107,7 +115,10 @@ impl<'a> Lexer<'a> {
         }
         let position = self.pos;
         let Some(c) = self.peek() else {
-            return Ok(Token { kind: TokenKind::Eof, position });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                position,
+            });
         };
         let kind = match c {
             ',' => {
@@ -179,7 +190,10 @@ impl<'a> Lexer<'a> {
                     self.pos += 1;
                     TokenKind::Op("<>".into())
                 } else {
-                    return Err(SqlError { position, message: "expected '=' after '!'".into() });
+                    return Err(SqlError {
+                        position,
+                        message: "expected '=' after '!'".into(),
+                    });
                 }
             }
             '\'' => {
@@ -215,8 +229,7 @@ impl<'a> Lexer<'a> {
                     self.pos += 1;
                 }
                 let mut is_float = false;
-                if self.peek() == Some('.')
-                    && matches!(self.peek2(), Some(d) if d.is_ascii_digit())
+                if self.peek() == Some('.') && matches!(self.peek2(), Some(d) if d.is_ascii_digit())
                 {
                     is_float = true;
                     self.pos += 1;
@@ -266,7 +279,12 @@ mod tests {
     use super::*;
 
     fn kinds(sql: &str) -> Vec<TokenKind> {
-        Lexer::new(sql).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(sql)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> SqlError {
-        SqlError { position: self.position(), message: msg.into() }
+        SqlError {
+            position: self.position(),
+            message: msg.into(),
+        }
     }
 
     fn accept_keyword(&mut self, kw: &str) -> bool {
@@ -123,7 +126,11 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.accept_keyword("WHERE") { Some(self.expr()?) } else { None };
+        let where_clause = if self.accept_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.accept_keyword("GROUP") {
             self.expect_keyword("BY")?;
@@ -132,7 +139,11 @@ impl Parser {
                 group_by.push(self.expr()?);
             }
         }
-        let having = if self.accept_keyword("HAVING") { Some(self.expr()?) } else { None };
+        let having = if self.accept_keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.accept_keyword("ORDER") {
             self.expect_keyword("BY")?;
@@ -158,7 +169,17 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { distinct, select, from, joins, where_clause, group_by, having, order_by, limit })
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn select_list(&mut self) -> Result<Vec<SelectItem>, SqlError> {
@@ -205,7 +226,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.accept_keyword("OR") {
             let right = self.and_expr()?;
-            left = Expr::Binary { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinaryOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -214,7 +239,11 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.accept_keyword("AND") {
             let right = self.not_expr()?;
-            left = Expr::Binary { op: BinaryOp::And, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -222,7 +251,10 @@ impl Parser {
     fn not_expr(&mut self) -> Result<Expr, SqlError> {
         if self.accept_keyword("NOT") {
             let inner = self.not_expr()?;
-            Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) })
+            Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            })
         } else {
             self.predicate()
         }
@@ -244,7 +276,11 @@ impl Parser {
             };
             self.bump();
             let right = self.additive()?;
-            return Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) });
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
         }
         let negated = {
             // Look ahead for NOT LIKE / NOT IN / NOT BETWEEN.
@@ -263,10 +299,16 @@ impl Parser {
         };
         if self.accept_keyword("LIKE") {
             let right = self.additive()?;
-            let like =
-                Expr::Binary { op: BinaryOp::Like, left: Box::new(left), right: Box::new(right) };
+            let like = Expr::Binary {
+                op: BinaryOp::Like,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
             return Ok(if negated {
-                Expr::Unary { op: UnaryOp::Not, expr: Box::new(like) }
+                Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(like),
+                }
             } else {
                 like
             });
@@ -278,7 +320,11 @@ impl Parser {
                 list.push(self.additive()?);
             }
             self.expect_kind(&TokenKind::RParen, "')'")?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.accept_keyword("BETWEEN") {
             let low = self.additive()?;
@@ -295,7 +341,11 @@ impl Parser {
             let not = self.accept_keyword("NOT");
             self.expect_keyword("NULL")?;
             return Ok(Expr::Unary {
-                op: if not { UnaryOp::IsNotNull } else { UnaryOp::IsNull },
+                op: if not {
+                    UnaryOp::IsNotNull
+                } else {
+                    UnaryOp::IsNull
+                },
                 expr: Box::new(left),
             });
         }
@@ -312,7 +362,11 @@ impl Parser {
             };
             self.bump();
             let right = self.multiplicative()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
     }
 
@@ -326,14 +380,21 @@ impl Parser {
             };
             self.bump();
             let right = self.unary()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
     }
 
     fn unary(&mut self) -> Result<Expr, SqlError> {
         if self.accept_kind(&TokenKind::Minus) {
             let inner = self.unary()?;
-            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
         }
         self.primary()
     }
@@ -381,19 +442,31 @@ impl Parser {
                     if func != AggFunc::Count {
                         return Err(self.err("only COUNT accepts *"));
                     }
-                    return Ok(Expr::Agg { func, distinct: false, arg: None });
+                    return Ok(Expr::Agg {
+                        func,
+                        distinct: false,
+                        arg: None,
+                    });
                 }
                 if self.accept_keyword("ALL") {
                     self.expect_kind(&TokenKind::RParen, "')'")?;
                     if func != AggFunc::Count {
                         return Err(self.err("only COUNT accepts ALL"));
                     }
-                    return Ok(Expr::Agg { func, distinct: false, arg: None });
+                    return Ok(Expr::Agg {
+                        func,
+                        distinct: false,
+                        arg: None,
+                    });
                 }
                 let distinct = self.accept_keyword("DISTINCT");
                 let arg = self.expr()?;
                 self.expect_kind(&TokenKind::RParen, "')'")?;
-                Ok(Expr::Agg { func, distinct, arg: Some(Box::new(arg)) })
+                Ok(Expr::Agg {
+                    func,
+                    distinct,
+                    arg: Some(Box::new(arg)),
+                })
             }
             TokenKind::Keyword(k) if k == "DISTINCT" => {
                 // `SELECT DISTINCT(col)` style (paper's Example 3.1) —
@@ -415,9 +488,15 @@ impl Parser {
                 self.bump();
                 if self.accept_kind(&TokenKind::Dot) {
                     let col = self.ident()?;
-                    Ok(Expr::Column { qualifier: Some(name), name: col })
+                    Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    })
                 } else {
-                    Ok(Expr::Column { qualifier: None, name })
+                    Ok(Expr::Column {
+                        qualifier: None,
+                        name,
+                    })
                 }
             }
             other => Err(self.err(format!("unexpected token {other:?}"))),
@@ -448,10 +527,9 @@ mod tests {
 
     #[test]
     fn parses_explicit_join() {
-        let q = parse_sql(
-            "SELECT c.c_name FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey",
-        )
-        .unwrap();
+        let q =
+            parse_sql("SELECT c.c_name FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey")
+                .unwrap();
         assert_eq!(q.joins.len(), 1);
         assert_eq!(q.joins[0].table.visible_name(), "o");
     }
@@ -479,7 +557,10 @@ mod tests {
     fn parses_count_distinct() {
         let q = parse_sql("SELECT COUNT(DISTINCT o_custkey) FROM orders").unwrap();
         match &q.select[0] {
-            SelectItem::Expr { expr: Expr::Agg { distinct, .. }, .. } => assert!(*distinct),
+            SelectItem::Expr {
+                expr: Expr::Agg { distinct, .. },
+                ..
+            } => assert!(*distinct),
             other => panic!("{other:?}"),
         }
     }
@@ -497,10 +578,9 @@ mod tests {
 
     #[test]
     fn parses_not_variants() {
-        let q = parse_sql(
-            "SELECT * FROM t WHERE a NOT IN (1,2) AND b NOT LIKE '%x%' AND NOT c = 3",
-        )
-        .unwrap();
+        let q =
+            parse_sql("SELECT * FROM t WHERE a NOT IN (1,2) AND b NOT LIKE '%x%' AND NOT c = 3")
+                .unwrap();
         assert_eq!(q.where_clause.unwrap().conjuncts().len(), 3);
     }
 
@@ -508,7 +588,9 @@ mod tests {
     fn operator_precedence_and_over_or() {
         let q = parse_sql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
         match q.where_clause.unwrap() {
-            Expr::Binary { op: BinaryOp::Or, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::Or, ..
+            } => {}
             other => panic!("expected OR at root, got {other:?}"),
         }
     }
@@ -517,8 +599,22 @@ mod tests {
     fn arithmetic_precedence() {
         let q = parse_sql("SELECT a + b * c FROM t").unwrap();
         match &q.select[0] {
-            SelectItem::Expr { expr: Expr::Binary { op: BinaryOp::Add, right, .. }, .. } => {
-                assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+            SelectItem::Expr {
+                expr:
+                    Expr::Binary {
+                        op: BinaryOp::Add,
+                        right,
+                        ..
+                    },
+                ..
+            } => {
+                assert!(matches!(
+                    **right,
+                    Expr::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -550,7 +646,10 @@ mod tests {
     fn count_all_is_count_star() {
         let q = parse_sql("SELECT COUNT(ALL) FROM t").unwrap();
         match &q.select[0] {
-            SelectItem::Expr { expr: Expr::Agg { arg: None, .. }, .. } => {}
+            SelectItem::Expr {
+                expr: Expr::Agg { arg: None, .. },
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
     }

@@ -62,7 +62,9 @@ impl ResolvedQuery {
         let mut hit: Option<ResolvedColumn> = None;
         for visible in &self.table_order {
             let table_name = &self.tables[visible];
-            let Some(table) = catalog.table(table_name) else { continue };
+            let Some(table) = catalog.table(table_name) else {
+                continue;
+            };
             if let Some(index) = table.column_index(name) {
                 if hit.is_some() {
                     return Err(err(format!("ambiguous column '{name}'")));
@@ -80,7 +82,10 @@ impl ResolvedQuery {
 }
 
 fn err(message: String) -> SqlError {
-    SqlError { position: 0, message }
+    SqlError {
+        position: 0,
+        message,
+    }
 }
 
 /// Resolve `query` against `catalog`: check every table exists, every
@@ -99,7 +104,11 @@ pub fn resolve(query: &Query, catalog: &Catalog) -> Result<ResolvedQuery, SqlErr
         tables.insert(visible.clone(), tref.table.clone());
         table_order.push(visible);
     }
-    let resolved = ResolvedQuery { query: query.clone(), tables, table_order };
+    let resolved = ResolvedQuery {
+        query: query.clone(),
+        tables,
+        table_order,
+    };
     // Validate every column reference in every clause.
     let mut exprs: Vec<&Expr> = Vec::new();
     for item in &query.select {
@@ -159,9 +168,7 @@ mod tests {
         .unwrap();
         let r = resolve(&q, &cat).unwrap();
         assert_eq!(r.tables["I"], "inproceedings");
-        let c = r
-            .resolve_column(&cat, &Some("P".into()), "title")
-            .unwrap();
+        let c = r.resolve_column(&cat, &Some("P".into()), "title").unwrap();
         assert_eq!(c.table, "publication");
         assert_eq!(c.index, 1);
     }
@@ -206,10 +213,9 @@ mod tests {
     #[test]
     fn qualifier_case_insensitive() {
         let cat = dblp_catalog();
-        let q = parse_sql(
-            "SELECT I.proceeding_key FROM inproceedings I WHERE i.proceeding_key > 0",
-        )
-        .unwrap();
+        let q =
+            parse_sql("SELECT I.proceeding_key FROM inproceedings I WHERE i.proceeding_key > 0")
+                .unwrap();
         assert!(resolve(&q, &cat).is_ok());
     }
 }

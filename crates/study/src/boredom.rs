@@ -20,7 +20,9 @@ impl BoredomReport {
 
     /// Learners who scored a condition above 3 ("felt bored").
     pub fn bored_count(&self, label: &str) -> usize {
-        self.row(label).map(|h| h.count(4) + h.count(5)).unwrap_or(0)
+        self.row(label)
+            .map(|h| h.count(4) + h.count(5))
+            .unwrap_or(0)
     }
 }
 
@@ -83,7 +85,10 @@ pub fn mixed_stream_study(
             }
         }
     }
-    ((rule_boring, rule_interest), (neural_boring, neural_interest))
+    (
+        (rule_boring, rule_interest),
+        (neural_boring, neural_interest),
+    )
 }
 
 #[cfg(test)]
@@ -156,7 +161,10 @@ mod tests {
             mixed_stream_study(&mut pop, &stream);
         // Shape: rule narrations bore more; neural ones arouse more
         // interest relative to their count.
-        assert!(rule_boring > neural_boring, "{rule_boring} vs {neural_boring}");
+        assert!(
+            rule_boring > neural_boring,
+            "{rule_boring} vs {neural_boring}"
+        );
         let rule_rate = rule_interest as f64 / 36.0;
         let neural_rate = neural_interest as f64 / 14.0;
         assert!(neural_rate > rule_rate, "{neural_rate} vs {rule_rate}");

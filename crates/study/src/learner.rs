@@ -16,9 +16,9 @@
 //! All behaviour is sampled deterministically per learner seed; nothing
 //! in the harnesses hard-codes the paper's percentages.
 
+use lantern_text::{bleu, tokenize, BleuConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use lantern_text::{bleu, tokenize, BleuConfig};
 
 /// How strongly one repetition of a near-identical stimulus decrements
 /// arousal.
@@ -123,7 +123,7 @@ impl Learner {
     /// Sample a Likert rating (1–5) centred on `quality` in `[0, 1]`
     /// with learner noise.
     pub fn likert(&mut self, quality: f64) -> u8 {
-        let noisy = quality + self.rng.gen_range(-0.15..0.15);
+        let noisy: f64 = quality + self.rng.gen_range(-0.15..0.15);
         (1.0 + (noisy.clamp(0.0, 1.0) * 4.0).round()) as u8
     }
 
@@ -131,7 +131,7 @@ impl Learner {
     /// the inverse of current arousal.
     pub fn boredom_index(&mut self) -> u8 {
         let boredom = 1.0 - self.arousal;
-        let noisy = boredom + self.rng.gen_range(-0.12..0.12);
+        let noisy: f64 = boredom + self.rng.gen_range(-0.12..0.12);
         (1.0 + (noisy.clamp(0.0, 1.0) * 4.0).round()) as u8
     }
 
@@ -153,7 +153,9 @@ impl Population {
     /// Sample `n` learners from `seed`.
     pub fn sample(n: usize, seed: u64) -> Self {
         Population {
-            learners: (0..n).map(|i| Learner::sample(seed.wrapping_add(i as u64 * 7919))).collect(),
+            learners: (0..n)
+                .map(|i| Learner::sample(seed.wrapping_add(i as u64 * 7919)))
+                .collect(),
         }
     }
 
@@ -175,9 +177,8 @@ mod tests {
     #[test]
     fn affinities_order_nl_over_tree_over_json_on_average() {
         let pop = Population::sample(200, 1);
-        let mean = |f: Format| {
-            pop.learners.iter().map(|l| l.affinity(f)).sum::<f64>() / pop.len() as f64
-        };
+        let mean =
+            |f: Format| pop.learners.iter().map(|l| l.affinity(f)).sum::<f64>() / pop.len() as f64;
         assert!(mean(Format::NaturalLanguage) > mean(Format::VisualTree));
         assert!(mean(Format::VisualTree) > mean(Format::Json));
     }
@@ -236,20 +237,21 @@ mod tests {
             assert!((1..=5).contains(&low));
             assert!((1..=5).contains(&high));
         }
-        let mean_low: f64 =
-            (0..40).map(|_| l.likert(0.15) as f64).sum::<f64>() / 40.0;
-        let mean_high: f64 =
-            (0..40).map(|_| l.likert(0.9) as f64).sum::<f64>() / 40.0;
+        let mean_low: f64 = (0..40).map(|_| l.likert(0.15) as f64).sum::<f64>() / 40.0;
+        let mean_high: f64 = (0..40).map(|_| l.likert(0.9) as f64).sum::<f64>() / 40.0;
         assert!(mean_high > mean_low + 1.0);
     }
 
     #[test]
     fn boredom_rises_with_habituation() {
         let mut l = Learner::sample(7);
-        let fresh: f64 = (0..30).map(|_| {
-            let mut l2 = Learner::sample(100);
-            l2.boredom_index() as f64
-        }).sum::<f64>() / 30.0;
+        let fresh: f64 = (0..30)
+            .map(|_| {
+                let mut l2 = Learner::sample(100);
+                l2.boredom_index() as f64
+            })
+            .sum::<f64>()
+            / 30.0;
         for _ in 0..12 {
             l.read("perform hash join on x and y to get the final results.");
         }

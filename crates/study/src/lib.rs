@@ -22,9 +22,9 @@ pub mod likert;
 pub mod surveys;
 
 pub use boredom::{boredom_study, mixed_stream_study, BoredomReport};
+pub use learner::Format;
 pub use learner::{Learner, Population};
 pub use likert::LikertHistogram;
-pub use learner::Format;
 pub use surveys::{
     format_preference_survey, q1_ease_survey, q2_quality_survey, q3_preference_survey,
     us6_presentation_survey, FormatKind, SurveyReport,

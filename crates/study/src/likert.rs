@@ -44,7 +44,12 @@ impl LikertHistogram {
         if self.total() == 0 {
             return 0.0;
         }
-        let sum: usize = self.counts.iter().enumerate().map(|(i, c)| (i + 1) * c).sum();
+        let sum: usize = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i + 1) * c)
+            .sum();
         sum as f64 / self.total() as f64
     }
 

@@ -16,7 +16,10 @@ pub struct BleuConfig {
 
 impl Default for BleuConfig {
     fn default() -> Self {
-        BleuConfig { max_order: 4, smooth: true }
+        BleuConfig {
+            max_order: 4,
+            smooth: true,
+        }
     }
 }
 
@@ -29,8 +32,10 @@ pub fn bleu<S: AsRef<str>>(hypothesis: &[S], references: &[&[S]], cfg: BleuConfi
     let mut log_precision_sum = 0.0;
     for order in 1..=cfg.max_order {
         let hyp_counts = NgramCounts::new(hypothesis, order);
-        let ref_counts: Vec<NgramCounts> =
-            references.iter().map(|r| NgramCounts::new(r, order)).collect();
+        let ref_counts: Vec<NgramCounts> = references
+            .iter()
+            .map(|r| NgramCounts::new(r, order))
+            .collect();
         let overlap = hyp_counts.clipped_overlap_multi(&ref_counts);
         let total = hyp_counts.total();
         let (num, den) = if cfg.smooth && order > 1 {
@@ -134,7 +139,14 @@ mod tests {
     #[test]
     fn identical_sentences_score_one() {
         let s = t("perform hash join on T1 and T2 to get the final results.");
-        let score = bleu(&s, &[&s[..]], BleuConfig { max_order: 4, smooth: false });
+        let score = bleu(
+            &s,
+            &[&s[..]],
+            BleuConfig {
+                max_order: 4,
+                smooth: false,
+            },
+        );
         assert!((score - 1.0).abs() < 1e-12, "got {score}");
     }
 
@@ -166,7 +178,13 @@ mod tests {
     #[test]
     fn self_bleu_of_identical_group_is_one() {
         let g = vec![t("a b c d e"), t("a b c d e")];
-        let s = self_bleu(&g, BleuConfig { max_order: 4, smooth: false });
+        let s = self_bleu(
+            &g,
+            BleuConfig {
+                max_order: 4,
+                smooth: false,
+            },
+        );
         assert!((s - 1.0).abs() < 1e-12);
     }
 
@@ -195,7 +213,13 @@ mod tests {
             (t("a b c d e"), t("a b c d e")),
             (t("f g h i j"), t("f g h i j")),
         ];
-        let s = corpus_bleu(&pairs, BleuConfig { max_order: 4, smooth: false });
+        let s = corpus_bleu(
+            &pairs,
+            BleuConfig {
+                max_order: 4,
+                smooth: false,
+            },
+        );
         assert!((s - 1.0).abs() < 1e-12);
     }
 

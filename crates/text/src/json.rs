@@ -41,7 +41,10 @@ impl std::error::Error for JsonError {}
 impl JsonValue {
     /// Parse a JSON document.
     pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -186,7 +189,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> JsonError {
-        JsonError { offset: self.pos, message: msg.to_string() }
+        JsonError {
+            offset: self.pos,
+            message: msg.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -323,9 +329,7 @@ impl<'a> Parser<'a> {
                             let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                             s.push(char::from_u32(c).ok_or_else(|| self.err("bad codepoint"))?);
                         } else {
-                            s.push(
-                                char::from_u32(cp).ok_or_else(|| self.err("bad codepoint"))?,
-                            );
+                            s.push(char::from_u32(cp).ok_or_else(|| self.err("bad codepoint"))?);
                         }
                     }
                     _ => return Err(self.err("invalid escape")),
@@ -339,8 +343,12 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
-            let d = (b as char).to_digit(16).ok_or_else(|| self.err("bad hex digit"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit"))?;
             v = v * 16 + d;
         }
         Ok(v)
@@ -398,7 +406,10 @@ mod tests {
         let plan = v.get("Plan").unwrap();
         assert_eq!(plan.get("Node Type").unwrap().as_str(), Some("Hash Join"));
         let kids = plan.get("Plans").unwrap().as_array().unwrap();
-        assert_eq!(kids[0].get("Relation Name").unwrap().as_str(), Some("orders"));
+        assert_eq!(
+            kids[0].get("Relation Name").unwrap().as_str(),
+            Some("orders")
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ impl NgramCounts {
                 total += 1;
             }
         }
-        NgramCounts { counts, order, total }
+        NgramCounts {
+            counts,
+            order,
+            total,
+        }
     }
 
     /// Number of distinct n-grams.
@@ -109,8 +113,8 @@ mod tests {
     fn bigram_counts() {
         let c = NgramCounts::new(&toks("a b a b"), 2);
         assert_eq!(c.total(), 3);
-        assert_eq!(c.get(&format!("a\u{1}b")), 2);
-        assert_eq!(c.get(&format!("b\u{1}a")), 1);
+        assert_eq!(c.get("a\u{1}b"), 2);
+        assert_eq!(c.get("b\u{1}a"), 1);
     }
 
     #[test]

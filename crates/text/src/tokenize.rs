@@ -66,11 +66,7 @@ pub fn tokenize(text: &str) -> Vec<String> {
                 j += 1;
             }
             // Allow `a.b` qualified names and decimal numbers to stay glued.
-            while j < n
-                && chars[j] == '.'
-                && j + 1 < n
-                && is_word_char(chars[j + 1])
-            {
+            while j < n && chars[j] == '.' && j + 1 < n && is_word_char(chars[j + 1]) {
                 j += 1;
                 while j < n && is_word_char(chars[j]) {
                     j += 1;
@@ -166,7 +162,10 @@ mod tests {
 
     #[test]
     fn splits_basic_sentence() {
-        assert_eq!(tokenize("hash T1 and join."), vec!["hash", "T1", "and", "join", "."]);
+        assert_eq!(
+            tokenize("hash T1 and join."),
+            vec!["hash", "T1", "and", "join", "."]
+        );
     }
 
     #[test]
@@ -191,7 +190,10 @@ mod tests {
     fn comparison_operators() {
         assert_eq!(tokenize("a >= 10"), vec!["a", ">=", "10"]);
         assert_eq!(tokenize("a <> b"), vec!["a", "<", ">", "b"]);
-        assert_eq!(tokenize("count(all) > 200"), vec!["count", "(", "all", ")", ">", "200"]);
+        assert_eq!(
+            tokenize("count(all) > 200"),
+            vec!["count", "(", "all", ")", ">", "200"]
+        );
     }
 
     #[test]

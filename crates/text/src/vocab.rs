@@ -32,7 +32,10 @@ impl Vocab {
     /// Create a vocabulary containing only `<PAD>`, `<BOS>`, `<END>`,
     /// `<UNK>`.
     pub fn new() -> Self {
-        let mut v = Vocab { token_to_id: HashMap::new(), id_to_token: Vec::new() };
+        let mut v = Vocab {
+            token_to_id: HashMap::new(),
+            id_to_token: Vec::new(),
+        };
         for special in ["<PAD>", "<BOS>", "<END>", "<UNK>"] {
             v.push(special);
         }
@@ -124,7 +127,10 @@ impl Vocab {
 
     /// Iterate `(id, token)` pairs, specials included.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
-        self.id_to_token.iter().enumerate().map(|(i, t)| (i, t.as_str()))
+        self.id_to_token
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, t.as_str()))
     }
 }
 
@@ -172,10 +178,7 @@ mod tests {
 
     #[test]
     fn from_corpus_orders_by_frequency() {
-        let corpus = vec![
-            vec!["b", "a", "a"],
-            vec!["a", "c"],
-        ];
+        let corpus = vec![vec!["b", "a", "a"], vec!["a", "c"]];
         let v = Vocab::from_corpus(&corpus, 1);
         // "a" appears 3x -> first non-special slot.
         assert_eq!(v.id("a"), 4);

@@ -42,7 +42,12 @@ impl std::error::Error for XmlError {}
 impl XmlNode {
     /// Create an element with no attributes or children.
     pub fn new(name: impl Into<String>) -> Self {
-        XmlNode { name: name.into(), attributes: Vec::new(), children: Vec::new(), text: String::new() }
+        XmlNode {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+            text: String::new(),
+        }
     }
 
     /// Builder-style attribute addition.
@@ -68,7 +73,9 @@ impl XmlNode {
     /// First child with the given element name (namespace-prefix
     /// insensitive: matches local name too).
     pub fn child(&self, name: &str) -> Option<&XmlNode> {
-        self.children.iter().find(|c| c.local_name() == name || c.name == name)
+        self.children
+            .iter()
+            .find(|c| c.local_name() == name || c.name == name)
     }
 
     /// All children with the given element name.
@@ -86,7 +93,10 @@ impl XmlNode {
     /// Parse an XML document; returns the root element. Leading XML
     /// declarations, comments, and whitespace are skipped.
     pub fn parse(input: &str) -> Result<XmlNode, XmlError> {
-        let mut p = XmlParser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = XmlParser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
         p.skip_misc();
         let root = p.element()?;
         p.skip_misc();
@@ -159,7 +169,10 @@ struct XmlParser<'a> {
 
 impl<'a> XmlParser<'a> {
     fn err(&self, msg: &str) -> XmlError {
-        XmlError { offset: self.pos, message: msg.to_string() }
+        XmlError {
+            offset: self.pos,
+            message: msg.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {

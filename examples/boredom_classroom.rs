@@ -39,7 +39,10 @@ fn main() {
 
     println!("Boredom index after 20 narrations (1 = engaged, 5 = extremely bored):\n");
     for (label, hist) in &report.rows {
-        println!("  {label:15} {hist}   bored(>3): {}", hist.count(4) + hist.count(5));
+        println!(
+            "  {label:15} {hist}   bored(>3): {}",
+            hist.count(4) + hist.count(5)
+        );
     }
     println!(
         "\nPaper Table 7: rule-lantern bores 15/43 learners; neural-lantern only 4/43 —\n\

@@ -43,7 +43,13 @@ fn main() {
 
     let lantern = Lantern::new(store);
     println!("LANTERN on a SQL Server plan:\n");
-    println!("{}\n", lantern.narrate_sqlserver_xml(showplan).expect("narrates").text());
+    println!(
+        "{}\n",
+        lantern
+            .narrate_sqlserver_xml(showplan)
+            .expect("narrates")
+            .text()
+    );
 
     // NEURON cannot serve this plan at all (US 5).
     let tree = parse_sqlserver_xml_plan(showplan).expect("parses");

@@ -1,0 +1,591 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Provides the `proptest!` test macro, `prop_assert!`/`prop_assert_eq!`,
+//! `prop_oneof!`, `any::<T>()`, tuple and `prop_map`/`boxed` strategy
+//! combinators, `collection::vec`, and regex-subset string strategies
+//! (`"[a-z]{1,8}"`, `"\\PC{0,40}"`-style patterns).
+//!
+//! Differences from the real crate, deliberate for an offline tier-1
+//! suite:
+//! * **No shrinking** — a failing case reports its generated inputs via
+//!   `Debug` in the panic message but is not minimized.
+//! * **Deterministic by default** — the runner seeds its RNG from the
+//!   `PROPTEST_SEED` environment variable when set, else a fixed
+//!   constant, so CI runs are reproducible. Set `PROPTEST_SEED` to
+//!   explore different streams.
+
+pub use ::rand;
+
+use ::rand::rngs::StdRng;
+
+pub mod test_runner {
+    /// Mirror of `proptest::test_runner::Config` (the `cases` knob only).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256; 64 keeps tier-1 fast while still
+            // exercising a meaningful sample.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// RNG seed for the deterministic runner: `PROPTEST_SEED` env var
+    /// if set and parseable, else a fixed constant.
+    pub fn seed() -> u64 {
+        std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x1A47_7E54)
+    }
+}
+
+pub mod strategy {
+    use super::StdRng;
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`. Unlike the real
+    /// crate there is no intermediate `ValueTree` (no shrinking).
+    pub trait Strategy {
+        type Value;
+
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            self.0.new_value(rng)
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn new_value(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            use ::rand::Rng;
+            let ix = rng.gen_range(0..self.options.len());
+            self.options[ix].new_value(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $ix:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$ix.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use std::marker::PhantomData;
+
+    /// `any::<T>()` — uniform values of a primitive type.
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    pub fn any<T: ::rand::Standard>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl<T: ::rand::Standard> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            T::sample_standard(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use ::rand::Rng;
+
+    /// Mirror of `proptest::collection::SizeRange` (half-open).
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-subset string strategy: `&str` patterns generate matching
+    //! strings. Supported syntax — a sequence of atoms, each optionally
+    //! quantified with `{m}` / `{m,n}` / `?` / `*` / `+`:
+    //!
+    //! * `[a-z0-9_]` character classes (ranges and literals),
+    //! * `\PC` (any printable, non-control char — ASCII plus a small
+    //!   set of multibyte code points to exercise escaping),
+    //! * `\d`, `\w`, `\s` shorthand classes,
+    //! * literal characters.
+
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use ::rand::Rng;
+
+    const PRINTABLE_EXTRA: &[char] = &['é', 'ß', 'Ω', '→', '漢', 'か'];
+    const UNBOUNDED_MAX: u32 = 8;
+
+    #[derive(Clone, Debug)]
+    enum Atom {
+        Class(Vec<(char, char)>),
+        Printable,
+        Literal(char),
+    }
+
+    #[derive(Clone, Debug)]
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32, // inclusive
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                    let mut ranges = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            ranges.push((chars[j], chars[j + 2]));
+                            j += 3;
+                        } else {
+                            ranges.push((chars[j], chars[j]));
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    let next = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling \\ in pattern {pattern:?}"));
+                    i += 2;
+                    match next {
+                        'P' => {
+                            // \PC / \p{...}-style category; we support
+                            // the one the suite uses: printable chars.
+                            if chars.get(i) == Some(&'C') {
+                                i += 1;
+                            }
+                            Atom::Printable
+                        }
+                        'd' => Atom::Class(vec![('0', '9')]),
+                        'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                        's' => Atom::Class(vec![(' ', ' ')]),
+                        c => Atom::Literal(c),
+                    }
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => {
+                            let lo = lo.trim().parse().expect("bad {m,n} lower bound");
+                            let hi = if hi.trim().is_empty() {
+                                lo + UNBOUNDED_MAX
+                            } else {
+                                hi.trim().parse().expect("bad {m,n} upper bound")
+                            };
+                            (lo, hi)
+                        }
+                        None => {
+                            let n = body.trim().parse().expect("bad {n} count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, UNBOUNDED_MAX)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, UNBOUNDED_MAX)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn gen_atom(atom: &Atom, rng: &mut StdRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                char::from_u32(rng.gen_range(lo as u32..=hi as u32))
+                    .expect("invalid char range in pattern")
+            }
+            Atom::Printable => {
+                // Mostly ASCII printable; occasionally a multibyte char.
+                if rng.gen_bool(0.9) {
+                    char::from_u32(rng.gen_range(0x20u32..=0x7E)).unwrap()
+                } else {
+                    PRINTABLE_EXTRA[rng.gen_range(0..PRINTABLE_EXTRA.len())]
+                }
+            }
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            for piece in parse(self) {
+                let reps = rng.gen_range(piece.min..=piece.max);
+                for _ in 0..reps {
+                    out.push(gen_atom(&piece.atom, rng));
+                }
+            }
+            out
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut StdRng) -> String {
+            self.as_str().new_value(rng)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::rand::SeedableRng as _;
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::rand::rngs::StdRng::seed_from_u64(
+                    $crate::test_runner::seed(),
+                );
+                let strats = ($($strat,)+);
+                for case in 0..config.cases {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::new_value(&strats, &mut rng);
+                    let result: ::std::result::Result<(), ::std::string::String> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(msg) = result {
+                        panic!(
+                            "proptest case {}/{} failed (seed {}): {}",
+                            case + 1, config.cases, $crate::test_runner::seed(), msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::rand::rngs::StdRng;
+    use crate::rand::SeedableRng;
+
+    #[test]
+    fn regex_class_pattern_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::new_value(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_pattern_never_emits_controls() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::new_value(&"\\PC{0,40}", &mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let strat = prop_oneof![
+            any::<u8>().prop_map(|v| v as u32),
+            any::<bool>().prop_map(|b| if b { 1000u32 } else { 2000 }),
+        ];
+        for _ in 0..100 {
+            let v = strat.new_value(&mut rng);
+            assert!(v <= 255 || v == 1000 || v == 2000);
+        }
+    }
+
+    #[test]
+    fn collection_vec_respects_size() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let strat = crate::collection::vec(any::<u8>(), 2..5);
+        for _ in 0..100 {
+            let v = strat.new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_and_asserts(x in any::<u8>(), v in crate::collection::vec("[a-b]{1,2}", 1..3)) {
+            prop_assert!(u32::from(x) < 256);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+}

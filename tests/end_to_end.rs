@@ -72,8 +72,10 @@ fn neural_pipeline_runs_cross_domain() {
     use lantern::neural::{NeuralLantern, Qep2SeqConfig};
     let imdb = Database::generate(&imdb_catalog(), 0.0002, 6);
     let store = default_pg_store();
-    let mut config = Qep2SeqConfig::default();
-    config.hidden = 24;
+    let mut config = Qep2SeqConfig {
+        hidden: 24,
+        ..Default::default()
+    };
     config.train.epochs = 4;
     let (neural, ts) = NeuralLantern::train_on(&imdb, &store, 15, config, 6);
     assert!(ts.examples.len() > 15);

@@ -19,11 +19,13 @@ fn figure_4_tree() -> PlanTree {
                     PlanNode::new("Hash Join")
                         .with_join_cond("((i.proceeding_key) = (p.pub_key))")
                         .with_child(PlanNode::new("Seq Scan").on_relation("inproceedings"))
-                        .with_child(PlanNode::new("Hash").with_child(
-                            PlanNode::new("Seq Scan")
-                                .on_relation("publication")
-                                .with_filter("title LIKE '%July%'"),
-                        )),
+                        .with_child(
+                            PlanNode::new("Hash").with_child(
+                                PlanNode::new("Seq Scan")
+                                    .on_relation("publication")
+                                    .with_filter("title LIKE '%July%'"),
+                            ),
+                        ),
                 ),
             ),
         ),
@@ -57,7 +59,10 @@ fn example_5_1_five_steps() {
          and filtering on (count(all) > 200) to get the intermediate relation T3."
     );
     // Step (5): root gets the final-results ending.
-    assert_eq!(steps[4], "perform duplicate removal on T3 to get the final results.");
+    assert_eq!(
+        steps[4],
+        "perform duplicate removal on T3 to get the final results."
+    );
 }
 
 #[test]
@@ -79,7 +84,10 @@ fn example_3_1_query_plans_and_narrates_through_the_engine() {
     let store = default_pg_store();
     let narration = RuleLantern::new(&store).narrate(&plan.tree()).unwrap();
     let text = narration.text();
-    assert!(text.contains("sequential scan") || text.contains("index scan"), "{text}");
+    assert!(
+        text.contains("sequential scan") || text.contains("index scan"),
+        "{text}"
+    );
     assert!(text.contains("to get the final results."), "{text}");
     assert!(text.contains("containing 'July'"), "{text}");
 }

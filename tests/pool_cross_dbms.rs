@@ -22,7 +22,11 @@ fn sme_workflow_label_new_engine_via_transfer() {
         &store,
     )
     .unwrap();
-    execute("UPDATE db2 SET alias = 'zigzag join' WHERE name = 'zzjoin'", &store).unwrap();
+    execute(
+        "UPDATE db2 SET alias = 'zigzag join' WHERE name = 'zzjoin'",
+        &store,
+    )
+    .unwrap();
 
     let obj = store.find("db2", "zzjoin").unwrap();
     assert_eq!(obj.descs, vec!["perform zigzag join"]);
@@ -44,7 +48,9 @@ fn sme_workflow_label_new_engine_via_transfer() {
     .unwrap();
     let narration = RuleLantern::new(&store).narrate(&tree).unwrap();
     assert!(
-        narration.text().contains("perform zigzag join on a and b on condition"),
+        narration
+            .text()
+            .contains("perform zigzag join on a and b on condition"),
         "{}",
         narration.text()
     );
@@ -74,7 +80,11 @@ fn adding_descriptions_changes_templates_not_structure() {
     // determinism); the alternative is available to neural training.
     let tree = PlanTree::new("pg", PlanNode::new("Seq Scan").on_relation("orders"));
     let n = RuleLantern::new(&store).narrate(&tree).unwrap();
-    assert!(n.text().contains("perform sequential scan on orders"), "{}", n.text());
+    assert!(
+        n.text().contains("perform sequential scan on orders"),
+        "{}",
+        n.text()
+    );
     let obj = store.find("pg", "seqscan").unwrap();
     assert!(obj.descs.len() >= 2);
 }

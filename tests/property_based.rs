@@ -41,7 +41,9 @@ fn arb_plan(depth: u32) -> BoxedStrategy<PlanNode> {
             agg.with_child(sort.with_child(c))
         }),
         // Unique / Limit wrappers.
-        inner.clone().prop_map(|c| PlanNode::new("Unique").with_child(c)),
+        inner
+            .clone()
+            .prop_map(|c| PlanNode::new("Unique").with_child(c)),
         inner.prop_map(|c| PlanNode::new("Limit").with_child(c)),
     ]
     .boxed()
