@@ -1,0 +1,107 @@
+//! Single-request vs batched narration throughput through the unified
+//! `Translator` API, on an 8-query TPC-H workload.
+//!
+//! Three paths are compared, all delivering rendered narration text:
+//!
+//! * **legacy per-node locking** — the pre-snapshot behaviour: every
+//!   plan node takes the store's `RwLock` and linearly scans the
+//!   `POperators`/`PDesc` relations;
+//! * **narrate** — the unified single-request API: each call runs
+//!   against the store's version-cached indexed snapshot (assembled
+//!   once per catalog generation, lock-free O(1) lookups with
+//!   precomputed templates);
+//! * **narrate_batch** — one snapshot pinned for the whole batch,
+//!   fanned out across `available_parallelism` worker threads.
+//!
+//! On a single core the batch path tracks the single-request path
+//! (both are snapshot-backed); on multi-core hosts the fan-out
+//! multiplies batch throughput by roughly the worker count.
+//!
+//! Run with: `cargo bench --bench batch_throughput`
+//! (`LANTERN_BENCH_SCALE` scales the iteration count.)
+
+use lantern_bench::{bench_scale, tpch_workload, BenchContext, TableReport};
+use lantern_core::{narrate_with_lookup, NarrationRequest, RuleTranslator, Translator};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let ctx = BenchContext::new();
+    let workload: Vec<String> = tpch_workload().into_iter().take(8).collect();
+    let reqs: Vec<NarrationRequest> = ctx.narration_requests(&ctx.tpch, &workload);
+    assert_eq!(reqs.len(), 8, "all 8 TPC-H queries must plan");
+    let trees: Vec<_> = reqs
+        .iter()
+        .map(|r| r.resolve_tree().expect("tree request"))
+        .collect();
+
+    let rule = RuleTranslator::new(ctx.store.clone());
+    let iters = ((400.0 * bench_scale()) as usize).max(50);
+
+    // Warm-up (page in code paths, prime the snapshot cache).
+    for _ in 0..10 {
+        black_box(rule.narrate_batch(&reqs));
+        for r in &reqs {
+            black_box(rule.narrate(r).unwrap());
+        }
+    }
+
+    // Legacy path: per-node store locking (pre-snapshot behaviour),
+    // approximated by narrating against the live store directly. The
+    // text is rendered too so every row delivers the same artifact.
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for tree in &trees {
+            black_box(narrate_with_lookup(tree, &ctx.store).unwrap().text());
+        }
+    }
+    let legacy = t0.elapsed();
+
+    // Single-request API over the version-cached snapshot. Responses
+    // are collected like the batch API collects them, so both rows
+    // deliver the same artifact (a Vec of 8 responses).
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let out: Vec<_> = reqs.iter().map(|r| rule.narrate(r)).collect();
+        black_box(out);
+    }
+    let single = t0.elapsed();
+
+    // Batched API: one pinned snapshot, threaded fan-out.
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(rule.narrate_batch(&reqs));
+    }
+    let batched = t0.elapsed();
+
+    let n = (iters * reqs.len()) as f64;
+    let thr = |elapsed: std::time::Duration| n / elapsed.as_secs_f64();
+
+    let mut report = TableReport::new(
+        "Narration throughput, 8-query TPC-H workload (narrations/s)",
+        &["path", "narrations/s", "vs legacy"],
+    );
+    report.row(&[
+        "legacy per-node locking".to_string(),
+        format!("{:.0}", thr(legacy)),
+        "1.00x".to_string(),
+    ]);
+    report.row(&[
+        "narrate (cached snapshot)".to_string(),
+        format!("{:.0}", thr(single)),
+        format!("{:.2}x", legacy.as_secs_f64() / single.as_secs_f64()),
+    ]);
+    report.row(&[
+        "narrate_batch (pinned snapshot + fan-out)".to_string(),
+        format!("{:.0}", thr(batched)),
+        format!("{:.2}x", legacy.as_secs_f64() / batched.as_secs_f64()),
+    ]);
+    report.print();
+    println!(
+        "batch speedup over sequential single requests: {:.2}x ({} worker thread(s))",
+        single.as_secs_f64() / batched.as_secs_f64(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
+}

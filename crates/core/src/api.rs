@@ -1,0 +1,654 @@
+//! The unified translator API: one request/response pipeline over
+//! every LANTERN backend.
+//!
+//! The paper evaluates LANTERN as *one* system with interchangeable
+//! instantiations — RULE-LANTERN, NEURAL-LANTERN — side by side with
+//! the NEURON baseline. This module gives the reproduction the same
+//! shape: a [`Translator`] trait every backend implements, fed by a
+//! source-agnostic [`PlanSource`] (PostgreSQL JSON, SQL Server XML, or
+//! an already-parsed tree, with format auto-detection), returning a
+//! [`NarrationResponse`] and reporting failures through one structured
+//! [`LanternError`].
+//!
+//! Batch narration ([`Translator::narrate_batch`]) is first-class: the
+//! rule backend snapshots the POEM store once per batch and fans the
+//! requests out across worker threads (see [`narrate_batch_parallel`]).
+
+use crate::lot::CoreError;
+use crate::narrate::{narrate_with_lookup, Narration, RenderStyle};
+use lantern_plan::{parse_pg_json_plan, parse_sqlserver_xml_plan, PlanTree};
+use lantern_pool::{PoemLookup, PoemSnapshot, PoemStore};
+use std::fmt;
+
+/// The plan serialization formats the pipeline understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanFormat {
+    /// PostgreSQL `EXPLAIN (FORMAT JSON)` document.
+    PgJson,
+    /// SQL Server XML showplan.
+    SqlServerXml,
+}
+
+impl fmt::Display for PlanFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanFormat::PgJson => write!(f, "PostgreSQL JSON"),
+            PlanFormat::SqlServerXml => write!(f, "SQL Server XML"),
+        }
+    }
+}
+
+/// Structured error type of the unified pipeline. Every backend and
+/// every pipeline stage (format detection, parsing, LOT construction,
+/// model inference) reports through this one type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LanternError {
+    /// The request carried an empty (or whitespace-only) document.
+    EmptyInput,
+    /// Format auto-detection could not classify the document.
+    UnknownFormat {
+        /// The first bytes of the offending document.
+        snippet: String,
+    },
+    /// The document claimed (or was detected as) `format` but did not
+    /// parse as a plan of that format.
+    Parse {
+        /// Format the document was parsed as.
+        format: PlanFormat,
+        /// Parser diagnostic.
+        message: String,
+    },
+    /// The plan references an operator the POEM store has no entry for
+    /// (the failure NEURON hits on SQL Server plans, paper US 5).
+    UnknownOperator {
+        /// Source system of the plan.
+        source: String,
+        /// Vendor operator name.
+        op: String,
+    },
+    /// Structurally invalid plan (e.g. an auxiliary node without a
+    /// child).
+    Plan {
+        /// Diagnostic message.
+        message: String,
+    },
+    /// A backend-specific failure (e.g. the NEURON baseline has no
+    /// hard-coded rule for an operator).
+    Backend {
+        /// Backend name as reported by [`Translator::backend`].
+        backend: String,
+        /// Backend diagnostic.
+        message: String,
+    },
+    /// The pipeline was mis-configured (e.g. a backend was selected
+    /// without the model it needs).
+    Config {
+        /// Diagnostic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for LanternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LanternError::EmptyInput => write!(f, "empty plan document"),
+            LanternError::UnknownFormat { snippet } => {
+                write!(f, "unrecognized plan format (input starts {snippet:?})")
+            }
+            LanternError::Parse { format, message } => {
+                write!(f, "invalid {format} plan: {message}")
+            }
+            LanternError::UnknownOperator { source, op } => {
+                write!(f, "operator '{op}' has no POEM entry for source '{source}'")
+            }
+            LanternError::Plan { message } => write!(f, "plan error: {message}"),
+            LanternError::Backend { backend, message } => {
+                write!(f, "backend '{backend}' failed: {message}")
+            }
+            LanternError::Config { message } => write!(f, "configuration error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LanternError {}
+
+impl From<CoreError> for LanternError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::UnknownOperator { source, op } => {
+                LanternError::UnknownOperator { source, op }
+            }
+            CoreError::PlanError(message) => LanternError::Plan { message },
+        }
+    }
+}
+
+impl From<LanternError> for CoreError {
+    /// Lossy back-conversion used by the deprecated facade wrappers,
+    /// which promised `CoreError` before the unified type existed.
+    fn from(e: LanternError) -> Self {
+        match e {
+            LanternError::UnknownOperator { source, op } => {
+                CoreError::UnknownOperator { source, op }
+            }
+            other => CoreError::PlanError(other.to_string()),
+        }
+    }
+}
+
+/// A source-agnostic plan input: the serialized vendor artifact, or an
+/// already-parsed [`PlanTree`] (e.g. straight from the internal
+/// planner).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanSource {
+    /// A PostgreSQL `EXPLAIN (FORMAT JSON)` document.
+    PgJson(String),
+    /// A SQL Server XML showplan.
+    SqlServerXml(String),
+    /// An already-parsed plan tree (boxed: a tree is an order of
+    /// magnitude larger than a document pointer).
+    Tree(Box<PlanTree>),
+}
+
+impl PlanSource {
+    /// Classify a serialized document by shape: JSON documents start
+    /// with `{` or `[`, XML showplans with `<`. Returns
+    /// [`LanternError::EmptyInput`] / [`LanternError::UnknownFormat`]
+    /// when no classification is possible.
+    pub fn detect(doc: &str) -> Result<PlanFormat, LanternError> {
+        let trimmed = doc.trim_start_matches('\u{feff}').trim();
+        match trimmed.chars().next() {
+            None => Err(LanternError::EmptyInput),
+            Some('{') | Some('[') => Ok(PlanFormat::PgJson),
+            Some('<') => Ok(PlanFormat::SqlServerXml),
+            Some(_) => Err(LanternError::UnknownFormat {
+                snippet: trimmed.chars().take(40).collect(),
+            }),
+        }
+    }
+
+    /// Build a source from a serialized document, auto-detecting the
+    /// vendor format.
+    pub fn auto(doc: impl Into<String>) -> Result<PlanSource, LanternError> {
+        let doc = doc.into();
+        Ok(match Self::detect(&doc)? {
+            PlanFormat::PgJson => PlanSource::PgJson(doc),
+            PlanFormat::SqlServerXml => PlanSource::SqlServerXml(doc),
+        })
+    }
+
+    /// Parse (or clone) into a [`PlanTree`].
+    pub fn resolve(&self) -> Result<PlanTree, LanternError> {
+        match self {
+            PlanSource::PgJson(doc) => parse_pg_json_plan(doc).map_err(|e| LanternError::Parse {
+                format: PlanFormat::PgJson,
+                message: e.to_string(),
+            }),
+            PlanSource::SqlServerXml(doc) => {
+                parse_sqlserver_xml_plan(doc).map_err(|e| LanternError::Parse {
+                    format: PlanFormat::SqlServerXml,
+                    message: e.to_string(),
+                })
+            }
+            PlanSource::Tree(tree) => Ok(tree.as_ref().clone()),
+        }
+    }
+}
+
+impl From<PlanTree> for PlanSource {
+    fn from(tree: PlanTree) -> Self {
+        PlanSource::Tree(Box::new(tree))
+    }
+}
+
+impl From<&PlanTree> for PlanSource {
+    fn from(tree: &PlanTree) -> Self {
+        PlanSource::Tree(Box::new(tree.clone()))
+    }
+}
+
+/// One narration request: a plan (from any source) plus per-request
+/// rendering options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NarrationRequest {
+    /// Where the plan comes from.
+    pub source: PlanSource,
+    /// Per-request rendering override; `None` uses the translator's
+    /// configured default.
+    pub style: Option<RenderStyle>,
+}
+
+impl NarrationRequest {
+    /// Request narration of the given source.
+    pub fn new(source: impl Into<PlanSource>) -> Self {
+        NarrationRequest {
+            source: source.into(),
+            style: None,
+        }
+    }
+
+    /// Request narration of a serialized document, auto-detecting the
+    /// vendor format.
+    pub fn auto(doc: impl Into<String>) -> Result<Self, LanternError> {
+        Ok(Self::new(PlanSource::auto(doc)?))
+    }
+
+    /// Request narration of a PostgreSQL `EXPLAIN (FORMAT JSON)`
+    /// document.
+    pub fn pg_json(doc: impl Into<String>) -> Self {
+        Self::new(PlanSource::PgJson(doc.into()))
+    }
+
+    /// Request narration of a SQL Server XML showplan.
+    pub fn sqlserver_xml(doc: impl Into<String>) -> Self {
+        Self::new(PlanSource::SqlServerXml(doc.into()))
+    }
+
+    /// Request narration of an already-parsed tree.
+    pub fn from_tree(tree: impl Into<PlanSource>) -> Self {
+        Self::new(tree)
+    }
+
+    /// Override the rendering style for this request only.
+    pub fn with_style(mut self, style: RenderStyle) -> Self {
+        self.style = Some(style);
+        self
+    }
+
+    /// Resolve the request's plan into a tree.
+    pub fn resolve_tree(&self) -> Result<PlanTree, LanternError> {
+        self.source.resolve()
+    }
+
+    /// The style this request renders with, given a translator default.
+    pub fn effective_style(&self, default: RenderStyle) -> RenderStyle {
+        self.style.unwrap_or(default)
+    }
+}
+
+/// A completed narration plus provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NarrationResponse {
+    /// Which backend produced the narration (`"rule"`, `"neural"`,
+    /// `"neuron"`, …).
+    pub backend: String,
+    /// The structured narration (steps, tag abstraction, bindings).
+    pub narration: Narration,
+    /// The narration rendered in the effective style of the request.
+    pub text: String,
+}
+
+impl NarrationResponse {
+    /// Assemble a response, rendering `narration` in `style`.
+    pub fn new(backend: impl Into<String>, narration: Narration, style: RenderStyle) -> Self {
+        let text = narration.render(style);
+        NarrationResponse {
+            backend: backend.into(),
+            narration,
+            text,
+        }
+    }
+
+    /// Re-render the contained narration in another style.
+    pub fn render(&self, style: RenderStyle) -> String {
+        self.narration.render(style)
+    }
+}
+
+/// A QEP-to-natural-language translator: the one interface the rule,
+/// neural, and NEURON-baseline backends all serve.
+pub trait Translator {
+    /// Stable backend identifier (`"rule"`, `"neural"`, `"neuron"`).
+    fn backend(&self) -> &str;
+
+    /// Narrate one request.
+    fn narrate(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError>;
+
+    /// Narrate a batch of requests, returning one result per request in
+    /// order. The default implementation is sequential; backends with a
+    /// shareable read state (e.g. a POEM snapshot) override this to
+    /// snapshot once and fan out.
+    fn narrate_batch(
+        &self,
+        reqs: &[NarrationRequest],
+    ) -> Vec<Result<NarrationResponse, LanternError>> {
+        reqs.iter().map(|r| self.narrate(r)).collect()
+    }
+}
+
+impl<T: Translator + ?Sized> Translator for &T {
+    fn backend(&self) -> &str {
+        (**self).backend()
+    }
+
+    fn narrate(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError> {
+        (**self).narrate(req)
+    }
+
+    fn narrate_batch(
+        &self,
+        reqs: &[NarrationRequest],
+    ) -> Vec<Result<NarrationResponse, LanternError>> {
+        (**self).narrate_batch(reqs)
+    }
+}
+
+impl<T: Translator + ?Sized> Translator for Box<T> {
+    fn backend(&self) -> &str {
+        (**self).backend()
+    }
+
+    fn narrate(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError> {
+        (**self).narrate(req)
+    }
+
+    fn narrate_batch(
+        &self,
+        reqs: &[NarrationRequest],
+    ) -> Vec<Result<NarrationResponse, LanternError>> {
+        (**self).narrate_batch(reqs)
+    }
+}
+
+/// Fan a batch out across worker threads (scoped; no detached state).
+/// Results come back in request order. Worker count adapts to the
+/// machine (`available_parallelism`, capped by the batch size); on a
+/// single-core host this degrades to an in-thread loop with no spawn
+/// overhead.
+pub fn narrate_batch_parallel<T: Translator + Sync>(
+    translator: &T,
+    reqs: &[NarrationRequest],
+) -> Vec<Result<NarrationResponse, LanternError>> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(reqs.len().max(1));
+    if workers <= 1 {
+        return reqs.iter().map(|r| translator.narrate(r)).collect();
+    }
+    let chunk_size = reqs.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = reqs
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|r| translator.narrate(r))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("narration worker panicked"))
+            .collect()
+    })
+}
+
+/// The rule-based backend (RULE-LANTERN) behind the unified API.
+///
+/// Owns a handle to the POEM store. Every narration runs against an
+/// immutable catalog snapshot (version-cached inside the store, so an
+/// unchanged catalog is assembled once, not per call);
+/// [`Translator::narrate_batch`] pins one snapshot for the whole batch
+/// and fans out across threads.
+#[derive(Debug, Clone)]
+pub struct RuleTranslator {
+    store: PoemStore,
+    style: RenderStyle,
+}
+
+impl RuleTranslator {
+    /// A rule backend over the given store, rendering numbered
+    /// documents by default.
+    pub fn new(store: PoemStore) -> Self {
+        RuleTranslator {
+            store,
+            style: RenderStyle::default(),
+        }
+    }
+
+    /// Change the default rendering style.
+    pub fn with_style(mut self, style: RenderStyle) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// The underlying store handle (e.g. to run POOL statements).
+    pub fn store(&self) -> &PoemStore {
+        &self.store
+    }
+
+    fn narrate_against<L: PoemLookup>(
+        &self,
+        req: &NarrationRequest,
+        lookup: &L,
+    ) -> Result<NarrationResponse, LanternError> {
+        // Borrow already-parsed trees instead of deep-cloning them
+        // through `resolve` — on the batch hot path the parse/clone is
+        // the caller's, not ours.
+        let narration = match &req.source {
+            PlanSource::Tree(tree) => narrate_with_lookup(tree, lookup)?,
+            serialized => narrate_with_lookup(&serialized.resolve()?, lookup)?,
+        };
+        Ok(NarrationResponse::new(
+            self.backend(),
+            narration,
+            req.effective_style(self.style),
+        ))
+    }
+}
+
+impl Translator for RuleTranslator {
+    fn backend(&self) -> &str {
+        "rule"
+    }
+
+    fn narrate(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError> {
+        let snapshot = self.store.snapshot();
+        self.narrate_against(req, &snapshot)
+    }
+
+    fn narrate_batch(
+        &self,
+        reqs: &[NarrationRequest],
+    ) -> Vec<Result<NarrationResponse, LanternError>> {
+        // One snapshot pinned for the whole batch: every request sees
+        // the same catalog generation (even if a POOL writer lands
+        // mid-batch), no per-request locking happens at all, and the
+        // snapshot is shared read-only by all worker threads.
+        let snapshot = self.store.snapshot();
+        let shared = SnapshotRule {
+            inner: self,
+            snapshot: snapshot.as_ref(),
+        };
+        narrate_batch_parallel(&shared, reqs)
+    }
+}
+
+/// Internal adapter binding a [`RuleTranslator`] to an already-taken
+/// snapshot, so the parallel batch helper narrates lock-free.
+struct SnapshotRule<'a> {
+    inner: &'a RuleTranslator,
+    snapshot: &'a PoemSnapshot,
+}
+
+impl Translator for SnapshotRule<'_> {
+    fn backend(&self) -> &str {
+        self.inner.backend()
+    }
+
+    fn narrate(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError> {
+        self.inner.narrate_against(req, self.snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lantern_plan::PlanNode;
+    use lantern_pool::{default_mssql_store, default_pg_store};
+
+    const PG_DOC: &str = r#"[{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}]"#;
+    const XML_DOC: &str = r#"<ShowPlanXML><BatchSequence><Batch><Statements><StmtSimple>
+        <QueryPlan><RelOp PhysicalOp="Table Scan"><Object Table="photoobj"/></RelOp></QueryPlan>
+        </StmtSimple></Statements></Batch></BatchSequence></ShowPlanXML>"#;
+
+    #[test]
+    fn auto_detects_json_and_xml() {
+        assert!(matches!(
+            PlanSource::auto(PG_DOC).unwrap(),
+            PlanSource::PgJson(_)
+        ));
+        assert!(matches!(
+            PlanSource::auto(XML_DOC).unwrap(),
+            PlanSource::SqlServerXml(_)
+        ));
+        assert!(matches!(
+            PlanSource::auto("  \n { \"Plan\": {} }").unwrap(),
+            PlanSource::PgJson(_)
+        ));
+    }
+
+    #[test]
+    fn auto_rejects_empty_and_unknown() {
+        assert_eq!(PlanSource::auto("").unwrap_err(), LanternError::EmptyInput);
+        assert_eq!(
+            PlanSource::auto("   \t\n").unwrap_err(),
+            LanternError::EmptyInput
+        );
+        match PlanSource::auto("EXPLAIN SELECT * FROM t").unwrap_err() {
+            LanternError::UnknownFormat { snippet } => {
+                assert!(snippet.starts_with("EXPLAIN"), "{snippet}")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_json_is_a_parse_error() {
+        let req = NarrationRequest::auto(r#"[{"Plan": {"Node Type": "Seq"#).unwrap();
+        match req.resolve_tree().unwrap_err() {
+            LanternError::Parse { format, .. } => assert_eq!(format, PlanFormat::PgJson),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn xml_without_relop_is_a_parse_error() {
+        let req = NarrationRequest::auto("<ShowPlanXML><BatchSequence/></ShowPlanXML>").unwrap();
+        match req.resolve_tree().unwrap_err() {
+            LanternError::Parse { format, message } => {
+                assert_eq!(format, PlanFormat::SqlServerXml);
+                assert!(message.contains("RelOp"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rule_translator_narrates_all_source_kinds() {
+        let rule = RuleTranslator::new(default_mssql_store());
+        let from_json = rule
+            .narrate(&NarrationRequest::auto(PG_DOC).unwrap())
+            .unwrap();
+        assert_eq!(from_json.backend, "rule");
+        assert_eq!(
+            from_json.text,
+            "1. perform sequential scan on orders to get the final results."
+        );
+        let from_xml = rule
+            .narrate(&NarrationRequest::auto(XML_DOC).unwrap())
+            .unwrap();
+        assert!(
+            from_xml.text.contains("table scan on photoobj"),
+            "{}",
+            from_xml.text
+        );
+        let tree = PlanTree::new("pg", PlanNode::new("Seq Scan").on_relation("orders"));
+        let from_tree = rule.narrate(&NarrationRequest::from_tree(&tree)).unwrap();
+        assert_eq!(from_tree.narration, from_json.narration);
+    }
+
+    #[test]
+    fn unknown_operator_is_structured() {
+        let rule = RuleTranslator::new(default_pg_store());
+        let err = rule
+            .narrate(&NarrationRequest::auto(XML_DOC).unwrap())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LanternError::UnknownOperator {
+                source: "mssql".into(),
+                op: "Table Scan".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn per_request_style_overrides_default() {
+        let rule = RuleTranslator::new(default_pg_store());
+        let req = NarrationRequest::auto(PG_DOC)
+            .unwrap()
+            .with_style(RenderStyle::Bulleted);
+        let resp = rule.narrate(&req).unwrap();
+        assert!(resp.text.starts_with("- perform sequential scan"));
+        assert!(resp.render(RenderStyle::Numbered).starts_with("1. "));
+    }
+
+    #[test]
+    fn batch_matches_sequential_in_order() {
+        let rule = RuleTranslator::new(default_pg_store());
+        let reqs: Vec<NarrationRequest> = (0..8)
+            .map(|i| {
+                let tree = PlanTree::new(
+                    "pg",
+                    PlanNode::new("Sort")
+                        .with_child(PlanNode::new("Seq Scan").on_relation(format!("t{i}"))),
+                );
+                NarrationRequest::from_tree(tree)
+            })
+            .collect();
+        let sequential: Vec<_> = reqs.iter().map(|r| rule.narrate(r)).collect();
+        let batched = rule.narrate_batch(&reqs);
+        assert_eq!(batched.len(), sequential.len());
+        for (b, s) in batched.iter().zip(&sequential) {
+            assert_eq!(b.as_ref().unwrap().narration, s.as_ref().unwrap().narration);
+        }
+        // Order preserved: each narration mentions its own relation.
+        for (i, b) in batched.iter().enumerate() {
+            assert!(b.as_ref().unwrap().text.contains(&format!("t{i}")));
+        }
+    }
+
+    #[test]
+    fn batch_reports_per_request_errors() {
+        let rule = RuleTranslator::new(default_pg_store());
+        let reqs = vec![
+            NarrationRequest::pg_json(PG_DOC),
+            NarrationRequest::pg_json("not json"),
+            NarrationRequest::pg_json(PG_DOC),
+        ];
+        let out = rule.narrate_batch(&reqs);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(LanternError::Parse { .. })));
+        assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn error_displays_are_informative() {
+        let e = LanternError::Backend {
+            backend: "neuron".into(),
+            message: "no rule for 'Table Scan'".into(),
+        };
+        assert!(e.to_string().contains("neuron"));
+        assert!(LanternError::EmptyInput.to_string().contains("empty"));
+        let core: CoreError = LanternError::UnknownOperator {
+            source: "pg".into(),
+            op: "X".into(),
+        }
+        .into();
+        assert!(matches!(core, CoreError::UnknownOperator { .. }));
+    }
+}

@@ -1,57 +1,116 @@
 //! The end-to-end LANTERN facade: plan artifact in (JSON/XML/tree),
 //! natural-language narration out.
+//!
+//! `Lantern` predates the unified [`Translator`] API and is kept as a
+//! thin compatibility layer: it now implements [`Translator`] itself,
+//! and its per-vendor methods are deprecated wrappers over
+//! [`NarrationRequest`] + [`RuleTranslator`].
 
+use crate::api::{LanternError, NarrationRequest, NarrationResponse, RuleTranslator, Translator};
 use crate::lot::CoreError;
-use crate::narrate::{Narration, RuleLantern};
-use lantern_plan::{parse_pg_json_plan, parse_sqlserver_xml_plan, PlanTree};
+use crate::narrate::Narration;
+use lantern_plan::PlanTree;
 use lantern_pool::PoemStore;
 
 /// End-to-end rule-based LANTERN: owns a POEM store and translates
 /// plan artifacts from any supported source.
 ///
 /// ```
-/// use lantern_core::Lantern;
+/// use lantern_core::{Lantern, NarrationRequest, Translator};
 /// use lantern_pool::default_pg_store;
 ///
 /// let lantern = Lantern::new(default_pg_store());
 /// let doc = r#"{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}"#;
-/// let narration = lantern.narrate_pg_json(doc).unwrap();
+/// let response = lantern.narrate_request(&NarrationRequest::auto(doc).unwrap()).unwrap();
 /// assert_eq!(
-///     narration.text(),
+///     response.text,
 ///     "1. perform sequential scan on orders to get the final results."
 /// );
 /// ```
 pub struct Lantern {
-    store: PoemStore,
+    rule: RuleTranslator,
 }
 
 impl Lantern {
     /// Create a facade over a POEM store.
     pub fn new(store: PoemStore) -> Self {
-        Lantern { store }
+        Lantern {
+            rule: RuleTranslator::new(store),
+        }
     }
 
     /// Access the underlying store (e.g. to run POOL statements).
     pub fn store(&self) -> &PoemStore {
-        &self.store
+        self.rule.store()
+    }
+
+    /// Narrate a request through the unified pipeline (equivalent to
+    /// [`Translator::narrate`]; named method provided so callers don't
+    /// need the trait in scope).
+    pub fn narrate_request(
+        &self,
+        req: &NarrationRequest,
+    ) -> Result<NarrationResponse, LanternError> {
+        self.rule.narrate(req)
+    }
+
+    /// Narrate an already-parsed plan tree (borrowed — no clone).
+    pub fn narrate_tree(&self, tree: &PlanTree) -> Result<Narration, CoreError> {
+        let snapshot = self.rule.store().snapshot();
+        crate::narrate::narrate_with_lookup(tree, &snapshot)
     }
 
     /// Narrate an already-parsed plan tree.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `narrate_tree` (or the `Translator` API); this inherent method shadows \
+                `Translator::narrate(&NarrationRequest)` on `Lantern`"
+    )]
     pub fn narrate(&self, tree: &PlanTree) -> Result<Narration, CoreError> {
-        RuleLantern::new(&self.store).narrate(tree)
+        self.narrate_tree(tree)
     }
 
     /// Narrate a PostgreSQL `EXPLAIN (FORMAT JSON)` document.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `NarrationRequest::pg_json` (or `::auto`) with the `Translator` API, \
+                e.g. via `lantern::LanternBuilder`"
+    )]
     pub fn narrate_pg_json(&self, doc: &str) -> Result<Narration, CoreError> {
-        let tree = parse_pg_json_plan(doc).map_err(|e| CoreError::PlanError(e.to_string()))?;
-        self.narrate(&tree)
+        self.rule
+            .narrate(&NarrationRequest::pg_json(doc))
+            .map(|r| r.narration)
+            .map_err(CoreError::from)
     }
 
     /// Narrate a SQL Server XML showplan.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `NarrationRequest::sqlserver_xml` (or `::auto`) with the `Translator` API, \
+                e.g. via `lantern::LanternBuilder`"
+    )]
     pub fn narrate_sqlserver_xml(&self, doc: &str) -> Result<Narration, CoreError> {
-        let tree =
-            parse_sqlserver_xml_plan(doc).map_err(|e| CoreError::PlanError(e.to_string()))?;
-        self.narrate(&tree)
+        self.rule
+            .narrate(&NarrationRequest::sqlserver_xml(doc))
+            .map(|r| r.narration)
+            .map_err(CoreError::from)
+    }
+}
+
+impl Translator for Lantern {
+    fn backend(&self) -> &str {
+        self.rule.backend()
+    }
+
+    fn narrate(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError> {
+        self.rule.narrate(req)
+    }
+
+    fn narrate_batch(
+        &self,
+        reqs: &[NarrationRequest],
+    ) -> Vec<Result<NarrationResponse, LanternError>> {
+        self.rule.narrate_batch(reqs)
     }
 }
 
@@ -70,11 +129,13 @@ mod tests {
               {"Node Type": "Hash",
                "Plans": [{"Node Type": "Seq Scan", "Relation Name": "b"}]}
             ]}}]"#;
-        let n = lantern.narrate_pg_json(doc).unwrap();
+        let n = lantern
+            .narrate_request(&NarrationRequest::auto(doc).unwrap())
+            .unwrap();
         assert!(
-            n.text().contains("hash b and perform hash join on a and b"),
+            n.text.contains("hash b and perform hash join on a and b"),
             "{}",
-            n.text()
+            n.text
         );
     }
 
@@ -85,18 +146,32 @@ mod tests {
               <Object Table="photoobj"/>
             </RelOp>
         </QueryPlan></StmtSimple></Statements></Batch></BatchSequence></ShowPlanXML>"#;
+        let req = NarrationRequest::auto(doc).unwrap();
         // pg-only store: fails (operator names differ across sources).
         let pg_only = Lantern::new(default_pg_store());
-        assert!(pg_only.narrate_sqlserver_xml(doc).is_err());
+        assert!(matches!(
+            pg_only.narrate_request(&req),
+            Err(LanternError::UnknownOperator { .. })
+        ));
         // Store with the mssql catalog: succeeds.
         let both = Lantern::new(default_mssql_store());
-        let n = both.narrate_sqlserver_xml(doc).unwrap();
-        assert!(n.text().contains("perform table scan on photoobj"));
+        let n = both.narrate_request(&req).unwrap();
+        assert!(n.text.contains("perform table scan on photoobj"));
     }
 
     #[test]
-    fn malformed_documents_report_plan_errors() {
+    fn deprecated_wrappers_keep_working() {
+        // Old callers must keep compiling and behaving until the next
+        // major release; this is the compatibility contract the
+        // deprecation wrappers exist for.
+        #![allow(deprecated)]
         let lantern = Lantern::new(default_pg_store());
+        let doc = r#"{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}"#;
+        let narration = lantern.narrate_pg_json(doc).unwrap();
+        assert_eq!(
+            narration.text(),
+            "1. perform sequential scan on orders to get the final results."
+        );
         assert!(matches!(
             lantern.narrate_pg_json("not json"),
             Err(CoreError::PlanError(_))
@@ -105,5 +180,27 @@ mod tests {
             lantern.narrate_sqlserver_xml("<no-plan/>"),
             Err(CoreError::PlanError(_))
         ));
+        // The deprecated tree method and its replacement agree.
+        let tree = lantern_plan::parse_pg_json_plan(doc).unwrap();
+        assert_eq!(
+            lantern.narrate(&tree).unwrap(),
+            lantern.narrate_tree(&tree).unwrap()
+        );
+    }
+
+    #[test]
+    fn facade_serves_the_translator_trait() {
+        fn narrate_via_trait<T: Translator>(t: &T, doc: &str) -> String {
+            t.narrate(&NarrationRequest::auto(doc).unwrap())
+                .unwrap()
+                .text
+        }
+        let lantern = Lantern::new(default_pg_store());
+        let text = narrate_via_trait(
+            &lantern,
+            r#"{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}"#,
+        );
+        assert!(text.contains("sequential scan on orders"));
+        assert_eq!(lantern.backend(), "rule");
     }
 }

@@ -4,7 +4,7 @@
 //! template produced by the POOL `COMPOSE` statement for the node).
 
 use lantern_plan::{PlanNode, PlanTree};
-use lantern_pool::{PoemObject, PoemStore};
+use lantern_pool::{PoemLookup, PoemObject};
 use std::fmt;
 
 /// Error raised while building or narrating a LOT.
@@ -71,26 +71,30 @@ pub struct LotTree {
 
 /// Build the LOT for `tree` using the operator annotations in `store`
 /// (paper Algorithm 1, line 1).
-pub fn build_lot(tree: &PlanTree, store: &PoemStore) -> Result<LotTree, CoreError> {
+///
+/// Generic over [`PoemLookup`] so the hot path can thread a single
+/// [`lantern_pool::PoemSnapshot`] through the whole construction (one
+/// lock acquisition per narration) while ad-hoc callers keep passing
+/// the live [`lantern_pool::PoemStore`].
+pub fn build_lot<L: PoemLookup>(tree: &PlanTree, store: &L) -> Result<LotTree, CoreError> {
     Ok(LotTree {
         source: tree.source.clone(),
         root: annotate(&tree.root, &tree.source, store)?,
     })
 }
 
-fn annotate(node: &PlanNode, source: &str, store: &PoemStore) -> Result<LotNode, CoreError> {
-    let poem = store
-        .find(source, &node.op)
-        .ok_or_else(|| CoreError::UnknownOperator {
-            source: source.to_string(),
-            op: node.op.clone(),
-        })?;
-    let mut shallow = node.clone();
-    shallow.children = Vec::new();
+fn annotate<L: PoemLookup>(node: &PlanNode, source: &str, store: &L) -> Result<LotNode, CoreError> {
+    let (poem, label) =
+        store
+            .find_labeled(source, &node.op)
+            .ok_or_else(|| CoreError::UnknownOperator {
+                source: source.to_string(),
+                op: node.op.clone(),
+            })?;
     let mut lot = LotNode {
-        plan: shallow,
+        plan: node.clone_shallow(),
         name: poem.display_name().to_string(),
-        label: poem.template(None),
+        label,
         poem,
         children: Vec::with_capacity(node.children.len()),
     };

@@ -15,7 +15,7 @@ use crate::cluster::{cluster_pairs, clustered_aux, Cluster};
 use crate::lot::{build_lot, CoreError, LotNode};
 use crate::tags::TagBinding;
 use lantern_plan::PlanTree;
-use lantern_pool::PoemStore;
+use lantern_pool::{PoemLookup, PoemStore};
 
 /// One narration step (= one *act*, in §6.2 terminology).
 #[derive(Debug, Clone, PartialEq)]
@@ -40,7 +40,53 @@ pub struct Narration {
     steps: Vec<NarrationStep>,
 }
 
+/// How a [`Narration`] is rendered into one string (the presentation
+/// dimension of the paper's US 6 survey).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RenderStyle {
+    /// Numbered steps, one per line — the document format 38/43
+    /// learners preferred in US 6.
+    #[default]
+    Numbered,
+    /// Unnumbered sentences joined into one paragraph.
+    Paragraph,
+    /// Bulleted list, one step per line.
+    Bulleted,
+}
+
 impl Narration {
+    /// Assemble a narration from already-built steps (used by the
+    /// neural and baseline backends and by deserialization).
+    pub fn from_steps(steps: Vec<NarrationStep>) -> Self {
+        Narration { steps }
+    }
+
+    /// Assemble a narration from bare sentences: steps are numbered in
+    /// order, with no operator coverage, tag abstraction, or bindings
+    /// (backends that do not produce the two synchronized renderings).
+    pub fn from_sentences<I>(sentences: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        Narration {
+            steps: sentences
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let text: String = s.into();
+                    NarrationStep {
+                        index: i + 1,
+                        ops: Vec::new(),
+                        tagged: text.clone(),
+                        text,
+                        bindings: TagBinding::new(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
     /// The steps in narration order.
     pub fn steps(&self) -> &[NarrationStep] {
         &self.steps
@@ -49,11 +95,31 @@ impl Narration {
     /// Document-style rendering: numbered steps, one per line (the
     /// presentation format 38/43 learners preferred in US 6).
     pub fn text(&self) -> String {
-        self.steps
-            .iter()
-            .map(|s| format!("{}. {}", s.index, s.text))
-            .collect::<Vec<_>>()
-            .join("\n")
+        self.render(RenderStyle::Numbered)
+    }
+
+    /// Render the narration in the requested [`RenderStyle`].
+    pub fn render(&self, style: RenderStyle) -> String {
+        match style {
+            RenderStyle::Numbered => self
+                .steps
+                .iter()
+                .map(|s| format!("{}. {}", s.index, s.text))
+                .collect::<Vec<_>>()
+                .join("\n"),
+            RenderStyle::Paragraph => self
+                .steps
+                .iter()
+                .map(|s| s.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" "),
+            RenderStyle::Bulleted => self
+                .steps
+                .iter()
+                .map(|s| format!("- {}", s.text))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        }
     }
 
     /// All concrete sentences, unnumbered.
@@ -74,17 +140,34 @@ impl<'a> RuleLantern<'a> {
     }
 
     /// Narrate a plan (paper Algorithm 1).
+    ///
+    /// Takes **one** read snapshot of the POEM store and threads it
+    /// through the whole LOT construction, instead of re-acquiring the
+    /// store's `RwLock` for every plan node.
     pub fn narrate(&self, tree: &PlanTree) -> Result<Narration, CoreError> {
-        let lot = build_lot(tree, self.store)?;
-        let clusters = cluster_pairs(&lot.root);
-        let mut ctx = Ctx {
-            steps: Vec::new(),
-            t_counter: 0,
-            clusters,
-        };
-        visit(&lot.root, &[], true, &mut ctx)?;
-        Ok(Narration { steps: ctx.steps })
+        let snapshot = self.store.snapshot();
+        narrate_with_lookup(tree, &snapshot)
     }
+}
+
+/// Narrate a plan against any [`PoemLookup`] (paper Algorithm 1).
+///
+/// This is the hot-path entry point: batch pipelines snapshot the store
+/// once and call this for every plan, so no per-narration locking or
+/// catalog assembly happens at all.
+pub fn narrate_with_lookup<L: PoemLookup>(
+    tree: &PlanTree,
+    lookup: &L,
+) -> Result<Narration, CoreError> {
+    let lot = build_lot(tree, lookup)?;
+    let clusters = cluster_pairs(&lot.root);
+    let mut ctx = Ctx {
+        steps: Vec::new(),
+        t_counter: 0,
+        clusters,
+    };
+    visit(&lot.root, &mut Vec::new(), true, &mut ctx)?;
+    Ok(Narration { steps: ctx.steps })
 }
 
 struct Ctx {
@@ -119,41 +202,40 @@ impl Emit {
 /// unfiltered leaf scan.
 fn visit(
     node: &LotNode,
-    path: &[usize],
+    path: &mut Vec<usize>,
     is_root: bool,
     ctx: &mut Ctx,
 ) -> Result<String, CoreError> {
-    // Resolve the clustered auxiliary child (if any) and the effective
-    // children after skipping it.
+    // Resolve the clustered auxiliary child (if any), then recurse into
+    // the effective children (the clustered auxiliary is skipped; its
+    // child stands in for it) in post-order. The path buffer is shared
+    // down the recursion instead of re-allocated per child.
     let aux_idx = clustered_aux(&ctx.clusters, path);
     let mut aux_node: Option<&LotNode> = None;
-    let mut effective: Vec<(&LotNode, Vec<usize>)> = Vec::new();
+    let mut child_names = Vec::with_capacity(node.children.len());
     for (i, child) in node.children.iter().enumerate() {
         if Some(i) == aux_idx {
             aux_node = Some(child);
             let inner = child.children.first().ok_or_else(|| {
                 CoreError::PlanError(format!("auxiliary operator {} has no child", child.plan.op))
             })?;
-            let mut p = path.to_vec();
-            p.push(i);
-            p.push(0);
-            effective.push((inner, p));
+            path.push(i);
+            path.push(0);
+            child_names.push(visit(inner, path, false, ctx)?);
+            path.pop();
+            path.pop();
         } else {
-            let mut p = path.to_vec();
-            p.push(i);
-            effective.push((child, p));
+            path.push(i);
+            child_names.push(visit(child, path, false, ctx)?);
+            path.pop();
         }
     }
 
-    // Recurse into effective children first (post-order).
-    let mut child_names = Vec::with_capacity(effective.len());
-    for (child, child_path) in &effective {
-        child_names.push(visit(child, child_path, false, ctx)?);
-    }
-
     // Template for this step: composed when an auxiliary was clustered.
+    // The composition equals `aux.poem.compose_with(&node.poem, None)`
+    // but reuses the labels already derived during LOT annotation.
     let template = match aux_node {
-        Some(aux) => aux.poem.compose_with(&node.poem, None),
+        Some(aux) => format!("{} and {}", aux.label, node.label),
         None => node.label.clone(),
     };
 
@@ -319,8 +401,15 @@ pub fn humanize_predicate(pred: &str) -> String {
 }
 
 fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
-    let h = haystack.to_ascii_lowercase();
-    h.find(&needle.to_ascii_lowercase())
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    if n.is_empty() {
+        return Some(0);
+    }
+    if h.len() < n.len() {
+        return None;
+    }
+    (0..=h.len() - n.len()).find(|&i| h[i..i + n.len()].eq_ignore_ascii_case(n))
 }
 
 #[cfg(test)]

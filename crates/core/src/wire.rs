@@ -1,0 +1,234 @@
+//! Stable JSON wire format for narrations, so service responses can be
+//! serialized, stored, and replayed across versions. The shape is:
+//!
+//! ```json
+//! {"steps": [{"index": 1,
+//!             "ops": ["Hash", "Hash Join"],
+//!             "text": "hash T1 and ...",
+//!             "tagged": "hash <T> and ...",
+//!             "bindings": [["<T>", "T1"]]}]}
+//! ```
+//!
+//! Serialization uses the in-tree JSON value model (`lantern_text`), so
+//! the output is deterministic (object keys are sorted).
+
+use crate::narrate::{Narration, NarrationStep};
+use crate::tags::TagBinding;
+use lantern_text::json::{JsonError, JsonValue};
+use std::collections::BTreeMap;
+
+fn shape_err(message: impl Into<String>) -> JsonError {
+    JsonError {
+        offset: 0,
+        message: message.into(),
+    }
+}
+
+fn string_field(obj: &JsonValue, key: &str) -> Result<String, JsonError> {
+    obj.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| shape_err(format!("missing string field '{key}'")))
+}
+
+impl NarrationStep {
+    /// The step as a JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut obj = BTreeMap::new();
+        obj.insert("index".to_string(), JsonValue::Number(self.index as f64));
+        obj.insert(
+            "ops".to_string(),
+            JsonValue::Array(
+                self.ops
+                    .iter()
+                    .map(|o| JsonValue::String(o.clone()))
+                    .collect(),
+            ),
+        );
+        obj.insert("text".to_string(), JsonValue::String(self.text.clone()));
+        obj.insert("tagged".to_string(), JsonValue::String(self.tagged.clone()));
+        obj.insert(
+            "bindings".to_string(),
+            JsonValue::Array(
+                self.bindings
+                    .iter()
+                    .map(|(tag, value)| {
+                        JsonValue::Array(vec![
+                            JsonValue::String(tag.clone()),
+                            JsonValue::String(value.clone()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        JsonValue::Object(obj)
+    }
+
+    /// Parse one step from its JSON value.
+    pub fn from_json_value(v: &JsonValue) -> Result<NarrationStep, JsonError> {
+        let index_raw = v
+            .get("index")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| shape_err("missing numeric field 'index'"))?;
+        if index_raw < 0.0 || index_raw.fract() != 0.0 || index_raw > usize::MAX as f64 {
+            return Err(shape_err("'index' must be a non-negative integer"));
+        }
+        let index = index_raw as usize;
+        let ops = match v.get("ops") {
+            Some(JsonValue::Array(items)) => items
+                .iter()
+                .map(|o| {
+                    o.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| shape_err("non-string entry in 'ops'"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(shape_err("missing array field 'ops'")),
+        };
+        let mut bindings = TagBinding::new();
+        match v.get("bindings") {
+            Some(JsonValue::Array(items)) => {
+                for pair in items {
+                    match pair.as_array() {
+                        Some([tag, value]) => match (tag.as_str(), value.as_str()) {
+                            (Some(t), Some(val)) => bindings.push((t.to_string(), val.to_string())),
+                            _ => return Err(shape_err("non-string binding pair")),
+                        },
+                        _ => return Err(shape_err("binding entry is not a [tag, value] pair")),
+                    }
+                }
+            }
+            _ => return Err(shape_err("missing array field 'bindings'")),
+        }
+        Ok(NarrationStep {
+            index,
+            ops,
+            text: string_field(v, "text")?,
+            tagged: string_field(v, "tagged")?,
+            bindings,
+        })
+    }
+}
+
+impl Narration {
+    /// The narration as a JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "steps".to_string(),
+            JsonValue::Array(
+                self.steps()
+                    .iter()
+                    .map(NarrationStep::to_json_value)
+                    .collect(),
+            ),
+        );
+        JsonValue::Object(obj)
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string_compact()
+    }
+
+    /// Parse a narration from its JSON wire form.
+    pub fn from_json(doc: &str) -> Result<Narration, JsonError> {
+        let value = JsonValue::parse(doc)?;
+        let steps = match value.get("steps") {
+            Some(JsonValue::Array(items)) => items
+                .iter()
+                .map(NarrationStep::from_json_value)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(shape_err("missing array field 'steps'")),
+        };
+        Ok(Narration::from_steps(steps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::narrate::RuleLantern;
+    use lantern_plan::{PlanNode, PlanTree};
+    use lantern_pool::default_pg_store;
+
+    fn figure_4() -> PlanTree {
+        PlanTree::new(
+            "pg",
+            PlanNode::new("Aggregate").with_child(
+                PlanNode::new("Hash Join")
+                    .with_join_cond("((i.proceeding_key) = (p.pub_key))")
+                    .with_child(PlanNode::new("Seq Scan").on_relation("inproceedings"))
+                    .with_child(
+                        PlanNode::new("Hash").with_child(
+                            PlanNode::new("Seq Scan")
+                                .on_relation("publication")
+                                .with_filter("title LIKE '%July%'"),
+                        ),
+                    ),
+            ),
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_steps_ops_tags_and_bindings() {
+        let store = default_pg_store();
+        let narration = RuleLantern::new(&store).narrate(&figure_4()).unwrap();
+        let json = narration.to_json();
+        let back = Narration::from_json(&json).unwrap();
+        assert_eq!(back, narration);
+        // Double round-trip is byte-stable (deterministic field order).
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn wire_form_exposes_expected_fields() {
+        let store = default_pg_store();
+        let narration = RuleLantern::new(&store).narrate(&figure_4()).unwrap();
+        let json = narration.to_json();
+        for field in [
+            "\"steps\"",
+            "\"index\"",
+            "\"ops\"",
+            "\"text\"",
+            "\"tagged\"",
+            "\"bindings\"",
+        ] {
+            assert!(json.contains(field), "{field} missing from {json}");
+        }
+        // Tag bindings survive: the join step binds <C> to the join
+        // condition.
+        assert!(
+            json.contains("[\"<C>\",\"((i.proceeding_key) = (p.pub_key))\"]"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn from_sentences_round_trips_too() {
+        let narration =
+            Narration::from_sentences(["scan the table.".to_string(), "done.".to_string()]);
+        let back = Narration::from_json(&narration.to_json()).unwrap();
+        assert_eq!(back, narration);
+        assert_eq!(back.steps().len(), 2);
+        assert_eq!(back.steps()[1].index, 2);
+    }
+
+    #[test]
+    fn malformed_wire_documents_are_rejected() {
+        assert!(Narration::from_json("not json").is_err());
+        assert!(Narration::from_json("{}").is_err());
+        assert!(Narration::from_json(r#"{"steps": [{}]}"#).is_err());
+        assert!(
+            Narration::from_json(r#"{"steps": [{"index": 1, "ops": [], "text": "x"}]}"#).is_err()
+        );
+        // Indexes must be non-negative integers, not silently mangled.
+        for bad in ["-3", "1.5", "1e30"] {
+            let doc = format!(
+                r#"{{"steps": [{{"index": {bad}, "ops": [], "text": "x",
+                    "tagged": "x", "bindings": []}}]}}"#
+            );
+            assert!(Narration::from_json(&doc).is_err(), "{bad}");
+        }
+    }
+}

@@ -2,11 +2,11 @@
 //! substitution table).
 //!
 //! * [`ElmoStyleBiLm`] — a bidirectional LSTM language model (ELMo's
-//!   architecture [45], scaled down): a forward LSTM predicts the next
+//!   architecture \[45\], scaled down): a forward LSTM predicts the next
 //!   token, a backward LSTM the previous one; a token's contextual
 //!   representation is the concatenation of the two hidden states.
 //! * [`BertStyleEncoder`] — a masked-token self-attention encoder
-//!   (BERT's objective [23], one attention layer): a masked position
+//!   (BERT's objective \[23\], one attention layer): a masked position
 //!   attends over its context to reconstruct the missing token.
 //!
 //! QEP2Seq's decoder consumes *static per-token* tables, so both models

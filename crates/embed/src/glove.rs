@@ -1,4 +1,4 @@
-//! GloVe (Pennington et al. [44]): weighted least squares on the log
+//! GloVe (Pennington et al. \[44\]): weighted least squares on the log
 //! co-occurrence matrix, optimized with AdaGrad — from scratch.
 
 use crate::corpus::Corpus;

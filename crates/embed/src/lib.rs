@@ -1,7 +1,7 @@
 //! # lantern-embed
 //!
 //! Word-embedding trainers standing in for the paper's pre-trained
-//! vectors (Word2Vec, GloVe, ELMo, BERT — refs [1,2,3,13]).
+//! vectors (Word2Vec, GloVe, ELMo, BERT — refs \[1,2,3,13\]).
 //!
 //! Offline reproduction cannot download the published model files, so
 //! this crate implements each family from scratch and trains them on

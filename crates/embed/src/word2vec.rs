@@ -1,4 +1,4 @@
-//! Word2Vec: skip-gram with negative sampling (Mikolov et al. [38]),
+//! Word2Vec: skip-gram with negative sampling (Mikolov et al. \[38\]),
 //! implemented from scratch.
 
 use crate::corpus::Corpus;

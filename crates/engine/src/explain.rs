@@ -3,6 +3,7 @@
 //! JSON, SQL Server-style XML).
 
 use crate::physical::PhysicalPlan;
+use lantern_core::{NarrationRequest, PlanSource};
 use lantern_plan::{plan_to_pg_json, plan_to_sqlserver_xml, PlanTree};
 
 /// Supported plan export formats.
@@ -29,6 +30,35 @@ pub fn explain_tree(tree: &PlanTree, format: ExplainFormat) -> String {
         ExplainFormat::Text => tree.to_string(),
         ExplainFormat::PgJson => plan_to_pg_json(tree),
         ExplainFormat::SqlServerXml => plan_to_sqlserver_xml(tree),
+    }
+}
+
+/// Bridge a planner output into the unified narration pipeline as the
+/// requested artifact kind: the serialized vendor document for
+/// [`ExplainFormat::PgJson`] / [`ExplainFormat::SqlServerXml`] (so the
+/// request exercises the same parse path a real client would), or the
+/// already-parsed tree for [`ExplainFormat::Text`], which has no
+/// reader.
+pub fn explain_source(plan: &PhysicalPlan, format: ExplainFormat) -> PlanSource {
+    let tree = plan.tree();
+    match format {
+        ExplainFormat::Text => PlanSource::from(tree),
+        ExplainFormat::PgJson => PlanSource::PgJson(plan_to_pg_json(&tree)),
+        ExplainFormat::SqlServerXml => PlanSource::SqlServerXml(plan_to_sqlserver_xml(&tree)),
+    }
+}
+
+impl From<&PhysicalPlan> for PlanSource {
+    /// The zero-copy-ish default bridge: hand the planner's tree
+    /// straight to the narration pipeline.
+    fn from(plan: &PhysicalPlan) -> Self {
+        PlanSource::from(plan.tree())
+    }
+}
+
+impl From<&PhysicalPlan> for NarrationRequest {
+    fn from(plan: &PhysicalPlan) -> Self {
+        NarrationRequest::new(PlanSource::from(plan))
     }
 }
 
@@ -66,6 +96,31 @@ mod tests {
         let json = explain(&p, ExplainFormat::PgJson);
         let reparsed = parse_pg_json_plan(&json).unwrap();
         assert_eq!(reparsed.root, p.tree().root);
+    }
+
+    #[test]
+    fn explain_source_feeds_the_unified_pipeline() {
+        use lantern_core::{RuleTranslator, Translator};
+        use lantern_pool::default_mssql_store;
+        let (_, p) = plan();
+        let rule = RuleTranslator::new(default_mssql_store());
+        // All three formats resolve to a narratable request; JSON and
+        // tree agree exactly, XML narrates in mssql vocabulary.
+        let via_tree = rule.narrate(&NarrationRequest::from(&p)).unwrap();
+        let via_json = rule
+            .narrate(&NarrationRequest::new(explain_source(
+                &p,
+                ExplainFormat::PgJson,
+            )))
+            .unwrap();
+        assert_eq!(via_tree.narration, via_json.narration);
+        let via_xml = rule
+            .narrate(&NarrationRequest::new(explain_source(
+                &p,
+                ExplainFormat::SqlServerXml,
+            )))
+            .unwrap();
+        assert!(via_xml.text.ends_with("to get the final results."));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! JSON or SQL Server-style XML `EXPLAIN` artifacts.
 //!
 //! The crate also hosts the Kipf-style random query generator
-//! (paper ref [31]) used to mass-produce training workloads.
+//! (paper ref \[31\]) used to mass-produce training workloads.
 
 pub mod cost;
 pub mod database;
@@ -24,6 +24,6 @@ pub mod physical;
 pub mod querygen;
 
 pub use database::Database;
-pub use explain::ExplainFormat;
+pub use explain::{explain_source, ExplainFormat};
 pub use physical::Planner;
 pub use querygen::{QueryGenConfig, RandomQueryGen};

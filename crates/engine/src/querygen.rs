@@ -1,4 +1,4 @@
-//! Random query generation in the style of Kipf et al. [31] (the
+//! Random query generation in the style of Kipf et al. \[31\] (the
 //! paper's training-data source, §6.2): walk the schema's FK graph to
 //! pick join sets, sample filter predicates from *actual database
 //! values*, and optionally add aggregation, grouping, having, ordering,

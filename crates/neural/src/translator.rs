@@ -4,7 +4,10 @@
 
 use crate::dataset::{DatasetBuilder, TrainingSet};
 use crate::model::{Qep2Seq, Qep2SeqConfig};
-use lantern_core::{decompose_acts, CoreError};
+use lantern_core::{
+    decompose_acts, CoreError, LanternError, Narration, NarrationRequest, NarrationResponse,
+    RenderStyle, Translator,
+};
 use lantern_engine::Database;
 use lantern_plan::PlanTree;
 use lantern_pool::PoemStore;
@@ -79,6 +82,25 @@ impl NeuralLantern {
     }
 }
 
+impl Translator for NeuralLantern {
+    fn backend(&self) -> &str {
+        "neural"
+    }
+
+    /// Unified-pipeline entry point: resolve the plan from any
+    /// [`lantern_core::PlanSource`], decompose into acts, translate
+    /// each act with the trained model.
+    fn narrate(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError> {
+        let tree = req.resolve_tree()?;
+        let steps = self.describe(&tree).map_err(LanternError::from)?;
+        Ok(NarrationResponse::new(
+            self.backend(),
+            Narration::from_sentences(steps),
+            req.effective_style(RenderStyle::default()),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +155,36 @@ mod tests {
         let (nl, _) = NeuralLantern::train_on(&db, &store, 10, config, 9);
         let tree = PlanTree::new("pg", PlanNode::new("Quantum Scan"));
         assert!(nl.describe(&tree).is_err());
+    }
+
+    #[test]
+    fn neural_serves_the_unified_api() {
+        let db = Database::generate(&dblp_catalog(), 0.0003, 5);
+        let store = default_pg_store();
+        let mut config = Qep2SeqConfig {
+            hidden: 16,
+            ..Default::default()
+        };
+        config.train.epochs = 2;
+        let (nl, _) = NeuralLantern::train_on(&db, &store, 10, config, 9);
+        let resp = nl
+            .narrate(
+                &NarrationRequest::auto(
+                    r#"{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}"#,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(resp.backend, "neural");
+        assert_eq!(resp.narration.steps().len(), 1);
+        assert!(resp.text.starts_with("1. "), "{}", resp.text);
+        // Structured errors flow through the same pipeline.
+        let err = nl
+            .narrate(&NarrationRequest::from_tree(PlanTree::new(
+                "pg",
+                PlanNode::new("Quantum Scan"),
+            )))
+            .unwrap_err();
+        assert!(matches!(err, LanternError::UnknownOperator { .. }));
     }
 }

@@ -1,4 +1,4 @@
-//! The NEURON baseline [36]: rule-based QEP narration with translation
+//! The NEURON baseline \[36\]: rule-based QEP narration with translation
 //! rules **hard-coded against PostgreSQL operator names** — no POOL, no
 //! declarative store, no alias layer. Narration quality on PostgreSQL
 //! plans is comparable to RULE-LANTERN (it was the same research

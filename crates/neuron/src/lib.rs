@@ -1,7 +1,7 @@
 //! # lantern-neuron
 //!
 //! A reimplementation of NEURON [Liu et al., SIGMOD 2019] — the
-//! paper's baseline (ref [36], compared in US 5).
+//! paper's baseline (ref \[36\], compared in US 5).
 //!
 //! NEURON generates rule-based natural-language descriptions of
 //! PostgreSQL QEPs, but unlike LANTERN it has **no declarative operator
@@ -11,6 +11,11 @@
 //! which is exactly the failure mode the paper's user study observes
 //! (41 of 43 volunteers scored it below 3 on SDSS/SQL Server).
 
+//! [`Neuron`] also implements [`lantern_core::Translator`], so the
+//! baseline can be driven through the same unified request/response
+//! pipeline as the rule and neural backends (see [`translator`]).
+
 pub mod baseline;
+pub mod translator;
 
 pub use baseline::{Neuron, NeuronError};

@@ -1,0 +1,85 @@
+//! The NEURON baseline behind the unified [`Translator`] API, so the
+//! paper's three-way comparison (RULE-LANTERN / NEURAL-LANTERN /
+//! NEURON) runs through one request/response pipeline.
+
+use crate::baseline::Neuron;
+use lantern_core::{
+    LanternError, Narration, NarrationRequest, NarrationResponse, RenderStyle, Translator,
+};
+
+impl Translator for Neuron {
+    fn backend(&self) -> &str {
+        "neuron"
+    }
+
+    fn narrate(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError> {
+        let tree = req.resolve_tree()?;
+        let steps = self.describe(&tree).map_err(|e| LanternError::Backend {
+            backend: self.backend().to_string(),
+            message: e.to_string(),
+        })?;
+        Ok(NarrationResponse::new(
+            self.backend(),
+            Narration::from_sentences(steps),
+            req.effective_style(RenderStyle::default()),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PG_DOC: &str = r#"[{"Plan": {"Node Type": "Hash Join",
+        "Hash Cond": "((a.x) = (b.y))",
+        "Plans": [
+          {"Node Type": "Seq Scan", "Relation Name": "a"},
+          {"Node Type": "Hash",
+           "Plans": [{"Node Type": "Seq Scan", "Relation Name": "b"}]}
+        ]}}]"#;
+
+    #[test]
+    fn neuron_serves_the_unified_api() {
+        let neuron = Neuron::new();
+        let resp = neuron
+            .narrate(&NarrationRequest::auto(PG_DOC).unwrap())
+            .unwrap();
+        assert_eq!(resp.backend, "neuron");
+        assert!(
+            resp.text.contains("perform hash join between"),
+            "{}",
+            resp.text
+        );
+        assert!(resp.text.starts_with("1. "));
+        assert_eq!(resp.narration.steps().len(), 4);
+    }
+
+    #[test]
+    fn missing_rule_surfaces_as_backend_error() {
+        let xml = r#"<ShowPlanXML><BatchSequence><Batch><Statements><StmtSimple><QueryPlan>
+            <RelOp PhysicalOp="Table Scan"><Object Table="photoobj"/></RelOp>
+        </QueryPlan></StmtSimple></Statements></Batch></BatchSequence></ShowPlanXML>"#;
+        let err = Neuron::new()
+            .narrate(&NarrationRequest::auto(xml).unwrap())
+            .unwrap_err();
+        match err {
+            LanternError::Backend { backend, message } => {
+                assert_eq!(backend, "neuron");
+                assert!(message.contains("Table Scan"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_works_through_the_default_implementation() {
+        let neuron = Neuron::new();
+        let reqs = vec![
+            NarrationRequest::auto(PG_DOC).unwrap(),
+            NarrationRequest::pg_json("broken"),
+        ];
+        let out = neuron.narrate_batch(&reqs);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(LanternError::Parse { .. })));
+    }
+}

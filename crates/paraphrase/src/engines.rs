@@ -1,5 +1,5 @@
 //! The three paraphrase engines standing in for the paper's web tools
-//! [8,9,10]. Each has a distinct character so a group of outputs is
+//! \[8,9,10\]. Each has a distinct character so a group of outputs is
 //! genuinely diverse (Table 4), and each is deterministic given the
 //! input and variant index.
 

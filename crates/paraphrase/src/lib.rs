@@ -1,6 +1,6 @@
 //! # lantern-paraphrase
 //!
-//! Synonymous-sentence generation (paper §6.3, refs [8,9,10]).
+//! Synonymous-sentence generation (paper §6.3, refs \[8,9,10\]).
 //!
 //! The paper expands each RULE-LANTERN training sentence ~3x using
 //! three web paraphrasing tools; we implement three independent
@@ -20,10 +20,16 @@
 //! invalid outputs, forming the *groups* whose Self-BLEU Table 4
 //! reports.
 
+//! [`ParaphrasedTranslator`] additionally plugs the engines into the
+//! unified [`lantern_core::Translator`] pipeline as an output layer
+//! (the `LanternBuilder` paraphrase switch).
+
 pub mod engines;
 pub mod expand;
 pub mod lexicon;
+pub mod translate;
 
 pub use engines::{AggressiveParaphraser, Paraphraser, RestructureParaphraser, SynonymParaphraser};
 pub use expand::{expand_group, ExpansionStats};
 pub use lexicon::SYNONYMS;
+pub use translate::ParaphrasedTranslator;

@@ -10,6 +10,9 @@
 //! * [`PoemStore`] — the object store, backed by two relations
 //!   (`POperators`, `PDesc`) exactly as the paper's implementation
 //!   section describes.
+//! * [`PoemSnapshot`] / [`PoemLookup`] — immutable indexed snapshots
+//!   taken with one lock acquisition, for lock-free lookups on
+//!   narration hot paths and across batch worker threads.
 //! * [`PoolStatement`] / [`execute`] — the POOL language: `CREATE
 //!   POPERATOR`, `SELECT-FROM-WHERE` (with `LIKE` and cross-source
 //!   subqueries), `COMPOSE ... FROM ... USING`, and `UPDATE ... SET`
@@ -21,9 +24,11 @@
 pub mod defaults;
 pub mod lang;
 pub mod object;
+pub mod snapshot;
 pub mod store;
 
 pub use defaults::{default_mssql_store, default_pg_store};
 pub use lang::{execute, parse_pool, PoolError, PoolStatement, PoolValue};
 pub use object::{OperatorArity, PoemObject};
+pub use snapshot::{PoemLookup, PoemSnapshot};
 pub use store::PoemStore;

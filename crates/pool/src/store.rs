@@ -35,7 +35,13 @@ struct Inner {
     poperators: Vec<POperatorRow>,
     pdesc: Vec<PDescRow>,
     next_oid: u64,
+    /// Bumped by every mutation; versions the snapshot cache.
+    version: u64,
 }
+
+/// The snapshot cache cell: the catalog version a snapshot was
+/// assembled at, and the shared snapshot itself.
+type SnapshotCache = Arc<RwLock<Option<(u64, Arc<crate::snapshot::PoemSnapshot>)>>>;
 
 /// The shared, thread-safe POEM store. Cloning is cheap (the relations
 /// are shared) so the facade, the rule translator, and benchmark
@@ -43,6 +49,11 @@ struct Inner {
 #[derive(Debug, Clone, Default)]
 pub struct PoemStore {
     inner: Arc<RwLock<Inner>>,
+    /// Copy-on-write snapshot cache: rebuilt lazily after a mutation;
+    /// shared by all clones of the store, so repeated narration pays
+    /// one catalog assembly per *generation* of the catalog, not per
+    /// call.
+    snapshot_cache: SnapshotCache,
 }
 
 impl PoemStore {
@@ -72,6 +83,7 @@ impl PoemStore {
         target: Option<&str>,
     ) -> u64 {
         let mut inner = self.inner.write();
+        inner.version += 1;
         inner.next_oid += 1;
         let oid = inner.next_oid;
         inner.poperators.push(POperatorRow {
@@ -98,7 +110,10 @@ impl PoemStore {
         oid
     }
 
-    fn assemble(inner: &Inner, row: &POperatorRow) -> PoemObject {
+    /// The one place a `POperators` row (plus its `PDesc` values)
+    /// becomes a [`PoemObject`] — shared by per-lookup assembly and
+    /// snapshot assembly so the two views can never drift.
+    fn row_to_object(row: &POperatorRow, descs: Vec<String>) -> PoemObject {
         PoemObject {
             oid: row.oid,
             source: row.source.clone(),
@@ -106,12 +121,7 @@ impl PoemStore {
             alias: row.alias.clone(),
             arity: row.arity,
             defn: row.defn.clone(),
-            descs: inner
-                .pdesc
-                .iter()
-                .filter(|d| d.oid == row.oid)
-                .map(|d| d.desc.clone())
-                .collect(),
+            descs,
             cond: row.cond,
             targets: row
                 .target
@@ -119,6 +129,57 @@ impl PoemStore {
                 .map(|t| t.split(',').map(str::to_string).collect())
                 .unwrap_or_default(),
         }
+    }
+
+    fn assemble(inner: &Inner, row: &POperatorRow) -> PoemObject {
+        Self::row_to_object(
+            row,
+            inner
+                .pdesc
+                .iter()
+                .filter(|d| d.oid == row.oid)
+                .map(|d| d.desc.clone())
+                .collect(),
+        )
+    }
+
+    /// Take an immutable, indexed snapshot of the whole catalog (see
+    /// [`crate::snapshot`]). Use this on narration hot paths and when
+    /// fanning a batch out across threads: lookups against the
+    /// snapshot are lock-free.
+    ///
+    /// Copy-on-write: the assembled snapshot is cached per catalog
+    /// *version* (every POOL mutation bumps it), so repeated calls on
+    /// an unchanged store return a shared `Arc` after one read-lock
+    /// acquisition — a mutation only pays for reassembly at the next
+    /// snapshot.
+    pub fn snapshot(&self) -> Arc<crate::snapshot::PoemSnapshot> {
+        let inner = self.inner.read();
+        if let Some((version, snapshot)) = self.snapshot_cache.read().as_ref() {
+            if *version == inner.version {
+                return Arc::clone(snapshot);
+            }
+        }
+        let snapshot = Arc::new(self.assemble_snapshot(&inner));
+        *self.snapshot_cache.write() = Some((inner.version, Arc::clone(&snapshot)));
+        snapshot
+    }
+
+    fn assemble_snapshot(&self, inner: &Inner) -> crate::snapshot::PoemSnapshot {
+        // Group descriptions by oid in one pass so assembly is
+        // O(|POperators| + |PDesc|) rather than the per-lookup
+        // O(|POperators| * |PDesc|) scan `find` pays.
+        let mut descs: std::collections::HashMap<u64, Vec<String>> =
+            std::collections::HashMap::new();
+        for d in &inner.pdesc {
+            descs.entry(d.oid).or_default().push(d.desc.clone());
+        }
+        let objects = inner
+            .poperators
+            .iter()
+            .map(|row| Self::row_to_object(row, descs.remove(&row.oid).unwrap_or_default()))
+            .collect();
+        crate::snapshot::PoemSnapshot::from_objects(objects)
     }
 
     /// Fetch one operator by source and (vendor) name.
@@ -177,6 +238,9 @@ impl PoemStore {
             .filter(|r| r.source == source && r.name == key)
             .map(|r| r.oid)
             .collect();
+        if !oids.is_empty() {
+            inner.version += 1;
+        }
         for row in inner
             .poperators
             .iter_mut()
@@ -226,6 +290,7 @@ impl PoemStore {
             .map(|r| r.oid);
         match oid {
             Some(oid) => {
+                inner.version += 1;
                 inner.pdesc.push(PDescRow {
                     oid,
                     desc: desc.to_string(),
@@ -246,6 +311,9 @@ impl PoemStore {
             .filter(|r| r.source == source && r.name == key)
             .map(|r| r.oid)
             .collect();
+        if !oids.is_empty() {
+            inner.version += 1;
+        }
         inner
             .poperators
             .retain(|r| !(r.source == source && r.name == key));

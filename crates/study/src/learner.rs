@@ -2,13 +2,13 @@
 //!
 //! Grounded in the psychology the paper builds on:
 //!
-//! * **Habituation** (O'Hanlon [41]; Cacioppo & Petty [20]): arousal
+//! * **Habituation** (O'Hanlon \[41\]; Cacioppo & Petty \[20\]): arousal
 //!   decrements with repeated exposure to *similar* stimuli. We measure
 //!   stimulus similarity as the BLEU of a new narration against the
 //!   learner's recent reading history, and decrement arousal
 //!   proportionally.
-//! * **Dishabituation through variation** (Harrison & Crandall [26];
-//!   Schumann et al. [47]): novel stimuli partially restore arousal.
+//! * **Dishabituation through variation** (Harrison & Crandall \[26\];
+//!   Schumann et al. \[47\]): novel stimuli partially restore arousal.
 //! * **Format affinity**: learners prefer textbook-style narrative
 //!   (natural language) over visual trees over vendor JSON/XML — the
 //!   regularity behind Figure 3 — with individual variation.

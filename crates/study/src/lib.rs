@@ -5,9 +5,9 @@
 //!
 //! The simulation is built on the habituation literature the paper
 //! cites: repeated exposure to near-identical stimuli decrements
-//! arousal (O'Hanlon [41]; Cacioppo & Petty [20]), which manifests as
+//! arousal (O'Hanlon \[41\]; Cacioppo & Petty \[20\]), which manifests as
 //! boredom, skipping, and lower ratings; message *variation* slows the
-//! decrement (Schumann et al. [47]). [`Learner`]s carry a habituation
+//! decrement (Schumann et al. \[47\]). [`Learner`]s carry a habituation
 //! state keyed on the similarity of successive narrations (measured
 //! with Self-BLEU against their recent reading history), plus a
 //! format-affinity profile; Likert answers are sampled from those

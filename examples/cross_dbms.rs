@@ -4,12 +4,14 @@
 //! showplan. NEURON, whose rules are hard-coded for PostgreSQL, fails
 //! on the same plan.
 //!
+//! Both backends are driven through the **same** `Translator` API with
+//! the **same** `NarrationRequest`, which is exactly what the paper's
+//! side-by-side comparison needs.
+//!
 //! Run with: `cargo run --release --example cross_dbms`
 
-use lantern::core::Lantern;
-use lantern::neuron::Neuron;
-use lantern::plan::parse_sqlserver_xml_plan;
 use lantern::pool::{default_mssql_store, execute};
+use lantern::prelude::*;
 
 fn main() {
     // An SDSS-style SQL Server showplan.
@@ -41,19 +43,23 @@ fn main() {
     )
     .expect("cross-source transfer");
 
-    let lantern = Lantern::new(store);
-    println!("LANTERN on a SQL Server plan:\n");
-    println!(
-        "{}\n",
-        lantern
-            .narrate_sqlserver_xml(showplan)
-            .expect("narrates")
-            .text()
-    );
+    // One request, two backends, one API.
+    let request = NarrationRequest::auto(showplan).expect("recognizable artifact");
 
-    // NEURON cannot serve this plan at all (US 5).
-    let tree = parse_sqlserver_xml_plan(showplan).expect("parses");
-    match Neuron::new().describe(&tree) {
+    let lantern = LanternBuilder::new()
+        .store(store)
+        .build()
+        .expect("rule service");
+    println!("LANTERN on a SQL Server plan:\n");
+    println!("{}\n", lantern.narrate(&request).expect("narrates").text);
+
+    // NEURON cannot serve this plan at all (US 5) — and says so through
+    // the same structured error type every backend uses.
+    let neuron = LanternBuilder::new()
+        .backend(Backend::Neuron)
+        .build()
+        .expect("baseline service");
+    match neuron.narrate(&request) {
         Ok(_) => unreachable!("NEURON has no SQL Server rules"),
         Err(e) => println!("NEURON on the same plan: {e}"),
     }

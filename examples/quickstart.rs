@@ -1,10 +1,10 @@
 //! Quickstart: turn a PostgreSQL `EXPLAIN (FORMAT JSON)` document into
-//! a learner-friendly narration — the paper's core use case.
+//! a learner-friendly narration — the paper's core use case — through
+//! the unified `LanternBuilder` / `Translator` API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use lantern::core::Lantern;
-use lantern::pool::default_pg_store;
+use lantern::prelude::*;
 
 fn main() {
     // A plan artifact as PostgreSQL would emit it (the paper's
@@ -31,19 +31,34 @@ fn main() {
         }]
     }}]"#;
 
-    // The POEM store holds the operator labels two SMEs authored with
-    // POOL; `default_pg_store()` ships the PostgreSQL catalog.
-    let lantern = Lantern::new(default_pg_store());
-    let narration = lantern.narrate_pg_json(explain_json).expect("valid plan");
+    // One builder configures the whole service: backend, store,
+    // paraphrasing, rendering. The default store ships the PostgreSQL
+    // and SQL Server catalogs two SMEs authored with POOL.
+    let service = LanternBuilder::new().build().expect("valid configuration");
 
-    println!("How PostgreSQL executes the query:\n");
-    println!("{}", narration.text());
+    // The request auto-detects the vendor format (JSON vs XML).
+    let request = NarrationRequest::auto(explain_json).expect("recognizable artifact");
+    let response = service.narrate(&request).expect("valid plan");
+
+    println!(
+        "How PostgreSQL executes the query ({} backend):\n",
+        response.backend
+    );
+    println!("{}", response.text);
+
+    // Narrations serialize to a stable JSON wire form for services.
+    println!(
+        "\nFirst step on the wire: {}",
+        response.narration.steps()[0]
+            .to_json_value()
+            .to_string_compact()
+    );
 
     // POOL is live: ask for an operator definition the way a learner's
     // tool would.
     let defn = lantern_pool::execute(
         "SELECT defn FROM pg WHERE name = 'hashjoin'",
-        lantern.store(),
+        service.store(),
     )
     .expect("POOL query");
     println!("\nWhat is a hash join? {defn:?}");

@@ -1,0 +1,329 @@
+//! [`LanternBuilder`]: one configuration surface for the whole
+//! translation service — backend choice (rule / neural / NEURON
+//! baseline), POEM store, paraphrase layer, rendering style — producing
+//! a [`LanternService`] that serves the unified
+//! [`lantern_core::Translator`] API.
+//!
+//! ```
+//! use lantern::builder::LanternBuilder;
+//! use lantern_core::{NarrationRequest, Translator};
+//!
+//! let service = LanternBuilder::new().build().unwrap();
+//! let doc = r#"{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}"#;
+//! let response = service.narrate(&NarrationRequest::auto(doc).unwrap()).unwrap();
+//! assert_eq!(
+//!     response.text,
+//!     "1. perform sequential scan on orders to get the final results."
+//! );
+//! ```
+
+use lantern_core::{
+    LanternError, NarrationRequest, NarrationResponse, RenderStyle, RuleTranslator, Translator,
+};
+use lantern_neural::NeuralLantern;
+use lantern_neuron::Neuron;
+use lantern_paraphrase::ParaphrasedTranslator;
+use lantern_pool::{default_mssql_store, PoemStore};
+
+/// Which translation backend a [`LanternService`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// RULE-LANTERN: POOL-driven rule translation (the default).
+    #[default]
+    Rule,
+    /// NEURAL-LANTERN: the trained QEP2Seq model (requires
+    /// [`LanternBuilder::neural_model`]).
+    Neural,
+    /// The NEURON baseline: hard-coded PostgreSQL rules, no POEM store.
+    Neuron,
+}
+
+/// Builder for a [`LanternService`].
+///
+/// Defaults: rule backend, the combined `pg` + `mssql` operator
+/// catalog, paraphrasing off, numbered-document rendering.
+#[derive(Default)]
+pub struct LanternBuilder {
+    backend: Backend,
+    store: Option<PoemStore>,
+    neural: Option<NeuralLantern>,
+    paraphrase: bool,
+    style: RenderStyle,
+}
+
+impl LanternBuilder {
+    /// Start from the defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Select the backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Use this POEM store instead of the default combined catalog.
+    /// (Ignored by the NEURON baseline, which has no store — that is
+    /// its defining limitation.)
+    pub fn store(mut self, store: PoemStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Provide a trained NEURAL-LANTERN and select the neural backend.
+    pub fn neural_model(mut self, model: NeuralLantern) -> Self {
+        self.neural = Some(model);
+        self.backend = Backend::Neural;
+        self
+    }
+
+    /// Toggle the paraphrase output layer (off by default).
+    pub fn paraphrase(mut self, on: bool) -> Self {
+        self.paraphrase = on;
+        self
+    }
+
+    /// Default rendering style for responses (requests may override
+    /// per-call).
+    pub fn style(mut self, style: RenderStyle) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// Assemble the service.
+    ///
+    /// Fails with [`LanternError::Config`] when the neural backend is
+    /// selected without a model.
+    pub fn build(self) -> Result<LanternService, LanternError> {
+        let store = self.store.unwrap_or_else(default_mssql_store);
+        // Backends that accept a default style render the configured
+        // one natively; `needs_restyle` marks the style-less ones
+        // (neuron, neural), whose responses the service re-renders.
+        let mut needs_restyle = false;
+        let inner: Box<dyn Translator + Send + Sync> = match self.backend {
+            Backend::Rule => Box::new(RuleTranslator::new(store.clone()).with_style(self.style)),
+            Backend::Neuron => {
+                needs_restyle = true;
+                Box::new(Neuron::new())
+            }
+            Backend::Neural => {
+                needs_restyle = true;
+                Box::new(self.neural.ok_or_else(|| {
+                    LanternError::Config {
+                        message: "neural backend selected but no model was provided \
+                          (call LanternBuilder::neural_model)"
+                            .to_string(),
+                    }
+                })?)
+            }
+        };
+        let translator: Box<dyn Translator + Send + Sync> = if self.paraphrase {
+            // The paraphrase layer re-renders anyway; give it the
+            // configured style and drop the service-level re-render.
+            needs_restyle = false;
+            Box::new(ParaphrasedTranslator::new(inner).with_style(self.style))
+        } else {
+            inner
+        };
+        Ok(LanternService {
+            translator,
+            store,
+            style: self.style,
+            needs_restyle,
+        })
+    }
+}
+
+/// A configured translation service: the product of
+/// [`LanternBuilder::build`], serving the unified [`Translator`] API
+/// over whichever backend was selected.
+pub struct LanternService {
+    translator: Box<dyn Translator + Send + Sync>,
+    store: PoemStore,
+    style: RenderStyle,
+    /// True when the inner backend cannot be configured with a style
+    /// (it renders its own numbered default) and the service must
+    /// re-render responses into the configured style.
+    needs_restyle: bool,
+}
+
+impl std::fmt::Debug for LanternService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LanternService")
+            .field("backend", &self.translator.backend())
+            .field("style", &self.style)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LanternService {
+    /// The POEM store handle the service was built with (e.g. to run
+    /// POOL statements against a live service).
+    pub fn store(&self) -> &PoemStore {
+        &self.store
+    }
+
+    /// The configured default rendering style.
+    pub fn style(&self) -> RenderStyle {
+        self.style
+    }
+
+    /// Convenience: narrate a serialized plan document, auto-detecting
+    /// the vendor format.
+    pub fn narrate_document(&self, doc: &str) -> Result<NarrationResponse, LanternError> {
+        self.narrate(&NarrationRequest::auto(doc)?)
+    }
+
+    /// Apply the service's configured style to a response from a
+    /// style-less backend when the request didn't override it —
+    /// requests are never cloned on the way in, and style-aware
+    /// backends already rendered the configured style natively.
+    fn restyle(&self, req: &NarrationRequest, resp: &mut NarrationResponse) {
+        if self.needs_restyle && req.style.is_none() && self.style != RenderStyle::default() {
+            resp.text = resp.narration.render(self.style);
+        }
+    }
+}
+
+impl Translator for LanternService {
+    fn backend(&self) -> &str {
+        self.translator.backend()
+    }
+
+    fn narrate(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError> {
+        let mut resp = self.translator.narrate(req)?;
+        self.restyle(req, &mut resp);
+        Ok(resp)
+    }
+
+    fn narrate_batch(
+        &self,
+        reqs: &[NarrationRequest],
+    ) -> Vec<Result<NarrationResponse, LanternError>> {
+        let mut out = self.translator.narrate_batch(reqs);
+        for (result, req) in out.iter_mut().zip(reqs) {
+            if let Ok(resp) = result {
+                self.restyle(req, resp);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lantern_pool::default_pg_store;
+
+    const PG_DOC: &str = r#"[{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}]"#;
+    const XML_DOC: &str = r#"<ShowPlanXML><BatchSequence><Batch><Statements><StmtSimple>
+        <QueryPlan><RelOp PhysicalOp="Table Scan"><Object Table="photoobj"/></RelOp></QueryPlan>
+        </StmtSimple></Statements></Batch></BatchSequence></ShowPlanXML>"#;
+
+    #[test]
+    fn default_service_narrates_both_vendors() {
+        let service = LanternBuilder::new().build().unwrap();
+        assert_eq!(service.backend(), "rule");
+        let pg = service.narrate_document(PG_DOC).unwrap();
+        assert!(pg.text.contains("sequential scan on orders"));
+        // The default store carries the mssql catalog too.
+        let ms = service.narrate_document(XML_DOC).unwrap();
+        assert!(ms.text.contains("table scan on photoobj"));
+    }
+
+    #[test]
+    fn neuron_backend_via_builder() {
+        let service = LanternBuilder::new()
+            .backend(Backend::Neuron)
+            .build()
+            .unwrap();
+        assert_eq!(service.backend(), "neuron");
+        let pg = service.narrate_document(PG_DOC).unwrap();
+        assert!(pg.text.contains("perform sequential scan on orders"));
+        // And the US 5 failure mode is structured.
+        let err = service.narrate_document(XML_DOC).unwrap_err();
+        assert!(matches!(err, LanternError::Backend { .. }));
+    }
+
+    #[test]
+    fn neural_backend_without_model_is_a_config_error() {
+        let err = LanternBuilder::new()
+            .backend(Backend::Neural)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LanternError::Config { .. }));
+    }
+
+    #[test]
+    fn builder_style_applies_and_request_overrides() {
+        let service = LanternBuilder::new()
+            .style(RenderStyle::Bulleted)
+            .build()
+            .unwrap();
+        let resp = service.narrate_document(PG_DOC).unwrap();
+        assert!(resp.text.starts_with("- "), "{}", resp.text);
+        let numbered = service
+            .narrate(
+                &NarrationRequest::auto(PG_DOC)
+                    .unwrap()
+                    .with_style(RenderStyle::Numbered),
+            )
+            .unwrap();
+        assert!(numbered.text.starts_with("1. "));
+    }
+
+    #[test]
+    fn builder_style_applies_to_style_less_backends() {
+        // Neuron renders its own numbered default; the service
+        // re-renders into the configured style.
+        let service = LanternBuilder::new()
+            .backend(Backend::Neuron)
+            .style(RenderStyle::Bulleted)
+            .build()
+            .unwrap();
+        let resp = service.narrate_document(PG_DOC).unwrap();
+        assert!(resp.text.starts_with("- "), "{}", resp.text);
+    }
+
+    #[test]
+    fn paraphrase_layer_composes_with_rule_backend() {
+        let plain = LanternBuilder::new().build().unwrap();
+        let varied = LanternBuilder::new().paraphrase(true).build().unwrap();
+        assert_eq!(varied.backend(), "rule+paraphrase");
+        let doc = r#"[{"Plan": {"Node Type": "Hash Join",
+            "Hash Cond": "((a.x) = (b.y))",
+            "Plans": [
+              {"Node Type": "Seq Scan", "Relation Name": "a"},
+              {"Node Type": "Hash",
+               "Plans": [{"Node Type": "Seq Scan", "Relation Name": "b"}]}
+            ]}}]"#;
+        let a = plain.narrate_document(doc).unwrap();
+        let b = varied.narrate_document(doc).unwrap();
+        assert_ne!(a.text, b.text);
+    }
+
+    #[test]
+    fn custom_store_is_honoured() {
+        let service = LanternBuilder::new()
+            .store(default_pg_store())
+            .build()
+            .unwrap();
+        // pg-only store: the mssql plan now fails with a structured
+        // unknown-operator error.
+        let err = service.narrate_document(XML_DOC).unwrap_err();
+        assert!(matches!(err, LanternError::UnknownOperator { .. }));
+    }
+
+    #[test]
+    fn service_batches() {
+        let service = LanternBuilder::new().build().unwrap();
+        let reqs = vec![
+            NarrationRequest::auto(PG_DOC).unwrap(),
+            NarrationRequest::auto(XML_DOC).unwrap(),
+        ];
+        let out = service.narrate_batch(&reqs);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(Result::is_ok));
+    }
+}

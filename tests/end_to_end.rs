@@ -42,7 +42,7 @@ fn sql_server_artifact_narrates_with_mssql_catalog() {
     let tree = parse_sqlserver_xml_plan(&xml).unwrap();
     assert_eq!(tree.source, "mssql");
     let lantern = Lantern::new(default_mssql_store());
-    let narration = lantern.narrate(&tree).unwrap();
+    let narration = lantern.narrate_tree(&tree).unwrap();
     assert!(narration.text().contains("table scan") || narration.text().contains("index seek"));
     assert!(narration.text().ends_with("to get the final results."));
 }
