@@ -1,0 +1,173 @@
+//! The blocked-GEMM kernel vs the naive per-element path, plus the
+//! end-to-end effect on seq2seq training (one copy-task epoch).
+//!
+//! Two tables:
+//!
+//! * **kernel** — blocked `matmul` / `matmul_t` / fused
+//!   `gemm_bias_act` against their `*_naive` references at
+//!   LSTM-shaped sizes (`[4h x h] . [h x h]`-ish squares);
+//! * **training** — ms per epoch of the batched seq2seq trainer on a
+//!   216-pair copy task with 8-token sequences over a 40-type
+//!   vocabulary (narration-sentence-shaped; the seed per-element
+//!   implementation measured 165.4 ms at h=64 and 550.9 ms at h=128
+//!   on this harness).
+//!
+//! Run with: `cargo bench --bench nn_gemm`
+//! (`LANTERN_BENCH_SCALE` scales the iteration count.)
+
+use lantern_bench::{bench_scale, TableReport};
+use lantern_nn::kernel::{
+    gemm_bias_act, gemm_bias_act_naive, matmul, matmul_naive, matmul_t, matmul_t_naive, Activation,
+};
+use lantern_nn::matrix::seeded_rng;
+use lantern_nn::{Matrix, Seq2Seq, Seq2SeqConfig, TrainOptions, Trainer};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Sequence length and vocabulary size of the copy task — sized like a
+/// tagged narration sentence, not a toy 2-token pair.
+const SEQ_LEN: usize = 8;
+const VOCAB: usize = 40;
+
+fn copy_pairs() -> Vec<(Vec<usize>, Vec<usize>)> {
+    let mut v = Vec::new();
+    let mut x = 7usize;
+    for _ in 0..216 {
+        let seq: Vec<usize> = (0..SEQ_LEN)
+            .map(|i| {
+                x = (x * 31 + i) % (VOCAB - 4);
+                x + 4
+            })
+            .collect();
+        v.push((seq.clone(), seq));
+    }
+    v
+}
+
+fn time<F: FnMut()>(iters: usize, mut f: F) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed() / iters as u32
+}
+
+fn kernel_table(scale: f64) {
+    let mut report = TableReport::new(
+        "blocked kernel vs naive per-element path (us/op, square h x h)",
+        &["h", "op", "naive us", "blocked us", "speedup"],
+    );
+    for h in [64usize, 128, 256] {
+        let mut rng = seeded_rng(7);
+        let a = Matrix::uniform(h, h, 0.5, &mut rng);
+        let b = Matrix::uniform(h, h, 0.5, &mut rng);
+        let bias: Vec<f32> = (0..h).map(|i| i as f32 * 1e-3).collect();
+        let iters = ((200.0 * scale) as usize).max(10) / (h / 64).max(1);
+        let rows: [(&str, Duration, Duration); 3] = [
+            (
+                "matmul",
+                time(iters, || {
+                    black_box(matmul_naive(black_box(&a), black_box(&b)));
+                }),
+                time(iters, || {
+                    black_box(matmul(black_box(&a), black_box(&b)));
+                }),
+            ),
+            (
+                "matmul_t",
+                time(iters, || {
+                    black_box(matmul_t_naive(black_box(&a), black_box(&b)));
+                }),
+                time(iters, || {
+                    black_box(matmul_t(black_box(&a), black_box(&b)));
+                }),
+            ),
+            // Identity is the production configuration: the output layer
+            // computes pre-softmax logits (tanh/sigmoid epilogues cost
+            // the same in both paths and only dilute the GEMM's ratio).
+            (
+                "gemm_bias_act",
+                time(iters, || {
+                    black_box(gemm_bias_act_naive(
+                        black_box(&a),
+                        black_box(&b),
+                        &bias,
+                        Activation::Identity,
+                    ));
+                }),
+                time(iters, || {
+                    black_box(gemm_bias_act(
+                        black_box(&a),
+                        black_box(&b),
+                        &bias,
+                        Activation::Identity,
+                    ));
+                }),
+            ),
+        ];
+        for (op, naive, blocked) in rows {
+            report.row(&[
+                format!("{h}"),
+                op.to_string(),
+                format!("{:.1}", naive.as_secs_f64() * 1e6),
+                format!("{:.1}", blocked.as_secs_f64() * 1e6),
+                format!("{:.2}x", naive.as_secs_f64() / blocked.as_secs_f64()),
+            ]);
+        }
+    }
+    report.print();
+}
+
+fn epoch_time(hidden: usize, iters: usize, parallel: bool) -> Duration {
+    let data = copy_pairs();
+    let mut model = Seq2Seq::new(Seq2SeqConfig {
+        input_vocab: VOCAB,
+        output_vocab: VOCAB,
+        hidden,
+        encoder_embed_dim: 8,
+        decoder_embed_dim: 8,
+        attention_dim: hidden / 2,
+        share_recurrent_weights: false,
+        init_scale: 0.1,
+        seed: 42,
+    });
+    let options = TrainOptions {
+        epochs: iters,
+        batch_size: 4,
+        learning_rate: 0.05,
+        clip: 5.0,
+        early_stop_fluctuation: None,
+        seed: 1,
+        parallel,
+    };
+    let t0 = Instant::now();
+    black_box(Trainer::new(options).train(&mut model, &data, &data[..8]));
+    t0.elapsed() / iters as u32
+}
+
+fn main() {
+    let scale = bench_scale();
+    kernel_table(scale);
+
+    let mut report = TableReport::new(
+        "seq2seq training epoch, 216-pair 8-token copy task (ms/epoch)",
+        &["hidden", "sequential", "parallel minibatch"],
+    );
+    for hidden in [64usize, 128] {
+        let iters = ((4.0 * scale) as usize).max(2);
+        let seq = epoch_time(hidden, iters, false);
+        let par = epoch_time(hidden, iters, true);
+        report.row(&[
+            format!("{hidden}"),
+            format!("{:.1}", seq.as_secs_f64() * 1e3),
+            format!("{:.1}", par.as_secs_f64() * 1e3),
+        ]);
+    }
+    report.print();
+    println!(
+        "(seed per-element implementation on this harness: 165.4 ms at h=64, 550.9 ms at h=128; {} core(s) available)",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
+}

@@ -248,6 +248,7 @@ pub fn quick_config(epochs: usize, seed: u64) -> Qep2SeqConfig {
             clip: 5.0,
             early_stop_fluctuation: None,
             seed,
+            parallel: false,
         },
     }
 }

@@ -350,40 +350,71 @@ impl<T: Translator + ?Sized> Translator for Box<T> {
     }
 }
 
-/// Fan a batch out across worker threads (scoped; no detached state).
-/// Results come back in request order. Worker count adapts to the
-/// machine (`available_parallelism`, capped by the batch size); on a
+/// Map `items` across scoped worker threads behind an atomic
+/// work-stealing index: items are claimed one at a time rather than
+/// pre-partitioned into fixed chunks, so skewed item costs (one deep
+/// join tree vs a dozen scans, one long act vs many short ones) don't
+/// straggle a single worker. Each worker builds private state once via
+/// `init` (a scratch arena, a pinned snapshot). Results come back in
+/// item order. Worker count adapts to the machine
+/// (`available_parallelism`, capped by the item count); on a
 /// single-core host this degrades to an in-thread loop with no spawn
 /// overhead.
+pub fn work_steal_map<T, S, R, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        done.push((i, f(&mut state, &items[i])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("work-stealing worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every item processed"))
+        .collect()
+}
+
+/// Fan a batch out across worker threads (scoped; no detached state):
+/// [`work_steal_map`] over the requests. Results come back in request
+/// order.
 pub fn narrate_batch_parallel<T: Translator + Sync>(
     translator: &T,
     reqs: &[NarrationRequest],
 ) -> Vec<Result<NarrationResponse, LanternError>> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(reqs.len().max(1));
-    if workers <= 1 {
-        return reqs.iter().map(|r| translator.narrate(r)).collect();
-    }
-    let chunk_size = reqs.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = reqs
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|r| translator.narrate(r))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("narration worker panicked"))
-            .collect()
-    })
+    work_steal_map(reqs, || (), |(), r| translator.narrate(r))
 }
 
 /// The rule-based backend (RULE-LANTERN) behind the unified API.

@@ -108,10 +108,10 @@ impl Embedder for ElmoStyleBiLm {
             let bwd_states = run_states(sent, &embed, &bwd, true);
             for (i, &tok) in sent.iter().enumerate() {
                 let row = table.row_mut(tok);
-                for (k, val) in fwd_states[i].iter().enumerate() {
+                for (k, val) in fwd_states.row(i).iter().enumerate() {
                     row[k] += val;
                 }
-                for (k, val) in bwd_states[sent.len() - 1 - i].iter().enumerate() {
+                for (k, val) in bwd_states.row(sent.len() - 1 - i).iter().enumerate() {
                     row[h + k] += val;
                 }
                 counts[tok] += 1;
@@ -133,26 +133,32 @@ impl Embedder for ElmoStyleBiLm {
     }
 }
 
-/// Run one LSTM direction and collect hidden states (sentence reversed
-/// for the backward model).
-fn run_states(sent: &[usize], embed: &Matrix, cell: &LstmCell, reverse: bool) -> Vec<Vec<f32>> {
+/// Gather the embedding rows of `toks` into a `[T x input]` matrix for
+/// the batched LSTM sequence API.
+fn gather_rows(toks: &[usize], embed: &Matrix) -> Matrix {
+    let mut xs = Matrix::zeros(toks.len(), embed.cols);
+    for (t, &tok) in toks.iter().enumerate() {
+        xs.row_mut(t).copy_from_slice(embed.row(tok));
+    }
+    xs
+}
+
+/// Run one LSTM direction and collect hidden states (`T x hidden`,
+/// sentence reversed for the backward model) — one batched
+/// input-projection GEMM via `forward_seq`.
+fn run_states(sent: &[usize], embed: &Matrix, cell: &LstmCell, reverse: bool) -> Matrix {
     let seq: Vec<usize> = if reverse {
         sent.iter().rev().cloned().collect()
     } else {
         sent.to_vec()
     };
-    let mut state = LstmState::zeros(cell.hidden);
-    let mut out = Vec::with_capacity(seq.len());
-    for &tok in &seq {
-        let (s, _) = cell.forward_step(&state, embed.row(tok));
-        state = s;
-        out.push(state.h.clone());
-    }
-    out
+    let (states, _) = cell.forward_seq(&LstmState::zeros(cell.hidden), &gather_rows(&seq, embed));
+    states
 }
 
 /// One SGD pass of next-token prediction over a sentence (optionally
-/// reversed), with truncated-through-sentence BPTT.
+/// reversed), with truncated-through-sentence BPTT — forward and
+/// backward both run through the batched sequence kernels.
 fn train_direction(
     sent: &[usize],
     embed: &mut Matrix,
@@ -166,20 +172,16 @@ fn train_direction(
     } else {
         sent.to_vec()
     };
-    let mut state = LstmState::zeros(cell.hidden);
-    let mut caches = Vec::with_capacity(seq.len() - 1);
-    let mut hs = Vec::with_capacity(seq.len() - 1);
-    for &tok in &seq[..seq.len() - 1] {
-        let (s, cache) = cell.forward_step(&state, embed.row(tok));
-        state = s;
-        caches.push(cache);
-        hs.push(state.h.clone());
-    }
-    // Output losses and gradients.
-    let mut grads = LstmGrads::zeros(cell);
-    let mut dhs: Vec<Vec<f32>> = vec![vec![0.0; cell.hidden]; hs.len()];
-    let inv = 1.0 / hs.len() as f32;
-    for (t, h) in hs.iter().enumerate() {
+    let t_len = seq.len() - 1;
+    let (hs, _, cache) = cell.forward_seq_cached(
+        &LstmState::zeros(cell.hidden),
+        gather_rows(&seq[..t_len], embed),
+    );
+    // Output losses and per-step gradients into h.
+    let mut d_hs = Matrix::zeros(t_len, cell.hidden);
+    let inv = 1.0 / t_len as f32;
+    for t in 0..t_len {
+        let h = hs.row(t);
         let target = seq[t + 1];
         let logits = w_out.matvec(h);
         let p = softmax(&logits);
@@ -188,30 +190,16 @@ fn train_direction(
         for d in dlogits.iter_mut() {
             *d *= inv;
         }
-        let dh = w_out.matvec_t(&dlogits);
-        for (a, b) in dhs[t].iter_mut().zip(&dh) {
-            *a += b;
-        }
+        d_hs.row_mut(t).copy_from_slice(&w_out.matvec_t(&dlogits));
         w_out.add_outer_scaled(&dlogits, h, -lr);
     }
-    // BPTT.
-    let mut dh_carry = vec![0.0f32; cell.hidden];
-    let mut dc_carry = vec![0.0f32; cell.hidden];
-    let mut dembs: Vec<(usize, Vec<f32>)> = Vec::with_capacity(caches.len());
-    for t in (0..caches.len()).rev() {
-        let mut dh = dhs[t].clone();
-        for (a, b) in dh.iter_mut().zip(&dh_carry) {
-            *a += b;
-        }
-        let (dx, dh_prev, dc_prev) = cell.backward_step(&caches[t], &dh, &dc_carry, &mut grads);
-        dembs.push((seq[t], dx));
-        dh_carry = dh_prev;
-        dc_carry = dc_prev;
-    }
+    // BPTT over the whole sequence, weight gradients batched.
+    let mut grads = LstmGrads::zeros(cell);
+    let (dxs, _, _) = cell.backward_seq(&cache, &d_hs, &vec![0.0; cell.hidden], &mut grads);
     cell.apply_gradients(&grads, lr);
-    for (tok, dx) in dembs {
+    for (t, &tok) in seq[..t_len].iter().enumerate() {
         let row = embed.row_mut(tok);
-        for (p, g) in row.iter_mut().zip(&dx) {
+        for (p, g) in row.iter_mut().zip(dxs.row(t)) {
             *p -= lr * g;
         }
     }
@@ -300,18 +288,18 @@ impl Embedder for BertStyleEncoder {
                     let mi = rng.gen_range(0..sent.len());
                     let target = sent[mi];
                     // Context states: token+position vectors of the
-                    // unmasked positions.
-                    let mut keys: Vec<Vec<f32>> = Vec::with_capacity(sent.len() - 1);
+                    // unmasked positions, as key-matrix rows.
+                    let mut keys = Matrix::zeros(sent.len() - 1, d);
                     let mut key_pos: Vec<(usize, usize)> = Vec::new(); // (token, pos)
                     for (j, &tok) in sent.iter().enumerate() {
                         if j == mi {
                             continue;
                         }
-                        let mut k = embed.row(tok).to_vec();
-                        for (a, b) in k.iter_mut().zip(pos.row(j)) {
+                        let row = keys.row_mut(key_pos.len());
+                        row.copy_from_slice(embed.row(tok));
+                        for (a, b) in row.iter_mut().zip(pos.row(j)) {
                             *a += b;
                         }
-                        keys.push(k);
                         key_pos.push((tok, j));
                     }
                     // Query: mask vector + position.
@@ -319,7 +307,8 @@ impl Embedder for BertStyleEncoder {
                     for (a, b) in query.iter_mut().zip(pos.row(mi)) {
                         *a += b;
                     }
-                    let (context, cache) = attention.forward(&query, &keys);
+                    let proj = attention.project(&keys);
+                    let (context, cache) = attention.forward(&query, &keys, &proj);
                     // Prediction head over (context + query).
                     let mut feat = context.clone();
                     for (a, b) in feat.iter_mut().zip(&query) {
@@ -333,8 +322,15 @@ impl Embedder for BertStyleEncoder {
                     w_out.add_outer_scaled(&dlogits, &feat, -self.learning_rate);
                     // dfeat flows to both context and query.
                     let mut attn_grads = AttnGrads::zeros(&attention);
-                    let (dq_attn, dkeys) =
-                        attention.backward(&cache, &keys, &dfeat, &mut attn_grads);
+                    let mut dkeys = Matrix::zeros(keys.rows, keys.cols);
+                    let dq_attn = attention.backward(
+                        &cache,
+                        &query,
+                        &keys,
+                        &dfeat,
+                        &mut attn_grads,
+                        &mut dkeys,
+                    );
                     attention.apply_gradients(&attn_grads, self.learning_rate);
                     let lr = self.learning_rate;
                     // Query gradient: from attention and directly from feat.
@@ -344,7 +340,8 @@ impl Embedder for BertStyleEncoder {
                         let pr = pos.row_mut(mi);
                         pr[k] -= lr * g;
                     }
-                    for ((tok, j), dk) in key_pos.iter().zip(&dkeys) {
+                    for (idx, (tok, j)) in key_pos.iter().enumerate() {
+                        let dk = dkeys.row(idx);
                         let er = embed.row_mut(*tok);
                         for (k, g) in dk.iter().enumerate() {
                             er[k] -= lr * g;
@@ -367,22 +364,25 @@ impl Embedder for BertStyleEncoder {
                 continue;
             }
             for (i, &tok) in sent.iter().enumerate() {
-                let mut keys: Vec<Vec<f32>> = Vec::new();
+                let mut keys = Matrix::zeros(sent.len() - 1, d);
+                let mut next = 0;
                 for (j, &other) in sent.iter().enumerate() {
                     if j == i {
                         continue;
                     }
-                    let mut k = embed.row(other).to_vec();
-                    for (a, b) in k.iter_mut().zip(pos.row(j)) {
+                    let row = keys.row_mut(next);
+                    row.copy_from_slice(embed.row(other));
+                    for (a, b) in row.iter_mut().zip(pos.row(j)) {
                         *a += b;
                     }
-                    keys.push(k);
+                    next += 1;
                 }
                 let mut query = embed.row(tok).to_vec();
                 for (a, b) in query.iter_mut().zip(pos.row(i)) {
                     *a += b;
                 }
-                let (context, _) = attention.forward(&query, &keys);
+                let proj = attention.project(&keys);
+                let (context, _) = attention.forward(&query, &keys, &proj);
                 let row = table.row_mut(tok);
                 for k in 0..d {
                     row[k] += context[k] + embed.get(tok, k);

@@ -5,7 +5,9 @@
 use crate::dataset::TrainingSet;
 use lantern_core::Act;
 use lantern_embed::Embedding;
-use lantern_nn::{beam_search, Seq2Seq, Seq2SeqConfig, TrainOptions, TrainReport, Trainer};
+use lantern_nn::{
+    beam_search_scratch, DecodeScratch, Seq2Seq, Seq2SeqConfig, TrainOptions, TrainReport, Trainer,
+};
 use lantern_text::{corpus_bleu, detokenize, BleuConfig, Vocab};
 
 /// QEP2Seq hyperparameters (scaled-down defaults that train in seconds
@@ -45,6 +47,34 @@ impl Default for Qep2SeqConfig {
                 clip: 5.0,
                 early_stop_fluctuation: None,
                 seed: 0,
+                parallel: false,
+            },
+        }
+    }
+}
+
+impl Qep2SeqConfig {
+    /// The `quick` training profile: a deliberately tiny model and
+    /// epoch budget that still learns the act-translation task well
+    /// enough to assert on, so one end-to-end seq2seq training test can
+    /// run un-`#[ignore]`d in tier-1 (seconds, not minutes). The
+    /// paper-faithful numbers stay in [`Qep2SeqConfig::default`].
+    pub fn quick() -> Self {
+        Qep2SeqConfig {
+            hidden: 32,
+            encoder_embed_dim: 10,
+            decoder_embed_dim: 12,
+            attention_dim: 16,
+            share_recurrent_weights: false,
+            seed: 0,
+            train: TrainOptions {
+                epochs: 20,
+                batch_size: 4,
+                learning_rate: 0.25,
+                clip: 5.0,
+                early_stop_fluctuation: None,
+                seed: 0,
+                parallel: false,
             },
         }
     }
@@ -128,8 +158,20 @@ impl Qep2Seq {
     /// tags, while the error stays measurable at the tagged level via
     /// [`Qep2Seq::translate_act_tagged`].
     pub fn translate_act(&self, act: &Act, beam: usize) -> String {
+        self.translate_act_scratch(act, beam, &mut DecodeScratch::new())
+    }
+
+    /// [`Qep2Seq::translate_act`] with caller-owned decode buffers —
+    /// batched narration reuses one arena across all acts a worker
+    /// translates.
+    pub fn translate_act_scratch(
+        &self,
+        act: &Act,
+        beam: usize,
+        scratch: &mut DecodeScratch,
+    ) -> String {
         let input = self.input_vocab.encode(&act.input_tokens(), false);
-        let hyps = beam_search(&self.model, &input, beam, 60);
+        let hyps = beam_search_scratch(&self.model, &input, beam, 60, scratch);
         let tokens = match hyps.first() {
             Some(h) => self.output_vocab.decode(&h.tokens),
             None => Vec::new(),
@@ -152,11 +194,19 @@ impl Qep2Seq {
         out
     }
 
+    /// Translate a slice of acts with one shared scratch arena.
+    pub fn translate_acts(&self, acts: &[Act], beam: usize) -> Vec<String> {
+        let mut scratch = DecodeScratch::new();
+        acts.iter()
+            .map(|a| self.translate_act_scratch(a, beam, &mut scratch))
+            .collect()
+    }
+
     /// Tagged-level translation (before tag substitution) — what BLEU
     /// is computed on.
     pub fn translate_act_tagged(&self, act: &Act, beam: usize) -> Vec<String> {
         let input = self.input_vocab.encode(&act.input_tokens(), false);
-        let hyps = beam_search(&self.model, &input, beam, 60);
+        let hyps = beam_search_scratch(&self.model, &input, beam, 60, &mut DecodeScratch::new());
         match hyps.first() {
             Some(h) => self.output_vocab.decode(&h.tokens),
             None => Vec::new(),
@@ -206,11 +256,19 @@ mod tests {
             .build()
     }
 
+    /// End-to-end seq2seq training in tier-1: real plans, real acts,
+    /// real vocabularies — shrunk to the `quick` profile. Previously
+    /// `#[ignore]`d at the full config (~1 min); the batched GEMM
+    /// kernels plus the tiny profile bring it into every test run.
     #[test]
-    #[ignore = "full training run (~1 min); tier-1 covers training via smaller configs — run with --include-ignored"]
-    fn training_reduces_validation_loss() {
-        let ts = training_set();
-        let mut m = Qep2Seq::new(&ts, Qep2SeqConfig::default());
+    fn quick_profile_training_reduces_validation_loss() {
+        let db = Database::generate(&tpch_catalog(), 0.0002, 7);
+        let store = default_pg_store();
+        let ts = DatasetBuilder::new(&db, &store)
+            .with_random_queries(30, 3)
+            .paraphrase(false)
+            .build();
+        let mut m = Qep2Seq::new(&ts, Qep2SeqConfig::quick());
         let report = m.train(&ts);
         let first = report.epochs.first().unwrap().val_loss;
         let best = report

@@ -1,14 +1,23 @@
 //! NEURAL-LANTERN, the user-facing translator: decompose a plan into
 //! acts, translate each act with the trained QEP2Seq model (beam 4),
 //! substitute the concrete values back, and assemble the narration.
+//!
+//! [`Translator::narrate_batch`] is a real batched implementation, not
+//! the default per-request loop: every request's acts are flattened
+//! into one work list, fanned out across scoped worker threads behind
+//! an atomic work-stealing index (model inference dominates and act
+//! sizes are skewed, so stealing beats fixed chunking), and each
+//! worker reuses one [`DecodeScratch`] arena for all the beam-search
+//! decoding it performs.
 
 use crate::dataset::{DatasetBuilder, TrainingSet};
 use crate::model::{Qep2Seq, Qep2SeqConfig};
 use lantern_core::{
-    decompose_acts, CoreError, LanternError, Narration, NarrationRequest, NarrationResponse,
-    RenderStyle, Translator,
+    decompose_acts, work_steal_map, Act, LanternError, Narration, NarrationRequest,
+    NarrationResponse, RenderStyle, Translator,
 };
 use lantern_engine::Database;
+use lantern_nn::DecodeScratch;
 use lantern_plan::PlanTree;
 use lantern_pool::PoemStore;
 
@@ -56,17 +65,18 @@ impl NeuralLantern {
         )
     }
 
-    /// Translate a plan into narration steps (one per act).
-    pub fn describe(&self, tree: &PlanTree) -> Result<Vec<String>, CoreError> {
-        let acts = decompose_acts(tree, &self.store)?;
-        Ok(acts
-            .iter()
-            .map(|a| self.model.translate_act(a, self.beam))
-            .collect())
+    /// Translate a plan into narration steps (one per act). Failures
+    /// surface as the unified API's structured [`LanternError`]
+    /// variants (e.g. [`LanternError::UnknownOperator`]), not stringly
+    /// core errors.
+    pub fn describe(&self, tree: &PlanTree) -> Result<Vec<String>, LanternError> {
+        let acts = decompose_acts(tree, &self.store).map_err(LanternError::from)?;
+        Ok(self.model.translate_acts(&acts, self.beam))
     }
 
-    /// Document-style numbered narration.
-    pub fn describe_text(&self, tree: &PlanTree) -> Result<String, CoreError> {
+    /// Document-style numbered narration (structured errors, like
+    /// [`NeuralLantern::describe`]).
+    pub fn describe_text(&self, tree: &PlanTree) -> Result<String, LanternError> {
         Ok(self
             .describe(tree)?
             .iter()
@@ -80,6 +90,15 @@ impl NeuralLantern {
     pub fn model(&self) -> &Qep2Seq {
         &self.model
     }
+
+    /// Translate a flat act work list: [`work_steal_map`] fan-out
+    /// across scoped workers (skewed act sizes would straggle fixed
+    /// chunks), one scratch arena per worker, results in input order.
+    fn translate_all(&self, acts: &[Act]) -> Vec<String> {
+        work_steal_map(acts, DecodeScratch::new, |scratch, act| {
+            self.model.translate_act_scratch(act, self.beam, scratch)
+        })
+    }
 }
 
 impl Translator for NeuralLantern {
@@ -92,12 +111,50 @@ impl Translator for NeuralLantern {
     /// each act with the trained model.
     fn narrate(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError> {
         let tree = req.resolve_tree()?;
-        let steps = self.describe(&tree).map_err(LanternError::from)?;
+        let steps = self.describe(&tree)?;
         Ok(NarrationResponse::new(
             self.backend(),
             Narration::from_sentences(steps),
             req.effective_style(RenderStyle::default()),
         ))
+    }
+
+    /// Batched narration: resolve and decompose every request up
+    /// front, flatten all acts into one work list, decode them with
+    /// work-stealing workers sharing per-worker scratch arenas, and
+    /// reassemble per-request responses in order. Per-request failures
+    /// (parse errors, unknown operators) stay per-request.
+    fn narrate_batch(
+        &self,
+        reqs: &[NarrationRequest],
+    ) -> Vec<Result<NarrationResponse, LanternError>> {
+        // Phase 1: cheap, sequential — parse plans and decompose acts.
+        let mut acts: Vec<Act> = Vec::new();
+        let preps: Vec<Result<(usize, usize), LanternError>> = reqs
+            .iter()
+            .map(|req| {
+                let tree = req.resolve_tree()?;
+                let req_acts = decompose_acts(&tree, &self.store).map_err(LanternError::from)?;
+                let span = (acts.len(), req_acts.len());
+                acts.extend(req_acts);
+                Ok(span)
+            })
+            .collect();
+        // Phase 2: the expensive part — model inference over all acts.
+        let steps = self.translate_all(&acts);
+        // Phase 3: reassemble responses in request order.
+        preps
+            .into_iter()
+            .zip(reqs)
+            .map(|(prep, req)| {
+                let (start, count) = prep?;
+                Ok(NarrationResponse::new(
+                    self.backend(),
+                    Narration::from_sentences(steps[start..start + count].to_vec()),
+                    req.effective_style(RenderStyle::default()),
+                ))
+            })
+            .collect()
     }
 }
 
@@ -155,6 +212,46 @@ mod tests {
         let (nl, _) = NeuralLantern::train_on(&db, &store, 10, config, 9);
         let tree = PlanTree::new("pg", PlanNode::new("Quantum Scan"));
         assert!(nl.describe(&tree).is_err());
+    }
+
+    #[test]
+    fn batched_narration_matches_sequential_and_keeps_errors_per_request() {
+        let db = Database::generate(&dblp_catalog(), 0.0003, 5);
+        let store = default_pg_store();
+        let mut config = Qep2SeqConfig {
+            hidden: 16,
+            ..Default::default()
+        };
+        config.train.epochs = 2;
+        let (nl, _) = NeuralLantern::train_on(&db, &store, 10, config, 9);
+        let ok_tree = |rel: &str| {
+            PlanTree::new(
+                "pg",
+                PlanNode::new("Sort")
+                    .with_child(PlanNode::new("Seq Scan").on_relation(rel.to_string())),
+            )
+        };
+        let reqs = vec![
+            NarrationRequest::from_tree(ok_tree("publication")),
+            NarrationRequest::from_tree(PlanTree::new("pg", PlanNode::new("Quantum Scan"))),
+            NarrationRequest::from_tree(ok_tree("inproceedings")),
+            NarrationRequest::pg_json("not json"),
+        ];
+        let batched = nl.narrate_batch(&reqs);
+        let sequential: Vec<_> = reqs.iter().map(|r| nl.narrate(r)).collect();
+        assert_eq!(batched.len(), 4);
+        for (b, s) in batched.iter().zip(&sequential) {
+            match (b, s) {
+                (Ok(b), Ok(s)) => assert_eq!(b.narration, s.narration),
+                (Err(b), Err(s)) => assert_eq!(b, s),
+                other => panic!("batch/sequential disagree: {other:?}"),
+            }
+        }
+        assert!(matches!(
+            batched[1],
+            Err(LanternError::UnknownOperator { .. })
+        ));
+        assert!(matches!(batched[3], Err(LanternError::Parse { .. })));
     }
 
     #[test]

@@ -5,9 +5,19 @@
 //! α_i = softmax_i(g(s_t, h_i))
 //! a_t = Σ_i α_i h_i
 //! ```
+//!
+//! Encoder states are a row-major `[T × hidden]` [`Matrix`], and the
+//! position-independent half of the score, `W_h h_i`, is precomputed
+//! for the whole sequence by [`AdditiveAttention::project`] — one
+//! blocked GEMM reused by every decoder step and beam hypothesis
+//! instead of `T` fresh matvecs per step. Scores, the context, and
+//! every backward product are batched GEMM/matvec calls on the kernel
+//! layer.
 
-use crate::matrix::{dot, softmax, softmax_backward, Matrix};
+use crate::kernel;
+use crate::matrix::{softmax, softmax_backward, Matrix};
 use rand::rngs::StdRng;
+use rand::Rng;
 
 /// Attention parameters.
 #[derive(Debug, Clone)]
@@ -22,14 +32,24 @@ pub struct AdditiveAttention {
     pub dim: usize,
 }
 
-/// Forward cache for one attention application.
+/// Forward cache for one attention application. The query `s` is not
+/// copied in — the caller keeps it and passes it back to
+/// [`AdditiveAttention::backward`].
 #[derive(Debug, Clone)]
 pub struct AttnCache {
-    s: Vec<f32>,
-    /// tanh pre-activations per encoder position.
-    t: Vec<Vec<f32>>,
+    /// tanh activations, one row per encoder position (`T x d_a`).
+    t: Matrix,
     /// attention weights.
     pub alpha: Vec<f32>,
+}
+
+/// Reusable buffers for the inference-only [`AdditiveAttention::attend`]
+/// path (no cache is built; nothing escapes but the context).
+#[derive(Debug, Clone, Default)]
+pub struct AttnScratch {
+    ws_s: Vec<f32>,
+    pre: Vec<f32>,
+    scores: Vec<f32>,
 }
 
 /// Gradients for [`AdditiveAttention`].
@@ -59,6 +79,13 @@ impl AttnGrads {
         self.w_h.fill_zero();
         self.v_a.iter_mut().for_each(|v| *v = 0.0);
     }
+
+    /// `self += other` (minibatch merge).
+    pub fn merge(&mut self, other: &AttnGrads) {
+        self.w_s.add_scaled(&other.w_s, 1.0);
+        self.w_h.add_scaled(&other.w_h, 1.0);
+        kernel::axpy(&mut self.v_a, 1.0, &other.v_a);
+    }
 }
 
 impl AdditiveAttention {
@@ -77,85 +104,94 @@ impl AdditiveAttention {
         self.w_s.len() + self.w_h.len() + self.v_a.len()
     }
 
-    /// Compute the context vector for decoder state `s` over
-    /// `encoder_states`; returns `(context, cache)`.
-    pub fn forward(&self, s: &[f32], encoder_states: &[Vec<f32>]) -> (Vec<f32>, AttnCache) {
-        let ws_s = self.w_s.matvec(s);
-        let mut scores = Vec::with_capacity(encoder_states.len());
-        let mut t_cache = Vec::with_capacity(encoder_states.len());
-        for h in encoder_states {
-            let mut pre = self.w_h.matvec(h);
-            for (a, b) in pre.iter_mut().zip(&ws_s) {
-                *a += b;
-            }
-            let t: Vec<f32> = pre.iter().map(|v| v.tanh()).collect();
-            scores.push(dot(&self.v_a, &t));
-            t_cache.push(t);
-        }
-        let alpha = softmax(&scores);
-        let hidden = encoder_states[0].len();
-        let mut context = vec![0.0f32; hidden];
-        for (a, h) in alpha.iter().zip(encoder_states) {
-            for (c, hv) in context.iter_mut().zip(h) {
-                *c += a * hv;
-            }
-        }
-        (
-            context,
-            AttnCache {
-                s: s.to_vec(),
-                t: t_cache,
-                alpha,
-            },
-        )
+    /// Precompute `W_h h_i` for every encoder position as one
+    /// `[T×hidden] × [hidden×d_a]` GEMM. The result is reused by every
+    /// subsequent [`AdditiveAttention::forward`]/
+    /// [`AdditiveAttention::attend`] over the same states.
+    pub fn project(&self, states: &Matrix) -> Matrix {
+        kernel::matmul_t(states, &self.w_h)
     }
 
-    /// Backward pass: given `d_context`, accumulate parameter
-    /// gradients and return `(ds, d_encoder_states)`.
+    /// Compute the context vector for decoder state `s` over encoder
+    /// `states` (`T x hidden`) with their projection from
+    /// [`AdditiveAttention::project`]; returns `(context, cache)`.
+    pub fn forward(&self, s: &[f32], states: &Matrix, proj: &Matrix) -> (Vec<f32>, AttnCache) {
+        let ws_s = self.w_s.matvec(s);
+        let mut t = proj.clone();
+        for i in 0..t.rows {
+            let row = t.row_mut(i);
+            for (v, b) in row.iter_mut().zip(&ws_s) {
+                *v = (*v + b).tanh();
+            }
+        }
+        let scores = t.matvec(&self.v_a);
+        let alpha = softmax(&scores);
+        let context = states.matvec_t(&alpha);
+        (context, AttnCache { t, alpha })
+    }
+
+    /// Inference-only attention: same math as
+    /// [`AdditiveAttention::forward`] but no backward cache, with all
+    /// intermediates living in caller-owned `scratch`.
+    pub fn attend(
+        &self,
+        s: &[f32],
+        states: &Matrix,
+        proj: &Matrix,
+        scratch: &mut AttnScratch,
+    ) -> Vec<f32> {
+        scratch.ws_s.resize(self.dim, 0.0);
+        self.w_s.matvec_into(s, &mut scratch.ws_s);
+        scratch.scores.clear();
+        scratch.pre.resize(self.dim, 0.0);
+        for i in 0..proj.rows {
+            for ((p, v), b) in scratch.pre.iter_mut().zip(proj.row(i)).zip(&scratch.ws_s) {
+                *p = (v + b).tanh();
+            }
+            scratch.scores.push(kernel::dot(&self.v_a, &scratch.pre));
+        }
+        let alpha = softmax(&scratch.scores);
+        states.matvec_t(&alpha)
+    }
+
+    /// Backward pass: given the forward query `s` and `d_context`,
+    /// accumulate parameter gradients into `grads` and encoder-state
+    /// gradients into `d_states` (`T x hidden`, caller-owned
+    /// accumulator); returns `ds`.
     pub fn backward(
         &self,
         cache: &AttnCache,
-        encoder_states: &[Vec<f32>],
+        s: &[f32],
+        states: &Matrix,
         d_context: &[f32],
         grads: &mut AttnGrads,
-    ) -> (Vec<f32>, Vec<Vec<f32>>) {
-        let n = encoder_states.len();
-        let hidden = encoder_states[0].len();
+        d_states: &mut Matrix,
+    ) -> Vec<f32> {
+        let n = states.rows;
         // dα_i = d_context · h_i ; dh_i += α_i d_context.
         let mut d_alpha = vec![0.0f32; n];
-        let mut d_enc: Vec<Vec<f32>> = vec![vec![0.0; hidden]; n];
-        for i in 0..n {
-            d_alpha[i] = dot(d_context, &encoder_states[i]);
-            for k in 0..hidden {
-                d_enc[i][k] += cache.alpha[i] * d_context[k];
-            }
+        for (i, da) in d_alpha.iter_mut().enumerate() {
+            *da = kernel::dot(d_context, states.row(i));
+            kernel::axpy(d_states.row_mut(i), cache.alpha[i], d_context);
         }
         let d_scores = softmax_backward(&cache.alpha, &d_alpha);
-        let mut ds = vec![0.0f32; cache.s.len()];
-        for i in 0..n {
-            let dsc = d_scores[i];
-            if dsc == 0.0 {
-                continue;
+        // dv_a += T^T d_scores ; dpre_i = d_scores_i * v_a ⊙ (1 - t_i²).
+        kernel::axpy(&mut grads.v_a, 1.0, &cache.t.matvec_t(&d_scores));
+        let mut d_pre = Matrix::zeros(n, self.dim);
+        let mut d_pre_sum = vec![0.0f32; self.dim];
+        for (i, &dsc) in d_scores.iter().enumerate() {
+            let trow = cache.t.row(i);
+            let drow = d_pre.row_mut(i);
+            for (k, (d, t)) in drow.iter_mut().zip(trow).enumerate() {
+                *d = dsc * self.v_a[k] * (1.0 - t * t);
             }
-            // dv_a += dsc * t_i ; dt = dsc * v_a.
-            let t = &cache.t[i];
-            let mut dpre = vec![0.0f32; self.dim];
-            for k in 0..self.dim {
-                grads.v_a[k] += dsc * t[k];
-                dpre[k] = dsc * self.v_a[k] * (1.0 - t[k] * t[k]);
-            }
-            grads.w_s.add_outer(&dpre, &cache.s);
-            grads.w_h.add_outer(&dpre, &encoder_states[i]);
-            let ds_part = self.w_s.matvec_t(&dpre);
-            for (a, b) in ds.iter_mut().zip(&ds_part) {
-                *a += b;
-            }
-            let dh_part = self.w_h.matvec_t(&dpre);
-            for (a, b) in d_enc[i].iter_mut().zip(&dh_part) {
-                *a += b;
-            }
+            kernel::axpy(&mut d_pre_sum, 1.0, drow);
         }
-        (ds, d_enc)
+        // All positions share s: dW_s += (Σ_i dpre_i) ⊗ s.
+        grads.w_s.add_outer(&d_pre_sum, s);
+        kernel::add_matmul_tn(&mut grads.w_h, &d_pre, states);
+        kernel::add_matmul(d_states, &d_pre, &self.w_h);
+        self.w_s.matvec_t(&d_pre_sum)
     }
 
     /// SGD update.
@@ -168,19 +204,24 @@ impl AdditiveAttention {
     }
 }
 
-use rand::Rng;
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::matrix::seeded_rng;
 
+    fn states_matrix(rows: &[Vec<f32>]) -> Matrix {
+        let cols = rows[0].len();
+        let data: Vec<f32> = rows.iter().flatten().cloned().collect();
+        Matrix::from_flat(rows.len(), cols, data)
+    }
+
     #[test]
     fn weights_sum_to_one() {
         let mut rng = seeded_rng(1);
         let attn = AdditiveAttention::new(4, 3, 0.2, &mut rng);
-        let enc = vec![vec![0.1; 4], vec![0.5; 4], vec![-0.3; 4]];
-        let (ctx, cache) = attn.forward(&[0.2, -0.1, 0.4, 0.0], &enc);
+        let enc = states_matrix(&[vec![0.1; 4], vec![0.5; 4], vec![-0.3; 4]]);
+        let proj = attn.project(&enc);
+        let (ctx, cache) = attn.forward(&[0.2, -0.1, 0.4, 0.0], &enc, &proj);
         assert_eq!(ctx.len(), 4);
         let sum: f32 = cache.alpha.iter().sum();
         assert!((sum - 1.0).abs() < 1e-5);
@@ -190,51 +231,82 @@ mod tests {
     fn context_is_convex_combination() {
         let mut rng = seeded_rng(2);
         let attn = AdditiveAttention::new(2, 3, 0.2, &mut rng);
-        let enc = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
-        let (ctx, _) = attn.forward(&[0.3, 0.7], &enc);
+        let enc = states_matrix(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let proj = attn.project(&enc);
+        let (ctx, _) = attn.forward(&[0.3, 0.7], &enc, &proj);
         // Both components in [0, 1] and summing to 1.
         assert!((ctx[0] + ctx[1] - 1.0).abs() < 1e-5);
         assert!(ctx[0] >= 0.0 && ctx[1] >= 0.0);
     }
 
     #[test]
+    fn attend_matches_forward() {
+        let mut rng = seeded_rng(7);
+        let attn = AdditiveAttention::new(5, 3, 0.3, &mut rng);
+        let enc = Matrix::uniform(4, 5, 0.5, &mut rng);
+        let proj = attn.project(&enc);
+        let s = vec![0.2f32, -0.3, 0.1, 0.4, -0.2];
+        let (ctx, _) = attn.forward(&s, &enc, &proj);
+        let mut scratch = AttnScratch::default();
+        let ctx2 = attn.attend(&s, &enc, &proj, &mut scratch);
+        // Reuse the scratch: second call must agree too.
+        let ctx3 = attn.attend(&s, &enc, &proj, &mut scratch);
+        for ((a, b), c) in ctx.iter().zip(&ctx2).zip(&ctx3) {
+            assert!((a - b).abs() < 1e-6 && (a - c).abs() < 1e-6);
+        }
+    }
+
+    #[test]
     fn gradient_check() {
         let mut rng = seeded_rng(3);
         let mut attn = AdditiveAttention::new(3, 2, 0.5, &mut rng);
-        let enc = vec![
+        let enc = states_matrix(&[
             vec![0.2, -0.1, 0.4],
             vec![-0.3, 0.5, 0.1],
             vec![0.0, 0.2, -0.2],
-        ];
+        ]);
         let s = vec![0.1f32, -0.4, 0.3];
         // Loss = sum(context).
-        let loss_of = |attn: &AdditiveAttention| {
-            let (ctx, _) = attn.forward(&s, &enc);
+        let loss_of = |attn: &AdditiveAttention, enc: &Matrix| {
+            let proj = attn.project(enc);
+            let (ctx, _) = attn.forward(&s, enc, &proj);
             ctx.iter().sum::<f32>()
         };
-        let (ctx, cache) = attn.forward(&s, &enc);
+        let proj = attn.project(&enc);
+        let (ctx, cache) = attn.forward(&s, &enc, &proj);
         let mut grads = AttnGrads::zeros(&attn);
         let d_ctx = vec![1.0f32; ctx.len()];
-        let (ds, d_enc) = attn.backward(&cache, &enc, &d_ctx, &mut grads);
+        let mut d_enc = Matrix::zeros(enc.rows, enc.cols);
+        let ds = attn.backward(&cache, &s, &enc, &d_ctx, &mut grads, &mut d_enc);
 
         let eps = 1e-2f32;
-        // Parameter gradients.
+        // Parameter gradients (W_s, W_h, v_a).
         for idx in 0..attn.w_s.len() {
             let orig = attn.w_s.data[idx];
             attn.w_s.data[idx] = orig + eps;
-            let fp = loss_of(&attn);
+            let fp = loss_of(&attn, &enc);
             attn.w_s.data[idx] = orig - eps;
-            let fm = loss_of(&attn);
+            let fm = loss_of(&attn, &enc);
             attn.w_s.data[idx] = orig;
             let numeric = (fp - fm) / (2.0 * eps);
             assert!((numeric - grads.w_s.data[idx]).abs() < 5e-3, "w_s[{idx}]");
         }
+        for idx in 0..attn.w_h.len() {
+            let orig = attn.w_h.data[idx];
+            attn.w_h.data[idx] = orig + eps;
+            let fp = loss_of(&attn, &enc);
+            attn.w_h.data[idx] = orig - eps;
+            let fm = loss_of(&attn, &enc);
+            attn.w_h.data[idx] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - grads.w_h.data[idx]).abs() < 5e-3, "w_h[{idx}]");
+        }
         for idx in 0..attn.v_a.len() {
             let orig = attn.v_a[idx];
             attn.v_a[idx] = orig + eps;
-            let fp = loss_of(&attn);
+            let fp = loss_of(&attn, &enc);
             attn.v_a[idx] = orig - eps;
-            let fm = loss_of(&attn);
+            let fm = loss_of(&attn, &enc);
             attn.v_a[idx] = orig;
             let numeric = (fp - fm) / (2.0 * eps);
             assert!((numeric - grads.v_a[idx]).abs() < 5e-3, "v_a[{idx}]");
@@ -245,8 +317,8 @@ mod tests {
             sp[i] += eps;
             let mut sm = s.clone();
             sm[i] -= eps;
-            let fp: f32 = attn.forward(&sp, &enc).0.iter().sum();
-            let fm: f32 = attn.forward(&sm, &enc).0.iter().sum();
+            let fp: f32 = attn.forward(&sp, &enc, &proj).0.iter().sum();
+            let fm: f32 = attn.forward(&sm, &enc, &proj).0.iter().sum();
             let numeric = (fp - fm) / (2.0 * eps);
             assert!(
                 (numeric - ds[i]).abs() < 5e-3,
@@ -255,18 +327,18 @@ mod tests {
             );
         }
         // Encoder-state gradients.
-        for (i, h) in enc.iter().enumerate() {
-            for k in 0..h.len() {
+        for i in 0..enc.rows {
+            for k in 0..enc.cols {
                 let mut e2 = enc.clone();
-                e2[i][k] += eps;
-                let fp: f32 = attn.forward(&s, &e2).0.iter().sum();
-                e2[i][k] -= 2.0 * eps;
-                let fm: f32 = attn.forward(&s, &e2).0.iter().sum();
+                e2.set(i, k, enc.get(i, k) + eps);
+                let fp = loss_of(&attn, &e2);
+                e2.set(i, k, enc.get(i, k) - eps);
+                let fm = loss_of(&attn, &e2);
                 let numeric = (fp - fm) / (2.0 * eps);
                 assert!(
-                    (numeric - d_enc[i][k]).abs() < 5e-3,
+                    (numeric - d_enc.get(i, k)).abs() < 5e-3,
                     "d_enc[{i}][{k}]: {numeric} vs {}",
-                    d_enc[i][k]
+                    d_enc.get(i, k)
                 );
             }
         }

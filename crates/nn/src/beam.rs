@@ -2,7 +2,7 @@
 //! hypotheses starting at `<BOS>`; extend each by one token per step,
 //! keep the top `K`; a hypothesis completes when `<END>` is emitted.
 
-use crate::seq2seq::{DecoderState, Seq2Seq};
+use crate::seq2seq::{DecodeScratch, DecoderState, Seq2Seq};
 use lantern_text::vocab::{BOS, EOS};
 
 /// One finished hypothesis.
@@ -38,6 +38,19 @@ pub fn beam_search(
     beam: usize,
     max_len: usize,
 ) -> Vec<BeamHypothesis> {
+    beam_search_scratch(model, input_ids, beam, max_len, &mut DecodeScratch::new())
+}
+
+/// [`beam_search`] with caller-owned decode buffers: batched narration
+/// reuses one [`DecodeScratch`] arena across every hypothesis, step,
+/// and request handled by a worker.
+pub fn beam_search_scratch(
+    model: &Seq2Seq,
+    input_ids: &[usize],
+    beam: usize,
+    max_len: usize,
+    scratch: &mut DecodeScratch,
+) -> Vec<BeamHypothesis> {
     let beam = beam.max(1);
     let enc = model.encode(input_ids);
     let init = model.decoder_init(&enc);
@@ -52,7 +65,8 @@ pub fn beam_search(
     for _ in 0..max_len {
         let mut candidates: Vec<Partial> = Vec::with_capacity(frontier.len() * beam);
         for partial in &frontier {
-            let (logp, next_state) = model.decode_step(&enc, &partial.state, partial.prev);
+            let (logp, next_state) =
+                model.decode_step_scratch(&enc, &partial.state, partial.prev, scratch);
             // Top `beam` extensions of this hypothesis.
             let mut idx: Vec<usize> = (0..logp.len()).collect();
             idx.sort_by(|&a, &b| logp[b].total_cmp(&logp[a]));

@@ -1,0 +1,408 @@
+//! The batched linear-algebra core every layer of the stack runs on:
+//! cache-blocked GEMM kernels over row-major [`Matrix`] operands.
+//!
+//! Layout conventions follow the call sites. Weights are stored
+//! `[out × in]` (a row per output unit), activations as one row per
+//! timestep or batch element, so the hot products are:
+//!
+//! * [`matmul_t`] — `C = A · Bᵀ`, both operands walked row-major. This
+//!   is every forward projection: `Z = X · Vᵀ` for an input sequence
+//!   `X [T×in]` against weights `V [4h×in]`.
+//! * [`matmul`] — `C = A · B`, the backward data product
+//!   `dX = dZ · V`.
+//! * [`add_matmul_tn`] — `C += Aᵀ · B`, the weight-gradient product
+//!   `dV += dZᵀ · X` (a whole sequence of rank-1 `add_outer`s in one
+//!   blocked pass).
+//! * [`gemm_bias_act`] — `C = act(A · Bᵀ + bias)`, the fused output
+//!   projection.
+//!
+//! Inner loops are written over `chunks_exact` blocks with independent
+//! accumulator lanes so LLVM autovectorizes them; the blocked kernels
+//! additionally register-tile over output columns (`matmul_t` dots 4
+//! weight rows per pass over the input row, `matmul`/`add_matmul_tn`
+//! stream 4 axpys per loaded coefficient row). Every kernel has a
+//! naive per-element reference (`*_naive`) that the property tests
+//! hold it to within `1e-5`.
+
+use crate::matrix::Matrix;
+
+/// Lane width of the accumulator blocks. Eight `f32` lanes fill one
+/// AVX2 register; on narrower ISAs LLVM splits the block.
+const LANES: usize = 8;
+
+/// Column tile: how many output columns (weight rows) one pass over an
+/// input row produces. Four parallel accumulators keep the input row
+/// in registers while amortizing its load.
+const COL_TILE: usize = 4;
+
+/// Elementwise activation fused into [`gemm_bias_act`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// No activation (plain affine output, e.g. pre-softmax logits).
+    Identity,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    #[inline]
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Sigmoid => crate::matrix::sigmoid(x),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+}
+
+/// Vectorizable dot product: `LANES` independent accumulators over
+/// `chunks_exact` blocks, scalar tail.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let chunks_a = a.chunks_exact(LANES);
+    let chunks_b = b.chunks_exact(LANES);
+    let tail: f32 = chunks_a
+        .remainder()
+        .iter()
+        .zip(chunks_b.remainder())
+        .map(|(x, y)| x * y)
+        .sum();
+    for (ca, cb) in chunks_a.zip(chunks_b) {
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    acc.iter().sum::<f32>() + tail
+}
+
+/// Vectorizable axpy: `y += alpha * x`.
+#[inline]
+pub fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    debug_assert_eq!(y.len(), x.len());
+    let chunks_y = y.chunks_exact_mut(LANES);
+    let chunks_x = x.chunks_exact(LANES);
+    let tail_x = chunks_x.remainder();
+    let mut tail_y_start = 0;
+    for (cy, cx) in chunks_y.zip(chunks_x) {
+        for l in 0..LANES {
+            cy[l] += alpha * cx[l];
+        }
+        tail_y_start += LANES;
+    }
+    for (yv, xv) in y[tail_y_start..].iter_mut().zip(tail_x) {
+        *yv += alpha * xv;
+    }
+}
+
+// ------------------------------------------------------------- naive refs
+
+/// Reference `C = A · B` (`A: m×k`, `B: k×n`), one element at a time.
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols, b.rows, "matmul shape mismatch");
+    let mut c = Matrix::zeros(a.rows, b.cols);
+    for i in 0..a.rows {
+        for j in 0..b.cols {
+            let mut acc = 0.0f32;
+            for t in 0..a.cols {
+                acc += a.get(i, t) * b.get(t, j);
+            }
+            c.set(i, j, acc);
+        }
+    }
+    c
+}
+
+/// Reference `C = A · Bᵀ` (`A: m×k`, `B: n×k`), one element at a time.
+pub fn matmul_t_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols, b.cols, "matmul_t shape mismatch");
+    let mut c = Matrix::zeros(a.rows, b.rows);
+    for i in 0..a.rows {
+        for j in 0..b.rows {
+            let mut acc = 0.0f32;
+            for t in 0..a.cols {
+                acc += a.get(i, t) * b.get(j, t);
+            }
+            c.set(i, j, acc);
+        }
+    }
+    c
+}
+
+/// Reference `C = act(A · Bᵀ + bias)`.
+pub fn gemm_bias_act_naive(a: &Matrix, b: &Matrix, bias: &[f32], act: Activation) -> Matrix {
+    let mut c = matmul_t_naive(a, b);
+    for i in 0..c.rows {
+        let row = c.row_mut(i);
+        for (v, bv) in row.iter_mut().zip(bias) {
+            *v = act.apply(*v + bv);
+        }
+    }
+    c
+}
+
+/// Reference `C += Aᵀ · B` (`A: t×m`, `B: t×n`, `C: m×n`).
+pub fn add_matmul_tn_naive(c: &mut Matrix, a: &Matrix, b: &Matrix) {
+    assert_eq!(a.rows, b.rows, "add_matmul_tn shape mismatch");
+    assert_eq!(c.rows, a.cols, "add_matmul_tn output rows");
+    assert_eq!(c.cols, b.cols, "add_matmul_tn output cols");
+    for t in 0..a.rows {
+        for i in 0..a.cols {
+            let av = a.get(t, i);
+            for j in 0..b.cols {
+                c.data[i * c.cols + j] += av * b.get(t, j);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------- blocked GEMMs
+
+/// Blocked `C = A · Bᵀ` (`A: m×k`, `B: n×k`). Both operands are walked
+/// row-major; `COL_TILE` rows of `B` are dotted against each row of
+/// `A` per pass, so the `A` row stays register-resident.
+pub fn matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows, b.rows);
+    matmul_t_into(a, b, &mut c);
+    c
+}
+
+/// [`matmul_t`] writing into a caller-owned output (scratch reuse).
+pub fn matmul_t_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    matmul_t_post(a, b, c, |_| {});
+}
+
+/// The `A · Bᵀ` core with a per-row epilogue: `post` runs on each
+/// completed output row while it is still cache-hot (this is how
+/// [`gemm_bias_act`] fuses its bias add and activation).
+fn matmul_t_post<F: Fn(&mut [f32])>(a: &Matrix, b: &Matrix, c: &mut Matrix, post: F) {
+    assert_eq!(a.cols, b.cols, "matmul_t shape mismatch");
+    assert_eq!(c.rows, a.rows, "matmul_t output rows");
+    assert_eq!(c.cols, b.rows, "matmul_t output cols");
+    let k = a.cols;
+    for i in 0..a.rows {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        let mut j = 0;
+        while j + COL_TILE <= b.rows {
+            let b0 = b.row(j);
+            let b1 = b.row(j + 1);
+            let b2 = b.row(j + 2);
+            let b3 = b.row(j + 3);
+            let mut acc = [[0.0f32; LANES]; COL_TILE];
+            let blocks = k / LANES * LANES;
+            let mut t = 0;
+            while t < blocks {
+                for l in 0..LANES {
+                    let av = arow[t + l];
+                    acc[0][l] += av * b0[t + l];
+                    acc[1][l] += av * b1[t + l];
+                    acc[2][l] += av * b2[t + l];
+                    acc[3][l] += av * b3[t + l];
+                }
+                t += LANES;
+            }
+            let mut sums = [0.0f32; COL_TILE];
+            for (s, lanes) in sums.iter_mut().zip(&acc) {
+                *s = lanes.iter().sum();
+            }
+            for t in blocks..k {
+                let av = arow[t];
+                sums[0] += av * b0[t];
+                sums[1] += av * b1[t];
+                sums[2] += av * b2[t];
+                sums[3] += av * b3[t];
+            }
+            crow[j..j + COL_TILE].copy_from_slice(&sums);
+            j += COL_TILE;
+        }
+        while j < b.rows {
+            crow[j] = dot(arow, b.row(j));
+            j += 1;
+        }
+        post(crow);
+    }
+}
+
+/// Blocked `C = A · B` (`A: m×k`, `B: k×n`): the classic `ikt` axpy
+/// formulation — each coefficient `A[i][t]` streams a row of `B` into
+/// the output row, four coefficient rows per pass.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows, b.cols);
+    add_matmul(&mut c, a, b);
+    c
+}
+
+/// Accumulating `C += A · B` into a caller-owned output.
+pub fn add_matmul(c: &mut Matrix, a: &Matrix, b: &Matrix) {
+    assert_eq!(a.cols, b.rows, "matmul shape mismatch");
+    assert_eq!(c.rows, a.rows, "matmul output rows");
+    assert_eq!(c.cols, b.cols, "matmul output cols");
+    let n = b.cols;
+    for i in 0..a.rows {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        let mut t = 0;
+        while t + COL_TILE <= a.cols {
+            let a0 = arow[t];
+            let a1 = arow[t + 1];
+            let a2 = arow[t + 2];
+            let a3 = arow[t + 3];
+            let b0 = b.row(t);
+            let b1 = b.row(t + 1);
+            let b2 = b.row(t + 2);
+            let b3 = b.row(t + 3);
+            for j in 0..n {
+                crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+            }
+            t += COL_TILE;
+        }
+        while t < a.cols {
+            axpy(crow, arow[t], b.row(t));
+            t += 1;
+        }
+    }
+}
+
+/// Blocked `C += Aᵀ · B` (`A: t×m`, `B: t×n`, `C: m×n`): the batched
+/// outer-product accumulate of the weight-gradient path. Four
+/// timesteps are fused per pass so each output row is loaded once per
+/// four rank-1 updates.
+pub fn add_matmul_tn(c: &mut Matrix, a: &Matrix, b: &Matrix) {
+    assert_eq!(a.rows, b.rows, "add_matmul_tn shape mismatch");
+    assert_eq!(c.rows, a.cols, "add_matmul_tn output rows");
+    assert_eq!(c.cols, b.cols, "add_matmul_tn output cols");
+    let n = b.cols;
+    let mut t = 0;
+    while t + COL_TILE <= a.rows {
+        let b0 = b.row(t);
+        let b1 = b.row(t + 1);
+        let b2 = b.row(t + 2);
+        let b3 = b.row(t + 3);
+        let a0 = a.row(t);
+        let a1 = a.row(t + 1);
+        let a2 = a.row(t + 2);
+        let a3 = a.row(t + 3);
+        for i in 0..c.rows {
+            let (c0, c1, c2, c3) = (a0[i], a1[i], a2[i], a3[i]);
+            let crow = c.row_mut(i);
+            for j in 0..n {
+                crow[j] += c0 * b0[j] + c1 * b1[j] + c2 * b2[j] + c3 * b3[j];
+            }
+        }
+        t += COL_TILE;
+    }
+    while t < a.rows {
+        let arow = a.row(t);
+        let brow = b.row(t);
+        for (i, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                axpy(c.row_mut(i), av, brow);
+            }
+        }
+        t += 1;
+    }
+}
+
+/// Fused `C = act(A · Bᵀ + bias)` (`A: m×k`, `B: n×k`, `bias: n`): one
+/// blocked GEMM pass with the bias add and activation applied as each
+/// output row completes, while it is still cache-hot.
+pub fn gemm_bias_act(a: &Matrix, b: &Matrix, bias: &[f32], act: Activation) -> Matrix {
+    assert_eq!(bias.len(), b.rows, "gemm_bias_act bias length");
+    let mut c = Matrix::zeros(a.rows, b.rows);
+    matmul_t_post(a, b, &mut c, |row| {
+        for (v, bv) in row.iter_mut().zip(bias) {
+            *v = act.apply(*v + bv);
+        }
+    });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::seeded_rng;
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::uniform(rows, cols, 1.0, &mut seeded_rng(seed))
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32, what: &str) {
+        assert_eq!((a.rows, a.cols), (b.rows, b.cols), "{what} shape");
+        for (i, (x, y)) in a.data.iter().zip(&b.data).enumerate() {
+            assert!((x - y).abs() < tol, "{what}[{i}]: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_odd_shapes() {
+        // Shapes straddling the lane and tile boundaries.
+        for (m, k, n, seed) in [(1, 1, 1, 1), (3, 7, 5, 2), (9, 16, 13, 3), (17, 33, 12, 4)] {
+            let a = rand_matrix(m, k, seed);
+            let b = rand_matrix(k, n, seed + 100);
+            assert_close(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-5, "matmul");
+        }
+    }
+
+    #[test]
+    fn matmul_t_matches_naive_odd_shapes() {
+        for (m, k, n, seed) in [(1, 3, 1, 5), (4, 8, 4, 6), (7, 19, 11, 7), (16, 64, 33, 8)] {
+            let a = rand_matrix(m, k, seed);
+            let b = rand_matrix(n, k, seed + 100);
+            assert_close(&matmul_t(&a, &b), &matmul_t_naive(&a, &b), 1e-5, "matmul_t");
+        }
+    }
+
+    #[test]
+    fn add_matmul_tn_matches_naive_and_accumulates() {
+        let a = rand_matrix(13, 9, 11);
+        let b = rand_matrix(13, 17, 12);
+        let mut c = rand_matrix(9, 17, 13);
+        let mut c_ref = c.clone();
+        add_matmul_tn(&mut c, &a, &b);
+        add_matmul_tn_naive(&mut c_ref, &a, &b);
+        assert_close(&c, &c_ref, 1e-5, "add_matmul_tn");
+    }
+
+    #[test]
+    fn gemm_bias_act_matches_naive_all_activations() {
+        let a = rand_matrix(6, 21, 21);
+        let b = rand_matrix(10, 21, 22);
+        let bias: Vec<f32> = (0..10).map(|i| i as f32 * 0.1 - 0.5).collect();
+        for act in [Activation::Identity, Activation::Sigmoid, Activation::Tanh] {
+            assert_close(
+                &gemm_bias_act(&a, &b, &bias, act),
+                &gemm_bias_act_naive(&a, &b, &bias, act),
+                1e-5,
+                "gemm_bias_act",
+            );
+        }
+    }
+
+    #[test]
+    fn dot_and_axpy_handle_tails() {
+        let a: Vec<f32> = (0..19).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..19).map(|i| (i as f32) * 0.5).collect();
+        let expected: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - expected).abs() < 1e-4);
+        let mut y = b.clone();
+        axpy(&mut y, 2.0, &a);
+        for (i, yv) in y.iter().enumerate() {
+            assert!((yv - (b[i] + 2.0 * a[i])).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn empty_operands_are_fine() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(3, 5);
+        let c = matmul_t(&a, &b);
+        assert_eq!((c.rows, c.cols), (0, 3));
+        let mut acc = Matrix::zeros(5, 4);
+        add_matmul_tn(&mut acc, &Matrix::zeros(0, 5), &Matrix::zeros(0, 4));
+        assert!(acc.data.iter().all(|v| *v == 0.0));
+    }
+}

@@ -9,9 +9,32 @@
 //!
 //! Everything is plain `f32` Rust — no BLAS — with deterministic
 //! initialization from a seed, so experiments are reproducible.
+//!
+//! ## The kernel layer
+//!
+//! All dense math funnels through [`kernel`], a small set of
+//! cache-blocked GEMM kernels over row-major [`Matrix`] operands
+//! (`matmul`, `matmul_t`, `add_matmul_tn`, and the fused
+//! `gemm_bias_act`), written so LLVM autovectorizes their inner
+//! loops. The layers above batch their work into kernel calls instead
+//! of per-element loops:
+//!
+//! * the LSTM projects a whole sequence's inputs in one GEMM and
+//!   accumulates each weight gradient as one `dZᵀ·X` product
+//!   ([`lstm::LstmCell::forward_seq`], [`lstm::LstmCell::backward_seq`]);
+//! * attention precomputes `W_h h_i` once per encoded sequence
+//!   ([`attention::AdditiveAttention::project`]) instead of per decoder
+//!   step;
+//! * the seq2seq output layer scores all teacher-forced steps with one
+//!   fused GEMM ([`seq2seq::Seq2Seq::forward_backward`]).
+//!
+//! Training fans minibatch items across scoped worker threads
+//! ([`trainer::TrainOptions::parallel`]); inference reuses per-batch
+//! scratch arenas ([`seq2seq::DecodeScratch`]).
 
 pub mod attention;
 pub mod beam;
+pub mod kernel;
 pub mod lstm;
 pub mod matrix;
 pub mod metrics;
@@ -20,10 +43,11 @@ pub mod seq2seq;
 pub mod trainer;
 
 pub use attention::AdditiveAttention;
-pub use beam::{beam_search, BeamHypothesis};
+pub use beam::{beam_search, beam_search_scratch, BeamHypothesis};
+pub use kernel::Activation;
 pub use lstm::{LstmCell, LstmState};
 pub use matrix::Matrix;
 pub use metrics::sparse_categorical_accuracy;
 pub use params::{count_parameters, ParamReport};
-pub use seq2seq::{Seq2Seq, Seq2SeqConfig};
+pub use seq2seq::{DecodeScratch, Seq2Seq, Seq2SeqConfig};
 pub use trainer::{EarlyStopping, TrainOptions, TrainReport, Trainer};

@@ -12,7 +12,17 @@
 //! Table-3 parameter counts follow: `4h(in + h) + 4h` parameters).
 //! Full backpropagation through time is implemented by hand and
 //! verified against finite differences.
+//!
+//! Besides the step-at-a-time API ([`LstmCell::forward_step`], used by
+//! the input-fed decoder and beam search), the cell has a batched
+//! sequence API: [`LstmCell::forward_seq`]/[`LstmCell::forward_seq_cached`]
+//! compute the input projection `X · Vᵀ` for *all* timesteps as one
+//! `[T×in] × [in×4h]` GEMM before the sequential recurrence, and
+//! [`LstmCell::backward_seq`] accumulates the whole sequence's weight
+//! gradients as two `dZᵀ·X`-shaped GEMMs instead of `T` rank-1
+//! updates.
 
+use crate::kernel;
 use crate::matrix::{sigmoid, Matrix};
 use rand::rngs::StdRng;
 
@@ -67,6 +77,17 @@ pub struct LstmStepCache {
     tanh_c: Vec<f32>,
 }
 
+/// Whole-sequence cache for [`LstmCell::backward_seq`]: the same
+/// quantities as [`LstmStepCache`], one row per timestep.
+#[derive(Debug, Clone)]
+pub struct LstmSeqCache {
+    xs: Matrix,      // [T x input]
+    h_prevs: Matrix, // [T x hidden]
+    c_prevs: Matrix, // [T x hidden]
+    gates: Matrix,   // [T x 4h], post-activation
+    tanh_c: Matrix,  // [T x hidden]
+}
+
 /// Gradient accumulators matching [`LstmCell`].
 #[derive(Debug, Clone)]
 pub struct LstmGrads {
@@ -94,6 +115,13 @@ impl LstmGrads {
         self.u.fill_zero();
         self.b.iter_mut().for_each(|v| *v = 0.0);
     }
+
+    /// `self += other` (minibatch merge).
+    pub fn merge(&mut self, other: &LstmGrads) {
+        self.v.add_scaled(&other.v, 1.0);
+        self.u.add_scaled(&other.u, 1.0);
+        kernel::axpy(&mut self.b, 1.0, &other.b);
+    }
 }
 
 impl LstmCell {
@@ -113,42 +141,187 @@ impl LstmCell {
         self.v.len() + self.u.len() + self.b.len()
     }
 
+    /// Elementwise gate update shared by the step and sequence paths:
+    /// turn the pre-activation row `z` into post-activation gates,
+    /// advance `(h, c)` in place, and write `tanh(c_t)`.
+    #[inline]
+    pub(crate) fn advance_gates(
+        &self,
+        z: &mut [f32],
+        h_cur: &mut [f32],
+        c_cur: &mut [f32],
+        tanh_c: &mut [f32],
+    ) {
+        let h = self.hidden;
+        for k in 0..h {
+            z[GATE_I * h + k] = sigmoid(z[GATE_I * h + k]);
+            z[GATE_F * h + k] = sigmoid(z[GATE_F * h + k]);
+            z[GATE_O * h + k] = sigmoid(z[GATE_O * h + k]);
+            z[GATE_G * h + k] = z[GATE_G * h + k].tanh();
+        }
+        for k in 0..h {
+            c_cur[k] = z[GATE_I * h + k] * z[GATE_G * h + k] + z[GATE_F * h + k] * c_cur[k];
+            tanh_c[k] = c_cur[k].tanh();
+            h_cur[k] = z[GATE_O * h + k] * tanh_c[k];
+        }
+    }
+
     /// One forward step; returns the new state and the cache needed by
     /// [`LstmCell::backward_step`].
     pub fn forward_step(&self, state: &LstmState, x: &[f32]) -> (LstmState, LstmStepCache) {
-        let h = self.hidden;
         let mut z = self.v.matvec(x);
         let uz = self.u.matvec(&state.h);
-        for (a, b) in z.iter_mut().zip(&uz) {
-            *a += b;
-        }
-        for (a, b) in z.iter_mut().zip(&self.b) {
-            *a += b;
-        }
-        let mut gates = vec![0.0f32; 4 * h];
-        for k in 0..h {
-            gates[GATE_I * h + k] = sigmoid(z[GATE_I * h + k]);
-            gates[GATE_F * h + k] = sigmoid(z[GATE_F * h + k]);
-            gates[GATE_O * h + k] = sigmoid(z[GATE_O * h + k]);
-            gates[GATE_G * h + k] = z[GATE_G * h + k].tanh();
-        }
-        let mut c = vec![0.0f32; h];
-        let mut hh = vec![0.0f32; h];
-        let mut tanh_c = vec![0.0f32; h];
-        for k in 0..h {
-            c[k] =
-                gates[GATE_I * h + k] * gates[GATE_G * h + k] + gates[GATE_F * h + k] * state.c[k];
-            tanh_c[k] = c[k].tanh();
-            hh[k] = gates[GATE_O * h + k] * tanh_c[k];
-        }
+        kernel::axpy(&mut z, 1.0, &uz);
+        kernel::axpy(&mut z, 1.0, &self.b);
+        let mut hh = state.h.clone();
+        let mut c = state.c.clone();
+        let mut tanh_c = vec![0.0f32; self.hidden];
+        self.advance_gates(&mut z, &mut hh, &mut c, &mut tanh_c);
         let cache = LstmStepCache {
             x: x.to_vec(),
             h_prev: state.h.clone(),
             c_prev: state.c.clone(),
-            gates,
-            tanh_c: tanh_c.clone(),
+            gates: z,
+            tanh_c,
         };
         (LstmState { h: hh, c }, cache)
+    }
+
+    /// Inference-only forward step: no backward cache is built.
+    pub fn step(&self, state: &LstmState, x: &[f32]) -> LstmState {
+        let mut z = self.v.matvec(x);
+        let uz = self.u.matvec(&state.h);
+        kernel::axpy(&mut z, 1.0, &uz);
+        kernel::axpy(&mut z, 1.0, &self.b);
+        let mut hh = state.h.clone();
+        let mut c = state.c.clone();
+        let mut tanh_c = vec![0.0f32; self.hidden];
+        self.advance_gates(&mut z, &mut hh, &mut c, &mut tanh_c);
+        LstmState { h: hh, c }
+    }
+
+    /// Forward over a whole input sequence `xs` (`T x input`): the
+    /// input projections of all timesteps are one blocked GEMM, then
+    /// the recurrence runs stepwise. Returns the hidden states
+    /// (`T x hidden`) and the final state. Inference-only — no cache.
+    pub fn forward_seq(&self, init: &LstmState, xs: &Matrix) -> (Matrix, LstmState) {
+        debug_assert_eq!(xs.cols, self.input);
+        let t_len = xs.rows;
+        let h = self.hidden;
+        let mut z_all = kernel::matmul_t(xs, &self.v); // [T x 4h]
+        let mut states = Matrix::zeros(t_len, h);
+        let mut h_cur = init.h.clone();
+        let mut c_cur = init.c.clone();
+        let mut tanh_c = vec![0.0f32; h];
+        let mut uz = vec![0.0f32; 4 * h];
+        for t in 0..t_len {
+            let z = z_all.row_mut(t);
+            self.u.matvec_into(&h_cur, &mut uz);
+            kernel::axpy(z, 1.0, &uz);
+            kernel::axpy(z, 1.0, &self.b);
+            self.advance_gates(z, &mut h_cur, &mut c_cur, &mut tanh_c);
+            states.row_mut(t).copy_from_slice(&h_cur);
+        }
+        (states, LstmState { h: h_cur, c: c_cur })
+    }
+
+    /// [`LstmCell::forward_seq`] keeping the whole-sequence cache for
+    /// [`LstmCell::backward_seq`]. Takes ownership of `xs` (it becomes
+    /// part of the cache).
+    pub fn forward_seq_cached(
+        &self,
+        init: &LstmState,
+        xs: Matrix,
+    ) -> (Matrix, LstmState, LstmSeqCache) {
+        debug_assert_eq!(xs.cols, self.input);
+        let t_len = xs.rows;
+        let h = self.hidden;
+        let mut gates = kernel::matmul_t(&xs, &self.v); // pre-activations, activated in place
+        let mut states = Matrix::zeros(t_len, h);
+        let mut h_prevs = Matrix::zeros(t_len, h);
+        let mut c_prevs = Matrix::zeros(t_len, h);
+        let mut tanh_cs = Matrix::zeros(t_len, h);
+        let mut h_cur = init.h.clone();
+        let mut c_cur = init.c.clone();
+        let mut uz = vec![0.0f32; 4 * h];
+        for t in 0..t_len {
+            h_prevs.row_mut(t).copy_from_slice(&h_cur);
+            c_prevs.row_mut(t).copy_from_slice(&c_cur);
+            let z = gates.row_mut(t);
+            self.u.matvec_into(&h_cur, &mut uz);
+            kernel::axpy(z, 1.0, &uz);
+            kernel::axpy(z, 1.0, &self.b);
+            self.advance_gates(z, &mut h_cur, &mut c_cur, tanh_cs.row_mut(t));
+            states.row_mut(t).copy_from_slice(&h_cur);
+        }
+        let cache = LstmSeqCache {
+            xs,
+            h_prevs,
+            c_prevs,
+            gates,
+            tanh_c: tanh_cs,
+        };
+        (states, LstmState { h: h_cur, c: c_cur }, cache)
+    }
+
+    /// Elementwise gate backward for one step: from the gradients
+    /// flowing into `h_t` (`dh`) and `c_t` (`dc_in`), produce the
+    /// pre-activation gradient `dz` and `dc_prev`. Shared by
+    /// [`LstmCell::backward_step`] and the batched sequence backward;
+    /// callers that batch their weight gradients use this directly and
+    /// accumulate `dz` rows into one GEMM.
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // per-step slices of one cache row
+    pub(crate) fn backward_gates_into(
+        &self,
+        gates: &[f32],
+        tanh_c: &[f32],
+        c_prev: &[f32],
+        dh: &[f32],
+        dc_in: &[f32],
+        dz: &mut [f32],
+        dc_prev: &mut [f32],
+    ) {
+        let h = self.hidden;
+        for k in 0..h {
+            let o = gates[GATE_O * h + k];
+            let i = gates[GATE_I * h + k];
+            let f = gates[GATE_F * h + k];
+            let gg = gates[GATE_G * h + k];
+            let tc = tanh_c[k];
+            let dc = dc_in[k] + dh[k] * o * (1.0 - tc * tc);
+            let do_ = dh[k] * tc;
+            let di = dc * gg;
+            let dg = dc * i;
+            let df = dc * c_prev[k];
+            dc_prev[k] = dc * f;
+            dz[GATE_I * h + k] = di * i * (1.0 - i);
+            dz[GATE_F * h + k] = df * f * (1.0 - f);
+            dz[GATE_O * h + k] = do_ * o * (1.0 - o);
+            dz[GATE_G * h + k] = dg * (1.0 - gg * gg);
+        }
+    }
+
+    /// Gate backward for a step cache: returns `(dz, dc_prev)` without
+    /// touching parameter gradients — the caller batches those.
+    pub fn backward_gates(
+        &self,
+        cache: &LstmStepCache,
+        dh: &[f32],
+        dc_in: &[f32],
+    ) -> (Vec<f32>, Vec<f32>) {
+        let mut dz = vec![0.0f32; 4 * self.hidden];
+        let mut dc_prev = vec![0.0f32; self.hidden];
+        self.backward_gates_into(
+            &cache.gates,
+            &cache.tanh_c,
+            &cache.c_prev,
+            dh,
+            dc_in,
+            &mut dz,
+            &mut dc_prev,
+        );
+        (dz, dc_prev)
     }
 
     /// One backward step. `dh`/`dc` are the gradients flowing into
@@ -161,35 +334,62 @@ impl LstmCell {
         dc_in: &[f32],
         grads: &mut LstmGrads,
     ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
-        let h = self.hidden;
-        let g = &cache.gates;
-        let mut dz = vec![0.0f32; 4 * h];
-        let mut dc_prev = vec![0.0f32; h];
-        for k in 0..h {
-            let o = g[GATE_O * h + k];
-            let i = g[GATE_I * h + k];
-            let f = g[GATE_F * h + k];
-            let gg = g[GATE_G * h + k];
-            let tc = cache.tanh_c[k];
-            let dc = dc_in[k] + dh[k] * o * (1.0 - tc * tc);
-            let do_ = dh[k] * tc;
-            let di = dc * gg;
-            let dg = dc * i;
-            let df = dc * cache.c_prev[k];
-            dc_prev[k] = dc * f;
-            dz[GATE_I * h + k] = di * i * (1.0 - i);
-            dz[GATE_F * h + k] = df * f * (1.0 - f);
-            dz[GATE_O * h + k] = do_ * o * (1.0 - o);
-            dz[GATE_G * h + k] = dg * (1.0 - gg * gg);
-        }
+        let (dz, dc_prev) = self.backward_gates(cache, dh, dc_in);
         grads.v.add_outer(&dz, &cache.x);
         grads.u.add_outer(&dz, &cache.h_prev);
-        for (a, b) in grads.b.iter_mut().zip(&dz) {
-            *a += b;
-        }
+        kernel::axpy(&mut grads.b, 1.0, &dz);
         let dx = self.v.matvec_t(&dz);
         let dh_prev = self.u.matvec_t(&dz);
         (dx, dh_prev, dc_prev)
+    }
+
+    /// Backward through a whole cached sequence. `d_hs` carries the
+    /// per-step gradients flowing into each `h_t` from outside the
+    /// recurrence (attention, output layer, the decoder-init path for
+    /// the final step); `dc_last` flows into the final cell state.
+    /// Parameter gradients accumulate as two batched GEMMs
+    /// (`dZᵀ·X` and `dZᵀ·H_prev`); returns the input gradients
+    /// (`T x input`, one `dZ·V` GEMM) and `(dh0, dc0)` flowing into
+    /// the initial state.
+    pub fn backward_seq(
+        &self,
+        cache: &LstmSeqCache,
+        d_hs: &Matrix,
+        dc_last: &[f32],
+        grads: &mut LstmGrads,
+    ) -> (Matrix, Vec<f32>, Vec<f32>) {
+        let t_len = cache.xs.rows;
+        debug_assert_eq!(d_hs.rows, t_len);
+        let h = self.hidden;
+        let mut dzs = Matrix::zeros(t_len, 4 * h);
+        let mut dh_carry = vec![0.0f32; h];
+        let mut dc_carry = dc_last.to_vec();
+        let mut dc_prev = vec![0.0f32; h];
+        let mut dh = vec![0.0f32; h];
+        for t in (0..t_len).rev() {
+            dh.copy_from_slice(d_hs.row(t));
+            kernel::axpy(&mut dh, 1.0, &dh_carry);
+            self.backward_gates_into(
+                cache.gates.row(t),
+                cache.tanh_c.row(t),
+                cache.c_prevs.row(t),
+                &dh,
+                &dc_carry,
+                dzs.row_mut(t),
+                &mut dc_prev,
+            );
+            // The recurrent data gradient must flow step by step; the
+            // weight gradients below do not, and are batched.
+            dh_carry = self.u.matvec_t(dzs.row(t));
+            std::mem::swap(&mut dc_carry, &mut dc_prev);
+        }
+        kernel::add_matmul_tn(&mut grads.v, &dzs, &cache.xs);
+        kernel::add_matmul_tn(&mut grads.u, &dzs, &cache.h_prevs);
+        for t in 0..t_len {
+            kernel::axpy(&mut grads.b, 1.0, dzs.row(t));
+        }
+        let dxs = kernel::matmul(&dzs, &self.v);
+        (dxs, dh_carry, dc_carry)
     }
 
     /// SGD update: `θ -= lr * dθ`.
@@ -215,6 +415,11 @@ mod tests {
             state = s;
         }
         state.h.iter().sum()
+    }
+
+    fn rows_matrix(rows: &[Vec<f32>]) -> Matrix {
+        let data: Vec<f32> = rows.iter().flatten().cloned().collect();
+        Matrix::from_flat(rows.len(), rows[0].len(), data)
     }
 
     #[test]
@@ -247,6 +452,113 @@ mod tests {
         }
         for v in &s.h {
             assert!(v.abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn forward_seq_matches_stepwise() {
+        let mut rng = seeded_rng(8);
+        let cell = LstmCell::new(3, 7, 0.3, &mut rng);
+        let xs = vec![
+            vec![0.3, -0.2, 0.5],
+            vec![0.1, 0.4, -0.1],
+            vec![-0.5, 0.2, 0.0],
+            vec![0.2, 0.2, 0.2],
+        ];
+        let mut state = LstmState::zeros(7);
+        let mut step_states = Vec::new();
+        for x in &xs {
+            let (s, _) = cell.forward_step(&state, x);
+            state = s;
+            step_states.push(state.h.clone());
+        }
+        let m = rows_matrix(&xs);
+        let (seq_states, seq_final) = cell.forward_seq(&LstmState::zeros(7), &m);
+        let (cached_states, cached_final, _) =
+            cell.forward_seq_cached(&LstmState::zeros(7), m.clone());
+        for (t, hs) in step_states.iter().enumerate() {
+            for (k, v) in hs.iter().enumerate() {
+                assert!((v - seq_states.get(t, k)).abs() < 1e-6, "seq h[{t}][{k}]");
+                assert!(
+                    (v - cached_states.get(t, k)).abs() < 1e-6,
+                    "cached h[{t}][{k}]"
+                );
+            }
+        }
+        for k in 0..7 {
+            assert!((state.h[k] - seq_final.h[k]).abs() < 1e-6);
+            assert!((state.c[k] - cached_final.c[k]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_seq_matches_stepwise_backward() {
+        let mut rng = seeded_rng(9);
+        let cell = LstmCell::new(3, 5, 0.4, &mut rng);
+        let xs = vec![
+            vec![0.3, -0.2, 0.5],
+            vec![0.1, 0.4, -0.1],
+            vec![-0.5, 0.2, 0.0],
+        ];
+        let d_hs_rows = vec![
+            vec![0.2, -0.1, 0.3, 0.0, 0.5],
+            vec![-0.3, 0.2, 0.1, 0.4, -0.2],
+            vec![0.1, 0.1, -0.4, 0.2, 0.3],
+        ];
+        let dc_last = vec![0.05f32, -0.1, 0.2, 0.0, 0.1];
+
+        // Stepwise reference.
+        let mut state = LstmState::zeros(5);
+        let mut caches = Vec::new();
+        for x in &xs {
+            let (s, cache) = cell.forward_step(&state, x);
+            caches.push(cache);
+            state = s;
+        }
+        let mut ref_grads = LstmGrads::zeros(&cell);
+        let mut dh_carry = vec![0.0f32; 5];
+        let mut dc_carry = dc_last.clone();
+        let mut ref_dxs = Vec::new();
+        for t in (0..3).rev() {
+            let mut dh = d_hs_rows[t].clone();
+            kernel::axpy(&mut dh, 1.0, &dh_carry);
+            let (dx, dh_prev, dc_prev) =
+                cell.backward_step(&caches[t], &dh, &dc_carry, &mut ref_grads);
+            ref_dxs.push(dx);
+            dh_carry = dh_prev;
+            dc_carry = dc_prev;
+        }
+        ref_dxs.reverse();
+
+        // Batched sequence path.
+        let (_, _, seq_cache) = cell.forward_seq_cached(&LstmState::zeros(5), rows_matrix(&xs));
+        let mut seq_grads = LstmGrads::zeros(&cell);
+        let (dxs, dh0, dc0) = cell.backward_seq(
+            &seq_cache,
+            &rows_matrix(&d_hs_rows),
+            &dc_last,
+            &mut seq_grads,
+        );
+
+        for (a, b) in seq_grads.v.data.iter().zip(&ref_grads.v.data) {
+            assert!((a - b).abs() < 1e-5, "dV {a} vs {b}");
+        }
+        for (a, b) in seq_grads.u.data.iter().zip(&ref_grads.u.data) {
+            assert!((a - b).abs() < 1e-5, "dU {a} vs {b}");
+        }
+        for (a, b) in seq_grads.b.iter().zip(&ref_grads.b) {
+            assert!((a - b).abs() < 1e-5, "db {a} vs {b}");
+        }
+        for (t, dx) in ref_dxs.iter().enumerate() {
+            for (k, v) in dx.iter().enumerate() {
+                assert!((v - dxs.get(t, k)).abs() < 1e-5, "dX[{t}][{k}]");
+            }
+        }
+        for (a, b) in dh0.iter().zip(&dh_carry) {
+            assert!((a - b).abs() < 1e-5, "dh0");
+        }
+        for (a, b) in dc0.iter().zip(&dc_carry) {
+            assert!((a - b).abs() < 1e-5, "dc0");
         }
     }
 

@@ -8,10 +8,18 @@
 //! or pre-trained (Word2Vec/GloVe/BERT-style/ELMo-style vectors from
 //! `lantern-embed`) and frozen. Encoder/decoder recurrent weights can
 //! optionally be shared (Figure 7(b)).
+//!
+//! Everything runs on the blocked-GEMM kernel layer
+//! ([`crate::kernel`]): the encoder projects all timesteps' inputs in
+//! one GEMM, the attention projection `W_h h_i` is computed once per
+//! sequence, the output logits of every teacher-forced step are one
+//! fused GEMM, and the backward pass accumulates each weight's
+//! gradient over the whole sequence as a single `dZᵀ·X` product.
 
-use crate::attention::{AdditiveAttention, AttnGrads};
+use crate::attention::{AdditiveAttention, AttnCache, AttnGrads, AttnScratch};
+use crate::kernel::{self, Activation};
 use crate::lstm::{LstmCell, LstmGrads, LstmState};
-use crate::matrix::{seeded_rng, softmax, Matrix};
+use crate::matrix::{seeded_rng, softmax_in_place, Matrix};
 use lantern_text::vocab::{BOS, EOS};
 
 /// Model hyperparameters.
@@ -115,6 +123,19 @@ impl Seq2SeqGrads {
         self.b_out.iter_mut().for_each(|v| *v = 0.0);
     }
 
+    /// `self += other`: fold another accumulator in (the minibatch
+    /// workers of `trainer` each fill their own and merge in a fixed
+    /// order).
+    pub fn merge(&mut self, other: &Seq2SeqGrads) {
+        self.enc_embed.add_scaled(&other.enc_embed, 1.0);
+        self.encoder.merge(&other.encoder);
+        self.dec_embed.add_scaled(&other.dec_embed, 1.0);
+        self.decoder.merge(&other.decoder);
+        self.attention.merge(&other.attention);
+        self.w_out.add_scaled(&other.w_out, 1.0);
+        kernel::axpy(&mut self.b_out, 1.0, &other.b_out);
+    }
+
     /// Global L2 norm of all gradients (for clipping).
     pub fn global_norm(&self) -> f32 {
         let mut sq = 0.0f32;
@@ -146,10 +167,14 @@ impl Seq2SeqGrads {
 /// Immutable decoding context (encoder outputs).
 #[derive(Debug, Clone)]
 pub struct EncoderOutput {
-    /// Hidden state at each input position.
-    pub states: Vec<Vec<f32>>,
+    /// Hidden state at each input position (`T x hidden`, at least one
+    /// row — an all-zero row for an empty input).
+    pub states: Matrix,
     /// Final encoder state (decoder initialization).
     pub final_state: LstmState,
+    /// Precomputed attention projection `W_h h_i` (`T x d_a`), shared
+    /// by every decoder step and beam hypothesis over this encoding.
+    pub attn_proj: Matrix,
 }
 
 /// Cloneable incremental decoder state, used by beam search.
@@ -159,6 +184,24 @@ pub struct DecoderState {
     pub state: LstmState,
     /// Previous context vector (input feeding).
     pub context: Vec<f32>,
+}
+
+/// Reusable decode-step buffers: one arena serves every step of every
+/// hypothesis of every request in a batch (see
+/// [`Seq2Seq::decode_step_scratch`]).
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    x: Vec<f32>,
+    feat: Vec<f32>,
+    attn: AttnScratch,
+}
+
+impl DecodeScratch {
+    /// Fresh (empty) buffers; they grow to the model's sizes on first
+    /// use and are reused afterwards.
+    pub fn new() -> Self {
+        DecodeScratch::default()
+    }
 }
 
 impl Seq2Seq {
@@ -220,22 +263,35 @@ impl Seq2Seq {
             + self.b_out.len()
     }
 
-    /// Run the encoder over an input token-id sequence.
+    /// Gather the (clamped) encoder embedding rows of `input_ids` into
+    /// an `[T x enc_dim]` input matrix.
+    fn gather_encoder_inputs(&self, input_ids: &[usize]) -> (Matrix, Vec<usize>) {
+        let mut xs = Matrix::zeros(input_ids.len(), self.config.encoder_embed_dim);
+        let mut ids = Vec::with_capacity(input_ids.len());
+        for (t, &raw) in input_ids.iter().enumerate() {
+            let id = raw.min(self.enc_embed.rows - 1);
+            xs.row_mut(t).copy_from_slice(self.enc_embed.row(id));
+            ids.push(id);
+        }
+        (xs, ids)
+    }
+
+    /// Run the encoder over an input token-id sequence: one batched
+    /// input-projection GEMM, the recurrence, and the per-sequence
+    /// attention projection.
     pub fn encode(&self, input_ids: &[usize]) -> EncoderOutput {
-        let mut state = LstmState::zeros(self.config.hidden);
-        let mut states = Vec::with_capacity(input_ids.len().max(1));
-        for &id in input_ids {
-            let x = self.enc_embed.row(id.min(self.enc_embed.rows - 1)).to_vec();
-            let (s, _) = self.encoder.forward_step(&state, &x);
-            state = s;
-            states.push(state.h.clone());
-        }
-        if states.is_empty() {
-            states.push(vec![0.0; self.config.hidden]);
-        }
+        let hidden = self.config.hidden;
+        let (xs, _) = self.gather_encoder_inputs(input_ids);
+        let (states, final_state) = if input_ids.is_empty() {
+            (Matrix::zeros(1, hidden), LstmState::zeros(hidden))
+        } else {
+            self.encoder.forward_seq(&LstmState::zeros(hidden), &xs)
+        };
+        let attn_proj = self.attention.project(&states);
         EncoderOutput {
             states,
-            final_state: state,
+            final_state,
+            attn_proj,
         }
     }
 
@@ -256,21 +312,37 @@ impl Seq2Seq {
         st: &DecoderState,
         prev_token: usize,
     ) -> (Vec<f32>, DecoderState) {
+        self.decode_step_scratch(enc, st, prev_token, &mut DecodeScratch::new())
+    }
+
+    /// [`Seq2Seq::decode_step`] with caller-owned scratch buffers —
+    /// the batched-narration hot path, where one arena is reused
+    /// across all steps and requests.
+    pub fn decode_step_scratch(
+        &self,
+        enc: &EncoderOutput,
+        st: &DecoderState,
+        prev_token: usize,
+        scratch: &mut DecodeScratch,
+    ) -> (Vec<f32>, DecoderState) {
         let emb = self.dec_embed.row(prev_token.min(self.dec_embed.rows - 1));
-        let mut x = Vec::with_capacity(emb.len() + st.context.len());
-        x.extend_from_slice(emb);
-        x.extend_from_slice(&st.context);
-        let (state, _) = self.decoder.forward_step(&st.state, &x);
-        let (context, _) = self.attention.forward(&state.h, &enc.states);
-        let mut feat = state.h.clone();
-        feat.extend_from_slice(&context);
-        let mut logits = self.w_out.matvec(&feat);
-        for (l, b) in logits.iter_mut().zip(&self.b_out) {
-            *l += b;
+        scratch.x.clear();
+        scratch.x.extend_from_slice(emb);
+        scratch.x.extend_from_slice(&st.context);
+        let state = self.decoder.step(&st.state, &scratch.x);
+        let context =
+            self.attention
+                .attend(&state.h, &enc.states, &enc.attn_proj, &mut scratch.attn);
+        scratch.feat.clear();
+        scratch.feat.extend_from_slice(&state.h);
+        scratch.feat.extend_from_slice(&context);
+        let mut logits = self.w_out.matvec(&scratch.feat);
+        kernel::axpy(&mut logits, 1.0, &self.b_out);
+        softmax_in_place(&mut logits);
+        for v in logits.iter_mut() {
+            *v = (*v + 1e-12).ln();
         }
-        let p = softmax(&logits);
-        let logp = p.iter().map(|v| (v + 1e-12).ln()).collect();
-        (logp, DecoderState { state, context })
+        (logits, DecoderState { state, context })
     }
 
     /// Teacher-forced forward + full backward for one `(input,
@@ -286,28 +358,18 @@ impl Seq2Seq {
         let hidden = self.config.hidden;
         let dec_dim = self.config.decoder_embed_dim;
 
-        // ---------------- encoder forward (with caches) ----------------
-        let mut enc_state = LstmState::zeros(hidden);
-        let mut enc_caches = Vec::with_capacity(input_ids.len());
-        let mut enc_states = Vec::with_capacity(input_ids.len().max(1));
-        let mut enc_inputs = Vec::with_capacity(input_ids.len());
-        for &id in input_ids {
-            let id = id.min(self.enc_embed.rows - 1);
-            let x = self.enc_embed.row(id).to_vec();
-            let (s, cache) = self.encoder.forward_step(&enc_state, &x);
-            enc_caches.push(cache);
-            enc_state = s;
-            enc_states.push(enc_state.h.clone());
-            enc_inputs.push(id);
-        }
-        let empty_input = enc_states.is_empty();
-        if empty_input {
-            enc_states.push(vec![0.0; hidden]);
-        }
-        let enc_out = EncoderOutput {
-            states: enc_states.clone(),
-            final_state: enc_state.clone(),
+        // ---------------- encoder forward (batched input GEMM) ----------
+        let empty_input = input_ids.is_empty();
+        let (xs, enc_inputs) = self.gather_encoder_inputs(input_ids);
+        let (enc_states, enc_final, enc_cache) = if empty_input {
+            (Matrix::zeros(1, hidden), LstmState::zeros(hidden), None)
+        } else {
+            let (states, final_state, cache) = self
+                .encoder
+                .forward_seq_cached(&LstmState::zeros(hidden), xs);
+            (states, final_state, Some(cache))
         };
+        let attn_proj = self.attention.project(&enc_states);
 
         // ---------------- decoder forward (teacher forcing) -------------
         // Input tokens: BOS, y_1 .. y_m ; targets: y_1 .. y_m, EOS.
@@ -319,36 +381,63 @@ impl Seq2Seq {
         dec_targets.push(EOS);
         let steps = dec_inputs.len();
 
-        let mut st = self.decoder_init(&enc_out);
-        struct StepRecord {
-            dec_cache: crate::lstm::LstmStepCache,
-            attn_cache: crate::attention::AttnCache,
-            feat: Vec<f32>,
-            p: Vec<f32>,
-            target: usize,
-            prev_token: usize,
+        // All per-step decoder state lives in matrix rows (gates,
+        // tanh(c), previous h/c, inputs, features) — no per-step cache
+        // allocations; the backward loop reads the same rows back.
+        let mut dec_xs = Matrix::zeros(steps, dec_dim + hidden);
+        let mut dec_hprevs = Matrix::zeros(steps, hidden);
+        let mut dec_cprevs = Matrix::zeros(steps, hidden);
+        let mut dec_gates = Matrix::zeros(steps, 4 * hidden);
+        let mut dec_tanh_c = Matrix::zeros(steps, hidden);
+        let mut feats = Matrix::zeros(steps, 2 * hidden);
+        let mut attn_caches: Vec<AttnCache> = Vec::with_capacity(steps);
+        let mut prev_tokens = Vec::with_capacity(steps);
+        let mut h_cur = enc_final.h.clone();
+        let mut c_cur = enc_final.c.clone();
+        let mut context = vec![0.0f32; hidden];
+        let mut uz = vec![0.0f32; 4 * hidden];
+        for (t, &dec_input) in dec_inputs.iter().enumerate() {
+            let prev_token = dec_input.min(self.dec_embed.rows - 1);
+            {
+                let xrow = dec_xs.row_mut(t);
+                xrow[..dec_dim].copy_from_slice(self.dec_embed.row(prev_token));
+                xrow[dec_dim..].copy_from_slice(&context);
+            }
+            dec_hprevs.row_mut(t).copy_from_slice(&h_cur);
+            dec_cprevs.row_mut(t).copy_from_slice(&c_cur);
+            {
+                let z = dec_gates.row_mut(t);
+                self.decoder.v.matvec_into(dec_xs.row(t), z);
+                self.decoder.u.matvec_into(&h_cur, &mut uz);
+                kernel::axpy(z, 1.0, &uz);
+                kernel::axpy(z, 1.0, &self.decoder.b);
+                self.decoder
+                    .advance_gates(z, &mut h_cur, &mut c_cur, dec_tanh_c.row_mut(t));
+            }
+            let (ctx, attn_cache) = self.attention.forward(&h_cur, &enc_states, &attn_proj);
+            context = ctx;
+            {
+                let frow = feats.row_mut(t);
+                frow[..hidden].copy_from_slice(&h_cur);
+                frow[hidden..].copy_from_slice(&context);
+            }
+            attn_caches.push(attn_cache);
+            prev_tokens.push(prev_token);
         }
-        let mut records: Vec<StepRecord> = Vec::with_capacity(steps);
+
+        // Output layer over all steps: one fused GEMM, then per-row
+        // softmax. `probs` is reused in place as `dlogits` below.
+        let mut probs =
+            kernel::gemm_bias_act(&feats, &self.w_out, &self.b_out, Activation::Identity);
         let mut loss = 0.0f32;
         let mut correct = 0usize;
-        for t in 0..steps {
-            let prev_token = dec_inputs[t].min(self.dec_embed.rows - 1);
-            let emb = self.dec_embed.row(prev_token);
-            let mut x = Vec::with_capacity(dec_dim + hidden);
-            x.extend_from_slice(emb);
-            x.extend_from_slice(&st.context);
-            let (state, dec_cache) = self.decoder.forward_step(&st.state, &x);
-            let (context, attn_cache) = self.attention.forward(&state.h, &enc_out.states);
-            let mut feat = state.h.clone();
-            feat.extend_from_slice(&context);
-            let mut logits = self.w_out.matvec(&feat);
-            for (l, b) in logits.iter_mut().zip(&self.b_out) {
-                *l += b;
-            }
-            let p = softmax(&logits);
-            let target = dec_targets[t].min(self.config.output_vocab - 1);
-            loss -= (p[target] + 1e-12).ln();
-            let argmax = p
+        let inv = 1.0 / steps as f32;
+        for (t, &dec_target) in dec_targets.iter().enumerate() {
+            let row = probs.row_mut(t);
+            softmax_in_place(row);
+            let target = dec_target.min(self.config.output_vocab - 1);
+            loss -= (row[target] + 1e-12).ln();
+            let argmax = row
                 .iter()
                 .enumerate()
                 .max_by(|a, b| a.1.total_cmp(b.1))
@@ -357,101 +446,81 @@ impl Seq2Seq {
             if argmax == target {
                 correct += 1;
             }
-            records.push(StepRecord {
-                dec_cache,
-                attn_cache,
-                feat,
-                p,
-                target,
-                prev_token,
-            });
-            st = DecoderState { state, context };
-        }
-        let inv = 1.0 / steps as f32;
-
-        // ---------------- decoder backward ----------------
-        let mut d_enc_states = vec![vec![0.0f32; hidden]; enc_out.states.len()];
-        let mut dh_next = vec![0.0f32; hidden];
-        let mut dc_next = vec![0.0f32; hidden];
-        let mut da_feed = vec![0.0f32; hidden]; // from step t+1's input slice
-        for t in (0..steps).rev() {
-            let rec = &records[t];
-            // Output layer.
-            let mut dlogits = rec.p.clone();
-            dlogits[rec.target] -= 1.0;
-            for d in dlogits.iter_mut() {
+            // Cross-entropy gradient in place: (p - onehot) / steps.
+            row[target] -= 1.0;
+            for d in row.iter_mut() {
                 *d *= inv;
             }
-            grads.w_out.add_outer(&dlogits, &rec.feat);
-            for (g, d) in grads.b_out.iter_mut().zip(&dlogits) {
-                *g += d;
-            }
-            let dfeat = self.w_out.matvec_t(&dlogits);
-            let ds_out = &dfeat[..hidden];
-            let da_out = &dfeat[hidden..];
-            // Total context gradient: from the output layer and from
-            // the next step's input feeding.
-            let mut da_total = da_out.to_vec();
-            for (a, b) in da_total.iter_mut().zip(&da_feed) {
-                *a += b;
-            }
-            let (ds_attn, d_enc_part) = self.attention.backward(
-                &rec.attn_cache,
-                &enc_out.states,
-                &da_total,
-                &mut grads.attention,
-            );
-            for (acc, part) in d_enc_states.iter_mut().zip(&d_enc_part) {
-                for (a, b) in acc.iter_mut().zip(part) {
-                    *a += b;
-                }
-            }
-            let mut dh = ds_out.to_vec();
-            for ((a, b), c) in dh.iter_mut().zip(&ds_attn).zip(&dh_next) {
-                *a += b + c;
-            }
-            let (dx, dh_prev, dc_prev) =
-                self.decoder
-                    .backward_step(&rec.dec_cache, &dh, &dc_next, &mut grads.decoder);
-            if self.dec_embed_trainable {
-                let row = grads.dec_embed.row_mut(rec.prev_token);
-                for (g, d) in row.iter_mut().zip(&dx[..dec_dim]) {
-                    *g += d;
-                }
-            }
-            da_feed = dx[dec_dim..].to_vec();
-            dh_next = dh_prev;
-            dc_next = dc_prev;
-        }
-        // The first step's context is zeros — da_feed is dropped; the
-        // decoder-init gradient flows into the encoder's final state.
-        for (a, b) in d_enc_states
-            .last_mut()
-            .expect("nonempty")
-            .iter_mut()
-            .zip(&dh_next)
-        {
-            *a += b;
         }
 
-        // ---------------- encoder backward ----------------
-        if !empty_input {
-            let mut dh_carry = vec![0.0f32; hidden];
-            let mut dc_carry = dc_next;
-            for t in (0..enc_caches.len()).rev() {
-                let mut dh = d_enc_states[t].clone();
-                for (a, b) in dh.iter_mut().zip(&dh_carry) {
-                    *a += b;
-                }
-                let (dx, dh_prev, dc_prev) =
-                    self.encoder
-                        .backward_step(&enc_caches[t], &dh, &dc_carry, &mut grads.encoder);
-                let row = grads.enc_embed.row_mut(enc_inputs[t]);
-                for (g, d) in row.iter_mut().zip(&dx) {
-                    *g += d;
-                }
-                dh_carry = dh_prev;
-                dc_carry = dc_prev;
+        // ---------------- output-layer backward (batched) ---------------
+        kernel::add_matmul_tn(&mut grads.w_out, &probs, &feats);
+        for t in 0..steps {
+            kernel::axpy(&mut grads.b_out, 1.0, probs.row(t));
+        }
+        let dfeats = kernel::matmul(&probs, &self.w_out); // [steps x 2h]
+
+        // ---------------- decoder backward ----------------
+        let mut d_enc = Matrix::zeros(enc_states.rows, hidden);
+        let mut dzs = Matrix::zeros(steps, 4 * hidden);
+        let mut dh_next = vec![0.0f32; hidden];
+        let mut dc_next = vec![0.0f32; hidden];
+        let mut dc_prev = vec![0.0f32; hidden];
+        let mut da_feed = vec![0.0f32; hidden]; // from step t+1's input slice
+        for t in (0..steps).rev() {
+            let dfeat = dfeats.row(t);
+            let ds_out = &dfeat[..hidden];
+            // Total context gradient: from the output layer and from
+            // the next step's input feeding.
+            let mut da_total = dfeat[hidden..].to_vec();
+            kernel::axpy(&mut da_total, 1.0, &da_feed);
+            let ds_attn = self.attention.backward(
+                &attn_caches[t],
+                &feats.row(t)[..hidden],
+                &enc_states,
+                &da_total,
+                &mut grads.attention,
+                &mut d_enc,
+            );
+            let mut dh = ds_attn;
+            kernel::axpy(&mut dh, 1.0, ds_out);
+            kernel::axpy(&mut dh, 1.0, &dh_next);
+            self.decoder.backward_gates_into(
+                dec_gates.row(t),
+                dec_tanh_c.row(t),
+                dec_cprevs.row(t),
+                &dh,
+                &dc_next,
+                dzs.row_mut(t),
+                &mut dc_prev,
+            );
+            let dz = dzs.row(t);
+            let dx = self.decoder.v.matvec_t(dz);
+            if self.dec_embed_trainable {
+                kernel::axpy(grads.dec_embed.row_mut(prev_tokens[t]), 1.0, &dx[..dec_dim]);
+            }
+            da_feed.copy_from_slice(&dx[dec_dim..]);
+            dh_next = self.decoder.u.matvec_t(dz);
+            std::mem::swap(&mut dc_next, &mut dc_prev);
+        }
+        // The first step's context is zeros — da_feed is dropped.
+        // Decoder weight gradients, batched over all steps.
+        kernel::add_matmul_tn(&mut grads.decoder.v, &dzs, &dec_xs);
+        kernel::add_matmul_tn(&mut grads.decoder.u, &dzs, &dec_hprevs);
+        for t in 0..steps {
+            kernel::axpy(&mut grads.decoder.b, 1.0, dzs.row(t));
+        }
+        // The decoder-init gradient flows into the encoder's final state.
+        let last = d_enc.rows - 1;
+        kernel::axpy(d_enc.row_mut(last), 1.0, &dh_next);
+
+        // ---------------- encoder backward (batched) ----------------
+        if let Some(cache) = &enc_cache {
+            let (dxs, _, _) =
+                self.encoder
+                    .backward_seq(cache, &d_enc, &dc_next, &mut grads.encoder);
+            for (t, &id) in enc_inputs.iter().enumerate() {
+                kernel::axpy(grads.enc_embed.row_mut(id), 1.0, dxs.row(t));
             }
         }
 
@@ -470,8 +539,9 @@ impl Seq2Seq {
         dec_targets.push(EOS);
         let mut loss = 0.0f32;
         let mut correct = 0usize;
+        let mut scratch = DecodeScratch::new();
         for (t, &prev) in dec_inputs.iter().enumerate() {
-            let (logp, next) = self.decode_step(&enc, &st, prev);
+            let (logp, next) = self.decode_step_scratch(&enc, &st, prev, &mut scratch);
             let target = dec_targets[t].min(self.config.output_vocab - 1);
             loss -= logp[target];
             let argmax = logp
@@ -728,6 +798,27 @@ mod tests {
         let (loss, _, total) = model.evaluate(&[], &[4]);
         assert!(loss.is_finite());
         assert_eq!(total, 2); // token + EOS
+
+        // And still trains (the encoder is skipped, not the decoder).
+        let mut grads = Seq2SeqGrads::zeros(&model);
+        let (loss, _, _) = model.forward_backward(&[], &[4], &mut grads);
+        assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn decode_step_scratch_matches_fresh_buffers() {
+        let model = Seq2Seq::new(tiny_config());
+        let enc = model.encode(&[4, 5, 6]);
+        let st = model.decoder_init(&enc);
+        let (logp_fresh, next_fresh) = model.decode_step(&enc, &st, BOS);
+        let mut scratch = DecodeScratch::new();
+        // Dirty the scratch with a first call, then decode the same
+        // step again: reused buffers must not leak state.
+        let _ = model.decode_step_scratch(&enc, &st, 5, &mut scratch);
+        let (logp, next) = model.decode_step_scratch(&enc, &st, BOS, &mut scratch);
+        assert_eq!(logp, logp_fresh);
+        assert_eq!(next.state.h, next_fresh.state.h);
+        assert_eq!(next.context, next_fresh.context);
     }
 
     #[test]

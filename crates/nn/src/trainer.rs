@@ -3,6 +3,15 @@
 //! `[-0.1, 0.1]` initialization, model selection on validation loss,
 //! and the early-stopping rule of Exp 3 (stop when the training-loss
 //! fluctuation falls below a threshold).
+//!
+//! Minibatches are gradient-accumulated: each item's
+//! [`Seq2Seq::forward_backward`] fills a [`Seq2SeqGrads`], and with
+//! [`TrainOptions::parallel`] the items fan out across scoped worker
+//! threads (the same pattern as `narrate_batch_parallel` in
+//! `lantern-core`). Each worker owns a private accumulator; partials
+//! merge in a fixed slice order, so a run is deterministic for a given
+//! machine, and a `batch_size` of 1 is bit-identical to the sequential
+//! path regardless of `parallel`.
 
 use crate::seq2seq::{Seq2Seq, Seq2SeqGrads};
 use rand::rngs::StdRng;
@@ -30,6 +39,14 @@ pub struct TrainOptions {
     pub early_stop_fluctuation: Option<f32>,
     /// Shuffle seed.
     pub seed: u64,
+    /// Fan minibatch items out across scoped worker threads (capped by
+    /// `available_parallelism` and the batch size; a single-item batch
+    /// always runs in-thread). Off by default: the slice boundaries
+    /// follow the machine's core count, so parallel results at
+    /// `batch_size > 1` are reproducible per machine but not across
+    /// machines — opt in where throughput beats cross-host
+    /// bit-reproducibility.
+    pub parallel: bool,
 }
 
 impl Default for TrainOptions {
@@ -41,6 +58,7 @@ impl Default for TrainOptions {
             clip: 5.0,
             early_stop_fluctuation: Some(0.001),
             seed: 0,
+            parallel: false,
         }
     }
 }
@@ -108,6 +126,64 @@ impl TrainReport {
     }
 }
 
+/// Accumulate one minibatch's gradients into `grads` (which the caller
+/// has cleared) and return the summed per-item loss. With `parallel`,
+/// the chunk splits into contiguous slices, one scoped worker per
+/// slice, each filling a private accumulator; partials merge in slice
+/// order so the result does not depend on thread scheduling.
+fn accumulate_batch(
+    model: &Seq2Seq,
+    train: &[Pair],
+    chunk: &[usize],
+    grads: &mut Seq2SeqGrads,
+    parallel: bool,
+) -> f32 {
+    let workers = if parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(chunk.len())
+    } else {
+        1
+    };
+    if workers <= 1 {
+        let mut batch_loss = 0.0f32;
+        for &i in chunk {
+            let (input, target) = &train[i];
+            let (loss, _, _) = model.forward_backward(input, target, grads);
+            batch_loss += loss;
+        }
+        return batch_loss;
+    }
+    let slice_len = chunk.len().div_ceil(workers);
+    let partials: Vec<(f32, Seq2SeqGrads)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunk
+            .chunks(slice_len)
+            .map(|slice| {
+                scope.spawn(move || {
+                    let mut local = Seq2SeqGrads::zeros(model);
+                    let mut loss = 0.0f32;
+                    for &i in slice {
+                        let (input, target) = &train[i];
+                        loss += model.forward_backward(input, target, &mut local).0;
+                    }
+                    (loss, local)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("minibatch worker panicked"))
+            .collect()
+    });
+    let mut batch_loss = 0.0f32;
+    for (loss, local) in &partials {
+        batch_loss += loss;
+        grads.merge(local);
+    }
+    batch_loss
+}
+
 /// Trainer owning the shuffle RNG.
 pub struct Trainer {
     options: TrainOptions,
@@ -136,12 +212,8 @@ impl Trainer {
             let mut batches = 0usize;
             for chunk in order.chunks(self.options.batch_size.max(1)) {
                 grads.clear();
-                let mut batch_loss = 0.0f32;
-                for &i in chunk {
-                    let (input, target) = &train[i];
-                    let (loss, _, _) = model.forward_backward(input, target, &mut grads);
-                    batch_loss += loss;
-                }
+                let batch_loss =
+                    accumulate_batch(model, train, chunk, &mut grads, self.options.parallel);
                 model.apply_gradients(
                     &mut grads,
                     self.options.learning_rate / chunk.len() as f32,
@@ -249,6 +321,7 @@ mod tests {
             clip: 5.0,
             early_stop_fluctuation: None,
             seed: 1,
+            parallel: true,
         };
         let report = Trainer::new(options).train(&mut model, &train, &val);
         let first = &report.epochs[0];
@@ -286,6 +359,7 @@ mod tests {
             clip: 5.0,
             early_stop_fluctuation: None,
             seed: 2,
+            parallel: true,
         };
         let report = Trainer::new(options).train(&mut model, train, val);
         // The restored model's val loss equals the best epoch's.
@@ -311,6 +385,7 @@ mod tests {
                 clip: 5.0,
                 early_stop_fluctuation: None,
                 seed: 3,
+                parallel: true,
             };
             Trainer::new(options)
                 .train(&mut model, train, val)
@@ -320,5 +395,67 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn batch_size_one_parallel_is_bitwise_sequential() {
+        // A single-item minibatch never splits, so the parallel trainer
+        // must reproduce the sequential trainer exactly — same losses,
+        // same weights — on any machine.
+        let run = |parallel: bool| {
+            let mut model = tiny_model(6);
+            let data = copy_pairs();
+            let (train, val) = data.split_at(30);
+            let options = TrainOptions {
+                epochs: 3,
+                batch_size: 1,
+                learning_rate: 0.2,
+                clip: 5.0,
+                early_stop_fluctuation: None,
+                seed: 4,
+                parallel,
+            };
+            let report = Trainer::new(options).train(&mut model, train, val);
+            let losses: Vec<f32> = report.epochs.iter().map(|e| e.train_loss).collect();
+            (
+                losses,
+                model.w_out.data.clone(),
+                model.encoder.v.data.clone(),
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn parallel_minibatch_converges_like_sequential() {
+        // Beyond batch_size=1 the merge order differs from pure
+        // sequential accumulation, so losses need not be bitwise equal
+        // — but both must converge on the copy task.
+        let run = |parallel: bool| {
+            let mut model = tiny_model(7);
+            let data = copy_pairs();
+            let options = TrainOptions {
+                epochs: 90,
+                batch_size: 6,
+                learning_rate: 0.5,
+                clip: 5.0,
+                early_stop_fluctuation: None,
+                seed: 5,
+                parallel,
+            };
+            let report = Trainer::new(options).train(&mut model, &data, &data[..8]);
+            (
+                report.epochs.first().unwrap().val_loss,
+                report
+                    .epochs
+                    .iter()
+                    .map(|e| e.val_loss)
+                    .fold(f32::INFINITY, f32::min),
+            )
+        };
+        for parallel in [false, true] {
+            let (first, best) = run(parallel);
+            assert!(best < first * 0.5, "parallel={parallel}: {first} -> {best}");
+        }
     }
 }

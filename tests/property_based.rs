@@ -141,3 +141,71 @@ fn random_generated_queries_plan_and_execute_without_panic() {
         exec::execute(&plan, &db).expect("executes");
     }
 }
+
+// ------------------------------------------------------- GEMM kernels
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The blocked `matmul` / `matmul_t` kernels agree with the naive
+    /// per-element reference within 1e-5 (relative to magnitude) on
+    /// random shapes straddling the lane/tile boundaries.
+    #[test]
+    fn blocked_matmul_matches_naive_reference(
+        dims in (any::<u8>(), any::<u8>(), any::<u8>(), any::<u64>())
+    ) {
+        use lantern::nn::kernel::{matmul, matmul_naive, matmul_t, matmul_t_naive};
+        use lantern::nn::matrix::seeded_rng;
+        use lantern::nn::Matrix;
+        let (m, k, n, seed) = dims;
+        let (m, k, n) = ((m % 17 + 1) as usize, (k % 65 + 1) as usize, (n % 17 + 1) as usize);
+        let mut rng = seeded_rng(seed);
+        let a = Matrix::uniform(m, k, 0.5, &mut rng);
+        let b = Matrix::uniform(k, n, 0.5, &mut rng);
+        let bt = Matrix::uniform(n, k, 0.5, &mut rng);
+        let (fast, slow) = (matmul(&a, &b), matmul_naive(&a, &b));
+        for (x, y) in fast.data.iter().zip(&slow.data) {
+            prop_assert!((x - y).abs() <= 1e-5 * y.abs().max(1.0), "matmul {x} vs {y}");
+        }
+        let (fast, slow) = (matmul_t(&a, &bt), matmul_t_naive(&a, &bt));
+        for (x, y) in fast.data.iter().zip(&slow.data) {
+            prop_assert!((x - y).abs() <= 1e-5 * y.abs().max(1.0), "matmul_t {x} vs {y}");
+        }
+    }
+
+    /// The fused `gemm_bias_act` agrees with the two-pass naive
+    /// reference for every activation, and `add_matmul_tn` (the
+    /// batched weight-gradient accumulate) with its reference.
+    #[test]
+    fn fused_and_accumulating_kernels_match_naive(
+        dims in (any::<u8>(), any::<u8>(), any::<u8>(), any::<u64>())
+    ) {
+        use lantern::nn::kernel::{
+            add_matmul_tn, add_matmul_tn_naive, gemm_bias_act, gemm_bias_act_naive, Activation,
+        };
+        use lantern::nn::matrix::seeded_rng;
+        use lantern::nn::Matrix;
+        let (m, k, n, seed) = dims;
+        let (m, k, n) = ((m % 17 + 1) as usize, (k % 65 + 1) as usize, (n % 17 + 1) as usize);
+        let mut rng = seeded_rng(seed);
+        let a = Matrix::uniform(m, k, 0.5, &mut rng);
+        let bt = Matrix::uniform(n, k, 0.5, &mut rng);
+        let bias: Vec<f32> = (0..n).map(|i| (i as f32).sin() * 0.3).collect();
+        for act in [Activation::Identity, Activation::Sigmoid, Activation::Tanh] {
+            let fast = gemm_bias_act(&a, &bt, &bias, act);
+            let slow = gemm_bias_act_naive(&a, &bt, &bias, act);
+            for (x, y) in fast.data.iter().zip(&slow.data) {
+                prop_assert!((x - y).abs() <= 1e-5 * y.abs().max(1.0), "{act:?} {x} vs {y}");
+            }
+        }
+        let ta = Matrix::uniform(k, m, 0.5, &mut rng);
+        let tb = Matrix::uniform(k, n, 0.5, &mut rng);
+        let mut fast = Matrix::uniform(m, n, 0.5, &mut rng);
+        let mut slow = fast.clone();
+        add_matmul_tn(&mut fast, &ta, &tb);
+        add_matmul_tn_naive(&mut slow, &ta, &tb);
+        for (x, y) in fast.data.iter().zip(&slow.data) {
+            prop_assert!((x - y).abs() <= 1e-5 * y.abs().max(1.0), "add_matmul_tn {x} vs {y}");
+        }
+    }
+}
