@@ -1,0 +1,130 @@
+//! Requests/sec through the HTTP narration service on an 8-query TPC-H
+//! workload: the serving-layer overhead and the batched-endpoint win,
+//! measured over real loopback sockets.
+//!
+//! Three paths deliver the same artifact (8 rendered narrations):
+//!
+//! * **in-process narrate** — the `Translator` API with no HTTP at
+//!   all: the floor the service is measured against;
+//! * **POST /narrate ×8** — one request per plan on a keep-alive
+//!   connection (request parsing, routing, JSON wire format, socket
+//!   round-trips);
+//! * **POST /narrate/batch** — all 8 plans in one envelope, fanned
+//!   through `narrate_batch` (one POEM snapshot, worker fan-out) and
+//!   one socket round-trip.
+//!
+//! On a single core the batch endpoint's win is amortized HTTP (one
+//! round-trip instead of eight); on multi-core hosts the fan-out
+//! multiplies it.
+//!
+//! Run with: `cargo bench --bench serve_throughput`
+//! (`LANTERN_BENCH_SCALE` scales the iteration count.)
+
+use lantern_bench::{bench_scale, tpch_workload, BenchContext, TableReport};
+use lantern_core::{NarrationRequest, RuleTranslator, Translator};
+use lantern_plan::plan_to_pg_json;
+use lantern_serve::{serve, HttpClient, ServeConfig};
+use lantern_text::json::JsonValue;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let ctx = BenchContext::new();
+    let workload: Vec<String> = tpch_workload().into_iter().take(8).collect();
+    let reqs: Vec<NarrationRequest> = ctx.narration_requests(&ctx.tpch, &workload);
+    assert_eq!(reqs.len(), 8, "all 8 TPC-H queries must plan");
+    // Serialize each plan as the PG-JSON document a client would POST.
+    let docs: Vec<String> = reqs
+        .iter()
+        .map(|r| plan_to_pg_json(&r.resolve_tree().expect("tree request")))
+        .collect();
+    let batch_body =
+        JsonValue::Array(docs.iter().cloned().map(JsonValue::String).collect()).to_string_compact();
+
+    let rule = RuleTranslator::new(ctx.store.clone());
+    let handle = serve(
+        RuleTranslator::new(ctx.store.clone()),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .expect("bind ephemeral port");
+    let mut client = HttpClient::connect(handle.addr()).expect("connect");
+
+    let iters = ((200.0 * bench_scale()) as usize).max(20);
+
+    // Warm-up: prime the snapshot cache, the connection, and the route.
+    for _ in 0..10 {
+        let in_process: Vec<_> = reqs.iter().map(|r| rule.narrate(r)).collect();
+        black_box(in_process);
+        for doc in &docs {
+            assert_eq!(client.post("/narrate", doc).expect("narrate").status, 200);
+        }
+        assert_eq!(
+            client
+                .post("/narrate/batch", &batch_body)
+                .expect("batch")
+                .status,
+            200
+        );
+    }
+
+    // Floor: the same narrations with no serving layer at all.
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let out: Vec<_> = reqs.iter().map(|r| rule.narrate(r)).collect();
+        black_box(out);
+    }
+    let in_process = t0.elapsed();
+
+    // One HTTP request per plan, keep-alive connection.
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for doc in &docs {
+            black_box(client.post("/narrate", doc).expect("narrate"));
+        }
+    }
+    let single = t0.elapsed();
+
+    // All 8 plans per request through the batch endpoint.
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(client.post("/narrate/batch", &batch_body).expect("batch"));
+    }
+    let batched = t0.elapsed();
+
+    let n = (iters * docs.len()) as f64;
+    let thr = |elapsed: std::time::Duration| n / elapsed.as_secs_f64();
+
+    let mut report = TableReport::new(
+        "Service throughput, 8-plan TPC-H workload over loopback HTTP (plans/s)",
+        &["path", "plans/s", "vs in-process"],
+    );
+    report.row(&[
+        "in-process narrate (no HTTP)".to_string(),
+        format!("{:.0}", thr(in_process)),
+        "1.00x".to_string(),
+    ]);
+    report.row(&[
+        "POST /narrate x8 (keep-alive)".to_string(),
+        format!("{:.0}", thr(single)),
+        format!("{:.2}x", in_process.as_secs_f64() / single.as_secs_f64()),
+    ]);
+    report.row(&[
+        "POST /narrate/batch (one envelope)".to_string(),
+        format!("{:.0}", thr(batched)),
+        format!("{:.2}x", in_process.as_secs_f64() / batched.as_secs_f64()),
+    ]);
+    report.print();
+    println!(
+        "batch endpoint speedup over per-plan requests: {:.2}x \
+         ({} worker thread(s), {} HTTP requests total)",
+        single.as_secs_f64() / batched.as_secs_f64(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        iters * (docs.len() + 1),
+    );
+
+    drop(client);
+    handle.shutdown().expect("clean shutdown");
+}

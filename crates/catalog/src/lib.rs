@@ -15,6 +15,23 @@
 //!   categorical columns) that drive realistic plan choices, and
 //! * per-column statistics ([`stats`]) consumed by the cost-based
 //!   planner in `lantern-engine`.
+//!
+//! # Example
+//!
+//! ```
+//! use lantern_catalog::{datagen, tpch_catalog};
+//!
+//! let catalog = tpch_catalog();
+//! let orders = catalog.table("orders").expect("TPC-H has orders");
+//! assert!(orders.column("o_orderstatus").is_some());
+//!
+//! // Deterministic synthetic data at a chosen scale (same seed, same
+//! // rows — everywhere, every run):
+//! let data = datagen::generate_table(&catalog, orders, 0.001, 42);
+//! let again = datagen::generate_table(&catalog, orders, 0.001, 42);
+//! assert!(!data.columns.is_empty());
+//! assert_eq!(data.columns, again.columns);
+//! ```
 
 pub mod datagen;
 pub mod schema;

@@ -110,6 +110,51 @@ impl fmt::Display for LanternError {
     }
 }
 
+impl LanternError {
+    /// Stable machine-readable error kind, used as the `error.kind`
+    /// field of the service wire format (see `lantern-serve` and
+    /// `docs/SERVING.md`). One value per variant; these strings are a
+    /// compatibility surface — add new ones, never rename.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LanternError::EmptyInput => "empty_input",
+            LanternError::UnknownFormat { .. } => "unknown_format",
+            LanternError::Parse { .. } => "parse",
+            LanternError::UnknownOperator { .. } => "unknown_operator",
+            LanternError::Plan { .. } => "plan",
+            LanternError::Backend { .. } => "backend",
+            LanternError::Config { .. } => "config",
+        }
+    }
+
+    /// The HTTP status a narration service should answer with when this
+    /// error terminates a request.
+    ///
+    /// The mapping follows the error's locus of blame:
+    ///
+    /// * the *document* is unusable (empty, unclassifiable, or does not
+    ///   parse as its detected vendor format) → `400 Bad Request`;
+    /// * the document is well-formed but the *plan* cannot be narrated
+    ///   (structurally invalid tree, or an operator the POEM catalog
+    ///   has no entry for — the paper's US 5 failure) →
+    ///   `422 Unprocessable Content`;
+    /// * the selected *backend* cannot handle an otherwise valid
+    ///   request (e.g. NEURON has no hard-coded rule for a vendor) →
+    ///   `501 Not Implemented`;
+    /// * the *service* itself is mis-assembled → `500 Internal Server
+    ///   Error`.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            LanternError::EmptyInput
+            | LanternError::UnknownFormat { .. }
+            | LanternError::Parse { .. } => 400,
+            LanternError::UnknownOperator { .. } | LanternError::Plan { .. } => 422,
+            LanternError::Backend { .. } => 501,
+            LanternError::Config { .. } => 500,
+        }
+    }
+}
+
 impl std::error::Error for LanternError {}
 
 impl From<CoreError> for LanternError {
@@ -665,6 +710,69 @@ mod tests {
         assert!(out[0].is_ok());
         assert!(matches!(out[1], Err(LanternError::Parse { .. })));
         assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn error_kinds_and_statuses_are_stable() {
+        // Every variant has a distinct kind string; the service wire
+        // format (lantern-serve, docs/SERVING.md) depends on these
+        // exact values, so this test is the rename tripwire.
+        let variants = [
+            (LanternError::EmptyInput, "empty_input", 400),
+            (
+                LanternError::UnknownFormat {
+                    snippet: "x".into(),
+                },
+                "unknown_format",
+                400,
+            ),
+            (
+                LanternError::Parse {
+                    format: PlanFormat::PgJson,
+                    message: "m".into(),
+                },
+                "parse",
+                400,
+            ),
+            (
+                LanternError::UnknownOperator {
+                    source: "pg".into(),
+                    op: "X".into(),
+                },
+                "unknown_operator",
+                422,
+            ),
+            (
+                LanternError::Plan {
+                    message: "m".into(),
+                },
+                "plan",
+                422,
+            ),
+            (
+                LanternError::Backend {
+                    backend: "neuron".into(),
+                    message: "m".into(),
+                },
+                "backend",
+                501,
+            ),
+            (
+                LanternError::Config {
+                    message: "m".into(),
+                },
+                "config",
+                500,
+            ),
+        ];
+        let mut kinds: Vec<&str> = variants.iter().map(|(e, ..)| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), variants.len(), "kinds must be distinct");
+        for (err, kind, status) in &variants {
+            assert_eq!(err.kind(), *kind);
+            assert_eq!(err.http_status(), *status);
+        }
     }
 
     #[test]

@@ -20,6 +20,25 @@
 //!
 //! Ships default operator catalogs for the `pg` (PostgreSQL-style) and
 //! `mssql` (SQL Server-style) sources.
+//!
+//! # Example
+//!
+//! POOL is how subject-matter experts maintain the catalog without
+//! touching translator code:
+//!
+//! ```
+//! use lantern_pool::{default_pg_store, execute, PoolValue};
+//!
+//! let store = default_pg_store();
+//! let result = execute("SELECT desc FROM pg WHERE name = 'hashjoin'", &store).unwrap();
+//! let PoolValue::Rows { rows, .. } = result else { panic!("projected SELECT") };
+//! assert!(rows[0][0].as_deref().unwrap().contains("hash join"));
+//!
+//! // Narration hot paths never query the live store; they read an
+//! // immutable indexed snapshot taken with one lock acquisition:
+//! let snapshot = store.snapshot();
+//! assert!(snapshot.len() > 0);
+//! ```
 
 pub mod defaults;
 pub mod lang;

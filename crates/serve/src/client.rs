@@ -1,0 +1,118 @@
+//! A minimal blocking HTTP/1.1 client, just big enough to exercise the
+//! server from tests, examples, and benches without `curl` — one
+//! keep-alive connection, `Content-Length` bodies only.
+
+use lantern_text::json::{JsonError, JsonValue};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body as UTF-8 text.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Parse the body as JSON.
+    pub fn json(&self) -> Result<JsonValue, JsonError> {
+        JsonValue::parse(&self.body)
+    }
+}
+
+/// One keep-alive connection to a narration server.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connect, with a generous request timeout so a wedged test fails
+    /// instead of hanging.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a body.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Issue one request on the connection and read the full response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        let body = body.unwrap_or("");
+        // One write for head + body (see `http::write_response` for the
+        // Nagle rationale).
+        let mut wire = format!(
+            "{method} {path} HTTP/1.1\r\nHost: lantern\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        wire.extend_from_slice(body.as_bytes());
+        self.writer.write_all(&wire)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        // "HTTP/1.1 200 OK"
+        let status = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| io::Error::other(format!("malformed status line {line:?}")))?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| io::Error::other("bad Content-Length"))?;
+                }
+                headers.push((name, value));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body =
+            String::from_utf8(body).map_err(|_| io::Error::other("response body is not UTF-8"))?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

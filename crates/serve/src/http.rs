@@ -1,0 +1,423 @@
+//! Minimal HTTP/1.1 message support: exactly the subset the narration
+//! service needs (request line + headers + `Content-Length` bodies,
+//! keep-alive, plain-status responses), implemented over
+//! [`std::io::BufRead`] so it works on any stream.
+//!
+//! This is deliberately not a general HTTP implementation. Chunked
+//! transfer encoding, continuation lines, trailers, and HTTP/2 are all
+//! rejected with explicit statuses rather than half-supported.
+
+use std::io::{self, BufRead, Write};
+
+/// Cap on the request line + header block, defending the worker pool
+/// against unbounded header streams.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased by the wire (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path component of the request target (no query string).
+    pub path: String,
+    /// Query parameters in order of appearance, as raw `key=value`
+    /// pairs (the service's parameters never need percent-decoding).
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the connection should be kept open after responding
+    /// (HTTP/1.1 default unless `Connection: close`).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or `None` when it isn't valid UTF-8.
+    pub fn body_utf8(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Why a request could not be read off the wire. Each variant maps to
+/// the HTTP status the server answers with before closing.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The peer closed the connection cleanly between requests.
+    ConnectionClosed,
+    /// An I/O failure (including read timeouts on idle keep-alive
+    /// connections).
+    Io(io::Error),
+    /// Malformed request line or header block → `400`.
+    Malformed(String),
+    /// Head grew beyond [`MAX_HEAD_BYTES`] → `431`.
+    HeadTooLarge,
+    /// Body advertised more than the configured cap → `413`.
+    BodyTooLarge { advertised: usize, limit: usize },
+    /// `POST` without a `Content-Length` → `411`.
+    LengthRequired,
+    /// `Transfer-Encoding` (chunked uploads) is not supported → `501`.
+    UnsupportedTransferEncoding,
+}
+
+impl RequestError {
+    /// The status code the server should answer with (`None` when the
+    /// connection just ended and no answer is possible or needed).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            RequestError::ConnectionClosed | RequestError::Io(_) => None,
+            RequestError::Malformed(_) => Some(400),
+            RequestError::HeadTooLarge => Some(431),
+            RequestError::BodyTooLarge { .. } => Some(413),
+            RequestError::LengthRequired => Some(411),
+            RequestError::UnsupportedTransferEncoding => Some(501),
+        }
+    }
+
+    /// Human-readable diagnostic for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            RequestError::ConnectionClosed => "connection closed".into(),
+            RequestError::Io(e) => format!("i/o error: {e}"),
+            RequestError::Malformed(m) => m.clone(),
+            RequestError::HeadTooLarge => {
+                format!("request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+            RequestError::BodyTooLarge { advertised, limit } => {
+                format!("request body of {advertised} bytes exceeds the {limit}-byte limit")
+            }
+            RequestError::LengthRequired => "POST requires a Content-Length header".into(),
+            RequestError::UnsupportedTransferEncoding => {
+                "Transfer-Encoding is not supported; send a Content-Length body".into()
+            }
+        }
+    }
+}
+
+/// Read one request off a buffered stream.
+///
+/// `max_body_bytes` bounds the accepted `Content-Length`. Returns
+/// [`RequestError::ConnectionClosed`] on clean EOF before any byte of a
+/// new request (the normal end of a keep-alive connection).
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    max_body_bytes: usize,
+) -> Result<Request, RequestError> {
+    let mut head = Vec::with_capacity(512);
+    // Accumulate up to the blank line separating head from body.
+    loop {
+        let n = read_line_into(reader, &mut head)?;
+        if n == 0 {
+            return if head.is_empty() {
+                Err(RequestError::ConnectionClosed)
+            } else {
+                Err(RequestError::Malformed("truncated request head".into()))
+            };
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::HeadTooLarge);
+        }
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            break;
+        }
+    }
+    let head = std::str::from_utf8(&head)
+        .map_err(|_| RequestError::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => {
+            return Err(RequestError::Malformed(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::Malformed(format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    // HTTP/1.0 defaults to close; 1.1 defaults to keep-alive.
+    let keep_alive = match connection.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => version == "HTTP/1.1",
+    };
+
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(RequestError::UnsupportedTransferEncoding);
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => Some(
+            v.parse::<usize>()
+                .map_err(|_| RequestError::Malformed(format!("invalid Content-Length {v:?}")))?,
+        ),
+        None => None,
+    };
+    let body_len = match (method, content_length) {
+        (_, Some(n)) if n > max_body_bytes => {
+            return Err(RequestError::BodyTooLarge {
+                advertised: n,
+                limit: max_body_bytes,
+            })
+        }
+        (_, Some(n)) => n,
+        ("POST" | "PUT" | "PATCH", None) => return Err(RequestError::LengthRequired),
+        (_, None) => 0,
+    };
+    let mut body = vec![0u8; body_len];
+    if body_len > 0 {
+        io::Read::read_exact(reader, &mut body).map_err(RequestError::Io)?;
+    }
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// Read one `\n`-terminated line, appending (terminator included) to
+/// `buf`; returns the number of bytes read (0 on EOF).
+fn read_line_into<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>) -> Result<usize, RequestError> {
+    let before = buf.len();
+    // `take` bounds each line so a single unterminated line can't grow
+    // past the head cap either.
+    let mut limited = io::Read::take(&mut *reader, (MAX_HEAD_BYTES + 2) as u64);
+    limited
+        .read_until(b'\n', buf)
+        .map_err(RequestError::Io)
+        .map(|_| buf.len() - before)
+}
+
+/// An HTTP response about to be written to the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (reason phrase derived via [`status_reason`]).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+}
+
+/// Canonical reason phrase for the statuses the service emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize `response` onto the wire, flagging whether the connection
+/// stays open. Head and body go out in a single `write_all` so the
+/// response is one TCP segment when it fits — two small writes would
+/// hand Nagle's algorithm a reason to stall the body behind a delayed
+/// ACK.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        status_reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut wire = Vec::with_capacity(head.len() + response.body.len());
+    wire.extend_from_slice(head.as_bytes());
+    wire.extend_from_slice(&response.body);
+    writer.write_all(&wire)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse("GET /narrate?style=bulleted&x HTTP/1.1\r\nHost: a\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/narrate");
+        assert_eq!(req.query_param("style"), Some("bulleted"));
+        assert_eq!(req.query_param("x"), Some(""));
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_post_with_body_and_close() {
+        let req =
+            parse("POST /narrate HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\nbody")
+                .unwrap();
+        assert_eq!(req.body_utf8(), Some("body"));
+        assert!(!req.keep_alive);
+        assert_eq!(req.header("content-length"), Some("4"));
+        assert_eq!(req.header("Content-Length"), Some("4"));
+    }
+
+    #[test]
+    fn http_10_defaults_to_close() {
+        let req = parse("GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_connection_closed() {
+        assert!(matches!(parse(""), Err(RequestError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET /x HTTP/2\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert_eq!(err.status(), Some(400), "{raw:?} → {err:?}");
+        }
+    }
+
+    #[test]
+    fn post_without_length_is_411_and_chunked_is_501() {
+        assert_eq!(
+            parse("POST /narrate HTTP/1.1\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            Some(411)
+        );
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            Some(501)
+        );
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let err = parse("POST /x HTTP/1.1\r\nContent-Length: 2048\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), Some(413));
+        assert!(err.message().contains("2048"), "{}", err.message());
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let huge = format!(
+            "GET /x HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert_eq!(parse(&huge).unwrap_err().status(), Some(431));
+    }
+
+    #[test]
+    fn response_wire_form_is_exact() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, r#"{"ok":true}"#), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn two_requests_on_one_connection() {
+        let raw = "GET /healthz HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(raw.as_bytes());
+        assert_eq!(read_request(&mut reader, 1024).unwrap().path, "/healthz");
+        assert_eq!(read_request(&mut reader, 1024).unwrap().path, "/stats");
+        assert!(matches!(
+            read_request(&mut reader, 1024),
+            Err(RequestError::ConnectionClosed)
+        ));
+    }
+}

@@ -1,0 +1,64 @@
+//! # lantern-serve
+//!
+//! A long-lived narration service over the unified
+//! [`Translator`](lantern_core::Translator) API: the layer that turns
+//! the reproduction from a library into the interactive system the
+//! paper describes — students paste an `EXPLAIN` artifact at one end
+//! and read prose back at the other.
+//!
+//! The server is **std-only** (a threaded [`std::net::TcpListener`]
+//! HTTP/1.1 loop with a bounded worker pool), consistent with the
+//! workspace's offline-shim constraint: no async runtime, no HTTP
+//! crate, no serde. Request and response bodies use the in-tree JSON
+//! value model (`lantern_text::json`) and the stable
+//! `Narration::to_json` wire format.
+//!
+//! ## Endpoints
+//!
+//! | Method | Path | Body | Response |
+//! |---|---|---|---|
+//! | `POST` | `/narrate` | one raw plan document (PG JSON or SQL Server XML, auto-detected) | narration object |
+//! | `POST` | `/narrate/batch` | JSON array of plan-document strings | array of per-item narration objects / error objects |
+//! | `GET` | `/healthz` | — | liveness + backend name |
+//! | `GET` | `/stats` | — | request counters |
+//!
+//! Both narrate endpoints accept a `?style=numbered|bulleted|paragraph`
+//! query parameter. Failures map to HTTP statuses through
+//! [`LanternError::http_status`](lantern_core::LanternError::http_status)
+//! and carry a structured `{"error": {...}}` body. `docs/SERVING.md` in
+//! the repository root is the full endpoint reference.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lantern_core::RuleTranslator;
+//! use lantern_pool::default_pg_store;
+//! use lantern_serve::{serve, HttpClient, ServeConfig};
+//!
+//! // Bind an ephemeral port; `serve` returns once the listener is live.
+//! let translator = RuleTranslator::new(default_pg_store());
+//! let handle = serve(translator, "127.0.0.1:0", ServeConfig::default()).unwrap();
+//!
+//! let mut client = HttpClient::connect(handle.addr()).unwrap();
+//! let doc = r#"{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}"#;
+//! let resp = client.post("/narrate", doc).unwrap();
+//! assert_eq!(resp.status, 200);
+//! assert!(resp.body.contains("sequential scan on orders"));
+//!
+//! drop(client);
+//! handle.shutdown().unwrap();
+//! ```
+//!
+//! The root crate wires this into the builder
+//! (`LanternBuilder::serve(addr)`) and ships a `lantern-serve` binary;
+//! `cargo run --example serve_demo` is a scripted end-to-end tour.
+
+pub mod client;
+pub mod http;
+pub mod router;
+pub mod server;
+
+pub use client::{ClientResponse, HttpClient};
+pub use http::{Request, Response};
+pub use router::{error_body, Router};
+pub use server::{serve, ServeConfig, ServeStats, ServerHandle, StatsSnapshot};

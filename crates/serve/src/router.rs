@@ -1,0 +1,487 @@
+//! Request routing: maps parsed HTTP requests onto the
+//! [`Translator`] API and renders responses in the service wire
+//! format.
+//!
+//! The wire format (see `docs/SERVING.md`):
+//!
+//! * success — `{"backend": "...", "text": "...", "narration":
+//!   {"steps": [...]}}` where `narration` is exactly
+//!   [`Narration::to_json`](lantern_core::Narration::to_json);
+//! * failure — `{"error": {"kind": "...", "message": "...",
+//!   "status": N}}` with the status code duplicated in the HTTP
+//!   status line, mapped through [`LanternError::http_status`].
+
+use crate::http::{Request, Response};
+use crate::server::ServeStats;
+use lantern_core::{LanternError, NarrationRequest, NarrationResponse, RenderStyle, Translator};
+use lantern_text::json::JsonValue;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+/// The `{"error": {...}}` JSON body for a narration failure.
+pub fn error_body(err: &LanternError) -> JsonValue {
+    error_body_raw(err.kind(), &err.to_string(), err.http_status())
+}
+
+/// An error body for failures that never reached the translator
+/// (routing and HTTP protocol errors).
+pub fn error_body_raw(kind: &str, message: &str, status: u16) -> JsonValue {
+    let mut inner = BTreeMap::new();
+    inner.insert("kind".to_string(), JsonValue::String(kind.to_string()));
+    inner.insert(
+        "message".to_string(),
+        JsonValue::String(message.to_string()),
+    );
+    inner.insert("status".to_string(), JsonValue::Number(status as f64));
+    let mut obj = BTreeMap::new();
+    obj.insert("error".to_string(), JsonValue::Object(inner));
+    JsonValue::Object(obj)
+}
+
+/// A complete HTTP error response (body + status) for a narration
+/// failure.
+pub fn error_response(err: &LanternError) -> Response {
+    Response::json(err.http_status(), error_body(err).to_string_compact())
+}
+
+fn narration_value(resp: &NarrationResponse) -> JsonValue {
+    let mut obj = BTreeMap::new();
+    obj.insert(
+        "backend".to_string(),
+        JsonValue::String(resp.backend.clone()),
+    );
+    obj.insert("text".to_string(), JsonValue::String(resp.text.clone()));
+    obj.insert("narration".to_string(), resp.narration.to_json_value());
+    JsonValue::Object(obj)
+}
+
+fn parse_style(raw: &str) -> Result<RenderStyle, String> {
+    match raw {
+        "numbered" => Ok(RenderStyle::Numbered),
+        "bulleted" => Ok(RenderStyle::Bulleted),
+        "paragraph" => Ok(RenderStyle::Paragraph),
+        other => Err(format!(
+            "unknown style {other:?} (expected numbered, bulleted, or paragraph)"
+        )),
+    }
+}
+
+/// Routes requests for one service instance: holds the translator, the
+/// shared counters, and the derived backend name.
+pub struct Router<T> {
+    translator: T,
+    stats: std::sync::Arc<ServeStats>,
+}
+
+impl<T: Translator> Router<T> {
+    /// A router over `translator`, recording into `stats`.
+    pub fn new(translator: T, stats: std::sync::Arc<ServeStats>) -> Self {
+        Router { translator, stats }
+    }
+
+    /// Dispatch one parsed request to its handler.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.stats.requests_total.fetch_add(1, Ordering::Relaxed);
+        let response = match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/narrate") => self.narrate(req),
+            ("POST", "/narrate/batch") => self.narrate_batch(req),
+            ("GET", "/healthz") => self.healthz(),
+            ("GET", "/stats") => self.stats(),
+            (_, "/narrate" | "/narrate/batch" | "/healthz" | "/stats") => Response::json(
+                405,
+                error_body_raw(
+                    "http",
+                    &format!("method {} not allowed on {}", req.method, req.path),
+                    405,
+                )
+                .to_string_compact(),
+            ),
+            _ => {
+                self.stats.not_found.fetch_add(1, Ordering::Relaxed);
+                Response::json(
+                    404,
+                    error_body_raw("http", &format!("no route for {}", req.path), 404)
+                        .to_string_compact(),
+                )
+            }
+        };
+        if response.status >= 400 {
+            self.stats.error_responses.fetch_add(1, Ordering::Relaxed);
+        }
+        response
+    }
+
+    /// Per-request style override from `?style=`, if present. A value
+    /// outside the known set is the *client's* mistake: `Err` carries a
+    /// ready-made 400 response, not a translator error.
+    fn style_of(req: &Request) -> Result<Option<RenderStyle>, Response> {
+        match req.query_param("style").map(parse_style).transpose() {
+            Ok(style) => Ok(style),
+            Err(message) => Err(Response::json(
+                400,
+                error_body_raw("style", &message, 400).to_string_compact(),
+            )),
+        }
+    }
+
+    fn build_request(
+        doc: &str,
+        style: Option<RenderStyle>,
+    ) -> Result<NarrationRequest, LanternError> {
+        let mut narration_req = NarrationRequest::auto(doc)?;
+        if let Some(style) = style {
+            narration_req = narration_req.with_style(style);
+        }
+        Ok(narration_req)
+    }
+
+    /// `POST /narrate` — the body is one raw plan document, vendor
+    /// format auto-detected.
+    fn narrate(&self, req: &Request) -> Response {
+        self.stats.narrate_requests.fetch_add(1, Ordering::Relaxed);
+        let style = match Self::style_of(req) {
+            Ok(style) => style,
+            Err(response) => return response,
+        };
+        let Some(doc) = req.body_utf8() else {
+            return error_response(&LanternError::Parse {
+                format: lantern_core::PlanFormat::PgJson,
+                message: "request body is not valid UTF-8".into(),
+            });
+        };
+        match Self::build_request(doc, style).and_then(|r| self.translator.narrate(&r)) {
+            Ok(resp) => {
+                self.stats.narrate_ok.fetch_add(1, Ordering::Relaxed);
+                Response::json(200, narration_value(&resp).to_string_compact())
+            }
+            Err(err) => {
+                self.stats.narrate_errors.fetch_add(1, Ordering::Relaxed);
+                error_response(&err)
+            }
+        }
+    }
+
+    /// `POST /narrate/batch` — the body is a JSON array of plan
+    /// document strings. The envelope must parse (else 400); individual
+    /// documents fail *per item* so one bad plan doesn't reject the
+    /// classmates batched with it.
+    fn narrate_batch(&self, req: &Request) -> Response {
+        self.stats.batch_requests.fetch_add(1, Ordering::Relaxed);
+        let style = match Self::style_of(req) {
+            Ok(style) => style,
+            Err(response) => return response,
+        };
+        let Some(body) = req.body_utf8() else {
+            return Response::json(
+                400,
+                error_body_raw("parse", "request body is not valid UTF-8", 400).to_string_compact(),
+            );
+        };
+        let docs = match JsonValue::parse(body) {
+            Ok(JsonValue::Array(items)) => items,
+            Ok(_) => {
+                return Response::json(
+                    400,
+                    error_body_raw(
+                        "parse",
+                        "batch body must be a JSON array of plan document strings",
+                        400,
+                    )
+                    .to_string_compact(),
+                )
+            }
+            Err(e) => {
+                return Response::json(
+                    400,
+                    error_body_raw("parse", &format!("batch body is not JSON: {e}"), 400)
+                        .to_string_compact(),
+                )
+            }
+        };
+        let mut items: Vec<Result<NarrationRequest, LanternError>> = Vec::with_capacity(docs.len());
+        for doc in &docs {
+            items.push(match doc.as_str() {
+                Some(doc) => Self::build_request(doc, style),
+                None => Err(LanternError::Parse {
+                    format: lantern_core::PlanFormat::PgJson,
+                    message: "batch entries must be plan document strings".into(),
+                }),
+            });
+        }
+        self.stats
+            .batch_items
+            .fetch_add(items.len() as u64, Ordering::Relaxed);
+
+        // Fan the well-formed requests through `narrate_batch` (one
+        // POEM snapshot, threaded fan-out), then stitch per-item
+        // detection errors back in at their original positions. The Ok
+        // requests are moved out, not cloned — each one owns its raw
+        // plan document, up to `max_body_bytes` of it.
+        let mut good: Vec<NarrationRequest> = Vec::with_capacity(docs.len());
+        let placements: Vec<Result<(), LanternError>> = items
+            .into_iter()
+            .map(|item| item.map(|req| good.push(req)))
+            .collect();
+        let mut narrated = self.translator.narrate_batch(&good).into_iter();
+        let mut out = Vec::with_capacity(placements.len());
+        for placement in placements {
+            let result = match placement {
+                // A conforming backend returns one result per request;
+                // treat a short answer as that backend's error rather
+                // than panicking the worker.
+                Ok(()) => narrated.next().unwrap_or_else(|| {
+                    Err(LanternError::Backend {
+                        backend: self.translator.backend().to_string(),
+                        message: "backend returned fewer batch results than requests".into(),
+                    })
+                }),
+                Err(e) => Err(e),
+            };
+            out.push(match result {
+                Ok(resp) => {
+                    self.stats.narrate_ok.fetch_add(1, Ordering::Relaxed);
+                    narration_value(&resp)
+                }
+                Err(err) => {
+                    self.stats.narrate_errors.fetch_add(1, Ordering::Relaxed);
+                    error_body(&err)
+                }
+            });
+        }
+        Response::json(200, JsonValue::Array(out).to_string_compact())
+    }
+
+    /// `GET /healthz` — liveness plus which backend is live.
+    fn healthz(&self) -> Response {
+        let mut obj = BTreeMap::new();
+        obj.insert("status".to_string(), JsonValue::String("ok".to_string()));
+        obj.insert(
+            "backend".to_string(),
+            JsonValue::String(self.translator.backend().to_string()),
+        );
+        obj.insert(
+            "uptime_ms".to_string(),
+            JsonValue::Number(self.stats.uptime().as_millis() as f64),
+        );
+        Response::json(200, JsonValue::Object(obj).to_string_compact())
+    }
+
+    /// `GET /stats` — the counter snapshot.
+    fn stats(&self) -> Response {
+        Response::json(
+            200,
+            self.stats.snapshot().to_json_value().to_string_compact(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lantern_core::RuleTranslator;
+    use lantern_pool::{default_mssql_store, default_pg_store};
+    use std::sync::Arc;
+
+    const PG_DOC: &str = r#"{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}"#;
+    const XML_DOC: &str = r#"<ShowPlanXML><BatchSequence><Batch><Statements><StmtSimple>
+        <QueryPlan><RelOp PhysicalOp="Table Scan"><Object Table="photoobj"/></RelOp></QueryPlan>
+        </StmtSimple></Statements></Batch></BatchSequence></ShowPlanXML>"#;
+
+    fn router() -> Router<RuleTranslator> {
+        Router::new(
+            RuleTranslator::new(default_mssql_store()),
+            Arc::new(ServeStats::new()),
+        )
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        crate::http::read_request(&mut std::io::BufReader::new(raw.as_bytes()), 1 << 20).unwrap()
+    }
+
+    fn get(path: &str) -> Request {
+        let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
+        crate::http::read_request(&mut std::io::BufReader::new(raw.as_bytes()), 1 << 20).unwrap()
+    }
+
+    #[test]
+    fn narrate_round_trips_both_vendors() {
+        let router = router();
+        for (doc, needle) in [
+            (PG_DOC, "sequential scan on orders"),
+            (XML_DOC, "table scan on photoobj"),
+        ] {
+            let resp = router.handle(&post("/narrate", doc));
+            assert_eq!(resp.status, 200);
+            let value = JsonValue::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+            let text = value.get("text").and_then(JsonValue::as_str).unwrap();
+            assert!(text.contains(needle), "{text}");
+            assert_eq!(
+                value.get("backend").and_then(JsonValue::as_str),
+                Some("rule")
+            );
+            // The narration field is the stable wire format.
+            let narration = lantern_core::Narration::from_json(
+                &value.get("narration").unwrap().to_string_compact(),
+            )
+            .unwrap();
+            assert!(!narration.steps().is_empty());
+        }
+    }
+
+    #[test]
+    fn style_query_parameter_applies() {
+        let router = router();
+        let resp = router.handle(&post("/narrate?style=bulleted", PG_DOC));
+        let value = JsonValue::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(value
+            .get("text")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .starts_with("- "));
+        // Unknown styles are a client error, not a crash.
+        let resp = router.handle(&post("/narrate?style=sonnet", PG_DOC));
+        assert_eq!(resp.status, 400);
+        let value = JsonValue::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            value
+                .get("error")
+                .unwrap()
+                .get("kind")
+                .and_then(JsonValue::as_str),
+            Some("style")
+        );
+    }
+
+    /// Table-driven: every `LanternError` variant the service can
+    /// surface maps to its intended status and `error.kind`.
+    #[test]
+    fn error_to_http_mapping_table() {
+        let router = router();
+        let cases: &[(&str, &str, u16, &str)] = &[
+            ("/narrate", "", 400, "empty_input"),
+            ("/narrate", "EXPLAIN SELECT 1", 400, "unknown_format"),
+            ("/narrate", r#"{"Plan": {"Node Type"#, 400, "parse"),
+            ("/narrate", "<html><body/></html>", 400, "parse"),
+            (
+                // A childless Hash clustered under its join is the
+                // structurally-invalid-plan case (auxiliary operator
+                // with nothing to build from).
+                "/narrate",
+                r#"{"Plan": {"Node Type": "Hash Join", "Hash Cond": "(a.x = b.y)",
+                    "Plans": [{"Node Type": "Seq Scan", "Relation Name": "a"},
+                              {"Node Type": "Hash"}]}}"#,
+                422,
+                "plan",
+            ),
+        ];
+        for (path, body, status, kind) in cases {
+            let resp = router.handle(&post(path, body));
+            assert_eq!(resp.status, *status, "{body:?}");
+            let value = JsonValue::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+            let err = value.get("error").expect("error body");
+            assert_eq!(err.get("kind").and_then(JsonValue::as_str), Some(*kind));
+            assert_eq!(
+                err.get("status").and_then(JsonValue::as_f64),
+                Some(*status as f64)
+            );
+            assert!(err.get("message").and_then(JsonValue::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn unknown_operator_maps_to_422() {
+        // A pg-only catalog cannot narrate the mssql plan.
+        let router = Router::new(
+            RuleTranslator::new(default_pg_store()),
+            Arc::new(ServeStats::new()),
+        );
+        let resp = router.handle(&post("/narrate", XML_DOC));
+        assert_eq!(resp.status, 422);
+        let value = JsonValue::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            value
+                .get("error")
+                .unwrap()
+                .get("kind")
+                .and_then(JsonValue::as_str),
+            Some("unknown_operator")
+        );
+    }
+
+    #[test]
+    fn batch_mixes_successes_and_per_item_errors() {
+        let router = router();
+        let body = format!(
+            "[{}, {}, \"not a plan\"]",
+            JsonValue::String(PG_DOC.to_string()).to_string_compact(),
+            JsonValue::String(XML_DOC.to_string()).to_string_compact(),
+        );
+        let resp = router.handle(&post("/narrate/batch", &body));
+        assert_eq!(resp.status, 200);
+        let JsonValue::Array(items) =
+            JsonValue::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+        else {
+            panic!("batch response must be an array");
+        };
+        assert_eq!(items.len(), 3);
+        assert!(items[0].get("text").is_some());
+        assert!(items[1].get("text").is_some());
+        assert_eq!(
+            items[2]
+                .get("error")
+                .unwrap()
+                .get("kind")
+                .and_then(JsonValue::as_str),
+            Some("unknown_format")
+        );
+    }
+
+    #[test]
+    fn batch_envelope_failures_are_400() {
+        let router = router();
+        for body in ["not json", r#"{"plans": []}"#] {
+            let resp = router.handle(&post("/narrate/batch", body));
+            assert_eq!(resp.status, 400, "{body:?}");
+        }
+        // Non-string entries are per-item errors, not envelope errors.
+        let resp = router.handle(&post("/narrate/batch", "[42]"));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn healthz_and_stats_and_routing_misses() {
+        let router = router();
+        let health = router.handle(&get("/healthz"));
+        assert_eq!(health.status, 200);
+        let value = JsonValue::parse(std::str::from_utf8(&health.body).unwrap()).unwrap();
+        assert_eq!(value.get("status").and_then(JsonValue::as_str), Some("ok"));
+        assert_eq!(
+            value.get("backend").and_then(JsonValue::as_str),
+            Some("rule")
+        );
+
+        assert_eq!(router.handle(&get("/nope")).status, 404);
+        assert_eq!(router.handle(&get("/narrate")).status, 405);
+
+        let _ = router.handle(&post("/narrate", PG_DOC));
+        let stats = router.handle(&get("/stats"));
+        let value = JsonValue::parse(std::str::from_utf8(&stats.body).unwrap()).unwrap();
+        assert_eq!(
+            value.get("narrate_ok").and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            value.get("not_found").and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+        // requests_total counts narrate + healthz + 404 + 405 + stats.
+        assert_eq!(
+            value.get("requests_total").and_then(JsonValue::as_f64),
+            Some(5.0)
+        );
+    }
+}

@@ -1,0 +1,529 @@
+//! The long-lived server loop: a [`TcpListener`] accept thread feeding
+//! a bounded worker pool over a [`std::sync::mpsc::sync_channel`], with
+//! keep-alive connection handling, shared atomic counters, and graceful
+//! shutdown.
+//!
+//! Backpressure is structural: accepted connections queue in the
+//! bounded channel; when every worker is busy and the queue is full the
+//! accept thread blocks, which pushes further arrivals into the OS
+//! accept backlog instead of growing unbounded in-process state.
+
+use crate::http::{read_request, write_response, Response};
+use crate::router::{error_body_raw, Router};
+use lantern_core::Translator;
+use lantern_text::json::JsonValue;
+use std::collections::BTreeMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for [`serve`]. `Default` suits tests and the classroom
+/// binary alike; every field has a CLI flag on `lantern-serve`.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling connections. `0` means
+    /// `available_parallelism` (min 2, so one slow request can't
+    /// starve the health check on a single-core host).
+    pub workers: usize,
+    /// Accepted connections that may queue waiting for a worker before
+    /// the accept thread blocks.
+    pub queue_depth: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+    /// Idle read timeout on keep-alive connections; an idle connection
+    /// is closed after this long so workers can't be parked forever.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_depth: 64,
+            max_body_bytes: 4 * 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(2)
+    }
+}
+
+/// Shared atomic counters, incremented by the router and the
+/// connection loop; snapshot with [`ServeStats::snapshot`].
+#[derive(Debug)]
+pub struct ServeStats {
+    /// TCP connections accepted.
+    pub connections: AtomicU64,
+    /// HTTP requests routed (any endpoint, any outcome).
+    pub requests_total: AtomicU64,
+    /// `POST /narrate` requests received.
+    pub narrate_requests: AtomicU64,
+    /// `POST /narrate/batch` requests received.
+    pub batch_requests: AtomicU64,
+    /// Plan documents received inside batch envelopes.
+    pub batch_items: AtomicU64,
+    /// Narrations completed (single + batch items).
+    pub narrate_ok: AtomicU64,
+    /// Narrations failed (single + batch items).
+    pub narrate_errors: AtomicU64,
+    /// Requests for unknown paths.
+    pub not_found: AtomicU64,
+    /// Responses with status ≥ 400, protocol errors included.
+    pub error_responses: AtomicU64,
+    /// Panics contained by the worker pool (each cost one connection,
+    /// never a worker).
+    pub panics: AtomicU64,
+    started: Instant,
+}
+
+impl ServeStats {
+    /// Fresh zeroed counters.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        ServeStats {
+            connections: AtomicU64::new(0),
+            requests_total: AtomicU64::new(0),
+            narrate_requests: AtomicU64::new(0),
+            batch_requests: AtomicU64::new(0),
+            batch_items: AtomicU64::new(0),
+            narrate_ok: AtomicU64::new(0),
+            narrate_errors: AtomicU64::new(0),
+            not_found: AtomicU64::new(0),
+            error_responses: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Time since the stats (i.e. the server) came up.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// A consistent-enough copy of the counters (each counter is read
+    /// once, atomically; the set is not cross-counter atomic).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            narrate_requests: self.narrate_requests.load(Ordering::Relaxed),
+            batch_requests: self.batch_requests.load(Ordering::Relaxed),
+            batch_items: self.batch_items.load(Ordering::Relaxed),
+            narrate_ok: self.narrate_ok.load(Ordering::Relaxed),
+            narrate_errors: self.narrate_errors.load(Ordering::Relaxed),
+            not_found: self.not_found.load(Ordering::Relaxed),
+            error_responses: self.error_responses.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            uptime_ms: self.uptime().as_millis() as u64,
+        }
+    }
+}
+
+/// Plain-data counter snapshot, also the `GET /stats` response body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// See [`ServeStats::connections`].
+    pub connections: u64,
+    /// See [`ServeStats::requests_total`].
+    pub requests_total: u64,
+    /// See [`ServeStats::narrate_requests`].
+    pub narrate_requests: u64,
+    /// See [`ServeStats::batch_requests`].
+    pub batch_requests: u64,
+    /// See [`ServeStats::batch_items`].
+    pub batch_items: u64,
+    /// See [`ServeStats::narrate_ok`].
+    pub narrate_ok: u64,
+    /// See [`ServeStats::narrate_errors`].
+    pub narrate_errors: u64,
+    /// See [`ServeStats::not_found`].
+    pub not_found: u64,
+    /// See [`ServeStats::error_responses`].
+    pub error_responses: u64,
+    /// See [`ServeStats::panics`].
+    pub panics: u64,
+    /// Milliseconds since the server came up.
+    pub uptime_ms: u64,
+}
+
+impl StatsSnapshot {
+    /// The snapshot as the `GET /stats` JSON object.
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut obj = BTreeMap::new();
+        for (key, value) in [
+            ("connections", self.connections),
+            ("requests_total", self.requests_total),
+            ("narrate_requests", self.narrate_requests),
+            ("batch_requests", self.batch_requests),
+            ("batch_items", self.batch_items),
+            ("narrate_ok", self.narrate_ok),
+            ("narrate_errors", self.narrate_errors),
+            ("not_found", self.not_found),
+            ("error_responses", self.error_responses),
+            ("panics", self.panics),
+            ("uptime_ms", self.uptime_ms),
+        ] {
+            obj.insert(key.to_string(), JsonValue::Number(value as f64));
+        }
+        JsonValue::Object(obj)
+    }
+}
+
+/// Handle to a running server: address introspection, live stats, and
+/// graceful shutdown. Dropping the handle also shuts the server down
+/// (best-effort, errors swallowed).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServeStats>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual ephemeral
+    /// port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counter snapshot, without going through `GET /stats`.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued connections,
+    /// finish in-flight requests, join every thread.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> io::Result<()> {
+        if self.accept_thread.is_none() {
+            return Ok(());
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept thread is parked in `accept()`; poke it awake with
+        // a throwaway connection so it observes the flag. A wildcard
+        // bind (0.0.0.0 / [::]) is not connectable everywhere, so the
+        // poke targets the loopback equivalent of the bound port.
+        let mut poke_addr = self.addr;
+        if poke_addr.ip().is_unspecified() {
+            poke_addr.set_ip(match poke_addr {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&poke_addr, Duration::from_secs(1));
+        if let Some(t) = self.accept_thread.take() {
+            t.join()
+                .map_err(|_| io::Error::other("accept thread panicked"))?;
+        }
+        // Accept thread exit drops the queue sender; workers drain what
+        // is queued, then see the disconnect and stop.
+        for worker in self.workers.drain(..) {
+            worker
+                .join()
+                .map_err(|_| io::Error::other("worker thread panicked"))?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = self.shutdown_inner();
+    }
+}
+
+/// Boot a narration server over `translator` on `addr`.
+///
+/// Returns once the listener is bound and the worker pool is up; the
+/// returned [`ServerHandle`] outlives this call and owns every spawned
+/// thread. Bind `"127.0.0.1:0"` to get an ephemeral port (read it back
+/// with [`ServerHandle::addr`]).
+pub fn serve<T>(
+    translator: T,
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+) -> io::Result<ServerHandle>
+where
+    T: Translator + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServeStats::new());
+    let router = Arc::new(Router::new(translator, Arc::clone(&stats)));
+
+    let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.queue_depth);
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    let workers = (0..config.effective_workers())
+        .map(|_| {
+            let conn_rx = Arc::clone(&conn_rx);
+            let router = Arc::clone(&router);
+            let shutdown = Arc::clone(&shutdown);
+            let config = config.clone();
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || worker_loop(&conn_rx, &*router, &config, &shutdown, &stats))
+        })
+        .collect();
+
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                if conn_tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            // `conn_tx` drops here; workers drain and stop.
+        })
+    };
+
+    Ok(ServerHandle {
+        addr: local_addr,
+        shutdown,
+        stats,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+fn worker_loop<T: Translator>(
+    conn_rx: &Mutex<Receiver<TcpStream>>,
+    router: &Router<T>,
+    config: &ServeConfig,
+    shutdown: &AtomicBool,
+    stats: &ServeStats,
+) {
+    loop {
+        // Hold the lock only for the dequeue, never while serving.
+        let conn = match conn_rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        match conn {
+            Ok(stream) => {
+                // A panic while serving (a buggy Translator impl, say)
+                // must not shrink the pool for the server's lifetime:
+                // contain it to the connection and keep the worker.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = handle_connection(stream, router, config, shutdown, stats);
+                }));
+                if outcome.is_err() {
+                    stats.panics.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => return, // channel disconnected: shutdown
+        }
+    }
+}
+
+/// Serve one connection until the peer closes, a protocol error
+/// terminates it, keep-alive is declined, or shutdown begins.
+fn handle_connection<T: Translator>(
+    stream: TcpStream,
+    router: &Router<T>,
+    config: &ServeConfig,
+    shutdown: &AtomicBool,
+    stats: &ServeStats,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    // Responses are written as one buffer; without NODELAY the kernel
+    // would still sit on them waiting for ACKs between keep-alive
+    // requests.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader, config.max_body_bytes) {
+            Ok(request) => {
+                let response = router.handle(&request);
+                // Stop advertising keep-alive once shutdown begins so
+                // draining connections wind down promptly.
+                let keep_alive = request.keep_alive && !shutdown.load(Ordering::SeqCst);
+                write_response(&mut writer, &response, keep_alive)?;
+                if !keep_alive {
+                    return Ok(());
+                }
+            }
+            Err(err) => {
+                // Protocol errors get a best-effort structured reply on
+                // the way out; clean EOF and I/O errors just close.
+                if let Some(status) = err.status() {
+                    stats.error_responses.fetch_add(1, Ordering::Relaxed);
+                    let body = error_body_raw("http", &err.message(), status);
+                    let response = Response::json(status, body.to_string_compact());
+                    let _ = write_response(&mut writer, &response, false);
+                }
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use lantern_core::RuleTranslator;
+    use lantern_pool::default_pg_store;
+
+    fn boot() -> ServerHandle {
+        serve(
+            RuleTranslator::new(default_pg_store()),
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn serves_keep_alive_requests_on_one_connection() {
+        let handle = boot();
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        for _ in 0..3 {
+            let resp = client
+                .post(
+                    "/narrate",
+                    r#"{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}"#,
+                )
+                .unwrap();
+            assert_eq!(resp.status, 200);
+            assert!(resp.body.contains("sequential scan on orders"));
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.narrate_ok, 3);
+        assert_eq!(stats.connections, 1, "keep-alive reuses one connection");
+        drop(client);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn protocol_errors_answer_before_closing() {
+        let handle = boot();
+        use std::io::{Read, Write};
+        let mut raw = TcpStream::connect(handle.addr()).unwrap();
+        raw.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        raw.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+        assert!(buf.contains("\"kind\":\"http\""), "{buf}");
+        drop(raw);
+        // Protocol-level failures count toward error_responses too.
+        assert_eq!(handle.stats().error_responses, 1);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_then_connect_refused() {
+        let handle = boot();
+        let addr = handle.addr();
+        let mut client = HttpClient::connect(addr).unwrap();
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        drop(client);
+        handle.shutdown().unwrap();
+        // The listener is gone: a fresh connection cannot complete an
+        // HTTP exchange (bind may be refused outright, or accepted by
+        // the OS backlog and then reset).
+        let refused = match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+            Err(_) => true,
+            Ok(mut stream) => {
+                use std::io::{Read, Write};
+                stream
+                    .set_read_timeout(Some(Duration::from_millis(500)))
+                    .unwrap();
+                let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+                let mut buf = Vec::new();
+                matches!(stream.read_to_end(&mut buf), Ok(0) | Err(_))
+            }
+        };
+        assert!(refused, "server still answering after shutdown");
+    }
+
+    #[test]
+    fn panics_are_contained_per_connection() {
+        use lantern_core::{NarrationRequest, NarrationResponse};
+
+        struct Panicky;
+        impl Translator for Panicky {
+            fn backend(&self) -> &str {
+                "panicky"
+            }
+            fn narrate(
+                &self,
+                _req: &NarrationRequest,
+            ) -> Result<NarrationResponse, lantern_core::LanternError> {
+                panic!("translator bug")
+            }
+        }
+
+        // One worker: if the panic killed it, nothing could ever answer
+        // again.
+        let handle = serve(
+            Panicky,
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut doomed = HttpClient::connect(handle.addr()).unwrap();
+        // The panic drops the connection mid-exchange; the client sees
+        // an error, not a hang.
+        assert!(doomed.post("/narrate", "{}").is_err());
+        drop(doomed);
+
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        assert_eq!(handle.stats().panics, 1);
+        drop(client);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn drop_shuts_down_quietly() {
+        // Dropping the handle must join every thread without hanging or
+        // panicking; reaching the end of this test is the assertion.
+        let handle = boot();
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        drop(client);
+        drop(handle);
+    }
+}

@@ -15,6 +15,26 @@
 //!
 //! Harnesses reproduce Figure 3, Figures 8(b)–(d), Figures 9(a)–(c),
 //! Table 7, and user studies US 2–US 6.
+//!
+//! # Example
+//!
+//! A miniature Table-7-style run: a sampled population reads two
+//! narration streams — one repetitive, one varied — and the repetitive
+//! stream bores more learners:
+//!
+//! ```
+//! use lantern_study::{boredom_study, Population};
+//!
+//! let repetitive = vec!["perform scan on t.".to_string(); 12];
+//! let varied: Vec<String> =
+//!     (0..12).map(|i| format!("step {i}: scan table t{i} and join.")).collect();
+//! let conditions = vec![
+//!     ("repetitive".to_string(), repetitive),
+//!     ("varied".to_string(), varied),
+//! ];
+//! let report = boredom_study(&mut Population::sample(20, 7), &conditions);
+//! assert!(report.bored_count("repetitive") >= report.bored_count("varied"));
+//! ```
 
 pub mod boredom;
 pub mod learner;

@@ -9,7 +9,26 @@
 //! exchanged in PostgreSQL-style JSON `EXPLAIN` output and SQL
 //! Server-style XML showplans; the sanctioned offline dependency set has
 //! no `serde_json`/XML crate, so this crate ships minimal, fully tested
-//! implementations.
+//! implementations. The same [`JsonValue`] model renders every
+//! narration-service response body (see `lantern-serve`).
+//!
+//! # Example
+//!
+//! ```
+//! use lantern_text::{bleu, tokenize, BleuConfig};
+//! use lantern_text::json::JsonValue;
+//!
+//! // Tokenize + BLEU, the metric the paper evaluates translations with:
+//! let hyp = tokenize("perform hash join on t1 and t2");
+//! let r = tokenize("perform hash join on t1 and t2");
+//! let refs: Vec<&[String]> = vec![&r];
+//! assert!((bleu(&hyp, &refs, BleuConfig::default()) - 1.0).abs() < 1e-9);
+//!
+//! // Deterministic JSON (sorted keys), used for plan parsing and the
+//! // service wire format:
+//! let v = JsonValue::parse(r#"{"b": 1, "a": [true, null]}"#).unwrap();
+//! assert_eq!(v.to_string_compact(), r#"{"a":[true,null],"b":1}"#);
+//! ```
 
 pub mod bleu;
 pub mod edit;

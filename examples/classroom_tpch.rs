@@ -5,17 +5,16 @@
 //!
 //! Run with: `cargo run --release --example classroom_tpch`
 
-use lantern::catalog::tpch_catalog;
-use lantern::core::RuleLantern;
-use lantern::engine::{exec, explain::explain, Database, ExplainFormat, Planner};
-use lantern::pool::default_pg_store;
-use lantern::sql::parse_sql;
+use lantern::engine::{exec, explain::explain};
+use lantern::prelude::*;
 
 fn main() {
     let db = Database::generate(&tpch_catalog(), 0.0005, 2024);
     let planner = Planner::new(&db);
-    let store = default_pg_store();
-    let rule = RuleLantern::new(&store);
+    let service = LanternBuilder::new()
+        .store(PoemStore::with_default_pg_operators())
+        .build()
+        .expect("valid configuration");
 
     let sql = "SELECT c.c_mktsegment, COUNT(*) AS orders_cnt, AVG(o.o_totalprice) \
                FROM customer c, orders o WHERE c.c_custkey = o.o_custkey \
@@ -37,8 +36,10 @@ fn main() {
     println!("  ...\n");
 
     println!("--- LANTERN narration -------------------------------------");
-    let narration = rule.narrate(&plan.tree()).expect("narrates");
-    println!("{}\n", narration.text());
+    let response = service
+        .narrate(&NarrationRequest::from(&plan))
+        .expect("narrates");
+    println!("{}\n", response.text);
 
     println!("--- Query result (the engine actually runs it) ------------");
     let result = exec::execute(&plan, &db).expect("executes");

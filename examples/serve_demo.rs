@@ -1,0 +1,88 @@
+//! End-to-end tour of the narration service: boot a server on an
+//! ephemeral port, round-trip single and batched narrations over real
+//! sockets, show an error response, read the stats, shut down.
+//!
+//! Run with: `cargo run --example serve_demo`
+
+use lantern::prelude::*;
+
+const PG_DOC: &str = r#"{"Plan": {"Node Type": "Aggregate",
+    "Plans": [{"Node Type": "Hash Join",
+        "Hash Cond": "((i.proceeding_key) = (p.pub_key))",
+        "Plans": [
+            {"Node Type": "Seq Scan", "Relation Name": "inproceedings"},
+            {"Node Type": "Hash",
+             "Plans": [{"Node Type": "Seq Scan", "Relation Name": "publication",
+                        "Filter": "title LIKE '%July%'"}]}
+        ]}]}}"#;
+
+const XML_DOC: &str = r#"<ShowPlanXML><BatchSequence><Batch><Statements><StmtSimple>
+    <QueryPlan><RelOp PhysicalOp="Table Scan"><Object Table="photoobj"/></RelOp></QueryPlan>
+    </StmtSimple></Statements></Batch></BatchSequence></ShowPlanXML>"#;
+
+fn main() {
+    // One builder call: assemble the default rule service and boot the
+    // HTTP loop on an ephemeral port.
+    let handle = LanternBuilder::new().serve("127.0.0.1:0").unwrap();
+    println!("serving on http://{}\n", handle.addr());
+
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+
+    // Liveness.
+    let health = client.get("/healthz").unwrap();
+    println!("GET /healthz          → {} {}", health.status, health.body);
+
+    // Single narration: the paper's Figure 4 plan, pasted as a raw
+    // PostgreSQL EXPLAIN (FORMAT JSON) document.
+    let resp = client.post("/narrate", PG_DOC).unwrap();
+    let text = resp
+        .json()
+        .unwrap()
+        .get("text")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .unwrap();
+    println!("\nPOST /narrate         → {}\n{text}\n", resp.status);
+
+    // Same endpoint, SQL Server artifact, bulleted rendering.
+    let resp = client.post("/narrate?style=bulleted", XML_DOC).unwrap();
+    let text = resp
+        .json()
+        .unwrap()
+        .get("text")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .unwrap();
+    println!(
+        "POST /narrate?style=bulleted (SQL Server XML) → {}\n{text}\n",
+        resp.status
+    );
+
+    // Batched: a JSON array of documents, one result per entry — the
+    // malformed classmate fails alone, per item.
+    let batch_body = format!(
+        "[{}, {}, \"this is not a plan\"]",
+        lantern::text::json::JsonValue::String(PG_DOC.to_string()).to_string_compact(),
+        lantern::text::json::JsonValue::String(XML_DOC.to_string()).to_string_compact(),
+    );
+    let resp = client.post("/narrate/batch", &batch_body).unwrap();
+    println!("POST /narrate/batch   → {}", resp.status);
+    if let lantern::text::json::JsonValue::Array(items) = resp.json().unwrap() {
+        for (i, item) in items.iter().enumerate() {
+            match item.get("text").and_then(|v| v.as_str()) {
+                Some(text) => println!("  [{i}] ok: {}…", &text[..text.len().min(60)]),
+                None => println!("  [{i}] err: {}", item.to_string_compact()),
+            }
+        }
+    }
+
+    // Error mapping: an empty document is a 400 with a structured body.
+    let resp = client.post("/narrate", "").unwrap();
+    println!("\nPOST /narrate (empty) → {} {}", resp.status, resp.body);
+
+    // Service counters.
+    let stats = client.get("/stats").unwrap();
+    println!("\nGET /stats            → {}", stats.body);
+
+    drop(client);
+    handle.shutdown().unwrap();
+    println!("\nserver drained and shut down cleanly");
+}

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example train_neural`
 
 use lantern::catalog::dblp_catalog;
-use lantern::core::RuleLantern;
+use lantern::core::{NarrationRequest, RuleTranslator, Translator};
 use lantern::engine::Database;
 use lantern::neural::{NeuralLantern, Qep2SeqConfig};
 use lantern::plan::{PlanNode, PlanTree};
@@ -46,10 +46,11 @@ fn main() {
             ),
     );
 
-    let rule = RuleLantern::new(&store);
+    let request = NarrationRequest::from_tree(&tree);
+    let rule = RuleTranslator::new(store.clone());
     println!("RULE-LANTERN (always the same wording):");
-    println!("{}\n", rule.narrate(&tree).expect("narrates").text());
+    println!("{}\n", rule.narrate(&request).expect("narrates").text);
 
     println!("NEURAL-LANTERN (varied wording, concrete values restored):");
-    println!("{}", neural.describe_text(&tree).expect("translates"));
+    println!("{}", neural.narrate(&request).expect("translates").text);
 }

@@ -1,0 +1,127 @@
+//! `lantern-serve`: the long-lived narration server binary.
+//!
+//! Boots a [`LanternService`](lantern::LanternService) behind the
+//! std-only HTTP server in `lantern-serve` and runs until killed.
+//! `docs/SERVING.md` documents the endpoints; try:
+//!
+//! ```bash
+//! cargo run --bin lantern-serve -- --addr 127.0.0.1:8080 &
+//! curl -s http://127.0.0.1:8080/healthz
+//! curl -s -X POST --data-binary \
+//!   '{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}' \
+//!   http://127.0.0.1:8080/narrate
+//! ```
+
+use lantern::builder::{Backend, LanternBuilder};
+use lantern::core::RenderStyle;
+use lantern::serve::ServeConfig;
+use std::time::Duration;
+
+const USAGE: &str = "\
+lantern-serve — HTTP narration service over the LANTERN translators
+
+USAGE:
+    lantern-serve [OPTIONS]
+
+OPTIONS:
+    --addr <HOST:PORT>    Listen address [default: 127.0.0.1:8080]
+    --backend <NAME>      rule | neuron [default: rule]
+                          (the neural backend needs a trained model;
+                          embed it via LanternBuilder::neural_model)
+    --style <NAME>        numbered | bulleted | paragraph
+                          [default: numbered]
+    --paraphrase          Enable the paraphrase output layer
+    --workers <N>         Worker threads (0 = one per core) [default: 0]
+    --help                Print this help
+";
+
+struct Args {
+    addr: String,
+    backend: Backend,
+    style: RenderStyle,
+    paraphrase: bool,
+    workers: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:8080".to_string(),
+        backend: Backend::Rule,
+        style: RenderStyle::Numbered,
+        paraphrase: false,
+        workers: 0,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--backend" => {
+                args.backend = match value("--backend")?.as_str() {
+                    "rule" => Backend::Rule,
+                    "neuron" => Backend::Neuron,
+                    other => return Err(format!("unknown backend {other:?}")),
+                }
+            }
+            "--style" => {
+                args.style = match value("--style")?.as_str() {
+                    "numbered" => RenderStyle::Numbered,
+                    "bulleted" => RenderStyle::Bulleted,
+                    "paragraph" => RenderStyle::Paragraph,
+                    other => return Err(format!("unknown style {other:?}")),
+                }
+            }
+            "--paraphrase" => args.paraphrase = true,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let handle = LanternBuilder::new()
+        .backend(args.backend)
+        .style(args.style)
+        .paraphrase(args.paraphrase)
+        .build()
+        .expect("assemble service")
+        .serve(
+            &args.addr,
+            ServeConfig {
+                workers: args.workers,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: failed to bind {}: {e}", args.addr);
+            std::process::exit(1);
+        });
+    // The smoke-test lane greps for this exact line before curling.
+    println!("lantern-serve listening on http://{}", handle.addr());
+    println!(
+        "endpoints: POST /narrate, POST /narrate/batch, GET /healthz, GET /stats (see docs/SERVING.md)"
+    );
+    // Serve until the process is killed; the worker pool does the work.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -24,6 +24,8 @@ use lantern_neural::NeuralLantern;
 use lantern_neuron::Neuron;
 use lantern_paraphrase::ParaphrasedTranslator;
 use lantern_pool::{default_mssql_store, PoemStore};
+use lantern_serve::{ServeConfig, ServerHandle};
+use std::net::ToSocketAddrs;
 
 /// Which translation backend a [`LanternService`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -133,6 +135,37 @@ impl LanternBuilder {
             needs_restyle,
         })
     }
+
+    /// Assemble the service and boot an HTTP narration server on
+    /// `addr` with the default [`ServeConfig`] — the one-call path from
+    /// a builder to a live endpoint:
+    ///
+    /// ```
+    /// use lantern::builder::LanternBuilder;
+    /// use lantern::serve::HttpClient;
+    ///
+    /// let handle = LanternBuilder::new().serve("127.0.0.1:0").unwrap();
+    /// let mut client = HttpClient::connect(handle.addr()).unwrap();
+    /// let resp = client
+    ///     .post("/narrate", r#"{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}"#)
+    ///     .unwrap();
+    /// assert_eq!(resp.status, 200);
+    /// assert!(resp.body.contains("sequential scan on orders"));
+    /// drop(client);
+    /// handle.shutdown().unwrap();
+    /// ```
+    ///
+    /// Bind failures surface as [`LanternError::Config`]; use
+    /// [`LanternService::serve`] to pass a custom [`ServeConfig`] or
+    /// keep the `std::io::Error`.
+    pub fn serve(self, addr: impl ToSocketAddrs) -> Result<ServerHandle, LanternError> {
+        let service = self.build()?;
+        service
+            .serve(addr, ServeConfig::default())
+            .map_err(|e| LanternError::Config {
+                message: format!("failed to start narration server: {e}"),
+            })
+    }
 }
 
 /// A configured translation service: the product of
@@ -173,6 +206,17 @@ impl LanternService {
     /// the vendor format.
     pub fn narrate_document(&self, doc: &str) -> Result<NarrationResponse, LanternError> {
         self.narrate(&NarrationRequest::auto(doc)?)
+    }
+
+    /// Boot an HTTP narration server over this service (consuming it —
+    /// the server's worker pool owns the service from here on). See
+    /// [`lantern_serve::serve`] for the endpoint set and semantics.
+    pub fn serve(
+        self,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> std::io::Result<ServerHandle> {
+        lantern_serve::serve(self, addr, config)
     }
 
     /// Apply the service's configured style to a response from a

@@ -75,6 +75,7 @@ pub use lantern_nn as nn;
 pub use lantern_paraphrase as paraphrase;
 pub use lantern_plan as plan;
 pub use lantern_pool as pool;
+pub use lantern_serve as serve;
 pub use lantern_sql as sql;
 pub use lantern_study as study;
 pub use lantern_text as text;
@@ -93,5 +94,6 @@ pub mod prelude {
     pub use lantern_paraphrase::ParaphrasedTranslator;
     pub use lantern_plan::{parse_pg_json_plan, parse_sqlserver_xml_plan, PlanTree};
     pub use lantern_pool::{PoemSnapshot, PoemStore};
+    pub use lantern_serve::{HttpClient, ServeConfig, ServerHandle};
     pub use lantern_sql::parse_sql;
 }
