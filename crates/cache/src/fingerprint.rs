@@ -1,0 +1,380 @@
+//! Plan canonicalization and fingerprinting.
+//!
+//! A [`Fingerprint`] is a stable 128-bit digest of a *parsed*
+//! [`PlanTree`]: it hashes operator kinds, structural shape, and the
+//! narration-relevant annotations (relations, predicates, sort/group
+//! keys, …), so two documents that differ only in JSON key order,
+//! whitespace, or cost-estimate jitter fingerprint identically — the
+//! classroom repetition pattern the cache exists for. An opt-in strict
+//! mode ([`FingerprintOptions::strict`]) additionally folds the
+//! optimizer's cardinality and cost estimates into the digest for
+//! workloads where those matter (e.g. teaching cost-based planning).
+//!
+//! The digest is 128-bit FNV-1a over a canonical byte stream with
+//! explicit field tags and length prefixes, so adjacent fields can
+//! never alias (`"ab" + "c"` vs `"a" + "bc"`) and an absent field can
+//! never collide with an empty one. FNV is not cryptographic — the
+//! cache is a performance layer, not a security boundary — but at 128
+//! bits accidental collisions are beyond negligible for any plausible
+//! plan corpus.
+
+use lantern_plan::{PlanNode, PlanTree};
+use std::fmt;
+
+/// 128-bit FNV-1a offset basis.
+const FNV_BASIS: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A stable 128-bit plan digest; the narration cache's key material.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// The shard a fingerprint maps to among `shards` (a power of two):
+    /// the *high* bits, so keys spread evenly even if low bits ever
+    /// correlate with insertion order.
+    pub fn shard(&self, shards: usize) -> usize {
+        debug_assert!(shards.is_power_of_two());
+        let bits = shards.trailing_zeros();
+        if bits == 0 {
+            0
+        } else {
+            (self.0 >> (128 - bits)) as usize
+        }
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fingerprint({:032x})", self.0)
+    }
+}
+
+/// Knobs for [`fingerprint_tree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FingerprintOptions {
+    /// Include the optimizer's cardinality (`estimated_rows`) and cost
+    /// (`estimated_cost`) estimates in the digest. Off by default:
+    /// narration output does not depend on them, and re-`EXPLAIN`ing
+    /// the same query after an `ANALYZE` jitters both.
+    pub strict: bool,
+}
+
+impl FingerprintOptions {
+    /// The strict profile: cardinalities and costs are significant.
+    pub fn strict() -> Self {
+        FingerprintOptions { strict: true }
+    }
+}
+
+/// Incremental 128-bit FNV-1a writer with the framing helpers the
+/// canonical encoding uses.
+pub struct Hasher128 {
+    state: u128,
+}
+
+impl Hasher128 {
+    /// Fresh hasher seeded with a domain-separation string, so digests
+    /// from different key spaces (plan trees, raw documents, request
+    /// keys) can never collide by construction.
+    pub fn new(domain: &str) -> Self {
+        let mut h = Hasher128 { state: FNV_BASIS };
+        h.write(domain.as_bytes());
+        h
+    }
+
+    /// Feed raw bytes: FNV-1a widened to an 8-byte stride, so hashing
+    /// a multi-kilobyte `EXPLAIN` document costs two ops per word
+    /// instead of per byte — the document digest sits on the cache's
+    /// *hit* path, where byte-at-a-time hashing would rival the parse
+    /// it exists to skip. The input length folds in at the end so a
+    /// zero-padded tail cannot alias a genuine trailing zero byte.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")) as u128;
+            self.state = (self.state ^ word).wrapping_mul(FNV_PRIME);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.state = (self.state ^ u64::from_le_bytes(tail) as u128).wrapping_mul(FNV_PRIME);
+        }
+        self.state = (self.state ^ bytes.len() as u128).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Feed one tag/marker byte.
+    pub fn write_u8(&mut self, b: u8) {
+        self.write(&[b]);
+    }
+
+    /// Feed a 64-bit integer (length prefixes, counts, generations).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feed a length-prefixed string verbatim.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// Feed an optional length-prefixed string with a presence marker
+    /// (absent and empty must not alias).
+    pub fn write_opt_str(&mut self, s: Option<&str>) {
+        match s {
+            Some(s) => {
+                self.write_u8(1);
+                self.write_str(s);
+            }
+            None => self.write_u8(0),
+        }
+    }
+
+    /// Feed a count-prefixed ordered string list.
+    pub fn write_strs(&mut self, items: &[String]) {
+        self.write_u64(items.len() as u64);
+        for s in items {
+            self.write_str(s);
+        }
+    }
+
+    /// Feed a string case-folded with internal whitespace runs
+    /// collapsed to single spaces (vendor operator names differ in
+    /// capitalization and spacing conventions).
+    pub fn write_normalized(&mut self, s: &str) {
+        let mut pending_space = false;
+        let mut started = false;
+        let mut buf = [0u8; 4];
+        // Length prefix cannot be known up-front without allocating;
+        // close with a sentinel tag instead (0xFF never appears in
+        // UTF-8 text).
+        for c in s.chars() {
+            if c.is_whitespace() {
+                pending_space = started;
+                continue;
+            }
+            if pending_space {
+                self.write_u8(b' ');
+                pending_space = false;
+            }
+            started = true;
+            for lc in c.to_lowercase() {
+                self.write(lc.encode_utf8(&mut buf).as_bytes());
+            }
+        }
+        self.write_u8(0xFF);
+    }
+
+    /// Final digest, xor-folded so the *high* bits (which pick the LRU
+    /// shard) avalanche on the last inputs too.
+    pub fn finish(self) -> Fingerprint {
+        let mut state = self.state;
+        state ^= state >> 67;
+        state = state.wrapping_mul(FNV_PRIME);
+        state ^= state >> 61;
+        Fingerprint(state)
+    }
+}
+
+// Field tags of the canonical node encoding. New fields get new tags;
+// existing tags are a compatibility surface for persisted fingerprints.
+const TAG_NODE: u8 = 0x01;
+const TAG_RELATION: u8 = 0x02;
+const TAG_ALIAS: u8 = 0x03;
+const TAG_INDEX: u8 = 0x04;
+const TAG_FILTER: u8 = 0x05;
+const TAG_JOIN_COND: u8 = 0x06;
+const TAG_SORT_KEYS: u8 = 0x07;
+const TAG_GROUP_KEYS: u8 = 0x08;
+const TAG_STRATEGY: u8 = 0x09;
+const TAG_ESTIMATES: u8 = 0x0A;
+const TAG_EXTRA: u8 = 0x0B;
+const TAG_CHILDREN: u8 = 0x0C;
+
+fn write_node(h: &mut Hasher128, node: &PlanNode, opts: FingerprintOptions) {
+    h.write_u8(TAG_NODE);
+    h.write_normalized(&node.op);
+    h.write_u8(TAG_RELATION);
+    h.write_opt_str(node.relation.as_deref());
+    h.write_u8(TAG_ALIAS);
+    h.write_opt_str(node.alias.as_deref());
+    h.write_u8(TAG_INDEX);
+    h.write_opt_str(node.index_name.as_deref());
+    h.write_u8(TAG_FILTER);
+    h.write_opt_str(node.filter.as_deref());
+    h.write_u8(TAG_JOIN_COND);
+    h.write_opt_str(node.join_cond.as_deref());
+    h.write_u8(TAG_SORT_KEYS);
+    h.write_strs(&node.sort_keys);
+    h.write_u8(TAG_GROUP_KEYS);
+    h.write_strs(&node.group_keys);
+    h.write_u8(TAG_STRATEGY);
+    h.write_opt_str(node.strategy.as_deref());
+    if opts.strict {
+        h.write_u8(TAG_ESTIMATES);
+        h.write(&node.estimated_rows.to_bits().to_le_bytes());
+        h.write(&node.estimated_cost.to_bits().to_le_bytes());
+    }
+    // `extra` is a BTreeMap: iteration order is already canonical.
+    h.write_u8(TAG_EXTRA);
+    h.write_u64(node.extra.len() as u64);
+    for (k, v) in &node.extra {
+        h.write_str(k);
+        h.write_str(v);
+    }
+    h.write_u8(TAG_CHILDREN);
+    h.write_u64(node.children.len() as u64);
+    for child in &node.children {
+        write_node(h, child, opts);
+    }
+}
+
+/// Canonical fingerprint of a parsed plan: invariant to the source
+/// document's JSON key order and whitespace (the digest never sees the
+/// document), and — unless [`FingerprintOptions::strict`] — to
+/// cost-estimate jitter.
+pub fn fingerprint_tree(tree: &PlanTree, opts: FingerprintOptions) -> Fingerprint {
+    let mut h = Hasher128::new("lantern/plan-fp/v1");
+    h.write_u8(opts.strict as u8);
+    h.write_normalized(&tree.source);
+    write_node(&mut h, &tree.root, opts);
+    h.finish()
+}
+
+/// Exact-text digest of a serialized plan document: the cache's L1
+/// key, mapping a byte-identical re-submission to its canonical
+/// fingerprint without re-parsing. Exactly the bytes the parser
+/// tolerates are ignored — the leading BOM/whitespace prefix (mirroring
+/// `PlanSource::auto`) and trailing *whitespace* only; a trailing BOM
+/// is a parse error and must not alias a clean document's digest.
+/// `format_tag` separates the vendor key spaces.
+pub fn fingerprint_document(format_tag: u8, doc: &str) -> Fingerprint {
+    let mut h = Hasher128::new("lantern/doc-fp/v1");
+    h.write_u8(format_tag);
+    h.write_str(
+        doc.trim_start_matches(|c: char| c.is_whitespace() || c == '\u{feff}')
+            .trim_end(),
+    );
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lantern_plan::parse_pg_json_plan;
+
+    fn tree(doc: &str) -> PlanTree {
+        parse_pg_json_plan(doc).unwrap()
+    }
+
+    const DOC: &str = r#"[{"Plan": {"Node Type": "Sort", "Sort Key": ["a"],
+        "Plan Rows": 100, "Total Cost": 12.5,
+        "Plans": [{"Node Type": "Seq Scan", "Relation Name": "orders",
+                   "Filter": "o_orderstatus = 'F'"}]}}]"#;
+
+    #[test]
+    fn key_order_and_whitespace_do_not_matter() {
+        let reordered = r#"
+
+
+        [ { "Plan" : { "Plans": [{"Filter": "o_orderstatus = 'F'",
+                                  "Relation Name": "orders",
+                                  "Node Type": "Seq Scan"}],
+                       "Total Cost": 12.5, "Plan Rows": 100,
+                       "Sort Key": ["a"], "Node Type": "Sort" } } ]"#;
+        let opts = FingerprintOptions::default();
+        assert_eq!(
+            fingerprint_tree(&tree(DOC), opts),
+            fingerprint_tree(&tree(reordered), opts)
+        );
+    }
+
+    #[test]
+    fn cost_jitter_is_ignored_by_default_but_strict_sees_it() {
+        let jittered = DOC.replace("12.5", "13.75").replace("100", "104");
+        let a = tree(DOC);
+        let b = tree(&jittered);
+        assert_eq!(
+            fingerprint_tree(&a, FingerprintOptions::default()),
+            fingerprint_tree(&b, FingerprintOptions::default())
+        );
+        assert_ne!(
+            fingerprint_tree(&a, FingerprintOptions::strict()),
+            fingerprint_tree(&b, FingerprintOptions::strict())
+        );
+        // Strict and lax digests of the *same* tree differ too (the
+        // strict flag is part of the domain).
+        assert_ne!(
+            fingerprint_tree(&a, FingerprintOptions::default()),
+            fingerprint_tree(&a, FingerprintOptions::strict())
+        );
+    }
+
+    #[test]
+    fn structure_and_annotations_are_significant() {
+        let base = fingerprint_tree(&tree(DOC), FingerprintOptions::default());
+        for perturbed in [
+            DOC.replace("Seq Scan", "Index Scan"),
+            DOC.replace("orders", "lineitem"),
+            DOC.replace("o_orderstatus = 'F'", "o_orderstatus = 'O'"),
+            DOC.replace(r#"["a"]"#, r#"["a", "b"]"#),
+        ] {
+            assert_ne!(
+                base,
+                fingerprint_tree(&tree(&perturbed), FingerprintOptions::default()),
+                "{perturbed}"
+            );
+        }
+    }
+
+    #[test]
+    fn operator_case_is_folded_like_the_poem_store_folds_it() {
+        let upper = DOC.replace("Seq Scan", "SEQ  SCAN");
+        assert_eq!(
+            fingerprint_tree(&tree(DOC), FingerprintOptions::default()),
+            fingerprint_tree(&tree(&upper), FingerprintOptions::default())
+        );
+    }
+
+    #[test]
+    fn empty_and_absent_fields_do_not_alias() {
+        let absent = tree(r#"{"Plan": {"Node Type": "Seq Scan"}}"#);
+        let empty = tree(r#"{"Plan": {"Node Type": "Seq Scan", "Relation Name": ""}}"#);
+        assert_ne!(
+            fingerprint_tree(&absent, FingerprintOptions::default()),
+            fingerprint_tree(&empty, FingerprintOptions::default())
+        );
+    }
+
+    #[test]
+    fn document_digest_strips_bom_prefix_and_outer_whitespace_only() {
+        let a = fingerprint_document(0, DOC);
+        assert_eq!(a, fingerprint_document(0, &format!("\u{feff}\n  {DOC}\n")));
+        // Interior differences still matter (it is an exact-text key).
+        assert_ne!(a, fingerprint_document(0, &DOC.replace("orders", "x")));
+        // A trailing BOM is a parse error, so it must digest
+        // differently from the clean document (else a warm cache would
+        // answer a document the parser rejects).
+        assert_ne!(a, fingerprint_document(0, &format!("{DOC}\u{feff}")));
+        assert_ne!(a, fingerprint_document(0, &format!("{DOC}\u{feff}\n")));
+        // And the format tag separates the key spaces.
+        assert_ne!(a, fingerprint_document(1, DOC));
+    }
+
+    #[test]
+    fn shard_uses_high_bits() {
+        let fp = Fingerprint(0xF000_0000_0000_0000_0000_0000_0000_0001);
+        assert_eq!(fp.shard(16), 0xF);
+        assert_eq!(fp.shard(1), 0);
+        assert_eq!(Fingerprint(1).shard(16), 0);
+    }
+}

@@ -1,0 +1,389 @@
+//! A sharded, lock-striped LRU map keyed by [`Fingerprint`]s.
+//!
+//! The cache must absorb concurrent narration traffic from the whole
+//! worker pool, so a single mutex around one LRU would serialize every
+//! hit. Instead the key space is split across `N` shards (a power of
+//! two, selected by the fingerprint's *high* bits), each protected by
+//! its own mutex; two requests contend only when their plans land in
+//! the same shard. Hit/miss/insert/evict totals and the entry/byte
+//! gauges are shared atomics, updated outside the shard locks.
+//!
+//! Capacity is bounded two ways — by entry count and by approximate
+//! resident bytes — with both budgets divided evenly across shards.
+//! Eviction is per-shard, strictly least-recently-used.
+
+use crate::fingerprint::Fingerprint;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel for "no slot" in the intrusive list.
+const NIL: usize = usize::MAX;
+
+/// One resident entry: the value plus its intrusive recency links.
+struct Slot<V> {
+    key: u128,
+    value: V,
+    bytes: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: a key → slot index map over a slab of slots threaded into
+/// a doubly-linked recency list (head = most recent, tail = least).
+struct LruShard<V> {
+    map: HashMap<u128, usize>,
+    slots: Vec<Slot<V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: u64,
+}
+
+impl<V> LruShard<V> {
+    fn new() -> Self {
+        LruShard {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+        }
+    }
+
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    /// Pop the least-recently-used entry; returns its byte weight.
+    fn evict_tail(&mut self) -> Option<u64> {
+        let i = self.tail;
+        if i == NIL {
+            return None;
+        }
+        self.detach(i);
+        let key = self.slots[i].key;
+        let bytes = self.slots[i].bytes;
+        self.map.remove(&key);
+        self.free.push(i);
+        self.bytes -= bytes;
+        Some(bytes)
+    }
+}
+
+/// Aggregate counter snapshot of a [`ShardedLru`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LruStats {
+    /// Lookups that found a resident entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted (replacements included).
+    pub insertions: u64,
+    /// Entries evicted to respect the entry or byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Approximate resident bytes.
+    pub bytes: u64,
+}
+
+/// The sharded LRU map. `V` is cloned out on hits, so values should be
+/// cheap handles (`Arc`s) rather than owned payloads.
+pub struct ShardedLru<V> {
+    shards: Box<[Mutex<LruShard<V>>]>,
+    max_entries_per_shard: usize,
+    max_bytes_per_shard: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    entries: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// A cache bounded by `max_entries` entries and `max_bytes`
+    /// approximate bytes, striped over `shards` (rounded up to a power
+    /// of two, min 1). Both budgets divide evenly across shards.
+    pub fn new(shards: usize, max_entries: usize, max_bytes: u64) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let max_entries_per_shard = max_entries.div_ceil(shards).max(1);
+        let max_bytes_per_shard = max_bytes.div_ceil(shards as u64).max(1);
+        ShardedLru {
+            shards: (0..shards).map(|_| Mutex::new(LruShard::new())).collect(),
+            max_entries_per_shard,
+            max_bytes_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: Fingerprint) -> &Mutex<LruShard<V>> {
+        &self.shards[key.shard(self.shards.len())]
+    }
+
+    /// Look `key` up, promoting it to most-recently-used on a hit.
+    pub fn get(&self, key: Fingerprint) -> Option<V> {
+        let mut shard = self.shard_of(key).lock();
+        match shard.map.get(&key.0).copied() {
+            Some(i) => {
+                shard.detach(i);
+                shard.push_front(i);
+                let value = shard.slots[i].value.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Read-only lookup: no recency promotion, no hit/miss counting.
+    /// For re-checks that already counted themselves (e.g. a
+    /// single-flight leader confirming nobody filled the entry between
+    /// its counted miss and winning leadership).
+    pub fn probe(&self, key: Fingerprint) -> Option<V> {
+        let shard = self.shard_of(key).lock();
+        shard.map.get(&key.0).map(|&i| shard.slots[i].value.clone())
+    }
+
+    /// Insert (or replace) `key`, charging `bytes` against the byte
+    /// budget, then evict least-recently-used entries until the shard
+    /// is back within both budgets.
+    pub fn insert(&self, key: Fingerprint, value: V, bytes: u64) {
+        let mut shard = self.shard_of(key).lock();
+        let mut entry_delta: i64 = 0;
+        let mut byte_delta: i64 = 0;
+        if let Some(&i) = shard.map.get(&key.0) {
+            byte_delta += bytes as i64 - shard.slots[i].bytes as i64;
+            shard.bytes = (shard.bytes as i64 + byte_delta) as u64;
+            shard.slots[i].value = value;
+            shard.slots[i].bytes = bytes;
+            shard.detach(i);
+            shard.push_front(i);
+        } else {
+            let slot = Slot {
+                key: key.0,
+                value,
+                bytes,
+                prev: NIL,
+                next: NIL,
+            };
+            let i = match shard.free.pop() {
+                Some(i) => {
+                    shard.slots[i] = slot;
+                    i
+                }
+                None => {
+                    shard.slots.push(slot);
+                    shard.slots.len() - 1
+                }
+            };
+            shard.map.insert(key.0, i);
+            shard.push_front(i);
+            shard.bytes += bytes;
+            entry_delta += 1;
+            byte_delta += bytes as i64;
+        }
+        let mut evicted = 0u64;
+        while shard.map.len() > self.max_entries_per_shard || shard.bytes > self.max_bytes_per_shard
+        {
+            match shard.evict_tail() {
+                Some(freed) => {
+                    evicted += 1;
+                    entry_delta -= 1;
+                    byte_delta -= freed as i64;
+                }
+                None => break,
+            }
+        }
+        // Gauge deltas apply *while still holding the shard lock*: a
+        // delta applied after release could interleave with another
+        // thread's (e.g. an eviction of this very entry) and drive the
+        // unsigned gauge through zero.
+        add_signed(&self.entries, entry_delta);
+        add_signed(&self.bytes, byte_delta);
+        drop(shard);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Drop every entry; returns how many were resident. Gauges are
+    /// adjusted per shard while that shard's lock is held, so a clear
+    /// racing in-flight inserts never drives them through zero.
+    pub fn clear(&self) -> u64 {
+        let mut dropped = 0u64;
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            let entries = shard.map.len() as u64;
+            let bytes = shard.bytes;
+            *shard = LruShard::new();
+            add_signed(&self.entries, -(entries as i64));
+            add_signed(&self.bytes, -(bytes as i64));
+            drop(shard);
+            dropped += entries;
+        }
+        dropped
+    }
+
+    /// Entries currently resident (all shards).
+    pub fn len(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LruStats {
+        LruStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Apply a signed delta to an unsigned gauge. Callers apply deltas
+/// while holding the shard lock they were computed under, so per-shard
+/// contributions serialize and the aggregate gauge cannot go negative.
+fn add_signed(gauge: &AtomicU64, delta: i64) {
+    if delta >= 0 {
+        gauge.fetch_add(delta as u64, Ordering::Relaxed);
+    } else {
+        gauge.fetch_sub((-delta) as u64, Ordering::Relaxed);
+    }
+}
+
+impl<V> std::fmt::Debug for ShardedLru<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedLru")
+            .field("shards", &self.shards.len())
+            .field("max_entries_per_shard", &self.max_entries_per_shard)
+            .field("max_bytes_per_shard", &self.max_bytes_per_shard)
+            .field("entries", &self.entries.load(Ordering::Relaxed))
+            .field("bytes", &self.bytes.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u128) -> Fingerprint {
+        // Spread test keys across shards via the high bits.
+        Fingerprint(n << 120 | n)
+    }
+
+    #[test]
+    fn get_insert_and_promotion() {
+        let lru: ShardedLru<&'static str> = ShardedLru::new(1, 2, u64::MAX);
+        lru.insert(fp(1), "a", 1);
+        lru.insert(fp(2), "b", 1);
+        assert_eq!(lru.get(fp(1)), Some("a")); // promotes 1 over 2
+        lru.insert(fp(3), "c", 1); // evicts 2, the LRU
+        assert_eq!(lru.get(fp(2)), None);
+        assert_eq!(lru.get(fp(1)), Some("a"));
+        assert_eq!(lru.get(fp(3)), Some("c"));
+        let stats = lru.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn byte_budget_evicts_independently_of_entry_budget() {
+        let lru: ShardedLru<u32> = ShardedLru::new(1, 100, 10);
+        lru.insert(fp(1), 1, 6);
+        lru.insert(fp(2), 2, 6); // 12 bytes > 10: evicts 1
+        assert_eq!(lru.get(fp(1)), None);
+        assert_eq!(lru.get(fp(2)), Some(2));
+        assert_eq!(lru.stats().bytes, 6);
+    }
+
+    #[test]
+    fn replacement_updates_bytes_and_keeps_one_entry() {
+        let lru: ShardedLru<u32> = ShardedLru::new(1, 10, 100);
+        lru.insert(fp(1), 1, 10);
+        lru.insert(fp(1), 2, 30);
+        assert_eq!(lru.get(fp(1)), Some(2));
+        let stats = lru.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, 30);
+        assert_eq!(stats.insertions, 2);
+    }
+
+    #[test]
+    fn clear_resets_gauges_but_not_totals() {
+        let lru: ShardedLru<u32> = ShardedLru::new(4, 100, 1000);
+        for i in 0..10 {
+            lru.insert(fp(i), i as u32, 7);
+        }
+        assert_eq!(lru.len(), 10);
+        assert_eq!(lru.clear(), 10);
+        assert!(lru.is_empty());
+        let stats = lru.stats();
+        assert_eq!(stats.bytes, 0);
+        assert_eq!(stats.insertions, 10, "history survives clear");
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let lru: ShardedLru<u32> = ShardedLru::new(5, 100, 100);
+        assert_eq!(lru.shard_count(), 8);
+        let lru: ShardedLru<u32> = ShardedLru::new(0, 100, 100);
+        assert_eq!(lru.shard_count(), 1);
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let lru: ShardedLru<u32> = ShardedLru::new(1, 2, u64::MAX);
+        for i in 0..100 {
+            lru.insert(fp(i % 8), i as u32, 1);
+        }
+        let shard = lru.shards[0].lock();
+        assert!(
+            shard.slots.len() <= 3,
+            "slab grew to {} slots for a 2-entry shard",
+            shard.slots.len()
+        );
+    }
+}

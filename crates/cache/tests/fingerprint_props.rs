@@ -1,0 +1,224 @@
+//! Property tests for plan canonicalization: the same plan fingerprints
+//! identically no matter how its JSON document is formatted (key order,
+//! whitespace, cost jitter), and structurally different plans
+//! fingerprint differently.
+
+use lantern_cache::{fingerprint_tree, FingerprintOptions};
+use lantern_plan::{parse_pg_json_plan, PlanNode, PlanTree};
+use proptest::prelude::*;
+
+/// Strategy: random well-formed PostgreSQL-vocabulary plan trees
+/// (mirrors the workspace-level property suite).
+fn arb_plan(depth: u32) -> BoxedStrategy<PlanNode> {
+    let leaf = (any::<u8>(), any::<bool>()).prop_map(|(rel, filtered)| {
+        let mut n = PlanNode::new("Seq Scan").on_relation(format!("table_{}", rel % 7));
+        if filtered {
+            n.filter = Some(format!("col_{} > {}", rel % 5, rel));
+        }
+        n.estimated_rows = (rel as f64) * 10.0;
+        n.estimated_cost = (rel as f64) * 2.5;
+        n
+    });
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = arb_plan(depth - 1);
+    let inner2 = arb_plan(depth - 1);
+    prop_oneof![
+        leaf,
+        (inner.clone(), inner2, any::<u8>()).prop_map(|(l, r, k)| {
+            PlanNode::new("Hash Join")
+                .with_join_cond(format!("((a.k{0}) = (b.k{0}))", k % 4))
+                .with_child(l)
+                .with_child(PlanNode::new("Hash").with_child(r))
+        }),
+        (inner.clone(), any::<u8>()).prop_map(|(c, g)| {
+            let mut agg = PlanNode::new("Aggregate");
+            agg.group_keys = vec![format!("g{}", g % 3)];
+            let mut sort = PlanNode::new("Sort");
+            sort.sort_keys = agg.group_keys.clone();
+            agg.with_child(sort.with_child(c))
+        }),
+        inner
+            .clone()
+            .prop_map(|c| PlanNode::new("Unique").with_child(c)),
+        inner.prop_map(|c| PlanNode::new("Limit").with_child(c)),
+    ]
+    .boxed()
+}
+
+/// Tiny deterministic generator for formatting decisions, seeded per
+/// proptest case.
+struct Scramble(u64);
+
+impl Scramble {
+    fn next(&mut self, bound: usize) -> usize {
+        // LCG (Numerical Recipes constants); formatting-quality only.
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as usize) % bound.max(1)
+    }
+
+    fn ws(&mut self) -> &'static str {
+        ["", " ", "\n", "  ", "\t", "\n    "][self.next(6)]
+    }
+}
+
+/// Emit a node as a JSON object with *rotated key order* and random
+/// inter-token whitespace. Array element order (children, sort keys) is
+/// semantic and preserved.
+fn scrambled_json(node: &PlanNode, rng: &mut Scramble) -> String {
+    let mut fields: Vec<String> = Vec::new();
+    fields.push(format!("\"Node Type\":{}\"{}\"", rng.ws(), node.op));
+    if let Some(r) = &node.relation {
+        fields.push(format!("\"Relation Name\":{}\"{}\"", rng.ws(), r));
+    }
+    if let Some(f) = &node.filter {
+        fields.push(format!("\"Filter\":{}\"{}\"", rng.ws(), f));
+    }
+    if let Some(c) = &node.join_cond {
+        fields.push(format!("\"Hash Cond\":{}\"{}\"", rng.ws(), c));
+    }
+    if !node.sort_keys.is_empty() {
+        let keys: Vec<String> = node.sort_keys.iter().map(|k| format!("\"{k}\"")).collect();
+        fields.push(format!("\"Sort Key\":{}[{}]", rng.ws(), keys.join(",")));
+    }
+    if !node.group_keys.is_empty() {
+        let keys: Vec<String> = node.group_keys.iter().map(|k| format!("\"{k}\"")).collect();
+        fields.push(format!("\"Group Key\":{}[{}]", rng.ws(), keys.join(",")));
+    }
+    fields.push(format!("\"Plan Rows\":{}{}", rng.ws(), node.estimated_rows));
+    fields.push(format!(
+        "\"Total Cost\":{}{}",
+        rng.ws(),
+        node.estimated_cost
+    ));
+    if !node.children.is_empty() {
+        let children: Vec<String> = node
+            .children
+            .iter()
+            .map(|c| scrambled_json(c, rng))
+            .collect();
+        fields.push(format!("\"Plans\":{}[{}]", rng.ws(), children.join(",")));
+    }
+    // Rotate the key order by a random amount: every key order the
+    // rotation can produce must fingerprint identically.
+    let rot = rng.next(fields.len());
+    fields.rotate_left(rot);
+    let mut out = String::from("{");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(rng.ws());
+        out.push_str(f);
+        out.push_str(rng.ws());
+    }
+    out.push('}');
+    out
+}
+
+fn document_of(root: &PlanNode, rng: &mut Scramble) -> String {
+    format!(
+        "{}[{}{{\"Plan\":{}{}}}{}]{}",
+        rng.ws(),
+        rng.ws(),
+        rng.ws(),
+        scrambled_json(root, rng),
+        rng.ws(),
+        rng.ws()
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any two serializations of the same plan — different key orders,
+    /// different whitespace — produce the same fingerprint, and it
+    /// matches the fingerprint of the in-memory tree they came from.
+    #[test]
+    fn formatting_never_changes_the_fingerprint(
+        root in arb_plan(3),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let opts = FingerprintOptions::default();
+        let reference = fingerprint_tree(&PlanTree::new("pg", root.clone()), opts);
+        let doc_a = document_of(&root, &mut Scramble(seed_a));
+        let doc_b = document_of(&root, &mut Scramble(seed_b));
+        let tree_a = parse_pg_json_plan(&doc_a).unwrap();
+        let tree_b = parse_pg_json_plan(&doc_b).unwrap();
+        prop_assert_eq!(fingerprint_tree(&tree_a, opts), reference);
+        prop_assert_eq!(fingerprint_tree(&tree_b, opts), reference);
+    }
+
+    /// Cost-estimate jitter is invisible to the default fingerprint but
+    /// visible to strict mode.
+    #[test]
+    fn cost_jitter_only_matters_in_strict_mode(
+        root in arb_plan(2),
+        raw_jitter in any::<u16>(),
+    ) {
+        let jitter = (raw_jitter % 999) + 1; // never zero
+        let tree = PlanTree::new("pg", root.clone());
+        let mut jittered_root = root;
+        jittered_root.estimated_rows += jitter as f64;
+        jittered_root.estimated_cost += (jitter as f64) / 4.0;
+        let jittered = PlanTree::new("pg", jittered_root);
+        prop_assert_eq!(
+            fingerprint_tree(&tree, FingerprintOptions::default()),
+            fingerprint_tree(&jittered, FingerprintOptions::default())
+        );
+        prop_assert_ne!(
+            fingerprint_tree(&tree, FingerprintOptions::strict()),
+            fingerprint_tree(&jittered, FingerprintOptions::strict())
+        );
+    }
+
+    /// Structurally different plans fingerprint differently (and the
+    /// fingerprint function is deterministic on equal trees).
+    #[test]
+    fn distinct_structures_get_distinct_fingerprints(
+        a in arb_plan(3),
+        b in arb_plan(3),
+    ) {
+        let opts = FingerprintOptions::default();
+        let ta = PlanTree::new("pg", a);
+        let tb = PlanTree::new("pg", b);
+        let fa = fingerprint_tree(&ta, opts);
+        let fb = fingerprint_tree(&tb, opts);
+        prop_assert_eq!(fa, fingerprint_tree(&ta, opts));
+        // Generated trees never differ only in case/whitespace or cost
+        // estimates... except exactly the cost fields of leaves; strip
+        // those from the comparison by comparing strict fingerprints of
+        // normalized trees instead: if the trees differ in any
+        // narration-relevant way, the lax fingerprints must differ.
+        if !lax_equal(&ta.root, &tb.root) {
+            prop_assert_ne!(fa, fb);
+        } else {
+            prop_assert_eq!(fa, fb);
+        }
+    }
+}
+
+/// Structural equality over exactly the fields the lax fingerprint
+/// hashes (everything except the cost estimates).
+fn lax_equal(a: &PlanNode, b: &PlanNode) -> bool {
+    a.op == b.op
+        && a.relation == b.relation
+        && a.alias == b.alias
+        && a.index_name == b.index_name
+        && a.filter == b.filter
+        && a.join_cond == b.join_cond
+        && a.sort_keys == b.sort_keys
+        && a.group_keys == b.group_keys
+        && a.strategy == b.strategy
+        && a.extra == b.extra
+        && a.children.len() == b.children.len()
+        && a.children
+            .iter()
+            .zip(&b.children)
+            .all(|(x, y)| lax_equal(x, y))
+}

@@ -1,0 +1,163 @@
+//! Concurrency tests: many threads hammering the same fingerprint (and
+//! therefore the same LRU shard) must produce exactly one backend
+//! compute — the others are cache hits or single-flight followers —
+//! and a mixed-key hammering must keep every counter consistent.
+
+use lantern_cache::{CacheConfig, CacheControl, CachedTranslator};
+use lantern_core::{
+    LanternError, Narration, NarrationRequest, NarrationResponse, RenderStyle, Translator,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+const PG_DOC: &str = r#"[{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}]"#;
+
+/// A deliberately slow backend that counts every narration reaching it:
+/// the stand-in for an expensive neural decode.
+struct SlowBackend {
+    calls: AtomicUsize,
+    delay: Duration,
+}
+
+impl SlowBackend {
+    fn new(delay: Duration) -> Self {
+        SlowBackend {
+            calls: AtomicUsize::new(0),
+            delay,
+        }
+    }
+}
+
+impl Translator for SlowBackend {
+    fn backend(&self) -> &str {
+        "slow"
+    }
+
+    fn narrate(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        std::thread::sleep(self.delay);
+        let tree = req.resolve_tree()?;
+        Ok(NarrationResponse::new(
+            self.backend(),
+            Narration::from_sentences([format!("narrated {}", tree.root.op)]),
+            req.effective_style(RenderStyle::default()),
+        ))
+    }
+}
+
+#[test]
+fn concurrent_identical_misses_compute_once() {
+    let backend = SlowBackend::new(Duration::from_millis(100));
+    let cached = CachedTranslator::new(&backend, CacheConfig::default());
+    const THREADS: usize = 8;
+    let barrier = Barrier::new(THREADS);
+
+    let texts: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let cached = &cached;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let req = NarrationRequest::auto(PG_DOC).unwrap();
+                    // All threads release together, while the leader's
+                    // 100 ms narration is guaranteed still in flight.
+                    barrier.wait();
+                    cached.narrate(&req).unwrap().text
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(
+        backend.calls.load(Ordering::SeqCst),
+        1,
+        "single-flight must coalesce concurrent identical misses"
+    );
+    assert!(texts.iter().all(|t| t == &texts[0]));
+    let stats = cached.cache_stats();
+    // Everyone but the leader either coalesced onto the flight or (if
+    // scheduled late) hit the LRU; nobody recomputed.
+    assert_eq!(
+        stats.coalesced + stats.hits,
+        (THREADS - 1) as u64,
+        "{stats:?}"
+    );
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.insertions, 1);
+}
+
+#[test]
+fn hammering_one_shard_with_hits_stays_consistent() {
+    let backend = SlowBackend::new(Duration::ZERO);
+    // One shard: every thread contends on the same stripe.
+    let cached = CachedTranslator::new(
+        &backend,
+        CacheConfig {
+            shards: 1,
+            ..CacheConfig::default()
+        },
+    );
+    // Warm the entry so the storm is pure hits.
+    let warm_req = NarrationRequest::auto(PG_DOC).unwrap();
+    cached.narrate(&warm_req).unwrap();
+    assert_eq!(backend.calls.load(Ordering::SeqCst), 1);
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 50;
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let cached = &cached;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let req = NarrationRequest::auto(PG_DOC).unwrap();
+                barrier.wait();
+                for _ in 0..PER_THREAD {
+                    let resp = cached.narrate(&req).unwrap();
+                    assert!(resp.text.contains("Seq Scan"));
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        backend.calls.load(Ordering::SeqCst),
+        1,
+        "a warm shard must never recompute"
+    );
+    let stats = cached.cache_stats();
+    assert_eq!(stats.hits, (THREADS * PER_THREAD) as u64);
+    assert_eq!(stats.entries, 1);
+}
+
+#[test]
+fn concurrent_distinct_plans_do_not_coalesce_with_each_other() {
+    let backend = SlowBackend::new(Duration::from_millis(20));
+    let cached = CachedTranslator::new(&backend, CacheConfig::default());
+    const THREADS: usize = 6;
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for i in 0..THREADS {
+            let cached = &cached;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                // Three distinct plans, two submitters each.
+                let doc = format!(
+                    r#"{{"Plan": {{"Node Type": "Seq Scan", "Relation Name": "t{}"}}}}"#,
+                    i % 3
+                );
+                let req = NarrationRequest::auto(doc).unwrap();
+                barrier.wait();
+                let resp = cached.narrate(&req).unwrap();
+                assert!(resp.text.contains(&format!("t{}", i % 3)) || resp.text.contains("Seq"));
+            });
+        }
+    });
+    let calls = backend.calls.load(Ordering::SeqCst);
+    assert_eq!(calls, 3, "one compute per distinct plan, not per thread");
+    let stats = cached.cache_stats();
+    assert_eq!(stats.entries, 3);
+    assert_eq!(stats.coalesced + stats.hits, (THREADS - 3) as u64);
+}

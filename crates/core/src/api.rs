@@ -197,11 +197,15 @@ pub enum PlanSource {
 
 impl PlanSource {
     /// Classify a serialized document by shape: JSON documents start
-    /// with `{` or `[`, XML showplans with `<`. Returns
+    /// with `{` or `[`, XML showplans with `<`. A UTF-8 BOM and leading
+    /// whitespace/newlines — in any interleaving, as editors and shell
+    /// pipelines produce them — are skipped before sniffing. Returns
     /// [`LanternError::EmptyInput`] / [`LanternError::UnknownFormat`]
     /// when no classification is possible.
     pub fn detect(doc: &str) -> Result<PlanFormat, LanternError> {
-        let trimmed = doc.trim_start_matches('\u{feff}').trim();
+        let trimmed = doc
+            .trim_start_matches(|c: char| c.is_whitespace() || c == '\u{feff}')
+            .trim_end();
         match trimmed.chars().next() {
             None => Err(LanternError::EmptyInput),
             Some('{') | Some('[') => Ok(PlanFormat::PgJson),
@@ -213,10 +217,20 @@ impl PlanSource {
     }
 
     /// Build a source from a serialized document, auto-detecting the
-    /// vendor format.
+    /// vendor format. Any leading BOM/whitespace prefix the detector
+    /// skipped is stripped from the stored document too, so downstream
+    /// parsers never see it.
     pub fn auto(doc: impl Into<String>) -> Result<PlanSource, LanternError> {
-        let doc = doc.into();
-        Ok(match Self::detect(&doc)? {
+        let mut doc = doc.into();
+        let format = Self::detect(&doc)?;
+        let prefix = doc.len()
+            - doc
+                .trim_start_matches(|c: char| c.is_whitespace() || c == '\u{feff}')
+                .len();
+        if prefix > 0 {
+            doc.drain(..prefix);
+        }
+        Ok(match format {
             PlanFormat::PgJson => PlanSource::PgJson(doc),
             PlanFormat::SqlServerXml => PlanSource::SqlServerXml(doc),
         })
@@ -362,6 +376,23 @@ pub trait Translator {
 }
 
 impl<T: Translator + ?Sized> Translator for &T {
+    fn backend(&self) -> &str {
+        (**self).backend()
+    }
+
+    fn narrate(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError> {
+        (**self).narrate(req)
+    }
+
+    fn narrate_batch(
+        &self,
+        reqs: &[NarrationRequest],
+    ) -> Vec<Result<NarrationResponse, LanternError>> {
+        (**self).narrate_batch(reqs)
+    }
+}
+
+impl<T: Translator + ?Sized> Translator for std::sync::Arc<T> {
     fn backend(&self) -> &str {
         (**self).backend()
     }
@@ -585,6 +616,33 @@ mod tests {
             PlanSource::auto("  \n { \"Plan\": {} }").unwrap(),
             PlanSource::PgJson(_)
         ));
+    }
+
+    #[test]
+    fn auto_skips_bom_and_leading_whitespace_in_any_order() {
+        // BOM first, whitespace first, and interleaved: all must sniff
+        // correctly AND parse (the stored document drops the prefix).
+        for doc in [
+            format!("\u{feff}{PG_DOC}"),
+            format!("\n\u{feff}{PG_DOC}"),
+            format!("\u{feff}\n\t \u{feff}{PG_DOC}"),
+            format!("   \r\n{PG_DOC}"),
+        ] {
+            let source = PlanSource::auto(doc.as_str()).unwrap();
+            assert!(matches!(source, PlanSource::PgJson(_)), "{doc:?}");
+            let tree = source.resolve().expect("prefix must be stripped");
+            assert_eq!(tree.root.op, "Seq Scan");
+        }
+        let xml = format!("\u{feff}  {XML_DOC}");
+        assert!(matches!(
+            PlanSource::auto(xml.as_str()).unwrap(),
+            PlanSource::SqlServerXml(_)
+        ));
+        // A BOM-only document is still empty input.
+        assert_eq!(
+            PlanSource::auto("\u{feff} \n").unwrap_err(),
+            LanternError::EmptyInput
+        );
     }
 
     #[test]

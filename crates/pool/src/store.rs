@@ -143,6 +143,14 @@ impl PoemStore {
         )
     }
 
+    /// The current catalog generation: bumped by every POOL mutation.
+    /// Consumers that key derived state off the catalog — the snapshot
+    /// cache internally, the narration cache externally — fold this in
+    /// so a mutation invalidates them implicitly.
+    pub fn version(&self) -> u64 {
+        self.inner.read().version
+    }
+
     /// Take an immutable, indexed snapshot of the whole catalog (see
     /// [`crate::snapshot`]). Use this on narration hot paths and when
     /// fanning a batch out across threads: lookups against the

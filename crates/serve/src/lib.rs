@@ -20,10 +20,12 @@
 //! | `POST` | `/narrate` | one raw plan document (PG JSON or SQL Server XML, auto-detected) | narration object |
 //! | `POST` | `/narrate/batch` | JSON array of plan-document strings | array of per-item narration objects / error objects |
 //! | `GET` | `/healthz` | — | liveness + backend name |
-//! | `GET` | `/stats` | — | request counters |
+//! | `GET` | `/stats` | — | request counters (cache counters under `"cache"` when caching is on) |
+//! | `POST` | `/cache/clear` | — | drop all cached narrations (only routed when caching is on) |
 //!
 //! Both narrate endpoints accept a `?style=numbered|bulleted|paragraph`
-//! query parameter. Failures map to HTTP statuses through
+//! query parameter, plus `?nocache=1` to bypass the narration cache for
+//! one request. Failures map to HTTP statuses through
 //! [`LanternError::http_status`](lantern_core::LanternError::http_status)
 //! and carry a structured `{"error": {...}}` body. `docs/SERVING.md` in
 //! the repository root is the full endpoint reference.
@@ -60,5 +62,6 @@ pub mod server;
 
 pub use client::{ClientResponse, HttpClient};
 pub use http::{Request, Response};
+pub use lantern_cache::{CacheControl, CacheStatsSnapshot};
 pub use router::{error_body, Router};
-pub use server::{serve, ServeConfig, ServeStats, ServerHandle, StatsSnapshot};
+pub use server::{serve, serve_with_cache, ServeConfig, ServeStats, ServerHandle, StatsSnapshot};

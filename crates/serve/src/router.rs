@@ -13,10 +13,12 @@
 
 use crate::http::{Request, Response};
 use crate::server::ServeStats;
+use lantern_cache::{CacheControl, CacheStatsSnapshot};
 use lantern_core::{LanternError, NarrationRequest, NarrationResponse, RenderStyle, Translator};
 use lantern_text::json::JsonValue;
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// The `{"error": {...}}` JSON body for a narration failure.
 pub fn error_body(err: &LanternError) -> JsonValue {
@@ -67,26 +69,73 @@ fn parse_style(raw: &str) -> Result<RenderStyle, String> {
 }
 
 /// Routes requests for one service instance: holds the translator, the
-/// shared counters, and the derived backend name.
+/// shared counters, the derived backend name, and — when the service
+/// was built with a narration cache — the cache's admin surface
+/// (`?nocache=1` bypass, `POST /cache/clear`, counters in `/stats`).
 pub struct Router<T> {
     translator: T,
     stats: std::sync::Arc<ServeStats>,
+    cache: Option<Arc<dyn CacheControl + Send + Sync>>,
+}
+
+/// Decrements the in-flight gauge when the handler returns (or
+/// unwinds — a leaked gauge would report phantom load forever).
+struct InFlightGuard<'a>(&'a ServeStats);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.requests_in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl<T: Translator> Router<T> {
-    /// A router over `translator`, recording into `stats`.
+    /// A router over `translator`, recording into `stats`, with no
+    /// cache admin surface.
     pub fn new(translator: T, stats: std::sync::Arc<ServeStats>) -> Self {
-        Router { translator, stats }
+        Router {
+            translator,
+            stats,
+            cache: None,
+        }
+    }
+
+    /// A router whose translator fronts a narration cache: `cache` is
+    /// the same object (or a wrapper over it), exposing bypass, stats,
+    /// and clear.
+    pub fn with_cache(
+        translator: T,
+        stats: std::sync::Arc<ServeStats>,
+        cache: Arc<dyn CacheControl + Send + Sync>,
+    ) -> Self {
+        Router {
+            translator,
+            stats,
+            cache: Some(cache),
+        }
     }
 
     /// Dispatch one parsed request to its handler.
     pub fn handle(&self, req: &Request) -> Response {
         self.stats.requests_total.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .requests_in_flight
+            .fetch_add(1, Ordering::Relaxed);
+        let _in_flight = InFlightGuard(&self.stats);
         let response = match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/narrate") => self.narrate(req),
             ("POST", "/narrate/batch") => self.narrate_batch(req),
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/stats") => self.stats(),
+            ("POST", "/cache/clear") if self.cache.is_some() => self.cache_clear(),
+            (_, "/cache/clear") if self.cache.is_some() => Response::json(
+                405,
+                error_body_raw(
+                    "http",
+                    &format!("method {} not allowed on {}", req.method, req.path),
+                    405,
+                )
+                .to_string_compact(),
+            ),
             (_, "/narrate" | "/narrate/batch" | "/healthz" | "/stats") => Response::json(
                 405,
                 error_body_raw(
@@ -109,6 +158,12 @@ impl<T: Translator> Router<T> {
             self.stats.error_responses.fetch_add(1, Ordering::Relaxed);
         }
         response
+    }
+
+    /// Whether `?nocache=1` (any value but `0`) asks this request to
+    /// bypass the narration cache.
+    fn wants_nocache(req: &Request) -> bool {
+        req.query_param("nocache").is_some_and(|v| v != "0")
     }
 
     /// Per-request style override from `?style=`, if present. A value
@@ -149,7 +204,15 @@ impl<T: Translator> Router<T> {
                 message: "request body is not valid UTF-8".into(),
             });
         };
-        match Self::build_request(doc, style).and_then(|r| self.translator.narrate(&r)) {
+        let narrated = Self::build_request(doc, style).and_then(|r| {
+            match (&self.cache, Self::wants_nocache(req)) {
+                // `?nocache=1` routes around the cache (neither
+                // consulted nor filled) when one is configured.
+                (Some(cache), true) => cache.narrate_uncached(&r),
+                _ => self.translator.narrate(&r),
+            }
+        });
+        match narrated {
             Ok(resp) => {
                 self.stats.narrate_ok.fetch_add(1, Ordering::Relaxed);
                 Response::json(200, narration_value(&resp).to_string_compact())
@@ -222,7 +285,11 @@ impl<T: Translator> Router<T> {
             .into_iter()
             .map(|item| item.map(|req| good.push(req)))
             .collect();
-        let mut narrated = self.translator.narrate_batch(&good).into_iter();
+        let narrated = match (&self.cache, Self::wants_nocache(req)) {
+            (Some(cache), true) => cache.narrate_batch_uncached(&good),
+            _ => self.translator.narrate_batch(&good),
+        };
+        let mut narrated = narrated.into_iter();
         let mut out = Vec::with_capacity(placements.len());
         for placement in placements {
             let result = match placement {
@@ -266,13 +333,51 @@ impl<T: Translator> Router<T> {
         Response::json(200, JsonValue::Object(obj).to_string_compact())
     }
 
-    /// `GET /stats` — the counter snapshot.
+    /// `GET /stats` — the counter snapshot, with the narration cache's
+    /// counters merged in under `"cache"` when one is configured.
     fn stats(&self) -> Response {
-        Response::json(
-            200,
-            self.stats.snapshot().to_json_value().to_string_compact(),
-        )
+        let mut body = self.stats.snapshot().to_json_value();
+        if let (Some(cache), JsonValue::Object(obj)) = (&self.cache, &mut body) {
+            obj.insert("cache".to_string(), cache_stats_value(&cache.cache_stats()));
+        }
+        Response::json(200, body.to_string_compact())
     }
+
+    /// `POST /cache/clear` — drop every cached narration; answers how
+    /// many were resident. Only routed when a cache is configured.
+    fn cache_clear(&self) -> Response {
+        let cache = self.cache.as_ref().expect("routed only with a cache");
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "cleared".to_string(),
+            JsonValue::Number(cache.clear_cache() as f64),
+        );
+        Response::json(200, JsonValue::Object(obj).to_string_compact())
+    }
+}
+
+/// The `"cache"` object of the `GET /stats` body.
+fn cache_stats_value(stats: &CacheStatsSnapshot) -> JsonValue {
+    let mut obj = BTreeMap::new();
+    for (key, value) in [
+        ("entries", stats.entries),
+        ("bytes", stats.bytes),
+        ("max_entries", stats.max_entries),
+        ("max_bytes", stats.max_bytes),
+        ("shards", stats.shards),
+        ("hits", stats.hits),
+        ("misses", stats.misses),
+        ("insertions", stats.insertions),
+        ("evictions", stats.evictions),
+        ("doc_hits", stats.doc_hits),
+        ("coalesced", stats.coalesced),
+        ("batch_dedup_hits", stats.batch_dedup_hits),
+        ("uncacheable", stats.uncacheable),
+        ("clears", stats.clears),
+    ] {
+        obj.insert(key.to_string(), JsonValue::Number(value as f64));
+    }
+    JsonValue::Object(obj)
 }
 
 #[cfg(test)]
@@ -450,6 +555,105 @@ mod tests {
         // Non-string entries are per-item errors, not envelope errors.
         let resp = router.handle(&post("/narrate/batch", "[42]"));
         assert_eq!(resp.status, 200);
+    }
+
+    fn cached_router() -> Router<Arc<lantern_cache::CachedTranslator<RuleTranslator>>> {
+        let cached = Arc::new(lantern_cache::CachedTranslator::new(
+            RuleTranslator::new(default_mssql_store()),
+            lantern_cache::CacheConfig::default(),
+        ));
+        Router::with_cache(
+            Arc::clone(&cached),
+            Arc::new(ServeStats::new()),
+            cached as Arc<dyn CacheControl + Send + Sync>,
+        )
+    }
+
+    #[test]
+    fn cache_hits_show_in_stats_and_nocache_bypasses() {
+        let router = cached_router();
+        assert_eq!(router.handle(&post("/narrate", PG_DOC)).status, 200);
+        assert_eq!(router.handle(&post("/narrate", PG_DOC)).status, 200);
+        let stats = json_body(&router.handle(&get("/stats")));
+        let cache = stats.get("cache").expect("cache object in /stats");
+        assert_eq!(cache.get("hits").and_then(JsonValue::as_f64), Some(1.0));
+        assert_eq!(cache.get("entries").and_then(JsonValue::as_f64), Some(1.0));
+
+        // A bypassed request neither hits nor fills the cache...
+        let resp = router.handle(&post("/narrate?nocache=1", PG_DOC));
+        assert_eq!(resp.status, 200);
+        let stats = json_body(&router.handle(&get("/stats")));
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(JsonValue::as_f64), Some(1.0));
+        // ...and its body is identical to the cached one.
+        let cached_body = router.handle(&post("/narrate", PG_DOC));
+        assert_eq!(resp.body, cached_body.body);
+        // `nocache=0` means "use the cache".
+        let _ = router.handle(&post("/narrate?nocache=0", PG_DOC));
+        let stats = json_body(&router.handle(&get("/stats")));
+        assert_eq!(
+            stats
+                .get("cache")
+                .unwrap()
+                .get("hits")
+                .and_then(JsonValue::as_f64),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn cache_clear_route_drops_entries() {
+        let router = cached_router();
+        let _ = router.handle(&post("/narrate", PG_DOC));
+        let _ = router.handle(&post("/narrate", XML_DOC));
+        let resp = router.handle(&post("/cache/clear", ""));
+        assert_eq!(resp.status, 200);
+        let body = json_body(&resp);
+        assert_eq!(body.get("cleared").and_then(JsonValue::as_f64), Some(2.0));
+        let stats = json_body(&router.handle(&get("/stats")));
+        assert_eq!(
+            stats
+                .get("cache")
+                .unwrap()
+                .get("entries")
+                .and_then(JsonValue::as_f64),
+            Some(0.0)
+        );
+        // Wrong method on a live cache route is 405, not 404.
+        assert_eq!(router.handle(&get("/cache/clear")).status, 405);
+    }
+
+    #[test]
+    fn cache_routes_absent_without_a_cache() {
+        let router = router();
+        assert_eq!(router.handle(&post("/cache/clear", "")).status, 404);
+        let stats = json_body(&router.handle(&get("/stats")));
+        assert!(stats.get("cache").is_none());
+    }
+
+    #[test]
+    fn in_flight_gauge_counts_self_and_returns_to_zero() {
+        let router = router();
+        let stats = json_body(&router.handle(&get("/stats")));
+        assert_eq!(
+            stats.get("requests_in_flight").and_then(JsonValue::as_f64),
+            Some(1.0),
+            "a /stats response counts at least itself"
+        );
+        assert!(stats
+            .get("uptime_seconds")
+            .and_then(JsonValue::as_f64)
+            .is_some());
+        // After the handler returned, the gauge is back to zero.
+        let stats = json_body(&router.handle(&get("/stats")));
+        assert_eq!(
+            stats.get("requests_in_flight").and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+    }
+
+    fn json_body(resp: &Response) -> JsonValue {
+        JsonValue::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap()
     }
 
     #[test]

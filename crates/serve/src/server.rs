@@ -87,6 +87,10 @@ pub struct ServeStats {
     /// Panics contained by the worker pool (each cost one connection,
     /// never a worker).
     pub panics: AtomicU64,
+    /// Gauge: requests currently being handled (incremented on entry to
+    /// the router, decremented when the handler returns — so a `/stats`
+    /// response always counts at least itself).
+    pub requests_in_flight: AtomicU64,
     started: Instant,
 }
 
@@ -105,6 +109,7 @@ impl ServeStats {
             not_found: AtomicU64::new(0),
             error_responses: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            requests_in_flight: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -128,7 +133,9 @@ impl ServeStats {
             not_found: self.not_found.load(Ordering::Relaxed),
             error_responses: self.error_responses.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            requests_in_flight: self.requests_in_flight.load(Ordering::Relaxed),
             uptime_ms: self.uptime().as_millis() as u64,
+            uptime_seconds: self.uptime().as_secs(),
         }
     }
 }
@@ -156,8 +163,12 @@ pub struct StatsSnapshot {
     pub error_responses: u64,
     /// See [`ServeStats::panics`].
     pub panics: u64,
+    /// See [`ServeStats::requests_in_flight`].
+    pub requests_in_flight: u64,
     /// Milliseconds since the server came up.
     pub uptime_ms: u64,
+    /// Whole seconds since the server came up.
+    pub uptime_seconds: u64,
 }
 
 impl StatsSnapshot {
@@ -175,7 +186,9 @@ impl StatsSnapshot {
             ("not_found", self.not_found),
             ("error_responses", self.error_responses),
             ("panics", self.panics),
+            ("requests_in_flight", self.requests_in_flight),
             ("uptime_ms", self.uptime_ms),
+            ("uptime_seconds", self.uptime_seconds),
         ] {
             obj.insert(key.to_string(), JsonValue::Number(value as f64));
         }
@@ -273,11 +286,32 @@ pub fn serve<T>(
 where
     T: Translator + Send + Sync + 'static,
 {
+    serve_with_cache(translator, None, addr, config)
+}
+
+/// [`serve`], with the translator's narration-cache admin surface
+/// attached: the router honours `?nocache=1`, routes
+/// `POST /cache/clear`, and merges cache counters into `GET /stats`.
+/// `cache` is typically the *same* object as `translator` (an
+/// `Arc<CachedTranslator<_>>`, or a service wrapping one), shared via
+/// `Arc`.
+pub fn serve_with_cache<T>(
+    translator: T,
+    cache: Option<Arc<dyn lantern_cache::CacheControl + Send + Sync>>,
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+) -> io::Result<ServerHandle>
+where
+    T: Translator + Send + Sync + 'static,
+{
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServeStats::new());
-    let router = Arc::new(Router::new(translator, Arc::clone(&stats)));
+    let router = Arc::new(match cache {
+        Some(cache) => Router::with_cache(translator, Arc::clone(&stats), cache),
+        None => Router::new(translator, Arc::clone(&stats)),
+    });
 
     let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.queue_depth);
     let conn_rx = Arc::new(Mutex::new(conn_rx));

@@ -13,6 +13,7 @@
 //! ```
 
 use lantern::builder::{Backend, LanternBuilder};
+use lantern::cache::CacheConfig;
 use lantern::core::RenderStyle;
 use lantern::serve::ServeConfig;
 use std::time::Duration;
@@ -32,6 +33,12 @@ OPTIONS:
                           [default: numbered]
     --paraphrase          Enable the paraphrase output layer
     --workers <N>         Worker threads (0 = one per core) [default: 0]
+    --no-cache            Disable the plan-fingerprint narration cache
+                          (on by default: repeated plans answer from a
+                          sharded LRU; see docs/SERVING.md)
+    --cache-entries <N>   Narration cache capacity, entries [default: 4096]
+    --cache-mb <N>        Narration cache capacity, MiB [default: 32]
+    --cache-strict        Fingerprint cardinality/cost estimates too
     --help                Print this help
 ";
 
@@ -41,6 +48,20 @@ struct Args {
     style: RenderStyle,
     paraphrase: bool,
     workers: usize,
+    cache_config: CacheConfig,
+    no_cache: bool,
+}
+
+impl Args {
+    /// The effective cache setting: `--no-cache` wins regardless of
+    /// where it appears relative to the `--cache-*` sizing flags.
+    fn cache(&self) -> Option<CacheConfig> {
+        if self.no_cache {
+            None
+        } else {
+            Some(self.cache_config)
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +71,10 @@ fn parse_args() -> Result<Args, String> {
         style: RenderStyle::Numbered,
         paraphrase: false,
         workers: 0,
+        // The classroom workload is exactly what the cache exists for;
+        // the binary serves cached unless told otherwise.
+        cache_config: CacheConfig::default(),
+        no_cache: false,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -80,6 +105,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?
             }
+            "--no-cache" => args.no_cache = true,
+            "--cache-entries" => {
+                args.cache_config.max_entries = value("--cache-entries")?
+                    .parse()
+                    .map_err(|e| format!("--cache-entries: {e}"))?;
+            }
+            "--cache-mb" => {
+                let mib: u64 = value("--cache-mb")?
+                    .parse()
+                    .map_err(|e| format!("--cache-mb: {e}"))?;
+                args.cache_config.max_bytes = mib * 1024 * 1024;
+            }
+            "--cache-strict" => args.cache_config.strict = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -98,10 +136,14 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let handle = LanternBuilder::new()
+    let mut builder = LanternBuilder::new()
         .backend(args.backend)
         .style(args.style)
-        .paraphrase(args.paraphrase)
+        .paraphrase(args.paraphrase);
+    if let Some(cache) = args.cache() {
+        builder = builder.cache(cache);
+    }
+    let handle = builder
         .build()
         .expect("assemble service")
         .serve(
@@ -118,7 +160,7 @@ fn main() {
     // The smoke-test lane greps for this exact line before curling.
     println!("lantern-serve listening on http://{}", handle.addr());
     println!(
-        "endpoints: POST /narrate, POST /narrate/batch, GET /healthz, GET /stats (see docs/SERVING.md)"
+        "endpoints: POST /narrate, POST /narrate/batch, GET /healthz, GET /stats, POST /cache/clear (see docs/SERVING.md)"
     );
     // Serve until the process is killed; the worker pool does the work.
     loop {

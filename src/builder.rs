@@ -17,6 +17,7 @@
 //! );
 //! ```
 
+use lantern_cache::{CacheConfig, CacheControl, CacheStatsSnapshot, CachedTranslator};
 use lantern_core::{
     LanternError, NarrationRequest, NarrationResponse, RenderStyle, RuleTranslator, Translator,
 };
@@ -26,6 +27,7 @@ use lantern_paraphrase::ParaphrasedTranslator;
 use lantern_pool::{default_mssql_store, PoemStore};
 use lantern_serve::{ServeConfig, ServerHandle};
 use std::net::ToSocketAddrs;
+use std::sync::Arc;
 
 /// Which translation backend a [`LanternService`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,6 +53,7 @@ pub struct LanternBuilder {
     neural: Option<NeuralLantern>,
     paraphrase: bool,
     style: RenderStyle,
+    cache: Option<CacheConfig>,
 }
 
 impl LanternBuilder {
@@ -93,6 +96,21 @@ impl LanternBuilder {
         self
     }
 
+    /// Put a plan-fingerprint narration cache (`lantern-cache`) in
+    /// front of the selected backend: repeated plans — the classroom
+    /// pattern — are answered from a sharded LRU keyed by a canonical
+    /// fingerprint (invariant to JSON key order, whitespace, and
+    /// cost-estimate jitter), with single-flight coalescing of
+    /// concurrent identical misses and in-batch dedup. The cache is
+    /// keyed by the POEM catalog generation, so POOL mutations
+    /// invalidate it implicitly. Off by default; a cache-less service
+    /// behaves byte-identically to one built before this option
+    /// existed.
+    pub fn cache(mut self, config: CacheConfig) -> Self {
+        self.cache = Some(config);
+        self
+    }
+
     /// Assemble the service.
     ///
     /// Fails with [`LanternError::Config`] when the neural backend is
@@ -127,6 +145,20 @@ impl LanternBuilder {
             Box::new(ParaphrasedTranslator::new(inner).with_style(self.style))
         } else {
             inner
+        };
+        // The cache decorates the *complete* chain (backend [+
+        // paraphrase]) so a hit skips every layer below it; keys fold
+        // in the store's catalog generation so POOL mutations
+        // invalidate implicitly.
+        let translator = match self.cache {
+            Some(config) => {
+                let generation_store = store.clone();
+                ServiceCore::Cached(Arc::new(
+                    CachedTranslator::new(translator, config)
+                        .with_generation(move || generation_store.version()),
+                ))
+            }
+            None => ServiceCore::Plain(translator),
         };
         Ok(LanternService {
             translator,
@@ -168,11 +200,28 @@ impl LanternBuilder {
     }
 }
 
+/// The assembled translator chain: bare, or fronted by the narration
+/// cache (kept concrete — not type-erased — so the service can still
+/// reach the cache's admin surface).
+enum ServiceCore {
+    Plain(Box<dyn Translator + Send + Sync>),
+    Cached(Arc<CachedTranslator<Box<dyn Translator + Send + Sync>>>),
+}
+
+impl ServiceCore {
+    fn translator(&self) -> &(dyn Translator + Send + Sync) {
+        match self {
+            ServiceCore::Plain(t) => t,
+            ServiceCore::Cached(c) => c.as_ref(),
+        }
+    }
+}
+
 /// A configured translation service: the product of
 /// [`LanternBuilder::build`], serving the unified [`Translator`] API
 /// over whichever backend was selected.
 pub struct LanternService {
-    translator: Box<dyn Translator + Send + Sync>,
+    translator: ServiceCore,
     store: PoemStore,
     style: RenderStyle,
     /// True when the inner backend cannot be configured with a style
@@ -184,8 +233,9 @@ pub struct LanternService {
 impl std::fmt::Debug for LanternService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LanternService")
-            .field("backend", &self.translator.backend())
+            .field("backend", &self.translator.translator().backend())
             .field("style", &self.style)
+            .field("cached", &self.has_cache())
             .finish_non_exhaustive()
     }
 }
@@ -202,6 +252,20 @@ impl LanternService {
         self.style
     }
 
+    /// Whether the service was built with a narration cache
+    /// ([`LanternBuilder::cache`]).
+    pub fn has_cache(&self) -> bool {
+        matches!(self.translator, ServiceCore::Cached(_))
+    }
+
+    /// Narration-cache counter snapshot; `None` without a cache.
+    pub fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
+        match &self.translator {
+            ServiceCore::Cached(c) => Some(c.cache().stats()),
+            ServiceCore::Plain(_) => None,
+        }
+    }
+
     /// Convenience: narrate a serialized plan document, auto-detecting
     /// the vendor format.
     pub fn narrate_document(&self, doc: &str) -> Result<NarrationResponse, LanternError> {
@@ -211,12 +275,21 @@ impl LanternService {
     /// Boot an HTTP narration server over this service (consuming it —
     /// the server's worker pool owns the service from here on). See
     /// [`lantern_serve::serve`] for the endpoint set and semantics.
+    /// When the service carries a narration cache, the server's router
+    /// additionally honours `?nocache=1`, routes `POST /cache/clear`,
+    /// and merges cache counters into `GET /stats`.
     pub fn serve(
         self,
         addr: impl ToSocketAddrs,
         config: ServeConfig,
     ) -> std::io::Result<ServerHandle> {
-        lantern_serve::serve(self, addr, config)
+        if self.has_cache() {
+            let service = Arc::new(self);
+            let cache: Arc<dyn CacheControl + Send + Sync> = Arc::clone(&service) as _;
+            lantern_serve::serve_with_cache(service, Some(cache), addr, config)
+        } else {
+            lantern_serve::serve(self, addr, config)
+        }
     }
 
     /// Apply the service's configured style to a response from a
@@ -232,11 +305,11 @@ impl LanternService {
 
 impl Translator for LanternService {
     fn backend(&self) -> &str {
-        self.translator.backend()
+        self.translator.translator().backend()
     }
 
     fn narrate(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError> {
-        let mut resp = self.translator.narrate(req)?;
+        let mut resp = self.translator.translator().narrate(req)?;
         self.restyle(req, &mut resp);
         Ok(resp)
     }
@@ -245,13 +318,56 @@ impl Translator for LanternService {
         &self,
         reqs: &[NarrationRequest],
     ) -> Vec<Result<NarrationResponse, LanternError>> {
-        let mut out = self.translator.narrate_batch(reqs);
+        let mut out = self.translator.translator().narrate_batch(reqs);
         for (result, req) in out.iter_mut().zip(reqs) {
             if let Ok(resp) = result {
                 self.restyle(req, resp);
             }
         }
         out
+    }
+}
+
+/// The cache admin surface, restyle-aware: `?nocache=1` responses must
+/// be byte-identical to cached ones, so the bypass path applies the
+/// same service-level re-rendering the normal path does. On a
+/// cache-less service the bypass degrades to the normal path and the
+/// counters are all zero.
+impl CacheControl for LanternService {
+    fn narrate_uncached(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError> {
+        let mut resp = match &self.translator {
+            ServiceCore::Cached(c) => c.narrate_uncached(req)?,
+            ServiceCore::Plain(t) => t.narrate(req)?,
+        };
+        self.restyle(req, &mut resp);
+        Ok(resp)
+    }
+
+    fn narrate_batch_uncached(
+        &self,
+        reqs: &[NarrationRequest],
+    ) -> Vec<Result<NarrationResponse, LanternError>> {
+        let mut out = match &self.translator {
+            ServiceCore::Cached(c) => c.narrate_batch_uncached(reqs),
+            ServiceCore::Plain(t) => t.narrate_batch(reqs),
+        };
+        for (result, req) in out.iter_mut().zip(reqs) {
+            if let Ok(resp) = result {
+                self.restyle(req, resp);
+            }
+        }
+        out
+    }
+
+    fn cache_stats(&self) -> CacheStatsSnapshot {
+        LanternService::cache_stats(self).unwrap_or_default()
+    }
+
+    fn clear_cache(&self) -> u64 {
+        match &self.translator {
+            ServiceCore::Cached(c) => c.clear_cache(),
+            ServiceCore::Plain(_) => 0,
+        }
     }
 }
 
@@ -357,6 +473,109 @@ mod tests {
         // unknown-operator error.
         let err = service.narrate_document(XML_DOC).unwrap_err();
         assert!(matches!(err, LanternError::UnknownOperator { .. }));
+    }
+
+    #[test]
+    fn cached_service_is_byte_identical_to_plain() {
+        // The acceptance bar for the cache layer: with the cache on,
+        // cold responses, warm responses, and `nocache` responses are
+        // all byte-identical to a cache-less service's — across
+        // backends, styles, and both vendors.
+        let docs = [PG_DOC, XML_DOC];
+        for backend in [Backend::Rule, Backend::Neuron] {
+            for style in [RenderStyle::Numbered, RenderStyle::Bulleted] {
+                let plain = LanternBuilder::new()
+                    .backend(backend)
+                    .style(style)
+                    .build()
+                    .unwrap();
+                let cached = LanternBuilder::new()
+                    .backend(backend)
+                    .style(style)
+                    .cache(lantern_cache::CacheConfig::default())
+                    .build()
+                    .unwrap();
+                for doc in docs {
+                    let expected = plain.narrate_document(doc);
+                    let cold = cached.narrate_document(doc);
+                    let warm = cached.narrate_document(doc);
+                    let bypass = NarrationRequest::auto(doc)
+                        .ok()
+                        .map(|r| CacheControl::narrate_uncached(&cached, &r));
+                    match expected {
+                        Ok(expected) => {
+                            assert_eq!(cold.as_ref().unwrap(), &expected);
+                            assert_eq!(warm.as_ref().unwrap(), &expected);
+                            assert_eq!(bypass.unwrap().as_ref().unwrap(), &expected);
+                        }
+                        Err(expected) => {
+                            assert_eq!(cold.unwrap_err(), expected);
+                            assert_eq!(warm.unwrap_err(), expected);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_service_reports_hits_and_clears() {
+        let service = LanternBuilder::new()
+            .cache(lantern_cache::CacheConfig::default())
+            .build()
+            .unwrap();
+        assert!(service.has_cache());
+        service.narrate_document(PG_DOC).unwrap();
+        service.narrate_document(PG_DOC).unwrap();
+        let stats = service.cache_stats().unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(CacheControl::clear_cache(&service), 1);
+        assert_eq!(service.cache_stats().unwrap().entries, 0);
+    }
+
+    #[test]
+    fn pool_mutation_invalidates_cached_narrations() {
+        use lantern_pool::OperatorArity;
+        let service = LanternBuilder::new()
+            .cache(lantern_cache::CacheConfig::default())
+            .build()
+            .unwrap();
+        let before = service.narrate_document(PG_DOC).unwrap();
+        service.narrate_document(PG_DOC).unwrap(); // warm
+        assert_eq!(service.cache_stats().unwrap().hits, 1);
+        // A POOL mutation bumps the catalog generation: the next
+        // narration misses (fresh key) instead of serving stale prose.
+        service.store().create(
+            "pg",
+            "Seq Scan",
+            None,
+            OperatorArity::Unary,
+            Some("re-read {rel} end to end"),
+            &["re-read {rel} end to end"],
+            false,
+            None,
+        );
+        let after = service.narrate_document(PG_DOC).unwrap();
+        let stats = service.cache_stats().unwrap();
+        assert_eq!(stats.hits, 1, "generation change must miss");
+        assert_eq!(stats.entries, 2, "old and new generations coexist");
+        // (The default store already had a Seq Scan entry, so the
+        // narration itself is unchanged — the point is the key.)
+        assert_eq!(before.backend, after.backend);
+    }
+
+    #[test]
+    fn plain_service_has_no_cache_surface() {
+        let service = LanternBuilder::new().build().unwrap();
+        assert!(!service.has_cache());
+        assert!(service.cache_stats().is_none());
+        assert_eq!(CacheControl::clear_cache(&service), 0);
+        // The trait's bypass path still narrates.
+        let resp =
+            CacheControl::narrate_uncached(&service, &NarrationRequest::auto(PG_DOC).unwrap())
+                .unwrap();
+        assert!(resp.text.contains("sequential scan on orders"));
     }
 
     #[test]

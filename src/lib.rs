@@ -65,6 +65,7 @@ pub mod builder;
 
 pub use builder::{Backend, LanternBuilder, LanternService};
 
+pub use lantern_cache as cache;
 pub use lantern_catalog as catalog;
 pub use lantern_core as core;
 pub use lantern_embed as embed;
@@ -83,6 +84,7 @@ pub use lantern_text as text;
 /// Convenience re-exports of the most common entry points.
 pub mod prelude {
     pub use crate::builder::{Backend, LanternBuilder, LanternService};
+    pub use lantern_cache::{CacheConfig, CacheControl, CacheStatsSnapshot, CachedTranslator};
     pub use lantern_catalog::{dblp_catalog, imdb_catalog, sdss_catalog, tpch_catalog, Catalog};
     pub use lantern_core::{
         Lantern, LanternError, NarrationRequest, NarrationResponse, PlanSource, RenderStyle,

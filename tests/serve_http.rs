@@ -279,6 +279,10 @@ fn healthz_stats_and_graceful_shutdown() {
     assert_eq!(count("narrate_errors"), 1);
     assert_eq!(count("connections"), 1, "keep-alive reuses one connection");
     assert_eq!(count("requests_total"), 4);
+    // The gauges: exactly this /stats request is in flight while its
+    // snapshot is taken, and uptime is reported in whole seconds too.
+    assert_eq!(count("requests_in_flight"), 1);
+    assert!(count("uptime_seconds") <= count("uptime_ms") / 1000 + 1);
 
     // In-process stats agree with the served snapshot (modulo the
     // /stats request itself, already counted above).
@@ -302,4 +306,69 @@ fn healthz_stats_and_graceful_shutdown() {
             }
         };
     assert!(gone, "server still answering after graceful shutdown");
+}
+
+/// Acceptance: a cache-enabled service over real sockets — a repeated
+/// plan reports a cache hit in `/stats`, `?nocache=1` bypasses,
+/// `POST /cache/clear` empties, and every response body is identical.
+#[test]
+fn cached_service_over_sockets() {
+    let server = LanternBuilder::new()
+        .cache(CacheConfig::default())
+        .serve("127.0.0.1:0")
+        .unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    let cold = client.post("/narrate", PG_DOC).unwrap();
+    assert_eq!(cold.status, 200);
+    let warm = client.post("/narrate", PG_DOC).unwrap();
+    assert_eq!(warm.body, cold.body, "a hit must be byte-identical");
+
+    let cache_of = |body: &str| {
+        json_of(body)
+            .get("cache")
+            .expect("cache object in /stats")
+            .clone()
+    };
+    let stats = cache_of(&client.get("/stats").unwrap().body);
+    let count = |v: &JsonValue, key: &str| v.get(key).and_then(JsonValue::as_f64).unwrap() as u64;
+    assert_eq!(count(&stats, "hits"), 1);
+    assert_eq!(count(&stats, "entries"), 1);
+    assert_eq!(
+        count(&stats, "doc_hits"),
+        1,
+        "byte-identical re-submission skips parsing"
+    );
+
+    // Bypass: same body, no extra hit.
+    let bypass = client.post("/narrate?nocache=1", PG_DOC).unwrap();
+    assert_eq!(bypass.body, cold.body);
+    let stats = cache_of(&client.get("/stats").unwrap().body);
+    assert_eq!(count(&stats, "hits"), 1, "nocache must not touch the cache");
+
+    // Admin clear.
+    let resp = client.post("/cache/clear", "").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        json_of(&resp.body)
+            .get("cleared")
+            .and_then(JsonValue::as_f64),
+        Some(1.0)
+    );
+    let stats = cache_of(&client.get("/stats").unwrap().body);
+    assert_eq!(count(&stats, "entries"), 0);
+
+    // Batch with 75% duplicates against the now-cold cache: one
+    // narration, three in-batch dedup stitches, no extra LRU hits.
+    let entry = JsonValue::String(PG_DOC.to_string()).to_string_compact();
+    let batch = format!("[{entry}, {entry}, {entry}, {entry}]");
+    let resp = client.post("/narrate/batch", &batch).unwrap();
+    assert_eq!(resp.status, 200);
+    let stats = cache_of(&client.get("/stats").unwrap().body);
+    assert_eq!(count(&stats, "hits"), 1, "no batch item hit the cold LRU");
+    assert_eq!(count(&stats, "batch_dedup_hits"), 3);
+    assert_eq!(count(&stats, "entries"), 1, "the unique plan was cached");
+
+    drop(client);
+    server.shutdown().unwrap();
 }
