@@ -1,0 +1,534 @@
+//! The seeded plan generator: random-but-valid operator trees over the
+//! bundled benchmark catalogs, rendered as PostgreSQL JSON or SQL
+//! Server XML artifacts.
+//!
+//! Validity is by construction: every emitted shape mirrors what the
+//! engine's own planner produces — `Hash Join` always hashes its build
+//! side through an auxiliary `Hash`, merge inputs are `Sort`-wrapped,
+//! a `Sorted` aggregate sits on a `Sort` that shares its grouping
+//! keys — so the auxiliary/critical clustering step never sees an
+//! auxiliary operator without a child, and every operator name is in
+//! the POEM vocabulary of both dialects.
+
+use crate::config::{ArtifactFormat, FormatMix, GenConfig};
+use crate::mutate::{mutate_tree, Mutation};
+use lantern_catalog::{dblp_catalog, imdb_catalog, sdss_catalog, tpch_catalog, Catalog};
+use lantern_plan::{plan_to_pg_json, plan_to_sqlserver_xml, PlanNode, PlanTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A table the generator can scan: name, column names, and which of
+/// those columns carry a secondary index.
+#[derive(Debug, Clone)]
+pub struct TableInfo {
+    pub name: String,
+    pub columns: Vec<String>,
+    pub indexed: Vec<String>,
+    pub base_rows: f64,
+}
+
+impl TableInfo {
+    fn from_catalog(catalog: &Catalog) -> Vec<TableInfo> {
+        catalog
+            .tables()
+            .iter()
+            .filter(|t| !t.columns.is_empty())
+            .map(|t| TableInfo {
+                name: t.name.clone(),
+                columns: t.columns.iter().map(|c| c.name.clone()).collect(),
+                indexed: t
+                    .columns
+                    .iter()
+                    .filter(|c| c.indexed)
+                    .map(|c| c.name.clone())
+                    .collect(),
+                base_rows: t.base_rows as f64,
+            })
+            .collect()
+    }
+}
+
+/// Why a stream item looks the way it does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamKind {
+    /// A brand-new plan, distinct from every earlier artifact.
+    Fresh,
+    /// A verbatim re-emission of fresh artifact `of` (a cache hit when
+    /// replayed against a caching server).
+    Duplicate { of: u64 },
+    /// A near-duplicate of fresh artifact `of` with one mutation
+    /// applied.
+    Mutant { of: u64, mutation: Mutation },
+}
+
+/// One generated artifact: the wire document plus its provenance.
+#[derive(Debug, Clone)]
+pub struct GeneratedPlan {
+    /// Serial number of the underlying fresh plan (stamped into a leaf
+    /// filter, which is what makes fresh artifacts pairwise distinct).
+    pub serial: u64,
+    /// Wire format of `doc`.
+    pub format: ArtifactFormat,
+    /// The rendered artifact — ready to POST to `/narrate`.
+    pub doc: String,
+    /// Fresh / duplicate / mutant provenance.
+    pub kind: StreamKind,
+}
+
+/// One remembered fresh artifact (the duplicate/mutant ring entry).
+#[derive(Clone)]
+struct HistoryEntry {
+    serial: u64,
+    format: ArtifactFormat,
+    doc: String,
+    tree: PlanTree,
+}
+
+/// Per-plan construction context: alias numbering plus the leaves seen
+/// so far (join conditions and grouping keys draw from them).
+struct PlanCtx {
+    next_alias: usize,
+}
+
+/// A leaf reference carried up the recursion so internal operators can
+/// build conditions over columns that actually exist below them.
+#[derive(Clone)]
+struct LeafRef {
+    alias: String,
+    table: usize,
+}
+
+/// The seeded artifact generator. Also an [`Iterator`] over
+/// [`GeneratedPlan`]s, applying the configured duplicate/mutation
+/// rates — `generator.take(n)` is a workload.
+pub struct PlanGenerator {
+    config: GenConfig,
+    rng: StdRng,
+    tables: Vec<TableInfo>,
+    serial: u64,
+    history: Vec<HistoryEntry>,
+}
+
+impl PlanGenerator {
+    /// Generator over the four bundled benchmark catalogs (TPC-H,
+    /// SDSS, IMDB, DBLP) — the same relation and column names the
+    /// paper's workloads scan.
+    pub fn new(config: GenConfig) -> Self {
+        let mut tables = Vec::new();
+        for catalog in [
+            tpch_catalog(),
+            sdss_catalog(),
+            imdb_catalog(),
+            dblp_catalog(),
+        ] {
+            tables.extend(TableInfo::from_catalog(&catalog));
+        }
+        Self::with_tables(config, tables)
+    }
+
+    /// Generator over a single catalog.
+    pub fn from_catalog(catalog: &Catalog, config: GenConfig) -> Self {
+        Self::with_tables(config, TableInfo::from_catalog(catalog))
+    }
+
+    /// Generator over an explicit table list.
+    pub fn with_tables(config: GenConfig, tables: Vec<TableInfo>) -> Self {
+        assert!(!tables.is_empty(), "generator needs at least one table");
+        let rng = StdRng::seed_from_u64(config.seed);
+        PlanGenerator {
+            config,
+            rng,
+            tables,
+            serial: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// Render a tree in the requested wire format.
+    pub fn render(tree: &PlanTree, format: ArtifactFormat) -> String {
+        match format {
+            ArtifactFormat::PgJson => plan_to_pg_json(tree),
+            ArtifactFormat::SqlServerXml => plan_to_sqlserver_xml(tree),
+        }
+    }
+
+    /// Generate the next *fresh* plan tree (always pg-vocabulary; the
+    /// XML renderer translates operator names on export). Each tree is
+    /// stamped with a unique serial in a leaf filter, so no two fresh
+    /// trees — and no two rendered artifacts — are ever identical.
+    pub fn next_tree(&mut self) -> PlanTree {
+        self.serial += 1;
+        let budget = self
+            .rng
+            .gen_range(self.config.min_ops..=self.config.max_ops);
+        let mut ctx = PlanCtx { next_alias: 0 };
+        let (mut root, leaves) = self.build(budget, &mut ctx);
+        // Stamp: a serial-bearing predicate on the first leaf makes the
+        // artifact distinct from every other fresh artifact, under both
+        // the byte comparison and the cache fingerprint (which keys the
+        // filter text).
+        let stamp_leaf = &leaves[0];
+        let column = self.tables[stamp_leaf.table].columns[0].clone();
+        let stamp = format!("{}.{} > {}", stamp_leaf.alias, column, self.serial);
+        stamp_first_leaf(&mut root, &stamp);
+        PlanTree::new("pg", root)
+    }
+
+    /// Generate the next fresh artifact (no duplicate/mutant mixing),
+    /// picking a format per the configured mix.
+    pub fn next_fresh(&mut self) -> GeneratedPlan {
+        let format = match self.config.format {
+            FormatMix::PgJson => ArtifactFormat::PgJson,
+            FormatMix::SqlServerXml => ArtifactFormat::SqlServerXml,
+            FormatMix::Mixed => {
+                if self.rng.gen_bool(0.5) {
+                    ArtifactFormat::PgJson
+                } else {
+                    ArtifactFormat::SqlServerXml
+                }
+            }
+        };
+        let tree = self.next_tree();
+        let doc = Self::render(&tree, format);
+        self.remember(HistoryEntry {
+            serial: self.serial,
+            format,
+            doc: doc.clone(),
+            tree,
+        });
+        GeneratedPlan {
+            serial: self.serial,
+            format,
+            doc,
+            kind: StreamKind::Fresh,
+        }
+    }
+
+    /// Generate `n` stream items (fresh/duplicate/mutant per the
+    /// configured rates).
+    pub fn generate(&mut self, n: usize) -> Vec<GeneratedPlan> {
+        (0..n).map(|_| self.next_item()).collect()
+    }
+
+    /// The next stream item: with probability `duplicate_rate` a
+    /// verbatim replay of a remembered artifact, else with probability
+    /// `mutate_rate` a mutated near-duplicate, else fresh.
+    pub fn next_item(&mut self) -> GeneratedPlan {
+        if !self.history.is_empty() && self.rng.gen_bool(self.config.duplicate_rate) {
+            let entry = &self.history[self.rng.gen_range(0..self.history.len())];
+            return GeneratedPlan {
+                serial: entry.serial,
+                format: entry.format,
+                doc: entry.doc.clone(),
+                kind: StreamKind::Duplicate { of: entry.serial },
+            };
+        }
+        if !self.history.is_empty() && self.rng.gen_bool(self.config.mutate_rate) {
+            let idx = self.rng.gen_range(0..self.history.len());
+            let (of, format, tree) = {
+                let entry = &self.history[idx];
+                (entry.serial, entry.format, entry.tree.clone())
+            };
+            let (mutated, mutation) = mutate_tree(&tree, &mut self.rng);
+            return GeneratedPlan {
+                serial: of,
+                format,
+                doc: Self::render(&mutated, format),
+                kind: StreamKind::Mutant { of, mutation },
+            };
+        }
+        self.next_fresh()
+    }
+
+    fn remember(&mut self, entry: HistoryEntry) {
+        if self.config.history == 0 {
+            return;
+        }
+        if self.history.len() == self.config.history {
+            // Overwrite round-robin; a Vec-as-ring keeps indexing cheap.
+            let slot = (self.serial as usize) % self.config.history;
+            self.history[slot] = entry;
+        } else {
+            self.history.push(entry);
+        }
+    }
+
+    /// Build a subtree with `budget` internal operators to spend;
+    /// returns the node plus the scan leaves under it.
+    fn build(&mut self, budget: usize, ctx: &mut PlanCtx) -> (PlanNode, Vec<LeafRef>) {
+        if budget == 0 {
+            let (leaf, leaf_ref) = self.gen_leaf(ctx);
+            return (leaf, vec![leaf_ref]);
+        }
+        let total =
+            self.config.join_weight + self.config.aggregate_weight + self.config.shaper_weight;
+        assert!(total > 0, "all operator weights are zero");
+        let pick = self.rng.gen_range(0..total);
+        if pick < self.config.join_weight {
+            self.gen_join(budget, ctx)
+        } else if pick < self.config.join_weight + self.config.aggregate_weight {
+            self.gen_aggregate(budget, ctx)
+        } else {
+            self.gen_shaper(budget, ctx)
+        }
+    }
+
+    /// A scan leaf over a random catalog table.
+    fn gen_leaf(&mut self, ctx: &mut PlanCtx) -> (PlanNode, LeafRef) {
+        let table_idx = self.rng.gen_range(0..self.tables.len());
+        let table = &self.tables[table_idx];
+        ctx.next_alias += 1;
+        let alias = format!(
+            "{}{}",
+            table.name.chars().next().unwrap_or('t'),
+            ctx.next_alias
+        );
+        let indexed = !table.indexed.is_empty() && self.rng.gen_bool(self.config.index_rate);
+        let mut node = if indexed {
+            let column = table.indexed[self.rng.gen_range(0..table.indexed.len())].clone();
+            let mut n = if self.rng.gen_bool(0.25) {
+                PlanNode::new("Bitmap Heap Scan")
+            } else {
+                PlanNode::new("Index Scan")
+            };
+            n.index_name = Some(format!("{}_{}_idx", table.name, column));
+            n
+        } else {
+            PlanNode::new("Seq Scan")
+        };
+        node.relation = Some(table.name.clone());
+        node.alias = Some(alias.clone());
+        if self.rng.gen_bool(self.config.filter_rate) {
+            let column = &table.columns[self.rng.gen_range(0..table.columns.len())];
+            let constant = self.rng.gen_range(1..10_000u32);
+            node.filter = Some(format!("{alias}.{column} > {constant}"));
+        }
+        node.estimated_rows = (table.base_rows * self.rng.gen_range(0.001..0.2_f64))
+            .max(1.0)
+            .round();
+        node.estimated_cost = node.estimated_rows * self.rng.gen_range(0.01..0.12_f64);
+        round_cost(&mut node);
+        (
+            node,
+            LeafRef {
+                alias,
+                table: table_idx,
+            },
+        )
+    }
+
+    /// A join over two subtrees, with the auxiliary structure each
+    /// algorithm requires (Hash build side; Sort-wrapped merge inputs).
+    fn gen_join(&mut self, budget: usize, ctx: &mut PlanCtx) -> (PlanNode, Vec<LeafRef>) {
+        // Split the remaining budget between the inputs, biased left —
+        // realistic plans are left-deep.
+        let right_budget = if budget > 1 {
+            self.rng.gen_range(0..(budget - 1).min(2) + 1)
+        } else {
+            0
+        };
+        let left_budget = budget - 1 - right_budget;
+        let (left, left_leaves) = self.build(left_budget, ctx);
+        let (right, right_leaves) = self.build(right_budget, ctx);
+        let cond = self.join_condition(&left_leaves, &right_leaves);
+        let out_rows = ((left.estimated_rows * right.estimated_rows).sqrt()
+            * self.rng.gen_range(0.1..2.0_f64))
+        .max(1.0)
+        .round();
+        let in_cost = left.estimated_cost + right.estimated_cost;
+        let mut node = match self.rng.gen_range(0..3u32) {
+            0 => {
+                // Hash Join: hash the (right) build side first.
+                let mut hash = PlanNode::new("Hash").with_child(right);
+                hash.estimated_rows = hash.children[0].estimated_rows;
+                hash.estimated_cost = hash.children[0].estimated_cost * 1.1;
+                round_cost(&mut hash);
+                PlanNode::new("Hash Join")
+                    .with_join_cond(cond)
+                    .with_child(left)
+                    .with_child(hash)
+            }
+            1 => {
+                // Merge Join over Sort-wrapped inputs; the sorts order
+                // by each side's join column.
+                let (lkey, rkey) = split_condition(&cond);
+                let mut lsort = PlanNode::new("Sort").with_child(left);
+                lsort.sort_keys = vec![lkey];
+                inherit_estimates(&mut lsort, 1.2);
+                let mut rsort = PlanNode::new("Sort").with_child(right);
+                rsort.sort_keys = vec![rkey];
+                inherit_estimates(&mut rsort, 1.2);
+                PlanNode::new("Merge Join")
+                    .with_join_cond(cond)
+                    .with_child(lsort)
+                    .with_child(rsort)
+            }
+            _ => PlanNode::new("Nested Loop")
+                .with_join_cond(cond)
+                .with_child(left)
+                .with_child(right),
+        };
+        node.estimated_rows = out_rows;
+        node.estimated_cost = in_cost + out_rows * 0.05;
+        round_cost(&mut node);
+        let mut leaves = left_leaves;
+        leaves.extend(right_leaves);
+        (node, leaves)
+    }
+
+    /// An aggregation over one subtree: `Sorted` strategy sits on a
+    /// `Sort` sharing its grouping keys; otherwise a `HashAggregate`.
+    fn gen_aggregate(&mut self, budget: usize, ctx: &mut PlanCtx) -> (PlanNode, Vec<LeafRef>) {
+        let (child, leaves) = self.build(budget - 1, ctx);
+        let group_key = self.leaf_column(&leaves);
+        let out_rows = (child.estimated_rows * self.rng.gen_range(0.01..0.3_f64))
+            .max(1.0)
+            .round();
+        let mut node = if self.rng.gen_bool(0.5) {
+            let mut sort = PlanNode::new("Sort").with_child(child);
+            sort.sort_keys = vec![group_key.clone()];
+            inherit_estimates(&mut sort, 1.25);
+            let mut agg = PlanNode::new("Aggregate").with_child(sort);
+            agg.strategy = Some("Sorted".to_string());
+            agg
+        } else {
+            let mut agg = PlanNode::new("HashAggregate").with_child(child);
+            agg.strategy = Some("Hashed".to_string());
+            agg
+        };
+        node.group_keys = vec![group_key];
+        node.estimated_rows = out_rows;
+        node.estimated_cost = node.children[0].estimated_cost + out_rows * 0.02;
+        round_cost(&mut node);
+        (node, leaves)
+    }
+
+    /// A unary shaping operator over one subtree.
+    fn gen_shaper(&mut self, budget: usize, ctx: &mut PlanCtx) -> (PlanNode, Vec<LeafRef>) {
+        let (child, leaves) = self.build(budget - 1, ctx);
+        let mut node = match self.rng.gen_range(0..5u32) {
+            0 => {
+                // Unique over a Sort on the deduplicated column.
+                let key = self.leaf_column(&leaves);
+                let mut sort = PlanNode::new("Sort").with_child(child);
+                sort.sort_keys = vec![key];
+                inherit_estimates(&mut sort, 1.2);
+                let mut unique = PlanNode::new("Unique").with_child(sort);
+                unique.estimated_rows = (unique.children[0].estimated_rows * 0.6).max(1.0).round();
+                unique
+            }
+            1 => {
+                let mut limit = PlanNode::new("Limit").with_child(child);
+                let n = self.rng.gen_range(1..500u32);
+                limit.estimated_rows = f64::from(n).min(limit.children[0].estimated_rows);
+                limit
+            }
+            2 => {
+                let mut sort = PlanNode::new("Sort").with_child(child);
+                let descending = self.rng.gen_bool(0.4);
+                let key = self.leaf_column(&leaves);
+                sort.sort_keys = vec![if descending {
+                    format!("{key} DESC")
+                } else {
+                    key
+                }];
+                inherit_estimates(&mut sort, 1.3);
+                sort
+            }
+            3 => {
+                let mut mat = PlanNode::new("Materialize").with_child(child);
+                inherit_estimates(&mut mat, 1.02);
+                mat
+            }
+            _ => {
+                let mut gather = PlanNode::new("Gather").with_child(child);
+                inherit_estimates(&mut gather, 1.05);
+                gather
+            }
+        };
+        if node.estimated_rows == 0.0 {
+            node.estimated_rows = node.children[0].estimated_rows;
+        }
+        if node.estimated_cost == 0.0 {
+            node.estimated_cost = node.children[0].estimated_cost + node.estimated_rows * 0.01;
+        }
+        round_cost(&mut node);
+        (node, leaves)
+    }
+
+    /// An equi-join condition over one leaf column from each side.
+    fn join_condition(&mut self, left: &[LeafRef], right: &[LeafRef]) -> String {
+        let l = &left[self.rng.gen_range(0..left.len())];
+        let r = &right[self.rng.gen_range(0..right.len())];
+        let lcol = self.column_of(l);
+        let rcol = self.column_of(r);
+        format!("(({}.{}) = ({}.{}))", l.alias, lcol, r.alias, rcol)
+    }
+
+    /// A qualified `alias.column` drawn from a random leaf in scope.
+    fn leaf_column(&mut self, leaves: &[LeafRef]) -> String {
+        let leaf = &leaves[self.rng.gen_range(0..leaves.len())];
+        let column = self.column_of(leaf);
+        format!("{}.{}", leaf.alias, column)
+    }
+
+    fn column_of(&mut self, leaf: &LeafRef) -> String {
+        let columns = &self.tables[leaf.table].columns;
+        columns[self.rng.gen_range(0..columns.len())].clone()
+    }
+}
+
+impl Iterator for PlanGenerator {
+    type Item = GeneratedPlan;
+
+    fn next(&mut self) -> Option<GeneratedPlan> {
+        Some(self.next_item())
+    }
+}
+
+/// Set estimates from the single child, scaled by a cost factor.
+fn inherit_estimates(node: &mut PlanNode, cost_factor: f64) {
+    node.estimated_rows = node.children[0].estimated_rows;
+    node.estimated_cost = node.children[0].estimated_cost * cost_factor;
+    round_cost(node);
+}
+
+/// Keep estimates short and stable when printed (`{}` on f64), so the
+/// byte-identical-stream determinism guarantee survives formatting.
+fn round_cost(node: &mut PlanNode) {
+    node.estimated_cost = (node.estimated_cost * 100.0).round() / 100.0;
+    node.estimated_rows = node.estimated_rows.round();
+}
+
+/// Replace the filter on the first (leftmost) scan leaf.
+fn stamp_first_leaf(node: &mut PlanNode, stamp: &str) -> bool {
+    if node.children.is_empty() {
+        if node.relation.is_some() {
+            node.filter = Some(stamp.to_string());
+            return true;
+        }
+        return false;
+    }
+    for child in &mut node.children {
+        if stamp_first_leaf(child, stamp) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Split `((a.x) = (b.y))` into its two sides (best-effort; falls back
+/// to the whole string).
+fn split_condition(cond: &str) -> (String, String) {
+    let trimmed = cond
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .unwrap_or(cond);
+    match trimmed.split_once(" = ") {
+        Some((l, r)) => (
+            l.trim_matches(|c| c == '(' || c == ')').to_string(),
+            r.trim_matches(|c| c == '(' || c == ')').to_string(),
+        ),
+        None => (trimmed.to_string(), trimmed.to_string()),
+    }
+}

@@ -1,0 +1,180 @@
+//! # lantern-gen
+//!
+//! Seeded, deterministic generator of random-but-valid `EXPLAIN`
+//! artifacts: the workload source for load testing, soak testing, and
+//! parser fuzzing.
+//!
+//! The bundled fixtures are a few dozen artifacts; a classroom is
+//! thousands of students pasting plans all day. This crate closes that
+//! gap by synthesizing realistic operator trees over the bundled
+//! benchmark catalogs (TPC-H, SDSS, IMDB, DBLP) and rendering them in
+//! both wire formats the system parses — PostgreSQL `EXPLAIN (FORMAT
+//! JSON)` and SQL Server `ShowPlanXML` — with tunable depth, operator
+//! mix, and duplicate rate. Duplicates are what exercise the narration
+//! cache; [`Mutation`]s produce *nearly identical* plans (swapped join
+//! inputs, jittered estimates, tweaked filter constants) that probe
+//! the fingerprint boundary.
+//!
+//! Everything derives from one seed: the same [`GenConfig`] always
+//! yields the byte-identical artifact stream, so a workload quoted in
+//! a bench report can be regenerated exactly, anywhere.
+//!
+//! ```
+//! use lantern_gen::{ArtifactFormat, GenConfig, PlanGenerator, StreamKind};
+//!
+//! let mut gen = PlanGenerator::new(GenConfig::default().with_duplicate_rate(0.5));
+//! let items = gen.generate(100);
+//! assert_eq!(items.len(), 100);
+//! assert!(items.iter().any(|p| p.format == ArtifactFormat::PgJson));
+//! assert!(items.iter().any(|p| matches!(p.kind, StreamKind::Duplicate { .. })));
+//! ```
+//!
+//! Every generated artifact round-trips `PlanSource::detect` → parse →
+//! narrate (property-tested in `tests/gen_narrate.rs` at the workspace
+//! root), which makes the generator double as a fuzzer for the plan
+//! parsers.
+
+pub mod config;
+pub mod generator;
+pub mod mutate;
+
+pub use config::{ArtifactFormat, FormatMix, GenConfig};
+pub use generator::{GeneratedPlan, PlanGenerator, StreamKind, TableInfo};
+pub use mutate::{mutate_tree, Mutation};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lantern_plan::{parse_pg_json_plan, parse_sqlserver_xml_plan};
+
+    #[test]
+    fn same_seed_same_config_is_byte_identical() {
+        let mk = || {
+            PlanGenerator::new(
+                GenConfig::default()
+                    .with_seed(77)
+                    .with_duplicate_rate(0.3)
+                    .with_mutate_rate(0.2),
+            )
+        };
+        let a: Vec<_> = mk().generate(500);
+        let b: Vec<_> = mk().generate(500);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.doc, y.doc);
+            assert_eq!(x.format, y.format);
+            assert_eq!(x.kind, y.kind);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = PlanGenerator::new(GenConfig::default().with_seed(1)).next_fresh();
+        let b = PlanGenerator::new(GenConfig::default().with_seed(2)).next_fresh();
+        assert_ne!(a.doc, b.doc);
+    }
+
+    #[test]
+    fn fresh_artifacts_are_pairwise_distinct() {
+        let mut gen = PlanGenerator::new(GenConfig::default().with_seed(5));
+        let docs: Vec<String> = (0..1000).map(|_| gen.next_fresh().doc).collect();
+        let mut unique: Vec<&String> = docs.iter().collect();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(
+            unique.len(),
+            docs.len(),
+            "serial stamping must keep fresh artifacts distinct"
+        );
+    }
+
+    #[test]
+    fn both_formats_parse_back() {
+        let mut gen = PlanGenerator::new(GenConfig::default().with_seed(9));
+        for _ in 0..200 {
+            let tree = gen.next_tree();
+            let json = PlanGenerator::render(&tree, ArtifactFormat::PgJson);
+            let back = parse_pg_json_plan(&json).expect("pg json parses");
+            assert_eq!(back, tree, "pg json round-trips losslessly");
+            let xml = PlanGenerator::render(&tree, ArtifactFormat::SqlServerXml);
+            let ms = parse_sqlserver_xml_plan(&xml).expect("showplan parses");
+            assert_eq!(ms.size(), tree.size(), "xml keeps every operator");
+        }
+    }
+
+    #[test]
+    fn duplicate_rate_is_respected() {
+        let mut gen =
+            PlanGenerator::new(GenConfig::default().with_seed(11).with_duplicate_rate(0.75));
+        let items = gen.generate(2000);
+        let dups = items
+            .iter()
+            .filter(|p| matches!(p.kind, StreamKind::Duplicate { .. }))
+            .count();
+        let rate = dups as f64 / items.len() as f64;
+        assert!(
+            (rate - 0.75).abs() < 0.05,
+            "observed duplicate rate {rate} too far from configured 0.75"
+        );
+    }
+
+    #[test]
+    fn duplicates_replay_verbatim() {
+        let mut gen =
+            PlanGenerator::new(GenConfig::default().with_seed(13).with_duplicate_rate(0.5));
+        let items = gen.generate(500);
+        for item in &items {
+            if let StreamKind::Duplicate { of } = item.kind {
+                let original = items
+                    .iter()
+                    .find(|p| p.kind == StreamKind::Fresh && p.serial == of)
+                    .expect("duplicate refers to an earlier fresh artifact");
+                assert_eq!(item.doc, original.doc);
+            }
+        }
+    }
+
+    #[test]
+    fn mutants_differ_from_their_parent() {
+        let mut gen = PlanGenerator::new(GenConfig::default().with_seed(17).with_mutate_rate(0.5));
+        let items = gen.generate(500);
+        let mut saw_mutant = false;
+        for item in &items {
+            if let StreamKind::Mutant { of, .. } = item.kind {
+                saw_mutant = true;
+                let original = items
+                    .iter()
+                    .find(|p| p.kind == StreamKind::Fresh && p.serial == of)
+                    .expect("mutant refers to an earlier fresh artifact");
+                assert_ne!(
+                    item.doc, original.doc,
+                    "a mutant must not be byte-identical"
+                );
+            }
+        }
+        assert!(saw_mutant);
+    }
+
+    #[test]
+    fn single_catalog_generator_scans_only_that_catalog() {
+        let catalog = lantern_catalog::tpch_catalog();
+        let names: Vec<String> = catalog.tables().iter().map(|t| t.name.clone()).collect();
+        let mut gen = PlanGenerator::from_catalog(&catalog, GenConfig::default());
+        for _ in 0..50 {
+            let tree = gen.next_tree();
+            for rel in tree.root.relations() {
+                assert!(names.iter().any(|n| n == rel), "unknown relation {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn ops_budget_bounds_plan_size() {
+        let mut gen = PlanGenerator::new(GenConfig::default().with_seed(3).with_ops(0, 0));
+        for _ in 0..20 {
+            let tree = gen.next_tree();
+            // Budget 0 is a bare scan leaf.
+            assert_eq!(tree.size(), 1);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Near-duplicate plan mutations (the `mutate()` mode): swapped join
+//! inputs, jittered cardinality/cost estimates, tweaked filter
+//! constants. These seed future subtree-caching work — a mutant shares
+//! almost all of its structure with its parent artifact, so a
+//! fingerprint that keys logical structure (not estimates) will hit on
+//! some mutants and miss on others, exactly the gradient a cache needs
+//! to be tested against.
+
+use lantern_plan::{PlanNode, PlanTree};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Which near-duplicate transformation was applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Swap the two inputs of one join operator. Changes the logical
+    /// structure, so the cache fingerprint changes too (a miss).
+    SwapJoinInputs,
+    /// Multiply every cardinality/cost estimate by a factor in
+    /// `[0.9, 1.1]`. The default (non-strict) cache fingerprint ignores
+    /// estimates, so this mutant still *hits* the narration cache even
+    /// though the document bytes differ.
+    JitterEstimates,
+    /// Increment the numeric constant in one filter predicate — the
+    /// same query shape probing a different value (a fingerprint miss).
+    TweakFilterConstant,
+}
+
+impl Mutation {
+    /// Short machine name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::SwapJoinInputs => "swap-join-inputs",
+            Mutation::JitterEstimates => "jitter-estimates",
+            Mutation::TweakFilterConstant => "tweak-filter-constant",
+        }
+    }
+}
+
+/// Apply one randomly chosen, applicable mutation to a copy of `tree`.
+/// `JitterEstimates` is always applicable, so this never fails.
+pub fn mutate_tree(tree: &PlanTree, rng: &mut StdRng) -> (PlanTree, Mutation) {
+    let mut out = tree.clone();
+    let choice = rng.gen_range(0..3u32);
+    let mutation = match choice {
+        0 if swap_first_join(&mut out.root) => Mutation::SwapJoinInputs,
+        1 if tweak_first_filter(&mut out.root) => Mutation::TweakFilterConstant,
+        _ => {
+            jitter(&mut out.root, rng);
+            if out == *tree {
+                // Tiny plans can round the jitter away; nudge the root
+                // cost so a mutant is never byte-identical.
+                out.root.estimated_cost =
+                    ((out.root.estimated_cost + 0.01) * 100.0).round() / 100.0;
+            }
+            Mutation::JitterEstimates
+        }
+    };
+    (out, mutation)
+}
+
+/// Swap the inputs of the first binary join found (pre-order). The
+/// auxiliary `Hash` moves with its side, which keeps the shape valid —
+/// clustering scans children in order and still finds the `Hash`.
+fn swap_first_join(node: &mut PlanNode) -> bool {
+    if node.children.len() == 2
+        && matches!(node.op.as_str(), "Hash Join" | "Merge Join" | "Nested Loop")
+    {
+        node.children.swap(0, 1);
+        return true;
+    }
+    node.children.iter_mut().any(swap_first_join)
+}
+
+/// Increment the trailing integer of the first filter found.
+fn tweak_first_filter(node: &mut PlanNode) -> bool {
+    if let Some(filter) = &node.filter {
+        if let Some(tweaked) = increment_trailing_int(filter) {
+            node.filter = Some(tweaked);
+            return true;
+        }
+    }
+    node.children.iter_mut().any(tweak_first_filter)
+}
+
+/// `"a.b > 41"` → `"a.b > 42"`; `None` when the string has no trailing
+/// integer.
+fn increment_trailing_int(s: &str) -> Option<String> {
+    let digits = s.len() - s.trim_end_matches(|c: char| c.is_ascii_digit()).len();
+    if digits == 0 {
+        return None;
+    }
+    let (head, tail) = s.split_at(s.len() - digits);
+    let n: u64 = tail.parse().ok()?;
+    Some(format!("{head}{}", n + 1))
+}
+
+fn jitter(node: &mut PlanNode, rng: &mut StdRng) {
+    node.estimated_rows = (node.estimated_rows * rng.gen_range(0.9..1.1_f64))
+        .max(1.0)
+        .round();
+    node.estimated_cost =
+        (node.estimated_cost * rng.gen_range(0.9..1.1_f64) * 100.0).round() / 100.0;
+    for child in &mut node.children {
+        jitter(child, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_int_increments() {
+        assert_eq!(
+            increment_trailing_int("o.total > 41").as_deref(),
+            Some("o.total > 42")
+        );
+        assert_eq!(increment_trailing_int("no digits"), None);
+    }
+}

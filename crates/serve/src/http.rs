@@ -20,8 +20,10 @@ pub struct Request {
     pub method: String,
     /// Decoded path component of the request target (no query string).
     pub path: String,
-    /// Query parameters in order of appearance, as raw `key=value`
-    /// pairs (the service's parameters never need percent-decoding).
+    /// Query parameters in order of appearance. Keys and values are
+    /// percent-decoded (`%XX` escapes and `+`-as-space), so
+    /// `?style=bulleted%20` and `?style=bulleted+` both read back as
+    /// `"bulleted "`.
     pub query: Vec<(String, String)>,
     /// Header `(name, value)` pairs; names are lowercased.
     pub headers: Vec<(String, String)>,
@@ -185,13 +187,26 @@ pub fn read_request<R: BufRead>(
         return Err(RequestError::UnsupportedTransferEncoding);
     }
 
-    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
-        Some((_, v)) => Some(
-            v.parse::<usize>()
-                .map_err(|_| RequestError::Malformed(format!("invalid Content-Length {v:?}")))?,
-        ),
-        None => None,
-    };
+    // Request-smuggling guard: duplicate Content-Length headers that
+    // *disagree* are ambiguous — two parsers picking different body
+    // boundaries is exactly how smuggled requests hide behind
+    // intermediaries — so they are rejected outright. Identical
+    // repeats are tolerated (RFC 9110 §8.6 allows folding them).
+    let mut content_length = None;
+    for (_, v) in headers.iter().filter(|(n, _)| n == "content-length") {
+        let parsed = v
+            .parse::<usize>()
+            .map_err(|_| RequestError::Malformed(format!("invalid Content-Length {v:?}")))?;
+        match content_length {
+            None => content_length = Some(parsed),
+            Some(prev) if prev != parsed => {
+                return Err(RequestError::Malformed(format!(
+                    "conflicting Content-Length headers ({prev} vs {parsed})"
+                )))
+            }
+            Some(_) => {}
+        }
+    }
     let body_len = match (method, content_length) {
         (_, Some(n)) if n > max_body_bytes => {
             return Err(RequestError::BodyTooLarge {
@@ -216,8 +231,8 @@ pub fn read_request<R: BufRead>(
         .split('&')
         .filter(|s| !s.is_empty())
         .map(|pair| match pair.split_once('=') {
-            Some((k, v)) => (k.to_string(), v.to_string()),
-            None => (pair.to_string(), String::new()),
+            Some((k, v)) => (decode_query_component(k), decode_query_component(v)),
+            None => (decode_query_component(pair), String::new()),
         })
         .collect();
 
@@ -229,6 +244,42 @@ pub fn read_request<R: BufRead>(
         body,
         keep_alive,
     })
+}
+
+/// Percent-decode one `application/x-www-form-urlencoded` query
+/// component: `+` decodes to a space and `%XX` to a byte. Invalid
+/// escapes pass through literally (lenient, like most servers), and a
+/// decode that is not valid UTF-8 falls back to the raw component.
+fn decode_query_component(raw: &str) -> String {
+    fn hex(b: Option<&u8>) -> Option<u8> {
+        (*b? as char).to_digit(16).map(|d| d as u8)
+    }
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex(bytes.get(i + 1)), hex(bytes.get(i + 2))) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).unwrap_or_else(|_| raw.to_string())
 }
 
 /// Read one `\n`-terminated line, appending (terminator included) to
@@ -337,6 +388,61 @@ mod tests {
         assert!(!req.keep_alive);
         assert_eq!(req.header("content-length"), Some("4"));
         assert_eq!(req.header("Content-Length"), Some("4"));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_400() {
+        let err =
+            parse("POST /narrate HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 40\r\n\r\nbody")
+                .unwrap_err();
+        assert_eq!(err.status(), Some(400));
+        assert!(
+            err.message().contains("conflicting Content-Length"),
+            "{}",
+            err.message()
+        );
+    }
+
+    #[test]
+    fn identical_duplicate_content_lengths_are_tolerated() {
+        let req =
+            parse("POST /narrate HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody")
+                .unwrap();
+        assert_eq!(req.body_utf8(), Some("body"));
+    }
+
+    #[test]
+    fn conflicting_content_length_beats_invalid_second_value() {
+        // One valid + one unparseable value is still malformed.
+        let err =
+            parse("POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: nope\r\n\r\nbody")
+                .unwrap_err();
+        assert_eq!(err.status(), Some(400));
+    }
+
+    #[test]
+    fn query_params_are_percent_decoded() {
+        let req = parse(
+            "GET /narrate?style=bulleted%20&q=a%2Bb&plus=one+two HTTP/1.1\r\nHost: a\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.query_param("style"), Some("bulleted "));
+        assert_eq!(req.query_param("q"), Some("a+b"));
+        assert_eq!(req.query_param("plus"), Some("one two"));
+    }
+
+    #[test]
+    fn encoded_query_keys_decode_too() {
+        let req = parse("GET /x?no%63ache=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("nocache"), Some("1"));
+    }
+
+    #[test]
+    fn invalid_percent_escapes_pass_through() {
+        let req = parse("GET /x?a=100%&b=%zz&c=%4 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("a"), Some("100%"));
+        assert_eq!(req.query_param("b"), Some("%zz"));
+        assert_eq!(req.query_param("c"), Some("%4"));
     }
 
     #[test]

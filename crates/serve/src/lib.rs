@@ -59,9 +59,11 @@ pub mod client;
 pub mod http;
 pub mod router;
 pub mod server;
+pub mod soak;
 
 pub use client::{ClientResponse, HttpClient};
 pub use http::{Request, Response};
 pub use lantern_cache::{CacheControl, CacheStatsSnapshot};
 pub use router::{error_body, Router};
 pub use server::{serve, serve_with_cache, ServeConfig, ServeStats, ServerHandle, StatsSnapshot};
+pub use soak::{run_soak, CacheDelta, LatencySummary, SoakConfig, SoakReport};

@@ -58,7 +58,10 @@ fn narration_value(resp: &NarrationResponse) -> JsonValue {
 }
 
 fn parse_style(raw: &str) -> Result<RenderStyle, String> {
-    match raw {
+    // Query values arrive percent-decoded, so an encoded trailing
+    // space (`?style=bulleted%20` or `?style=bulleted+`) shows up
+    // here as whitespace — forgive it rather than 400ing.
+    match raw.trim() {
         "numbered" => Ok(RenderStyle::Numbered),
         "bulleted" => Ok(RenderStyle::Bulleted),
         "paragraph" => Ok(RenderStyle::Paragraph),
@@ -241,6 +244,20 @@ impl<T: Translator> Router<T> {
             );
         };
         let docs = match JsonValue::parse(body) {
+            // An empty batch is a client mistake (usually a broken
+            // harness): answer a clear 400 instead of an empty 200
+            // the caller would silently zip against its inputs.
+            Ok(JsonValue::Array(items)) if items.is_empty() => {
+                return Response::json(
+                    400,
+                    error_body_raw(
+                        "parse",
+                        "batch body must be a non-empty JSON array of plan document strings",
+                        400,
+                    )
+                    .to_string_compact(),
+                )
+            }
             Ok(JsonValue::Array(items)) => items,
             Ok(_) => {
                 return Response::json(
@@ -548,13 +565,48 @@ mod tests {
     #[test]
     fn batch_envelope_failures_are_400() {
         let router = router();
-        for body in ["not json", r#"{"plans": []}"#] {
+        for body in [
+            "not json",
+            r#"{"plans": []}"#,
+            "[]",
+            "  [ ]  ",
+            "\"doc\"",
+            "42",
+        ] {
             let resp = router.handle(&post("/narrate/batch", body));
             assert_eq!(resp.status, 400, "{body:?}");
+            let value = json_body(&resp);
+            let err = value.get("error").expect("structured error body");
+            assert_eq!(err.get("kind").and_then(JsonValue::as_str), Some("parse"));
+            assert!(err.get("message").and_then(JsonValue::as_str).is_some());
         }
         // Non-string entries are per-item errors, not envelope errors.
         let resp = router.handle(&post("/narrate/batch", "[42]"));
         assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn encoded_style_values_decode_and_trim() {
+        let router = router();
+        for path in [
+            "/narrate?style=bulleted%20",
+            "/narrate?style=bulleted+",
+            "/narrate?style=%20bulleted",
+        ] {
+            let resp = router.handle(&post(path, PG_DOC));
+            assert_eq!(resp.status, 200, "{path}");
+            let value = json_body(&resp);
+            assert!(value
+                .get("text")
+                .and_then(JsonValue::as_str)
+                .unwrap()
+                .starts_with("- "));
+        }
+        // Whitespace alone is still an unknown style.
+        assert_eq!(
+            router.handle(&post("/narrate?style=%20", PG_DOC)).status,
+            400
+        );
     }
 
     fn cached_router() -> Router<Arc<lantern_cache::CachedTranslator<RuleTranslator>>> {

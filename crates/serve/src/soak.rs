@@ -1,0 +1,364 @@
+//! Soak/load driver: replay a document schedule against a live
+//! narration server from N concurrent clients, measuring end-to-end
+//! latency percentiles and the cache hit ratio observed through
+//! `GET /stats`.
+//!
+//! The driver is workload-agnostic — it takes a plain `&[String]` of
+//! plan documents, so any schedule source works (the `lantern-gen`
+//! crate's duplicate-rate stream is the intended one; the driver lives
+//! here rather than there to keep the crate DAG acyclic). The report
+//! serializes to JSON ([`SoakReport::to_json`]) so CI lanes and bench
+//! trajectories can consume it without scraping logs.
+
+use crate::client::HttpClient;
+use lantern_text::json::JsonValue;
+use std::collections::BTreeMap;
+use std::io;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// Soak run parameters.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Concurrent client connections (clamped to at least 1). The
+    /// schedule is partitioned round-robin, so every client sees the
+    /// same fresh/duplicate mix as the whole schedule.
+    pub clients: usize,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig { clients: 4 }
+    }
+}
+
+/// Latency summary over all attempted requests, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    pub p50_us: u64,
+    pub p90_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+    pub mean_us: u64,
+}
+
+/// Cache counter movement across the run (absent when the target
+/// server has no cache configured).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheDelta {
+    /// LRU hits during the run (includes byte-identical re-submissions
+    /// answered via the doc digest).
+    pub hits: u64,
+    /// LRU misses during the run.
+    pub misses: u64,
+    /// `hits / (hits + misses)`; for a well-mixed schedule this tracks
+    /// the configured duplicate rate.
+    pub hit_ratio: f64,
+}
+
+/// The machine-readable result of one soak run.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Requests attempted (= schedule length).
+    pub requests: usize,
+    /// Concurrent clients used.
+    pub clients: usize,
+    /// Wall-clock duration of the request phase, milliseconds.
+    pub duration_ms: f64,
+    /// Attempted requests per second.
+    pub throughput_rps: f64,
+    /// Responses with a 2xx status.
+    pub ok: u64,
+    /// Everything else: non-2xx responses and transport failures.
+    pub errors: u64,
+    /// Response count per HTTP status (status 0 = transport failure).
+    pub statuses: BTreeMap<u16, u64>,
+    /// Latency percentiles over attempted requests.
+    pub latency: LatencySummary,
+    /// Cache counter movement, when the server reports a cache.
+    pub cache: Option<CacheDelta>,
+}
+
+impl SoakReport {
+    /// The report as a JSON object.
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "requests".to_string(),
+            JsonValue::Number(self.requests as f64),
+        );
+        obj.insert(
+            "clients".to_string(),
+            JsonValue::Number(self.clients as f64),
+        );
+        obj.insert(
+            "duration_ms".to_string(),
+            JsonValue::Number(self.duration_ms),
+        );
+        obj.insert(
+            "throughput_rps".to_string(),
+            JsonValue::Number(self.throughput_rps),
+        );
+        obj.insert("ok".to_string(), JsonValue::Number(self.ok as f64));
+        obj.insert("errors".to_string(), JsonValue::Number(self.errors as f64));
+        let statuses = self
+            .statuses
+            .iter()
+            .map(|(status, count)| (status.to_string(), JsonValue::Number(*count as f64)))
+            .collect();
+        obj.insert("statuses".to_string(), JsonValue::Object(statuses));
+        let mut latency = BTreeMap::new();
+        for (key, value) in [
+            ("p50_us", self.latency.p50_us),
+            ("p90_us", self.latency.p90_us),
+            ("p99_us", self.latency.p99_us),
+            ("max_us", self.latency.max_us),
+            ("mean_us", self.latency.mean_us),
+        ] {
+            latency.insert(key.to_string(), JsonValue::Number(value as f64));
+        }
+        obj.insert("latency_us".to_string(), JsonValue::Object(latency));
+        if let Some(cache) = &self.cache {
+            let mut c = BTreeMap::new();
+            c.insert("hits".to_string(), JsonValue::Number(cache.hits as f64));
+            c.insert("misses".to_string(), JsonValue::Number(cache.misses as f64));
+            c.insert("hit_ratio".to_string(), JsonValue::Number(cache.hit_ratio));
+            obj.insert("cache".to_string(), JsonValue::Object(c));
+        }
+        JsonValue::Object(obj)
+    }
+
+    /// The report as pretty-printed JSON text.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string_pretty()
+    }
+}
+
+/// Replay `docs` against the server at `addr` (one `POST /narrate` per
+/// document) from `config.clients` concurrent connections, and compute
+/// the report. Cache counters are sampled from `GET /stats` before and
+/// after the run, so the hit ratio reflects *this* workload even
+/// against a warm server.
+pub fn run_soak(addr: SocketAddr, docs: &[String], config: &SoakConfig) -> io::Result<SoakReport> {
+    let clients = config.clients.max(1).min(docs.len().max(1));
+    let before = sample_cache_counters(addr)?;
+
+    let started = Instant::now();
+    let mut samples: Vec<(u64, u16)> = Vec::with_capacity(docs.len());
+    std::thread::scope(|scope| -> io::Result<()> {
+        let mut workers = Vec::with_capacity(clients);
+        for worker in 0..clients {
+            // Round-robin partition: every client's slice preserves the
+            // schedule's global duplicate mix.
+            let schedule: Vec<&String> = docs.iter().skip(worker).step_by(clients).collect();
+            workers.push(scope.spawn(move || drive_client(addr, &schedule)));
+        }
+        for worker in workers {
+            let worker_samples = worker
+                .join()
+                .map_err(|_| io::Error::other("soak client panicked"))??;
+            samples.extend(worker_samples);
+        }
+        Ok(())
+    })?;
+    let duration = started.elapsed();
+
+    let after = sample_cache_counters(addr)?;
+    let cache = match (before, after) {
+        (Some((h0, m0)), Some((h1, m1))) => {
+            let hits = h1.saturating_sub(h0);
+            let misses = m1.saturating_sub(m0);
+            let total = hits + misses;
+            Some(CacheDelta {
+                hits,
+                misses,
+                hit_ratio: if total == 0 {
+                    0.0
+                } else {
+                    hits as f64 / total as f64
+                },
+            })
+        }
+        _ => None,
+    };
+
+    let mut statuses = BTreeMap::new();
+    let mut ok = 0u64;
+    for (_, status) in &samples {
+        *statuses.entry(*status).or_insert(0u64) += 1;
+        if (200..300).contains(status) {
+            ok += 1;
+        }
+    }
+    let duration_ms = duration.as_secs_f64() * 1e3;
+    Ok(SoakReport {
+        requests: docs.len(),
+        clients,
+        duration_ms,
+        throughput_rps: if duration_ms > 0.0 {
+            samples.len() as f64 / (duration_ms / 1e3)
+        } else {
+            0.0
+        },
+        ok,
+        errors: samples.len() as u64 - ok,
+        statuses,
+        latency: summarize(samples.iter().map(|(us, _)| *us).collect()),
+        cache,
+    })
+}
+
+/// One client's request loop: time every `POST /narrate`, record
+/// transport failures as status 0, and reconnect once after a failure
+/// so a single dropped connection doesn't void the rest of the slice.
+fn drive_client(addr: SocketAddr, schedule: &[&String]) -> io::Result<Vec<(u64, u16)>> {
+    let mut client = HttpClient::connect(addr)?;
+    let mut samples = Vec::with_capacity(schedule.len());
+    for doc in schedule {
+        let started = Instant::now();
+        match client.post("/narrate", doc) {
+            Ok(resp) => samples.push((started.elapsed().as_micros() as u64, resp.status)),
+            Err(_) => {
+                samples.push((started.elapsed().as_micros() as u64, 0));
+                client = HttpClient::connect(addr)?;
+            }
+        }
+    }
+    Ok(samples)
+}
+
+/// `(cache.hits, cache.misses)` from `GET /stats`, or `None` when the
+/// server runs uncached.
+fn sample_cache_counters(addr: SocketAddr) -> io::Result<Option<(u64, u64)>> {
+    let mut client = HttpClient::connect(addr)?;
+    let resp = client.get("/stats")?;
+    let value = resp
+        .json()
+        .map_err(|e| io::Error::other(format!("/stats body is not JSON: {e}")))?;
+    let counter = |name: &str| {
+        value
+            .get("cache")
+            .and_then(|c| c.get(name))
+            .and_then(JsonValue::as_f64)
+            .map(|n| n as u64)
+    };
+    Ok(match (counter("hits"), counter("misses")) {
+        (Some(hits), Some(misses)) => Some((hits, misses)),
+        _ => None,
+    })
+}
+
+/// Percentile summary of a latency sample set.
+fn summarize(mut latencies: Vec<u64>) -> LatencySummary {
+    if latencies.is_empty() {
+        return LatencySummary {
+            p50_us: 0,
+            p90_us: 0,
+            p99_us: 0,
+            max_us: 0,
+            mean_us: 0,
+        };
+    }
+    latencies.sort_unstable();
+    let percentile = |q: f64| {
+        let rank = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[rank]
+    };
+    LatencySummary {
+        p50_us: percentile(0.50),
+        p90_us: percentile(0.90),
+        p99_us: percentile(0.99),
+        max_us: *latencies.last().unwrap(),
+        mean_us: (latencies.iter().sum::<u64>() as f64 / latencies.len() as f64) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{serve_with_cache, ServeConfig};
+    use lantern_cache::{CacheConfig, CacheControl, CachedTranslator};
+    use lantern_core::RuleTranslator;
+    use lantern_pool::default_mssql_store;
+    use std::sync::Arc;
+
+    const DOC_A: &str = r#"{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}"#;
+    const DOC_B: &str = r#"{"Plan": {"Node Type": "Seq Scan", "Relation Name": "part"}}"#;
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let s = summarize((1..=100u64).collect());
+        assert_eq!(s.p50_us, 51); // round(99 * 0.5) = rank 50 → value 51
+        assert_eq!(s.p90_us, 90);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert_eq!(s.mean_us, 50);
+        let empty = summarize(Vec::new());
+        assert_eq!(empty.max_us, 0);
+    }
+
+    #[test]
+    fn soak_against_cached_server_reports_hit_ratio() {
+        let cached = Arc::new(CachedTranslator::new(
+            RuleTranslator::new(default_mssql_store()),
+            CacheConfig::default(),
+        ));
+        let handle = serve_with_cache(
+            Arc::clone(&cached),
+            Some(cached as Arc<dyn CacheControl + Send + Sync>),
+            "127.0.0.1:0",
+            ServeConfig::default(),
+        )
+        .unwrap();
+
+        // 2 unique documents in 6 requests: 2 misses + 4 hits. One
+        // client keeps the hit accounting deterministic (no in-flight
+        // coalescing races).
+        let docs: Vec<String> = [DOC_A, DOC_A, DOC_B, DOC_A, DOC_B, DOC_A]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let report = run_soak(handle.addr(), &docs, &SoakConfig { clients: 1 }).unwrap();
+        assert_eq!(report.requests, 6);
+        assert_eq!(report.ok, 6, "statuses: {:?}", report.statuses);
+        assert_eq!(report.errors, 0);
+        assert!(report.latency.p50_us <= report.latency.p99_us);
+        assert!(report.latency.p99_us <= report.latency.max_us);
+        let cache = report.cache.expect("cached server reports a delta");
+        assert_eq!(cache.misses, 2);
+        assert_eq!(cache.hits, 4);
+        assert!((cache.hit_ratio - 4.0 / 6.0).abs() < 1e-9);
+
+        // The JSON form carries every headline number.
+        let json = report.to_json_value();
+        assert_eq!(json.get("requests").and_then(JsonValue::as_f64), Some(6.0));
+        assert!(json
+            .get("latency_us")
+            .and_then(|l| l.get("p99_us"))
+            .and_then(JsonValue::as_f64)
+            .is_some());
+        assert_eq!(
+            json.get("cache")
+                .and_then(|c| c.get("misses"))
+                .and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn soak_against_uncached_server_has_no_cache_delta() {
+        let handle = crate::server::serve(
+            RuleTranslator::new(default_mssql_store()),
+            "127.0.0.1:0",
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let docs = vec![DOC_A.to_string(); 4];
+        let report = run_soak(handle.addr(), &docs, &SoakConfig { clients: 2 }).unwrap();
+        assert_eq!(report.ok, 4);
+        assert!(report.cache.is_none());
+        handle.shutdown().unwrap();
+    }
+}

@@ -70,6 +70,7 @@ pub use lantern_catalog as catalog;
 pub use lantern_core as core;
 pub use lantern_embed as embed;
 pub use lantern_engine as engine;
+pub use lantern_gen as gen;
 pub use lantern_neural as neural;
 pub use lantern_neuron as neuron;
 pub use lantern_nn as nn;
@@ -91,6 +92,7 @@ pub mod prelude {
         RuleLantern, RuleTranslator, Translator,
     };
     pub use lantern_engine::{explain_source, Database, ExplainFormat, Planner};
+    pub use lantern_gen::{ArtifactFormat, FormatMix, GenConfig, PlanGenerator};
     pub use lantern_neural::NeuralLantern;
     pub use lantern_neuron::Neuron;
     pub use lantern_paraphrase::ParaphrasedTranslator;

@@ -308,6 +308,101 @@ fn healthz_stats_and_graceful_shutdown() {
     assert!(gone, "server still answering after graceful shutdown");
 }
 
+/// Write one raw HTTP request over a fresh socket and collect the
+/// response (status, full text). Used where `HttpClient` is too
+/// well-behaved to produce the malformed wire forms under test.
+fn raw_exchange(addr: std::net::SocketAddr, raw: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {text:?}"));
+    (status, text)
+}
+
+/// Wire-level hardening: conflicting duplicate `Content-Length`
+/// headers are rejected as a request-smuggling guard (identical
+/// repeats still serve), and query parameters percent-decode before
+/// they are matched.
+#[test]
+fn wire_hardening_over_sockets() {
+    let server = LanternBuilder::new().serve("127.0.0.1:0").unwrap();
+    let addr = server.addr();
+    let doc = r#"{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}"#;
+
+    // Two Content-Length values that disagree: ambiguous body
+    // boundary, refused outright with a 400.
+    let (status, text) = raw_exchange(
+        addr,
+        "POST /narrate HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 40\r\n\
+         Connection: close\r\n\r\nbody",
+    );
+    assert_eq!(status, 400, "{text}");
+    assert!(text.contains("conflicting Content-Length"), "{text}");
+
+    // Identical duplicates fold to one value and serve normally.
+    let raw = format!(
+        "POST /narrate HTTP/1.1\r\nContent-Length: {len}\r\nContent-Length: {len}\r\n\
+         Connection: close\r\n\r\n{doc}",
+        len = doc.len()
+    );
+    let (status, text) = raw_exchange(addr, &raw);
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains("sequential scan on orders"), "{text}");
+
+    // An encoded trailing space (`%20` and `+`) in ?style= decodes
+    // and trims instead of 400ing on a style named "bulleted ".
+    for encoded in ["bulleted%20", "bulleted+"] {
+        let raw = format!(
+            "POST /narrate?style={encoded} HTTP/1.1\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{doc}",
+            doc.len()
+        );
+        let (status, text) = raw_exchange(addr, &raw);
+        assert_eq!(status, 200, "style={encoded}: {text}");
+        assert!(text.contains("- "), "bulleted style applies: {text}");
+    }
+
+    server.shutdown().unwrap();
+}
+
+/// `POST /narrate/batch` envelope rejections over real sockets: an
+/// empty JSON array and every non-array body are clear, structured
+/// 400s — never a confusing 200 from the narrate pipeline.
+#[test]
+fn batch_envelope_rejections_over_sockets() {
+    let server = LanternBuilder::new().serve("127.0.0.1:0").unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    for body in ["[]", "  [ ]  ", "{}", "\"a plan\"", "17", "null"] {
+        let resp = client.post("/narrate/batch", body).unwrap();
+        assert_eq!(resp.status, 400, "{body:?}: {}", resp.body);
+        let value = json_of(&resp.body);
+        assert_eq!(error_kind_of(&value), "parse", "{body:?}");
+        let message = value
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(JsonValue::as_str)
+            .unwrap();
+        assert!(
+            message.contains("non-empty JSON array") || message.contains("JSON array"),
+            "{body:?}: {message}"
+        );
+    }
+    // The guard does not over-reject: a one-element array still works.
+    let body = JsonValue::Array(vec![JsonValue::String(PG_DOC.to_string())]).to_string_compact();
+    let resp = client.post("/narrate/batch", &body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    drop(client);
+    server.shutdown().unwrap();
+}
+
 /// Acceptance: a cache-enabled service over real sockets — a repeated
 /// plan reports a cache hit in `/stats`, `?nocache=1` bypasses,
 /// `POST /cache/clear` empties, and every response body is identical.
