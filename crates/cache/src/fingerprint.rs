@@ -250,6 +250,24 @@ pub fn fingerprint_tree(tree: &PlanTree, opts: FingerprintOptions) -> Fingerprin
     h.finish()
 }
 
+/// Canonical fingerprint of one *subtree* of a parsed plan: the same
+/// node encoding as [`fingerprint_tree`], under its own domain string
+/// so subtree digests can never alias whole-tree digests (a one-node
+/// plan and its root subtree are different keys by construction).
+///
+/// This is the anchor key for structural plan diffing (`lantern-diff`):
+/// two subtrees with equal lax digests carry the same logical structure
+/// and annotations, and equal *strict* digests additionally share the
+/// optimizer's cardinality/cost estimates — so "lax-equal but
+/// strict-unequal" is exactly the estimate-jitter case a diff engine
+/// wants to classify separately from a real structural change.
+pub fn fingerprint_subtree(node: &PlanNode, opts: FingerprintOptions) -> Fingerprint {
+    let mut h = Hasher128::new("lantern/subtree-fp/v1");
+    h.write_u8(opts.strict as u8);
+    write_node(&mut h, node, opts);
+    h.finish()
+}
+
 /// Exact-text digest of a serialized plan document: the cache's L1
 /// key, mapping a byte-identical re-submission to its canonical
 /// fingerprint without re-parsing. Exactly the bytes the parser
@@ -368,6 +386,46 @@ mod tests {
         assert_ne!(a, fingerprint_document(0, &format!("{DOC}\u{feff}\n")));
         // And the format tag separates the key spaces.
         assert_ne!(a, fingerprint_document(1, DOC));
+    }
+
+    #[test]
+    fn subtree_digest_has_its_own_domain_and_matches_across_trees() {
+        let opts = FingerprintOptions::default();
+        let t = tree(DOC);
+        // A subtree digest never aliases the whole-tree digest of the
+        // same node (domain separation), even for a one-node plan.
+        let leaf = tree(r#"{"Plan": {"Node Type": "Seq Scan", "Relation Name": "orders"}}"#);
+        assert_ne!(
+            fingerprint_subtree(&leaf.root, opts),
+            fingerprint_tree(&leaf, opts)
+        );
+        // The same logical subtree embedded in two different plans
+        // digests identically — that is what lets a diff engine match
+        // moved/shared subtrees across plans.
+        let scan = &t.root.children[0];
+        let rehomed = tree(
+            r#"{"Plan": {"Node Type": "Limit",
+                "Plans": [{"Node Type": "Seq Scan", "Relation Name": "orders",
+                           "Filter": "o_orderstatus = 'F'"}]}}"#,
+        );
+        assert_eq!(
+            fingerprint_subtree(scan, opts),
+            fingerprint_subtree(&rehomed.root.children[0], opts)
+        );
+    }
+
+    #[test]
+    fn subtree_lax_ignores_estimates_strict_sees_them() {
+        let jittered = tree(&DOC.replace("12.5", "13.75"));
+        let base = tree(DOC);
+        assert_eq!(
+            fingerprint_subtree(&base.root, FingerprintOptions::default()),
+            fingerprint_subtree(&jittered.root, FingerprintOptions::default())
+        );
+        assert_ne!(
+            fingerprint_subtree(&base.root, FingerprintOptions::strict()),
+            fingerprint_subtree(&jittered.root, FingerprintOptions::strict())
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod lru;
 
 pub use cached::{CacheConfig, CacheControl, CacheStatsSnapshot, CachedTranslator, NarrationCache};
 pub use fingerprint::{
-    fingerprint_document, fingerprint_tree, Fingerprint, FingerprintOptions, Hasher128,
+    fingerprint_document, fingerprint_subtree, fingerprint_tree, Fingerprint, FingerprintOptions,
+    Hasher128,
 };
 pub use lru::{LruStats, ShardedLru};

@@ -426,6 +426,152 @@ impl<T: Translator + ?Sized> Translator for Box<T> {
     }
 }
 
+/// One plan-diff request: a base plan, an alternative plan, and
+/// per-request rendering options. Both sources resolve independently —
+/// the base can be PostgreSQL JSON while the alternative is a SQL
+/// Server showplan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRequest {
+    /// The reference plan the alternative is compared against.
+    pub base: PlanSource,
+    /// The alternative plan.
+    pub alt: PlanSource,
+    /// Per-request rendering override; `None` uses the diff backend's
+    /// configured default.
+    pub style: Option<RenderStyle>,
+}
+
+impl DiffRequest {
+    /// Compare two plan sources.
+    pub fn new(base: impl Into<PlanSource>, alt: impl Into<PlanSource>) -> Self {
+        DiffRequest {
+            base: base.into(),
+            alt: alt.into(),
+            style: None,
+        }
+    }
+
+    /// Compare two serialized documents, auto-detecting each vendor
+    /// format independently.
+    pub fn auto(base: impl Into<String>, alt: impl Into<String>) -> Result<Self, LanternError> {
+        Ok(Self::new(PlanSource::auto(base)?, PlanSource::auto(alt)?))
+    }
+
+    /// Override the rendering style for this request only.
+    pub fn with_style(mut self, style: RenderStyle) -> Self {
+        self.style = Some(style);
+        self
+    }
+
+    /// The style this request renders with, given a backend default.
+    pub fn effective_style(&self, default: RenderStyle) -> RenderStyle {
+        self.style.unwrap_or(default)
+    }
+}
+
+/// One classified edit between a base plan and an alternative, in wire
+/// form: a stable `kind` slug, the anchor node's path, and a rendered
+/// one-line `detail`. The structural edit model itself (typed variants,
+/// matching, scoring) lives in the `lantern-diff` crate; this flattened
+/// shape is what crosses the API and the HTTP boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffChange {
+    /// Stable change-kind slug. Current values: `operator-substitution`,
+    /// `join-input-swap`, `estimate-delta`, `predicate-change`,
+    /// `subtree-insert`, `subtree-delete`. Like error kinds, new slugs
+    /// may be added; existing ones are never renamed.
+    pub kind: String,
+    /// Dotted child-index path to the anchor node in the *base* tree
+    /// (`"root"`, `"root.0.1"`; inserts anchor at the position the new
+    /// subtree takes in the alternative).
+    pub path: String,
+    /// Operator name at the anchor node (base side where it exists).
+    pub op: String,
+    /// One human-readable sentence describing the change.
+    pub detail: String,
+    /// This edit's contribution to the diff's informativeness score.
+    pub weight: f64,
+}
+
+/// A completed plan diff: the classified changes, an informativeness
+/// score for ranking alternatives, and the narrated comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffResponse {
+    /// Which backend narrated the diff (`"rule-diff"`, …).
+    pub backend: String,
+    /// Informativeness: structural-change magnitude weighted by the
+    /// estimated-cost delta. `0.0` iff the plans are structurally
+    /// identical. Higher means the alternative is more worth showing a
+    /// student; estimate jitter scores far below a join-algorithm
+    /// change.
+    pub score: f64,
+    /// The classified changes, in base-tree pre-order.
+    pub changes: Vec<DiffChange>,
+    /// The structured narration of the comparison.
+    pub narration: Narration,
+    /// The narration rendered in the effective style of the request.
+    pub text: String,
+}
+
+impl DiffResponse {
+    /// Whether the two plans were structurally identical (estimates
+    /// included).
+    pub fn is_identical(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+/// A plan-diff backend: compares two plans and narrates the
+/// differences. Object-safe so the serving layer can hold one behind
+/// `Arc<dyn DiffTranslator>` next to the narration `Translator`.
+pub trait DiffTranslator {
+    /// Stable backend identifier (`"rule-diff"`, …).
+    fn diff_backend(&self) -> &str;
+
+    /// Diff and narrate one base/alternative pair.
+    fn narrate_diff(&self, req: &DiffRequest) -> Result<DiffResponse, LanternError>;
+
+    /// Diff one base against many alternatives, returning one result
+    /// per alternative in input order (callers rank by
+    /// [`DiffResponse::score`]). The default implementation reuses the
+    /// base source per pair sequentially.
+    fn narrate_diff_batch(
+        &self,
+        base: &PlanSource,
+        alts: &[PlanSource],
+        style: Option<RenderStyle>,
+    ) -> Vec<Result<DiffResponse, LanternError>> {
+        alts.iter()
+            .map(|alt| {
+                self.narrate_diff(&DiffRequest {
+                    base: base.clone(),
+                    alt: alt.clone(),
+                    style,
+                })
+            })
+            .collect()
+    }
+}
+
+impl<T: DiffTranslator + ?Sized> DiffTranslator for std::sync::Arc<T> {
+    fn diff_backend(&self) -> &str {
+        (**self).diff_backend()
+    }
+
+    fn narrate_diff(&self, req: &DiffRequest) -> Result<DiffResponse, LanternError> {
+        (**self).narrate_diff(req)
+    }
+
+    fn narrate_diff_batch(
+        &self,
+        base: &PlanSource,
+        alts: &[PlanSource],
+        style: Option<RenderStyle>,
+    ) -> Vec<Result<DiffResponse, LanternError>> {
+        (**self).narrate_diff_batch(base, alts, style)
+    }
+}
+
 /// Map `items` across scoped worker threads behind an atomic
 /// work-stealing index: items are claimed one at a time rather than
 /// pre-partitioned into fixed chunks, so skewed item costs (one deep

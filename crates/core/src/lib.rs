@@ -36,8 +36,9 @@ pub mod wire;
 
 pub use acts::{decompose_acts, Act};
 pub use api::{
-    narrate_batch_parallel, work_steal_map, LanternError, NarrationRequest, NarrationResponse,
-    PlanFormat, PlanSource, RuleTranslator, Translator,
+    narrate_batch_parallel, work_steal_map, DiffChange, DiffRequest, DiffResponse, DiffTranslator,
+    LanternError, NarrationRequest, NarrationResponse, PlanFormat, PlanSource, RuleTranslator,
+    Translator,
 };
 pub use cluster::{cluster_pairs, Cluster};
 pub use facade::Lantern;

@@ -1,0 +1,502 @@
+//! Subtree matching and edit classification.
+//!
+//! The matcher is anchored on per-subtree 128-bit fingerprints (the
+//! same canonical encoding the narration cache keys on, under its own
+//! `lantern/subtree-fp/v1` domain). Two digests per subtree carry the
+//! whole comparison:
+//!
+//! * **strict** (estimates included) — equal digests mean the subtrees
+//!   are identical, so the walk prunes there;
+//! * **lax** (estimates ignored) — equal-lax-but-unequal-strict means
+//!   the subtrees differ *only* in optimizer estimates, so the walk
+//!   degenerates to a lockstep pass emitting one
+//!   [`EditKind::EstimateDelta`] per drifted node.
+//!
+//! Only when the lax digests disagree does real structural
+//! classification happen: operator substitution at the node, per-field
+//! predicate changes, a cross-match test for swapped join inputs, and
+//! greedy child alignment whose leftovers become subtree
+//! inserts/deletes.
+
+use lantern_cache::{fingerprint_subtree, Fingerprint, FingerprintOptions};
+use lantern_plan::{PlanNode, PlanTree};
+
+use crate::score::{score_edit, ESTIMATE_TOTAL_CAP};
+
+/// Tuning knobs for [`diff_plans_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Relative tolerance under which two estimates count as equal
+    /// (guards float noise from re-serialized documents; the default is
+    /// effectively exact comparison of parsed values).
+    pub estimate_epsilon: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            estimate_epsilon: 1e-9,
+        }
+    }
+}
+
+/// Which scalar field a [`EditKind::PredicateChange`] touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangedField {
+    /// `relation` — the scanned table changed.
+    Relation,
+    /// `alias` — the query-side alias changed.
+    Alias,
+    /// `index_name` — a different (or no) index access path.
+    IndexName,
+    /// `filter` — the filter predicate text.
+    Filter,
+    /// `join_cond` — the join condition text.
+    JoinCond,
+    /// `sort_keys` — the sort key list.
+    SortKeys,
+    /// `group_keys` — the grouping key list.
+    GroupKeys,
+    /// `strategy` — the aggregate strategy (`Sorted`/`Hashed`).
+    Strategy,
+}
+
+impl ChangedField {
+    /// Stable field slug for wire output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChangedField::Relation => "relation",
+            ChangedField::Alias => "alias",
+            ChangedField::IndexName => "index",
+            ChangedField::Filter => "filter",
+            ChangedField::JoinCond => "join-condition",
+            ChangedField::SortKeys => "sort-keys",
+            ChangedField::GroupKeys => "group-keys",
+            ChangedField::Strategy => "strategy",
+        }
+    }
+}
+
+/// A classified difference between matched base/alternative subtrees.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EditKind {
+    /// The operator itself changed (e.g. `Nested Loop` → `Hash Join`):
+    /// the optimizer chose a different algorithm for the same slot.
+    OperatorSubstitution {
+        /// Base-plan operator name.
+        before: String,
+        /// Alternative-plan operator name.
+        after: String,
+    },
+    /// The two inputs of a binary operator traded places (outer/inner
+    /// or build/probe side swap) with both subtrees otherwise intact.
+    JoinInputSwap {
+        /// The binary operator whose inputs swapped.
+        op: String,
+    },
+    /// Structure identical, optimizer estimates drifted.
+    EstimateDelta {
+        /// Operator at the drifted node.
+        op: String,
+        /// Base cardinality estimate.
+        rows_before: f64,
+        /// Alternative cardinality estimate.
+        rows_after: f64,
+        /// Base cost estimate.
+        cost_before: f64,
+        /// Alternative cost estimate.
+        cost_after: f64,
+    },
+    /// A scalar field of the node changed (filter text, join condition,
+    /// index choice, sort/group keys, …).
+    PredicateChange {
+        /// Operator at the changed node.
+        op: String,
+        /// Which field changed.
+        field: ChangedField,
+        /// Base value (`None` when the field was absent).
+        before: Option<String>,
+        /// Alternative value (`None` when the field is absent).
+        after: Option<String>,
+    },
+    /// The alternative plan grew a subtree the base plan lacks.
+    SubtreeInsert {
+        /// Root operator of the inserted subtree.
+        op: String,
+        /// Operator count of the inserted subtree.
+        size: usize,
+        /// Cardinality estimate at its root.
+        rows: f64,
+    },
+    /// The alternative plan dropped a subtree the base plan has.
+    SubtreeDelete {
+        /// Root operator of the dropped subtree.
+        op: String,
+        /// Operator count of the dropped subtree.
+        size: usize,
+        /// Cardinality estimate at its root.
+        rows: f64,
+    },
+}
+
+impl EditKind {
+    /// Stable change-kind slug (mirrored into
+    /// [`DiffChange::kind`](lantern_core::DiffChange); add new ones,
+    /// never rename).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            EditKind::OperatorSubstitution { .. } => "operator-substitution",
+            EditKind::JoinInputSwap { .. } => "join-input-swap",
+            EditKind::EstimateDelta { .. } => "estimate-delta",
+            EditKind::PredicateChange { .. } => "predicate-change",
+            EditKind::SubtreeInsert { .. } => "subtree-insert",
+            EditKind::SubtreeDelete { .. } => "subtree-delete",
+        }
+    }
+
+    /// The anchor operator name (base side where both exist).
+    pub fn op(&self) -> &str {
+        match self {
+            EditKind::OperatorSubstitution { before, .. } => before,
+            EditKind::JoinInputSwap { op }
+            | EditKind::EstimateDelta { op, .. }
+            | EditKind::PredicateChange { op, .. }
+            | EditKind::SubtreeInsert { op, .. }
+            | EditKind::SubtreeDelete { op, .. } => op,
+        }
+    }
+}
+
+/// One edit, anchored at a node path, with its scoring weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanEdit {
+    /// Child-index path from the root of the *base* tree (empty = the
+    /// root itself; inserts use the position the new subtree takes in
+    /// the alternative).
+    pub path: Vec<usize>,
+    /// What changed.
+    pub kind: EditKind,
+    /// This edit's contribution to [`PlanDiff::score`] (structural
+    /// weight; estimate deltas are capped in aggregate).
+    pub weight: f64,
+}
+
+impl PlanEdit {
+    /// Dotted display form of the path: `"root"`, `"root.0.1"`.
+    pub fn path_string(&self) -> String {
+        let mut s = String::from("root");
+        for i in &self.path {
+            s.push('.');
+            s.push_str(&i.to_string());
+        }
+        s
+    }
+}
+
+/// The result of comparing two plans: classified edits (base-tree
+/// pre-order) plus an informativeness score for ranking alternatives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanDiff {
+    /// Classified edits; empty iff the plans are strictly identical.
+    pub edits: Vec<PlanEdit>,
+    /// Informativeness: the sum of edit weights, amplified by the
+    /// estimated-cost delta between the two roots. See
+    /// [`informativeness`](crate::score::informativeness).
+    pub score: f64,
+    /// Root cost estimate of the base plan.
+    pub base_cost: f64,
+    /// Root cost estimate of the alternative plan.
+    pub alt_cost: f64,
+}
+
+impl PlanDiff {
+    /// Whether the plans were identical (estimates included).
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// The distinct change-kind slugs present, in first-seen order
+    /// (what property tests assert against).
+    pub fn kind_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = Vec::new();
+        for e in &self.edits {
+            let n = e.kind.kind_name();
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+        names
+    }
+}
+
+/// Diff two plans with default options.
+pub fn diff_plans(base: &PlanTree, alt: &PlanTree) -> PlanDiff {
+    diff_plans_with(base, alt, DiffOptions::default())
+}
+
+/// Diff two plans: fingerprint-anchored matching, edit classification,
+/// and informativeness scoring.
+pub fn diff_plans_with(base: &PlanTree, alt: &PlanTree, opts: DiffOptions) -> PlanDiff {
+    let mut edits = Vec::new();
+    let mut path = Vec::new();
+    diff_nodes(&base.root, &alt.root, &mut path, &mut edits, opts);
+    for e in &mut edits {
+        e.weight = score_edit(&e.kind);
+    }
+    // Cap the *aggregate* estimate-jitter contribution so a plan that
+    // drifted a little everywhere never outranks a single structural
+    // change; the cap is redistributed pro-rata so each edit's weight
+    // still states its true contribution to the score.
+    let estimate_total: f64 = edits
+        .iter()
+        .filter(|e| matches!(e.kind, EditKind::EstimateDelta { .. }))
+        .map(|e| e.weight)
+        .sum();
+    if estimate_total > ESTIMATE_TOTAL_CAP {
+        let scale = ESTIMATE_TOTAL_CAP / estimate_total;
+        for e in &mut edits {
+            if matches!(e.kind, EditKind::EstimateDelta { .. }) {
+                e.weight *= scale;
+            }
+        }
+    }
+    let score =
+        crate::score::informativeness(&edits, base.root.estimated_cost, alt.root.estimated_cost);
+    PlanDiff {
+        edits,
+        score,
+        base_cost: base.root.estimated_cost,
+        alt_cost: alt.root.estimated_cost,
+    }
+}
+
+fn strict_fp(n: &PlanNode) -> Fingerprint {
+    fingerprint_subtree(n, FingerprintOptions::strict())
+}
+
+fn lax_fp(n: &PlanNode) -> Fingerprint {
+    fingerprint_subtree(n, FingerprintOptions::default())
+}
+
+fn subtree_size(n: &PlanNode) -> usize {
+    1 + n.children.iter().map(subtree_size).sum::<usize>()
+}
+
+fn diff_nodes(
+    a: &PlanNode,
+    b: &PlanNode,
+    path: &mut Vec<usize>,
+    edits: &mut Vec<PlanEdit>,
+    opts: DiffOptions,
+) {
+    if strict_fp(a) == strict_fp(b) {
+        return;
+    }
+    if lax_fp(a) == lax_fp(b) {
+        collect_estimate_deltas(a, b, path, edits, opts);
+        return;
+    }
+    compare_node(a, b, path, edits, opts);
+    align_children(a, b, path, edits, opts);
+}
+
+/// Node-local comparisons: operator substitution, per-field predicate
+/// changes, and an estimate delta when the numbers moved too.
+fn compare_node(
+    a: &PlanNode,
+    b: &PlanNode,
+    path: &[usize],
+    edits: &mut Vec<PlanEdit>,
+    opts: DiffOptions,
+) {
+    let mut push = |kind: EditKind| {
+        edits.push(PlanEdit {
+            path: path.to_vec(),
+            kind,
+            weight: 0.0,
+        });
+    };
+    if a.op != b.op {
+        push(EditKind::OperatorSubstitution {
+            before: a.op.clone(),
+            after: b.op.clone(),
+        });
+    }
+    let fields: [(ChangedField, &Option<String>, &Option<String>); 6] = [
+        (ChangedField::Relation, &a.relation, &b.relation),
+        (ChangedField::Alias, &a.alias, &b.alias),
+        (ChangedField::IndexName, &a.index_name, &b.index_name),
+        (ChangedField::Filter, &a.filter, &b.filter),
+        (ChangedField::JoinCond, &a.join_cond, &b.join_cond),
+        (ChangedField::Strategy, &a.strategy, &b.strategy),
+    ];
+    for (field, before, after) in fields {
+        if before != after {
+            push(EditKind::PredicateChange {
+                op: a.op.clone(),
+                field,
+                before: (*before).clone(),
+                after: (*after).clone(),
+            });
+        }
+    }
+    let keys = [
+        (ChangedField::SortKeys, &a.sort_keys, &b.sort_keys),
+        (ChangedField::GroupKeys, &a.group_keys, &b.group_keys),
+    ];
+    for (field, before, after) in keys {
+        if before != after {
+            push(EditKind::PredicateChange {
+                op: a.op.clone(),
+                field,
+                before: (!before.is_empty()).then(|| before.join(", ")),
+                after: (!after.is_empty()).then(|| after.join(", ")),
+            });
+        }
+    }
+    if estimates_differ(a, b, opts) {
+        push(EditKind::EstimateDelta {
+            op: a.op.clone(),
+            rows_before: a.estimated_rows,
+            rows_after: b.estimated_rows,
+            cost_before: a.estimated_cost,
+            cost_after: b.estimated_cost,
+        });
+    }
+}
+
+/// Lockstep walk over two lax-identical subtrees: same shape
+/// guaranteed, only the estimates can differ.
+fn collect_estimate_deltas(
+    a: &PlanNode,
+    b: &PlanNode,
+    path: &mut Vec<usize>,
+    edits: &mut Vec<PlanEdit>,
+    opts: DiffOptions,
+) {
+    if estimates_differ(a, b, opts) {
+        edits.push(PlanEdit {
+            path: path.clone(),
+            kind: EditKind::EstimateDelta {
+                op: a.op.clone(),
+                rows_before: a.estimated_rows,
+                rows_after: b.estimated_rows,
+                cost_before: a.estimated_cost,
+                cost_after: b.estimated_cost,
+            },
+            weight: 0.0,
+        });
+    }
+    for (i, (ca, cb)) in a.children.iter().zip(&b.children).enumerate() {
+        path.push(i);
+        collect_estimate_deltas(ca, cb, path, edits, opts);
+        path.pop();
+    }
+}
+
+/// Pair children across the two nodes and recurse into the pairs.
+///
+/// Swapped join inputs are detected first: exactly two children on
+/// both sides whose lax fingerprints match crosswise but not straight.
+/// Otherwise alignment is greedy — equal lax fingerprint, then equal
+/// operator name, then position — and leftovers become subtree
+/// deletes (base side) / inserts (alternative side).
+fn align_children(
+    a: &PlanNode,
+    b: &PlanNode,
+    path: &mut Vec<usize>,
+    edits: &mut Vec<PlanEdit>,
+    opts: DiffOptions,
+) {
+    let ac = &a.children;
+    let bc = &b.children;
+    if ac.is_empty() && bc.is_empty() {
+        return;
+    }
+    let af: Vec<Fingerprint> = ac.iter().map(lax_fp).collect();
+    let bf: Vec<Fingerprint> = bc.iter().map(lax_fp).collect();
+    if ac.len() == 2 && bc.len() == 2 {
+        let straight = af[0] == bf[0] && af[1] == bf[1];
+        let crossed = af[0] == bf[1] && af[1] == bf[0];
+        if crossed && !straight {
+            edits.push(PlanEdit {
+                path: path.clone(),
+                kind: EditKind::JoinInputSwap { op: a.op.clone() },
+                weight: 0.0,
+            });
+            // Recurse the crossed pairs: lax-equal, so at most
+            // estimate deltas remain inside.
+            path.push(0);
+            diff_nodes(&ac[0], &bc[1], path, edits, opts);
+            path.pop();
+            path.push(1);
+            diff_nodes(&ac[1], &bc[0], path, edits, opts);
+            path.pop();
+            return;
+        }
+    }
+    let mut pair: Vec<Option<usize>> = vec![None; ac.len()];
+    let mut used = vec![false; bc.len()];
+    for (i, fp) in af.iter().enumerate() {
+        if let Some(j) = (0..bc.len()).find(|&j| !used[j] && bf[j] == *fp) {
+            pair[i] = Some(j);
+            used[j] = true;
+        }
+    }
+    for (i, slot) in pair.iter_mut().enumerate() {
+        if slot.is_none() {
+            if let Some(j) = (0..bc.len()).find(|&j| !used[j] && bc[j].op == ac[i].op) {
+                *slot = Some(j);
+                used[j] = true;
+            }
+        }
+    }
+    for slot in pair.iter_mut() {
+        if slot.is_none() {
+            if let Some(j) = (0..bc.len()).find(|&j| !used[j]) {
+                *slot = Some(j);
+                used[j] = true;
+            }
+        }
+    }
+    for (i, slot) in pair.iter().enumerate() {
+        path.push(i);
+        match slot {
+            Some(j) => diff_nodes(&ac[i], &bc[*j], path, edits, opts),
+            None => edits.push(PlanEdit {
+                path: path.clone(),
+                kind: EditKind::SubtreeDelete {
+                    op: ac[i].op.clone(),
+                    size: subtree_size(&ac[i]),
+                    rows: ac[i].estimated_rows,
+                },
+                weight: 0.0,
+            }),
+        }
+        path.pop();
+    }
+    for (j, child) in bc.iter().enumerate() {
+        if !used[j] {
+            path.push(j);
+            edits.push(PlanEdit {
+                path: path.clone(),
+                kind: EditKind::SubtreeInsert {
+                    op: child.op.clone(),
+                    size: subtree_size(child),
+                    rows: child.estimated_rows,
+                },
+                weight: 0.0,
+            });
+            path.pop();
+        }
+    }
+}
+
+fn estimates_differ(a: &PlanNode, b: &PlanNode, opts: DiffOptions) -> bool {
+    !nearly_equal(a.estimated_rows, b.estimated_rows, opts.estimate_epsilon)
+        || !nearly_equal(a.estimated_cost, b.estimated_cost, opts.estimate_epsilon)
+}
+
+fn nearly_equal(x: f64, y: f64, eps: f64) -> bool {
+    (x - y).abs() <= eps * x.abs().max(y.abs()).max(1.0)
+}

@@ -1,0 +1,356 @@
+//! Render a [`PlanDiff`] as learner-facing prose.
+//!
+//! Operator names go through the POEM store ([`PoemLookup`]) so the
+//! narration says what the rule backend says — `hash join`, not
+//! `Hash Join` — and predicates go through the same
+//! [`humanize_predicate`] pass the step narrator uses. The sentence
+//! frames themselves are a small diff-specific template set
+//! ([`DiffTemplates`]) with `{placeholder}` substitution, overridable
+//! the same way POEM description templates are.
+
+use lantern_core::narrate::humanize_predicate;
+use lantern_core::{DiffChange, Narration, NarrationStep, TagBinding};
+use lantern_plan::PlanTree;
+use lantern_pool::PoemLookup;
+
+use crate::engine::{ChangedField, EditKind, PlanDiff};
+
+/// The diff sentence frames. Placeholders in `{braces}` are
+/// substituted; unknown placeholders pass through untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffTemplates {
+    /// Whole-diff sentence when there are no edits.
+    pub identical: String,
+    /// Leading summary step: `{count}`, `{places}`, `{cost_clause}`.
+    pub summary: String,
+    /// Appended to the summary when the root cost moved: `{before}`,
+    /// `{after}`.
+    pub cost_clause: String,
+    /// Operator substitution: `{path}`, `{before}`, `{after}` (both
+    /// operator names arrive with an indefinite article — "an index
+    /// scan", "a hash join").
+    pub operator_substitution: String,
+    /// Join-input swap: `{path}`, `{op}`.
+    pub join_input_swap: String,
+    /// Estimate drift: `{path}`, `{op}`, `{rows_before}`,
+    /// `{rows_after}`, `{cost_before}`, `{cost_after}`.
+    pub estimate_delta: String,
+    /// Field changed on both sides: `{path}`, `{op}`, `{field}`,
+    /// `{before}`, `{after}`.
+    pub predicate_change: String,
+    /// Field present only in the alternative: `{path}`, `{op}`,
+    /// `{field}` (with indefinite article, absent on plural fields),
+    /// `{after}`.
+    pub predicate_add: String,
+    /// Field present only in the base: `{path}`, `{op}`, `{field}`,
+    /// `{before}`.
+    pub predicate_drop: String,
+    /// Inserted subtree: `{path}`, `{op}` (with indefinite article),
+    /// `{size}`, `{operators}`, `{rows}`.
+    pub subtree_insert: String,
+    /// Dropped subtree: `{path}`, `{op}`, `{size}`, `{operators}`.
+    pub subtree_delete: String,
+}
+
+impl Default for DiffTemplates {
+    fn default() -> Self {
+        DiffTemplates {
+            identical: "the alternative plan is identical to the base plan.".into(),
+            summary: "the alternative plan differs from the base plan in {count} \
+                      {places}{cost_clause}."
+                .into(),
+            cost_clause: ", moving the estimated total cost from {before} to {after}".into(),
+            operator_substitution: "at {path}, the alternative performs {after} where the \
+                                    base plan performs {before}."
+                .into(),
+            join_input_swap: "at {path}, the two inputs of the {op} trade places: the base \
+                              plan's outer input becomes the alternative's inner input."
+                .into(),
+            estimate_delta: "at {path}, the optimizer now expects {rows_after} rows at cost \
+                             {cost_after} for the {op} (was {rows_before} rows at cost \
+                             {cost_before})."
+                .into(),
+            predicate_change: "at {path}, the {field} on the {op} changes from {before} to \
+                               {after}."
+                .into(),
+            predicate_add: "at {path}, the {op} gains {field}: {after}.".into(),
+            predicate_drop: "at {path}, the {op} drops its {field} ({before}).".into(),
+            subtree_insert: "at {path}, the alternative adds {op} subtree of {size} \
+                             {operators} producing about {rows} rows."
+                .into(),
+            subtree_delete: "at {path}, the alternative drops the base plan's {op} subtree \
+                             of {size} {operators}."
+                .into(),
+        }
+    }
+}
+
+/// Render `diff` with the default templates: the wire-form change
+/// list and the step narration (summary step first, then one step per
+/// edit, in base-tree pre-order).
+pub fn render_diff<L: PoemLookup>(
+    base: &PlanTree,
+    alt: &PlanTree,
+    diff: &PlanDiff,
+    lookup: &L,
+) -> (Vec<DiffChange>, Narration) {
+    render_diff_with(base, alt, diff, lookup, &DiffTemplates::default())
+}
+
+/// Render `diff` with a caller-supplied template set.
+pub fn render_diff_with<L: PoemLookup>(
+    base: &PlanTree,
+    alt: &PlanTree,
+    diff: &PlanDiff,
+    lookup: &L,
+    templates: &DiffTemplates,
+) -> (Vec<DiffChange>, Narration) {
+    let mut changes = Vec::with_capacity(diff.edits.len());
+    let mut steps = Vec::with_capacity(diff.edits.len() + 1);
+    steps.push(step(1, Vec::new(), summary_text(diff, templates)));
+    for edit in &diff.edits {
+        let path = edit.path_string();
+        let (ops, text) = sentence(edit.kind.clone(), &path, base, alt, lookup, templates);
+        changes.push(DiffChange {
+            kind: edit.kind.kind_name().into(),
+            path,
+            op: edit.kind.op().into(),
+            detail: text.clone(),
+            weight: edit.weight,
+        });
+        steps.push(step(steps.len() + 1, ops, text));
+    }
+    (changes, Narration::from_steps(steps))
+}
+
+fn summary_text(diff: &PlanDiff, templates: &DiffTemplates) -> String {
+    if diff.edits.is_empty() {
+        return templates.identical.clone();
+    }
+    let cost_clause = if format_cost(diff.base_cost) == format_cost(diff.alt_cost) {
+        String::new()
+    } else {
+        fill(
+            &templates.cost_clause,
+            &[
+                ("before", format_cost(diff.base_cost)),
+                ("after", format_cost(diff.alt_cost)),
+            ],
+        )
+    };
+    fill(
+        &templates.summary,
+        &[
+            ("count", diff.edits.len().to_string()),
+            ("places", plural(diff.edits.len(), "place", "places").into()),
+            ("cost_clause", cost_clause),
+        ],
+    )
+}
+
+fn sentence<L: PoemLookup>(
+    kind: EditKind,
+    path: &str,
+    base: &PlanTree,
+    alt: &PlanTree,
+    lookup: &L,
+    templates: &DiffTemplates,
+) -> (Vec<String>, String) {
+    let name = |op: &str| display_op(lookup, &base.source, &alt.source, op);
+    match kind {
+        EditKind::OperatorSubstitution { before, after } => {
+            let text = fill(
+                &templates.operator_substitution,
+                &[
+                    ("path", path.into()),
+                    ("before", indefinite(&name(&before))),
+                    (
+                        "after",
+                        indefinite(&display_op(lookup, &alt.source, &base.source, &after)),
+                    ),
+                ],
+            );
+            (vec![before, after], text)
+        }
+        EditKind::JoinInputSwap { op } => {
+            let text = fill(
+                &templates.join_input_swap,
+                &[("path", path.into()), ("op", name(&op))],
+            );
+            (vec![op], text)
+        }
+        EditKind::EstimateDelta {
+            op,
+            rows_before,
+            rows_after,
+            cost_before,
+            cost_after,
+        } => {
+            let text = fill(
+                &templates.estimate_delta,
+                &[
+                    ("path", path.into()),
+                    ("op", name(&op)),
+                    ("rows_before", format_rows(rows_before)),
+                    ("rows_after", format_rows(rows_after)),
+                    ("cost_before", format_cost(cost_before)),
+                    ("cost_after", format_cost(cost_after)),
+                ],
+            );
+            (vec![op], text)
+        }
+        EditKind::PredicateChange {
+            op,
+            field,
+            before,
+            after,
+        } => {
+            let before = before.map(|v| field_value(field, &v));
+            let after = after.map(|v| field_value(field, &v));
+            let (template, added, vars): (&str, bool, Vec<(&str, String)>) = match (before, after) {
+                (Some(b), Some(a)) => (
+                    &templates.predicate_change,
+                    false,
+                    vec![("before", b), ("after", a)],
+                ),
+                (None, Some(a)) => (&templates.predicate_add, true, vec![("after", a)]),
+                (Some(b), None) => (&templates.predicate_drop, false, vec![("before", b)]),
+                // Both sides absent never happens (the engine only
+                // emits the edit when the values differ).
+                (None, None) => (&templates.predicate_change, false, Vec::new()),
+            };
+            let field_name = field_display(field);
+            // The "gains" sentence needs an article ("gains an index")
+            // except on the plural key-list fields ("gains sort keys").
+            let field_phrase =
+                if added && !matches!(field, ChangedField::SortKeys | ChangedField::GroupKeys) {
+                    indefinite(field_name)
+                } else {
+                    field_name.to_string()
+                };
+            let mut vars = vars;
+            vars.push(("path", path.into()));
+            vars.push(("op", name(&op)));
+            vars.push(("field", field_phrase));
+            let text = fill(template, &vars);
+            (vec![op], text)
+        }
+        EditKind::SubtreeInsert { op, size, rows } => {
+            let text = fill(
+                &templates.subtree_insert,
+                &[
+                    ("path", path.into()),
+                    (
+                        "op",
+                        indefinite(&display_op(lookup, &alt.source, &base.source, &op)),
+                    ),
+                    ("size", size.to_string()),
+                    ("operators", plural(size, "operator", "operators").into()),
+                    ("rows", format_rows(rows)),
+                ],
+            );
+            (vec![op], text)
+        }
+        EditKind::SubtreeDelete { op, size, .. } => {
+            let text = fill(
+                &templates.subtree_delete,
+                &[
+                    ("path", path.into()),
+                    ("op", name(&op)),
+                    ("size", size.to_string()),
+                    ("operators", plural(size, "operator", "operators").into()),
+                ],
+            );
+            (vec![op], text)
+        }
+    }
+}
+
+/// POEM display name for an operator, trying the primary source first
+/// (both, because the base and alternative may come from different
+/// vendors); unknown operators fall back to the lowercased vendor
+/// name.
+fn display_op<L: PoemLookup>(lookup: &L, primary: &str, secondary: &str, op: &str) -> String {
+    lookup
+        .find(primary, op)
+        .or_else(|| lookup.find(secondary, op))
+        .map(|o| o.display_name().to_string())
+        .unwrap_or_else(|| op.to_lowercase())
+}
+
+/// Human phrase for a changed field.
+fn field_display(field: ChangedField) -> &'static str {
+    match field {
+        ChangedField::Relation => "scanned relation",
+        ChangedField::Alias => "alias",
+        ChangedField::IndexName => "index",
+        ChangedField::Filter => "filter",
+        ChangedField::JoinCond => "join condition",
+        ChangedField::SortKeys => "sort keys",
+        ChangedField::GroupKeys => "grouping keys",
+        ChangedField::Strategy => "aggregate strategy",
+    }
+}
+
+/// Predicate-bearing fields read through the same humanizer the step
+/// narrator uses; the rest render verbatim.
+fn field_value(field: ChangedField, value: &str) -> String {
+    match field {
+        ChangedField::Filter | ChangedField::JoinCond => humanize_predicate(value),
+        _ => value.to_string(),
+    }
+}
+
+fn step(index: usize, ops: Vec<String>, text: String) -> NarrationStep {
+    NarrationStep {
+        index,
+        ops,
+        tagged: text.clone(),
+        text,
+        bindings: TagBinding::new(),
+    }
+}
+
+fn fill(template: &str, vars: &[(&str, String)]) -> String {
+    let mut out = template.to_string();
+    for (key, value) in vars {
+        out = out.replace(&format!("{{{key}}}"), value);
+    }
+    out
+}
+
+/// Prepend the right indefinite article: "an index scan", "a hash
+/// join". Vowel-initial names take "an" except the few operator words
+/// pronounced with a leading consonant ("unique" → "a unique").
+fn indefinite(name: &str) -> String {
+    let lower = name.to_lowercase();
+    let an = lower.starts_with(['a', 'e', 'i', 'o', 'u'])
+        && !lower.starts_with("uni")
+        && !lower.starts_with("use")
+        && !lower.starts_with("one");
+    if an {
+        format!("an {name}")
+    } else {
+        format!("a {name}")
+    }
+}
+
+fn plural(n: usize, one: &'static str, many: &'static str) -> &'static str {
+    if n == 1 {
+        one
+    } else {
+        many
+    }
+}
+
+fn format_rows(rows: f64) -> String {
+    if rows.fract() == 0.0 && rows.abs() < 1e15 {
+        format!("{rows:.0}")
+    } else {
+        format!("{rows:.1}")
+    }
+}
+
+fn format_cost(cost: f64) -> String {
+    format!("{cost:.2}")
+}

@@ -1,0 +1,82 @@
+//! Informativeness scoring: how much is an alternative plan worth
+//! showing?
+//!
+//! Each edit carries a structural weight; the diff's score is the
+//! weight sum amplified by how far the estimated total cost moved.
+//! The weights are ordered so that what a student should look at first
+//! ranks first: a different join algorithm (operator substitution)
+//! outranks a join-order change, which outranks a predicate tweak —
+//! and estimate jitter, which changes nothing about how the query
+//! runs, is capped in aggregate *below every structural weight*, so a
+//! plan that drifted a little everywhere still ranks last.
+
+use crate::engine::{EditKind, PlanEdit};
+
+/// Weight of an [`EditKind::OperatorSubstitution`] — the optimizer
+/// picked a different algorithm; the most instructive kind of change.
+pub const W_OPERATOR_SUBSTITUTION: f64 = 10.0;
+
+/// Base weight of a subtree insert/delete, before the per-operator
+/// size bonus.
+pub const W_SUBTREE_BASE: f64 = 8.0;
+
+/// Per-operator size bonus for subtree inserts/deletes.
+pub const W_SUBTREE_PER_OP: f64 = 2.0;
+
+/// Weight of an [`EditKind::JoinInputSwap`] — same operators, the
+/// build/probe (or outer/inner) sides traded places.
+pub const W_JOIN_INPUT_SWAP: f64 = 6.0;
+
+/// Weight of an [`EditKind::PredicateChange`].
+pub const W_PREDICATE_CHANGE: f64 = 4.0;
+
+/// Aggregate cap on estimate-delta weight per diff: strictly below
+/// every structural weight, so pure jitter never outranks a structural
+/// change no matter how many nodes drifted.
+pub const ESTIMATE_TOTAL_CAP: f64 = 3.0;
+
+/// `|log2(after/before)|`, the symmetric magnitude of a ratio change;
+/// `0` when both sides are non-positive or non-finite (estimates from
+/// real plans are positive, so this only guards degenerate input).
+pub fn log2_ratio(before: f64, after: f64) -> f64 {
+    if before <= 0.0 || after <= 0.0 || !before.is_finite() || !after.is_finite() {
+        return if before == after { 0.0 } else { 1.0 };
+    }
+    (after / before).log2().abs()
+}
+
+/// Structural weight of one edit. Estimate deltas weigh in by the
+/// log-magnitude of the drift (a 2× cardinality miss weighs 1.0, the
+/// ±10% jitter a re-`ANALYZE` produces weighs ≈ 0.3), capped per edit.
+pub fn score_edit(kind: &EditKind) -> f64 {
+    match kind {
+        EditKind::OperatorSubstitution { .. } => W_OPERATOR_SUBSTITUTION,
+        EditKind::JoinInputSwap { .. } => W_JOIN_INPUT_SWAP,
+        EditKind::PredicateChange { .. } => W_PREDICATE_CHANGE,
+        EditKind::SubtreeInsert { size, .. } | EditKind::SubtreeDelete { size, .. } => {
+            W_SUBTREE_BASE + W_SUBTREE_PER_OP * (*size as f64)
+        }
+        EditKind::EstimateDelta {
+            rows_before,
+            rows_after,
+            cost_before,
+            cost_after,
+            ..
+        } => {
+            (log2_ratio(*rows_before, *rows_after) + log2_ratio(*cost_before, *cost_after)).min(2.0)
+        }
+    }
+}
+
+/// The diff's informativeness: the sum of edit weights, amplified by
+/// how far the estimated total cost moved between the two roots
+/// (`1 + |log2(alt/base)|`, capped). Two alternatives with the same
+/// structural change rank by how much the optimizer thinks the change
+/// matters; `0.0` iff there are no edits at all.
+pub fn informativeness(edits: &[PlanEdit], base_cost: f64, alt_cost: f64) -> f64 {
+    let magnitude: f64 = edits.iter().map(|e| e.weight).sum();
+    if magnitude == 0.0 {
+        return 0.0;
+    }
+    magnitude * (1.0 + log2_ratio(base_cost, alt_cost).min(6.0))
+}

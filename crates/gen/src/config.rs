@@ -71,6 +71,12 @@ pub struct GenConfig {
     /// How many recent fresh artifacts the duplicate/mutant ring
     /// remembers.
     pub history: usize,
+    /// Stamp each fresh plan with a serial-bearing leaf predicate (on
+    /// by default — the stamp is what keeps fresh artifacts pairwise
+    /// distinct). Turn it off when a mutant must differ from its base
+    /// by *only* the injected mutation, e.g. for precise plan-diff
+    /// assertions.
+    pub stamp_serials: bool,
 }
 
 impl Default for GenConfig {
@@ -88,6 +94,7 @@ impl Default for GenConfig {
             mutate_rate: 0.0,
             format: FormatMix::Mixed,
             history: 64,
+            stamp_serials: true,
         }
     }
 }
@@ -124,6 +131,15 @@ impl GenConfig {
         assert!(min_ops <= max_ops, "min_ops > max_ops");
         self.min_ops = min_ops;
         self.max_ops = max_ops;
+        self
+    }
+
+    /// Builder: enable or disable serial-stamping of fresh plans. With
+    /// stamping off, fresh artifacts are no longer guaranteed pairwise
+    /// distinct — but a mutant differs from its base by exactly the
+    /// injected mutation, which is what plan-diff assertions need.
+    pub fn with_serial_stamps(mut self, on: bool) -> Self {
+        self.stamp_serials = on;
         self
     }
 }

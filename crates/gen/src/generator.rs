@@ -166,12 +166,31 @@ impl PlanGenerator {
         // Stamp: a serial-bearing predicate on the first leaf makes the
         // artifact distinct from every other fresh artifact, under both
         // the byte comparison and the cache fingerprint (which keys the
-        // filter text).
-        let stamp_leaf = &leaves[0];
-        let column = self.tables[stamp_leaf.table].columns[0].clone();
-        let stamp = format!("{}.{} > {}", stamp_leaf.alias, column, self.serial);
-        stamp_first_leaf(&mut root, &stamp);
+        // filter text). `stamp_serials: false` skips it so a mutant can
+        // differ from its base by exactly one injected mutation.
+        if self.config.stamp_serials {
+            let stamp_leaf = &leaves[0];
+            let column = self.tables[stamp_leaf.table].columns[0].clone();
+            let stamp = format!("{}.{} > {}", stamp_leaf.alias, column, self.serial);
+            stamp_first_leaf(&mut root, &stamp);
+        }
         PlanTree::new("pg", root)
+    }
+
+    /// Apply one randomly chosen mutation to `tree` using this
+    /// generator's RNG, returning the mutant *and* which
+    /// [`Mutation`] was injected — so callers (diff property tests,
+    /// benches) can assert on the exact mutation kind instead of
+    /// guessing from the stream.
+    pub fn mutate(&mut self, tree: &PlanTree) -> (PlanTree, Mutation) {
+        mutate_tree(tree, &mut self.rng)
+    }
+
+    /// Apply a *specific* mutation kind to `tree` using this
+    /// generator's RNG; `None` when the kind is inapplicable (no
+    /// binary join to swap, no filter constant to tweak).
+    pub fn mutate_as(&mut self, tree: &PlanTree, kind: Mutation) -> Option<PlanTree> {
+        crate::mutate::apply_mutation(tree, kind, &mut self.rng)
     }
 
     /// Generate the next fresh artifact (no duplicate/mutant mixing),

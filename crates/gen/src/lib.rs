@@ -40,7 +40,10 @@ pub mod mutate;
 
 pub use config::{ArtifactFormat, FormatMix, GenConfig};
 pub use generator::{GeneratedPlan, PlanGenerator, StreamKind, TableInfo};
-pub use mutate::{mutate_tree, Mutation};
+pub use mutate::{apply_mutation, mutate_tree, Mutation};
+
+/// Alias for [`Mutation`] under the name downstream diff tooling uses.
+pub type MutationKind = Mutation;
 
 #[cfg(test)]
 mod tests {
@@ -153,6 +156,67 @@ mod tests {
             }
         }
         assert!(saw_mutant);
+    }
+
+    #[test]
+    fn serial_stamps_can_be_suppressed() {
+        // Same seed, stamping on vs off: the only difference between
+        // the streams is the stamped leaf filter — RNG consumption is
+        // identical, so tree shapes match pairwise.
+        let mut stamped = PlanGenerator::new(GenConfig::default().with_seed(21));
+        let mut bare =
+            PlanGenerator::new(GenConfig::default().with_seed(21).with_serial_stamps(false));
+        for _ in 0..50 {
+            let mut a = stamped.next_tree();
+            let mut b = bare.next_tree();
+            assert_eq!(a.size(), b.size(), "stamping must not change shape");
+            // Clearing the first leaf filter on both sides removes the
+            // stamp (and whatever filter it replaced): the trees must
+            // then be identical — the flag gates only the stamp.
+            strip_first_leaf_filter(&mut a.root);
+            strip_first_leaf_filter(&mut b.root);
+            assert_eq!(a, b);
+        }
+    }
+
+    fn strip_first_leaf_filter(node: &mut lantern_plan::PlanNode) -> bool {
+        if node.children.is_empty() {
+            if node.relation.is_some() {
+                node.filter = None;
+                return true;
+            }
+            return false;
+        }
+        node.children.iter_mut().any(strip_first_leaf_filter)
+    }
+
+    #[test]
+    fn targeted_mutations_apply_exactly_one_kind() {
+        let mut gen = PlanGenerator::new(
+            GenConfig::default()
+                .with_seed(23)
+                .with_ops(2, 4)
+                .with_serial_stamps(false),
+        );
+        let mut applied = [0usize; 3];
+        for _ in 0..100 {
+            let tree = gen.next_tree();
+            for (i, kind) in Mutation::ALL.into_iter().enumerate() {
+                let Some(mutant) = gen.mutate_as(&tree, kind) else {
+                    continue;
+                };
+                applied[i] += 1;
+                assert_ne!(mutant, tree, "{} must change the tree", kind.name());
+            }
+            // The untargeted path reports which kind it injected.
+            let (mutant, kind) = gen.mutate(&tree);
+            assert_ne!(mutant, tree, "{}", kind.name());
+        }
+        // Jitter always applies; the structural kinds apply often on
+        // multi-op plans.
+        assert_eq!(applied[1], 100);
+        assert!(applied[0] > 0, "no swappable join seen in 100 plans");
+        assert!(applied[2] > 0, "no tweakable filter seen in 100 plans");
     }
 
     #[test]

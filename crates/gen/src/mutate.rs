@@ -27,6 +27,14 @@ pub enum Mutation {
 }
 
 impl Mutation {
+    /// Every mutation kind, in a stable order — what a property test
+    /// iterates to cover all three `mutate()` variants.
+    pub const ALL: [Mutation; 3] = [
+        Mutation::SwapJoinInputs,
+        Mutation::JitterEstimates,
+        Mutation::TweakFilterConstant,
+    ];
+
     /// Short machine name for reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -40,12 +48,35 @@ impl Mutation {
 /// Apply one randomly chosen, applicable mutation to a copy of `tree`.
 /// `JitterEstimates` is always applicable, so this never fails.
 pub fn mutate_tree(tree: &PlanTree, rng: &mut StdRng) -> (PlanTree, Mutation) {
+    let kind = match rng.gen_range(0..3u32) {
+        0 => Mutation::SwapJoinInputs,
+        1 => Mutation::TweakFilterConstant,
+        _ => Mutation::JitterEstimates,
+    };
+    match apply_mutation(tree, kind, rng) {
+        Some(out) => (out, kind),
+        // The chosen structural mutation did not apply (no join to
+        // swap / no filter constant); fall back to jitter, which
+        // always does. The RNG stream matches the pre-refactor code:
+        // inapplicable structural mutations consume nothing.
+        None => {
+            let out = apply_mutation(tree, Mutation::JitterEstimates, rng)
+                .expect("jitter is always applicable");
+            (out, Mutation::JitterEstimates)
+        }
+    }
+}
+
+/// Apply one *specific* mutation kind to a copy of `tree`. Returns
+/// `None` when the kind is inapplicable — the plan has no binary join
+/// to swap, or no filter with a trailing integer constant to tweak.
+/// `JitterEstimates` always applies.
+pub fn apply_mutation(tree: &PlanTree, kind: Mutation, rng: &mut StdRng) -> Option<PlanTree> {
     let mut out = tree.clone();
-    let choice = rng.gen_range(0..3u32);
-    let mutation = match choice {
-        0 if swap_first_join(&mut out.root) => Mutation::SwapJoinInputs,
-        1 if tweak_first_filter(&mut out.root) => Mutation::TweakFilterConstant,
-        _ => {
+    let applied = match kind {
+        Mutation::SwapJoinInputs => swap_first_join(&mut out.root),
+        Mutation::TweakFilterConstant => tweak_first_filter(&mut out.root),
+        Mutation::JitterEstimates => {
             jitter(&mut out.root, rng);
             if out == *tree {
                 // Tiny plans can round the jitter away; nudge the root
@@ -53,10 +84,10 @@ pub fn mutate_tree(tree: &PlanTree, rng: &mut StdRng) -> (PlanTree, Mutation) {
                 out.root.estimated_cost =
                     ((out.root.estimated_cost + 0.01) * 100.0).round() / 100.0;
             }
-            Mutation::JitterEstimates
+            true
         }
     };
-    (out, mutation)
+    applied.then_some(out)
 }
 
 /// Swap the inputs of the first binary join found (pre-order). The

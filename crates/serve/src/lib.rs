@@ -19,11 +19,16 @@
 //! |---|---|---|---|
 //! | `POST` | `/narrate` | one raw plan document (PG JSON or SQL Server XML, auto-detected) | narration object |
 //! | `POST` | `/narrate/batch` | JSON array of plan-document strings | array of per-item narration objects / error objects |
+//! | `POST` | `/narrate/diff` | `{"base": doc, "alt": doc}` (formats auto-detected per side) | diff object: change list, score, narration |
+//! | `POST` | `/narrate/diff/batch` | `{"base": doc, "alts": [doc, ...]}` | array ranked by informativeness, each with `alt_index` |
 //! | `GET` | `/healthz` | — | liveness + backend name |
 //! | `GET` | `/stats` | — | request counters (cache counters under `"cache"` when caching is on) |
 //! | `POST` | `/cache/clear` | — | drop all cached narrations (only routed when caching is on) |
 //!
-//! Both narrate endpoints accept a `?style=numbered|bulleted|paragraph`
+//! The diff endpoints are routed only when the server was started with
+//! a diff backend ([`serve_with_parts`]); without one they 404 like any
+//! unknown path. All narrate endpoints accept a
+//! `?style=numbered|bulleted|paragraph`
 //! query parameter, plus `?nocache=1` to bypass the narration cache for
 //! one request. Failures map to HTTP statuses through
 //! [`LanternError::http_status`](lantern_core::LanternError::http_status)
@@ -65,5 +70,7 @@ pub use client::{ClientResponse, HttpClient};
 pub use http::{Request, Response};
 pub use lantern_cache::{CacheControl, CacheStatsSnapshot};
 pub use router::{error_body, Router};
-pub use server::{serve, serve_with_cache, ServeConfig, ServeStats, ServerHandle, StatsSnapshot};
+pub use server::{
+    serve, serve_with_cache, serve_with_parts, ServeConfig, ServeStats, ServerHandle, StatsSnapshot,
+};
 pub use soak::{run_soak, CacheDelta, LatencySummary, SoakConfig, SoakReport};

@@ -14,7 +14,10 @@
 use crate::http::{Request, Response};
 use crate::server::ServeStats;
 use lantern_cache::{CacheControl, CacheStatsSnapshot};
-use lantern_core::{LanternError, NarrationRequest, NarrationResponse, RenderStyle, Translator};
+use lantern_core::{
+    DiffRequest, DiffResponse, DiffTranslator, LanternError, NarrationRequest, NarrationResponse,
+    PlanSource, RenderStyle, Translator,
+};
 use lantern_text::json::JsonValue;
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
@@ -79,6 +82,7 @@ pub struct Router<T> {
     translator: T,
     stats: std::sync::Arc<ServeStats>,
     cache: Option<Arc<dyn CacheControl + Send + Sync>>,
+    diff: Option<Arc<dyn DiffTranslator + Send + Sync>>,
 }
 
 /// Decrements the in-flight gauge when the handler returns (or
@@ -95,11 +99,7 @@ impl<T: Translator> Router<T> {
     /// A router over `translator`, recording into `stats`, with no
     /// cache admin surface.
     pub fn new(translator: T, stats: std::sync::Arc<ServeStats>) -> Self {
-        Router {
-            translator,
-            stats,
-            cache: None,
-        }
+        Self::with_parts(translator, stats, None, None)
     }
 
     /// A router whose translator fronts a narration cache: `cache` is
@@ -110,10 +110,23 @@ impl<T: Translator> Router<T> {
         stats: std::sync::Arc<ServeStats>,
         cache: Arc<dyn CacheControl + Send + Sync>,
     ) -> Self {
+        Self::with_parts(translator, stats, Some(cache), None)
+    }
+
+    /// The full constructor: optional cache admin surface, optional
+    /// plan-diff backend (routing `/narrate/diff` and
+    /// `/narrate/diff/batch` when present).
+    pub fn with_parts(
+        translator: T,
+        stats: std::sync::Arc<ServeStats>,
+        cache: Option<Arc<dyn CacheControl + Send + Sync>>,
+        diff: Option<Arc<dyn DiffTranslator + Send + Sync>>,
+    ) -> Self {
         Router {
             translator,
             stats,
-            cache: Some(cache),
+            cache,
+            diff,
         }
     }
 
@@ -127,6 +140,17 @@ impl<T: Translator> Router<T> {
         let response = match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/narrate") => self.narrate(req),
             ("POST", "/narrate/batch") => self.narrate_batch(req),
+            ("POST", "/narrate/diff") if self.diff.is_some() => self.narrate_diff(req),
+            ("POST", "/narrate/diff/batch") if self.diff.is_some() => self.narrate_diff_batch(req),
+            (_, "/narrate/diff" | "/narrate/diff/batch") if self.diff.is_some() => Response::json(
+                405,
+                error_body_raw(
+                    "http",
+                    &format!("method {} not allowed on {}", req.method, req.path),
+                    405,
+                )
+                .to_string_compact(),
+            ),
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/stats") => self.stats(),
             ("POST", "/cache/clear") if self.cache.is_some() => self.cache_clear(),
@@ -360,6 +384,195 @@ impl<T: Translator> Router<T> {
         Response::json(200, body.to_string_compact())
     }
 
+    /// `POST /narrate/diff` — the body is a JSON object
+    /// `{"base": "<plan doc>", "alt": "<plan doc>"}`; each document's
+    /// vendor format is auto-detected independently. Only routed when a
+    /// diff backend is configured.
+    fn narrate_diff(&self, req: &Request) -> Response {
+        let diff = self.diff.as_ref().expect("routed only with a diff backend");
+        self.stats.diff_requests.fetch_add(1, Ordering::Relaxed);
+        let style = match Self::style_of(req) {
+            Ok(style) => style,
+            Err(response) => return response,
+        };
+        let (base_doc, alt_value) = match Self::diff_envelope(req, "alt") {
+            Ok(docs) => docs,
+            Err(response) => return response,
+        };
+        let Some(alt_doc) = alt_value.as_str() else {
+            return Response::json(
+                400,
+                error_body_raw("parse", "\"alt\" must be a plan document string", 400)
+                    .to_string_compact(),
+            );
+        };
+        let request = DiffRequest::auto(&base_doc, alt_doc).map(|r| match style {
+            Some(style) => r.with_style(style),
+            None => r,
+        });
+        match request.and_then(|r| diff.narrate_diff(&r)) {
+            Ok(resp) => {
+                self.stats.diff_ok.fetch_add(1, Ordering::Relaxed);
+                Response::json(200, diff_value(&resp).to_string_compact())
+            }
+            Err(err) => {
+                self.stats.diff_errors.fetch_add(1, Ordering::Relaxed);
+                error_response(&err)
+            }
+        }
+    }
+
+    /// Pulls `{"base": ..., "<alt key>": ...}` out of a diff request
+    /// body; `Err` is a ready-made 400. The alt value comes back as
+    /// parsed JSON — a string for `/narrate/diff`, an array for
+    /// `/narrate/diff/batch` — for the caller to validate.
+    fn diff_envelope(req: &Request, alt_key: &str) -> Result<(String, JsonValue), Response> {
+        let parse_err = |message: &str| {
+            Err(Response::json(
+                400,
+                error_body_raw("parse", message, 400).to_string_compact(),
+            ))
+        };
+        let Some(body) = req.body_utf8() else {
+            return parse_err("request body is not valid UTF-8");
+        };
+        let envelope = match JsonValue::parse(body) {
+            Ok(value) => value,
+            Err(e) => return parse_err(&format!("diff body is not JSON: {e}")),
+        };
+        let Some(base) = envelope.get("base").and_then(JsonValue::as_str) else {
+            return parse_err(&format!(
+                "diff body must be an object with string \"base\" and {alt_key:?} keys"
+            ));
+        };
+        let Some(alt) = envelope.get(alt_key) else {
+            return parse_err(&format!(
+                "diff body must be an object with string \"base\" and {alt_key:?} keys"
+            ));
+        };
+        Ok((base.to_string(), alt.clone()))
+    }
+
+    /// `POST /narrate/diff/batch` — the body is
+    /// `{"base": "<doc>", "alts": ["<doc>", ...]}`: one base compared
+    /// against every alternative. Successful comparisons come back
+    /// ranked by informativeness (highest score first); per-item
+    /// failures follow in input order. Every item carries `alt_index`,
+    /// its position in the request's `alts` array. A base that fails to
+    /// parse rejects the whole request — nothing could be compared.
+    fn narrate_diff_batch(&self, req: &Request) -> Response {
+        let diff = self.diff.as_ref().expect("routed only with a diff backend");
+        self.stats
+            .diff_batch_requests
+            .fetch_add(1, Ordering::Relaxed);
+        let style = match Self::style_of(req) {
+            Ok(style) => style,
+            Err(response) => return response,
+        };
+        let (base_doc, alts_value) = match Self::diff_envelope(req, "alts") {
+            Ok(docs) => docs,
+            Err(response) => return response,
+        };
+        let alts = match alts_value {
+            JsonValue::Array(items) if items.is_empty() => {
+                return Response::json(
+                    400,
+                    error_body_raw(
+                        "parse",
+                        "\"alts\" must be a non-empty JSON array of plan document strings",
+                        400,
+                    )
+                    .to_string_compact(),
+                )
+            }
+            JsonValue::Array(items) => items,
+            _ => {
+                return Response::json(
+                    400,
+                    error_body_raw(
+                        "parse",
+                        "\"alts\" must be a JSON array of plan document strings",
+                        400,
+                    )
+                    .to_string_compact(),
+                )
+            }
+        };
+        // The base failing to detect/parse is a whole-request error:
+        // with no base there is nothing to compare any alternative to.
+        let base = match PlanSource::auto(&base_doc) {
+            Ok(base) => base,
+            Err(err) => {
+                self.stats.diff_errors.fetch_add(1, Ordering::Relaxed);
+                return error_response(&err);
+            }
+        };
+        self.stats
+            .diff_batch_items
+            .fetch_add(alts.len() as u64, Ordering::Relaxed);
+        let mut good: Vec<PlanSource> = Vec::with_capacity(alts.len());
+        let placements: Vec<Result<(), LanternError>> = alts
+            .iter()
+            .map(|item| {
+                let doc = item.as_str().ok_or_else(|| LanternError::Parse {
+                    format: lantern_core::PlanFormat::PgJson,
+                    message: "\"alts\" entries must be plan document strings".into(),
+                })?;
+                PlanSource::auto(doc).map(|source| good.push(source))
+            })
+            .collect();
+        let mut compared = diff.narrate_diff_batch(&base, &good, style).into_iter();
+
+        // Stitch detection errors back in at their original indices,
+        // then rank: successes by score descending (ties keep input
+        // order), failures after them in input order.
+        let mut oks: Vec<(usize, DiffResponse)> = Vec::with_capacity(placements.len());
+        let mut errs: Vec<(usize, LanternError)> = Vec::new();
+        for (index, placement) in placements.into_iter().enumerate() {
+            let result = match placement {
+                Ok(()) => compared.next().unwrap_or_else(|| {
+                    Err(LanternError::Backend {
+                        backend: diff.diff_backend().to_string(),
+                        message: "diff backend returned fewer batch results than requests".into(),
+                    })
+                }),
+                Err(e) => Err(e),
+            };
+            match result {
+                Ok(resp) => {
+                    self.stats.diff_ok.fetch_add(1, Ordering::Relaxed);
+                    oks.push((index, resp));
+                }
+                Err(err) => {
+                    self.stats.diff_errors.fetch_add(1, Ordering::Relaxed);
+                    errs.push((index, err));
+                }
+            }
+        }
+        oks.sort_by(|(ai, a), (bi, b)| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(ai.cmp(bi))
+        });
+        let mut out = Vec::with_capacity(oks.len() + errs.len());
+        for (index, resp) in &oks {
+            let mut value = diff_value(resp);
+            if let JsonValue::Object(obj) = &mut value {
+                obj.insert("alt_index".to_string(), JsonValue::Number(*index as f64));
+            }
+            out.push(value);
+        }
+        for (index, err) in &errs {
+            let mut value = error_body(err);
+            if let JsonValue::Object(obj) = &mut value {
+                obj.insert("alt_index".to_string(), JsonValue::Number(*index as f64));
+            }
+            out.push(value);
+        }
+        Response::json(200, JsonValue::Array(out).to_string_compact())
+    }
+
     /// `POST /cache/clear` — drop every cached narration; answers how
     /// many were resident. Only routed when a cache is configured.
     fn cache_clear(&self) -> Response {
@@ -371,6 +584,43 @@ impl<T: Translator> Router<T> {
         );
         Response::json(200, JsonValue::Object(obj).to_string_compact())
     }
+}
+
+/// The success wire form of a diff comparison: the backend name,
+/// informativeness score, an `identical` convenience flag, the
+/// rendered text, the structured change list, and the narration in
+/// the same stable format `/narrate` uses.
+fn diff_value(resp: &DiffResponse) -> JsonValue {
+    let changes = resp
+        .changes
+        .iter()
+        .map(|change| {
+            let mut obj = BTreeMap::new();
+            obj.insert("kind".to_string(), JsonValue::String(change.kind.clone()));
+            obj.insert("path".to_string(), JsonValue::String(change.path.clone()));
+            obj.insert("op".to_string(), JsonValue::String(change.op.clone()));
+            obj.insert(
+                "detail".to_string(),
+                JsonValue::String(change.detail.clone()),
+            );
+            obj.insert("weight".to_string(), JsonValue::Number(change.weight));
+            JsonValue::Object(obj)
+        })
+        .collect();
+    let mut obj = BTreeMap::new();
+    obj.insert(
+        "backend".to_string(),
+        JsonValue::String(resp.backend.clone()),
+    );
+    obj.insert("score".to_string(), JsonValue::Number(resp.score));
+    obj.insert(
+        "identical".to_string(),
+        JsonValue::Bool(resp.is_identical()),
+    );
+    obj.insert("text".to_string(), JsonValue::String(resp.text.clone()));
+    obj.insert("changes".to_string(), JsonValue::Array(changes));
+    obj.insert("narration".to_string(), resp.narration.to_json_value());
+    JsonValue::Object(obj)
 }
 
 /// The `"cache"` object of the `GET /stats` body.
@@ -706,6 +956,269 @@ mod tests {
 
     fn json_body(resp: &Response) -> JsonValue {
         JsonValue::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+    }
+
+    const PG_ALT_DOC: &str = r#"{"Plan": {"Node Type": "Index Scan", "Relation Name": "orders", "Index Name": "orders_pkey"}}"#;
+
+    fn diff_router() -> Router<RuleTranslator> {
+        Router::with_parts(
+            RuleTranslator::new(default_mssql_store()),
+            Arc::new(ServeStats::new()),
+            None,
+            Some(Arc::new(lantern_diff::RuleDiffTranslator::new(
+                default_mssql_store(),
+            ))),
+        )
+    }
+
+    fn diff_body(base: &str, alt: &str) -> String {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("base".to_string(), JsonValue::String(base.to_string()));
+        obj.insert("alt".to_string(), JsonValue::String(alt.to_string()));
+        JsonValue::Object(obj).to_string_compact()
+    }
+
+    #[test]
+    fn diff_round_trips_and_classifies_the_change() {
+        let router = diff_router();
+        let resp = router.handle(&post("/narrate/diff", &diff_body(PG_DOC, PG_ALT_DOC)));
+        assert_eq!(resp.status, 200);
+        let value = json_body(&resp);
+        assert_eq!(
+            value.get("backend").and_then(JsonValue::as_str),
+            Some("rule-diff")
+        );
+        assert_eq!(value.get("identical"), Some(&JsonValue::Bool(false)));
+        let JsonValue::Array(changes) = value.get("changes").unwrap() else {
+            panic!("changes must be an array");
+        };
+        assert!(!changes.is_empty());
+        assert_eq!(
+            changes[0].get("kind").and_then(JsonValue::as_str),
+            Some("operator-substitution")
+        );
+        assert!(
+            changes[0]
+                .get("weight")
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        assert!(value.get("score").and_then(JsonValue::as_f64).unwrap() > 0.0);
+        assert!(value
+            .get("text")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .contains("index scan"));
+
+        // Self-diff is empty and scores zero.
+        let resp = router.handle(&post("/narrate/diff", &diff_body(PG_DOC, PG_DOC)));
+        let value = json_body(&resp);
+        assert_eq!(value.get("identical"), Some(&JsonValue::Bool(true)));
+        assert_eq!(value.get("score").and_then(JsonValue::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn diff_detects_each_document_format_independently() {
+        let router = diff_router();
+        // pg base vs mssql alternative: formats auto-detect per side.
+        let resp = router.handle(&post("/narrate/diff", &diff_body(PG_DOC, XML_DOC)));
+        assert_eq!(resp.status, 200);
+        let value = json_body(&resp);
+        assert_eq!(value.get("identical"), Some(&JsonValue::Bool(false)));
+    }
+
+    #[test]
+    fn diff_malformed_envelopes_are_structured_400s() {
+        let router = diff_router();
+        for body in [
+            "not json",
+            "[]",
+            "42",
+            r#"{"base": "x"}"#,
+            r#"{"alt": "x"}"#,
+            r#"{"base": 42, "alt": "x"}"#,
+            &format!(
+                r#"{{"base": {}, "alt": 42}}"#,
+                JsonValue::String(PG_DOC.into()).to_string_compact()
+            ),
+        ] {
+            let resp = router.handle(&post("/narrate/diff", body));
+            assert_eq!(resp.status, 400, "{body:?}");
+            let value = json_body(&resp);
+            let err = value.get("error").expect("structured error body");
+            assert_eq!(err.get("kind").and_then(JsonValue::as_str), Some("parse"));
+        }
+        // Well-formed envelope around an empty document: the
+        // translator's empty_input, not a parse error.
+        let resp = router.handle(&post("/narrate/diff", &diff_body("", PG_DOC)));
+        assert_eq!(resp.status, 400);
+        assert_eq!(
+            json_body(&resp)
+                .get("error")
+                .unwrap()
+                .get("kind")
+                .and_then(JsonValue::as_str),
+            Some("empty_input")
+        );
+    }
+
+    #[test]
+    fn diff_batch_ranks_by_informativeness_with_alt_index() {
+        let router = diff_router();
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("base".to_string(), JsonValue::String(PG_DOC.to_string()));
+        obj.insert(
+            "alts".to_string(),
+            JsonValue::Array(vec![
+                JsonValue::String(PG_DOC.to_string()),     // identical: score 0
+                JsonValue::String("nonsense".to_string()), // per-item error
+                JsonValue::String(PG_ALT_DOC.to_string()), // real change
+            ]),
+        );
+        let resp = router.handle(&post(
+            "/narrate/diff/batch",
+            &JsonValue::Object(obj).to_string_compact(),
+        ));
+        assert_eq!(resp.status, 200);
+        let JsonValue::Array(items) = json_body(&resp) else {
+            panic!("batch response must be an array");
+        };
+        assert_eq!(items.len(), 3);
+        // Ranked: the informative alternative first, the identical one
+        // second, the per-item failure trailing.
+        assert_eq!(
+            items[0].get("alt_index").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        assert!(items[0].get("score").and_then(JsonValue::as_f64).unwrap() > 0.0);
+        assert_eq!(
+            items[1].get("alt_index").and_then(JsonValue::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(items[1].get("identical"), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            items[2].get("alt_index").and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            items[2]
+                .get("error")
+                .unwrap()
+                .get("kind")
+                .and_then(JsonValue::as_str),
+            Some("unknown_format")
+        );
+    }
+
+    #[test]
+    fn diff_batch_envelope_and_base_failures_reject_the_request() {
+        let router = diff_router();
+        for body in [
+            r#"{"base": "x", "alts": []}"#,
+            r#"{"base": "x", "alts": "not an array"}"#,
+            r#"{"alts": ["x"]}"#,
+        ] {
+            let resp = router.handle(&post("/narrate/diff/batch", body));
+            assert_eq!(resp.status, 400, "{body:?}");
+            assert_eq!(
+                json_body(&resp)
+                    .get("error")
+                    .unwrap()
+                    .get("kind")
+                    .and_then(JsonValue::as_str),
+                Some("parse")
+            );
+        }
+        // A base that parses as no known format fails the whole
+        // request: there is nothing to compare against.
+        let body = format!(
+            r#"{{"base": "EXPLAIN SELECT 1", "alts": [{}]}}"#,
+            JsonValue::String(PG_DOC.into()).to_string_compact()
+        );
+        let resp = router.handle(&post("/narrate/diff/batch", &body));
+        assert_eq!(resp.status, 400);
+        assert_eq!(
+            json_body(&resp)
+                .get("error")
+                .unwrap()
+                .get("kind")
+                .and_then(JsonValue::as_str),
+            Some("unknown_format")
+        );
+    }
+
+    #[test]
+    fn diff_style_override_applies_to_rendered_text() {
+        let router = diff_router();
+        let resp = router.handle(&post(
+            "/narrate/diff?style=bulleted",
+            &diff_body(PG_DOC, PG_ALT_DOC),
+        ));
+        assert_eq!(resp.status, 200);
+        assert!(json_body(&resp)
+            .get("text")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .starts_with("- "));
+    }
+
+    #[test]
+    fn diff_routes_absent_without_a_diff_backend_405_with_one() {
+        // No diff backend configured: the paths don't exist.
+        let router = router();
+        assert_eq!(
+            router
+                .handle(&post("/narrate/diff", &diff_body(PG_DOC, PG_ALT_DOC)))
+                .status,
+            404
+        );
+        assert_eq!(
+            router.handle(&post("/narrate/diff/batch", "{}")).status,
+            404
+        );
+        // Configured: wrong method is 405, not 404.
+        let router = diff_router();
+        assert_eq!(router.handle(&get("/narrate/diff")).status, 405);
+        assert_eq!(router.handle(&get("/narrate/diff/batch")).status, 405);
+    }
+
+    #[test]
+    fn diff_counters_show_in_stats() {
+        let router = diff_router();
+        let _ = router.handle(&post("/narrate/diff", &diff_body(PG_DOC, PG_ALT_DOC)));
+        let _ = router.handle(&post("/narrate/diff", "not json"));
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("base".to_string(), JsonValue::String(PG_DOC.to_string()));
+        obj.insert(
+            "alts".to_string(),
+            JsonValue::Array(vec![
+                JsonValue::String(PG_ALT_DOC.to_string()),
+                JsonValue::String("junk".to_string()),
+            ]),
+        );
+        let _ = router.handle(&post(
+            "/narrate/diff/batch",
+            &JsonValue::Object(obj).to_string_compact(),
+        ));
+        let stats = json_body(&router.handle(&get("/stats")));
+        assert_eq!(
+            stats.get("diff_requests").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            stats.get("diff_batch_requests").and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            stats.get("diff_batch_items").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(stats.get("diff_ok").and_then(JsonValue::as_f64), Some(2.0));
+        assert_eq!(
+            stats.get("diff_errors").and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
     }
 
     #[test]

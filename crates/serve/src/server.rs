@@ -80,6 +80,16 @@ pub struct ServeStats {
     pub narrate_ok: AtomicU64,
     /// Narrations failed (single + batch items).
     pub narrate_errors: AtomicU64,
+    /// `POST /narrate/diff` requests received.
+    pub diff_requests: AtomicU64,
+    /// `POST /narrate/diff/batch` requests received.
+    pub diff_batch_requests: AtomicU64,
+    /// Alternative plans received inside diff-batch envelopes.
+    pub diff_batch_items: AtomicU64,
+    /// Diff narrations completed (single + batch items).
+    pub diff_ok: AtomicU64,
+    /// Diff narrations failed (single + batch items).
+    pub diff_errors: AtomicU64,
     /// Requests for unknown paths.
     pub not_found: AtomicU64,
     /// Responses with status ≥ 400, protocol errors included.
@@ -106,6 +116,11 @@ impl ServeStats {
             batch_items: AtomicU64::new(0),
             narrate_ok: AtomicU64::new(0),
             narrate_errors: AtomicU64::new(0),
+            diff_requests: AtomicU64::new(0),
+            diff_batch_requests: AtomicU64::new(0),
+            diff_batch_items: AtomicU64::new(0),
+            diff_ok: AtomicU64::new(0),
+            diff_errors: AtomicU64::new(0),
             not_found: AtomicU64::new(0),
             error_responses: AtomicU64::new(0),
             panics: AtomicU64::new(0),
@@ -130,6 +145,11 @@ impl ServeStats {
             batch_items: self.batch_items.load(Ordering::Relaxed),
             narrate_ok: self.narrate_ok.load(Ordering::Relaxed),
             narrate_errors: self.narrate_errors.load(Ordering::Relaxed),
+            diff_requests: self.diff_requests.load(Ordering::Relaxed),
+            diff_batch_requests: self.diff_batch_requests.load(Ordering::Relaxed),
+            diff_batch_items: self.diff_batch_items.load(Ordering::Relaxed),
+            diff_ok: self.diff_ok.load(Ordering::Relaxed),
+            diff_errors: self.diff_errors.load(Ordering::Relaxed),
             not_found: self.not_found.load(Ordering::Relaxed),
             error_responses: self.error_responses.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
@@ -157,6 +177,16 @@ pub struct StatsSnapshot {
     pub narrate_ok: u64,
     /// See [`ServeStats::narrate_errors`].
     pub narrate_errors: u64,
+    /// See [`ServeStats::diff_requests`].
+    pub diff_requests: u64,
+    /// See [`ServeStats::diff_batch_requests`].
+    pub diff_batch_requests: u64,
+    /// See [`ServeStats::diff_batch_items`].
+    pub diff_batch_items: u64,
+    /// See [`ServeStats::diff_ok`].
+    pub diff_ok: u64,
+    /// See [`ServeStats::diff_errors`].
+    pub diff_errors: u64,
     /// See [`ServeStats::not_found`].
     pub not_found: u64,
     /// See [`ServeStats::error_responses`].
@@ -183,6 +213,11 @@ impl StatsSnapshot {
             ("batch_items", self.batch_items),
             ("narrate_ok", self.narrate_ok),
             ("narrate_errors", self.narrate_errors),
+            ("diff_requests", self.diff_requests),
+            ("diff_batch_requests", self.diff_batch_requests),
+            ("diff_batch_items", self.diff_batch_items),
+            ("diff_ok", self.diff_ok),
+            ("diff_errors", self.diff_errors),
             ("not_found", self.not_found),
             ("error_responses", self.error_responses),
             ("panics", self.panics),
@@ -304,14 +339,35 @@ pub fn serve_with_cache<T>(
 where
     T: Translator + Send + Sync + 'static,
 {
+    serve_with_parts(translator, cache, None, addr, config)
+}
+
+/// The full-surface entry point: [`serve_with_cache`], plus an
+/// optional plan-diff backend. With `diff` present the router
+/// additionally routes `POST /narrate/diff` (one base/alternative
+/// pair) and `POST /narrate/diff/batch` (one base vs N alternatives,
+/// ranked by informativeness); without it those paths stay 404, like
+/// `/cache/clear` without a cache.
+pub fn serve_with_parts<T>(
+    translator: T,
+    cache: Option<Arc<dyn lantern_cache::CacheControl + Send + Sync>>,
+    diff: Option<Arc<dyn lantern_core::DiffTranslator + Send + Sync>>,
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+) -> io::Result<ServerHandle>
+where
+    T: Translator + Send + Sync + 'static,
+{
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServeStats::new());
-    let router = Arc::new(match cache {
-        Some(cache) => Router::with_cache(translator, Arc::clone(&stats), cache),
-        None => Router::new(translator, Arc::clone(&stats)),
-    });
+    let router = Arc::new(Router::with_parts(
+        translator,
+        Arc::clone(&stats),
+        cache,
+        diff,
+    ));
 
     let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.queue_depth);
     let conn_rx = Arc::new(Mutex::new(conn_rx));

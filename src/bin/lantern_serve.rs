@@ -356,7 +356,7 @@ fn main() {
     // The smoke-test lane greps for this exact line before curling.
     println!("lantern-serve listening on http://{}", handle.addr());
     println!(
-        "endpoints: POST /narrate, POST /narrate/batch, GET /healthz, GET /stats, POST /cache/clear (see docs/SERVING.md)"
+        "endpoints: POST /narrate, POST /narrate/batch, POST /narrate/diff, POST /narrate/diff/batch, GET /healthz, GET /stats, POST /cache/clear (see docs/SERVING.md)"
     );
     // Serve until the process is killed; the worker pool does the work.
     loop {

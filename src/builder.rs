@@ -17,13 +17,19 @@
 //! );
 //! ```
 
-use lantern_cache::{CacheConfig, CacheControl, CacheStatsSnapshot, CachedTranslator};
-use lantern_core::{
-    LanternError, NarrationRequest, NarrationResponse, RenderStyle, RuleTranslator, Translator,
+use lantern_cache::{
+    fingerprint_tree, CacheConfig, CacheControl, CacheStatsSnapshot, CachedTranslator,
+    FingerprintOptions, Hasher128, LruStats, ShardedLru,
 };
+use lantern_core::{
+    DiffRequest, DiffResponse, DiffTranslator, LanternError, NarrationRequest, NarrationResponse,
+    RenderStyle, RuleTranslator, Translator,
+};
+use lantern_diff::RuleDiffTranslator;
 use lantern_neural::NeuralLantern;
 use lantern_neuron::Neuron;
 use lantern_paraphrase::ParaphrasedTranslator;
+use lantern_plan::PlanTree;
 use lantern_pool::{default_mssql_store, PoemStore};
 use lantern_serve::{ServeConfig, ServerHandle};
 use std::net::ToSocketAddrs;
@@ -149,10 +155,18 @@ impl LanternBuilder {
         // The cache decorates the *complete* chain (backend [+
         // paraphrase]) so a hit skips every layer below it; keys fold
         // in the store's catalog generation so POOL mutations
-        // invalidate implicitly.
+        // invalidate implicitly. When caching is on, diff comparisons
+        // get their own LRU keyed by the strict fingerprint pair (same
+        // bounds, same generation folding).
+        let mut diff_cache = None;
         let translator = match self.cache {
             Some(config) => {
                 let generation_store = store.clone();
+                diff_cache = Some(ShardedLru::new(
+                    config.shards,
+                    config.max_entries,
+                    config.max_bytes,
+                ));
                 ServiceCore::Cached(Arc::new(
                     CachedTranslator::new(translator, config)
                         .with_generation(move || generation_store.version()),
@@ -162,6 +176,8 @@ impl LanternBuilder {
         };
         Ok(LanternService {
             translator,
+            diff: RuleDiffTranslator::new(store.clone()).with_style(self.style),
+            diff_cache,
             store,
             style: self.style,
             needs_restyle,
@@ -222,6 +238,13 @@ impl ServiceCore {
 /// over whichever backend was selected.
 pub struct LanternService {
     translator: ServiceCore,
+    /// The plan-diff backend, always present: compare-and-narrate is a
+    /// capability of every service, whichever narration backend runs.
+    diff: RuleDiffTranslator,
+    /// Diff results keyed by (generation, base strict fingerprint, alt
+    /// strict fingerprint, style); `Some` exactly when the narration
+    /// cache is on.
+    diff_cache: Option<ShardedLru<DiffResponse>>,
     store: PoemStore,
     style: RenderStyle,
     /// True when the inner backend cannot be configured with a style
@@ -266,6 +289,17 @@ impl LanternService {
         }
     }
 
+    /// Diff-cache counter snapshot; `None` without a cache.
+    pub fn diff_cache_stats(&self) -> Option<LruStats> {
+        self.diff_cache.as_ref().map(ShardedLru::stats)
+    }
+
+    /// Convenience: diff two serialized plan documents (formats
+    /// auto-detected independently) and narrate the comparison.
+    pub fn diff_documents(&self, base: &str, alt: &str) -> Result<DiffResponse, LanternError> {
+        self.narrate_diff(&DiffRequest::auto(base, alt)?)
+    }
+
     /// Convenience: narrate a serialized plan document, auto-detecting
     /// the vendor format.
     pub fn narrate_document(&self, doc: &str) -> Result<NarrationResponse, LanternError> {
@@ -283,13 +317,15 @@ impl LanternService {
         addr: impl ToSocketAddrs,
         config: ServeConfig,
     ) -> std::io::Result<ServerHandle> {
-        if self.has_cache() {
-            let service = Arc::new(self);
-            let cache: Arc<dyn CacheControl + Send + Sync> = Arc::clone(&service) as _;
-            lantern_serve::serve_with_cache(service, Some(cache), addr, config)
+        let has_cache = self.has_cache();
+        let service = Arc::new(self);
+        let cache: Option<Arc<dyn CacheControl + Send + Sync>> = if has_cache {
+            Some(Arc::clone(&service) as _)
         } else {
-            lantern_serve::serve(self, addr, config)
-        }
+            None
+        };
+        let diff: Arc<dyn DiffTranslator + Send + Sync> = Arc::clone(&service) as _;
+        lantern_serve::serve_with_parts(service, cache, Some(diff), addr, config)
     }
 
     /// Apply the service's configured style to a response from a
@@ -364,11 +400,76 @@ impl CacheControl for LanternService {
     }
 
     fn clear_cache(&self) -> u64 {
-        match &self.translator {
+        let narrations = match &self.translator {
             ServiceCore::Cached(c) => c.clear_cache(),
             ServiceCore::Plain(_) => 0,
-        }
+        };
+        let diffs = self.diff_cache.as_ref().map_or(0, ShardedLru::clear);
+        narrations + diffs
     }
+}
+
+/// The diff surface: compare a base plan against an alternative and
+/// narrate the difference, with results cached by the strict
+/// fingerprint pair when the service carries a cache. The key folds in
+/// the POEM catalog generation, so POOL mutations invalidate diff
+/// narrations the same way they invalidate step narrations.
+impl DiffTranslator for LanternService {
+    fn diff_backend(&self) -> &str {
+        self.diff.diff_backend()
+    }
+
+    fn narrate_diff(&self, req: &DiffRequest) -> Result<DiffResponse, LanternError> {
+        let base = req.base.resolve()?;
+        let alt = req.alt.resolve()?;
+        let style = req.effective_style(self.style);
+        let Some(cache) = &self.diff_cache else {
+            return Ok(self.diff.narrate_trees(&base, &alt, Some(style)));
+        };
+        let key = self.diff_key(&base, &alt, style);
+        if let Some(resp) = cache.get(key) {
+            return Ok(resp);
+        }
+        let resp = self.diff.narrate_trees(&base, &alt, Some(style));
+        cache.insert(key, resp.clone(), diff_bytes(&resp));
+        Ok(resp)
+    }
+}
+
+impl LanternService {
+    /// The diff-cache key: catalog generation + strict fingerprints of
+    /// both trees (strict, so estimate changes — a reportable diff —
+    /// never collide with their unjittered originals) + render style.
+    fn diff_key(
+        &self,
+        base: &PlanTree,
+        alt: &PlanTree,
+        style: RenderStyle,
+    ) -> lantern_cache::Fingerprint {
+        let strict = FingerprintOptions::strict();
+        let mut h = Hasher128::new("lantern/diff-key/v1");
+        h.write_u64(self.store.version());
+        h.write(&fingerprint_tree(base, strict).0.to_le_bytes());
+        h.write(&fingerprint_tree(alt, strict).0.to_le_bytes());
+        h.write_u8(match style {
+            RenderStyle::Numbered => 0,
+            RenderStyle::Paragraph => 1,
+            RenderStyle::Bulleted => 2,
+        });
+        h.finish()
+    }
+}
+
+/// Approximate resident size of a cached diff response.
+fn diff_bytes(resp: &DiffResponse) -> u64 {
+    let changes: usize = resp
+        .changes
+        .iter()
+        .map(|c| c.kind.len() + c.path.len() + c.op.len() + c.detail.len() + 48)
+        .sum();
+    // The narration's steps carry the same sentences again (text +
+    // tagged), so count the change text roughly three times over.
+    (resp.text.len() + 3 * changes + 128) as u64
 }
 
 #[cfg(test)]
@@ -576,6 +677,101 @@ mod tests {
             CacheControl::narrate_uncached(&service, &NarrationRequest::auto(PG_DOC).unwrap())
                 .unwrap();
         assert!(resp.text.contains("sequential scan on orders"));
+    }
+
+    const PG_ALT: &str = r#"[{"Plan": {"Node Type": "Index Scan", "Relation Name": "orders", "Index Name": "orders_pkey"}}]"#;
+
+    #[test]
+    fn every_service_diffs_plans() {
+        // The diff surface is always on, whichever narration backend.
+        for backend in [Backend::Rule, Backend::Neuron] {
+            let service = LanternBuilder::new().backend(backend).build().unwrap();
+            assert_eq!(service.diff_backend(), "rule-diff");
+            let resp = service.diff_documents(PG_DOC, PG_ALT).unwrap();
+            assert!(!resp.is_identical());
+            assert_eq!(resp.changes[0].kind, "operator-substitution");
+            let same = service.diff_documents(PG_DOC, PG_DOC).unwrap();
+            assert!(same.is_identical());
+            assert_eq!(same.score, 0.0);
+        }
+    }
+
+    #[test]
+    fn diff_respects_configured_and_overridden_style() {
+        let service = LanternBuilder::new()
+            .style(RenderStyle::Bulleted)
+            .build()
+            .unwrap();
+        let resp = service.diff_documents(PG_DOC, PG_ALT).unwrap();
+        assert!(resp.text.starts_with("- "), "{}", resp.text);
+        let numbered = service
+            .narrate_diff(
+                &DiffRequest::auto(PG_DOC, PG_ALT)
+                    .unwrap()
+                    .with_style(RenderStyle::Numbered),
+            )
+            .unwrap();
+        assert!(numbered.text.starts_with("1. "), "{}", numbered.text);
+    }
+
+    #[test]
+    fn cached_diffs_are_byte_identical_and_hit_the_cache() {
+        let plain = LanternBuilder::new().build().unwrap();
+        let cached = LanternBuilder::new()
+            .cache(lantern_cache::CacheConfig::default())
+            .build()
+            .unwrap();
+        assert!(plain.diff_cache_stats().is_none());
+        let expected = plain.diff_documents(PG_DOC, PG_ALT).unwrap();
+        let cold = cached.diff_documents(PG_DOC, PG_ALT).unwrap();
+        let warm = cached.diff_documents(PG_DOC, PG_ALT).unwrap();
+        assert_eq!(cold, expected);
+        assert_eq!(warm, expected);
+        let stats = cached.diff_cache_stats().unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+        // Style is part of the key: a restyled diff is a fresh entry,
+        // not a stale hit rendered in the wrong style.
+        let bulleted = cached
+            .narrate_diff(
+                &DiffRequest::auto(PG_DOC, PG_ALT)
+                    .unwrap()
+                    .with_style(RenderStyle::Bulleted),
+            )
+            .unwrap();
+        assert!(bulleted.text.starts_with("- "));
+        assert_eq!(cached.diff_cache_stats().unwrap().entries, 2);
+        // `/cache/clear` semantics drop diffs along with narrations.
+        cached.narrate_document(PG_DOC).unwrap();
+        assert_eq!(CacheControl::clear_cache(&cached), 3);
+        assert_eq!(cached.diff_cache_stats().unwrap().entries, 0);
+    }
+
+    #[test]
+    fn pool_mutation_invalidates_cached_diffs() {
+        use lantern_pool::OperatorArity;
+        let service = LanternBuilder::new()
+            .cache(lantern_cache::CacheConfig::default())
+            .build()
+            .unwrap();
+        service.diff_documents(PG_DOC, PG_ALT).unwrap();
+        service.diff_documents(PG_DOC, PG_ALT).unwrap();
+        assert_eq!(service.diff_cache_stats().unwrap().hits, 1);
+        // A POOL mutation bumps the generation: the next diff misses.
+        service.store().create(
+            "pg",
+            "Index Scan",
+            None,
+            OperatorArity::Unary,
+            Some("look up {rel} rows through an index"),
+            &["look up {rel} rows through an index"],
+            false,
+            None,
+        );
+        service.diff_documents(PG_DOC, PG_ALT).unwrap();
+        let stats = service.diff_cache_stats().unwrap();
+        assert_eq!(stats.hits, 1, "generation change must miss");
+        assert_eq!(stats.entries, 2, "old and new generations coexist");
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub use builder::{Backend, LanternBuilder, LanternService};
 pub use lantern_cache as cache;
 pub use lantern_catalog as catalog;
 pub use lantern_core as core;
+pub use lantern_diff as diff;
 pub use lantern_embed as embed;
 pub use lantern_engine as engine;
 pub use lantern_gen as gen;
@@ -88,9 +89,11 @@ pub mod prelude {
     pub use lantern_cache::{CacheConfig, CacheControl, CacheStatsSnapshot, CachedTranslator};
     pub use lantern_catalog::{dblp_catalog, imdb_catalog, sdss_catalog, tpch_catalog, Catalog};
     pub use lantern_core::{
-        Lantern, LanternError, NarrationRequest, NarrationResponse, PlanSource, RenderStyle,
-        RuleLantern, RuleTranslator, Translator,
+        DiffChange, DiffRequest, DiffResponse, DiffTranslator, Lantern, LanternError,
+        NarrationRequest, NarrationResponse, PlanSource, RenderStyle, RuleLantern, RuleTranslator,
+        Translator,
     };
+    pub use lantern_diff::{diff_plans, PlanDiff, RuleDiffTranslator};
     pub use lantern_engine::{explain_source, Database, ExplainFormat, Planner};
     pub use lantern_gen::{ArtifactFormat, FormatMix, GenConfig, PlanGenerator};
     pub use lantern_neural::NeuralLantern;

@@ -1,0 +1,100 @@
+//! Property-based tests for the plan-diff engine against the
+//! synthetic workload: for any generated plan, (a) rendering it
+//! through either vendor format and diffing it against itself is
+//! empty, and (b) diffing it against each of `lantern-gen`'s injected
+//! mutations identifies *exactly* the injected change kind — through
+//! the full serialize → parse path of both artifact formats, so
+//! format-level lossiness can't silently erase or multiply edits.
+
+use lantern::diff::diff_plans;
+use lantern::gen::{ArtifactFormat, GenConfig, Mutation, PlanGenerator};
+use lantern::plan::{parse_pg_json_plan, parse_sqlserver_xml_plan, PlanTree};
+use proptest::prelude::*;
+
+/// Serialize `tree` in `format` and parse the document back — the same
+/// round trip a served diff request makes.
+fn reparse(tree: &PlanTree, format: ArtifactFormat) -> PlanTree {
+    let doc = PlanGenerator::render(tree, format);
+    match format {
+        ArtifactFormat::PgJson => parse_pg_json_plan(&doc).expect("generated pg json parses"),
+        ArtifactFormat::SqlServerXml => {
+            parse_sqlserver_xml_plan(&doc).expect("generated showplan parses")
+        }
+    }
+}
+
+fn expected_kind(kind: Mutation) -> &'static str {
+    match kind {
+        Mutation::SwapJoinInputs => "join-input-swap",
+        Mutation::JitterEstimates => "estimate-delta",
+        Mutation::TweakFilterConstant => "predicate-change",
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn injected_mutations_are_identified_across_both_formats(seed in any::<u64>()) {
+        let mut generator = PlanGenerator::new(
+            GenConfig::default()
+                .with_seed(seed)
+                .with_ops(2, 5)
+                .with_serial_stamps(false),
+        );
+        let base = generator.next_tree();
+        for format in [ArtifactFormat::PgJson, ArtifactFormat::SqlServerXml] {
+            let base_parsed = reparse(&base, format);
+
+            // Self-diff through the serializer is empty and scoreless.
+            let same = diff_plans(&base_parsed, &reparse(&base, format));
+            prop_assert!(same.is_empty(), "{format:?}: {:?}", same.edits);
+            prop_assert_eq!(same.score, 0.0);
+
+            for kind in Mutation::ALL {
+                // Not every mutation applies to every tree (no join to
+                // swap, no filter to tweak); inapplicable ones skip.
+                let Some(mutant) = generator.mutate_as(&base, kind) else {
+                    continue;
+                };
+                let diff = diff_plans(&base_parsed, &reparse(&mutant, format));
+                prop_assert!(
+                    diff.kind_names() == [expected_kind(kind)],
+                    "{:?} through {:?} misclassified: {:?}",
+                    kind,
+                    format,
+                    diff.edits
+                );
+                prop_assert!(diff.score > 0.0, "{kind:?} must score above zero");
+            }
+        }
+    }
+
+    #[test]
+    fn diff_is_antisymmetric_in_inserts_and_deletes(seed in any::<u64>()) {
+        // Comparing A to B and B to A reports the same number of edits
+        // with insert/delete kinds mirrored.
+        let mut generator = PlanGenerator::new(
+            GenConfig::default().with_seed(seed).with_ops(2, 5),
+        );
+        let a = generator.next_tree();
+        let b = generator.next_tree();
+        let forward = diff_plans(&a, &b);
+        let backward = diff_plans(&b, &a);
+        prop_assert_eq!(forward.edits.len(), backward.edits.len());
+        let inserts = |d: &lantern::diff::PlanDiff| {
+            d.edits
+                .iter()
+                .filter(|e| e.kind.kind_name() == "subtree-insert")
+                .count()
+        };
+        let deletes = |d: &lantern::diff::PlanDiff| {
+            d.edits
+                .iter()
+                .filter(|e| e.kind.kind_name() == "subtree-delete")
+                .count()
+        };
+        prop_assert_eq!(inserts(&forward), deletes(&backward));
+        prop_assert_eq!(deletes(&forward), inserts(&backward));
+    }
+}

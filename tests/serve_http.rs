@@ -403,6 +403,179 @@ fn batch_envelope_rejections_over_sockets() {
     server.shutdown().unwrap();
 }
 
+/// The Figure 4 plan with the hash join swapped for a merge join —
+/// the `docs/SERVING.md` diff example's alternative.
+const MERGE_ALT_DOC: &str = r#"{"Plan": {"Node Type": "Aggregate",
+    "Plans": [{"Node Type": "Merge Join",
+        "Merge Cond": "((i.proceeding_key) = (p.pub_key))",
+        "Plans": [
+            {"Node Type": "Seq Scan", "Relation Name": "inproceedings"},
+            {"Node Type": "Hash",
+             "Plans": [{"Node Type": "Seq Scan", "Relation Name": "publication",
+                        "Filter": "title LIKE '%July%'"}]}
+        ]}]}}"#;
+
+/// Acceptance: `POST /narrate/diff` round-trips a base plan and an
+/// alternative over real sockets (formats auto-detected per side), and
+/// `POST /narrate/diff/batch` ranks one base against N alternatives by
+/// informativeness, tagging every item with its input position.
+#[test]
+fn diff_endpoints_over_sockets() {
+    let server = LanternBuilder::new().serve("127.0.0.1:0").unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    let envelope = |base: &str, alt: &str| {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("base".to_string(), JsonValue::String(base.to_string()));
+        obj.insert("alt".to_string(), JsonValue::String(alt.to_string()));
+        JsonValue::Object(obj).to_string_compact()
+    };
+
+    // One plan against its join-algorithm rewrite: the change list
+    // names the substitution and the narration says it in POEM voice.
+    let resp = client
+        .post("/narrate/diff", &envelope(PG_DOC, MERGE_ALT_DOC))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let value = json_of(&resp.body);
+    assert_eq!(
+        value.get("backend").and_then(JsonValue::as_str),
+        Some("rule-diff")
+    );
+    assert_eq!(value.get("identical"), Some(&JsonValue::Bool(false)));
+    let JsonValue::Array(changes) = value.get("changes").unwrap() else {
+        panic!("changes must be an array: {}", resp.body);
+    };
+    assert!(!changes.is_empty());
+    assert!(
+        changes
+            .iter()
+            .any(|c| c.get("kind").and_then(JsonValue::as_str) == Some("operator-substitution")),
+        "{}",
+        resp.body
+    );
+    let text = text_of(&value);
+    assert!(text.contains("merge join"), "{text}");
+
+    // Self-diff over the wire: identical, empty change list, score 0.
+    let resp = client
+        .post("/narrate/diff", &envelope(PG_DOC, PG_DOC))
+        .unwrap();
+    let value = json_of(&resp.body);
+    assert_eq!(value.get("identical"), Some(&JsonValue::Bool(true)));
+    assert_eq!(value.get("score").and_then(JsonValue::as_f64), Some(0.0));
+
+    // Cross-vendor: a pg base against an mssql alternative — each
+    // side's format detects independently.
+    let resp = client
+        .post("/narrate/diff", &envelope(PG_DOC, XML_DOC))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    // Batch: identical plan (score 0), a filter tweak (small), and the
+    // join rewrite (large) come back ranked large-to-small with
+    // `alt_index` pointing at their input positions.
+    let filter_alt = PG_DOC.replace("%July%", "%June%");
+    let mut obj = std::collections::BTreeMap::new();
+    obj.insert("base".to_string(), JsonValue::String(PG_DOC.to_string()));
+    obj.insert(
+        "alts".to_string(),
+        JsonValue::Array(vec![
+            JsonValue::String(PG_DOC.to_string()),
+            JsonValue::String(filter_alt),
+            JsonValue::String(MERGE_ALT_DOC.to_string()),
+        ]),
+    );
+    let resp = client
+        .post(
+            "/narrate/diff/batch",
+            &JsonValue::Object(obj).to_string_compact(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let JsonValue::Array(items) = json_of(&resp.body) else {
+        panic!("diff batch response must be an array: {}", resp.body);
+    };
+    assert_eq!(items.len(), 3);
+    let ranked: Vec<f64> = items
+        .iter()
+        .map(|i| i.get("alt_index").and_then(JsonValue::as_f64).unwrap())
+        .collect();
+    assert_eq!(ranked, [2.0, 1.0, 0.0], "{}", resp.body);
+    let scores: Vec<f64> = items
+        .iter()
+        .map(|i| i.get("score").and_then(JsonValue::as_f64).unwrap())
+        .collect();
+    assert!(scores[0] > scores[1] && scores[1] > scores[2], "{scores:?}");
+    assert_eq!(scores[2], 0.0);
+
+    drop(client);
+    server.shutdown().unwrap();
+}
+
+/// Malformed diff bodies over raw sockets are structured 400s keyed by
+/// `LanternError::kind()` — never a hung connection or an opaque 500.
+#[test]
+fn diff_envelope_rejections_over_sockets() {
+    let server = LanternBuilder::new().serve("127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    let post_raw = |path: &str, body: &str| {
+        raw_exchange(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    };
+
+    let empty_base = format!(
+        r#"{{"base": "", "alt": {}}}"#,
+        JsonValue::String(PG_DOC.to_string()).to_string_compact()
+    );
+    let garbage_base = format!(
+        r#"{{"base": "EXPLAIN SELECT 1", "alts": [{}]}}"#,
+        JsonValue::String(PG_DOC.to_string()).to_string_compact()
+    );
+    let cases: &[(&str, &str, &str)] = &[
+        ("/narrate/diff", "not json at all", "parse"),
+        ("/narrate/diff", "[]", "parse"),
+        ("/narrate/diff", r#"{"base": "x"}"#, "parse"),
+        ("/narrate/diff", r#"{"alt": "x"}"#, "parse"),
+        ("/narrate/diff", r#"{"base": 1, "alt": "x"}"#, "parse"),
+        ("/narrate/diff", &empty_base, "empty_input"),
+        (
+            "/narrate/diff/batch",
+            r#"{"base": "x", "alts": []}"#,
+            "parse",
+        ),
+        (
+            "/narrate/diff/batch",
+            r#"{"base": "x", "alts": "y"}"#,
+            "parse",
+        ),
+        // A base in no known format fails the whole batch request.
+        ("/narrate/diff/batch", &garbage_base, "unknown_format"),
+    ];
+    for (path, body, kind) in cases {
+        let (status, text) = post_raw(path, body);
+        assert_eq!(status, 400, "{path} {body:?}: {text}");
+        let json_start = text.find("\r\n\r\n").unwrap() + 4;
+        let value = json_of(&text[json_start..]);
+        assert_eq!(error_kind_of(&value), *kind, "{path} {body:?}");
+    }
+
+    // Wrong method on a live diff route is 405, not 404.
+    let (status, _) = raw_exchange(
+        addr,
+        "GET /narrate/diff HTTP/1.1\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 405);
+
+    server.shutdown().unwrap();
+}
+
 /// Acceptance: a cache-enabled service over real sockets — a repeated
 /// plan reports a cache hit in `/stats`, `?nocache=1` bypasses,
 /// `POST /cache/clear` empties, and every response body is identical.
