@@ -127,4 +127,97 @@ fn main() {
 
     drop(client);
     handle.shutdown().expect("clean shutdown");
+
+    // --- concurrency sweep: latency percentiles at C open conns ----
+    //
+    // C keep-alive connections stay open for the whole measurement;
+    // requests round-robin across them with one in flight at a time,
+    // so the numbers isolate what holding C live sockets costs the
+    // serving core (readiness bookkeeping on the event path, parked
+    // threads on the legacy path). The legacy path is measured at
+    // C = 1 only: beyond the pool size it parks whole connections on
+    // workers, which is exactly the scaling wall the event loop
+    // removes.
+    let sweep_requests = ((1_000.0 * bench_scale()) as usize).max(200);
+    let sweep = |legacy: bool, conns: usize| -> (u64, u64, f64) {
+        let handle = serve(
+            RuleTranslator::new(ctx.store.clone()),
+            "127.0.0.1:0",
+            ServeConfig {
+                // Long idle timeout: parked connections must survive
+                // the whole sweep point, not get idle-swept mid-run.
+                read_timeout: std::time::Duration::from_secs(120),
+                max_conns: 2048,
+                legacy_blocking: legacy,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        let mut clients: Vec<HttpClient> = (0..conns)
+            .map(|_| HttpClient::connect(handle.addr()).expect("connect"))
+            .collect();
+        let requests = sweep_requests.max(conns * 2);
+        let mut latencies = Vec::with_capacity(requests);
+        let t0 = Instant::now();
+        for i in 0..requests {
+            let doc = &docs[i % docs.len()];
+            let client = &mut clients[i % conns];
+            let t = Instant::now();
+            let resp = client.post("/narrate", doc).expect("narrate");
+            assert_eq!(resp.status, 200);
+            latencies.push(t.elapsed().as_micros() as u64);
+        }
+        let elapsed = t0.elapsed();
+        drop(clients);
+        handle.shutdown().expect("clean shutdown");
+        latencies.sort_unstable();
+        let pct = |q: f64| latencies[((latencies.len() - 1) as f64 * q).round() as usize];
+        (
+            pct(0.50),
+            pct(0.99),
+            requests as f64 / elapsed.as_secs_f64(),
+        )
+    };
+
+    let mut report = TableReport::new(
+        "Keep-alive concurrency sweep, POST /narrate round-robin (µs per request)",
+        &["path", "conns", "p50 µs", "p99 µs", "req/s"],
+    );
+    let (p50, p99, legacy_rps) = sweep(true, 1);
+    report.row(&[
+        "legacy blocking".to_string(),
+        "1".to_string(),
+        p50.to_string(),
+        p99.to_string(),
+        format!("{legacy_rps:.0}"),
+    ]);
+    // The high-C points need the event loop; non-Unix targets fall
+    // back to the blocking path where idle connections park workers.
+    #[cfg(unix)]
+    let concurrencies: &[usize] = &[1, 64, 256, 1024];
+    #[cfg(not(unix))]
+    let concurrencies: &[usize] = &[1];
+    let mut event_c1_rps = f64::NAN;
+    for &conns in concurrencies {
+        let (p50, p99, rps) = sweep(false, conns);
+        if conns == 1 {
+            event_c1_rps = rps;
+        }
+        report.row(&[
+            "event-driven".to_string(),
+            conns.to_string(),
+            p50.to_string(),
+            p99.to_string(),
+            format!("{rps:.0}"),
+        ]);
+    }
+    report.print();
+    // Acceptance: the event path must not cost throughput at C = 1
+    // (0.5x guards against CI noise, not a real regression budget),
+    // and must have sustained every high-C point above with all-200s.
+    assert!(
+        event_c1_rps >= 0.5 * legacy_rps,
+        "event path at C=1 ({event_c1_rps:.0} req/s) fell far below \
+         the blocking path ({legacy_rps:.0} req/s)"
+    );
 }

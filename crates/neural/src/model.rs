@@ -6,7 +6,8 @@ use crate::dataset::TrainingSet;
 use lantern_core::Act;
 use lantern_embed::Embedding;
 use lantern_nn::{
-    beam_search_scratch, DecodeScratch, Seq2Seq, Seq2SeqConfig, TrainOptions, TrainReport, Trainer,
+    beam_search_batched_scratch, DecodeScratch, Seq2Seq, Seq2SeqConfig, TrainOptions, TrainReport,
+    Trainer,
 };
 use lantern_text::{corpus_bleu, detokenize, BleuConfig, Vocab};
 
@@ -171,7 +172,7 @@ impl Qep2Seq {
         scratch: &mut DecodeScratch,
     ) -> String {
         let input = self.input_vocab.encode(&act.input_tokens(), false);
-        let hyps = beam_search_scratch(&self.model, &input, beam, 60, scratch);
+        let hyps = beam_search_batched_scratch(&self.model, &input, beam, 60, scratch);
         let tokens = match hyps.first() {
             Some(h) => self.output_vocab.decode(&h.tokens),
             None => Vec::new(),
@@ -206,7 +207,8 @@ impl Qep2Seq {
     /// is computed on.
     pub fn translate_act_tagged(&self, act: &Act, beam: usize) -> Vec<String> {
         let input = self.input_vocab.encode(&act.input_tokens(), false);
-        let hyps = beam_search_scratch(&self.model, &input, beam, 60, &mut DecodeScratch::new());
+        let hyps =
+            beam_search_batched_scratch(&self.model, &input, beam, 60, &mut DecodeScratch::new());
         match hyps.first() {
             Some(h) => self.output_vocab.decode(&h.tokens),
             None => Vec::new(),

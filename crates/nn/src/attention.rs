@@ -142,10 +142,28 @@ impl AdditiveAttention {
     ) -> Vec<f32> {
         scratch.ws_s.resize(self.dim, 0.0);
         self.w_s.matvec_into(s, &mut scratch.ws_s);
+        let ws_s = std::mem::take(&mut scratch.ws_s);
+        let context = self.attend_projected(&ws_s, states, proj, scratch);
+        scratch.ws_s = ws_s;
+        context
+    }
+
+    /// [`AdditiveAttention::attend`] with the query projection
+    /// `W_s s_t` already computed — the batched decoder projects all
+    /// `K` beam hypotheses' queries in one GEMM and hands each row
+    /// here, so the score/softmax/context math (and its accumulation
+    /// order) is shared with the sequential path.
+    pub fn attend_projected(
+        &self,
+        ws_s: &[f32],
+        states: &Matrix,
+        proj: &Matrix,
+        scratch: &mut AttnScratch,
+    ) -> Vec<f32> {
         scratch.scores.clear();
         scratch.pre.resize(self.dim, 0.0);
         for i in 0..proj.rows {
-            for ((p, v), b) in scratch.pre.iter_mut().zip(proj.row(i)).zip(&scratch.ws_s) {
+            for ((p, v), b) in scratch.pre.iter_mut().zip(proj.row(i)).zip(ws_s) {
                 *p = (v + b).tanh();
             }
             scratch.scores.push(kernel::dot(&self.v_a, &scratch.pre));

@@ -227,6 +227,34 @@ fn matmul_t_post<F: Fn(&mut [f32])>(a: &Matrix, b: &Matrix, c: &mut Matrix, post
     }
 }
 
+/// `C = A · Bᵀ` for a short `A` (`m` no larger than a beam width)
+/// against a large `B` (a weight matrix). The loop order is flipped
+/// from [`matmul_t`]: `B`'s rows are walked outermost and each is
+/// dotted against every row of the (cache-resident) `A` while it is
+/// hot, so the weight matrix streams through the cache hierarchy once
+/// per call instead of once per `A` row — the memory-traffic shape
+/// that lets one batched GEMM beat `m` matvecs. The inner kernel is
+/// the same [`dot`] the matvec path uses (measured faster here than
+/// [`matmul_t`]'s wider register tile, which spills on narrow ISAs).
+pub fn matmul_t_small_m_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(a.cols, b.cols, "matmul_t shape mismatch");
+    assert_eq!(c.rows, a.rows, "matmul_t output rows");
+    assert_eq!(c.cols, b.rows, "matmul_t output cols");
+    for j in 0..b.rows {
+        let brow = b.row(j);
+        for i in 0..a.rows {
+            c.row_mut(i)[j] = dot(a.row(i), brow);
+        }
+    }
+}
+
+/// [`matmul_t_small_m_into`] allocating its output.
+pub fn matmul_t_small_m(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows, b.rows);
+    matmul_t_small_m_into(a, b, &mut c);
+    c
+}
+
 /// Blocked `C = A · B` (`A: m×k`, `B: k×n`): the classic `ikt` axpy
 /// formulation — each coefficient `A[i][t]` streams a row of `B` into
 /// the output row, four coefficient rows per pass.
@@ -378,6 +406,22 @@ mod tests {
                 &gemm_bias_act_naive(&a, &b, &bias, act),
                 1e-5,
                 "gemm_bias_act",
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_t_small_m_matches_naive() {
+        // Beam-shaped: few rows of A against many rows of B, with a
+        // non-multiple-of-LANES inner dimension for the tail path.
+        for m in [1usize, 4, 8] {
+            let a = rand_matrix(m, 37, 31);
+            let b = rand_matrix(50, 37, 32);
+            assert_close(
+                &matmul_t_small_m(&a, &b),
+                &matmul_t_naive(&a, &b),
+                1e-5,
+                "matmul_t_small_m",
             );
         }
     }

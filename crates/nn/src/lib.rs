@@ -43,7 +43,10 @@ pub mod seq2seq;
 pub mod trainer;
 
 pub use attention::AdditiveAttention;
-pub use beam::{beam_search, beam_search_scratch, BeamHypothesis};
+pub use beam::{
+    beam_search, beam_search_batched, beam_search_batched_scratch, beam_search_scratch,
+    BeamHypothesis,
+};
 pub use kernel::Activation;
 pub use lstm::{LstmCell, LstmState};
 pub use matrix::Matrix;

@@ -62,6 +62,15 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<ClientResponse> {
+        self.send(method, path, body)?;
+        self.read_response()
+    }
+
+    /// Write one request without reading its response — the pipelining
+    /// half of [`HttpClient::request`]. Send N requests back to back,
+    /// then collect N responses with [`HttpClient::read_response`]; the
+    /// server answers in request order.
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<()> {
         let body = body.unwrap_or("");
         // One write for head + body (see `http::write_response` for the
         // Nagle rationale).
@@ -73,10 +82,12 @@ impl HttpClient {
         wire.extend_from_slice(body.as_bytes());
         self.writer.write_all(&wire)?;
         self.writer.flush()?;
-        self.read_response()
+        Ok(())
     }
 
-    fn read_response(&mut self) -> io::Result<ClientResponse> {
+    /// Read the next response off the connection (pairs with
+    /// [`HttpClient::send`] for pipelined exchanges).
+    pub fn read_response(&mut self) -> io::Result<ClientResponse> {
         let mut line = String::new();
         self.reader.read_line(&mut line)?;
         // "HTTP/1.1 200 OK"

@@ -302,6 +302,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra headers beyond the fixed `Content-Type`/`Content-Length`/
+    /// `Connection` set (e.g. `Retry-After` on a load-shed `503`).
+    pub headers: Vec<(&'static str, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -312,8 +315,15 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into(),
         }
+    }
+
+    /// Attach an extra response header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 }
 
@@ -345,19 +355,109 @@ pub fn write_response<W: Write>(
     response: &Response,
     keep_alive: bool,
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    let mut wire = Vec::with_capacity(128 + response.body.len());
+    encode_response(&mut wire, response, keep_alive);
+    writer.write_all(&wire)?;
+    writer.flush()
+}
+
+/// Serialize `response` into `out` (same wire form as
+/// [`write_response`], without touching a stream) — the event loop
+/// appends responses to per-connection output buffers this way.
+pub fn encode_response(out: &mut Vec<u8>, response: &Response, keep_alive: bool) {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         status_reason(response.status),
         response.content_type,
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
-    let mut wire = Vec::with_capacity(head.len() + response.body.len());
-    wire.extend_from_slice(head.as_bytes());
-    wire.extend_from_slice(&response.body);
-    writer.write_all(&wire)?;
-    writer.flush()
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    out.reserve(head.len() + response.body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(&response.body);
+}
+
+/// Where one request ends inside a buffer of accumulated connection
+/// bytes — the event loop's incremental framing step. The scanner only
+/// finds the *boundary* (head terminator + `Content-Length` body); the
+/// framed slice is then handed to [`read_request`] so every semantic
+/// check (smuggling guards, size caps, method rules) has exactly one
+/// implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameStatus {
+    /// Not enough bytes for a complete request yet.
+    Incomplete,
+    /// One complete request (or one that [`read_request`] will reject
+    /// from its head alone) occupies the first `len` bytes.
+    Complete {
+        /// Bytes of the frame, head terminator and body included.
+        len: usize,
+    },
+}
+
+/// Scan `buf` for the end of the first pipelined request.
+///
+/// A head larger than [`MAX_HEAD_BYTES`] and a body advertised past
+/// `max_body_bytes` both report `Complete` at the point where
+/// [`read_request`] can already produce the right error (431/413) —
+/// the caller must not wait for bytes that will never be honoured.
+pub fn frame_request(buf: &[u8], max_body_bytes: usize) -> FrameStatus {
+    // Head terminator: the same two suffixes `read_request` accepts at
+    // a line boundary.
+    let mut head_end = None;
+    for (i, &b) in buf.iter().enumerate() {
+        if b != b'\n' {
+            continue;
+        }
+        if (i >= 1 && buf[i - 1] == b'\n') || (i >= 3 && &buf[i - 3..=i] == b"\r\n\r\n") {
+            head_end = Some(i + 1);
+            break;
+        }
+    }
+    let Some(head_end) = head_end else {
+        // No terminator yet: once past the head cap, stop waiting and
+        // let `read_request` answer 431 with what accumulated.
+        return if buf.len() > MAX_HEAD_BYTES {
+            FrameStatus::Complete { len: buf.len() }
+        } else {
+            FrameStatus::Incomplete
+        };
+    };
+    // Body length: first parseable Content-Length. Anything the parser
+    // will reject from the head alone (non-UTF-8, conflicting lengths,
+    // oversized body, Transfer-Encoding) frames at the head.
+    let Ok(head) = std::str::from_utf8(&buf[..head_end]) else {
+        return FrameStatus::Complete { len: head_end };
+    };
+    let mut body_len = 0usize;
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                body_len = n;
+                break;
+            }
+        }
+    }
+    if body_len > max_body_bytes {
+        return FrameStatus::Complete { len: head_end };
+    }
+    if buf.len() < head_end + body_len {
+        return FrameStatus::Incomplete;
+    }
+    FrameStatus::Complete {
+        len: head_end + body_len,
+    }
 }
 
 #[cfg(test)]
@@ -513,6 +613,72 @@ mod tests {
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn extra_headers_are_emitted() {
+        let mut out = Vec::new();
+        let resp = Response::json(503, r#"{"err":1}"#).with_header("Retry-After", "1");
+        write_response(&mut out, &resp, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"err\":1}"), "{text}");
+    }
+
+    #[test]
+    fn frame_scanner_finds_request_boundaries() {
+        let full = b"POST /narrate HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        // Every strict prefix is incomplete; the exact frame completes.
+        for cut in 0..full.len() {
+            assert_eq!(
+                frame_request(&full[..cut], 1024),
+                FrameStatus::Incomplete,
+                "cut at {cut}"
+            );
+        }
+        assert_eq!(
+            frame_request(full, 1024),
+            FrameStatus::Complete { len: full.len() }
+        );
+        // Pipelined second request does not move the first boundary.
+        let mut two = full.to_vec();
+        two.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(
+            frame_request(&two, 1024),
+            FrameStatus::Complete { len: full.len() }
+        );
+        // Bare-LF terminators frame like read_request accepts them.
+        let lf = b"GET /healthz HTTP/1.1\nHost: a\n\n";
+        assert_eq!(
+            frame_request(lf, 1024),
+            FrameStatus::Complete { len: lf.len() }
+        );
+    }
+
+    #[test]
+    fn frame_scanner_does_not_wait_for_unhonoured_bytes() {
+        // Oversized advertised body: frame at the head so the parser
+        // can answer 413 without the body ever arriving.
+        let big = b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n";
+        match frame_request(big, 1024) {
+            FrameStatus::Complete { len } => assert_eq!(len, big.len()),
+            other => panic!("expected head-only frame, got {other:?}"),
+        }
+        let mut reader = BufReader::new(&big[..]);
+        assert_eq!(
+            read_request(&mut reader, 1024).unwrap_err().status(),
+            Some(413)
+        );
+        // Head overflow without a terminator frames once past the cap.
+        let huge = vec![b'a'; MAX_HEAD_BYTES + 10];
+        assert!(matches!(
+            frame_request(&huge, 1024),
+            FrameStatus::Complete { .. }
+        ));
     }
 
     #[test]

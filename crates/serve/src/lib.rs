@@ -6,12 +6,15 @@
 //! paper describes — students paste an `EXPLAIN` artifact at one end
 //! and read prose back at the other.
 //!
-//! The server is **std-only** (a threaded [`std::net::TcpListener`]
-//! HTTP/1.1 loop with a bounded worker pool), consistent with the
-//! workspace's offline-shim constraint: no async runtime, no HTTP
-//! crate, no serde. Request and response bodies use the in-tree JSON
-//! value model (`lantern_text::json`) and the stable
-//! `Narration::to_json` wire format.
+//! The server is **std-only**, consistent with the workspace's
+//! offline-shim constraint: no async runtime, no HTTP crate, no serde.
+//! On Unix the default serving core is an event-driven readiness loop
+//! (raw `epoll` on Linux, `poll` elsewhere) with HTTP/1.1
+//! pipelining and load-shedding; `ServeConfig::legacy_blocking`
+//! selects the original thread-per-connection loop. Request and
+//! response bodies use the in-tree JSON value model
+//! (`lantern_text::json`) and the stable `Narration::to_json` wire
+//! format.
 //!
 //! ## Endpoints
 //!
@@ -61,6 +64,8 @@
 //! `cargo run --example serve_demo` is a scripted end-to-end tour.
 
 pub mod client;
+#[cfg(unix)]
+pub(crate) mod event;
 pub mod http;
 pub mod router;
 pub mod server;
@@ -73,4 +78,4 @@ pub use router::{error_body, Router};
 pub use server::{
     serve, serve_with_cache, serve_with_parts, ServeConfig, ServeStats, ServerHandle, StatsSnapshot,
 };
-pub use soak::{run_soak, CacheDelta, LatencySummary, SoakConfig, SoakReport};
+pub use soak::{run_soak, CacheDelta, LatencySummary, ServerDelta, SoakConfig, SoakReport};

@@ -1,12 +1,21 @@
-//! The long-lived server loop: a [`TcpListener`] accept thread feeding
-//! a bounded worker pool over a [`std::sync::mpsc::sync_channel`], with
-//! keep-alive connection handling, shared atomic counters, and graceful
-//! shutdown.
+//! The long-lived server loop, in two flavours behind one
+//! [`ServeConfig`]:
 //!
-//! Backpressure is structural: accepted connections queue in the
-//! bounded channel; when every worker is busy and the queue is full the
-//! accept thread blocks, which pushes further arrivals into the OS
-//! accept backlog instead of growing unbounded in-process state.
+//! * the **event-driven core** (default on Unix, `src/event.rs`): a
+//!   single readiness-loop thread owns every socket non-blocking —
+//!   accept, incremental parse, pipelining, ordered response writes —
+//!   and dispatches complete requests to the bounded worker pool. When
+//!   the dispatch queue saturates, requests are *shed* with `503` +
+//!   `Retry-After` instead of queueing unboundedly.
+//! * the **legacy blocking path** ([`ServeConfig::legacy_blocking`],
+//!   and every non-Unix target): a [`TcpListener`] accept thread feeds
+//!   whole connections to the pool over a
+//!   [`std::sync::mpsc::sync_channel`]; each worker owns one
+//!   connection at a time. Backpressure is structural — a full queue
+//!   blocks the accept thread, pushing arrivals into the OS backlog.
+//!
+//! Both paths share the router, the counters, keep-alive handling, and
+//! graceful shutdown semantics.
 
 use crate::http::{read_request, write_response, Response};
 use crate::router::{error_body_raw, Router};
@@ -36,7 +45,17 @@ pub struct ServeConfig {
     pub max_body_bytes: usize,
     /// Idle read timeout on keep-alive connections; an idle connection
     /// is closed after this long so workers can't be parked forever.
+    /// On the event path this also bounds slow-loris peers parked on a
+    /// partial request head.
     pub read_timeout: Duration,
+    /// Open connections the event loop will hold at once; arrivals
+    /// past the cap are closed immediately. Ignored on the legacy
+    /// path, where the pool size is the cap.
+    pub max_conns: usize,
+    /// Use the thread-per-connection blocking path instead of the
+    /// event-driven readiness loop. Non-Unix targets always take the
+    /// blocking path.
+    pub legacy_blocking: bool,
 }
 
 impl Default for ServeConfig {
@@ -46,12 +65,14 @@ impl Default for ServeConfig {
             queue_depth: 64,
             max_body_bytes: 4 * 1024 * 1024,
             read_timeout: Duration::from_secs(5),
+            max_conns: 4096,
+            legacy_blocking: false,
         }
     }
 }
 
 impl ServeConfig {
-    fn effective_workers(&self) -> usize {
+    pub(crate) fn effective_workers(&self) -> usize {
         if self.workers > 0 {
             return self.workers;
         }
@@ -97,6 +118,17 @@ pub struct ServeStats {
     /// Panics contained by the worker pool (each cost one connection,
     /// never a worker).
     pub panics: AtomicU64,
+    /// Requests refused by admission control: `503`s answered when the
+    /// dispatch queue was full, plus connections closed at the
+    /// `max_conns` cap (event path only).
+    pub shed_requests: AtomicU64,
+    /// Requests that arrived pipelined — read off a connection before
+    /// the response to an earlier request on it was written (event
+    /// path only).
+    pub pipelined_requests: AtomicU64,
+    /// Gauge: requests sitting in the dispatch queue, accepted but not
+    /// yet picked up by a worker (event path only).
+    pub queue_depth: AtomicU64,
     /// Gauge: requests currently being handled (incremented on entry to
     /// the router, decremented when the handler returns — so a `/stats`
     /// response always counts at least itself).
@@ -124,6 +156,9 @@ impl ServeStats {
             not_found: AtomicU64::new(0),
             error_responses: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            shed_requests: AtomicU64::new(0),
+            pipelined_requests: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
             requests_in_flight: AtomicU64::new(0),
             started: Instant::now(),
         }
@@ -153,6 +188,9 @@ impl ServeStats {
             not_found: self.not_found.load(Ordering::Relaxed),
             error_responses: self.error_responses.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            shed_requests: self.shed_requests.load(Ordering::Relaxed),
+            pipelined_requests: self.pipelined_requests.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
             requests_in_flight: self.requests_in_flight.load(Ordering::Relaxed),
             uptime_ms: self.uptime().as_millis() as u64,
             uptime_seconds: self.uptime().as_secs(),
@@ -193,6 +231,12 @@ pub struct StatsSnapshot {
     pub error_responses: u64,
     /// See [`ServeStats::panics`].
     pub panics: u64,
+    /// See [`ServeStats::shed_requests`].
+    pub shed_requests: u64,
+    /// See [`ServeStats::pipelined_requests`].
+    pub pipelined_requests: u64,
+    /// See [`ServeStats::queue_depth`].
+    pub queue_depth: u64,
     /// See [`ServeStats::requests_in_flight`].
     pub requests_in_flight: u64,
     /// Milliseconds since the server came up.
@@ -221,6 +265,9 @@ impl StatsSnapshot {
             ("not_found", self.not_found),
             ("error_responses", self.error_responses),
             ("panics", self.panics),
+            ("shed_requests", self.shed_requests),
+            ("pipelined_requests", self.pipelined_requests),
+            ("queue_depth", self.queue_depth),
             ("requests_in_flight", self.requests_in_flight),
             ("uptime_ms", self.uptime_ms),
             ("uptime_seconds", self.uptime_seconds),
@@ -240,6 +287,10 @@ pub struct ServerHandle {
     stats: Arc<ServeStats>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Event path only: wakes the readiness loop so it observes the
+    /// shutdown flag without waiting out a poll timeout. The legacy
+    /// path pokes its accept thread over TCP instead.
+    event_waker: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -274,18 +325,25 @@ impl ServerHandle {
             return Ok(());
         }
         self.shutdown.store(true, Ordering::SeqCst);
-        // The accept thread is parked in `accept()`; poke it awake with
-        // a throwaway connection so it observes the flag. A wildcard
-        // bind (0.0.0.0 / [::]) is not connectable everywhere, so the
-        // poke targets the loopback equivalent of the bound port.
-        let mut poke_addr = self.addr;
-        if poke_addr.ip().is_unspecified() {
-            poke_addr.set_ip(match poke_addr {
-                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
+        if let Some(waker) = &self.event_waker {
+            // Event path: one byte down the self-pipe and the loop sees
+            // the flag on its next iteration.
+            waker();
+        } else {
+            // The accept thread is parked in `accept()`; poke it awake
+            // with a throwaway connection so it observes the flag. A
+            // wildcard bind (0.0.0.0 / [::]) is not connectable
+            // everywhere, so the poke targets the loopback equivalent
+            // of the bound port.
+            let mut poke_addr = self.addr;
+            if poke_addr.ip().is_unspecified() {
+                poke_addr.set_ip(match poke_addr {
+                    SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                    SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                });
+            }
+            let _ = TcpStream::connect_timeout(&poke_addr, Duration::from_secs(1));
         }
-        let _ = TcpStream::connect_timeout(&poke_addr, Duration::from_secs(1));
         if let Some(t) = self.accept_thread.take() {
             t.join()
                 .map_err(|_| io::Error::other("accept thread panicked"))?;
@@ -369,6 +427,26 @@ where
         diff,
     ));
 
+    #[cfg(unix)]
+    if !config.legacy_blocking {
+        let (mut threads, waker) = crate::event::serve_event(
+            listener,
+            router,
+            Arc::clone(&stats),
+            config,
+            Arc::clone(&shutdown),
+        )?;
+        let event_thread = threads.remove(0);
+        return Ok(ServerHandle {
+            addr: local_addr,
+            shutdown,
+            stats,
+            accept_thread: Some(event_thread),
+            workers: threads,
+            event_waker: Some(waker),
+        });
+    }
+
     let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.queue_depth);
     let conn_rx = Arc::new(Mutex::new(conn_rx));
 
@@ -407,6 +485,7 @@ where
         stats,
         accept_thread: Some(accept_thread),
         workers,
+        event_waker: None,
     })
 }
 

@@ -24,11 +24,20 @@ pub struct SoakConfig {
     /// schedule is partitioned round-robin, so every client sees the
     /// same fresh/duplicate mix as the whole schedule.
     pub clients: usize,
+    /// Requests each client keeps in flight on its connection
+    /// (clamped to at least 1). At 1 the driver is strictly
+    /// request/response; above 1 it sends bursts of `pipeline`
+    /// requests back to back and then reads the responses, exercising
+    /// the server's HTTP/1.1 pipelining path.
+    pub pipeline: usize,
 }
 
 impl Default for SoakConfig {
     fn default() -> Self {
-        SoakConfig { clients: 4 }
+        SoakConfig {
+            clients: 4,
+            pipeline: 1,
+        }
     }
 }
 
@@ -56,6 +65,17 @@ pub struct CacheDelta {
     pub hit_ratio: f64,
 }
 
+/// Server counter movement across the run, sampled from `GET /stats`
+/// before and after.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerDelta {
+    /// Requests refused by admission control (`503` + `Retry-After`).
+    pub shed_requests: u64,
+    /// Requests the server saw arrive pipelined behind an unanswered
+    /// one.
+    pub pipelined_requests: u64,
+}
+
 /// The machine-readable result of one soak run.
 #[derive(Debug, Clone)]
 pub struct SoakReport {
@@ -63,6 +83,13 @@ pub struct SoakReport {
     pub requests: usize,
     /// Concurrent clients used.
     pub clients: usize,
+    /// Pipeline depth each client ran at.
+    pub pipeline: usize,
+    /// `503` responses observed by the clients (the server's
+    /// load-shedding answer).
+    pub shed: u64,
+    /// Server-side counter movement over the run.
+    pub server: ServerDelta,
     /// Wall-clock duration of the request phase, milliseconds.
     pub duration_ms: f64,
     /// Attempted requests per second.
@@ -91,6 +118,21 @@ impl SoakReport {
             "clients".to_string(),
             JsonValue::Number(self.clients as f64),
         );
+        obj.insert(
+            "pipeline".to_string(),
+            JsonValue::Number(self.pipeline as f64),
+        );
+        obj.insert("shed".to_string(), JsonValue::Number(self.shed as f64));
+        let mut server = BTreeMap::new();
+        server.insert(
+            "shed_requests".to_string(),
+            JsonValue::Number(self.server.shed_requests as f64),
+        );
+        server.insert(
+            "pipelined_requests".to_string(),
+            JsonValue::Number(self.server.pipelined_requests as f64),
+        );
+        obj.insert("server".to_string(), JsonValue::Object(server));
         obj.insert(
             "duration_ms".to_string(),
             JsonValue::Number(self.duration_ms),
@@ -141,7 +183,8 @@ impl SoakReport {
 /// against a warm server.
 pub fn run_soak(addr: SocketAddr, docs: &[String], config: &SoakConfig) -> io::Result<SoakReport> {
     let clients = config.clients.max(1).min(docs.len().max(1));
-    let before = sample_cache_counters(addr)?;
+    let pipeline = config.pipeline.max(1);
+    let before = sample_stats(addr)?;
 
     let started = Instant::now();
     let mut samples: Vec<(u64, u16)> = Vec::with_capacity(docs.len());
@@ -151,7 +194,7 @@ pub fn run_soak(addr: SocketAddr, docs: &[String], config: &SoakConfig) -> io::R
             // Round-robin partition: every client's slice preserves the
             // schedule's global duplicate mix.
             let schedule: Vec<&String> = docs.iter().skip(worker).step_by(clients).collect();
-            workers.push(scope.spawn(move || drive_client(addr, &schedule)));
+            workers.push(scope.spawn(move || drive_client(addr, &schedule, pipeline)));
         }
         for worker in workers {
             let worker_samples = worker
@@ -163,8 +206,12 @@ pub fn run_soak(addr: SocketAddr, docs: &[String], config: &SoakConfig) -> io::R
     })?;
     let duration = started.elapsed();
 
-    let after = sample_cache_counters(addr)?;
-    let cache = match (before, after) {
+    let after = sample_stats(addr)?;
+    let server = ServerDelta {
+        shed_requests: after.shed.saturating_sub(before.shed),
+        pipelined_requests: after.pipelined.saturating_sub(before.pipelined),
+    };
+    let cache = match (before.cache, after.cache) {
         (Some((h0, m0)), Some((h1, m1))) => {
             let hits = h1.saturating_sub(h0);
             let misses = m1.saturating_sub(m0);
@@ -194,6 +241,9 @@ pub fn run_soak(addr: SocketAddr, docs: &[String], config: &SoakConfig) -> io::R
     Ok(SoakReport {
         requests: docs.len(),
         clients,
+        pipeline,
+        shed: statuses.get(&503).copied().unwrap_or(0),
+        server,
         duration_ms,
         throughput_rps: if duration_ms > 0.0 {
             samples.len() as f64 / (duration_ms / 1e3)
@@ -211,40 +261,88 @@ pub fn run_soak(addr: SocketAddr, docs: &[String], config: &SoakConfig) -> io::R
 /// One client's request loop: time every `POST /narrate`, record
 /// transport failures as status 0, and reconnect once after a failure
 /// so a single dropped connection doesn't void the rest of the slice.
-fn drive_client(addr: SocketAddr, schedule: &[&String]) -> io::Result<Vec<(u64, u16)>> {
+///
+/// At `pipeline > 1` the schedule is sent in bursts: `pipeline`
+/// requests written back to back, then their responses collected in
+/// order. Burst latencies are measured from the burst's first write,
+/// so they reflect the queueing a pipelined request actually sees.
+fn drive_client(
+    addr: SocketAddr,
+    schedule: &[&String],
+    pipeline: usize,
+) -> io::Result<Vec<(u64, u16)>> {
     let mut client = HttpClient::connect(addr)?;
     let mut samples = Vec::with_capacity(schedule.len());
-    for doc in schedule {
+    for burst in schedule.chunks(pipeline.max(1)) {
         let started = Instant::now();
-        match client.post("/narrate", doc) {
-            Ok(resp) => samples.push((started.elapsed().as_micros() as u64, resp.status)),
-            Err(_) => {
-                samples.push((started.elapsed().as_micros() as u64, 0));
-                client = HttpClient::connect(addr)?;
+        let mut sent = 0usize;
+        for doc in burst {
+            if client.send("POST", "/narrate", Some(doc)).is_err() {
+                break;
             }
+            sent += 1;
+        }
+        let mut answered = 0usize;
+        let mut failed = sent < burst.len();
+        while answered < sent {
+            match client.read_response() {
+                Ok(resp) => {
+                    samples.push((started.elapsed().as_micros() as u64, resp.status));
+                    answered += 1;
+                }
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        // Requests never sent, or whose responses died with the
+        // connection, are transport failures (status 0).
+        for _ in answered..burst.len() {
+            samples.push((started.elapsed().as_micros() as u64, 0));
+        }
+        if failed {
+            client = HttpClient::connect(addr)?;
         }
     }
     Ok(samples)
 }
 
-/// `(cache.hits, cache.misses)` from `GET /stats`, or `None` when the
-/// server runs uncached.
-fn sample_cache_counters(addr: SocketAddr) -> io::Result<Option<(u64, u64)>> {
+/// One `GET /stats` sample: the cache counters (absent on an uncached
+/// server) plus the admission-control counters.
+struct StatsSample {
+    cache: Option<(u64, u64)>,
+    shed: u64,
+    pipelined: u64,
+}
+
+fn sample_stats(addr: SocketAddr) -> io::Result<StatsSample> {
     let mut client = HttpClient::connect(addr)?;
     let resp = client.get("/stats")?;
     let value = resp
         .json()
         .map_err(|e| io::Error::other(format!("/stats body is not JSON: {e}")))?;
-    let counter = |name: &str| {
+    let cache_counter = |name: &str| {
         value
             .get("cache")
             .and_then(|c| c.get(name))
             .and_then(JsonValue::as_f64)
             .map(|n| n as u64)
     };
-    Ok(match (counter("hits"), counter("misses")) {
-        (Some(hits), Some(misses)) => Some((hits, misses)),
-        _ => None,
+    let counter = |name: &str| {
+        value
+            .get(name)
+            .and_then(JsonValue::as_f64)
+            .map(|n| n as u64)
+            .unwrap_or(0)
+    };
+    Ok(StatsSample {
+        cache: match (cache_counter("hits"), cache_counter("misses")) {
+            (Some(hits), Some(misses)) => Some((hits, misses)),
+            _ => None,
+        },
+        shed: counter("shed_requests"),
+        pipelined: counter("pipelined_requests"),
     })
 }
 
@@ -318,7 +416,15 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let report = run_soak(handle.addr(), &docs, &SoakConfig { clients: 1 }).unwrap();
+        let report = run_soak(
+            handle.addr(),
+            &docs,
+            &SoakConfig {
+                clients: 1,
+                pipeline: 1,
+            },
+        )
+        .unwrap();
         assert_eq!(report.requests, 6);
         assert_eq!(report.ok, 6, "statuses: {:?}", report.statuses);
         assert_eq!(report.errors, 0);
@@ -356,9 +462,74 @@ mod tests {
         )
         .unwrap();
         let docs = vec![DOC_A.to_string(); 4];
-        let report = run_soak(handle.addr(), &docs, &SoakConfig { clients: 2 }).unwrap();
+        let report = run_soak(
+            handle.addr(),
+            &docs,
+            &SoakConfig {
+                clients: 2,
+                pipeline: 1,
+            },
+        )
+        .unwrap();
         assert_eq!(report.ok, 4);
         assert!(report.cache.is_none());
+        handle.shutdown().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn pipelined_soak_reports_server_side_pipelining() {
+        use lantern_core::{LanternError, NarrationRequest, NarrationResponse, Translator};
+
+        // Slow enough that a burst's trailing requests are guaranteed
+        // to arrive while the first is still being handled.
+        struct Slow(RuleTranslator);
+        impl Translator for Slow {
+            fn backend(&self) -> &str {
+                "slow"
+            }
+            fn narrate(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError> {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                self.0.narrate(req)
+            }
+        }
+
+        let handle = crate::server::serve(
+            Slow(RuleTranslator::new(default_mssql_store())),
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let docs = vec![DOC_A.to_string(); 8];
+        let report = run_soak(
+            handle.addr(),
+            &docs,
+            &SoakConfig {
+                clients: 1,
+                pipeline: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.ok, 8, "statuses: {:?}", report.statuses);
+        assert_eq!(report.pipeline, 4);
+        assert_eq!(report.shed, 0);
+        assert!(
+            report.server.pipelined_requests >= 3,
+            "server delta: {:?}",
+            report.server
+        );
+        let json = report.to_json_value();
+        assert_eq!(json.get("pipeline").and_then(JsonValue::as_f64), Some(4.0));
+        assert!(
+            json.get("server")
+                .and_then(|s| s.get("pipelined_requests"))
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                >= 3.0
+        );
         handle.shutdown().unwrap();
     }
 }

@@ -38,6 +38,14 @@ OPTIONS:
                           [default: numbered]
     --paraphrase          Enable the paraphrase output layer
     --workers <N>         Worker threads (0 = one per core) [default: 0]
+    --max-conns <N>       Open connections the event loop holds at once;
+                          arrivals past the cap are closed [default: 4096]
+    --queue-cap <N>       Dispatch-queue slots; requests arriving with the
+                          queue full are shed with 503 + Retry-After
+                          [default: 64]
+    --legacy-blocking     Serve on the original thread-per-connection
+                          blocking path instead of the event-driven
+                          readiness loop
     --no-cache            Disable the plan-fingerprint narration cache
                           (on by default: repeated plans answer from a
                           sharded LRU; see docs/SERVING.md)
@@ -50,6 +58,8 @@ SOAK OPTIONS (load a running server with generated plans):
     --addr <HOST:PORT>    Server to load [default: 127.0.0.1:8080]
     --requests <N>        Total requests to send [default: 1000]
     --clients <N>         Concurrent client connections [default: 4]
+    --pipeline <N>        Requests each client keeps in flight on its
+                          connection (HTTP/1.1 pipelining) [default: 1]
     --dup-rate <0..1>     Fraction of requests replaying an earlier
                           artifact verbatim (cache-hit pressure)
                           [default: 0.75]
@@ -67,6 +77,9 @@ struct Args {
     style: RenderStyle,
     paraphrase: bool,
     workers: usize,
+    max_conns: usize,
+    queue_cap: usize,
+    legacy_blocking: bool,
     cache_config: CacheConfig,
     no_cache: bool,
 }
@@ -90,6 +103,9 @@ fn parse_args() -> Result<Args, String> {
         style: RenderStyle::Numbered,
         paraphrase: false,
         workers: 0,
+        max_conns: 4096,
+        queue_cap: 64,
+        legacy_blocking: false,
         // The classroom workload is exactly what the cache exists for;
         // the binary serves cached unless told otherwise.
         cache_config: CacheConfig::default(),
@@ -124,6 +140,17 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?
             }
+            "--max-conns" => {
+                args.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?
+            }
+            "--queue-cap" => {
+                args.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?
+            }
+            "--legacy-blocking" => args.legacy_blocking = true,
             "--no-cache" => args.no_cache = true,
             "--cache-entries" => {
                 args.cache_config.max_entries = value("--cache-entries")?
@@ -152,6 +179,7 @@ struct SoakArgs {
     addr: String,
     requests: usize,
     clients: usize,
+    pipeline: usize,
     dup_rate: f64,
     mutate_rate: f64,
     format: FormatMix,
@@ -164,6 +192,7 @@ fn parse_soak_args(argv: impl Iterator<Item = String>) -> Result<SoakArgs, Strin
         addr: "127.0.0.1:8080".to_string(),
         requests: 1000,
         clients: 4,
+        pipeline: 1,
         dup_rate: 0.75,
         mutate_rate: 0.0,
         format: FormatMix::Mixed,
@@ -187,6 +216,11 @@ fn parse_soak_args(argv: impl Iterator<Item = String>) -> Result<SoakArgs, Strin
                 args.clients = value("--clients")?
                     .parse()
                     .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--pipeline" => {
+                args.pipeline = value("--pipeline")?
+                    .parse()
+                    .map_err(|e| format!("--pipeline: {e}"))?
             }
             "--dup-rate" => {
                 args.dup_rate = parse_rate("--dup-rate", &value("--dup-rate")?)?;
@@ -247,8 +281,8 @@ fn soak_main(args: &SoakArgs) -> Result<(), String> {
         .map(|item| item.doc)
         .collect();
     eprintln!(
-        "soaking {} with {} requests ({} clients, dup rate {})",
-        addr, args.requests, args.clients, args.dup_rate
+        "soaking {} with {} requests ({} clients, pipeline {}, dup rate {})",
+        addr, args.requests, args.clients, args.pipeline, args.dup_rate
     );
 
     let report = run_soak(
@@ -256,6 +290,7 @@ fn soak_main(args: &SoakArgs) -> Result<(), String> {
         &docs,
         &SoakConfig {
             clients: args.clients,
+            pipeline: args.pipeline,
         },
     )
     .map_err(|e| format!("soak against {addr} failed: {e}"))?;
@@ -289,12 +324,13 @@ fn soak_main(args: &SoakArgs) -> Result<(), String> {
     let rendered = json.to_string_pretty();
 
     eprintln!(
-        "done: {}/{} ok in {:.0} ms (p50 {} us, p99 {} us{})",
+        "done: {}/{} ok in {:.0} ms (p50 {} us, p99 {} us, shed {}{})",
         report.ok,
         report.requests,
         report.duration_ms,
         report.latency.p50_us,
         report.latency.p99_us,
+        report.shed,
         match &report.cache {
             Some(cache) => format!(", cache hit ratio {:.3}", cache.hit_ratio),
             None => ", no cache".to_string(),
@@ -346,6 +382,9 @@ fn main() {
             &args.addr,
             ServeConfig {
                 workers: args.workers,
+                max_conns: args.max_conns,
+                queue_depth: args.queue_cap,
+                legacy_blocking: args.legacy_blocking,
                 ..ServeConfig::default()
             },
         )

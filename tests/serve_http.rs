@@ -576,6 +576,166 @@ fn diff_envelope_rejections_over_sockets() {
     server.shutdown().unwrap();
 }
 
+/// Event-core behaviour over raw sockets — HTTP/1.1 pipelining,
+/// slow-loris isolation, and load-shedding. The readiness loop is
+/// Unix-only (`epoll`/`poll`), so these tests are too; non-Unix
+/// targets serve through the legacy blocking path instead.
+#[cfg(unix)]
+mod event_core {
+    use super::{json_of, raw_exchange};
+    use lantern::core::{
+        LanternError, NarrationRequest, NarrationResponse, RuleTranslator, Translator,
+    };
+    use lantern::prelude::*;
+    use lantern::serve::serve;
+    use lantern::text::json::JsonValue;
+    use std::io::Write;
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    fn pg_doc(relation: &str) -> String {
+        format!(r#"{{"Plan": {{"Node Type": "Seq Scan", "Relation Name": "{relation}"}}}}"#)
+    }
+
+    /// One `POST /narrate` on the wire; `close` marks the last request
+    /// of a pipelined burst so the server ends the connection after it.
+    fn post_narrate(doc: &str, close: bool) -> String {
+        format!(
+            "POST /narrate HTTP/1.1\r\nContent-Length: {}\r\n{}\r\n{doc}",
+            doc.len(),
+            if close { "Connection: close\r\n" } else { "" },
+        )
+    }
+
+    /// A burst of pipelined requests written in one send comes back as
+    /// one response per request, in request order, on one connection.
+    #[test]
+    fn pipelined_burst_answers_in_request_order() {
+        let server = LanternBuilder::new().serve("127.0.0.1:0").unwrap();
+        let mut burst = String::new();
+        for i in 0..3 {
+            burst.push_str(&post_narrate(&pg_doc(&format!("pipelined_{i}")), i == 2));
+        }
+        let (status, text) = raw_exchange(server.addr(), &burst);
+        assert_eq!(status, 200, "{text}");
+        assert_eq!(
+            text.matches("HTTP/1.1 200").count(),
+            3,
+            "one response per pipelined request: {text}"
+        );
+        let pos = |needle: &str| {
+            text.find(needle)
+                .unwrap_or_else(|| panic!("{needle} missing from {text}"))
+        };
+        assert!(pos("pipelined_0") < pos("pipelined_1"), "{text}");
+        assert!(pos("pipelined_1") < pos("pipelined_2"), "{text}");
+        server.shutdown().unwrap();
+    }
+
+    /// A connection that trickles half a header must not occupy the
+    /// (single) worker: request dispatch happens only after a full
+    /// frame arrives, so well-formed clients keep being served.
+    #[test]
+    fn partial_header_does_not_stall_other_connections() {
+        let server = LanternBuilder::new()
+            .build()
+            .unwrap()
+            .serve(
+                "127.0.0.1:0",
+                ServeConfig {
+                    workers: 1,
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap();
+        let addr = server.addr();
+
+        let mut loris = TcpStream::connect(addr).unwrap();
+        loris.write_all(b"POST /narr").unwrap(); // header never completes
+
+        for i in 0..3 {
+            let (status, text) =
+                raw_exchange(addr, &post_narrate(&pg_doc(&format!("live{i}")), true));
+            assert_eq!(status, 200, "stalled behind a slow-loris: {text}");
+        }
+        drop(loris);
+        server.shutdown().unwrap();
+    }
+
+    /// When the dispatch queue saturates, overflow requests are shed
+    /// with an immediate `503` carrying `Retry-After` and the
+    /// structured error body — and accepted requests still narrate on
+    /// the same (still-open) connection, in request order.
+    #[test]
+    fn saturated_queue_sheds_503_with_retry_after() {
+        struct Slow(RuleTranslator);
+        impl Translator for Slow {
+            fn backend(&self) -> &str {
+                "slow"
+            }
+            fn narrate(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError> {
+                std::thread::sleep(Duration::from_millis(25));
+                self.0.narrate(req)
+            }
+        }
+
+        let server = serve(
+            Slow(RuleTranslator::new(lantern::pool::default_mssql_store())),
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 1,
+                queue_depth: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+
+        // Eight requests in one write against a 25 ms worker behind a
+        // one-slot queue: the first is accepted, most of the rest
+        // arrive while the queue is full and must shed.
+        let mut burst = String::new();
+        for i in 0..8 {
+            burst.push_str(&post_narrate(&pg_doc(&format!("shed{i}")), i == 7));
+        }
+        let (_, text) = raw_exchange(server.addr(), &burst);
+        assert_eq!(
+            text.matches("HTTP/1.1 ").count(),
+            8,
+            "every pipelined request answered: {text}"
+        );
+        let shed = text.matches("HTTP/1.1 503").count();
+        assert!(shed >= 1, "saturated queue must shed: {text}");
+        assert!(
+            text.matches("HTTP/1.1 200").count() >= 1,
+            "shedding must not starve accepted work: {text}"
+        );
+        assert!(
+            text.contains("Retry-After: 1"),
+            "503 must advertise Retry-After: {text}"
+        );
+        // The shed body is the structured error envelope, parsed from
+        // the first 503 in the stream.
+        let at = text.find("HTTP/1.1 503").unwrap();
+        let body_start = text[at..].find("\r\n\r\n").unwrap() + at + 4;
+        let body_end = text[body_start..]
+            .find("HTTP/1.1 ")
+            .map(|i| body_start + i)
+            .unwrap_or(text.len());
+        let value = json_of(text[body_start..body_end].trim());
+        let error = value.get("error").expect("structured error body");
+        assert_eq!(
+            error.get("kind").and_then(JsonValue::as_str),
+            Some("overloaded")
+        );
+        assert_eq!(error.get("status").and_then(JsonValue::as_f64), Some(503.0));
+        // Responses still serialize in request order: the accepted
+        // first request's narration precedes everything else.
+        let first_body = text.find("shed0").expect("first request narrated");
+        assert!(first_body < body_start, "{text}");
+        server.shutdown().unwrap();
+    }
+}
+
 /// Acceptance: a cache-enabled service over real sockets — a repeated
 /// plan reports a cache hit in `/stats`, `?nocache=1` bypasses,
 /// `POST /cache/clear` empties, and every response body is identical.
