@@ -1,0 +1,263 @@
+//! Consistent-hash ring with virtual nodes over the 128-bit plan
+//! fingerprint space.
+//!
+//! Every replica is hashed onto the ring at `virtual_nodes` points
+//! (domain-separated [`Hasher128`] over the replica's name and the
+//! vnode index); a key routes to the owner of the first ring point at
+//! or after it, wrapping at the top. The properties a serving tier
+//! leans on:
+//!
+//! * **Determinism** — two rings built from the same node list are
+//!   identical, so any coordinator (or test) reconstructs the same
+//!   routing table from configuration alone.
+//! * **Minimal disruption** — removing a node only remaps the keys it
+//!   owned (each range falls to its ring successor); adding one back
+//!   restores the original routing exactly. With V vnodes over N
+//!   nodes, a single join/leave moves ~1/N of the keyspace.
+//! * **Failover order** — [`HashRing::successors`] yields the owner
+//!   first, then each distinct next node in ring order: the retry
+//!   sequence that keeps a dead node's keys concentrated on one
+//!   successor (warming one cache, not all of them).
+
+use lantern_cache::Hasher128;
+
+/// Domain tag for ring point hashing — bump the suffix if the point
+/// derivation ever changes, so mixed-version coordinators can't
+/// silently disagree about ownership.
+const RING_DOMAIN: &str = "lantern/ring/v1";
+
+/// A consistent-hash ring mapping `u128` keys to node indices.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Node names, in the order given at construction; ring results
+    /// are indices into this list.
+    nodes: Vec<String>,
+    /// `(point, node index)` sorted by point.
+    points: Vec<(u128, usize)>,
+    virtual_nodes: usize,
+}
+
+impl HashRing {
+    /// Build a ring over `nodes` with `virtual_nodes` points each
+    /// (clamped to at least 1). Node names must be distinct — equal
+    /// names would hash to identical points and shadow each other.
+    pub fn new<S: AsRef<str>>(nodes: &[S], virtual_nodes: usize) -> HashRing {
+        let virtual_nodes = virtual_nodes.max(1);
+        let nodes: Vec<String> = nodes.iter().map(|n| n.as_ref().to_string()).collect();
+        let mut points = Vec::with_capacity(nodes.len() * virtual_nodes);
+        for (index, name) in nodes.iter().enumerate() {
+            for vnode in 0..virtual_nodes {
+                points.push((ring_point(name, vnode), index));
+            }
+        }
+        // Sort by point; a (vanishingly unlikely) point collision
+        // between two nodes resolves by node order, deterministically.
+        points.sort_unstable();
+        HashRing {
+            nodes,
+            points,
+            virtual_nodes,
+        }
+    }
+
+    /// Node names, in construction order.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of nodes on the ring.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Virtual nodes per node.
+    pub fn virtual_nodes(&self) -> usize {
+        self.virtual_nodes
+    }
+
+    /// The node index owning `key`: the first ring point at or after
+    /// it, wrapping around the top of the space. `None` on an empty
+    /// ring.
+    pub fn route(&self, key: u128) -> Option<usize> {
+        let points = &self.points;
+        if points.is_empty() {
+            return None;
+        }
+        let key = spread(key);
+        let at = points.partition_point(|(point, _)| *point < key);
+        Some(points[at % points.len()].1)
+    }
+
+    /// The owner of `key` followed by every other node, each appearing
+    /// once, in ring order from the key. Element 0 is
+    /// [`HashRing::route`]; element 1 is where the keys fail over if
+    /// the owner dies.
+    pub fn successors(&self, key: u128) -> Vec<usize> {
+        let points = &self.points;
+        let mut order = Vec::with_capacity(self.nodes.len());
+        if points.is_empty() {
+            return order;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let key = spread(key);
+        let start = points.partition_point(|(point, _)| *point < key);
+        for offset in 0..points.len() {
+            let (_, node) = points[(start + offset) % points.len()];
+            if !seen[node] {
+                seen[node] = true;
+                order.push(node);
+                if order.len() == self.nodes.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+/// The ring point for one virtual node.
+fn ring_point(name: &str, vnode: usize) -> u128 {
+    let mut h = Hasher128::new(RING_DOMAIN);
+    h.write_str(name);
+    h.write_u64(vnode as u64);
+    spread(h.finish().0)
+}
+
+/// Finalizer spreading values across the full `u128` space. FNV-1a
+/// mixes too weakly over short inputs (a name plus a vnode counter, or
+/// a small plan's fingerprint) for ring arithmetic: raw digests cluster,
+/// and clustered points make some nodes own far more arc than others.
+/// Both ring points and lookup keys pass through this, so placement
+/// stays deterministic while ownership arcs come out near-uniform.
+fn spread(x: u128) -> u128 {
+    // murmur3's 64-bit finalizer on each half, cross-feeding the low
+    // half into the high so the halves can't stay correlated.
+    fn fmix64(mut x: u64) -> u64 {
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        x ^= x >> 33;
+        x
+    }
+    let lo = fmix64(x as u64);
+    let hi = fmix64((x >> 64) as u64 ^ lo);
+    ((hi as u128) << 64) | (lo as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_keys(count: usize) -> Vec<u128> {
+        // A cheap deterministic key stream spread over the space: the
+        // same hasher the ring itself uses, different domain.
+        (0..count)
+            .map(|i| {
+                let mut h = Hasher128::new("lantern/ring-test-keys");
+                h.write_u64(i as u64);
+                h.finish().0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routes_are_deterministic_across_independent_builds() {
+        let names = ["10.0.0.1:9001", "10.0.0.2:9001", "10.0.0.3:9001"];
+        let a = HashRing::new(&names, 64);
+        let b = HashRing::new(&names, 64);
+        for key in sample_keys(500) {
+            assert_eq!(a.route(key), b.route(key));
+            assert_eq!(a.successors(key), b.successors(key));
+        }
+    }
+
+    #[test]
+    fn single_node_leave_remaps_only_that_nodes_keys_to_its_successor() {
+        let names = ["a", "b", "c"];
+        let full = HashRing::new(&names, 64);
+        // The shrunken ring keeps the surviving nodes under their
+        // original indices (drop "b" == index 1).
+        let survivors = ["a", "c"];
+        let reduced = HashRing::new(&survivors, 64);
+        // Map a full-ring index (a=0, c=2) to its reduced-ring index.
+        let reindex = |i: usize| match i {
+            0 => 0usize, // a
+            2 => 1usize, // c
+            _ => unreachable!(),
+        };
+        for key in sample_keys(2000) {
+            let before = full.route(key).unwrap();
+            let after = reduced.route(key).unwrap();
+            if before == 1 {
+                // b's keys fall to b's ring successor for that key.
+                let successor = *full
+                    .successors(key)
+                    .iter()
+                    .find(|&&n| n != 1)
+                    .expect("two survivors");
+                assert_eq!(after, reindex(successor), "key {key:#034x}");
+            } else {
+                // Everyone else's keys must not move at all.
+                let expected = match before {
+                    0 => 0, // a stays a
+                    2 => 1, // c is index 1 in the reduced ring
+                    _ => unreachable!(),
+                };
+                assert_eq!(after, expected, "key {key:#034x} moved needlessly");
+            }
+        }
+    }
+
+    #[test]
+    fn load_spreads_roughly_evenly_with_enough_vnodes() {
+        let names = ["a", "b", "c", "d"];
+        let ring = HashRing::new(&names, 128);
+        let mut counts = [0usize; 4];
+        let keys = sample_keys(8000);
+        for key in &keys {
+            counts[ring.route(*key).unwrap()] += 1;
+        }
+        let expected = keys.len() / names.len();
+        for (node, count) in counts.iter().enumerate() {
+            assert!(
+                (*count as f64) > expected as f64 * 0.5 && (*count as f64) < expected as f64 * 1.5,
+                "node {node} owns {count} of {} keys (expected ~{expected})",
+                keys.len()
+            );
+        }
+    }
+
+    #[test]
+    fn successors_cover_every_node_once_owner_first() {
+        let ring = HashRing::new(&["a", "b", "c"], 16);
+        for key in sample_keys(200) {
+            let order = ring.successors(key);
+            assert_eq!(order.len(), 3);
+            assert_eq!(order[0], ring.route(key).unwrap());
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_node_rings() {
+        let empty: [&str; 0] = [];
+        let ring = HashRing::new(&empty, 8);
+        assert!(ring.is_empty());
+        assert_eq!(ring.route(42), None);
+        assert!(ring.successors(42).is_empty());
+
+        let solo = HashRing::new(&["only"], 8);
+        for key in sample_keys(50) {
+            assert_eq!(solo.route(key), Some(0));
+            assert_eq!(solo.successors(key), vec![0]);
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Socket-level coordinator tests: stats aggregation across replicas
+//! (including a dead one), catalog broadcast with cache-key rollover,
+//! and a lagging replica catching up from the statement log after a
+//! restart.
+
+use lantern_cache::{CacheConfig, CachedTranslator};
+use lantern_cluster::{serve_cluster, ClusterConfig, ClusterHandle};
+use lantern_core::RuleTranslator;
+use lantern_pool::{default_pg_store, PoemStore};
+use lantern_serve::{
+    reusable_listener, serve_on_listener, CatalogApplied, CatalogApplyError, CatalogControl,
+    HttpClient, ServeConfig, ServerHandle,
+};
+use lantern_text::json::JsonValue;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Replica-side catalog surface over a fresh store: mirrors the
+/// workspace facade's semantics (gap check, idempotent skip, failing
+/// statements consume their sequence number).
+struct TestCatalog {
+    store: PoemStore,
+    seq: AtomicU64,
+    lock: Mutex<()>,
+}
+
+impl TestCatalog {
+    fn new(store: PoemStore) -> Self {
+        TestCatalog {
+            store,
+            seq: AtomicU64::new(0),
+            lock: Mutex::new(()),
+        }
+    }
+}
+
+impl CatalogControl for TestCatalog {
+    fn catalog_version(&self) -> u64 {
+        self.store.version()
+    }
+
+    fn catalog_seq(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    fn catalog_apply(
+        &self,
+        from_seq: u64,
+        statements: &[String],
+    ) -> Result<CatalogApplied, CatalogApplyError> {
+        let _guard = self.lock.lock().unwrap_or_else(|p| p.into_inner());
+        let mut seq = self.seq.load(Ordering::SeqCst);
+        if from_seq > seq + 1 {
+            return Err(CatalogApplyError::SequenceGap {
+                expected: seq + 1,
+                got: from_seq,
+            });
+        }
+        let mut applied = 0u64;
+        let mut skipped = 0u64;
+        let mut errors = Vec::new();
+        for (offset, statement) in statements.iter().enumerate() {
+            let statement_seq = from_seq + offset as u64;
+            if statement_seq <= seq {
+                skipped += 1;
+                continue;
+            }
+            if let Err(e) = lantern_pool::execute(statement, &self.store) {
+                errors.push(format!("seq {statement_seq}: {e}"));
+            }
+            seq = statement_seq;
+            applied += 1;
+        }
+        self.seq.store(seq, Ordering::SeqCst);
+        Ok(CatalogApplied {
+            applied,
+            skipped,
+            applied_seq: seq,
+            version: self.store.version(),
+            errors,
+        })
+    }
+}
+
+/// One booted replica: cached rule translator over its own store, cache
+/// generation keyed on the store version so catalog mutations roll every
+/// cache key at once.
+fn boot_replica_on(listener: std::net::TcpListener) -> ServerHandle {
+    let store = default_pg_store();
+    let generation_store = store.clone();
+    let cached = Arc::new(
+        CachedTranslator::new(
+            RuleTranslator::new(store.clone()),
+            CacheConfig {
+                max_entries: 512,
+                ..CacheConfig::default()
+            },
+        )
+        .with_generation(move || generation_store.version()),
+    );
+    let catalog = Arc::new(TestCatalog::new(store));
+    serve_on_listener(
+        Arc::clone(&cached),
+        Some(cached),
+        None,
+        Some(catalog),
+        listener,
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("replica boots")
+}
+
+fn boot_replica() -> ServerHandle {
+    boot_replica_on(std::net::TcpListener::bind("127.0.0.1:0").expect("bind"))
+}
+
+fn boot_coordinator(replicas: Vec<SocketAddr>) -> ClusterHandle {
+    serve_cluster(
+        ClusterConfig {
+            replicas,
+            workers: 2,
+            connect_timeout: Duration::from_millis(250),
+            read_timeout: Duration::from_millis(2000),
+            retry_backoff: Duration::from_millis(5),
+            probe_interval: Duration::from_millis(50),
+            ..ClusterConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("coordinator boots")
+}
+
+fn plan_doc(relation: &str) -> String {
+    format!(r#"{{"Plan": {{"Node Type": "Seq Scan", "Relation Name": "{relation}"}}}}"#)
+}
+
+fn get_json(client: &mut HttpClient, path: &str) -> JsonValue {
+    let resp = client.get(path).expect("GET");
+    assert_eq!(resp.status, 200, "{path}: {}", resp.body);
+    resp.json().expect("JSON body")
+}
+
+fn num(value: &JsonValue, key: &str) -> f64 {
+    value
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric {key} in {}", value.to_string_compact()))
+}
+
+fn cache_counters(stats: &JsonValue) -> (f64, f64) {
+    let cache = stats.get("cache").expect("aggregated cache section");
+    (num(cache, "hits"), num(cache, "misses"))
+}
+
+/// Wait until `check` passes or the deadline hits (probe loops and
+/// replays are asynchronous).
+fn wait_for(what: &str, mut check: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if check() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+#[test]
+fn stats_aggregate_sums_replicas_and_reports_a_dead_one_without_erroring() {
+    let mut replicas: Vec<ServerHandle> = (0..3).map(|_| boot_replica()).collect();
+    let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr()).collect();
+    let coordinator = boot_coordinator(addrs.clone());
+    let mut client = HttpClient::connect(coordinator.addr()).expect("connect");
+
+    // Duplicate-heavy traffic: 8 distinct plans, 4 passes.
+    let docs: Vec<String> = (0..8).map(|i| plan_doc(&format!("table_{i}"))).collect();
+    for _ in 0..4 {
+        for doc in &docs {
+            let resp = client.post("/narrate", doc).expect("narrate");
+            assert_eq!(resp.status, 200, "{}", resp.body);
+        }
+    }
+
+    let stats = get_json(&mut client, "/stats");
+    // Replica counters sum at the top level: 32 narrations total.
+    assert_eq!(num(&stats, "narrate_requests"), 32.0);
+    // Queue/shed gauges aggregate too (zero here, but present — the
+    // soak tooling reads them off the coordinator exactly like off a
+    // single node).
+    assert_eq!(num(&stats, "shed_requests"), 0.0);
+    assert!(stats.get("queue_depth").is_some(), "queue_depth missing");
+    assert!(
+        stats.get("uptime_ms").is_none(),
+        "uptimes must not be summed across replicas"
+    );
+    // Shard affinity: every duplicate hit its owner's warm cache, so
+    // the aggregate sees 8 misses and 24 hits.
+    let (hits, misses) = cache_counters(&stats);
+    assert_eq!(misses, 8.0);
+    assert_eq!(hits, 24.0);
+    // Per-replica breakdown covers every configured replica.
+    let breakdown = stats.get("replicas").and_then(|r| r.as_array()).unwrap();
+    assert_eq!(breakdown.len(), 3);
+    assert!(breakdown
+        .iter()
+        .all(|r| r.get("healthy").and_then(JsonValue::as_bool) == Some(true)));
+
+    // Kill one replica: /stats must stay 200, with the dead replica
+    // reported (not silently dropped, not an error).
+    let victim_addr = addrs[0].to_string();
+    replicas.remove(0).shutdown().unwrap();
+    let stats = get_json(&mut client, "/stats");
+    let breakdown = stats.get("replicas").and_then(|r| r.as_array()).unwrap();
+    assert_eq!(breakdown.len(), 3);
+    let dead: Vec<&JsonValue> = breakdown
+        .iter()
+        .filter(|r| r.get("healthy").and_then(JsonValue::as_bool) == Some(false))
+        .collect();
+    assert_eq!(dead.len(), 1, "{}", stats.to_string_compact());
+    assert_eq!(
+        dead[0].get("addr").and_then(JsonValue::as_str),
+        Some(victim_addr.as_str())
+    );
+    // The survivors' counters still aggregate.
+    assert!(num(&stats, "narrate_requests") > 0.0);
+
+    coordinator.shutdown().unwrap();
+    for replica in replicas {
+        replica.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn batch_splits_across_shards_and_stitches_in_order() {
+    let replicas: Vec<ServerHandle> = (0..3).map(|_| boot_replica()).collect();
+    let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr()).collect();
+    let coordinator = boot_coordinator(addrs);
+    let mut client = HttpClient::connect(coordinator.addr()).expect("connect");
+
+    // Enough distinct plans to hit all three shards, plus a non-string
+    // entry and an unparseable document mixed in at known positions.
+    let mut items: Vec<JsonValue> = (0..12)
+        .map(|i| JsonValue::String(plan_doc(&format!("batch_{i}"))))
+        .collect();
+    items.insert(3, JsonValue::Number(7.0));
+    items.insert(9, JsonValue::String("not a plan at all".to_string()));
+    let body = JsonValue::Array(items.clone()).to_string_compact();
+
+    let resp = client.post("/narrate/batch", &body).expect("batch");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let out = resp.json().expect("json");
+    let out = out.as_array().expect("array response");
+    assert_eq!(out.len(), items.len(), "stitched length");
+    for (i, item) in out.iter().enumerate() {
+        let is_error = item.get("error").is_some();
+        match i {
+            3 | 9 => assert!(is_error, "entry {i} should fail: {item:?}"),
+            _ => {
+                assert!(!is_error, "entry {i} should narrate: {item:?}");
+                let text = item.get("text").and_then(JsonValue::as_str).unwrap();
+                assert!(!text.is_empty());
+            }
+        }
+    }
+
+    // The same batch again answers from warm shard caches: aggregate
+    // hits grow by the number of valid entries.
+    let before = get_json(&mut client, "/stats");
+    let resp = client.post("/narrate/batch", &body).expect("batch");
+    assert_eq!(resp.status, 200);
+    let after = get_json(&mut client, "/stats");
+    let (hits_before, _) = cache_counters(&before);
+    let (hits_after, misses_after) = cache_counters(&after);
+    assert_eq!(hits_after - hits_before, 12.0);
+    let (_, misses_before) = cache_counters(&before);
+    assert_eq!(misses_after, misses_before, "repeat batch added no misses");
+
+    coordinator.shutdown().unwrap();
+    for replica in replicas {
+        replica.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn catalog_mutation_broadcasts_rolls_cache_keys_and_changes_narration() {
+    let replicas: Vec<ServerHandle> = (0..3).map(|_| boot_replica()).collect();
+    let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr()).collect();
+    let coordinator = boot_coordinator(addrs);
+    let mut client = HttpClient::connect(coordinator.addr()).expect("connect");
+
+    // Warm the owning shard's cache for one plan.
+    let doc = plan_doc("orders");
+    for _ in 0..2 {
+        let resp = client.post("/narrate", &doc).expect("narrate");
+        assert_eq!(resp.status, 200);
+    }
+    let warm = get_json(&mut client, "/stats");
+    let (warm_hits, warm_misses) = cache_counters(&warm);
+    assert_eq!((warm_hits, warm_misses), (1.0, 1.0));
+
+    // A statement that won't parse is refused locally — nothing
+    // reaches the log or the replicas.
+    let resp = client
+        .post("/catalog/apply", "FROBNICATE EVERYTHING")
+        .expect("apply");
+    assert_eq!(resp.status, 400, "{}", resp.body);
+
+    // Mutate the seqscan wording through the coordinator.
+    let resp = client
+        .post(
+            "/catalog/apply",
+            "UPDATE pg SET desc = 'carefully walk table' WHERE name = 'seqscan'",
+        )
+        .expect("apply");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let ack = resp.json().expect("json");
+    assert_eq!(num(&ack, "seq"), 1.0);
+    let legs = ack.get("replicas").and_then(|r| r.as_array()).unwrap();
+    assert_eq!(legs.len(), 3);
+    for leg in legs {
+        assert_eq!(
+            leg.get("status").and_then(JsonValue::as_str),
+            Some("applied")
+        );
+        assert_eq!(num(leg, "applied_seq"), 1.0);
+    }
+    // Every replica converged on the same catalog version.
+    let versions: Vec<f64> = legs.iter().map(|l| num(l, "version")).collect();
+    assert!(versions.windows(2).all(|w| w[0] == w[1]), "{versions:?}");
+
+    // The store version rolled, so the warmed key is stale: first
+    // narration after the mutation is a cold miss with the *new*
+    // wording, the second is a warm hit.
+    let resp = client.post("/narrate", &doc).expect("narrate");
+    assert_eq!(resp.status, 200);
+    let narration = resp.json().expect("json");
+    let text = narration.get("text").and_then(JsonValue::as_str).unwrap();
+    assert!(text.contains("carefully walk table"), "{text}");
+    let cold = get_json(&mut client, "/stats");
+    let (cold_hits, cold_misses) = cache_counters(&cold);
+    assert_eq!((cold_hits, cold_misses), (warm_hits, warm_misses + 1.0));
+
+    let resp = client.post("/narrate", &doc).expect("narrate");
+    assert_eq!(resp.status, 200);
+    let rewarmed = get_json(&mut client, "/stats");
+    let (rewarm_hits, rewarm_misses) = cache_counters(&rewarmed);
+    assert_eq!((rewarm_hits, rewarm_misses), (cold_hits + 1.0, cold_misses));
+
+    coordinator.shutdown().unwrap();
+    for replica in replicas {
+        replica.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn lagging_replica_catches_up_from_the_log_after_restart() {
+    let mut replicas: Vec<ServerHandle> = (0..3).map(|_| boot_replica()).collect();
+    let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr()).collect();
+    let coordinator = boot_coordinator(addrs.clone());
+    let mut client = HttpClient::connect(coordinator.addr()).expect("connect");
+
+    // Kill replica 2, then mutate while it is down: the broadcast can
+    // only reach two replicas.
+    let victim_addr = addrs[2];
+    replicas.pop().unwrap().shutdown().unwrap();
+    let resp = client
+        .post(
+            "/catalog/apply",
+            "UPDATE pg SET desc = 'walk rows in order' WHERE name = 'seqscan'",
+        )
+        .expect("apply");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let ack = resp.json().expect("json");
+    let applied = ack
+        .get("replicas")
+        .and_then(|r| r.as_array())
+        .unwrap()
+        .iter()
+        .filter(|l| l.get("status").and_then(JsonValue::as_str) == Some("applied"))
+        .count();
+    assert_eq!(applied, 2, "{}", resp.body);
+
+    let resp = client
+        .post(
+            "/catalog/apply",
+            "UPDATE pg SET defn = 'full scan reads all rows' WHERE name = 'seqscan'",
+        )
+        .expect("apply");
+    assert_eq!(resp.status, 200);
+
+    // Restart the victim on the same address with a *fresh* store —
+    // an empty log position. The probe loop must notice it is behind
+    // and replay both missed statements.
+    let listener = reusable_listener(victim_addr).expect("rebind victim address");
+    let revived = boot_replica_on(listener);
+    wait_for("replayed catalog on the revived replica", || {
+        let catalog = get_json(&mut client, "/catalog");
+        let entries = catalog.get("replicas").and_then(|r| r.as_array()).unwrap();
+        entries.iter().all(|e| {
+            e.get("applied_seq").and_then(JsonValue::as_f64) == Some(2.0)
+                && e.get("healthy").and_then(JsonValue::as_bool) == Some(true)
+        })
+    });
+
+    // Direct check against the revived replica: it reports the full
+    // sequence even though it never saw the original broadcasts.
+    let mut direct = HttpClient::connect(victim_addr).expect("connect revived");
+    let catalog = get_json(&mut direct, "/catalog");
+    assert_eq!(num(&catalog, "applied_seq"), 2.0);
+
+    coordinator.shutdown().unwrap();
+    revived.shutdown().unwrap();
+    for replica in replicas {
+        replica.shutdown().unwrap();
+    }
+}

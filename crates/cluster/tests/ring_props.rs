@@ -1,0 +1,142 @@
+//! Property tests for the consistent-hash ring: the stability contracts
+//! the coordinator's shard affinity is built on, checked across random
+//! cluster sizes and membership changes rather than one hand-picked
+//! topology.
+
+use lantern_cache::Hasher128;
+use lantern_cluster::HashRing;
+use proptest::prelude::*;
+
+const VNODES: usize = 64;
+
+fn node_names(count: usize) -> Vec<String> {
+    (0..count)
+        .map(|i| format!("10.0.0.{}:9{:03}", i + 1, i))
+        .collect()
+}
+
+/// Deterministic key stream spread over the u128 space.
+fn sample_keys(seed: u64, count: usize) -> Vec<u128> {
+    (0..count)
+        .map(|i| {
+            let mut h = Hasher128::new("lantern/ring-prop-keys");
+            h.write_u64(seed);
+            h.write_u64(i as u64);
+            h.finish().0
+        })
+        .collect()
+}
+
+/// Owner *name* for a key — names survive membership changes, indices
+/// don't.
+fn owner(ring: &HashRing, key: u128) -> &str {
+    &ring.nodes()[ring.route(key).expect("non-empty ring")]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Two coordinators configured with the same replica list build
+    /// byte-identical routing tables: every key routes the same, and
+    /// fails over the same.
+    #[test]
+    fn independent_builds_route_identically(
+        raw_nodes in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let count = 1 + (raw_nodes as usize) % 8;
+        let names = node_names(count);
+        let a = HashRing::new(&names, VNODES);
+        let b = HashRing::new(&names, VNODES);
+        for key in sample_keys(seed, 256) {
+            prop_assert_eq!(a.route(key), b.route(key));
+            prop_assert_eq!(a.successors(key), b.successors(key));
+        }
+    }
+
+    /// Removing one node moves exactly that node's keys (everyone
+    /// else's stay put), and the moved share is on the order of 1/N —
+    /// not a rehash-everything event.
+    #[test]
+    fn leave_moves_only_the_left_nodes_keys(
+        raw_nodes in any::<u8>(),
+        raw_victim in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let count = 2 + (raw_nodes as usize) % 7; // 2..=8 nodes
+        let names = node_names(count);
+        let victim = (raw_victim as usize) % count;
+        let survivors: Vec<String> = names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != victim)
+            .map(|(_, n)| n.clone())
+            .collect();
+        let full = HashRing::new(&names, VNODES);
+        let reduced = HashRing::new(&survivors, VNODES);
+
+        let keys = sample_keys(seed, 2000);
+        let mut moved = 0usize;
+        for &key in &keys {
+            let before = owner(&full, key);
+            let after = owner(&reduced, key);
+            if before == names[victim] {
+                moved += 1;
+                // The stranded keys fall to the ring successor, not to
+                // an arbitrary node: failover order predicts the new
+                // owner exactly.
+                let successor = full
+                    .successors(key)
+                    .into_iter()
+                    .map(|n| full.nodes()[n].as_str())
+                    .find(|n| *n != names[victim])
+                    .expect("at least two nodes");
+                prop_assert_eq!(after, successor);
+            } else {
+                prop_assert_eq!(before, after);
+            }
+        }
+        // The victim owned roughly keys/count of the space; allow wide
+        // slack for vnode placement variance, but rule out any
+        // collapse toward "most keys moved".
+        let fair = keys.len() / count;
+        prop_assert!(
+            moved <= fair * 2 + fair / 2,
+            "{moved} of {} keys moved on one leave from {count} nodes (fair ~{fair})",
+            keys.len()
+        );
+    }
+
+    /// Adding a node only *steals* keys: every key either keeps its
+    /// owner or moves to the new node, and the steal is bounded like a
+    /// 1/(N+1) share.
+    #[test]
+    fn join_steals_bounded_keys_and_disturbs_no_one_else(
+        raw_nodes in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let count = 1 + (raw_nodes as usize) % 7; // 1..=7 before join
+        let names = node_names(count + 1);
+        let (joined, original) = (names[count].clone(), &names[..count]);
+        let before = HashRing::new(original, VNODES);
+        let after = HashRing::new(&names, VNODES);
+
+        let keys = sample_keys(seed, 2000);
+        let mut stolen = 0usize;
+        for &key in &keys {
+            let old = owner(&before, key);
+            let new = owner(&after, key);
+            if new == joined {
+                stolen += 1;
+            } else {
+                prop_assert_eq!(old, new);
+            }
+        }
+        let fair = keys.len() / (count + 1);
+        prop_assert!(
+            stolen <= fair * 2 + fair / 2,
+            "join stole {stolen} of {} keys across {count}+1 nodes (fair ~{fair})",
+            keys.len()
+        );
+    }
+}

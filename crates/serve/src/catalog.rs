@@ -1,0 +1,87 @@
+//! The replica-side catalog surface: how a serving node receives POEM
+//! catalog mutations from a cluster coordinator.
+//!
+//! A coordinator keeps an ordered log of POOL statements (seq `1..=N`)
+//! and pushes suffixes of it to every replica; each replica tracks the
+//! highest sequence number it has applied and ignores replayed
+//! prefixes, so broadcast + reconnect-replay is idempotent and every
+//! replica executes the same statements in the same order. Statement
+//! execution is deterministic, which is what makes "same base store +
+//! same statement order" converge to the same `PoemStore::version()`
+//! on every node — the convergence check clusters assert after a
+//! partition heals.
+//!
+//! The server routes `GET /catalog` and `POST /catalog/apply` only when
+//! booted with an implementation of [`CatalogControl`] (the root
+//! crate's `LanternService` provides one over its `PoemStore`); without
+//! one the paths stay 404, like `/cache/clear` without a cache.
+
+/// Outcome of applying a batch of catalog statements on a replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogApplied {
+    /// Statements newly executed by this call (a statement that parses
+    /// but fails at execution still counts: execution is deterministic,
+    /// so every replica consumes it identically and stays in step).
+    pub applied: u64,
+    /// Statements skipped because their sequence number was already
+    /// applied (replay of an old suffix).
+    pub skipped: u64,
+    /// Highest statement sequence number applied so far.
+    pub applied_seq: u64,
+    /// The store's catalog version after the call.
+    pub version: u64,
+    /// Execution errors hit while applying, in statement order. The
+    /// statements still advanced `applied_seq` (see `applied`).
+    pub errors: Vec<String>,
+}
+
+/// Errors that reject an apply call outright (nothing consumed beyond
+/// `applied_seq`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogApplyError {
+    /// The batch starts past the replica's `applied_seq + 1`: applying
+    /// it would skip statements and silently fork the catalog. The
+    /// caller should re-send from `expected`.
+    SequenceGap {
+        /// The next sequence number this replica can accept.
+        expected: u64,
+        /// The first sequence number the rejected batch carried.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for CatalogApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogApplyError::SequenceGap { expected, got } => write!(
+                f,
+                "catalog sequence gap: next acceptable statement is seq {expected}, batch starts at {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CatalogApplyError {}
+
+/// The catalog admin surface a serving node exposes to a coordinator:
+/// version/sequence introspection plus ordered, idempotent statement
+/// application.
+pub trait CatalogControl {
+    /// The store's current catalog version (bumped by every mutation).
+    fn catalog_version(&self) -> u64;
+
+    /// Highest broadcast sequence number applied so far (`0` on a
+    /// fresh replica).
+    fn catalog_seq(&self) -> u64;
+
+    /// Apply `statements`, where `statements[i]` carries sequence
+    /// number `from_seq + i`. Statements at or below the current
+    /// [`catalog_seq`](CatalogControl::catalog_seq) are skipped;
+    /// a batch starting past `catalog_seq + 1` is rejected with
+    /// [`CatalogApplyError::SequenceGap`].
+    fn catalog_apply(
+        &self,
+        from_seq: u64,
+        statements: &[String],
+    ) -> Result<CatalogApplied, CatalogApplyError>;
+}

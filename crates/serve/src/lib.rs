@@ -63,6 +63,7 @@
 //! (`LanternBuilder::serve(addr)`) and ships a `lantern-serve` binary;
 //! `cargo run --example serve_demo` is a scripted end-to-end tour.
 
+pub mod catalog;
 pub mod client;
 #[cfg(unix)]
 pub(crate) mod event;
@@ -71,11 +72,15 @@ pub mod router;
 pub mod server;
 pub mod soak;
 
-pub use client::{ClientResponse, HttpClient};
+pub use catalog::{CatalogApplied, CatalogApplyError, CatalogControl};
+pub use client::{ClientConfig, ClientError, ClientErrorKind, ClientResponse, HttpClient};
 pub use http::{Request, Response};
 pub use lantern_cache::{CacheControl, CacheStatsSnapshot};
 pub use router::{error_body, Router};
 pub use server::{
-    serve, serve_with_cache, serve_with_parts, ServeConfig, ServeStats, ServerHandle, StatsSnapshot,
+    reusable_listener, serve, serve_node, serve_on_listener, serve_with_cache, serve_with_parts,
+    ServeConfig, ServeStats, ServerHandle, StatsSnapshot,
 };
-pub use soak::{run_soak, CacheDelta, LatencySummary, ServerDelta, SoakConfig, SoakReport};
+pub use soak::{
+    run_soak, run_soak_multi, CacheDelta, LatencySummary, ServerDelta, SoakConfig, SoakReport,
+};

@@ -11,6 +11,7 @@
 //!   "status": N}}` with the status code duplicated in the HTTP
 //!   status line, mapped through [`LanternError::http_status`].
 
+use crate::catalog::{CatalogApplyError, CatalogControl};
 use crate::http::{Request, Response};
 use crate::server::ServeStats;
 use lantern_cache::{CacheControl, CacheStatsSnapshot};
@@ -83,6 +84,7 @@ pub struct Router<T> {
     stats: std::sync::Arc<ServeStats>,
     cache: Option<Arc<dyn CacheControl + Send + Sync>>,
     diff: Option<Arc<dyn DiffTranslator + Send + Sync>>,
+    catalog: Option<Arc<dyn CatalogControl + Send + Sync>>,
 }
 
 /// Decrements the in-flight gauge when the handler returns (or
@@ -122,11 +124,26 @@ impl<T: Translator> Router<T> {
         cache: Option<Arc<dyn CacheControl + Send + Sync>>,
         diff: Option<Arc<dyn DiffTranslator + Send + Sync>>,
     ) -> Self {
+        Self::with_catalog(translator, stats, cache, diff, None)
+    }
+
+    /// [`Router::with_parts`], plus an optional catalog admin surface
+    /// (routing `GET /catalog` and `POST /catalog/apply` when present)
+    /// so a cluster coordinator can replicate POEM mutations to this
+    /// node.
+    pub fn with_catalog(
+        translator: T,
+        stats: std::sync::Arc<ServeStats>,
+        cache: Option<Arc<dyn CacheControl + Send + Sync>>,
+        diff: Option<Arc<dyn DiffTranslator + Send + Sync>>,
+        catalog: Option<Arc<dyn CatalogControl + Send + Sync>>,
+    ) -> Self {
         Router {
             translator,
             stats,
             cache,
             diff,
+            catalog,
         }
     }
 
@@ -153,6 +170,17 @@ impl<T: Translator> Router<T> {
             ),
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/stats") => self.stats(),
+            ("GET", "/catalog") if self.catalog.is_some() => self.catalog_info(),
+            ("POST", "/catalog/apply") if self.catalog.is_some() => self.catalog_apply(req),
+            (_, "/catalog" | "/catalog/apply") if self.catalog.is_some() => Response::json(
+                405,
+                error_body_raw(
+                    "http",
+                    &format!("method {} not allowed on {}", req.method, req.path),
+                    405,
+                )
+                .to_string_compact(),
+            ),
             ("POST", "/cache/clear") if self.cache.is_some() => self.cache_clear(),
             (_, "/cache/clear") if self.cache.is_some() => Response::json(
                 405,
@@ -583,6 +611,102 @@ impl<T: Translator> Router<T> {
             JsonValue::Number(cache.clear_cache() as f64),
         );
         Response::json(200, JsonValue::Object(obj).to_string_compact())
+    }
+
+    /// `GET /catalog` — the node's catalog version and the highest
+    /// broadcast sequence number applied. Doubles as the coordinator's
+    /// health + lag probe. Only routed with a catalog surface.
+    fn catalog_info(&self) -> Response {
+        let catalog = self.catalog.as_ref().expect("routed only with a catalog");
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "version".to_string(),
+            JsonValue::Number(catalog.catalog_version() as f64),
+        );
+        obj.insert(
+            "applied_seq".to_string(),
+            JsonValue::Number(catalog.catalog_seq() as f64),
+        );
+        Response::json(200, JsonValue::Object(obj).to_string_compact())
+    }
+
+    /// `POST /catalog/apply` — body
+    /// `{"from_seq": N, "statements": ["<POOL statement>", ...]}` where
+    /// `statements[i]` carries sequence number `N + i`. Already-applied
+    /// sequence numbers are skipped (idempotent replay); a batch that
+    /// would skip ahead of this node's `applied_seq + 1` is rejected
+    /// with `409` so the sender replays the missing prefix first.
+    fn catalog_apply(&self, req: &Request) -> Response {
+        let catalog = self.catalog.as_ref().expect("routed only with a catalog");
+        let parse_err = |message: &str| {
+            Response::json(
+                400,
+                error_body_raw("parse", message, 400).to_string_compact(),
+            )
+        };
+        let Some(body) = req.body_utf8() else {
+            return parse_err("request body is not valid UTF-8");
+        };
+        let envelope = match JsonValue::parse(body) {
+            Ok(value) => value,
+            Err(e) => return parse_err(&format!("catalog body is not JSON: {e}")),
+        };
+        let Some(from_seq) = envelope.get("from_seq").and_then(JsonValue::as_f64) else {
+            return parse_err("catalog body must carry a numeric \"from_seq\"");
+        };
+        let statements: Vec<String> = match envelope.get("statements") {
+            Some(JsonValue::Array(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    match item.as_str() {
+                        Some(stmt) => out.push(stmt.to_string()),
+                        None => {
+                            return parse_err(
+                                "\"statements\" entries must be POOL statement strings",
+                            )
+                        }
+                    }
+                }
+                out
+            }
+            _ => return parse_err("catalog body must carry a \"statements\" array"),
+        };
+        match catalog.catalog_apply(from_seq as u64, &statements) {
+            Ok(applied) => {
+                let mut obj = BTreeMap::new();
+                obj.insert(
+                    "applied".to_string(),
+                    JsonValue::Number(applied.applied as f64),
+                );
+                obj.insert(
+                    "skipped".to_string(),
+                    JsonValue::Number(applied.skipped as f64),
+                );
+                obj.insert(
+                    "applied_seq".to_string(),
+                    JsonValue::Number(applied.applied_seq as f64),
+                );
+                obj.insert(
+                    "version".to_string(),
+                    JsonValue::Number(applied.version as f64),
+                );
+                obj.insert(
+                    "errors".to_string(),
+                    JsonValue::Array(
+                        applied
+                            .errors
+                            .iter()
+                            .map(|e| JsonValue::String(e.clone()))
+                            .collect(),
+                    ),
+                );
+                Response::json(200, JsonValue::Object(obj).to_string_compact())
+            }
+            Err(err @ CatalogApplyError::SequenceGap { .. }) => Response::json(
+                409,
+                error_body_raw("catalog", &err.to_string(), 409).to_string_compact(),
+            ),
+        }
     }
 }
 

@@ -416,15 +416,54 @@ pub fn serve_with_parts<T>(
 where
     T: Translator + Send + Sync + 'static,
 {
+    serve_node(translator, cache, diff, None, addr, config)
+}
+
+/// [`serve_with_parts`], plus an optional catalog admin surface. With
+/// `catalog` present the router additionally routes `GET /catalog` and
+/// `POST /catalog/apply`, which is what lets a cluster coordinator
+/// replicate POEM catalog mutations to this node and probe its
+/// version/lag.
+pub fn serve_node<T>(
+    translator: T,
+    cache: Option<Arc<dyn lantern_cache::CacheControl + Send + Sync>>,
+    diff: Option<Arc<dyn lantern_core::DiffTranslator + Send + Sync>>,
+    catalog: Option<Arc<dyn crate::catalog::CatalogControl + Send + Sync>>,
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+) -> io::Result<ServerHandle>
+where
+    T: Translator + Send + Sync + 'static,
+{
     let listener = TcpListener::bind(addr)?;
+    serve_on_listener(translator, cache, diff, catalog, listener, config)
+}
+
+/// [`serve_node`] over a listener the caller already bound. This is
+/// the restart path: rebinding a just-vacated port usually trips over
+/// connections lingering in `TIME_WAIT`, so a replica that must come
+/// back on the *same* address binds through [`reusable_listener`]
+/// (`SO_REUSEADDR`) and hands the listener in here.
+pub fn serve_on_listener<T>(
+    translator: T,
+    cache: Option<Arc<dyn lantern_cache::CacheControl + Send + Sync>>,
+    diff: Option<Arc<dyn lantern_core::DiffTranslator + Send + Sync>>,
+    catalog: Option<Arc<dyn crate::catalog::CatalogControl + Send + Sync>>,
+    listener: TcpListener,
+    config: ServeConfig,
+) -> io::Result<ServerHandle>
+where
+    T: Translator + Send + Sync + 'static,
+{
     let local_addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServeStats::new());
-    let router = Arc::new(Router::with_parts(
+    let router = Arc::new(Router::with_catalog(
         translator,
         Arc::clone(&stats),
         cache,
         diff,
+        catalog,
     ));
 
     #[cfg(unix)]
@@ -562,6 +601,91 @@ fn handle_connection<T: Translator>(
     }
 }
 
+/// Bind a listener with `SO_REUSEADDR`, so an address whose previous
+/// occupant just shut down (leaving accepted connections in
+/// `TIME_WAIT`) can be re-bound immediately. Restarting a replica on
+/// its original port — the cluster fault harness does this constantly —
+/// fails sporadically with `EADDRINUSE` through a plain
+/// [`TcpListener::bind`].
+///
+/// On Linux this goes through a raw socket so the option can be set
+/// before `bind(2)`; elsewhere (std exposes no `setsockopt`) it falls
+/// back to a plain bind, which is only a liability on the restart path.
+/// IPv4 only on the raw path; IPv6 addresses take the fallback.
+pub fn reusable_listener(addr: SocketAddr) -> io::Result<TcpListener> {
+    #[cfg(target_os = "linux")]
+    if let SocketAddr::V4(v4) = addr {
+        use std::os::fd::FromRawFd;
+        use std::os::raw::{c_int, c_void};
+
+        const AF_INET: c_int = 2;
+        const SOCK_STREAM: c_int = 1;
+        const SOCK_CLOEXEC: c_int = 0o2000000;
+        const SOL_SOCKET: c_int = 1;
+        const SO_REUSEADDR: c_int = 2;
+
+        #[repr(C)]
+        struct SockAddrIn {
+            sin_family: u16,
+            sin_port: u16,
+            sin_addr: u32,
+            sin_zero: [u8; 8],
+        }
+
+        extern "C" {
+            fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+            fn setsockopt(
+                fd: c_int,
+                level: c_int,
+                name: c_int,
+                value: *const c_void,
+                len: u32,
+            ) -> c_int;
+            fn bind(fd: c_int, addr: *const SockAddrIn, len: u32) -> c_int;
+            fn listen(fd: c_int, backlog: c_int) -> c_int;
+            fn close(fd: c_int) -> c_int;
+        }
+
+        let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fail = |fd: c_int| -> io::Error {
+            let err = io::Error::last_os_error();
+            unsafe { close(fd) };
+            err
+        };
+        let one: c_int = 1;
+        let rc = unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_REUSEADDR,
+                &one as *const c_int as *const c_void,
+                std::mem::size_of::<c_int>() as u32,
+            )
+        };
+        if rc != 0 {
+            return Err(fail(fd));
+        }
+        let sockaddr = SockAddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: v4.port().to_be(),
+            // Network byte order: the octets laid out as written.
+            sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+            sin_zero: [0; 8],
+        };
+        if unsafe { bind(fd, &sockaddr, std::mem::size_of::<SockAddrIn>() as u32) } != 0 {
+            return Err(fail(fd));
+        }
+        if unsafe { listen(fd, 1024) } != 0 {
+            return Err(fail(fd));
+        }
+        return Ok(unsafe { TcpListener::from_raw_fd(fd) });
+    }
+    TcpListener::bind(addr)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,6 +805,45 @@ mod tests {
         let mut client = HttpClient::connect(handle.addr()).unwrap();
         assert_eq!(client.get("/healthz").unwrap().status, 200);
         assert_eq!(handle.stats().panics, 1);
+        drop(client);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn restart_rebinds_the_same_port_through_reusable_listener() {
+        // Boot, serve one request, shut down, and come back on the
+        // *same* port — the replica-restart sequence the cluster fault
+        // harness leans on. The first bind goes through
+        // `reusable_listener` too so the port is reusable from birth.
+        let listener = reusable_listener("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = serve_on_listener(
+            RuleTranslator::new(default_pg_store()),
+            None,
+            None,
+            None,
+            listener,
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let mut client = HttpClient::connect(addr).unwrap();
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        drop(client);
+        handle.shutdown().unwrap();
+
+        let listener = reusable_listener(addr).expect("rebind the vacated port");
+        let handle = serve_on_listener(
+            RuleTranslator::new(default_pg_store()),
+            None,
+            None,
+            None,
+            listener,
+            ServeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(handle.addr(), addr);
+        let mut client = HttpClient::connect(addr).unwrap();
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
         drop(client);
         handle.shutdown().unwrap();
     }

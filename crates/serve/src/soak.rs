@@ -182,9 +182,31 @@ impl SoakReport {
 /// after the run, so the hit ratio reflects *this* workload even
 /// against a warm server.
 pub fn run_soak(addr: SocketAddr, docs: &[String], config: &SoakConfig) -> io::Result<SoakReport> {
-    let clients = config.clients.max(1).min(docs.len().max(1));
+    run_soak_multi(&[addr], docs, config)
+}
+
+/// [`run_soak`] against several servers at once: client `i` connects to
+/// `addrs[i % addrs.len()]`, and the cache/server counter deltas are
+/// summed across every address. Driving N independent replicas with
+/// one schedule (spray, no shard affinity) is the baseline a
+/// fingerprint-sharded cluster gets compared against — same machines,
+/// same traffic, no routing intelligence.
+pub fn run_soak_multi(
+    addrs: &[SocketAddr],
+    docs: &[String],
+    config: &SoakConfig,
+) -> io::Result<SoakReport> {
+    if addrs.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "run_soak_multi needs at least one address",
+        ));
+    }
+    // With several targets, at least one client per target so every
+    // address sees traffic.
+    let clients = config.clients.max(addrs.len()).min(docs.len().max(1));
     let pipeline = config.pipeline.max(1);
-    let before = sample_stats(addr)?;
+    let before = sample_stats_multi(addrs)?;
 
     let started = Instant::now();
     let mut samples: Vec<(u64, u16)> = Vec::with_capacity(docs.len());
@@ -194,6 +216,7 @@ pub fn run_soak(addr: SocketAddr, docs: &[String], config: &SoakConfig) -> io::R
             // Round-robin partition: every client's slice preserves the
             // schedule's global duplicate mix.
             let schedule: Vec<&String> = docs.iter().skip(worker).step_by(clients).collect();
+            let addr = addrs[worker % addrs.len()];
             workers.push(scope.spawn(move || drive_client(addr, &schedule, pipeline)));
         }
         for worker in workers {
@@ -206,7 +229,7 @@ pub fn run_soak(addr: SocketAddr, docs: &[String], config: &SoakConfig) -> io::R
     })?;
     let duration = started.elapsed();
 
-    let after = sample_stats(addr)?;
+    let after = sample_stats_multi(addrs)?;
     let server = ServerDelta {
         shed_requests: after.shed.saturating_sub(before.shed),
         pipelined_requests: after.pipelined.saturating_sub(before.pipelined),
@@ -314,6 +337,26 @@ struct StatsSample {
     cache: Option<(u64, u64)>,
     shed: u64,
     pipelined: u64,
+}
+
+/// Sum one [`StatsSample`] per address: cache counters are `Some` when
+/// any server reports a cache (uncached servers contribute zero).
+fn sample_stats_multi(addrs: &[SocketAddr]) -> io::Result<StatsSample> {
+    let mut total = StatsSample {
+        cache: None,
+        shed: 0,
+        pipelined: 0,
+    };
+    for addr in addrs {
+        let sample = sample_stats(*addr)?;
+        total.shed += sample.shed;
+        total.pipelined += sample.pipelined;
+        if let Some((hits, misses)) = sample.cache {
+            let (h, m) = total.cache.unwrap_or((0, 0));
+            total.cache = Some((h + hits, m + misses));
+        }
+    }
+    Ok(total)
 }
 
 fn sample_stats(addr: SocketAddr) -> io::Result<StatsSample> {
@@ -451,6 +494,57 @@ mod tests {
         );
 
         handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn soak_multi_sums_counters_across_replicas() {
+        let boot = || {
+            let cached = Arc::new(CachedTranslator::new(
+                RuleTranslator::new(default_mssql_store()),
+                CacheConfig::default(),
+            ));
+            serve_with_cache(
+                Arc::clone(&cached),
+                Some(cached as Arc<dyn CacheControl + Send + Sync>),
+                "127.0.0.1:0",
+                ServeConfig::default(),
+            )
+            .unwrap()
+        };
+        let (a, b) = (boot(), boot());
+
+        // Two clients, one per server; round-robin hands each client
+        // the same doc twice: every server sees 1 miss + 1 hit.
+        let docs = vec![DOC_A.to_string(); 4];
+        let report = run_soak_multi(
+            &[a.addr(), b.addr()],
+            &docs,
+            &SoakConfig {
+                clients: 2,
+                pipeline: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.ok, 4, "statuses: {:?}", report.statuses);
+        let cache = report.cache.expect("summed cache delta");
+        assert_eq!(cache.misses, 2, "one cold miss per replica");
+        assert_eq!(cache.hits, 2);
+
+        // `clients` is raised to cover every address.
+        let report = run_soak_multi(
+            &[a.addr(), b.addr()],
+            &docs,
+            &SoakConfig {
+                clients: 1,
+                pipeline: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.clients, 2);
+
+        assert!(run_soak_multi(&[], &docs, &SoakConfig::default()).is_err());
+        a.shutdown().unwrap();
+        b.shutdown().unwrap();
     }
 
     #[test]

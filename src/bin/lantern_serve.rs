@@ -14,6 +14,7 @@
 
 use lantern::builder::{Backend, LanternBuilder};
 use lantern::cache::CacheConfig;
+use lantern::cluster::{serve_cluster, ClusterConfig};
 use lantern::core::RenderStyle;
 use lantern::gen::{FormatMix, GenConfig, PlanGenerator};
 use lantern::serve::soak::{run_soak, SoakConfig};
@@ -28,6 +29,7 @@ lantern-serve — HTTP narration service over the LANTERN translators
 USAGE:
     lantern-serve [OPTIONS]
     lantern-serve soak [SOAK OPTIONS]
+    lantern-serve cluster [CLUSTER OPTIONS]
 
 OPTIONS:
     --addr <HOST:PORT>    Listen address [default: 127.0.0.1:8080]
@@ -69,6 +71,26 @@ SOAK OPTIONS (load a running server with generated plans):
     --seed <N>            Generator seed [default: 2647]
     --report <PATH>       Write the JSON report here (also printed to
                           stdout when omitted)
+
+CLUSTER OPTIONS (coordinator fronting N running replicas):
+    --addr <HOST:PORT>    Coordinator listen address
+                          [default: 127.0.0.1:8070]
+    --replica <HOST:PORT> A replica to front; repeat once per replica
+                          (at least one required)
+    --vnodes <N>          Virtual nodes per replica on the hash ring
+                          [default: 64]
+    --workers <N>         Coordinator worker threads (0 = one per core)
+                          [default: 0]
+    --connect-timeout-ms <N>
+                          TCP connect bound per forwarding attempt
+                          [default: 500]
+    --read-timeout-ms <N> Read bound per forwarding attempt (failover
+                          trigger for a stalled replica) [default: 5000]
+    --retry-backoff-ms <N>
+                          Sleep between failover attempts [default: 25]
+    --max-attempts <N>    Forwarding attempts per request (owner +
+                          ring successors) [default: 3]
+    --probe-ms <N>        Health/catalog probe period [default: 500]
 ";
 
 struct Args {
@@ -252,6 +274,132 @@ fn parse_soak_args(argv: impl Iterator<Item = String>) -> Result<SoakArgs, Strin
     Ok(args)
 }
 
+/// Everything `lantern-serve cluster` needs: a listen address and the
+/// replica fleet, plus the forwarding/probing knobs.
+struct ClusterArgs {
+    addr: String,
+    replicas: Vec<String>,
+    vnodes: usize,
+    workers: usize,
+    connect_timeout_ms: u64,
+    read_timeout_ms: u64,
+    retry_backoff_ms: u64,
+    max_attempts: usize,
+    probe_ms: u64,
+}
+
+fn parse_cluster_args(argv: impl Iterator<Item = String>) -> Result<ClusterArgs, String> {
+    let mut args = ClusterArgs {
+        addr: "127.0.0.1:8070".to_string(),
+        replicas: Vec::new(),
+        vnodes: 64,
+        workers: 0,
+        connect_timeout_ms: 500,
+        read_timeout_ms: 5000,
+        retry_backoff_ms: 25,
+        max_attempts: 3,
+        probe_ms: 500,
+    };
+    let mut argv = argv.peekable();
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--replica" => args.replicas.push(value("--replica")?),
+            "--vnodes" => {
+                args.vnodes = value("--vnodes")?
+                    .parse()
+                    .map_err(|e| format!("--vnodes: {e}"))?
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--connect-timeout-ms" => {
+                args.connect_timeout_ms = value("--connect-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--connect-timeout-ms: {e}"))?
+            }
+            "--read-timeout-ms" => {
+                args.read_timeout_ms = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))?
+            }
+            "--retry-backoff-ms" => {
+                args.retry_backoff_ms = value("--retry-backoff-ms")?
+                    .parse()
+                    .map_err(|e| format!("--retry-backoff-ms: {e}"))?
+            }
+            "--max-attempts" => {
+                args.max_attempts = value("--max-attempts")?
+                    .parse()
+                    .map_err(|e| format!("--max-attempts: {e}"))?
+            }
+            "--probe-ms" => {
+                args.probe_ms = value("--probe-ms")?
+                    .parse()
+                    .map_err(|e| format!("--probe-ms: {e}"))?
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown cluster flag {other:?}")),
+        }
+    }
+    if args.replicas.is_empty() {
+        return Err("cluster mode needs at least one --replica HOST:PORT".to_string());
+    }
+    Ok(args)
+}
+
+/// Resolve the replica fleet, boot the coordinator, and serve forever.
+fn cluster_main(args: &ClusterArgs) -> Result<(), String> {
+    let mut replicas = Vec::with_capacity(args.replicas.len());
+    for raw in &args.replicas {
+        let addr = raw
+            .to_socket_addrs()
+            .map_err(|e| format!("cannot resolve replica {raw}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("replica {raw} resolves to no address"))?;
+        replicas.push(addr);
+    }
+    let config = ClusterConfig {
+        replicas,
+        virtual_nodes: args.vnodes,
+        workers: args.workers,
+        connect_timeout: Duration::from_millis(args.connect_timeout_ms),
+        read_timeout: Duration::from_millis(args.read_timeout_ms),
+        retry_backoff: Duration::from_millis(args.retry_backoff_ms),
+        max_attempts: args.max_attempts,
+        probe_interval: Duration::from_millis(args.probe_ms),
+        ..ClusterConfig::default()
+    };
+    let handle = serve_cluster(config, args.addr.as_str())
+        .map_err(|e| format!("failed to bind {}: {e}", args.addr))?;
+    // The smoke-test lane greps for this exact line before curling.
+    println!(
+        "lantern-serve cluster listening on http://{}",
+        handle.addr()
+    );
+    println!(
+        "fronting {} replica(s): {}",
+        args.replicas.len(),
+        args.replicas.join(", ")
+    );
+    println!(
+        "endpoints: POST /narrate, POST /narrate/batch, POST /narrate/diff, POST /narrate/diff/batch, GET /healthz, GET /stats, GET /catalog, POST /catalog/apply, POST /cache/clear (see docs/SERVING.md)"
+    );
+    // Serve until the process is killed; the worker pool does the work.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
 fn parse_rate(name: &str, raw: &str) -> Result<f64, String> {
     let rate: f64 = raw.parse().map_err(|e| format!("{name}: {e}"))?;
     if !(0.0..=1.0).contains(&rate) {
@@ -355,6 +503,15 @@ fn main() {
     if argv.peek().map(String::as_str) == Some("soak") {
         argv.next();
         let outcome = parse_soak_args(argv).and_then(|args| soak_main(&args));
+        if let Err(message) = outcome {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if argv.peek().map(String::as_str) == Some("cluster") {
+        argv.next();
+        let outcome = parse_cluster_args(argv).and_then(|args| cluster_main(&args));
         if let Err(message) = outcome {
             eprintln!("error: {message}");
             std::process::exit(1);

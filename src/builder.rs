@@ -31,9 +31,10 @@ use lantern_neuron::Neuron;
 use lantern_paraphrase::ParaphrasedTranslator;
 use lantern_plan::PlanTree;
 use lantern_pool::{default_mssql_store, PoemStore};
-use lantern_serve::{ServeConfig, ServerHandle};
+use lantern_serve::{CatalogApplied, CatalogApplyError, CatalogControl, ServeConfig, ServerHandle};
 use std::net::ToSocketAddrs;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Which translation backend a [`LanternService`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -181,6 +182,8 @@ impl LanternBuilder {
             store,
             style: self.style,
             needs_restyle,
+            catalog_seq: AtomicU64::new(0),
+            catalog_lock: Mutex::new(()),
         })
     }
 
@@ -251,6 +254,13 @@ pub struct LanternService {
     /// (it renders its own numbered default) and the service must
     /// re-render responses into the configured style.
     needs_restyle: bool,
+    /// Highest cluster-broadcast sequence number applied to `store`
+    /// (see [`CatalogControl`]); `0` until a coordinator first pushes.
+    catalog_seq: AtomicU64,
+    /// Serializes [`CatalogControl::catalog_apply`] calls so statement
+    /// order (and therefore the resulting store version) is identical
+    /// on every replica even under concurrent broadcast + replay.
+    catalog_lock: Mutex<()>,
 }
 
 impl std::fmt::Debug for LanternService {
@@ -325,7 +335,36 @@ impl LanternService {
             None
         };
         let diff: Arc<dyn DiffTranslator + Send + Sync> = Arc::clone(&service) as _;
-        lantern_serve::serve_with_parts(service, cache, Some(diff), addr, config)
+        let catalog: Arc<dyn CatalogControl + Send + Sync> = Arc::clone(&service) as _;
+        lantern_serve::serve_node(service, cache, Some(diff), Some(catalog), addr, config)
+    }
+
+    /// [`LanternService::serve`] over a listener the caller already
+    /// bound (typically through [`lantern_serve::reusable_listener`],
+    /// so a restarted replica can reclaim its old port while prior
+    /// connections sit in `TIME_WAIT`).
+    pub fn serve_on_listener(
+        self,
+        listener: std::net::TcpListener,
+        config: ServeConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let has_cache = self.has_cache();
+        let service = Arc::new(self);
+        let cache: Option<Arc<dyn CacheControl + Send + Sync>> = if has_cache {
+            Some(Arc::clone(&service) as _)
+        } else {
+            None
+        };
+        let diff: Arc<dyn DiffTranslator + Send + Sync> = Arc::clone(&service) as _;
+        let catalog: Arc<dyn CatalogControl + Send + Sync> = Arc::clone(&service) as _;
+        lantern_serve::serve_on_listener(
+            service,
+            cache,
+            Some(diff),
+            Some(catalog),
+            listener,
+            config,
+        )
     }
 
     /// Apply the service's configured style to a response from a
@@ -433,6 +472,69 @@ impl DiffTranslator for LanternService {
         let resp = self.diff.narrate_trees(&base, &alt, Some(style));
         cache.insert(key, resp.clone(), diff_bytes(&resp));
         Ok(resp)
+    }
+}
+
+/// The cluster catalog surface: ordered, idempotent application of
+/// POOL statements broadcast by a coordinator. Execution against the
+/// POEM store is deterministic, so every replica that applies the same
+/// statement log from the same base store lands on the same
+/// [`PoemStore::version`] — including replicas that restarted and
+/// caught up through a replay. Version bumps implicitly roll the
+/// narration- and diff-cache keys over (both fold the generation in),
+/// so a broadcast mutation cold-misses exactly once per plan per
+/// replica.
+impl CatalogControl for LanternService {
+    fn catalog_version(&self) -> u64 {
+        self.store.version()
+    }
+
+    fn catalog_seq(&self) -> u64 {
+        self.catalog_seq.load(Ordering::SeqCst)
+    }
+
+    fn catalog_apply(
+        &self,
+        from_seq: u64,
+        statements: &[String],
+    ) -> Result<CatalogApplied, CatalogApplyError> {
+        let _guard = self
+            .catalog_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut seq = self.catalog_seq.load(Ordering::SeqCst);
+        if from_seq > seq + 1 {
+            return Err(CatalogApplyError::SequenceGap {
+                expected: seq + 1,
+                got: from_seq,
+            });
+        }
+        let mut applied = 0u64;
+        let mut skipped = 0u64;
+        let mut errors = Vec::new();
+        for (offset, statement) in statements.iter().enumerate() {
+            let statement_seq = from_seq + offset as u64;
+            if statement_seq <= seq {
+                skipped += 1;
+                continue;
+            }
+            // A failing statement still consumes its sequence number:
+            // execution is deterministic, so every replica fails it the
+            // same way, and skipping it would wedge the log forever.
+            if let Err(e) = lantern_pool::execute(statement, &self.store) {
+                errors.push(format!("seq {statement_seq}: {e}"));
+            }
+            seq = statement_seq;
+            applied += 1;
+        }
+        self.catalog_seq.store(seq, Ordering::SeqCst);
+        Ok(CatalogApplied {
+            applied,
+            skipped,
+            applied_seq: seq,
+            version: self.store.version(),
+            errors,
+        })
     }
 }
 

@@ -67,6 +67,7 @@ pub use builder::{Backend, LanternBuilder, LanternService};
 
 pub use lantern_cache as cache;
 pub use lantern_catalog as catalog;
+pub use lantern_cluster as cluster;
 pub use lantern_core as core;
 pub use lantern_diff as diff;
 pub use lantern_embed as embed;
