@@ -139,7 +139,7 @@ fn main() {
     // workers, which is exactly the scaling wall the event loop
     // removes.
     let sweep_requests = ((1_000.0 * bench_scale()) as usize).max(200);
-    let sweep = |legacy: bool, conns: usize| -> (u64, u64, f64) {
+    let sweep = |legacy: bool, conns: usize, metrics: bool| -> (u64, u64, f64) {
         let handle = serve(
             RuleTranslator::new(ctx.store.clone()),
             "127.0.0.1:0",
@@ -149,6 +149,7 @@ fn main() {
                 read_timeout: std::time::Duration::from_secs(120),
                 max_conns: 2048,
                 legacy_blocking: legacy,
+                metrics,
                 ..ServeConfig::default()
             },
         )
@@ -183,7 +184,7 @@ fn main() {
         "Keep-alive concurrency sweep, POST /narrate round-robin (µs per request)",
         &["path", "conns", "p50 µs", "p99 µs", "req/s"],
     );
-    let (p50, p99, legacy_rps) = sweep(true, 1);
+    let (p50, p99, legacy_rps) = sweep(true, 1, true);
     report.row(&[
         "legacy blocking".to_string(),
         "1".to_string(),
@@ -199,7 +200,7 @@ fn main() {
     let concurrencies: &[usize] = &[1];
     let mut event_c1_rps = f64::NAN;
     for &conns in concurrencies {
-        let (p50, p99, rps) = sweep(false, conns);
+        let (p50, p99, rps) = sweep(false, conns, true);
         if conns == 1 {
             event_c1_rps = rps;
         }
@@ -219,5 +220,48 @@ fn main() {
         event_c1_rps >= 0.5 * legacy_rps,
         "event path at C=1 ({event_c1_rps:.0} req/s) fell far below \
          the blocking path ({legacy_rps:.0} req/s)"
+    );
+
+    // --- observability overhead guard --------------------------------
+    //
+    // The tracing layer (per-stage spans, request histograms, request
+    // IDs, the slow-request ring) is on by default, so its cost is paid
+    // by every request. Measure the same sweep point with and without
+    // it; the instrumented server must hold at least 90% of the bare
+    // server's throughput, or the "observability is effectively free"
+    // claim in docs/OBSERVABILITY.md is broken.
+    #[cfg(unix)]
+    let guard_conns = 64;
+    #[cfg(not(unix))]
+    let guard_conns = 1;
+    let (on_p50, on_p99, rps_on) = sweep(false, guard_conns, true);
+    let (off_p50, off_p99, rps_off) = sweep(false, guard_conns, false);
+    let mut report = TableReport::new(
+        "Observability overhead, POST /narrate at fixed concurrency",
+        &["metrics", "conns", "p50 µs", "p99 µs", "req/s"],
+    );
+    report.row(&[
+        "on".to_string(),
+        guard_conns.to_string(),
+        on_p50.to_string(),
+        on_p99.to_string(),
+        format!("{rps_on:.0}"),
+    ]);
+    report.row(&[
+        "off".to_string(),
+        guard_conns.to_string(),
+        off_p50.to_string(),
+        off_p99.to_string(),
+        format!("{rps_off:.0}"),
+    ]);
+    report.print();
+    println!(
+        "metrics-on throughput at C={guard_conns}: {:.1}% of metrics-off",
+        100.0 * rps_on / rps_off
+    );
+    assert!(
+        rps_on >= 0.9 * rps_off,
+        "tracing overhead too high: {rps_on:.0} req/s with metrics vs \
+         {rps_off:.0} req/s without at C={guard_conns}"
     );
 }

@@ -489,11 +489,21 @@ impl<T: Translator> Translator for CachedTranslator<T> {
     }
 
     fn narrate(&self, req: &NarrationRequest) -> Result<NarrationResponse, LanternError> {
-        let (key, parsed) = self.request_key(req);
+        let (key, parsed) = {
+            let _fp = lantern_obs::span(lantern_obs::Stage::Fingerprint);
+            self.request_key(req)
+        };
         let Some(key) = key else {
             return self.inner.narrate(req);
         };
-        if let Some(entry) = self.cache.lru.get(key) {
+        // Ties the plan's cache key to the request id in the slow log
+        // (no-op unless a trace is active on this thread).
+        lantern_obs::note_fingerprint(|| format!("{:032x}", key.0));
+        let hit = {
+            let _lookup = lantern_obs::span(lantern_obs::Stage::CacheLookup);
+            self.cache.lru.get(key)
+        };
+        if let Some(entry) = hit {
             return Ok(self.response_of(&entry));
         }
         let rewritten = Self::miss_request(req, parsed);
@@ -508,12 +518,15 @@ impl<T: Translator> Translator for CachedTranslator<T> {
         &self,
         reqs: &[NarrationRequest],
     ) -> Vec<Result<NarrationResponse, LanternError>> {
-        let mut keyed: Vec<(Option<Fingerprint>, Option<Box<lantern_plan::PlanTree>>)> =
-            reqs.iter().map(|r| self.request_key(r)).collect();
+        let mut keyed: Vec<(Option<Fingerprint>, Option<Box<lantern_plan::PlanTree>>)> = {
+            let _fp = lantern_obs::span(lantern_obs::Stage::Fingerprint);
+            reqs.iter().map(|r| self.request_key(r)).collect()
+        };
         let keys: Vec<Option<Fingerprint>> = keyed.iter().map(|(k, _)| *k).collect();
         let mut out: Vec<Option<Result<NarrationResponse, LanternError>>> =
             (0..reqs.len()).map(|_| None).collect();
         // Resident hits first.
+        let _lookup = lantern_obs::span(lantern_obs::Stage::CacheLookup);
         for (i, key) in keys.iter().enumerate() {
             if let Some(key) = key {
                 if let Some(entry) = self.cache.lru.get(*key) {
@@ -521,6 +534,7 @@ impl<T: Translator> Translator for CachedTranslator<T> {
                 }
             }
         }
+        drop(_lookup);
         // Unique misses: first occurrence of each key narrates;
         // uncacheable requests are each their own occurrence.
         let mut first_of: HashMap<u128, usize> = HashMap::new();

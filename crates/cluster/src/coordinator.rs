@@ -29,11 +29,13 @@
 use crate::ring::HashRing;
 use crate::shard::{document_key, group_by_node, item_key, shard_key};
 use lantern_cache::ShardedLru;
+use lantern_obs::{bucket_index, parse_exposition, Recorder, RecorderConfig, BOUNDS, BUCKETS};
 use lantern_pool::parse_pool;
-use lantern_serve::http::{read_request, write_response, Request, Response};
+use lantern_serve::http::{read_request, write_response, Request, Response, REQUEST_ID_HEADER};
 use lantern_serve::router::error_body_raw;
 use lantern_serve::{ClientConfig, ClientError, ClientErrorKind, ClientResponse, HttpClient};
 use lantern_text::json::JsonValue;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -80,6 +82,13 @@ pub struct ClusterConfig {
     /// Entries in the shard-key memo (exact request text → ring key);
     /// sized like a replica cache so duplicate traffic skips re-parsing.
     pub route_memo_entries: usize,
+    /// Record request latency and serve `GET /metrics` (the
+    /// coordinator's own histograms plus a bucket-wise merge of every
+    /// replica's scrape). Off, `/metrics` answers 404.
+    pub metrics: bool,
+    /// Capture threshold for the coordinator's slow-request ring
+    /// (`GET /debug/slow`), milliseconds. `0` captures every request.
+    pub slow_log_ms: u64,
 }
 
 impl Default for ClusterConfig {
@@ -97,6 +106,8 @@ impl Default for ClusterConfig {
             max_attempts: 3,
             probe_interval: Duration::from_millis(500),
             route_memo_entries: 4096,
+            metrics: true,
+            slow_log_ms: 0,
         }
     }
 }
@@ -212,6 +223,18 @@ struct Coordinator {
     catalog_log: Mutex<Vec<String>>,
     client_config: ClientConfig,
     started: Instant,
+    /// Request latency + slow-ring recorder for the coordinator's own
+    /// hop (replica-side time is scraped, not re-measured here).
+    obs: Arc<Recorder>,
+}
+
+thread_local! {
+    /// The id of the request this worker thread is currently serving,
+    /// stamped onto every replica exchange it performs — this is what
+    /// carries one `x-lantern-request-id` coordinator → replica →
+    /// response. Probe/broadcast threads have no active id and send no
+    /// header.
+    static ACTIVE_REQUEST_ID: RefCell<Option<String>> = const { RefCell::new(None) };
 }
 
 /// Poison-tolerant lock: a worker that panicked mid-exchange must not
@@ -290,6 +313,11 @@ impl Coordinator {
             // Entries are 16-byte values; bound by entries, not bytes.
             u64::MAX,
         );
+        let obs = Arc::new(Recorder::new(RecorderConfig {
+            enabled: config.metrics,
+            slow_log_ms: config.slow_log_ms,
+            ..RecorderConfig::default()
+        }));
         Coordinator {
             ring,
             replicas,
@@ -298,6 +326,7 @@ impl Coordinator {
             catalog_log: Mutex::new(Vec::new()),
             client_config,
             started: Instant::now(),
+            obs,
             config,
         }
     }
@@ -313,12 +342,19 @@ impl Coordinator {
         body: Option<&str>,
     ) -> Result<ClientResponse, ClientError> {
         let replica = &self.replicas[node];
+        // The serving worker's request id rides every hop to a replica,
+        // so one id names the request across the whole cluster.
+        let id = ACTIVE_REQUEST_ID.with(|cell| cell.borrow().clone());
+        let headers: Vec<(&str, &str)> = match &id {
+            Some(id) => vec![(REQUEST_ID_HEADER, id.as_str())],
+            None => Vec::new(),
+        };
         // Take the pooled client in its own statement: an `if let`
         // scrutinee would keep the pool guard alive through the body,
         // where `park` re-locks the same mutex.
         let pooled = lock(&replica.pool).pop();
         if let Some(mut client) = pooled {
-            match client.try_request(method, path, body) {
+            match client.try_request_with(method, path, &headers, body) {
                 Ok(resp) => {
                     replica.healthy.store(true, Ordering::Relaxed);
                     self.park(node, client);
@@ -334,7 +370,7 @@ impl Coordinator {
         let fresh =
             HttpClient::connect_with(replica.addr, &self.client_config).and_then(|mut client| {
                 client
-                    .try_request(method, path, body)
+                    .try_request_with(method, path, &headers, body)
                     .map(|resp| (client, resp))
             });
         match fresh {
@@ -448,9 +484,28 @@ impl Coordinator {
         key
     }
 
-    /// Dispatch one parsed request.
+    /// Dispatch one parsed request. Mirrors the replica router's
+    /// observability contract: one `x-lantern-request-id` per request
+    /// (kept when the client sent one, minted otherwise), installed as
+    /// the thread's active id so [`Coordinator::exchange`] propagates
+    /// it to replicas, echoed on the response, and traced into the
+    /// coordinator's own latency histograms and slow ring.
     fn handle(&self, req: &Request) -> Response {
         self.stats.requests_total.fetch_add(1, Ordering::Relaxed);
+        let id = match req.header(REQUEST_ID_HEADER) {
+            Some(id) if !id.is_empty() => id.to_string(),
+            _ => self.obs.mint_id(),
+        };
+        ACTIVE_REQUEST_ID.with(|cell| *cell.borrow_mut() = Some(id.clone()));
+        let trace = self.obs.begin(id, &req.path);
+        let response = self.dispatch(req);
+        ACTIVE_REQUEST_ID.with(|cell| *cell.borrow_mut() = None);
+        let response = response.with_request_id(trace.id());
+        trace.finish(response.status);
+        response
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
         let response = match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/narrate") => self.narrate(req),
             ("POST", "/narrate/batch") => self.narrate_batch(req),
@@ -458,9 +513,16 @@ impl Coordinator {
             ("POST", "/narrate/diff/batch") => self.narrate_diff(req, true),
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/stats") => self.aggregate_stats(),
+            ("GET", "/metrics") if self.obs.enabled() => self.metrics(),
+            ("GET", "/debug/slow") => self.debug_slow(req),
             ("GET", "/catalog") => self.catalog_info(),
             ("POST", "/catalog/apply") => self.catalog_apply(req),
             ("POST", "/cache/clear") => self.cache_clear(),
+            (_, "/metrics") if self.obs.enabled() => json_error(
+                "http",
+                &format!("method {} not allowed on {}", req.method, req.path),
+                405,
+            ),
             (
                 _,
                 "/narrate"
@@ -469,6 +531,7 @@ impl Coordinator {
                 | "/narrate/diff/batch"
                 | "/healthz"
                 | "/stats"
+                | "/debug/slow"
                 | "/catalog"
                 | "/catalog/apply"
                 | "/cache/clear",
@@ -788,6 +851,63 @@ impl Coordinator {
         Response::json(200, JsonValue::Object(body).to_string_compact())
     }
 
+    /// `GET /metrics` — the fleet's Prometheus page. Every replica's
+    /// own `/metrics` is scraped and re-emitted twice: once **merged**
+    /// across replicas (every producer renders cumulative histogram
+    /// buckets on the shared `le` grid, so bucket-wise addition is
+    /// exact) and once under a `replica="host:port"` label. The
+    /// coordinator's own request histograms and `lantern_cluster_*`
+    /// counters ride along under `node="coordinator"`, so nothing
+    /// collides with the replica merge. A replica that is down (or
+    /// running with metrics off) degrades the page, never fails it.
+    fn metrics(&self) -> Response {
+        let mut merge = MetricsMerge::default();
+        for (node, replica) in self.replicas.iter().enumerate() {
+            let scrape = match self.exchange(node, "GET", "/metrics", None) {
+                Ok(resp) if resp.status == 200 => resp.body,
+                _ => continue,
+            };
+            let addr = replica.addr.to_string();
+            merge.fold(&scrape, &[]);
+            merge.fold(&scrape, &[("replica", addr.as_str())]);
+        }
+        let registry = self.obs.registry();
+        if let JsonValue::Object(obj) = self.stats.to_json_value() {
+            for (key, value) in &obj {
+                let JsonValue::Number(n) = value else {
+                    continue;
+                };
+                registry.set_counter(
+                    &format!("lantern_cluster_{key}"),
+                    &[("node", "coordinator")],
+                    *n as u64,
+                );
+            }
+        }
+        registry.set_gauge(
+            "lantern_cluster_uptime_seconds",
+            &[("node", "coordinator")],
+            self.started.elapsed().as_secs(),
+        );
+        merge.fold(&self.obs.render_prometheus(&[("node", "coordinator")]), &[]);
+        Response::text(200, merge.render())
+    }
+
+    /// `GET /debug/slow?threshold_ms=N` — the coordinator's own
+    /// slow-request ring. Entries carry the same request ids the
+    /// replicas logged, so a slow request here can be chased into the
+    /// owning replica's `/debug/slow`.
+    fn debug_slow(&self, req: &Request) -> Response {
+        let threshold_ms = req
+            .query_param("threshold_ms")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        Response::json(
+            200,
+            lantern_serve::router::slow_log_value(&self.obs, threshold_ms).to_string_compact(),
+        )
+    }
+
     fn catalog_info(&self) -> Response {
         let seq = lock(&self.catalog_log).len() as u64;
         let replicas: Vec<JsonValue> = self
@@ -1055,14 +1175,200 @@ fn apply_envelope(from_seq: u64, statements: &[String]) -> String {
     JsonValue::Object(obj).to_string_compact()
 }
 
+/// One scraped histogram series being merged: cumulative bucket values
+/// summed across sources, keyed by bucket index with the source's `le`
+/// strings preserved verbatim (every producer renders from the shared
+/// [`BOUNDS`] grid, so the strings agree across the fleet).
+#[derive(Default)]
+struct HistAcc {
+    buckets: BTreeMap<usize, (String, f64)>,
+    sum: f64,
+    count: f64,
+}
+
+/// Accumulates parsed Prometheus pages into merged families and
+/// re-renders them as one page: scalar series sum value-wise, histogram
+/// series sum bucket-wise (cumulative counts on an identical `le` grid
+/// add exactly), and each `fold` can stamp extra labels so the same
+/// scrape lands both in the fleet-wide merge and under its
+/// per-replica label.
+#[derive(Default)]
+struct MetricsMerge {
+    /// family name → `counter` / `gauge` / `histogram`.
+    types: BTreeMap<String, String>,
+    /// scalar series: name → label block → summed value.
+    scalars: BTreeMap<String, BTreeMap<String, f64>>,
+    /// histogram families: name → label block (sans `le`) → accumulator.
+    histograms: BTreeMap<String, BTreeMap<String, HistAcc>>,
+}
+
+impl MetricsMerge {
+    fn fold(&mut self, text: &str, extra: &[(&str, &str)]) {
+        let parsed = parse_exposition(text);
+        for (name, kind) in &parsed.types {
+            self.types
+                .entry(name.clone())
+                .or_insert_with(|| kind.clone());
+        }
+        let is_histogram =
+            |family: &str| self.types.get(family).map(String::as_str) == Some("histogram");
+        for sample in &parsed.samples {
+            if let Some(family) = sample
+                .name
+                .strip_suffix("_bucket")
+                .filter(|f| is_histogram(f))
+            {
+                let Some(le) = sample.label("le") else {
+                    continue;
+                };
+                let Some(idx) = bucket_of_le(le) else {
+                    continue;
+                };
+                let block = merged_label_block(&sample.labels, extra, true);
+                let acc = self
+                    .histograms
+                    .entry(family.to_string())
+                    .or_default()
+                    .entry(block)
+                    .or_default();
+                acc.buckets
+                    .entry(idx)
+                    .or_insert_with(|| (le.to_string(), 0.0))
+                    .1 += sample.value;
+                continue;
+            }
+            let tail =
+                [("_sum", true), ("_count", false)]
+                    .into_iter()
+                    .find_map(|(suffix, is_sum)| {
+                        sample
+                            .name
+                            .strip_suffix(suffix)
+                            .filter(|f| is_histogram(f))
+                            .map(|f| (f.to_string(), is_sum))
+                    });
+            let block = merged_label_block(&sample.labels, extra, false);
+            if let Some((family, is_sum)) = tail {
+                let acc = self
+                    .histograms
+                    .entry(family)
+                    .or_default()
+                    .entry(block)
+                    .or_default();
+                if is_sum {
+                    acc.sum += sample.value;
+                } else {
+                    acc.count += sample.value;
+                }
+                continue;
+            }
+            *self
+                .scalars
+                .entry(sample.name.clone())
+                .or_default()
+                .entry(block)
+                .or_insert(0.0) += sample.value;
+        }
+    }
+
+    fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, blocks) in &self.scalars {
+            if let Some(kind) = self.types.get(name) {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+            }
+            for (block, value) in blocks {
+                let _ = writeln!(out, "{name}{block} {value}");
+            }
+        }
+        for (name, blocks) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (block, acc) in blocks {
+                // BTreeMap order = bucket-index order, so cumulative
+                // counts stay monotone in the output.
+                for (le, value) in acc.buckets.values() {
+                    if block.is_empty() {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {value}");
+                    } else {
+                        let inner = &block[1..block.len() - 1];
+                        let _ = writeln!(out, "{name}_bucket{{{inner},le=\"{le}\"}} {value}");
+                    }
+                }
+                let _ = writeln!(out, "{name}_sum{block} {}", acc.sum);
+                let _ = writeln!(out, "{name}_count{block} {}", acc.count);
+            }
+        }
+        out
+    }
+}
+
+/// Bucket index of an `le` label on the shared [`BOUNDS`] grid.
+fn bucket_of_le(le: &str) -> Option<usize> {
+    if le == "+Inf" {
+        return Some(BUCKETS - 1);
+    }
+    let seconds: f64 = le.parse().ok()?;
+    let ns = (seconds * 1e9).round() as u64;
+    Some(
+        BOUNDS
+            .iter()
+            .position(|bound| *bound == ns)
+            .unwrap_or_else(|| bucket_index(ns)),
+    )
+}
+
+/// Rebuild a sorted, escaped `{a="b",…}` label block from parsed labels
+/// plus extra stamped pairs, optionally dropping `le` (bucket lines
+/// key their series by the non-`le` labels).
+fn merged_label_block(
+    labels: &[(String, String)],
+    extra: &[(&str, &str)],
+    skip_le: bool,
+) -> String {
+    let mut pairs: Vec<(&str, &str)> = labels
+        .iter()
+        .filter(|(n, _)| !(skip_le && n == "le"))
+        .map(|(n, v)| (n.as_str(), v.as_str()))
+        .collect();
+    pairs.extend_from_slice(extra);
+    pairs.sort_unstable();
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (name, value)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped = value
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        out.push_str(name);
+        out.push_str("=\"");
+        out.push_str(&escaped);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 /// Render a replica's response back to the coordinator's client.
 /// Status and body pass through; `Retry-After` survives so a shedding
-/// replica's backpressure reaches the real client.
+/// replica's backpressure reaches the real client, and the replica's
+/// `x-lantern-request-id` echo survives so the client sees the same id
+/// the replica logged ([`Response::with_request_id`] in
+/// [`Coordinator::handle`] only adds the header when absent).
 fn passthrough(resp: ClientResponse) -> Response {
     let retry = resp.header("retry-after").map(str::to_string);
+    let request_id = resp.header(REQUEST_ID_HEADER).map(str::to_string);
     let mut out = Response::json(resp.status, resp.body);
     if let Some(retry) = retry {
         out = out.with_header("Retry-After", retry);
+    }
+    if let Some(id) = request_id {
+        out = out.with_request_id(&id);
     }
     out
 }

@@ -358,6 +358,124 @@ fn catalog_mutation_broadcasts_rolls_cache_keys_and_changes_narration() {
 }
 
 #[test]
+fn coordinator_metrics_merge_replicas_bucket_wise_and_request_ids_round_trip() {
+    use lantern_obs::{
+        parse_exposition, snapshot_from_samples, METRIC_REQUEST_SECONDS, METRIC_STAGE_SECONDS,
+    };
+    use lantern_serve::http::REQUEST_ID_HEADER;
+
+    let replicas: Vec<ServerHandle> = (0..3).map(|_| boot_replica()).collect();
+    let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr()).collect();
+    let coordinator = boot_coordinator(addrs.clone());
+    let mut client = HttpClient::connect(coordinator.addr()).expect("connect");
+
+    // A request with a caller-supplied ID: the same ID must come back
+    // on the coordinator's response (the replica echoes it, the
+    // coordinator preserves it) and land in the owning replica's slow
+    // log — one stable ID across both hops.
+    let supplied = "e2e-test-0000abcd";
+    let resp = client
+        .try_request_with(
+            "POST",
+            "/narrate",
+            &[(REQUEST_ID_HEADER, supplied)],
+            Some(&plan_doc("traced_table")),
+        )
+        .expect("narrate with id");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(resp.header(REQUEST_ID_HEADER), Some(supplied));
+    let mut seen_on_replica = 0usize;
+    for addr in &addrs {
+        let mut direct = HttpClient::connect(*addr).expect("connect replica");
+        let slow = get_json(&mut direct, "/debug/slow?threshold_ms=0");
+        let entries = slow.get("entries").and_then(|e| e.as_array()).unwrap();
+        seen_on_replica += entries
+            .iter()
+            .filter(|e| e.get("id").and_then(JsonValue::as_str) == Some(supplied))
+            .count();
+    }
+    assert_eq!(seen_on_replica, 1, "supplied ID on exactly one replica");
+
+    // Without a header the coordinator mints one and it still
+    // propagates to the response.
+    let resp = client
+        .post("/narrate", &plan_doc("minted_table"))
+        .expect("narrate");
+    assert_eq!(resp.status, 200);
+    let minted = resp
+        .header(REQUEST_ID_HEADER)
+        .expect("minted id")
+        .to_string();
+    assert!(!minted.is_empty());
+
+    // Spread more traffic so every shard has recorded something.
+    for i in 0..12 {
+        let resp = client
+            .post("/narrate", &plan_doc(&format!("merge_{i}")))
+            .expect("narrate");
+        assert_eq!(resp.status, 200);
+    }
+
+    // Scrape each replica directly and merge its narrate-stage
+    // histogram by hand; the coordinator's unlabeled series must equal
+    // that merge bucket-for-bucket, and its per-replica labeled series
+    // must equal each individual scrape. The narrate stage is the
+    // comparison target because only narrate traffic moves it — probe
+    // loops and the scrapes themselves only touch read/write and the
+    // request histogram, which would race this equality check.
+    let stage = &[("stage", "narrate")][..];
+    let mut expected = lantern_obs::HistogramSnapshot::default();
+    let mut per_replica = Vec::new();
+    for addr in &addrs {
+        let mut direct = HttpClient::connect(*addr).expect("connect replica");
+        let page = direct.get("/metrics").expect("replica metrics");
+        assert_eq!(page.status, 200);
+        let parsed = parse_exposition(&page.body);
+        let snap = snapshot_from_samples(&parsed.samples, METRIC_STAGE_SECONDS, stage)
+            .expect("replica narrate-stage histogram");
+        expected.merge(&snap);
+        per_replica.push((addr.to_string(), snap));
+    }
+    assert!(expected.count >= 14, "replicas recorded the traffic");
+
+    let page = client.get("/metrics").expect("coordinator metrics");
+    assert_eq!(page.status, 200, "{}", page.body);
+    assert!(
+        page.body
+            .contains(&format!("# TYPE {METRIC_STAGE_SECONDS} histogram")),
+        "TYPE line present"
+    );
+    let parsed = parse_exposition(&page.body);
+    let fleet = snapshot_from_samples(&parsed.samples, METRIC_STAGE_SECONDS, stage)
+        .expect("fleet narrate-stage histogram");
+    assert_eq!(fleet.buckets, expected.buckets, "bucket-wise merge");
+    assert_eq!(fleet.count, expected.count);
+    for (addr, snap) in &per_replica {
+        let labeled = snapshot_from_samples(
+            &parsed.samples,
+            METRIC_STAGE_SECONDS,
+            &[("replica", addr), ("stage", "narrate")],
+        )
+        .unwrap_or_else(|| panic!("labeled series for {addr}"));
+        assert_eq!(labeled.buckets, snap.buckets, "per-replica series {addr}");
+    }
+    // The coordinator's own request histogram rides along under its
+    // node label and is excluded from the fleet merge.
+    let own = snapshot_from_samples(
+        &parsed.samples,
+        METRIC_REQUEST_SECONDS,
+        &[("node", "coordinator")],
+    )
+    .expect("coordinator's own histogram");
+    assert!(own.count >= 14, "coordinator traced its own requests");
+
+    coordinator.shutdown().unwrap();
+    for replica in replicas {
+        replica.shutdown().unwrap();
+    }
+}
+
+#[test]
 fn lagging_replica_catches_up_from_the_log_after_restart() {
     let mut replicas: Vec<ServerHandle> = (0..3).map(|_| boot_replica()).collect();
     let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr()).collect();

@@ -1,0 +1,492 @@
+//! Labeled metric registry with Prometheus text exposition — and the
+//! inverse: a parser for the same format, so a scraper (the cluster
+//! coordinator, the soak harness) can merge fleets bucket-wise without
+//! a side-channel wire format.
+//!
+//! The exposition subset is the stable core of the text format:
+//! `# TYPE` lines, `name{label="value"} value` samples, histogram
+//! series as cumulative `_bucket{le="…"}` counters plus `_sum` /
+//! `_count`. Bucket bounds are rendered in seconds from the shared
+//! [`BOUNDS`] table, so every producer in the fleet emits identical
+//! `le` strings and cumulative bucket counts can be merged by plain
+//! addition.
+
+use crate::hist::{bucket_index, AtomicHistogram, HistogramSnapshot, BOUNDS, BUCKETS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+type Family<T> = BTreeMap<String, (String, T)>;
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Family<Arc<AtomicU64>>>,
+    gauges: BTreeMap<String, Family<Arc<AtomicU64>>>,
+    histograms: BTreeMap<String, Family<Arc<AtomicHistogram>>>,
+}
+
+/// A set of labeled metric families — counters, gauges, histograms —
+/// rendered in Prometheus text format by [`Registry::render`].
+///
+/// Lookup takes a mutex, so callers on hot paths should resolve their
+/// series once (`Arc` handles are stable) rather than per record.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The counter series `name{labels}`, created at zero on first use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<AtomicU64> {
+        let key = label_block(labels);
+        Arc::clone(
+            &self
+                .lock()
+                .counters
+                .entry(name.to_string())
+                .or_default()
+                .entry(key.clone())
+                .or_insert_with(|| (key, Arc::new(AtomicU64::new(0))))
+                .1,
+        )
+    }
+
+    /// The gauge series `name{labels}`, created at zero on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<AtomicU64> {
+        let key = label_block(labels);
+        Arc::clone(
+            &self
+                .lock()
+                .gauges
+                .entry(name.to_string())
+                .or_default()
+                .entry(key.clone())
+                .or_insert_with(|| (key, Arc::new(AtomicU64::new(0))))
+                .1,
+        )
+    }
+
+    /// The histogram series `name{labels}`, created empty on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<AtomicHistogram> {
+        let key = label_block(labels);
+        Arc::clone(
+            &self
+                .lock()
+                .histograms
+                .entry(name.to_string())
+                .or_default()
+                .entry(key.clone())
+                .or_insert_with(|| (key, Arc::new(AtomicHistogram::new())))
+                .1,
+        )
+    }
+
+    /// Store `value` into the counter series (scrape-time injection of
+    /// an externally-maintained total).
+    pub fn set_counter(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.counter(name, labels).store(value, Ordering::Relaxed);
+    }
+
+    /// Store `value` into the gauge series.
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.gauge(name, labels).store(value, Ordering::Relaxed);
+    }
+
+    /// Render every family in Prometheus text format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// [`Registry::render`], appending to an existing buffer.
+    pub fn render_into(&self, out: &mut String) {
+        let inner = self.lock();
+        for (name, family) in &inner.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for (block, value) in family.values() {
+                let _ = writeln!(out, "{name}{block} {}", value.load(Ordering::Relaxed));
+            }
+        }
+        for (name, family) in &inner.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for (block, value) in family.values() {
+                let _ = writeln!(out, "{name}{block} {}", value.load(Ordering::Relaxed));
+            }
+        }
+        for (name, family) in &inner.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (block, hist) in family.values() {
+                render_histogram_series(out, name, block, &hist.snapshot());
+            }
+        }
+    }
+}
+
+/// Append one histogram's exposition (`_bucket` / `_sum` / `_count`
+/// lines, cumulative, bounds in seconds) under `name{labels}`. The
+/// caller is responsible for the family's `# TYPE name histogram` line.
+pub fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(&str, &str)],
+    snap: &HistogramSnapshot,
+) {
+    render_histogram_series(out, name, &label_block(labels), snap);
+}
+
+fn render_histogram_series(out: &mut String, name: &str, block: &str, snap: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, n) in snap.buckets.iter().enumerate() {
+        cumulative += n;
+        let le = le_label(i);
+        if block.is_empty() {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        } else {
+            // Splice `le` into the existing label block: `{a="b"}` →
+            // `{a="b",le="…"}`.
+            let inner = &block[1..block.len() - 1];
+            let _ = writeln!(out, "{name}_bucket{{{inner},le=\"{le}\"}} {cumulative}");
+        }
+    }
+    let _ = writeln!(out, "{name}_sum{block} {}", snap.sum as f64 / 1e9);
+    let _ = writeln!(out, "{name}_count{block} {}", snap.count);
+}
+
+/// The `le` label string for bucket `i` — the bound in seconds, or
+/// `+Inf` for the catch-all.
+fn le_label(i: usize) -> String {
+    if i == BUCKETS - 1 {
+        "+Inf".to_string()
+    } else {
+        (BOUNDS[i] as f64 / 1e9).to_string()
+    }
+}
+
+/// `{a="b",c="d"}` with labels sorted by name, or the empty string.
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut out = String::from("{");
+    for (i, (name, value)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{name}=\"{}\"", escape_label(value));
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// One parsed exposition sample: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (including any `_bucket` / `_sum` / `_count`
+    /// suffix).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// First value of the label with this name.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed Prometheus text page: declared metric types plus samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// `metric name → type` from `# TYPE` lines.
+    pub types: BTreeMap<String, String>,
+    /// Every sample line, in source order.
+    pub samples: Vec<Sample>,
+}
+
+/// Parse a Prometheus text page (the subset this crate emits:
+/// `# TYPE` comments and `name{labels} value` samples). Unparseable
+/// lines are skipped — a scraper should degrade, not fail, on a peer
+/// speaking a newer dialect.
+pub fn parse_exposition(text: &str) -> Exposition {
+    let mut out = Exposition::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut words = rest.split_whitespace();
+            if words.next() == Some("TYPE") {
+                if let (Some(name), Some(kind)) = (words.next(), words.next()) {
+                    out.types.insert(name.to_string(), kind.to_string());
+                }
+            }
+            continue;
+        }
+        if let Some(sample) = parse_sample(line) {
+            out.samples.push(sample);
+        }
+    }
+    out
+}
+
+fn parse_sample(line: &str) -> Option<Sample> {
+    let (head, value) = line.rsplit_once(char::is_whitespace)?;
+    let value: f64 = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        other => other.parse().ok()?,
+    };
+    let head = head.trim();
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let rest = rest.strip_suffix('}')?;
+            (name.to_string(), parse_labels(rest)?)
+        }
+    };
+    Some(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(mut rest: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    while !rest.is_empty() {
+        let eq = rest.find('=')?;
+        let name = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..].strip_prefix('"')?;
+        // Scan to the closing quote, honouring backslash escapes.
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, escaped)) => value.push(escaped),
+                    None => return None,
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                other => value.push(other),
+            }
+        }
+        rest = &rest[end? + 1..];
+        labels.push((name, value));
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Some(labels)
+}
+
+/// Rebuild a [`HistogramSnapshot`] from parsed samples: the series
+/// `name_bucket` / `name_sum` / `name_count` whose non-`le` labels
+/// equal `labels` exactly. Returns `None` when no bucket line matches.
+/// The tracked max is lost across the wire (`max = 0`), so percentile
+/// queries on the result are bucket-resolution only.
+pub fn snapshot_from_samples(
+    samples: &[Sample],
+    name: &str,
+    labels: &[(&str, &str)],
+) -> Option<HistogramSnapshot> {
+    let bucket_name = format!("{name}_bucket");
+    let sum_name = format!("{name}_sum");
+    let count_name = format!("{name}_count");
+    let matches = |sample: &Sample, ignore_le: bool| {
+        let mut rest: Vec<(&str, &str)> = sample
+            .labels
+            .iter()
+            .filter(|(n, _)| !(ignore_le && n == "le"))
+            .map(|(n, v)| (n.as_str(), v.as_str()))
+            .collect();
+        rest.sort_unstable();
+        let mut want: Vec<(&str, &str)> = labels.to_vec();
+        want.sort_unstable();
+        rest == want
+    };
+
+    let mut cumulative: Vec<(f64, u64)> = Vec::new();
+    let mut snap = HistogramSnapshot::default();
+    let mut saw_count = false;
+    for sample in samples {
+        if sample.name == bucket_name && matches(sample, true) {
+            let le = match sample.label("le")? {
+                "+Inf" => f64::INFINITY,
+                s => s.parse().ok()?,
+            };
+            cumulative.push((le, sample.value as u64));
+        } else if sample.name == sum_name && matches(sample, false) {
+            snap.sum = (sample.value * 1e9).round() as u64;
+        } else if sample.name == count_name && matches(sample, false) {
+            snap.count = sample.value as u64;
+            saw_count = true;
+        }
+    }
+    if cumulative.is_empty() {
+        return None;
+    }
+    cumulative.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut previous = 0u64;
+    for (le, total) in cumulative {
+        let idx = if le.is_infinite() {
+            BUCKETS - 1
+        } else {
+            let ns = (le * 1e9).round() as u64;
+            BOUNDS
+                .iter()
+                .position(|bound| *bound == ns)
+                .unwrap_or_else(|| bucket_index(ns))
+        };
+        snap.buckets[idx] += total.saturating_sub(previous);
+        previous = total.max(previous);
+    }
+    if !saw_count {
+        snap.count = snap.buckets.iter().sum();
+    }
+    Some(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_histograms_render_with_types() {
+        let reg = Registry::new();
+        reg.counter("lantern_requests_total", &[])
+            .fetch_add(3, Ordering::Relaxed);
+        reg.set_gauge("lantern_queue_depth", &[("core", "event")], 2);
+        reg.histogram("lantern_stage_duration_seconds", &[("stage", "narrate")])
+            .record(1_000_000); // 1ms
+        let text = reg.render();
+        assert!(text.contains("# TYPE lantern_requests_total counter"));
+        assert!(text.contains("lantern_requests_total 3"));
+        assert!(text.contains("# TYPE lantern_queue_depth gauge"));
+        assert!(text.contains("lantern_queue_depth{core=\"event\"} 2"));
+        assert!(text.contains("# TYPE lantern_stage_duration_seconds histogram"));
+        assert!(text.contains("lantern_stage_duration_seconds_count{stage=\"narrate\"} 1"));
+        assert!(text.contains("le=\"+Inf\"} 1"));
+        // Same handle on second lookup.
+        reg.counter("lantern_requests_total", &[])
+            .fetch_add(1, Ordering::Relaxed);
+        assert!(reg.render().contains("lantern_requests_total 4"));
+    }
+
+    #[test]
+    fn exposition_roundtrips_through_the_parser() {
+        let reg = Registry::new();
+        let hist = reg.histogram("lantern_request_duration_seconds", &[]);
+        for us in [100u64, 900, 4_000, 90_000] {
+            hist.record(us * 1_000);
+        }
+        let text = reg.render();
+        let parsed = parse_exposition(&text);
+        assert_eq!(
+            parsed
+                .types
+                .get("lantern_request_duration_seconds")
+                .unwrap(),
+            "histogram"
+        );
+        let snap = snapshot_from_samples(&parsed.samples, "lantern_request_duration_seconds", &[])
+            .unwrap();
+        let original = hist.snapshot();
+        assert_eq!(snap.buckets, original.buckets);
+        assert_eq!(snap.count, original.count);
+        // Sum survives to f64 precision.
+        assert!((snap.sum as f64 - original.sum as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn parser_handles_labels_and_escapes() {
+        let text = concat!(
+            "# HELP x ignored\n",
+            "# TYPE x counter\n",
+            "x{a=\"plain\",b=\"with \\\"quote\\\" and \\\\slash\"} 7\n",
+            "garbage line without a value\n",
+            "y 1.5\n",
+        );
+        let parsed = parse_exposition(text);
+        assert_eq!(parsed.samples.len(), 2);
+        assert_eq!(parsed.samples[0].label("a"), Some("plain"));
+        assert_eq!(
+            parsed.samples[0].label("b"),
+            Some("with \"quote\" and \\slash")
+        );
+        assert_eq!(parsed.samples[0].value, 7.0);
+        assert_eq!(parsed.samples[1].name, "y");
+        // Escaped render parses back to the original value.
+        let reg = Registry::new();
+        reg.set_counter("z", &[("v", "a\"b\\c\nd")], 1);
+        let back = parse_exposition(&reg.render());
+        assert_eq!(back.samples[0].label("v"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn snapshot_from_samples_selects_exact_label_sets() {
+        let reg = Registry::new();
+        reg.histogram("h", &[("stage", "parse")]).record(1_000);
+        reg.histogram("h", &[("stage", "narrate")]).record(1_000);
+        reg.histogram("h", &[("stage", "narrate")]).record(2_000);
+        let parsed = parse_exposition(&reg.render());
+        let narrate = snapshot_from_samples(&parsed.samples, "h", &[("stage", "narrate")]).unwrap();
+        assert_eq!(narrate.count, 2);
+        let parse = snapshot_from_samples(&parsed.samples, "h", &[("stage", "parse")]).unwrap();
+        assert_eq!(parse.count, 1);
+        assert!(snapshot_from_samples(&parsed.samples, "h", &[]).is_none());
+        assert!(snapshot_from_samples(&parsed.samples, "missing", &[]).is_none());
+    }
+
+    #[test]
+    fn rendered_buckets_are_cumulative_and_monotone() {
+        let reg = Registry::new();
+        let hist = reg.histogram("m", &[]);
+        for i in 0..100u64 {
+            hist.record(i * 10_000);
+        }
+        let text = reg.render();
+        let mut last = -1.0f64;
+        let mut bucket_lines = 0;
+        for sample in parse_exposition(&text).samples {
+            if sample.name == "m_bucket" {
+                assert!(sample.value >= last, "{text}");
+                last = sample.value;
+                bucket_lines += 1;
+            }
+        }
+        assert_eq!(bucket_lines, BUCKETS);
+        assert_eq!(last, 100.0);
+    }
+}

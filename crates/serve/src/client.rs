@@ -235,7 +235,20 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> Result<ClientResponse, ClientError> {
-        self.try_send(method, path, body)?;
+        self.try_request_with(method, path, &[], body)
+    }
+
+    /// [`HttpClient::try_request`] with extra request headers — the
+    /// coordinator's forwarding leg uses this to propagate
+    /// `x-lantern-request-id` to the replica it routes to.
+    pub fn try_request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> Result<ClientResponse, ClientError> {
+        self.try_send_with(method, path, headers, body)?;
         self.try_read_response()
     }
 
@@ -254,14 +267,30 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> Result<(), ClientError> {
+        self.try_send_with(method, path, &[], body)
+    }
+
+    /// [`HttpClient::try_send`] with extra request headers.
+    pub fn try_send_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> Result<(), ClientError> {
         let body = body.unwrap_or("");
         // One write for head + body (see `http::write_response` for the
         // Nagle rationale).
-        let mut wire = format!(
-            "{method} {path} HTTP/1.1\r\nHost: lantern\r\nContent-Length: {}\r\n\r\n",
-            body.len()
-        )
-        .into_bytes();
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: lantern\r\n");
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        use std::fmt::Write as _;
+        let _ = write!(head, "Content-Length: {}\r\n\r\n", body.len());
+        let mut wire = head.into_bytes();
         wire.extend_from_slice(body.as_bytes());
         self.writer
             .write_all(&wire)

@@ -25,10 +25,13 @@
 
 #![cfg(unix)]
 
-use crate::http::{encode_response, frame_request, read_request, FrameStatus, Request, Response};
+use crate::http::{
+    encode_response, frame_request, read_request, FrameStatus, Request, Response, REQUEST_ID_HEADER,
+};
 use crate::router::{error_body_raw, Router};
 use crate::server::{ServeConfig, ServeStats};
 use lantern_core::Translator;
+use lantern_obs::{Recorder, Stage};
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::TcpListener;
@@ -311,6 +314,10 @@ struct Shared {
     completions: Mutex<Vec<Completion>>,
     waker: UnixStream,
     stats: Arc<ServeStats>,
+    /// The router's recorder: the event thread records the socket
+    /// `read`/`write` stages (requests execute on workers, so those
+    /// stages can't ride the worker-thread trace).
+    obs: Arc<Recorder>,
 }
 
 impl Shared {
@@ -402,6 +409,7 @@ where
         completions: Mutex::new(Vec::new()),
         waker: wake_tx,
         stats: Arc::clone(&stats),
+        obs: Arc::clone(router.obs()),
     });
 
     let (job_tx, job_rx) = sync_channel::<Job>(config.queue_depth.max(1));
@@ -675,6 +683,8 @@ impl EventLoop {
                     }
                 }
             } else {
+                let started = Instant::now();
+                let mut got_bytes = false;
                 let mut chunk = [0u8; 16 * 1024];
                 loop {
                     match conn.stream.read(&mut chunk) {
@@ -685,6 +695,7 @@ impl EventLoop {
                         Ok(n) => {
                             conn.inbuf.extend_from_slice(&chunk[..n]);
                             conn.last_activity = Instant::now();
+                            got_bytes = true;
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                         Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -693,6 +704,11 @@ impl EventLoop {
                             break;
                         }
                     }
+                }
+                if got_bytes {
+                    self.shared
+                        .obs
+                        .record_stage(Stage::Read, started.elapsed().as_nanos() as u64);
                 }
             }
         }
@@ -766,7 +782,7 @@ impl EventLoop {
                                 conn.in_flight += 1;
                             }
                         }
-                        Err(TrySendError::Full(_)) => {
+                        Err(TrySendError::Full(job)) => {
                             // Admission control: answer 503 now instead
                             // of blocking the event loop on a full
                             // queue. The connection stays usable.
@@ -778,13 +794,22 @@ impl EventLoop {
                                 .stats
                                 .error_responses
                                 .fetch_add(1, Ordering::Relaxed);
+                            // Shed responses never reach the router, so
+                            // the request id is resolved here — kept
+                            // from the request when present, minted
+                            // otherwise — and stays traceable.
+                            let id = match job.request.header(REQUEST_ID_HEADER) {
+                                Some(id) if !id.is_empty() => id.to_string(),
+                                _ => self.shared.obs.mint_id(),
+                            };
                             let body = error_body_raw(
                                 "overloaded",
                                 "dispatch queue is full; retry shortly",
                                 503,
                             );
                             let response = Response::json(503, body.to_string_compact())
-                                .with_header("Retry-After", SHED_RETRY_AFTER_SECS.to_string());
+                                .with_header("Retry-After", SHED_RETRY_AFTER_SECS.to_string())
+                                .with_request_id(&id);
                             self.complete(slot, seq, Some(response), keep_alive);
                         }
                         Err(TrySendError::Disconnected(_)) => {
@@ -874,15 +899,23 @@ impl EventLoop {
         if let Some(response) = response {
             conn.ready.insert(seq, (response, keep_alive));
         }
+        let started = Instant::now();
+        let mut encoded = false;
         while let Some((response, keep_alive)) = conn.ready.remove(&conn.next_write) {
             encode_response(&mut conn.outbuf, &response, keep_alive);
             conn.next_write += 1;
+            encoded = true;
             if !keep_alive {
                 conn.no_more_reads = true;
                 conn.close_after_write = true;
                 conn.ready.clear();
                 break;
             }
+        }
+        if encoded {
+            self.shared
+                .obs
+                .record_stage(Stage::Write, started.elapsed().as_nanos() as u64);
         }
     }
 

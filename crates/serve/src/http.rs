@@ -320,12 +320,47 @@ impl Response {
         }
     }
 
+    /// A plain-text response with the given status, content-typed as
+    /// the Prometheus text exposition format (which is plain UTF-8
+    /// text, versioned via the media-type parameter).
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
     /// Attach an extra response header.
     pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
         self.headers.push((name, value.into()));
         self
     }
+
+    /// First extra-header value with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Ensure the response carries the request-ID header exactly once.
+    /// An already-present ID (e.g. echoed by a replica the request was
+    /// forwarded to) wins — the ID must stay stable across hops.
+    pub fn with_request_id(self, id: &str) -> Self {
+        if self.header(REQUEST_ID_HEADER).is_some() {
+            self
+        } else {
+            self.with_header(REQUEST_ID_HEADER, id)
+        }
+    }
 }
+
+/// The header that carries a request's ID from ingress to replica and
+/// back to the client.
+pub const REQUEST_ID_HEADER: &str = "x-lantern-request-id";
 
 /// Canonical reason phrase for the statuses the service emits.
 pub fn status_reason(status: u16) -> &'static str {

@@ -26,6 +26,8 @@
 //! | `POST` | `/narrate/diff/batch` | `{"base": doc, "alts": [doc, ...]}` | array ranked by informativeness, each with `alt_index` |
 //! | `GET` | `/healthz` | — | liveness + backend name |
 //! | `GET` | `/stats` | — | request counters (cache counters under `"cache"` when caching is on) |
+//! | `GET` | `/metrics` | — | Prometheus text exposition: per-stage + request latency histograms, server/cache counters |
+//! | `GET` | `/debug/slow` | — | recent requests (`?threshold_ms=N` filter): IDs, statuses, per-stage timings |
 //! | `POST` | `/cache/clear` | — | drop all cached narrations (only routed when caching is on) |
 //!
 //! The diff endpoints are routed only when the server was started with
@@ -35,7 +37,10 @@
 //! query parameter, plus `?nocache=1` to bypass the narration cache for
 //! one request. Failures map to HTTP statuses through
 //! [`LanternError::http_status`](lantern_core::LanternError::http_status)
-//! and carry a structured `{"error": {...}}` body. `docs/SERVING.md` in
+//! and carry a structured `{"error": {...}}` body. Every response
+//! carries an `x-lantern-request-id` header — echoed if the caller
+//! supplied one, minted otherwise (`docs/OBSERVABILITY.md` covers the
+//! tracing surface; `--metrics-off` removes it). `docs/SERVING.md` in
 //! the repository root is the full endpoint reference.
 //!
 //! ## Quick start

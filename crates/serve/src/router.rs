@@ -12,13 +12,14 @@
 //!   status line, mapped through [`LanternError::http_status`].
 
 use crate::catalog::{CatalogApplyError, CatalogControl};
-use crate::http::{Request, Response};
+use crate::http::{Request, Response, REQUEST_ID_HEADER};
 use crate::server::ServeStats;
 use lantern_cache::{CacheControl, CacheStatsSnapshot};
 use lantern_core::{
     DiffRequest, DiffResponse, DiffTranslator, LanternError, NarrationRequest, NarrationResponse,
     PlanSource, RenderStyle, Translator,
 };
+use lantern_obs::{span, Recorder, RecorderConfig, Stage};
 use lantern_text::json::JsonValue;
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
@@ -85,6 +86,7 @@ pub struct Router<T> {
     cache: Option<Arc<dyn CacheControl + Send + Sync>>,
     diff: Option<Arc<dyn DiffTranslator + Send + Sync>>,
     catalog: Option<Arc<dyn CatalogControl + Send + Sync>>,
+    obs: Arc<Recorder>,
 }
 
 /// Decrements the in-flight gauge when the handler returns (or
@@ -144,16 +146,49 @@ impl<T: Translator> Router<T> {
             cache,
             diff,
             catalog,
+            obs: Arc::new(Recorder::new(RecorderConfig::default())),
         }
     }
 
+    /// Replace the default observability recorder (the server builds
+    /// one from [`ServeConfig`](crate::server::ServeConfig) so
+    /// `--metrics-off` / `--slow-log-ms` reach the router).
+    pub fn with_obs(mut self, obs: Arc<Recorder>) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The router's observability recorder (shared with the serving
+    /// core, which records the `read`/`write` stages).
+    pub fn obs(&self) -> &Arc<Recorder> {
+        &self.obs
+    }
+
     /// Dispatch one parsed request to its handler.
+    ///
+    /// Every response carries an `x-lantern-request-id` header: the
+    /// value of the incoming header when the client (or a coordinator
+    /// hop) supplied one, else freshly minted here. The whole handler
+    /// runs under a stage trace, so per-stage time lands in
+    /// `GET /metrics` and slow requests in `GET /debug/slow`.
     pub fn handle(&self, req: &Request) -> Response {
         self.stats.requests_total.fetch_add(1, Ordering::Relaxed);
         self.stats
             .requests_in_flight
             .fetch_add(1, Ordering::Relaxed);
         let _in_flight = InFlightGuard(&self.stats);
+        let id = match req.header(REQUEST_ID_HEADER) {
+            Some(id) if !id.is_empty() => id.to_string(),
+            _ => self.obs.mint_id(),
+        };
+        let trace = self.obs.begin(id, &req.path);
+        let response = self.dispatch(req);
+        let response = response.with_request_id(trace.id());
+        trace.finish(response.status);
+        response
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
         let response = match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/narrate") => self.narrate(req),
             ("POST", "/narrate/batch") => self.narrate_batch(req),
@@ -170,6 +205,26 @@ impl<T: Translator> Router<T> {
             ),
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/stats") => self.stats(),
+            ("GET", "/metrics") if self.obs.enabled() => self.metrics(),
+            ("GET", "/debug/slow") => self.debug_slow(req),
+            (_, "/metrics") if self.obs.enabled() => Response::json(
+                405,
+                error_body_raw(
+                    "http",
+                    &format!("method {} not allowed on {}", req.method, req.path),
+                    405,
+                )
+                .to_string_compact(),
+            ),
+            (_, "/debug/slow") => Response::json(
+                405,
+                error_body_raw(
+                    "http",
+                    &format!("method {} not allowed on {}", req.method, req.path),
+                    405,
+                )
+                .to_string_compact(),
+            ),
             ("GET", "/catalog") if self.catalog.is_some() => self.catalog_info(),
             ("POST", "/catalog/apply") if self.catalog.is_some() => self.catalog_apply(req),
             (_, "/catalog" | "/catalog/apply") if self.catalog.is_some() => Response::json(
@@ -259,7 +314,12 @@ impl<T: Translator> Router<T> {
                 message: "request body is not valid UTF-8".into(),
             });
         };
-        let narrated = Self::build_request(doc, style).and_then(|r| {
+        let parsed = {
+            let _parse = span(Stage::Parse);
+            Self::build_request(doc, style)
+        };
+        let narrated = parsed.and_then(|r| {
+            let _narrate = span(Stage::Narrate);
             match (&self.cache, Self::wants_nocache(req)) {
                 // `?nocache=1` routes around the cache (neither
                 // consulted nor filled) when one is configured.
@@ -270,6 +330,7 @@ impl<T: Translator> Router<T> {
         match narrated {
             Ok(resp) => {
                 self.stats.narrate_ok.fetch_add(1, Ordering::Relaxed);
+                let _render = span(Stage::Render);
                 Response::json(200, narration_value(&resp).to_string_compact())
             }
             Err(err) => {
@@ -295,6 +356,7 @@ impl<T: Translator> Router<T> {
                 error_body_raw("parse", "request body is not valid UTF-8", 400).to_string_compact(),
             );
         };
+        let parse_span = span(Stage::Parse);
         let docs = match JsonValue::parse(body) {
             // An empty batch is a client mistake (usually a broken
             // harness): answer a clear 400 instead of an empty 200
@@ -340,6 +402,7 @@ impl<T: Translator> Router<T> {
                 }),
             });
         }
+        drop(parse_span);
         self.stats
             .batch_items
             .fetch_add(items.len() as u64, Ordering::Relaxed);
@@ -354,10 +417,14 @@ impl<T: Translator> Router<T> {
             .into_iter()
             .map(|item| item.map(|req| good.push(req)))
             .collect();
-        let narrated = match (&self.cache, Self::wants_nocache(req)) {
-            (Some(cache), true) => cache.narrate_batch_uncached(&good),
-            _ => self.translator.narrate_batch(&good),
+        let narrated = {
+            let _narrate = span(Stage::Narrate);
+            match (&self.cache, Self::wants_nocache(req)) {
+                (Some(cache), true) => cache.narrate_batch_uncached(&good),
+                _ => self.translator.narrate_batch(&good),
+            }
         };
+        let _render = span(Stage::Render);
         let mut narrated = narrated.into_iter();
         let mut out = Vec::with_capacity(placements.len());
         for placement in placements {
@@ -423,6 +490,7 @@ impl<T: Translator> Router<T> {
             Ok(style) => style,
             Err(response) => return response,
         };
+        let parse_span = span(Stage::Parse);
         let (base_doc, alt_value) = match Self::diff_envelope(req, "alt") {
             Ok(docs) => docs,
             Err(response) => return response,
@@ -438,9 +506,15 @@ impl<T: Translator> Router<T> {
             Some(style) => r.with_style(style),
             None => r,
         });
-        match request.and_then(|r| diff.narrate_diff(&r)) {
+        drop(parse_span);
+        let compared = request.and_then(|r| {
+            let _diff = span(Stage::Diff);
+            diff.narrate_diff(&r)
+        });
+        match compared {
             Ok(resp) => {
                 self.stats.diff_ok.fetch_add(1, Ordering::Relaxed);
+                let _render = span(Stage::Render);
                 Response::json(200, diff_value(&resp).to_string_compact())
             }
             Err(err) => {
@@ -497,6 +571,7 @@ impl<T: Translator> Router<T> {
             Ok(style) => style,
             Err(response) => return response,
         };
+        let parse_span = span(Stage::Parse);
         let (base_doc, alts_value) = match Self::diff_envelope(req, "alts") {
             Ok(docs) => docs,
             Err(response) => return response,
@@ -549,7 +624,13 @@ impl<T: Translator> Router<T> {
                 PlanSource::auto(doc).map(|source| good.push(source))
             })
             .collect();
-        let mut compared = diff.narrate_diff_batch(&base, &good, style).into_iter();
+        drop(parse_span);
+        let compared = {
+            let _diff = span(Stage::Diff);
+            diff.narrate_diff_batch(&base, &good, style)
+        };
+        let _render = span(Stage::Render);
+        let mut compared = compared.into_iter();
 
         // Stitch detection errors back in at their original indices,
         // then rank: successes by score descending (ties keep input
@@ -708,6 +789,116 @@ impl<T: Translator> Router<T> {
             ),
         }
     }
+
+    /// `GET /metrics` — Prometheus text exposition: per-stage and
+    /// whole-request latency histograms from the recorder, the server
+    /// counter set as `lantern_server_*`, and (when a cache is
+    /// configured) its counters as `lantern_cache_*`. Not routed while
+    /// metrics are disabled, so `--metrics-off` turns this into a 404.
+    fn metrics(&self) -> Response {
+        let registry = self.obs.registry();
+        // Point-in-time readings are gauges; every other snapshot key
+        // only ever increments, which makes it a Prometheus counter.
+        const SERVER_GAUGES: [&str; 4] = [
+            "queue_depth",
+            "requests_in_flight",
+            "uptime_ms",
+            "uptime_seconds",
+        ];
+        if let JsonValue::Object(obj) = self.stats.snapshot().to_json_value() {
+            for (key, value) in &obj {
+                let JsonValue::Number(n) = value else {
+                    continue;
+                };
+                let name = format!("lantern_server_{key}");
+                if SERVER_GAUGES.contains(&key.as_str()) {
+                    registry.set_gauge(&name, &[], *n as u64);
+                } else {
+                    registry.set_counter(&name, &[], *n as u64);
+                }
+            }
+        }
+        const CACHE_GAUGES: [&str; 5] = ["entries", "bytes", "max_entries", "max_bytes", "shards"];
+        if let Some(cache) = &self.cache {
+            if let JsonValue::Object(obj) = cache_stats_value(&cache.cache_stats()) {
+                for (key, value) in &obj {
+                    let JsonValue::Number(n) = value else {
+                        continue;
+                    };
+                    let name = format!("lantern_cache_{key}");
+                    if CACHE_GAUGES.contains(&key.as_str()) {
+                        registry.set_gauge(&name, &[], *n as u64);
+                    } else {
+                        registry.set_counter(&name, &[], *n as u64);
+                    }
+                }
+            }
+        }
+        Response::text(200, self.obs.render_prometheus(&[]))
+    }
+
+    /// `GET /debug/slow?threshold_ms=N` — the captured slow-request
+    /// ring (newest first): request id, path, status, total and
+    /// per-stage latency in microseconds, and the plan fingerprint when
+    /// the request reached the cache layer. `threshold_ms` filters at
+    /// read time; capture is governed by `--slow-log-ms`.
+    fn debug_slow(&self, req: &Request) -> Response {
+        let threshold_ms = req
+            .query_param("threshold_ms")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        Response::json(
+            200,
+            slow_log_value(&self.obs, threshold_ms).to_string_compact(),
+        )
+    }
+}
+
+/// The `GET /debug/slow` response body over `recorder`'s slow-request
+/// ring, filtered to requests at least `threshold_ms` long (newest
+/// first). Shared with the cluster coordinator, which serves the same
+/// endpoint over its own recorder.
+pub fn slow_log_value(recorder: &Recorder, threshold_ms: u64) -> JsonValue {
+    let entries = recorder
+        .slow_entries(threshold_ms.saturating_mul(1_000_000))
+        .into_iter()
+        .map(|entry| {
+            let mut stages = BTreeMap::new();
+            for stage in Stage::ALL {
+                let ns = entry.stage_ns[stage.index()];
+                if ns > 0 {
+                    stages.insert(
+                        stage.name().to_string(),
+                        JsonValue::Number(ns as f64 / 1_000.0),
+                    );
+                }
+            }
+            let mut obj = BTreeMap::new();
+            obj.insert("id".to_string(), JsonValue::String(entry.id));
+            obj.insert("path".to_string(), JsonValue::String(entry.path));
+            obj.insert("status".to_string(), JsonValue::Number(entry.status as f64));
+            obj.insert(
+                "total_us".to_string(),
+                JsonValue::Number(entry.total_ns as f64 / 1_000.0),
+            );
+            obj.insert("stages_us".to_string(), JsonValue::Object(stages));
+            if let Some(fp) = entry.fingerprint {
+                obj.insert("fingerprint".to_string(), JsonValue::String(fp));
+            }
+            JsonValue::Object(obj)
+        })
+        .collect();
+    let mut obj = BTreeMap::new();
+    obj.insert(
+        "threshold_ms".to_string(),
+        JsonValue::Number(threshold_ms as f64),
+    );
+    obj.insert(
+        "capture_threshold_ms".to_string(),
+        JsonValue::Number(recorder.slow_threshold_ns() as f64 / 1e6),
+    );
+    obj.insert("entries".to_string(), JsonValue::Array(entries));
+    JsonValue::Object(obj)
 }
 
 /// The success wire form of a diff comparison: the backend name,
@@ -1376,5 +1567,139 @@ mod tests {
             value.get("requests_total").and_then(JsonValue::as_f64),
             Some(5.0)
         );
+    }
+
+    fn post_with(path: &str, body: &str, headers: &[(&str, &str)]) -> Request {
+        let mut raw = format!("POST {path} HTTP/1.1\r\nContent-Length: {}\r\n", body.len());
+        for (name, value) in headers {
+            raw.push_str(&format!("{name}: {value}\r\n"));
+        }
+        raw.push_str("\r\n");
+        raw.push_str(body);
+        crate::http::read_request(&mut std::io::BufReader::new(raw.as_bytes()), 1 << 20).unwrap()
+    }
+
+    #[test]
+    fn metrics_exposition_covers_stages_requests_and_server_counters() {
+        use lantern_obs::{
+            parse_exposition, snapshot_from_samples, METRIC_REQUEST_SECONDS, METRIC_STAGE_SECONDS,
+        };
+        let router = router();
+        for _ in 0..3 {
+            assert_eq!(router.handle(&post("/narrate", XML_DOC)).status, 200);
+        }
+        let resp = router.handle(&get("/metrics"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.content_type.starts_with("text/plain"));
+        let body = std::str::from_utf8(&resp.body).unwrap();
+        assert!(body.contains("# TYPE lantern_stage_duration_seconds histogram"));
+        assert!(body.contains("# TYPE lantern_request_duration_seconds histogram"));
+        assert!(body.contains("lantern_server_requests_total"));
+
+        let parsed = parse_exposition(body);
+        // The /metrics request itself is still in flight at render
+        // time, so exactly the three narrations are recorded.
+        let requests = snapshot_from_samples(&parsed.samples, METRIC_REQUEST_SECONDS, &[])
+            .expect("request histogram");
+        assert_eq!(requests.count, 3);
+        for stage in ["parse", "narrate", "render"] {
+            let snap =
+                snapshot_from_samples(&parsed.samples, METRIC_STAGE_SECONDS, &[("stage", stage)])
+                    .unwrap_or_else(|| panic!("stage {stage} series"));
+            assert_eq!(snap.count, 3, "stage {stage}");
+        }
+
+        // Write endpoints reject non-GET without losing the route.
+        assert_eq!(router.handle(&post("/metrics", "")).status, 405);
+        assert_eq!(router.handle(&post("/debug/slow", "")).status, 405);
+    }
+
+    #[test]
+    fn metrics_disabled_router_hides_the_endpoint_but_keeps_ids() {
+        let router = router().with_obs(Arc::new(lantern_obs::Recorder::new(
+            lantern_obs::RecorderConfig {
+                enabled: false,
+                ..Default::default()
+            },
+        )));
+        assert_eq!(router.handle(&get("/metrics")).status, 404);
+        // Request IDs are part of the wire contract, not the metrics
+        // surface: still echoed with tracing off.
+        let resp = router.handle(&post_with(
+            "/narrate",
+            PG_DOC,
+            &[(REQUEST_ID_HEADER, "dark-1")],
+        ));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header(REQUEST_ID_HEADER), Some("dark-1"));
+    }
+
+    #[test]
+    fn request_ids_echo_when_supplied_and_mint_when_absent() {
+        let router = router();
+        let resp = router.handle(&post_with(
+            "/narrate",
+            PG_DOC,
+            &[(REQUEST_ID_HEADER, "caller-7")],
+        ));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header(REQUEST_ID_HEADER), Some("caller-7"));
+
+        let first = router.handle(&post("/narrate", PG_DOC));
+        let second = router.handle(&post("/narrate", PG_DOC));
+        let first_id = first.header(REQUEST_ID_HEADER).expect("minted id");
+        let second_id = second.header(REQUEST_ID_HEADER).expect("minted id");
+        assert!(!first_id.is_empty());
+        assert_ne!(first_id, second_id, "minted ids are distinct");
+
+        // An empty header value counts as absent: mint, don't echo.
+        let resp = router.handle(&post_with("/narrate", PG_DOC, &[(REQUEST_ID_HEADER, "")]));
+        assert!(!resp.header(REQUEST_ID_HEADER).unwrap().is_empty());
+    }
+
+    #[test]
+    fn debug_slow_captures_ids_stages_and_fingerprints() {
+        use lantern_cache::{CacheConfig, CachedTranslator};
+        let cached = Arc::new(CachedTranslator::new(
+            RuleTranslator::new(default_pg_store()),
+            CacheConfig::default(),
+        ));
+        let router = Router::with_cache(Arc::clone(&cached), Arc::new(ServeStats::new()), cached);
+        let resp = router.handle(&post_with(
+            "/narrate",
+            PG_DOC,
+            &[(REQUEST_ID_HEADER, "slow-able")],
+        ));
+        assert_eq!(resp.status, 200);
+
+        let resp = router.handle(&get("/debug/slow?threshold_ms=0"));
+        assert_eq!(resp.status, 200);
+        let value = JsonValue::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let entries = value.get("entries").and_then(|e| e.as_array()).unwrap();
+        let entry = entries
+            .iter()
+            .find(|e| e.get("id").and_then(JsonValue::as_str) == Some("slow-able"))
+            .expect("traced entry in the slow log");
+        assert_eq!(
+            entry.get("path").and_then(JsonValue::as_str),
+            Some("/narrate")
+        );
+        assert_eq!(entry.get("status").and_then(JsonValue::as_f64), Some(200.0));
+        let stages = entry.get("stages_us").expect("per-stage breakdown");
+        assert!(stages.get("fingerprint").is_some(), "{stages:?}");
+        // The cache layer noted the plan fingerprint for correlation
+        // with cache keys.
+        let fingerprint = entry
+            .get("fingerprint")
+            .and_then(JsonValue::as_str)
+            .expect("fingerprint recorded");
+        assert_eq!(fingerprint.len(), 32);
+        assert!(fingerprint.chars().all(|c| c.is_ascii_hexdigit()));
+
+        // A threshold far above the observed latency filters it out.
+        let resp = router.handle(&get("/debug/slow?threshold_ms=60000"));
+        let value = JsonValue::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let entries = value.get("entries").and_then(|e| e.as_array()).unwrap();
+        assert!(entries.is_empty(), "{entries:?}");
     }
 }

@@ -20,6 +20,7 @@
 use crate::http::{read_request, write_response, Response};
 use crate::router::{error_body_raw, Router};
 use lantern_core::Translator;
+use lantern_obs::{Recorder, RecorderConfig, Stage};
 use lantern_text::json::JsonValue;
 use std::collections::BTreeMap;
 use std::io::{self, BufReader};
@@ -56,6 +57,15 @@ pub struct ServeConfig {
     /// event-driven readiness loop. Non-Unix targets always take the
     /// blocking path.
     pub legacy_blocking: bool,
+    /// Record per-stage latency histograms and serve `GET /metrics`.
+    /// Off, the recorder is inert (one atomic load per request) and
+    /// `/metrics` answers 404.
+    pub metrics: bool,
+    /// Capture threshold for the slow-request ring served at
+    /// `GET /debug/slow`, in milliseconds. `0` captures every request
+    /// (the ring is bounded, so this is cheap and makes request IDs
+    /// observable without artificial slowness).
+    pub slow_log_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -67,7 +77,21 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(5),
             max_conns: 4096,
             legacy_blocking: false,
+            metrics: true,
+            slow_log_ms: 0,
         }
+    }
+}
+
+impl ServeConfig {
+    /// The observability recorder this config describes — built once
+    /// per server and shared between the router and the serving core.
+    pub(crate) fn recorder(&self) -> Arc<Recorder> {
+        Arc::new(Recorder::new(RecorderConfig {
+            enabled: self.metrics,
+            slow_log_ms: self.slow_log_ms,
+            ..RecorderConfig::default()
+        }))
     }
 }
 
@@ -458,13 +482,10 @@ where
     let local_addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServeStats::new());
-    let router = Arc::new(Router::with_catalog(
-        translator,
-        Arc::clone(&stats),
-        cache,
-        diff,
-        catalog,
-    ));
+    let router = Arc::new(
+        Router::with_catalog(translator, Arc::clone(&stats), cache, diff, catalog)
+            .with_obs(config.recorder()),
+    );
 
     #[cfg(unix)]
     if !config.legacy_blocking {
@@ -510,7 +531,12 @@ where
                 }
                 let Ok(stream) = conn else { continue };
                 stats.connections.fetch_add(1, Ordering::Relaxed);
+                // Mirror the event path's `queue_depth` gauge: count the
+                // connection into the queue before the (possibly
+                // blocking) send; the worker decrements on dequeue.
+                stats.queue_depth.fetch_add(1, Ordering::Relaxed);
                 if conn_tx.send(stream).is_err() {
+                    stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
                     break;
                 }
             }
@@ -543,6 +569,7 @@ fn worker_loop<T: Translator>(
         };
         match conn {
             Ok(stream) => {
+                stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 // A panic while serving (a buggy Translator impl, say)
                 // must not shrink the pool for the server's lifetime:
                 // contain it to the connection and keep the worker.
@@ -575,13 +602,24 @@ fn handle_connection<T: Translator>(
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     loop {
+        // Socket reads/writes happen outside any request trace (the
+        // trace begins in the router), so the read/write stages go
+        // straight to the recorder's histograms.
+        let read_started = Instant::now();
         match read_request(&mut reader, config.max_body_bytes) {
             Ok(request) => {
+                router
+                    .obs()
+                    .record_stage(Stage::Read, read_started.elapsed().as_nanos() as u64);
                 let response = router.handle(&request);
                 // Stop advertising keep-alive once shutdown begins so
                 // draining connections wind down promptly.
                 let keep_alive = request.keep_alive && !shutdown.load(Ordering::SeqCst);
+                let write_started = Instant::now();
                 write_response(&mut writer, &response, keep_alive)?;
+                router
+                    .obs()
+                    .record_stage(Stage::Write, write_started.elapsed().as_nanos() as u64);
                 if !keep_alive {
                     return Ok(());
                 }

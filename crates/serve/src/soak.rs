@@ -11,6 +11,7 @@
 //! trajectories can consume it without scraping logs.
 
 use crate::client::HttpClient;
+use lantern_obs::{parse_exposition, snapshot_from_samples, HistogramSnapshot};
 use lantern_text::json::JsonValue;
 use std::collections::BTreeMap;
 use std::io;
@@ -65,6 +66,28 @@ pub struct CacheDelta {
     pub hit_ratio: f64,
 }
 
+/// Server-side latency over the run, rebuilt from the target's own
+/// `GET /metrics` request histogram (scraped before and after, delta'd
+/// and merged across targets). Absent when any target has metrics
+/// disabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerLatency {
+    /// Server-measured median dispatch latency, microseconds.
+    pub p50_us: u64,
+    /// Server-measured p99 dispatch latency, microseconds.
+    pub p99_us: u64,
+    /// Requests the servers recorded during the run (slightly above
+    /// the schedule length: the driver's own stats/metrics probes are
+    /// requests too).
+    pub count: u64,
+    /// Whether the server-side percentiles bracket the client-observed
+    /// ones from below: server dispatch time is a subset of the client
+    /// round trip, so `p ≤ client_p × grid-and-jitter slack` must hold
+    /// at p50 and p99. A `false` here means the two latency pipelines
+    /// disagree about the same traffic.
+    pub bracket_ok: bool,
+}
+
 /// Server counter movement across the run, sampled from `GET /stats`
 /// before and after.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +127,9 @@ pub struct SoakReport {
     pub latency: LatencySummary,
     /// Cache counter movement, when the server reports a cache.
     pub cache: Option<CacheDelta>,
+    /// Server-side latency cross-check, when the server exposes
+    /// `/metrics`.
+    pub server_latency: Option<ServerLatency>,
 }
 
 impl SoakReport {
@@ -167,6 +193,26 @@ impl SoakReport {
             c.insert("hit_ratio".to_string(), JsonValue::Number(cache.hit_ratio));
             obj.insert("cache".to_string(), JsonValue::Object(c));
         }
+        if let Some(server_latency) = &self.server_latency {
+            let mut s = BTreeMap::new();
+            s.insert(
+                "p50_us".to_string(),
+                JsonValue::Number(server_latency.p50_us as f64),
+            );
+            s.insert(
+                "p99_us".to_string(),
+                JsonValue::Number(server_latency.p99_us as f64),
+            );
+            s.insert(
+                "count".to_string(),
+                JsonValue::Number(server_latency.count as f64),
+            );
+            s.insert(
+                "bracket_ok".to_string(),
+                JsonValue::Bool(server_latency.bracket_ok),
+            );
+            obj.insert("server_latency".to_string(), JsonValue::Object(s));
+        }
         JsonValue::Object(obj)
     }
 
@@ -207,6 +253,7 @@ pub fn run_soak_multi(
     let clients = config.clients.max(addrs.len()).min(docs.len().max(1));
     let pipeline = config.pipeline.max(1);
     let before = sample_stats_multi(addrs)?;
+    let metrics_before = sample_request_histogram(addrs);
 
     let started = Instant::now();
     let mut samples: Vec<(u64, u16)> = Vec::with_capacity(docs.len());
@@ -230,6 +277,7 @@ pub fn run_soak_multi(
     let duration = started.elapsed();
 
     let after = sample_stats_multi(addrs)?;
+    let metrics_after = sample_request_histogram(addrs);
     let server = ServerDelta {
         shed_requests: after.shed.saturating_sub(before.shed),
         pipelined_requests: after.pipelined.saturating_sub(before.pipelined),
@@ -261,6 +309,8 @@ pub fn run_soak_multi(
         }
     }
     let duration_ms = duration.as_secs_f64() * 1e3;
+    let latency = summarize(samples.iter().map(|(us, _)| *us).collect());
+    let server_latency = server_latency_check(metrics_before, metrics_after, &latency);
     Ok(SoakReport {
         requests: docs.len(),
         clients,
@@ -276,9 +326,60 @@ pub fn run_soak_multi(
         ok,
         errors: samples.len() as u64 - ok,
         statuses,
-        latency: summarize(samples.iter().map(|(us, _)| *us).collect()),
+        latency,
         cache,
+        server_latency,
     })
+}
+
+/// Cross-check the client-observed percentiles against the servers'
+/// own request histograms: delta the before/after scrapes, merge
+/// across targets, and verify the server numbers sit below the client
+/// ones. The tolerance covers the histogram's √2 bucket grid (a
+/// server-side value is reported as its bucket's upper bound) plus
+/// scheduling jitter, with an absolute floor for microsecond-scale
+/// cache-hit runs.
+fn server_latency_check(
+    before: Option<HistogramSnapshot>,
+    after: Option<HistogramSnapshot>,
+    client: &LatencySummary,
+) -> Option<ServerLatency> {
+    let delta = after?.delta_since(&before?);
+    if delta.count == 0 {
+        return None;
+    }
+    let p50_us = delta.percentile(0.50) / 1_000;
+    let p99_us = delta.percentile(0.99) / 1_000;
+    let below = |server_us: u64, client_us: u64| server_us as f64 <= client_us as f64 * 2.0 + 500.0;
+    Some(ServerLatency {
+        p50_us,
+        p99_us,
+        count: delta.count,
+        bracket_ok: below(p50_us, client.p50_us) && below(p99_us, client.p99_us),
+    })
+}
+
+/// Merge the `/metrics` request histogram across every target. `None`
+/// when any target fails to answer the scrape (metrics disabled or
+/// unreachable) — the cross-check needs the whole fleet's view.
+fn sample_request_histogram(addrs: &[SocketAddr]) -> Option<HistogramSnapshot> {
+    let mut merged = HistogramSnapshot::default();
+    for addr in addrs {
+        let mut client = HttpClient::connect(*addr).ok()?;
+        let resp = client.get("/metrics").ok()?;
+        if resp.status != 200 {
+            return None;
+        }
+        let parsed = parse_exposition(&resp.body);
+        // A fresh server renders no bucket lines yet: an empty
+        // snapshot, not a missing endpoint.
+        if let Some(snap) =
+            snapshot_from_samples(&parsed.samples, lantern_obs::METRIC_REQUEST_SECONDS, &[])
+        {
+            merged.merge(&snap);
+        }
+    }
+    Some(merged)
 }
 
 /// One client's request loop: time every `POST /narrate`, record
@@ -478,6 +579,20 @@ mod tests {
         assert_eq!(cache.hits, 4);
         assert!((cache.hit_ratio - 4.0 / 6.0).abs() < 1e-9);
 
+        // The server's own histogram saw the run (plus the driver's
+        // stats/metrics probes) and its percentiles agree with the
+        // client-observed ones.
+        let server_latency = report
+            .server_latency
+            .expect("metrics-on server cross-check");
+        assert!(server_latency.count >= 6, "{server_latency:?}");
+        assert!(server_latency.p50_us <= server_latency.p99_us);
+        assert!(
+            server_latency.bracket_ok,
+            "{server_latency:?} vs {:?}",
+            report.latency
+        );
+
         // The JSON form carries every headline number.
         let json = report.to_json_value();
         assert_eq!(json.get("requests").and_then(JsonValue::as_f64), Some(6.0));
@@ -491,6 +606,12 @@ mod tests {
                 .and_then(|c| c.get("misses"))
                 .and_then(JsonValue::as_f64),
             Some(2.0)
+        );
+        assert_eq!(
+            json.get("server_latency")
+                .and_then(|s| s.get("bracket_ok"))
+                .and_then(JsonValue::as_bool),
+            Some(true)
         );
 
         handle.shutdown().unwrap();
@@ -548,11 +669,14 @@ mod tests {
     }
 
     #[test]
-    fn soak_against_uncached_server_has_no_cache_delta() {
+    fn soak_against_uncached_metrics_off_server_skips_both_deltas() {
         let handle = crate::server::serve(
             RuleTranslator::new(default_mssql_store()),
             "127.0.0.1:0",
-            ServeConfig::default(),
+            ServeConfig {
+                metrics: false,
+                ..ServeConfig::default()
+            },
         )
         .unwrap();
         let docs = vec![DOC_A.to_string(); 4];
@@ -567,6 +691,11 @@ mod tests {
         .unwrap();
         assert_eq!(report.ok, 4);
         assert!(report.cache.is_none());
+        assert!(
+            report.server_latency.is_none(),
+            "no /metrics, no cross-check"
+        );
+        assert!(report.to_json_value().get("server_latency").is_none());
         handle.shutdown().unwrap();
     }
 

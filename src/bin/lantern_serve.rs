@@ -54,6 +54,11 @@ OPTIONS:
     --cache-entries <N>   Narration cache capacity, entries [default: 4096]
     --cache-mb <N>        Narration cache capacity, MiB [default: 32]
     --cache-strict        Fingerprint cardinality/cost estimates too
+    --metrics-off         Disable /metrics and per-stage tracing
+                          (on by default; see docs/OBSERVABILITY.md)
+    --slow-log-ms <N>     Capture requests at least this slow in the
+                          /debug/slow ring (0 = capture every request)
+                          [default: 0]
     --help                Print this help
 
 SOAK OPTIONS (load a running server with generated plans):
@@ -91,6 +96,10 @@ CLUSTER OPTIONS (coordinator fronting N running replicas):
     --max-attempts <N>    Forwarding attempts per request (owner +
                           ring successors) [default: 3]
     --probe-ms <N>        Health/catalog probe period [default: 500]
+    --metrics-off         Disable /metrics and request tracing on the
+                          coordinator (replica scrapes stop too)
+    --slow-log-ms <N>     Coordinator /debug/slow capture threshold
+                          (0 = capture every request) [default: 0]
 ";
 
 struct Args {
@@ -104,6 +113,8 @@ struct Args {
     legacy_blocking: bool,
     cache_config: CacheConfig,
     no_cache: bool,
+    metrics: bool,
+    slow_log_ms: u64,
 }
 
 impl Args {
@@ -132,6 +143,8 @@ fn parse_args() -> Result<Args, String> {
         // the binary serves cached unless told otherwise.
         cache_config: CacheConfig::default(),
         no_cache: false,
+        metrics: true,
+        slow_log_ms: 0,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -186,6 +199,12 @@ fn parse_args() -> Result<Args, String> {
                 args.cache_config.max_bytes = mib * 1024 * 1024;
             }
             "--cache-strict" => args.cache_config.strict = true,
+            "--metrics-off" => args.metrics = false,
+            "--slow-log-ms" => {
+                args.slow_log_ms = value("--slow-log-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slow-log-ms: {e}"))?
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -286,6 +305,8 @@ struct ClusterArgs {
     retry_backoff_ms: u64,
     max_attempts: usize,
     probe_ms: u64,
+    metrics: bool,
+    slow_log_ms: u64,
 }
 
 fn parse_cluster_args(argv: impl Iterator<Item = String>) -> Result<ClusterArgs, String> {
@@ -299,6 +320,8 @@ fn parse_cluster_args(argv: impl Iterator<Item = String>) -> Result<ClusterArgs,
         retry_backoff_ms: 25,
         max_attempts: 3,
         probe_ms: 500,
+        metrics: true,
+        slow_log_ms: 0,
     };
     let mut argv = argv.peekable();
     while let Some(flag) = argv.next() {
@@ -344,6 +367,12 @@ fn parse_cluster_args(argv: impl Iterator<Item = String>) -> Result<ClusterArgs,
                     .parse()
                     .map_err(|e| format!("--probe-ms: {e}"))?
             }
+            "--metrics-off" => args.metrics = false,
+            "--slow-log-ms" => {
+                args.slow_log_ms = value("--slow-log-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slow-log-ms: {e}"))?
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -377,6 +406,8 @@ fn cluster_main(args: &ClusterArgs) -> Result<(), String> {
         retry_backoff: Duration::from_millis(args.retry_backoff_ms),
         max_attempts: args.max_attempts,
         probe_interval: Duration::from_millis(args.probe_ms),
+        metrics: args.metrics,
+        slow_log_ms: args.slow_log_ms,
         ..ClusterConfig::default()
     };
     let handle = serve_cluster(config, args.addr.as_str())
@@ -392,7 +423,7 @@ fn cluster_main(args: &ClusterArgs) -> Result<(), String> {
         args.replicas.join(", ")
     );
     println!(
-        "endpoints: POST /narrate, POST /narrate/batch, POST /narrate/diff, POST /narrate/diff/batch, GET /healthz, GET /stats, GET /catalog, POST /catalog/apply, POST /cache/clear (see docs/SERVING.md)"
+        "endpoints: POST /narrate, POST /narrate/batch, POST /narrate/diff, POST /narrate/diff/batch, GET /healthz, GET /stats, GET /metrics, GET /debug/slow, GET /catalog, POST /catalog/apply, POST /cache/clear (see docs/SERVING.md)"
     );
     // Serve until the process is killed; the worker pool does the work.
     loop {
@@ -542,6 +573,8 @@ fn main() {
                 max_conns: args.max_conns,
                 queue_depth: args.queue_cap,
                 legacy_blocking: args.legacy_blocking,
+                metrics: args.metrics,
+                slow_log_ms: args.slow_log_ms,
                 ..ServeConfig::default()
             },
         )
@@ -552,7 +585,7 @@ fn main() {
     // The smoke-test lane greps for this exact line before curling.
     println!("lantern-serve listening on http://{}", handle.addr());
     println!(
-        "endpoints: POST /narrate, POST /narrate/batch, POST /narrate/diff, POST /narrate/diff/batch, GET /healthz, GET /stats, POST /cache/clear (see docs/SERVING.md)"
+        "endpoints: POST /narrate, POST /narrate/batch, POST /narrate/diff, POST /narrate/diff/batch, GET /healthz, GET /stats, GET /metrics, GET /debug/slow, POST /cache/clear (see docs/SERVING.md)"
     );
     // Serve until the process is killed; the worker pool does the work.
     loop {
